@@ -1,0 +1,369 @@
+//! The three-stage median aggregation (paper Fig. 2, Eqs. 1 and the
+//! "median Ṽ" steps 2-3): per-step sums, per-rank medians, per-repetition
+//! medians.
+
+use crate::window::{attribute_events, usable_steps};
+use extradeep_model::measurement::median;
+use extradeep_trace::{
+    ApiDomain, ConfigProfile, MetricKind, RankProfile, StepPhase,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-phase metric values of one kernel after aggregation over steps.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseValues {
+    /// Median per-training-step value (`ṽ_t`).
+    pub train: f64,
+    /// Median per-validation-step value (`ṽ_v`).
+    pub val: f64,
+    /// Per-epoch value of executions outside any step (init, checkpoint),
+    /// normalized by the number of profiled epochs.
+    pub outside: f64,
+}
+
+/// One kernel's aggregate for one repetition (all three metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelRepAggregate {
+    pub time: PhaseValues,
+    pub visits: PhaseValues,
+    pub bytes: PhaseValues,
+}
+
+impl KernelRepAggregate {
+    pub fn metric(&self, metric: MetricKind) -> &PhaseValues {
+        match metric {
+            MetricKind::Time => &self.time,
+            MetricKind::Visits => &self.visits,
+            MetricKind::Bytes => &self.bytes,
+        }
+    }
+}
+
+/// One kernel's identity (name + domain) in an aggregated experiment.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KernelId {
+    pub name: String,
+    pub domain: ApiDomain,
+}
+
+/// Aggregation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregationOptions {
+    /// Epochs at the start of the profile treated as warm-up and excluded
+    /// (paper: "the first epoch acts as a warm-up round, and its
+    /// measurements are not used for modeling").
+    pub warmup_epochs: u32,
+}
+
+impl Default for AggregationOptions {
+    fn default() -> Self {
+        AggregationOptions { warmup_epochs: 1 }
+    }
+}
+
+/// Stage 1+2 for a single rank: per-step sums (Eq. 1), then the median over
+/// steps for each phase.
+fn aggregate_rank(
+    rank: &RankProfile,
+    options: &AggregationOptions,
+) -> BTreeMap<KernelId, KernelRepAggregate> {
+    let attribution = attribute_events(rank);
+    let usable: Vec<usize> = usable_steps(rank, options.warmup_epochs)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    let epochs = rank.epoch_marks.len().max(1) as f64;
+
+    // kernel -> metric -> (per-train-step sums, per-val-step sums, outside).
+    #[derive(Default)]
+    struct Acc {
+        train: Vec<f64>,
+        val: Vec<f64>,
+        outside: f64,
+    }
+    let mut accs: BTreeMap<KernelId, [Acc; 3]> = BTreeMap::new();
+    let metrics = [MetricKind::Time, MetricKind::Visits, MetricKind::Bytes];
+
+    for &si in &usable {
+        let mark = rank.step_marks[si];
+        // Sum each kernel's metric values inside this step (Eq. 1).
+        let mut sums: BTreeMap<KernelId, [f64; 3]> = BTreeMap::new();
+        for &ei in &attribution.per_step[si] {
+            let e = &rank.events[ei];
+            let id = KernelId {
+                name: e.name.to_string(),
+                domain: e.domain,
+            };
+            let entry = sums.entry(id).or_default();
+            for (mi, &m) in metrics.iter().enumerate() {
+                entry[mi] += e.metric_value(m);
+            }
+        }
+        for (id, vals) in sums {
+            let acc = accs.entry(id).or_default();
+            for mi in 0..3 {
+                match mark.phase {
+                    StepPhase::Training => acc[mi].train.push(vals[mi]),
+                    StepPhase::Validation => acc[mi].val.push(vals[mi]),
+                }
+            }
+        }
+    }
+
+    // Outside-step executions: a per-epoch constant.
+    for &ei in &attribution.outside {
+        let e = &rank.events[ei];
+        let id = KernelId {
+            name: e.name.to_string(),
+            domain: e.domain,
+        };
+        let acc = accs.entry(id).or_default();
+        for (mi, &m) in metrics.iter().enumerate() {
+            acc[mi].outside += e.metric_value(m) / epochs;
+        }
+    }
+
+    // Steps where a kernel did not execute contribute a zero sum to Eq. 1;
+    // the median must run over *all* usable steps of the phase, or a kernel
+    // executing once per epoch (e.g. the checkpoint write trailing the last
+    // step) would be extrapolated as if it ran every step.
+    let (total_train, total_val) = {
+        let mut t = 0usize;
+        let mut v = 0usize;
+        for &si in &usable {
+            match rank.step_marks[si].phase {
+                StepPhase::Training => t += 1,
+                StepPhase::Validation => v += 1,
+            }
+        }
+        (t, v)
+    };
+    let median_padded = |vals: &[f64], total: usize| -> f64 {
+        if vals.is_empty() {
+            return 0.0;
+        }
+        let mut padded = vals.to_vec();
+        padded.resize(total.max(vals.len()), 0.0);
+        median(&padded)
+    };
+
+    accs.into_iter()
+        .map(|(id, acc)| {
+            let phase = |a: &Acc| PhaseValues {
+                train: median_padded(&a.train, total_train),
+                val: median_padded(&a.val, total_val),
+                outside: a.outside,
+            };
+            (
+                id,
+                KernelRepAggregate {
+                    time: phase(&acc[0]),
+                    visits: phase(&acc[1]),
+                    bytes: phase(&acc[2]),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Stage 2 output: one repetition of one configuration, aggregated over its
+/// ranks by median (`Ṽ_r` in Fig. 2).
+pub fn aggregate_repetition(
+    profile: &ConfigProfile,
+    options: &AggregationOptions,
+) -> BTreeMap<KernelId, KernelRepAggregate> {
+    let per_rank: Vec<BTreeMap<KernelId, KernelRepAggregate>> = profile
+        .ranks
+        .iter()
+        .map(|r| aggregate_rank(r, options))
+        .collect();
+
+    let mut ids: Vec<KernelId> = per_rank.iter().flat_map(|m| m.keys().cloned()).collect();
+    ids.sort();
+    ids.dedup();
+
+    let mut out = BTreeMap::new();
+    for id in ids {
+        let mut combined = KernelRepAggregate::default();
+        let collect = |f: &dyn Fn(&KernelRepAggregate) -> f64| -> f64 {
+            // The median over ranks *that executed the kernel*: a kernel
+            // seen on a single rank only is usually irrelevant (the paper's
+            // observation), but the median still handles it gracefully.
+            let vals: Vec<f64> = per_rank.iter().filter_map(|m| m.get(&id)).map(f).collect();
+            median(&vals)
+        };
+        combined.time = PhaseValues {
+            train: collect(&|k| k.time.train),
+            val: collect(&|k| k.time.val),
+            outside: collect(&|k| k.time.outside),
+        };
+        combined.visits = PhaseValues {
+            train: collect(&|k| k.visits.train),
+            val: collect(&|k| k.visits.val),
+            outside: collect(&|k| k.visits.outside),
+        };
+        combined.bytes = PhaseValues {
+            train: collect(&|k| k.bytes.train),
+            val: collect(&|k| k.bytes.val),
+            outside: collect(&|k| k.bytes.outside),
+        };
+        out.insert(id, combined);
+    }
+    out
+}
+
+/// Stage 3: median over repetitions (`Ṽ`), retaining the per-repetition
+/// values so run-to-run variation and repetition-aware modeling remain
+/// possible downstream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfigAggregate {
+    pub id: KernelId,
+    /// One aggregate per measurement repetition.
+    pub reps: Vec<KernelRepAggregate>,
+}
+
+impl KernelConfigAggregate {
+    /// The median over repetitions for one metric/phase selection.
+    pub fn median_over_reps(&self, f: impl Fn(&KernelRepAggregate) -> f64) -> f64 {
+        let vals: Vec<f64> = self.reps.iter().map(f).collect();
+        median(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_trace::{MeasurementConfig, TraceBuilder, TrainingMeta};
+
+    fn meta() -> TrainingMeta {
+        TrainingMeta {
+            batch_size: 256,
+            train_samples: 50_000,
+            val_samples: 10_000,
+            data_parallel: 2,
+            model_parallel: 1,
+            cores_per_rank: 8,
+        }
+    }
+
+    /// Two ranks, two epochs; kernel "k" runs twice per training step with
+    /// durations that differ per rank.
+    fn two_rank_profile() -> ConfigProfile {
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(2), 0, meta());
+        for rank in 0..2u32 {
+            let mut b = TraceBuilder::new(rank);
+            b.emit("cudaMalloc", ApiDomain::CudaApi, 1000);
+            for epoch in 0..2 {
+                b.begin_epoch(epoch);
+                for step in 0..3 {
+                    b.begin_step(epoch, step, StepPhase::Training);
+                    // Eq. 1: both executions must be summed within the step.
+                    let base = 100 * (rank as u64 + 1); // rank 0: 100, rank 1: 200
+                    b.emit("k", ApiDomain::CudaKernel, base);
+                    b.emit("k", ApiDomain::CudaKernel, base);
+                    b.end_step();
+                }
+                b.begin_step(epoch, 0, StepPhase::Validation);
+                b.emit("k", ApiDomain::CudaKernel, 50);
+                b.end_step();
+                b.end_epoch();
+            }
+            cp.ranks.push(b.finish());
+        }
+        cp
+    }
+
+    #[test]
+    fn step_sums_then_medians() {
+        let cp = two_rank_profile();
+        let agg = aggregate_repetition(&cp, &AggregationOptions::default());
+        let k = agg
+            .get(&KernelId {
+                name: "k".into(),
+                domain: ApiDomain::CudaKernel,
+            })
+            .unwrap();
+        // Per step: rank 0 sums to 200 ns, rank 1 to 400 ns. Median over
+        // ranks: 300 ns = 3e-7 s.
+        assert!((k.time.train - 300e-9).abs() < 1e-15, "{}", k.time.train);
+        assert!((k.visits.train - 2.0).abs() < 1e-12);
+        assert!((k.time.val - 50e-9).abs() < 1e-15);
+        assert!((k.visits.val - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_epoch_is_excluded() {
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(1), 0, meta());
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, 10_000); // inflated warm-up
+        b.end_step();
+        b.end_epoch();
+        b.begin_epoch(1);
+        b.begin_step(1, 0, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, 100);
+        b.end_step();
+        b.end_epoch();
+        cp.ranks.push(b.finish());
+        let agg = aggregate_repetition(&cp, &AggregationOptions::default());
+        let k = agg
+            .get(&KernelId {
+                name: "k".into(),
+                domain: ApiDomain::CudaKernel,
+            })
+            .unwrap();
+        assert!((k.time.train - 100e-9).abs() < 1e-15, "warm-up must be dropped");
+    }
+
+    #[test]
+    fn outside_events_normalized_per_epoch() {
+        let cp = two_rank_profile();
+        let agg = aggregate_repetition(&cp, &AggregationOptions::default());
+        let malloc = agg
+            .get(&KernelId {
+                name: "cudaMalloc".into(),
+                domain: ApiDomain::CudaApi,
+            })
+            .unwrap();
+        // 1000 ns once, over 2 epochs -> 500 ns/epoch.
+        assert!((malloc.time.outside - 500e-9).abs() < 1e-15);
+        assert_eq!(malloc.time.train, 0.0);
+    }
+
+    #[test]
+    fn rank_permutation_invariance() {
+        let cp = two_rank_profile();
+        let mut flipped = cp.clone();
+        flipped.ranks.reverse();
+        let a = aggregate_repetition(&cp, &AggregationOptions::default());
+        let b = aggregate_repetition(&flipped, &AggregationOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn median_over_reps() {
+        let k = KernelConfigAggregate {
+            id: KernelId {
+                name: "k".into(),
+                domain: ApiDomain::CudaKernel,
+            },
+            reps: vec![
+                KernelRepAggregate {
+                    time: PhaseValues { train: 1.0, val: 0.0, outside: 0.0 },
+                    ..Default::default()
+                },
+                KernelRepAggregate {
+                    time: PhaseValues { train: 3.0, val: 0.0, outside: 0.0 },
+                    ..Default::default()
+                },
+                KernelRepAggregate {
+                    time: PhaseValues { train: 2.0, val: 0.0, outside: 0.0 },
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(k.median_over_reps(|r| r.time.train), 2.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! From aggregated profiles to modeling datasets: kernel filtering (Fig. 2
+//! step 4), the derived per-epoch metrics (Eqs. 2-4), and application-level
+//! category sums (Eqs. 6, 8-10).
+
+use crate::aggregate::{
+    aggregate_repetition, AggregationOptions, KernelConfigAggregate, KernelId,
+    KernelRepAggregate,
+};
+use extradeep_model::{ExperimentData, Measurement};
+use extradeep_trace::{ApiDomain, ExperimentProfiles, MeasurementConfig, MetricKind, TrainingMeta};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Application-model categories (paper §2.2: "categorize the kernels by
+/// their type, i.e., computation, communication, or memory operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppCategory {
+    Computation,
+    Communication,
+    MemoryOps,
+}
+
+impl AppCategory {
+    pub const ALL: [AppCategory; 3] = [
+        AppCategory::Computation,
+        AppCategory::Communication,
+        AppCategory::MemoryOps,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AppCategory::Computation => "computation",
+            AppCategory::Communication => "communication",
+            AppCategory::MemoryOps => "memory ops.",
+        }
+    }
+
+    /// Category of an API domain. Everything that is neither communication
+    /// nor a memory operation counts as computation, so the three categories
+    /// partition the application's time budget.
+    pub fn of(domain: ApiDomain) -> AppCategory {
+        match domain {
+            ApiDomain::Mpi | ApiDomain::Nccl => AppCategory::Communication,
+            ApiDomain::MemCpy | ApiDomain::MemSet => AppCategory::MemoryOps,
+            _ => AppCategory::Computation,
+        }
+    }
+}
+
+/// One aggregated measurement configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatedConfig {
+    pub config: MeasurementConfig,
+    pub meta: TrainingMeta,
+    pub kernels: BTreeMap<KernelId, KernelConfigAggregate>,
+}
+
+/// The preprocessed experiment: one [`AggregatedConfig`] per measurement
+/// point — the "extradeep object" of the paper's Fig. 1 step 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatedExperiment {
+    pub parameters: Vec<String>,
+    pub configs: Vec<AggregatedConfig>,
+}
+
+/// Runs stages 1-3 of the preprocessing over a whole experiment.
+pub fn aggregate_experiment(
+    profiles: &ExperimentProfiles,
+    options: &AggregationOptions,
+) -> AggregatedExperiment {
+    let mut parameters = Vec::new();
+    let mut configs: Vec<AggregatedConfig> = Vec::new();
+
+    for config in profiles.configs() {
+        let reps = profiles.repetitions_of(config);
+        if parameters.is_empty() {
+            parameters = config.parameter_names();
+        } else if config.parameter_names() != parameters {
+            // A configuration with different parameter names cannot share a
+            // coordinate system with the rest; mixing them would silently
+            // misalign coordinates. Skip it (a well-formed experiment never
+            // produces this; imported traces might).
+            continue;
+        }
+        let meta = reps[0].meta;
+        let per_rep: Vec<BTreeMap<KernelId, KernelRepAggregate>> = reps
+            .iter()
+            .map(|p| aggregate_repetition(p, options))
+            .collect();
+
+        let mut ids: Vec<KernelId> = per_rep.iter().flat_map(|m| m.keys().cloned()).collect();
+        ids.sort();
+        ids.dedup();
+
+        let kernels = ids
+            .into_iter()
+            .map(|id| {
+                let reps: Vec<KernelRepAggregate> = per_rep
+                    .iter()
+                    .map(|m| m.get(&id).copied().unwrap_or_default())
+                    .collect();
+                (id.clone(), KernelConfigAggregate { id, reps })
+            })
+            .collect();
+
+        configs.push(AggregatedConfig {
+            config: config.clone(),
+            meta,
+            kernels,
+        });
+    }
+
+    AggregatedExperiment {
+        parameters,
+        configs,
+    }
+}
+
+impl AggregatedExperiment {
+    /// Kernels present in at least `min_configs` configurations — the
+    /// minimum-modeling-requirement filter (paper: a kernel appearing in
+    /// fewer than five configurations gets no model).
+    pub fn modelable_kernels(&self, min_configs: usize) -> Vec<KernelId> {
+        let mut counts: BTreeMap<&KernelId, usize> = BTreeMap::new();
+        for c in &self.configs {
+            for id in c.kernels.keys() {
+                *counts.entry(id).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, n)| n >= min_configs)
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Derived per-epoch metric of one kernel at one configuration for one
+    /// repetition (Eq. 4): `F = n_t·ṽ_t + n_v·ṽ_v (+ outside-step share)`.
+    pub fn kernel_epoch_value(
+        meta: &TrainingMeta,
+        rep: &KernelRepAggregate,
+        metric: MetricKind,
+    ) -> f64 {
+        let n_t = meta.training_steps_per_epoch() as f64;
+        let n_v = meta.validation_steps_per_epoch() as f64;
+        let v = rep.metric(metric);
+        n_t * v.train + n_v * v.val + v.outside
+    }
+
+    /// Builds the modeling dataset for one kernel and metric: one measurement
+    /// per configuration, with per-repetition derived values.
+    pub fn kernel_dataset(&self, id: &KernelId, metric: MetricKind) -> ExperimentData {
+        let measurements = self
+            .configs
+            .iter()
+            .filter_map(|c| {
+                let k = c.kernels.get(id)?;
+                let values: Vec<f64> = k
+                    .reps
+                    .iter()
+                    .map(|r| Self::kernel_epoch_value(&c.meta, r, metric))
+                    .collect();
+                Some(Measurement::new(c.config.coordinate(), values))
+            })
+            .collect();
+        ExperimentData::new(self.parameters.clone(), measurements)
+    }
+
+    /// Category sum for one configuration and repetition index (Eqs. 8-10):
+    /// the derived per-epoch value of all kernels in `category`.
+    fn category_value(
+        config: &AggregatedConfig,
+        rep_index: usize,
+        metric: MetricKind,
+        category: AppCategory,
+    ) -> f64 {
+        config
+            .kernels
+            .values()
+            .filter(|k| AppCategory::of(k.id.domain) == category)
+            .map(|k| {
+                k.reps
+                    .get(rep_index)
+                    .map(|r| Self::kernel_epoch_value(&config.meta, r, metric))
+                    .unwrap_or(0.0)
+            })
+            .sum()
+    }
+
+    /// Application-model dataset for one category (Eqs. 8-10), or for the
+    /// whole application when `category` is `None` (Eq. 6).
+    pub fn app_dataset(&self, metric: MetricKind, category: Option<AppCategory>) -> ExperimentData {
+        let measurements = self
+            .configs
+            .iter()
+            .map(|c| {
+                let reps = c.kernels.values().map(|k| k.reps.len()).max().unwrap_or(0);
+                let values: Vec<f64> = (0..reps.max(1))
+                    .map(|ri| match category {
+                        Some(cat) => Self::category_value(c, ri, metric, cat),
+                        None => AppCategory::ALL
+                            .iter()
+                            .map(|&cat| Self::category_value(c, ri, metric, cat))
+                            .sum(),
+                    })
+                    .collect();
+                Measurement::new(c.config.coordinate(), values)
+            })
+            .collect();
+        ExperimentData::new(self.parameters.clone(), measurements)
+    }
+
+    /// All kernels of one API domain that pass the config filter.
+    pub fn kernels_in_domain(&self, domain: ApiDomain, min_configs: usize) -> Vec<KernelId> {
+        self.modelable_kernels(min_configs)
+            .into_iter()
+            .filter(|k| k.domain == domain)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_trace::{ConfigProfile, StepPhase, TraceBuilder};
+
+    fn meta(g: u32) -> TrainingMeta {
+        TrainingMeta {
+            batch_size: 250,
+            train_samples: 10_000 * g as u64, // weak scaling
+            val_samples: 1_000,
+            data_parallel: g,
+            model_parallel: 1,
+            cores_per_rank: 8,
+        }
+    }
+
+    /// Builds a small experiment: configs at x1 in {2,4,8,16,32}, 2 reps.
+    /// Kernel "k" runs in every config; "rare" only at x1 = 2.
+    fn experiment() -> ExperimentProfiles {
+        let mut exp = ExperimentProfiles::new();
+        for &ranks in &[2u32, 4, 8, 16, 32] {
+            for rep in 0..2 {
+                let mut cp = ConfigProfile::new(MeasurementConfig::ranks(ranks), rep, meta(ranks));
+                let mut b = TraceBuilder::new(0);
+                b.begin_epoch(0);
+                for step in 0..3 {
+                    b.begin_step(0, step, StepPhase::Training);
+                    b.emit("k", ApiDomain::CudaKernel, 1_000 * ranks as u64);
+                    b.emit_bytes("MPI_Allreduce", ApiDomain::Mpi, 500 * ranks as u64, 1 << 20);
+                    b.emit_bytes("CUDA memcpy HtoD", ApiDomain::MemCpy, 200, 4096);
+                    if ranks == 2 {
+                        b.emit("rare", ApiDomain::CudaKernel, 10);
+                    }
+                    b.end_step();
+                }
+                b.begin_step(0, 0, StepPhase::Validation);
+                b.emit("k", ApiDomain::CudaKernel, 400 * ranks as u64);
+                b.end_step();
+                b.end_epoch();
+                cp.ranks.push(b.finish());
+                exp.push(cp);
+            }
+        }
+        exp
+    }
+
+    fn aggregated() -> AggregatedExperiment {
+        aggregate_experiment(&experiment(), &AggregationOptions { warmup_epochs: 0 })
+    }
+
+    #[test]
+    fn filter_drops_rare_kernels() {
+        let agg = aggregated();
+        let modelable = agg.modelable_kernels(5);
+        assert!(modelable.iter().any(|k| k.name == "k"));
+        assert!(modelable.iter().any(|k| k.name == "MPI_Allreduce"));
+        assert!(!modelable.iter().any(|k| k.name == "rare"));
+        // With a lower threshold "rare" qualifies.
+        assert!(agg.modelable_kernels(1).iter().any(|k| k.name == "rare"));
+    }
+
+    #[test]
+    fn derived_metric_extrapolates_to_full_epoch() {
+        let agg = aggregated();
+        let k = KernelId {
+            name: "k".into(),
+            domain: ApiDomain::CudaKernel,
+        };
+        let data = agg.kernel_dataset(&k, MetricKind::Time);
+        assert_eq!(data.len(), 5);
+        // At x1 = 2: n_t = 10000*2/2/250 = 40 steps, n_v = 1000/2/250 = 2.
+        // v_t = 2000 ns, v_v = 800 ns -> F = 40*2e-6 + 2*0.8e-6 s.
+        let m = &data.measurements[0];
+        assert_eq!(m.coordinate, vec![2.0]);
+        let expect = 40.0 * 2_000e-9 + 2.0 * 800e-9;
+        assert!((m.values[0] - expect).abs() < 1e-12, "{}", m.values[0]);
+    }
+
+    #[test]
+    fn visits_metric_counts_executions_per_epoch() {
+        let agg = aggregated();
+        let k = KernelId {
+            name: "k".into(),
+            domain: ApiDomain::CudaKernel,
+        };
+        let data = agg.kernel_dataset(&k, MetricKind::Visits);
+        // 40 training steps * 1 visit + 2 validation steps * 1 visit.
+        assert!((data.measurements[0].values[0] - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_categories_partition_time() {
+        let agg = aggregated();
+        let total = agg.app_dataset(MetricKind::Time, None);
+        let parts: f64 = AppCategory::ALL
+            .iter()
+            .map(|&c| {
+                agg.app_dataset(MetricKind::Time, Some(c)).measurements[0].values[0]
+            })
+            .sum();
+        assert!((total.measurements[0].values[0] - parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_category_contains_only_mpi() {
+        let agg = aggregated();
+        let comm = agg.app_dataset(MetricKind::Time, Some(AppCategory::Communication));
+        // At x1 = 2: 40 steps * 1000 ns MPI = 4e-5 s.
+        assert!((comm.measurements[0].values[0] - 40.0 * 1_000e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_metric_flows_through() {
+        let agg = aggregated();
+        let mem = agg.app_dataset(MetricKind::Bytes, Some(AppCategory::MemoryOps));
+        // 40 steps * 4096 B + 0 validation contribution... validation had no
+        // memcpy, so F = 40 * 4096.
+        assert!((mem.measurements[0].values[0] - 40.0 * 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domain_listing() {
+        let agg = aggregated();
+        let mpi = agg.kernels_in_domain(ApiDomain::Mpi, 5);
+        assert_eq!(mpi.len(), 1);
+        assert_eq!(mpi[0].name, "MPI_Allreduce");
+    }
+
+    #[test]
+    fn mismatched_parameter_names_are_skipped() {
+        let mut exp = experiment();
+        // A stray profile with a different parameter scheme.
+        let mut odd = ConfigProfile::new(
+            MeasurementConfig::new(vec![("threads".into(), 7.0)]),
+            0,
+            meta(7),
+        );
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, 10);
+        b.end_step();
+        b.end_epoch();
+        odd.ranks.push(b.finish());
+        exp.push(odd);
+
+        let agg = aggregate_experiment(&exp, &AggregationOptions { warmup_epochs: 0 });
+        assert_eq!(agg.parameters, vec!["ranks"]);
+        assert_eq!(agg.configs.len(), 5, "the stray config must be dropped");
+    }
+
+    #[test]
+    fn repetitions_become_measurement_values() {
+        let agg = aggregated();
+        let k = KernelId {
+            name: "k".into(),
+            domain: ApiDomain::CudaKernel,
+        };
+        let data = agg.kernel_dataset(&k, MetricKind::Time);
+        assert!(data.measurements.iter().all(|m| m.values.len() == 2));
+    }
+
+    #[test]
+    fn category_of_domains() {
+        assert_eq!(AppCategory::of(ApiDomain::Mpi), AppCategory::Communication);
+        assert_eq!(AppCategory::of(ApiDomain::Nccl), AppCategory::Communication);
+        assert_eq!(AppCategory::of(ApiDomain::MemCpy), AppCategory::MemoryOps);
+        assert_eq!(AppCategory::of(ApiDomain::MemSet), AppCategory::MemoryOps);
+        assert_eq!(AppCategory::of(ApiDomain::CudaKernel), AppCategory::Computation);
+        assert_eq!(AppCategory::of(ApiDomain::Os), AppCategory::Computation);
+    }
+}

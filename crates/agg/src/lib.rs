@@ -1,0 +1,30 @@
+//! # extradeep-agg
+//!
+//! Extra-Deep's data preprocessing and aggregation stage (paper §2.2 and
+//! Fig. 2): the machinery that makes the efficient measurement sampling
+//! strategy work.
+//!
+//! Given NVTX-marked profiles of only a few training steps, it
+//!
+//! 1. attributes every kernel execution to a training/validation step and
+//!    sums metric values per kernel per step (Eq. 1), handling asynchronous
+//!    kernels that fall between step marks;
+//! 2. takes the median over steps per rank, then the median over MPI ranks;
+//! 3. takes the median over measurement repetitions;
+//! 4. filters kernels that appear in fewer than five configurations;
+//!
+//! and finally derives full-epoch metric values
+//! `F = n_t · ṽ_t + n_v · ṽ_v` (Eqs. 2-4) and the application-level
+//! computation/communication/memory sums (Eqs. 6, 8-10) that the modeler
+//! consumes.
+
+pub mod aggregate;
+pub mod dataset;
+pub mod window;
+
+pub use aggregate::{
+    aggregate_repetition, AggregationOptions, KernelConfigAggregate, KernelId,
+    KernelRepAggregate, PhaseValues,
+};
+pub use dataset::{aggregate_experiment, AggregatedConfig, AggregatedExperiment, AppCategory};
+pub use window::{attribute_events, place_event, step_counts, usable_steps, Placement};

@@ -1,0 +1,192 @@
+//! Step-window extraction (paper Fig. 2 step 1).
+//!
+//! The NVTX marks partition a rank's timeline into training steps, validation
+//! steps, and the space between them. Every kernel execution is attributed to
+//! the step containing it; asynchronous kernels that fall *between* two steps
+//! are attributed to the step they trail (they belong to that step's work,
+//! e.g. an overlapped allreduce), so they are aggregated "just like the other
+//! kernels" as the paper prescribes.
+
+use extradeep_trace::{Event, RankProfile, StepMark, StepPhase};
+
+/// Where an event landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Inside the step with this index into the profile's `step_marks`.
+    InStep(usize),
+    /// After this step's end and before the next step's start.
+    TrailingStep(usize),
+    /// Before the first step (initialization) or in a stepless profile.
+    Outside,
+}
+
+/// Attributes one event to a step window given step marks *sorted by start*.
+pub fn place_event(steps: &[StepMark], event: &Event) -> Placement {
+    let t = event.start_ns;
+    // Binary search for the last step whose start is <= t.
+    let idx = steps.partition_point(|s| s.start_ns <= t);
+    if idx == 0 {
+        return Placement::Outside;
+    }
+    let candidate = idx - 1;
+    if steps[candidate].contains(t) {
+        Placement::InStep(candidate)
+    } else {
+        Placement::TrailingStep(candidate)
+    }
+}
+
+/// The per-step attribution of a rank profile: for each step mark index, the
+/// indices of the events attributed to it; plus events outside all steps.
+#[derive(Debug, Clone, Default)]
+pub struct StepAttribution {
+    /// `per_step[i]` holds event indices attributed to `step_marks[i]`.
+    pub per_step: Vec<Vec<usize>>,
+    /// Events before the first step (initialization etc.).
+    pub outside: Vec<usize>,
+}
+
+/// Step marks of one epoch with a given warm-up exclusion applied.
+pub fn usable_steps(profile: &RankProfile, warmup_epochs: u32) -> Vec<(usize, &StepMark)> {
+    let max_epoch = profile.step_marks.iter().map(|s| s.epoch).max();
+    // When all steps are in warm-up epochs, keep them (never drop everything).
+    let cutoff = match max_epoch {
+        Some(max) if max >= warmup_epochs => warmup_epochs,
+        _ => 0,
+    };
+    profile
+        .step_marks
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.epoch >= cutoff)
+        .collect()
+}
+
+/// Builds the full attribution of a rank profile.
+pub fn attribute_events(profile: &RankProfile) -> StepAttribution {
+    let mut sorted: Vec<StepMark> = profile.step_marks.clone();
+    sorted.sort_by_key(|s| s.start_ns);
+    // Map sorted index -> original index.
+    let mut order: Vec<usize> = (0..profile.step_marks.len()).collect();
+    order.sort_by_key(|&i| profile.step_marks[i].start_ns);
+
+    let mut attribution = StepAttribution {
+        per_step: vec![Vec::new(); profile.step_marks.len()],
+        outside: Vec::new(),
+    };
+    for (ei, event) in profile.events.iter().enumerate() {
+        match place_event(&sorted, event) {
+            Placement::InStep(si) | Placement::TrailingStep(si) => {
+                attribution.per_step[order[si]].push(ei);
+            }
+            Placement::Outside => attribution.outside.push(ei),
+        }
+    }
+    attribution
+}
+
+/// Count of training/validation steps among a profile's marks.
+pub fn step_counts(profile: &RankProfile) -> (usize, usize) {
+    let train = profile
+        .step_marks
+        .iter()
+        .filter(|s| s.phase == StepPhase::Training)
+        .count();
+    (train, profile.step_marks.len() - train)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_trace::{ApiDomain, TraceBuilder};
+
+    fn profile() -> RankProfile {
+        let mut b = TraceBuilder::new(0);
+        b.emit("cudaMalloc", ApiDomain::CudaApi, 100); // init, outside steps
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, 1000);
+        b.end_step();
+        // Async collective after step 0, before step 1.
+        let gap_start = b.now_ns();
+        b.emit_async("ncclAllReduce", ApiDomain::Nccl, gap_start + 10, 200);
+        b.advance(500);
+        b.begin_step(0, 1, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, 1100);
+        b.end_step();
+        b.begin_step(0, 0, StepPhase::Validation);
+        b.emit("k", ApiDomain::CudaKernel, 400);
+        b.end_step();
+        b.end_epoch();
+        b.finish()
+    }
+
+    #[test]
+    fn events_in_steps_are_attributed() {
+        let p = profile();
+        let a = attribute_events(&p);
+        // Step 0 gets its kernel plus the trailing async allreduce.
+        assert_eq!(a.per_step[0].len(), 2);
+        assert_eq!(a.per_step[1].len(), 1);
+        assert_eq!(a.per_step[2].len(), 1);
+        assert_eq!(a.outside.len(), 1); // cudaMalloc
+    }
+
+    #[test]
+    fn attribution_partitions_all_events() {
+        let p = profile();
+        let a = attribute_events(&p);
+        let total: usize = a.per_step.iter().map(Vec::len).sum::<usize>() + a.outside.len();
+        assert_eq!(total, p.events.len());
+    }
+
+    #[test]
+    fn placement_cases() {
+        let steps = vec![
+            StepMark::new(0, 0, StepPhase::Training, 100, 200),
+            StepMark::new(0, 1, StepPhase::Training, 300, 400),
+        ];
+        let at = |t| place_event(&steps, &Event::new("e", ApiDomain::CudaKernel, t, 1));
+        assert_eq!(at(50), Placement::Outside);
+        assert_eq!(at(100), Placement::InStep(0));
+        assert_eq!(at(199), Placement::InStep(0));
+        assert_eq!(at(250), Placement::TrailingStep(0));
+        assert_eq!(at(350), Placement::InStep(1));
+        assert_eq!(at(450), Placement::TrailingStep(1));
+    }
+
+    #[test]
+    fn warmup_exclusion_keeps_later_epochs() {
+        let mut b = TraceBuilder::new(0);
+        for e in 0..2 {
+            b.begin_epoch(e);
+            b.begin_step(e, 0, StepPhase::Training);
+            b.emit("k", ApiDomain::CudaKernel, 10);
+            b.end_step();
+            b.end_epoch();
+        }
+        let p = b.finish();
+        let usable = usable_steps(&p, 1);
+        assert_eq!(usable.len(), 1);
+        assert_eq!(usable[0].1.epoch, 1);
+    }
+
+    #[test]
+    fn warmup_exclusion_never_drops_everything() {
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, 10);
+        b.end_step();
+        b.end_epoch();
+        let p = b.finish();
+        // Only epoch 0 exists; warm-up exclusion must not empty the data.
+        assert_eq!(usable_steps(&p, 1).len(), 1);
+    }
+
+    #[test]
+    fn counts_training_and_validation() {
+        let p = profile();
+        assert_eq!(step_counts(&p), (2, 1));
+    }
+}

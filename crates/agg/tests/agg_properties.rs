@@ -1,0 +1,133 @@
+//! Property-based tests of the aggregation pipeline.
+
+use extradeep_agg::{
+    aggregate_experiment, aggregate_repetition, AggregationOptions, AppCategory, KernelId,
+};
+use extradeep_trace::{
+    ApiDomain, ConfigProfile, ExperimentProfiles, MeasurementConfig, MetricKind, StepPhase,
+    TraceBuilder, TrainingMeta,
+};
+use proptest::prelude::*;
+
+fn meta() -> TrainingMeta {
+    meta_for(2)
+}
+
+fn meta_for(g: u32) -> TrainingMeta {
+    TrainingMeta {
+        batch_size: 100,
+        train_samples: 10_000,
+        val_samples: 1_000,
+        data_parallel: g,
+        model_parallel: 1,
+        cores_per_rank: 4,
+    }
+}
+
+fn profile_with_durations(durations: &[u64]) -> ConfigProfile {
+    let mut cp = ConfigProfile::new(MeasurementConfig::ranks(2), 0, meta());
+    let mut b = TraceBuilder::new(0);
+    b.begin_epoch(0);
+    for (i, &d) in durations.iter().enumerate() {
+        b.begin_step(0, i as u32, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, d.max(1));
+        b.end_step();
+    }
+    b.end_epoch();
+    cp.ranks.push(b.finish());
+    cp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The per-step median is invariant to the order in which steps occur.
+    #[test]
+    fn step_order_invariance(mut durations in proptest::collection::vec(1u64..1_000_000, 3..8)) {
+        let opts = AggregationOptions { warmup_epochs: 0 };
+        let a = aggregate_repetition(&profile_with_durations(&durations), &opts);
+        durations.reverse();
+        let b = aggregate_repetition(&profile_with_durations(&durations), &opts);
+        let id = KernelId { name: "k".into(), domain: ApiDomain::CudaKernel };
+        prop_assert_eq!(a[&id], b[&id]);
+    }
+
+    /// The aggregated per-step value is bounded by the min and max step sums.
+    #[test]
+    fn median_bounded_by_extremes(durations in proptest::collection::vec(1u64..1_000_000, 3..8)) {
+        let opts = AggregationOptions { warmup_epochs: 0 };
+        let agg = aggregate_repetition(&profile_with_durations(&durations), &opts);
+        let id = KernelId { name: "k".into(), domain: ApiDomain::CudaKernel };
+        let v = agg[&id].time.train;
+        let lo = *durations.iter().min().unwrap() as f64 * 1e-9;
+        let hi = *durations.iter().max().unwrap() as f64 * 1e-9;
+        prop_assert!(v >= lo - 1e-15 && v <= hi + 1e-15, "{lo} <= {v} <= {hi}");
+    }
+
+    /// The three app categories always partition the total, for any mix of
+    /// kernel domains.
+    #[test]
+    fn categories_partition_total(
+        comm_ns in 1u64..100_000,
+        mem_ns in 1u64..100_000,
+        comp_ns in 1u64..100_000,
+    ) {
+        let mut exp = ExperimentProfiles::new();
+        for ranks in [2u32, 4, 8, 16, 32] {
+            let mut cp = ConfigProfile::new(MeasurementConfig::ranks(ranks), 0, meta());
+            let mut b = TraceBuilder::new(0);
+            b.begin_epoch(0);
+            for step in 0..3 {
+                b.begin_step(0, step, StepPhase::Training);
+                b.emit("gemm", ApiDomain::CudaKernel, comp_ns);
+                b.emit("allreduce", ApiDomain::Nccl, comm_ns);
+                b.emit_bytes("memcpy", ApiDomain::MemCpy, mem_ns, 1024);
+                b.end_step();
+            }
+            b.end_epoch();
+            cp.ranks.push(b.finish());
+            exp.push(cp);
+        }
+        let agg = aggregate_experiment(&exp, &AggregationOptions { warmup_epochs: 0 });
+        let total = agg.app_dataset(MetricKind::Time, None);
+        for (i, m) in total.measurements.iter().enumerate() {
+            let parts: f64 = AppCategory::ALL
+                .iter()
+                .map(|&c| {
+                    agg.app_dataset(MetricKind::Time, Some(c)).measurements[i].values[0]
+                })
+                .sum();
+            prop_assert!((m.values[0] - parts).abs() < 1e-12);
+        }
+    }
+
+    /// Visits per epoch equal steps-per-epoch x per-step executions.
+    #[test]
+    fn visits_extrapolation_exact(execs_per_step in 1u64..20) {
+        let mut exp = ExperimentProfiles::new();
+        for ranks in [2u32, 4, 8, 16, 32] {
+            let mut cp = ConfigProfile::new(MeasurementConfig::ranks(ranks), 0, meta_for(ranks));
+            let mut b = TraceBuilder::new(0);
+            b.begin_epoch(0);
+            for step in 0..4 {
+                b.begin_step(0, step, StepPhase::Training);
+                for _ in 0..execs_per_step {
+                    b.emit("k", ApiDomain::CudaKernel, 100);
+                }
+                b.end_step();
+            }
+            b.end_epoch();
+            cp.ranks.push(b.finish());
+            exp.push(cp);
+        }
+        let agg = aggregate_experiment(&exp, &AggregationOptions { warmup_epochs: 0 });
+        let id = KernelId { name: "k".into(), domain: ApiDomain::CudaKernel };
+        let data = agg.kernel_dataset(&id, MetricKind::Visits);
+        for m in &data.measurements {
+            // n_t = (10000/g)/100 with g = ranks; n_v contributes nothing.
+            let g = m.coordinate[0];
+            let n_t = ((10_000.0 / g) / 100.0).floor().max(1.0);
+            prop_assert!((m.values[0] - n_t * execs_per_step as f64).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The "standard profiling" baseline of the overhead study (paper §4.2.4,
+//! Fig. 8): profiling entire training epochs instead of sampled steps, and
+//! the resulting execution/profiling-time comparison.
+
+use extradeep_sim::{
+    profile_job, ProfilerOptions, SamplingStrategy, TrainingJob, PROFILING_OVERHEAD_FRACTION,
+};
+use serde::{Deserialize, Serialize};
+
+/// The four bars of one Fig. 8 benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadComparison {
+    /// Median execution time per epoch when profiling the full run, seconds.
+    pub standard_execution_seconds: f64,
+    /// Profiling time for the standard approach, seconds.
+    pub standard_profiling_seconds: f64,
+    /// Execution time the efficient strategy actually has to run, seconds.
+    pub efficient_execution_seconds: f64,
+    /// Profiling time for the efficient strategy, seconds.
+    pub efficient_profiling_seconds: f64,
+}
+
+impl OverheadComparison {
+    /// Relative reduction of profiling time (the paper's headline ≈94.9%).
+    pub fn profiling_reduction_percent(&self) -> f64 {
+        100.0 * (1.0 - self.efficient_profiling_seconds / self.standard_profiling_seconds)
+    }
+
+    /// Profiling overhead as a fraction of executed time (paper: ≈5.4%,
+    /// identical for both strategies).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.standard_profiling_seconds / self.standard_execution_seconds
+    }
+}
+
+/// Measures the overhead comparison for one job.
+///
+/// The standard path is costed analytically from the engine's step plans
+/// (profiling a full ImageNet epoch event-by-event would be pointless work —
+/// the profiler's overhead model is a fixed fraction of executed time),
+/// while the efficient path runs the real sampled profiler.
+pub fn compare_overhead(job: &TrainingJob, sampled: SamplingStrategy) -> OverheadComparison {
+    let epoch_seconds = job.epoch_seconds_estimate();
+    let standard_execution = epoch_seconds;
+    let standard_profiling = epoch_seconds * PROFILING_OVERHEAD_FRACTION;
+
+    let opts = ProfilerOptions {
+        sampling: sampled,
+        max_recorded_ranks: 1,
+        ..Default::default()
+    };
+    let profile = profile_job(job, &opts, 0);
+    // Normalize the sampled execution to a per-epoch figure.
+    let epochs = sampled.epochs().max(1) as f64;
+    OverheadComparison {
+        standard_execution_seconds: standard_execution,
+        standard_profiling_seconds: standard_profiling,
+        efficient_execution_seconds: profile.execution_seconds / epochs,
+        efficient_profiling_seconds: profile.profiling_seconds / epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_sim::{
+        Benchmark, ParallelStrategy, ScalingMode, SyncMode, SystemConfig,
+    };
+
+    fn job(benchmark: Benchmark) -> TrainingJob {
+        TrainingJob {
+            system: SystemConfig::deep(),
+            benchmark,
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks: 64,
+        }
+    }
+
+    #[test]
+    fn efficient_sampling_reduces_profiling_time_massively() {
+        let cmp = compare_overhead(&job(Benchmark::cifar10()), SamplingStrategy::paper_default());
+        let red = cmp.profiling_reduction_percent();
+        assert!(red > 85.0, "reduction {red}%");
+        assert!(red < 100.0);
+    }
+
+    #[test]
+    fn reduction_is_larger_for_long_benchmarks() {
+        // Paper: "especially effective for large and long-running benchmarks
+        // such as ImageNet and less effective for short-running ... IMDB".
+        let imagenet =
+            compare_overhead(&job(Benchmark::imagenet()), SamplingStrategy::paper_default());
+        let imdb = compare_overhead(&job(Benchmark::imdb()), SamplingStrategy::paper_default());
+        assert!(
+            imagenet.profiling_reduction_percent() > imdb.profiling_reduction_percent(),
+            "ImageNet {:.1}% vs IMDB {:.1}%",
+            imagenet.profiling_reduction_percent(),
+            imdb.profiling_reduction_percent()
+        );
+    }
+
+    #[test]
+    fn overhead_fraction_matches_the_profiler_constant() {
+        let cmp = compare_overhead(&job(Benchmark::cifar10()), SamplingStrategy::paper_default());
+        assert!((cmp.overhead_fraction() - PROFILING_OVERHEAD_FRACTION).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,16 @@
+//! # extradeep-baselines
+//!
+//! The comparators the paper positions Extra-Deep against:
+//!
+//! * [`paleo`] — a PALEO-style *analytical* model (layer FLOPs over platform
+//!   percent-of-peak plus an allreduce formula). Measurement-free, but blind
+//!   to framework overheads and noise.
+//! * [`full_profiling`] — the *standard profiling* baseline: profile entire
+//!   epochs. Used by the Fig. 8 overhead study to quantify the ≈94.9%
+//!   profiling-time reduction of the efficient sampling strategy.
+
+pub mod full_profiling;
+pub mod paleo;
+
+pub use full_profiling::{compare_overhead, OverheadComparison};
+pub use paleo::{predict_epoch, PaleoPlatform, PaleoPrediction};

@@ -1,0 +1,148 @@
+//! A PALEO-style analytical performance model (Qi et al., ICLR 2017), the
+//! comparator class the paper discusses in §1.1/§4.3: layer-wise FLOP
+//! counting against a platform-percent-of-peak, plus an analytical
+//! communication model. Unlike Extra-Deep it needs *no measurements* — but
+//! also cannot capture framework overheads, input pipelines, or system
+//! noise, which is exactly the gap the paper's empirical approach fills.
+
+use extradeep_sim::{collective_cost, Collective, ScalingMode, SystemConfig};
+use extradeep_sim::{Benchmark, ParallelStrategy};
+use serde::{Deserialize, Serialize};
+
+/// PALEO's platform parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaleoPlatform {
+    /// Percent of peak FLOPs the platform sustains (PALEO's PPP).
+    pub platform_percent_of_peak: f64,
+    /// Communication efficiency relative to line rate.
+    pub communication_efficiency: f64,
+}
+
+impl Default for PaleoPlatform {
+    fn default() -> Self {
+        PaleoPlatform {
+            platform_percent_of_peak: 0.45,
+            communication_efficiency: 0.7,
+        }
+    }
+}
+
+/// The analytical prediction for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaleoPrediction {
+    pub compute_seconds_per_step: f64,
+    pub communication_seconds_per_step: f64,
+    pub steps_per_epoch: u64,
+    pub epoch_seconds: f64,
+}
+
+/// Predicts the epoch time of a data-parallel training job analytically.
+pub fn predict_epoch(
+    system: &SystemConfig,
+    benchmark: &Benchmark,
+    strategy: ParallelStrategy,
+    scaling: ScalingMode,
+    ranks: u32,
+    platform: &PaleoPlatform,
+) -> PaleoPrediction {
+    let m = strategy.model_parallel_degree() as f64;
+    let replicas = strategy.replicas(ranks);
+
+    // Compute: forward + backward ≈ 3x forward FLOPs (PALEO's convention).
+    let flops_per_step =
+        3.0 * benchmark.architecture.forward_flops_per_sample() as f64 * benchmark.batch_size as f64
+            / m;
+    let sustained = system.node.gpu.fp32_tflops * 1e12 * platform.platform_percent_of_peak;
+    let compute = flops_per_step / sustained;
+
+    // Communication: one ring allreduce of the gradients per step.
+    let grad_bytes = (benchmark.architecture.gradient_bytes() as f64 / m) as u64;
+    let comm = if ranks > 1 {
+        collective_cost(system, Collective::Allreduce, grad_bytes, ranks).seconds
+            / platform.communication_efficiency
+    } else {
+        0.0
+    };
+
+    let samples = benchmark
+        .dataset
+        .effective_train_samples(scaling, replicas);
+    let steps_per_epoch =
+        (samples as f64 / replicas as f64 / benchmark.batch_size as f64).floor() as u64;
+
+    PaleoPrediction {
+        compute_seconds_per_step: compute,
+        communication_seconds_per_step: comm,
+        steps_per_epoch,
+        epoch_seconds: steps_per_epoch as f64 * (compute + comm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_sim::SyncMode;
+
+    fn predict(ranks: u32) -> PaleoPrediction {
+        predict_epoch(
+            &SystemConfig::deep(),
+            &Benchmark::cifar10(),
+            ParallelStrategy::DataParallel,
+            ScalingMode::Weak,
+            ranks,
+            &PaleoPlatform::default(),
+        )
+    }
+
+    #[test]
+    fn epoch_time_is_positive_and_grows_weakly() {
+        let p2 = predict(2);
+        let p64 = predict(64);
+        assert!(p2.epoch_seconds > 0.0);
+        assert!(p64.epoch_seconds > p2.epoch_seconds);
+        assert_eq!(p2.steps_per_epoch, p64.steps_per_epoch);
+    }
+
+    #[test]
+    fn paleo_underestimates_the_empirical_simulator() {
+        // The analytical model misses input pipelines, host overhead, memory
+        // traffic, stragglers, and MPI inefficiency — the exact blind spots
+        // the paper attributes to analytical approaches.
+        let sim_job = extradeep_sim::TrainingJob {
+            system: SystemConfig::deep(),
+            benchmark: Benchmark::cifar10(),
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks: 16,
+        };
+        let empirical = sim_job.epoch_seconds_estimate();
+        let analytical = predict(16).epoch_seconds;
+        assert!(
+            analytical < empirical,
+            "PALEO {analytical} should undercut the empirical substrate {empirical}"
+        );
+        // But both should be the same order of magnitude.
+        assert!(analytical > empirical / 50.0);
+    }
+
+    #[test]
+    fn single_rank_has_no_communication() {
+        let p = predict(1);
+        assert_eq!(p.communication_seconds_per_step, 0.0);
+    }
+
+    #[test]
+    fn model_parallelism_shrinks_per_rank_compute() {
+        let dp = predict(16);
+        let tp = predict_epoch(
+            &SystemConfig::deep(),
+            &Benchmark::cifar10(),
+            ParallelStrategy::TensorParallel { group: 4 },
+            ScalingMode::Weak,
+            16,
+            &PaleoPlatform::default(),
+        );
+        assert!(tp.compute_seconds_per_step < dp.compute_seconds_per_step);
+    }
+}

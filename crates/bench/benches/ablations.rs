@@ -1,0 +1,15 @@
+//! Criterion bench for the ablation drivers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep_bench::ablations::ablation_selection;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("selection_variants", |b| b.iter(|| black_box(ablation_selection())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

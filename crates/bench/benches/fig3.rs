@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's fig3 artifact at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep_bench::experiments::{fig3_case_study, RunScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("fig3_case_study_quick", |b| {
+        b.iter(|| black_box(fig3_case_study(&RunScale::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's fig4 artifact at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep_bench::experiments::{fig4_cost_effectiveness, RunScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("fig4_cost_effectiveness_quick", |b| {
+        b.iter(|| black_box(fig4_cost_effectiveness(&RunScale::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

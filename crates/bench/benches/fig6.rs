@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's fig6 artifact at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep_bench::experiments::{fig6_systems, RunScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("fig6_systems_quick", |b| {
+        b.iter(|| black_box(fig6_systems(&RunScale::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's fig8 artifact at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep_bench::experiments::{fig8_overhead, RunScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("fig8_overhead_quick", |b| {
+        b.iter(|| black_box(fig8_overhead(&RunScale::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! How PMNF model search scales with the search-space size and the number
+//! of measurement points — the cost a user pays per kernel model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions, SearchSpace};
+use std::hint::black_box;
+
+fn data_with_points(n: usize) -> ExperimentData {
+    let pts: Vec<(f64, f64)> = (1..=n)
+        .map(|i| {
+            let x = (2u64 << i) as f64;
+            (x, 25.0 + 1.7 * x.powf(0.66) * x.log2())
+        })
+        .collect();
+    ExperimentData::univariate("p", &pts)
+}
+
+fn bench_search_spaces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_scaling/search_space");
+    let data = data_with_points(5);
+    for (name, space) in [
+        ("paper_example", SearchSpace::paper_example()),
+        ("extra_p_default", SearchSpace::extra_p_default()),
+        ("strong_scaling", SearchSpace::strong_scaling()),
+        ("two_term", SearchSpace::extra_p_default().with_max_terms(2)),
+    ] {
+        let options = ModelerOptions {
+            search_space: space,
+            ..ModelerOptions::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, opts| {
+            b.iter(|| black_box(model_single_parameter(&data, opts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_point_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_scaling/points");
+    for n in [5usize, 8, 12, 20] {
+        let data = data_with_points(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| black_box(model_single_parameter(d, &ModelerOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search_spaces, bench_point_counts);
+criterion_main!(benches);

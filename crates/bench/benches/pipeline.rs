@@ -1,0 +1,77 @@
+//! Microbenchmarks of the pipeline stages: simulation, aggregation, and
+//! PMNF model search — the costs a user of the framework actually pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep::{build_model_set, ModelSetOptions};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions};
+use extradeep_sim::{collective_cost, Collective, ExperimentSpec, SystemConfig};
+use extradeep_trace::MetricKind;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/simulate");
+    g.sample_size(10);
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 2;
+    g.bench_function("case_study_5_configs", |b| b.iter(|| black_box(spec.run())));
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/aggregate");
+    g.sample_size(10);
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 2;
+    spec.profiler.max_recorded_ranks = 2;
+    let profiles = spec.run();
+    g.bench_function("median_aggregation", |b| {
+        b.iter(|| black_box(aggregate_experiment(&profiles, &AggregationOptions::default())))
+    });
+    g.finish();
+}
+
+fn bench_modeling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/model");
+    g.sample_size(10);
+
+    // Single-kernel PMNF hypothesis search.
+    let data = ExperimentData::univariate(
+        "ranks",
+        &[(2.0, 160.2), (4.0, 163.9), (8.0, 172.1), (16.0, 187.3), (32.0, 213.8)],
+    );
+    g.bench_function("single_model_search", |b| {
+        b.iter(|| black_box(model_single_parameter(&data, &ModelerOptions::default())))
+    });
+
+    // Full model set over all kernels of a small experiment.
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 1;
+    let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+    g.bench_function("full_model_set", |b| {
+        b.iter(|| {
+            black_box(build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/collectives");
+    let deep = SystemConfig::deep();
+    g.bench_function("ring_allreduce_cost", |b| {
+        b.iter(|| black_box(collective_cost(&deep, Collective::Allreduce, 100 << 20, 64)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_aggregation,
+    bench_modeling,
+    bench_collectives
+);
+criterion_main!(benches);

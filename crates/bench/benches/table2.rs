@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's table2 artifact at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep_bench::experiments::{table2_kernel_models, RunScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("table2_kernel_models_quick", |b| {
+        b.iter(|| black_box(table2_kernel_models(&RunScale::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Ablation studies over the framework's design choices (DESIGN.md):
+//! how much does each ingredient of the efficient sampling + modeling recipe
+//! contribute to the prediction accuracy?
+//!
+//! * sampled steps per epoch (the paper fixes 5 — what do 1/2/5/10 buy?),
+//! * measurement repetitions (the paper uses 5),
+//! * leave-one-out cross-validation vs. plain training-SMAPE selection,
+//! * the noise-scaled Occam selection penalty and growth-bound guard.
+
+use extradeep::prelude::*;
+use extradeep::report::{pct, Table};
+use extradeep::ModelSetOptions;
+use extradeep_sim::SamplingStrategy;
+
+fn base_plan(reps: u32, steps: u32) -> ExperimentPlan {
+    let mut spec = ExperimentSpec::case_study(vec![]);
+    spec.repetitions = reps;
+    spec.profiler.max_recorded_ranks = 2;
+    spec.profiler.sampling = SamplingStrategy::Efficient { steps, epochs: 2 };
+    ExperimentPlan {
+        spec,
+        modeling_points: vec![2, 4, 6, 8, 10],
+        evaluation_points: vec![16, 32, 64],
+    }
+}
+
+fn run_with(
+    reps: u32,
+    steps: u32,
+    options: &ModelSetOptions,
+) -> Option<(f64, f64)> {
+    let outcome = base_plan(reps, steps)
+        .execute_with(MetricKind::Time, options)
+        .ok()?;
+    Some((
+        outcome.epoch_report.model_accuracy_mpe(),
+        outcome.epoch_report.predictive_power_mpe(),
+    ))
+}
+
+/// Ablation: number of profiled steps per epoch.
+pub fn ablation_sampled_steps() -> String {
+    let mut t = Table::new(&["steps/epoch", "fit MPE", "extrapolation MPE"]);
+    for steps in [1u32, 2, 5, 10] {
+        match run_with(3, steps, &ModelSetOptions::default()) {
+            Some((fit, pp)) => t.add_row(vec![steps.to_string(), pct(fit), pct(pp)]),
+            None => t.add_row(vec![steps.to_string(), "-".into(), "-".into()]),
+        }
+    }
+    format!(
+        "== Ablation: profiled steps per epoch (paper default: 5) ==\n{}",
+        t.render()
+    )
+}
+
+/// Ablation: measurement repetitions.
+pub fn ablation_repetitions() -> String {
+    let mut t = Table::new(&["repetitions", "fit MPE", "extrapolation MPE"]);
+    for reps in [1u32, 3, 5, 9] {
+        match run_with(reps, 5, &ModelSetOptions::default()) {
+            Some((fit, pp)) => t.add_row(vec![reps.to_string(), pct(fit), pct(pp)]),
+            None => t.add_row(vec![reps.to_string(), "-".into(), "-".into()]),
+        }
+    }
+    format!(
+        "== Ablation: measurement repetitions (paper default: 5) ==\n{}",
+        t.render()
+    )
+}
+
+/// Ablation: model-selection machinery (cross-validation, Occam-within-noise
+/// penalty, growth-bound guard).
+pub fn ablation_selection() -> String {
+    let mut t = Table::new(&["selection variant", "fit MPE", "extrapolation MPE"]);
+
+    let mut variants: Vec<(&str, ModelSetOptions)> = Vec::new();
+    variants.push(("full (default)", ModelSetOptions::default()));
+
+    let mut no_cv = ModelSetOptions::default();
+    no_cv.modeler.use_cross_validation = false;
+    no_cv.app_modeler.use_cross_validation = false;
+    variants.push(("no cross-validation", no_cv));
+
+    let mut no_guard = ModelSetOptions::default();
+    no_guard.modeler.growth_bound_margin = None;
+    no_guard.app_modeler.growth_bound_margin = None;
+    variants.push(("no growth-bound guard", no_guard));
+
+    let mut single_term = ModelSetOptions::default();
+    single_term.app_modeler = single_term.modeler.clone();
+    variants.push(("single-term app models", single_term));
+
+    for (name, options) in &variants {
+        match run_with(3, 5, options) {
+            Some((fit, pp)) => t.add_row(vec![name.to_string(), pct(fit), pct(pp)]),
+            None => t.add_row(vec![name.to_string(), "-".into(), "-".into()]),
+        }
+    }
+    format!(
+        "== Ablation: model-selection machinery ==\n{}",
+        t.render()
+    )
+}
+
+/// Ablation: BSP vs ASP gradient exchange — how much step time the
+/// asynchronous overlap hides, and whether the models stay accurate when
+/// collectives fall between the NVTX step marks.
+pub fn ablation_sync_mode() -> String {
+    let mut t = Table::new(&["sync mode", "T_epoch(64) [s]", "fit MPE", "extrapolation MPE"]);
+    for (label, sync) in [("BSP", SyncMode::Bsp), ("ASP", SyncMode::Asp)] {
+        let mut plan = base_plan(3, 5);
+        plan.spec.sync = sync;
+        match plan.execute(MetricKind::Time) {
+            Ok(outcome) => t.add_row(vec![
+                label.to_string(),
+                format!("{:.1}", outcome.models.app.epoch.predict_at(64.0)),
+                pct(outcome.epoch_report.model_accuracy_mpe()),
+                pct(outcome.epoch_report.predictive_power_mpe()),
+            ]),
+            Err(_) => t.add_row(vec![label.to_string(), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    format!(
+        "== Ablation: BSP vs ASP gradient exchange ==\n{}",
+        t.render()
+    )
+}
+
+/// All ablations concatenated.
+pub fn all_ablations() -> String {
+    format!(
+        "{}\n{}\n{}\n{}",
+        ablation_sampled_steps(),
+        ablation_repetitions(),
+        ablation_selection(),
+        ablation_sync_mode()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_steps_ablation_renders_all_rows() {
+        let s = ablation_sampled_steps();
+        assert!(s.contains("steps/epoch"));
+        for steps in ["1", "2", "5", "10"] {
+            assert!(s.lines().any(|l| l.trim_start().starts_with(steps)));
+        }
+    }
+
+    #[test]
+    fn sync_mode_ablation_shows_asp_hiding_time() {
+        let s = ablation_sync_mode();
+        assert!(s.contains("BSP"));
+        assert!(s.contains("ASP"));
+    }
+
+    #[test]
+    fn selection_ablation_covers_variants() {
+        let s = ablation_selection();
+        assert!(s.contains("no cross-validation"));
+        assert!(s.contains("no growth-bound guard"));
+        assert!(s.contains("single-term app models"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the design-choice ablation tables (DESIGN.md).
+
+fn main() {
+    println!("{}", extradeep_bench::ablations::all_ablations());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper artifact via `extradeep_bench::experiments::fig5_parallel_strategies`.
+//! Pass `--quick` for a reduced run (fewer repetitions / points).
+
+use extradeep_bench::experiments::{fig5_parallel_strategies, RunScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { RunScale::quick() } else { RunScale::paper() };
+    println!("{}", fig5_parallel_strategies(&scale));
+}

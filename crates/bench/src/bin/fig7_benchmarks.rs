@@ -1,0 +1,10 @@
+//! Regenerates the paper artifact via `extradeep_bench::experiments::fig7_benchmarks`.
+//! Pass `--quick` for a reduced run (fewer repetitions / points).
+
+use extradeep_bench::experiments::{fig7_benchmarks, RunScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { RunScale::quick() } else { RunScale::paper() };
+    println!("{}", fig7_benchmarks(&scale));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper artifact via `extradeep_bench::experiments::fig8_overhead`.
+//! Pass `--quick` for a reduced run (fewer repetitions / points).
+
+use extradeep_bench::experiments::{fig8_overhead, RunScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { RunScale::quick() } else { RunScale::paper() };
+    println!("{}", fig8_overhead(&scale));
+}

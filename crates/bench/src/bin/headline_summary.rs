@@ -1,0 +1,10 @@
+//! Regenerates the paper artifact via `extradeep_bench::experiments::headline_summary`.
+//! Pass `--quick` for a reduced run (fewer repetitions / points).
+
+use extradeep_bench::experiments::{headline_summary, RunScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { RunScale::quick() } else { RunScale::paper() };
+    println!("{}", headline_summary(&scale));
+}

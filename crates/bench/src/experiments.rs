@@ -1,0 +1,706 @@
+//! Drivers that regenerate the paper's tables and figures (§4) from the
+//! simulated substrate. Each returns a rendered text report; the binaries
+//! print it, the Criterion benches run it at [`RunScale::quick`].
+
+use extradeep::prelude::*;
+use extradeep::{
+    build_model_set, find_cost_effective, point_errors, speedup_series, ModelSetOptions,
+};
+use extradeep::report::{fmt, pct, Table};
+use extradeep_agg::AggregatedExperiment;
+use extradeep_baselines::compare_overhead;
+use extradeep_model::measurement::median;
+use extradeep_sim::{SamplingStrategy, TrainingJob};
+use extradeep_trace::ApiDomain;
+
+/// How much work a run does: the paper-scale configuration or a reduced one
+/// for CI and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Measurement repetitions per configuration (paper: 5).
+    pub repetitions: u32,
+    /// Ranks whose traces are recorded per configuration.
+    pub max_recorded_ranks: u32,
+    /// Cap on the number of evaluation points (None = all).
+    pub eval_cap: Option<usize>,
+    /// Cap on the number of benchmarks (None = all five).
+    pub benchmark_cap: Option<usize>,
+}
+
+impl RunScale {
+    /// The paper's experiment configuration.
+    pub fn paper() -> Self {
+        RunScale {
+            repetitions: 5,
+            max_recorded_ranks: 4,
+            eval_cap: None,
+            benchmark_cap: None,
+        }
+    }
+
+    /// A reduced configuration for benches and smoke tests.
+    pub fn quick() -> Self {
+        RunScale {
+            repetitions: 2,
+            max_recorded_ranks: 2,
+            eval_cap: Some(3),
+            benchmark_cap: Some(2),
+        }
+    }
+
+    fn benchmarks(&self) -> Vec<Benchmark> {
+        let mut all = Benchmark::all();
+        if let Some(cap) = self.benchmark_cap {
+            all.truncate(cap);
+        }
+        all
+    }
+
+    fn cap_eval(&self, mut pts: Vec<u32>) -> Vec<u32> {
+        if let Some(cap) = self.eval_cap {
+            pts.truncate(cap);
+        }
+        pts
+    }
+}
+
+/// Node-count axes used by the figures. On DEEP one rank occupies one node;
+/// on JURECA four ranks share a node.
+fn ranks_for_nodes(system: &SystemConfig, nodes: u32) -> u32 {
+    nodes * system.node.gpus_per_node
+}
+
+fn plan(
+    system: SystemConfig,
+    benchmark: Benchmark,
+    strategy: ParallelStrategy,
+    scaling: ScalingMode,
+    modeling_nodes: &[u32],
+    eval_nodes: &[u32],
+    scale: &RunScale,
+) -> ExperimentPlan {
+    let modeling_points = modeling_nodes
+        .iter()
+        .map(|&n| ranks_for_nodes(&system, n))
+        .collect();
+    let evaluation_points = eval_nodes
+        .iter()
+        .map(|&n| ranks_for_nodes(&system, n))
+        .collect();
+    let mut spec = ExperimentSpec::case_study(vec![]);
+    spec.system = system;
+    spec.benchmark = benchmark;
+    spec.strategy = strategy;
+    spec.scaling = scaling;
+    spec.repetitions = scale.repetitions;
+    spec.profiler = ProfilerOptions {
+        max_recorded_ranks: scale.max_recorded_ranks,
+        ..Default::default()
+    };
+    ExperimentPlan {
+        spec,
+        modeling_points,
+        evaluation_points,
+    }
+}
+
+/// The standard node axes of the DEEP experiments (§4.1).
+pub const DEEP_MODELING_NODES: [u32; 5] = [2, 4, 6, 8, 10];
+pub const DEEP_EVAL_NODES: [u32; 8] = [12, 16, 24, 32, 40, 48, 56, 64];
+
+// ---------------------------------------------------------------- Fig. 3 --
+
+/// Figure 3: the CIFAR-10 case-study epoch-time model vs. measurements, with
+/// per-point percentage errors, the 95% CI, and run-to-run variation.
+pub fn fig3_case_study(scale: &RunScale) -> String {
+    // The case study's point sets (§2.3): P = {2,4,6,10,12},
+    // P+ = {14,...,64}.
+    let eval = scale.cap_eval(vec![14, 16, 18, 20, 24, 28, 32, 36, 40, 48, 56, 64]);
+    let p = plan(
+        SystemConfig::deep(),
+        Benchmark::cifar10(),
+        ParallelStrategy::DataParallel,
+        ScalingMode::Weak,
+        &[2, 4, 6, 10, 12],
+        &eval,
+        scale,
+    );
+    let outcome = p.execute(MetricKind::Time).expect("case study models");
+    let model = &outcome.models.app.epoch;
+
+    let mut out = String::new();
+    out.push_str("== Figure 3: training time per epoch, CIFAR-10 case study (DEEP, weak scaling) ==\n");
+    out.push_str(&format!("Model: T_epoch(x1) = {}\n", model.formatted()));
+    out.push_str(&format!("Growth: {}\n\n", model.big_o()));
+
+    let mut t = Table::new(&[
+        "ranks", "set", "measured [s]", "predicted [s]", "err %", "95% CI",
+        "bootstrap CI", "run-to-run %",
+    ]);
+    let rows = outcome
+        .epoch_modeling_data
+        .measurements
+        .iter()
+        .map(|m| (m, "P"))
+        .chain(
+            outcome
+                .epoch_evaluation_data
+                .measurements
+                .iter()
+                .map(|m| (m, "P+")),
+        );
+    for (m, set) in rows {
+        let x = m.coordinate[0];
+        let measured = m.median();
+        let predicted = model.predict_at(x);
+        let ci = model
+            .confidence_interval(&[x])
+            .map(|(lo, hi)| format!("[{:.1}, {:.1}]", lo, hi))
+            .unwrap_or_else(|| "-".to_string());
+        let boot = extradeep_model::bootstrap_interval(
+            model,
+            &outcome.epoch_modeling_data,
+            &[x],
+            200,
+            0xB007,
+        )
+        .map(|(lo, hi)| format!("[{:.1}, {:.1}]", lo, hi))
+        .unwrap_or_else(|| "-".to_string());
+        t.add_row(vec![
+            fmt(x, 0),
+            set.to_string(),
+            fmt(measured, 2),
+            fmt(predicted, 2),
+            pct(extradeep_model::metrics::percentage_error(predicted, measured)),
+            ci,
+            boot,
+            pct(m.run_to_run_variation_percent()),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // The communication model the case study highlights (Q3).
+    out.push_str(&format!(
+        "\nCommunication model: T_comm(x1) = {}\n",
+        outcome.models.app.communication.formatted()
+    ));
+    let comm = &outcome.models.app.communication;
+    out.push_str(&format!(
+        "Communication per epoch: {:.1} s at 2 ranks -> {:.1} s at 64 ranks\n",
+        comm.predict_at(2.0),
+        comm.predict_at(64.0)
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 4 --
+
+/// Figure 4b and Q4/Q5: strong-scaling cost-effectiveness analysis.
+pub fn fig4_cost_effectiveness(scale: &RunScale) -> String {
+    let eval = scale.cap_eval(vec![12, 16, 24, 32, 40, 48, 56, 64]);
+    let p = plan(
+        SystemConfig::deep(),
+        Benchmark::cifar10(),
+        ParallelStrategy::DataParallel,
+        ScalingMode::Strong,
+        &DEEP_MODELING_NODES,
+        &eval,
+        scale,
+    );
+    let outcome = p.execute(MetricKind::Time).expect("strong-scaling models");
+    let model = &outcome.models.app.epoch;
+    let cost = CostModel::new(SystemConfig::deep().cores_per_rank);
+
+    let candidates: Vec<f64> = [16u32, 24, 32, 40, 48, 56, 64]
+        .iter()
+        .map(|&n| n as f64)
+        .collect();
+    // Constraints chosen like Fig. 4b: a target time that excludes the small
+    // end and a budget that excludes the large end.
+    let mid_time = model.predict_at(24.0);
+    let mid_cost = cost.epoch_core_hours(model, 48.0);
+    let constraints = Constraints {
+        max_seconds: Some(mid_time),
+        max_core_hours: Some(mid_cost),
+    };
+    let result = find_cost_effective(
+        model,
+        &cost,
+        &candidates,
+        constraints,
+        ScalingMode::Strong,
+    );
+
+    let mut out = String::new();
+    out.push_str("== Figure 4b: cost-effective training configurations (strong scaling) ==\n");
+    out.push_str(&format!("Runtime model: {}\n", model.formatted()));
+    out.push_str(&format!(
+        "Constraints: target time {:.1} s, budget {:.2} core-hours\n\n",
+        mid_time, mid_cost
+    ));
+    let mut t = Table::new(&[
+        "nodes", "time [s]", "cost [core-h]", "efficiency %", "feasible",
+    ]);
+    for c in &result.candidates {
+        t.add_row(vec![
+            fmt(c.ranks, 0),
+            fmt(c.seconds, 2),
+            fmt(c.core_hours, 3),
+            fmt(c.efficiency_percent, 1),
+            if c.feasible { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    match result.best {
+        Some(best) => out.push_str(&format!(
+            "\nMost cost-effective configuration: {} nodes ({:.1} s, {:.3} core-hours)\n",
+            best.ranks, best.seconds, best.core_hours
+        )),
+        None => out.push_str("\nNo feasible configuration under these constraints.\n"),
+    }
+
+    // Q4: the paper's cost-model example evaluated on this runtime model.
+    out.push_str(&format!(
+        "\nQ4 (cost per epoch at 32 nodes): C(32) = {:.2} core-hours\n",
+        CostModel::new(8).epoch_core_hours(model, 32.0)
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 5 --
+
+/// Per-strategy epoch-model errors on JURECA: the Fig. 5 bars (model
+/// accuracy at nodes 2-10, predictive power at 12-64).
+pub fn fig5_parallel_strategies(scale: &RunScale) -> String {
+    let strategies = [
+        ParallelStrategy::DataParallel,
+        ParallelStrategy::TensorParallel { group: 4 },
+        ParallelStrategy::PipelineParallel {
+            stages: 4,
+            microbatches: 8,
+        },
+    ];
+    let eval = scale.cap_eval(DEEP_EVAL_NODES.to_vec());
+    let mut out = String::new();
+    out.push_str("== Figure 5: MPE per parallel strategy (JURECA, all benchmarks) ==\n");
+    let mut t = Table::new(&["nodes", "set", "data par.", "tensor par.", "pipeline par."]);
+
+    // For each strategy, collect per-node percentage errors across
+    // benchmarks and both scaling modes; report the median (MPE).
+    let mut per_strategy: Vec<std::collections::BTreeMap<u32, Vec<f64>>> = Vec::new();
+    for &strategy in &strategies {
+        let mut errors: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+        for benchmark in scale.benchmarks() {
+            for scaling in [ScalingMode::Weak, ScalingMode::Strong] {
+                let p = plan(
+                    SystemConfig::jureca(),
+                    benchmark.clone(),
+                    strategy,
+                    scaling,
+                    &DEEP_MODELING_NODES,
+                    &eval,
+                    scale,
+                );
+                if let Ok(outcome) = p.execute(MetricKind::Time) {
+                    for e in outcome
+                        .epoch_report
+                        .modeling_errors
+                        .iter()
+                        .chain(&outcome.epoch_report.evaluation_errors)
+                    {
+                        let nodes = (e.coordinate[0] as u32)
+                            / SystemConfig::jureca().node.gpus_per_node;
+                        errors.entry(nodes).or_default().push(e.percent_error);
+                    }
+                }
+            }
+        }
+        per_strategy.push(errors);
+    }
+
+    let mut all_nodes: Vec<u32> = per_strategy
+        .iter()
+        .flat_map(|m| m.keys().copied())
+        .collect();
+    all_nodes.sort_unstable();
+    all_nodes.dedup();
+    for nodes in all_nodes {
+        let set = if DEEP_MODELING_NODES.contains(&nodes) { "P" } else { "P+" };
+        let cells: Vec<String> = per_strategy
+            .iter()
+            .map(|m| {
+                m.get(&nodes)
+                    .map(|v| pct(median(v)))
+                    .unwrap_or_else(|| "-".to_string())
+            })
+            .collect();
+        let mut row = vec![nodes.to_string(), set.to_string()];
+        row.extend(cells);
+        t.add_row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(P = model accuracy at fit points, P+ = predictive power.)\n");
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 6 --
+
+/// System comparison: DEEP (1 GPU/node, MPI) vs JURECA (4 GPU/node, NCCL).
+pub fn fig6_systems(scale: &RunScale) -> String {
+    let eval = scale.cap_eval(DEEP_EVAL_NODES.to_vec());
+    let mut out = String::new();
+    out.push_str("== Table 1: evaluation systems ==\n");
+    out.push_str(&format!("{}\n", SystemConfig::deep().table1_row()));
+    out.push_str(&format!("{}\n\n", SystemConfig::jureca().table1_row()));
+    out.push_str("== Figure 6: MPE per system (data parallelism, all benchmarks) ==\n");
+
+    let mut t = Table::new(&["nodes", "set", "DEEP", "JURECA"]);
+    let mut per_system: Vec<std::collections::BTreeMap<u32, Vec<f64>>> = Vec::new();
+    for system in [SystemConfig::deep(), SystemConfig::jureca()] {
+        let gpus = system.node.gpus_per_node;
+        let mut errors: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+        for benchmark in scale.benchmarks() {
+            for scaling in [ScalingMode::Weak, ScalingMode::Strong] {
+                let p = plan(
+                    system.clone(),
+                    benchmark.clone(),
+                    ParallelStrategy::DataParallel,
+                    scaling,
+                    &DEEP_MODELING_NODES,
+                    &eval,
+                    scale,
+                );
+                if let Ok(outcome) = p.execute(MetricKind::Time) {
+                    for e in outcome
+                        .epoch_report
+                        .modeling_errors
+                        .iter()
+                        .chain(&outcome.epoch_report.evaluation_errors)
+                    {
+                        let nodes = e.coordinate[0] as u32 / gpus;
+                        errors.entry(nodes).or_default().push(e.percent_error);
+                    }
+                }
+            }
+        }
+        per_system.push(errors);
+    }
+
+    let mut all_nodes: Vec<u32> = per_system
+        .iter()
+        .flat_map(|m| m.keys().copied())
+        .collect();
+    all_nodes.sort_unstable();
+    all_nodes.dedup();
+    for nodes in all_nodes {
+        let set = if DEEP_MODELING_NODES.contains(&nodes) { "P" } else { "P+" };
+        let mut row = vec![nodes.to_string(), set.to_string()];
+        for m in &per_system {
+            row.push(
+                m.get(&nodes)
+                    .map(|v| pct(median(v)))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        t.add_row(row);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 7 --
+
+/// Per-benchmark predictive power on DEEP (data parallelism).
+pub fn fig7_benchmarks(scale: &RunScale) -> String {
+    let eval = scale.cap_eval(DEEP_EVAL_NODES.to_vec());
+    let benchmarks = scale.benchmarks();
+    let mut out = String::new();
+    out.push_str("== Figure 7: predictive power per benchmark (DEEP, data parallelism) ==\n");
+    let mut header: Vec<&str> = vec!["nodes"];
+    let names: Vec<String> = benchmarks.iter().map(|b| b.name.clone()).collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t = Table::new(&header);
+
+    let mut columns: Vec<std::collections::BTreeMap<u32, f64>> = Vec::new();
+    for benchmark in &benchmarks {
+        let p = plan(
+            SystemConfig::deep(),
+            benchmark.clone(),
+            ParallelStrategy::DataParallel,
+            ScalingMode::Weak,
+            &DEEP_MODELING_NODES,
+            &eval,
+            scale,
+        );
+        let mut col = std::collections::BTreeMap::new();
+        if let Ok(outcome) = p.execute(MetricKind::Time) {
+            for e in &outcome.epoch_report.evaluation_errors {
+                col.insert(e.coordinate[0] as u32, e.percent_error);
+            }
+        }
+        columns.push(col);
+    }
+    for &nodes in &eval {
+        let mut row = vec![nodes.to_string()];
+        for col in &columns {
+            row.push(
+                col.get(&nodes)
+                    .map(|&v| pct(v))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        t.add_row(row);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 8 --
+
+/// Profiling-overhead study: standard full-epoch profiling vs. the efficient
+/// sampling strategy, per benchmark at 64 nodes on DEEP.
+pub fn fig8_overhead(scale: &RunScale) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "== Figure 8: execution & profiling time per epoch, standard vs efficient sampling \
+         (DEEP, 64 nodes, data parallelism) ==\n",
+    );
+    let mut t = Table::new(&[
+        "benchmark",
+        "std exec [s]",
+        "std prof [s]",
+        "eff exec [s]",
+        "eff prof [s]",
+        "reduction",
+    ]);
+    let mut reductions = Vec::new();
+    for benchmark in scale.benchmarks() {
+        let job = TrainingJob {
+            system: SystemConfig::deep(),
+            benchmark: benchmark.clone(),
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks: 64,
+        };
+        let cmp = compare_overhead(&job, SamplingStrategy::paper_default());
+        reductions.push(cmp.profiling_reduction_percent());
+        t.add_row(vec![
+            benchmark.name.clone(),
+            fmt(cmp.standard_execution_seconds, 2),
+            fmt(cmp.standard_profiling_seconds, 2),
+            fmt(cmp.efficient_execution_seconds, 2),
+            fmt(cmp.efficient_profiling_seconds, 2),
+            pct(cmp.profiling_reduction_percent()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nAverage profiling-time reduction: {} (paper: ~94.9%)\n",
+        pct(reductions.iter().sum::<f64>() / reductions.len() as f64)
+    ));
+    out
+}
+
+// --------------------------------------------------------------- Table 2 --
+
+/// One Table-2 row request: an API-domain bucket and a metric.
+struct Table2Row {
+    label: &'static str,
+    domains: &'static [ApiDomain],
+    metric: MetricKind,
+}
+
+const TABLE2_ROWS: [Table2Row; 10] = [
+    Table2Row { label: "CUDA kernels / time", domains: &[ApiDomain::CudaKernel], metric: MetricKind::Time },
+    Table2Row { label: "CUDA kernels / visits", domains: &[ApiDomain::CudaKernel], metric: MetricKind::Visits },
+    Table2Row { label: "NVTX func. / time", domains: &[ApiDomain::Nvtx], metric: MetricKind::Time },
+    Table2Row { label: "NVTX func. / visits", domains: &[ApiDomain::Nvtx], metric: MetricKind::Visits },
+    Table2Row { label: "OS func. / time", domains: &[ApiDomain::Os], metric: MetricKind::Time },
+    Table2Row { label: "cuBLAS / time", domains: &[ApiDomain::CuBlas], metric: MetricKind::Time },
+    Table2Row { label: "cuDNN / time", domains: &[ApiDomain::CuDnn], metric: MetricKind::Time },
+    Table2Row { label: "MPI / time", domains: &[ApiDomain::Mpi, ApiDomain::Nccl], metric: MetricKind::Time },
+    Table2Row { label: "Memory ops. / time", domains: &[ApiDomain::MemCpy, ApiDomain::MemSet], metric: MetricKind::Time },
+    Table2Row { label: "Memory ops. / bytes", domains: &[ApiDomain::MemCpy, ApiDomain::MemSet], metric: MetricKind::Bytes },
+];
+
+/// Per-kernel-model evaluation: errors of every kernel model of `domains` ×
+/// `metric` at each evaluation node count.
+fn kernel_errors_at_scales(
+    modeling_agg: &AggregatedExperiment,
+    evaluation_agg: &AggregatedExperiment,
+    domains: &[ApiDomain],
+    metric: MetricKind,
+    errors: &mut std::collections::BTreeMap<u32, Vec<f64>>,
+    model_count: &mut usize,
+    gpus_per_node: u32,
+) {
+    let options = ModelSetOptions::default();
+    let Ok(set) = build_model_set(modeling_agg, metric, &options) else {
+        return;
+    };
+    for (id, model) in &set.kernels {
+        if !domains.contains(&id.domain) {
+            continue;
+        }
+        *model_count += 1;
+        let eval_data = evaluation_agg.kernel_dataset(id, metric);
+        for e in point_errors(model, &eval_data) {
+            if e.measured == 0.0 {
+                continue;
+            }
+            let nodes = e.coordinate[0] as u32 / gpus_per_node;
+            errors.entry(nodes).or_default().push(e.percent_error);
+        }
+    }
+}
+
+/// Table 2: MPE of the kernel-level models per model type and metric at the
+/// evaluation points, plus the number of models evaluated.
+pub fn table2_kernel_models(scale: &RunScale) -> String {
+    let eval = scale.cap_eval(vec![24, 32, 40, 48, 56, 64]);
+    let systems = [SystemConfig::deep(), SystemConfig::jureca()];
+
+    // Pre-aggregate per system x benchmark, then evaluate every row bucket.
+    let mut aggs = Vec::new();
+    for system in &systems {
+        for benchmark in scale.benchmarks() {
+            let p = plan(
+                system.clone(),
+                benchmark,
+                ParallelStrategy::DataParallel,
+                ScalingMode::Weak,
+                &DEEP_MODELING_NODES,
+                &eval,
+                scale,
+            );
+            let (modeling, evaluation) = p.aggregate();
+            aggs.push((system.node.gpus_per_node, modeling, evaluation));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("== Table 2: kernel-model MPE per model type at the evaluation points ==\n");
+    let mut header = vec!["model type / metric".to_string()];
+    header.extend(eval.iter().map(|n| format!("{n} nodes")));
+    header.push("models".to_string());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    for row in &TABLE2_ROWS {
+        let mut errors: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+        let mut count = 0usize;
+        for (gpus, modeling, evaluation) in &aggs {
+            kernel_errors_at_scales(
+                modeling,
+                evaluation,
+                row.domains,
+                row.metric,
+                &mut errors,
+                &mut count,
+                *gpus,
+            );
+        }
+        let mut cells = vec![row.label.to_string()];
+        for &n in &eval {
+            cells.push(
+                errors
+                    .get(&n)
+                    .map(|v| pct(median(v)))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        cells.push(count.to_string());
+        t.add_row(cells);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// -------------------------------------------------------------- Headline --
+
+/// The headline accuracy summary: average model accuracy (paper: 97.6%) and
+/// average prediction accuracy at ~4x extrapolation (paper: 93.6%).
+pub fn headline_summary(scale: &RunScale) -> String {
+    let eval = scale.cap_eval(vec![40, 48, 56, 64]);
+    let mut model_acc = Vec::new();
+    let mut pred_acc = Vec::new();
+    for system in [SystemConfig::deep(), SystemConfig::jureca()] {
+        for benchmark in scale.benchmarks() {
+            let p = plan(
+                system.clone(),
+                benchmark,
+                ParallelStrategy::DataParallel,
+                ScalingMode::Weak,
+                &DEEP_MODELING_NODES,
+                &eval,
+                scale,
+            );
+            if let Ok(outcome) = p.execute(MetricKind::Time) {
+                model_acc.push(outcome.epoch_report.model_accuracy_percent());
+                // Prediction accuracy at ~4x the largest modeling scale.
+                let at_4x: Vec<f64> = outcome
+                    .epoch_report
+                    .evaluation_errors
+                    .iter()
+                    .map(|e| 100.0 - e.percent_error)
+                    .collect();
+                if !at_4x.is_empty() {
+                    pred_acc.push(at_4x.iter().sum::<f64>() / at_4x.len() as f64);
+                }
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    format!(
+        "== Headline summary ==\n\
+         Average model accuracy:      {:.1}% (paper: 97.6%)\n\
+         Average prediction accuracy: {:.1}% (paper: 93.6%)\n\
+         Experiments aggregated:      {}\n",
+        avg(&model_acc),
+        avg(&pred_acc),
+        model_acc.len()
+    )
+}
+
+/// Speedup series for the case-study model, exercised by tests and examples.
+pub fn case_study_speedup(scale: &RunScale) -> Vec<(f64, f64)> {
+    let p = plan(
+        SystemConfig::deep(),
+        Benchmark::cifar10(),
+        ParallelStrategy::DataParallel,
+        ScalingMode::Weak,
+        &DEEP_MODELING_NODES,
+        &[],
+        scale,
+    );
+    let outcome = p.execute(MetricKind::Time).expect("case study");
+    speedup_series(&outcome.models.app.epoch, &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_quick_renders() {
+        let s = fig3_case_study(&RunScale::quick());
+        assert!(s.contains("Figure 3"));
+        assert!(s.contains("T_epoch"));
+        assert!(s.contains("Communication model"));
+    }
+
+    #[test]
+    fn fig8_quick_shows_reduction() {
+        let s = fig8_overhead(&RunScale::quick());
+        assert!(s.contains("reduction"));
+        assert!(s.contains("ImageNet") || s.contains("CIFAR-10"));
+    }
+
+    #[test]
+    fn case_study_speedup_is_negative_at_scale() {
+        let series = case_study_speedup(&RunScale::quick());
+        assert_eq!(series[0].1, 0.0);
+        assert!(series.last().unwrap().1 < 0.0);
+    }
+}

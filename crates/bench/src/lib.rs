@@ -1,0 +1,11 @@
+//! # extradeep-bench
+//!
+//! Regenerators for every table and figure of the paper's evaluation (§4),
+//! plus Criterion benches. Each `fig*`/`table*` binary prints the same rows
+//! or series the paper reports; the shared drivers in [`experiments`] are
+//! reused by the Criterion benches at a reduced scale.
+
+pub mod ablations;
+pub mod experiments;
+
+pub use experiments::RunScale;

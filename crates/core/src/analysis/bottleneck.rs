@@ -1,0 +1,128 @@
+//! Bottleneck identification (paper §3.1): rank kernel runtime models by
+//! their asymptotic growth trends to pinpoint the functions that will
+//! dominate at scale.
+
+use crate::modelset::ModelSet;
+use extradeep_agg::KernelId;
+use extradeep_model::Model;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the bottleneck ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedKernel {
+    pub id: KernelId,
+    /// Big-O rendering of the dominant growth term.
+    pub growth: String,
+    /// Predicted metric value at the probe scale.
+    pub predicted_at_probe: f64,
+    /// Predicted share of the total at the probe scale, in percent.
+    pub share_percent: f64,
+}
+
+/// Ranks all kernel models by growth trend (primary) and predicted value at
+/// `probe_scale` (secondary): the paper's "ranking them according to their
+/// growth trends ... identify the functions that will become the performance
+/// bottleneck".
+pub fn rank_by_growth(set: &ModelSet, probe_scale: f64) -> Vec<RankedKernel> {
+    let total: f64 = set
+        .kernels
+        .values()
+        .map(|m| m.predict_at(probe_scale).max(0.0))
+        .sum();
+    let mut entries: Vec<(&KernelId, &Model)> = set.kernels.iter().collect();
+    entries.sort_by(|(_, a), (_, b)| {
+        b.function
+            .growth_key()
+            .cmp(&a.function.growth_key())
+            .then_with(|| {
+                b.predict_at(probe_scale)
+                    .partial_cmp(&a.predict_at(probe_scale))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    });
+    entries
+        .into_iter()
+        .map(|(id, m)| {
+            let v = m.predict_at(probe_scale).max(0.0);
+            RankedKernel {
+                id: id.clone(),
+                growth: m.big_o(),
+                predicted_at_probe: v,
+                share_percent: if total > 0.0 { 100.0 * v / total } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// The top-`k` growth-ranked kernels.
+pub fn top_bottlenecks(set: &ModelSet, probe_scale: f64, k: usize) -> Vec<RankedKernel> {
+    rank_by_growth(set, probe_scale).into_iter().take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelset::{build_model_set, ModelSetOptions};
+    use extradeep_agg::{aggregate_experiment, AggregationOptions};
+    use extradeep_sim::{ExperimentSpec, ProfilerOptions};
+    use extradeep_trace::MetricKind;
+
+    fn model_set() -> ModelSet {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+        spec.repetitions = 2;
+        spec.profiler = ProfilerOptions {
+            max_recorded_ranks: 2,
+            ..Default::default()
+        };
+        let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn communication_ranks_near_the_top() {
+        let set = model_set();
+        let ranking = rank_by_growth(&set, 64.0);
+        assert_eq!(ranking.len(), set.kernels.len());
+        let allreduce_pos = ranking
+            .iter()
+            .position(|r| r.id.name == "MPI_Allreduce")
+            .expect("allreduce is modeled");
+        // The paper's case-study finding: gradient exchange is the top
+        // scalability bottleneck. It must rank in the top tier.
+        assert!(
+            allreduce_pos < ranking.len() / 4,
+            "MPI_Allreduce ranked {allreduce_pos} of {}",
+            ranking.len()
+        );
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_growth_key() {
+        let set = model_set();
+        let ranking = rank_by_growth(&set, 64.0);
+        for w in ranking.windows(2) {
+            let a = &set.kernels[&w[0].id];
+            let b = &set.kernels[&w[1].id];
+            assert!(
+                a.function.growth_key() >= b.function.growth_key(),
+                "ranking not sorted: {} before {}",
+                w[0].id.name,
+                w[1].id.name
+            );
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        let set = model_set();
+        let ranking = rank_by_growth(&set, 64.0);
+        let total: f64 = ranking.iter().map(|r| r.share_percent).sum();
+        assert!((total - 100.0).abs() < 1e-6, "shares sum to {total}");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let set = model_set();
+        assert_eq!(top_bottlenecks(&set, 64.0, 5).len(), 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Cross-experiment model comparison, after Extra-P's comparison feature:
+//! given two model sets (e.g. the same application on DEEP vs. JURECA, or
+//! before/after an optimization), align kernels by name and report where the
+//! growth behavior or predicted magnitude diverges — the "verify if the made
+//! changes had the desired effect" step of the paper's Fig. 1 loop (step 6).
+
+use crate::modelset::ModelSet;
+use extradeep_agg::KernelId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Comparison verdict for one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthVerdict {
+    /// Same dominant growth class in both experiments.
+    SameGrowth,
+    /// The second experiment grows faster.
+    FasterGrowth,
+    /// The second experiment grows slower.
+    SlowerGrowth,
+}
+
+/// One aligned kernel pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelComparison {
+    pub id: KernelId,
+    pub growth_a: String,
+    pub growth_b: String,
+    pub verdict: GrowthVerdict,
+    /// Predicted metric ratio `b / a` at the probe scale.
+    pub ratio_at_probe: f64,
+}
+
+/// The full comparison report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    pub probe_scale: f64,
+    /// Kernels present in both sets, sorted by |log ratio| descending.
+    pub common: Vec<KernelComparison>,
+    /// Kernels only in the first set.
+    pub only_in_a: Vec<KernelId>,
+    /// Kernels only in the second set.
+    pub only_in_b: Vec<KernelId>,
+    /// Epoch-model ratio `b / a` at the probe scale.
+    pub epoch_ratio: f64,
+}
+
+/// Compares two model sets kernel by kernel.
+pub fn compare_model_sets(a: &ModelSet, b: &ModelSet, probe_scale: f64) -> ComparisonReport {
+    let mut common = Vec::new();
+    let mut only_in_a = Vec::new();
+
+    for (id, model_a) in &a.kernels {
+        match b.kernels.get(id) {
+            Some(model_b) => {
+                let key_a = model_a.function.growth_key();
+                let key_b = model_b.function.growth_key();
+                let verdict = match key_b.cmp(&key_a) {
+                    Ordering::Equal => GrowthVerdict::SameGrowth,
+                    Ordering::Greater => GrowthVerdict::FasterGrowth,
+                    Ordering::Less => GrowthVerdict::SlowerGrowth,
+                };
+                let pa = model_a.predict_at(probe_scale).max(1e-12);
+                let pb = model_b.predict_at(probe_scale).max(1e-12);
+                common.push(KernelComparison {
+                    id: id.clone(),
+                    growth_a: model_a.big_o(),
+                    growth_b: model_b.big_o(),
+                    verdict,
+                    ratio_at_probe: pb / pa,
+                });
+            }
+            None => only_in_a.push(id.clone()),
+        }
+    }
+    let only_in_b: Vec<KernelId> = b
+        .kernels
+        .keys()
+        .filter(|id| !a.kernels.contains_key(*id))
+        .cloned()
+        .collect();
+
+    common.sort_by(|x, y| {
+        y.ratio_at_probe
+            .ln()
+            .abs()
+            .partial_cmp(&x.ratio_at_probe.ln().abs())
+            .unwrap_or(Ordering::Equal)
+    });
+
+    let epoch_ratio = b.app.epoch.predict_at(probe_scale).max(1e-12)
+        / a.app.epoch.predict_at(probe_scale).max(1e-12);
+
+    ComparisonReport {
+        probe_scale,
+        common,
+        only_in_a,
+        only_in_b,
+        epoch_ratio,
+    }
+}
+
+impl ComparisonReport {
+    /// Kernels whose growth class changed between the experiments.
+    pub fn growth_changes(&self) -> Vec<&KernelComparison> {
+        self.common
+            .iter()
+            .filter(|c| c.verdict != GrowthVerdict::SameGrowth)
+            .collect()
+    }
+
+    /// Renders a text report of the top `limit` diverging kernels.
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = format!(
+            "Model comparison at scale {} — epoch ratio (B/A): {:.2}x\n",
+            self.probe_scale, self.epoch_ratio
+        );
+        out.push_str(&format!(
+            "{} common kernels, {} only in A, {} only in B, {} growth changes\n",
+            self.common.len(),
+            self.only_in_a.len(),
+            self.only_in_b.len(),
+            self.growth_changes().len()
+        ));
+        for c in self.common.iter().take(limit) {
+            out.push_str(&format!(
+                "  {:<55} {:>7.2}x  {} -> {}\n",
+                c.id.name, c.ratio_at_probe, c.growth_a, c.growth_b
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelset::{build_model_set, ModelSetOptions};
+    use extradeep_agg::{aggregate_experiment, AggregationOptions};
+    use extradeep_sim::{ExperimentSpec, ProfilerOptions, SystemConfig};
+    use extradeep_trace::MetricKind;
+
+    fn models_on(system: SystemConfig) -> ModelSet {
+        let mut spec = ExperimentSpec::case_study(vec![8, 16, 24, 32, 40]);
+        spec.system = system;
+        spec.repetitions = 1;
+        spec.profiler = ProfilerOptions {
+            max_recorded_ranks: 1,
+            ..Default::default()
+        };
+        let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn identical_sets_compare_as_equal() {
+        let a = models_on(SystemConfig::deep());
+        let r = compare_model_sets(&a, &a, 64.0);
+        assert!(r.only_in_a.is_empty());
+        assert!(r.only_in_b.is_empty());
+        assert!((r.epoch_ratio - 1.0).abs() < 1e-12);
+        assert!(r.growth_changes().is_empty());
+        assert!(r.common.iter().all(|c| (c.ratio_at_probe - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deep_vs_jureca_differ_in_communication() {
+        let deep = models_on(SystemConfig::deep());
+        let jureca = models_on(SystemConfig::jureca());
+        let r = compare_model_sets(&deep, &jureca, 40.0);
+        // DEEP's MPI allreduce vs JURECA's NCCL allreduce live under
+        // different kernel names, so each appears as exclusive.
+        assert!(r.only_in_a.iter().any(|k| k.name == "MPI_Allreduce"));
+        assert!(r.only_in_b.iter().any(|k| k.name == "ncclAllReduce"));
+        // The A100 is faster: the epoch ratio favors JURECA.
+        assert!(r.epoch_ratio < 1.0, "epoch ratio {}", r.epoch_ratio);
+        // Common compute kernels exist (same architecture names except the
+        // GPU prefix differs — conv kernels are exclusive, Eigen are shared).
+        assert!(!r.common.is_empty());
+    }
+
+    #[test]
+    fn report_renders() {
+        let a = models_on(SystemConfig::deep());
+        let r = compare_model_sets(&a, &a, 64.0);
+        let text = r.render(5);
+        assert!(text.contains("epoch ratio"));
+        assert!(text.contains("common kernels"));
+    }
+}

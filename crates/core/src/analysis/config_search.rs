@@ -1,0 +1,193 @@
+//! Cost-effective training-configuration search (paper §3.3, Fig. 4).
+//!
+//! Given a runtime model, a cost model, and the user's constraints (budget in
+//! core-hours and/or a target time), find the configurations that are both
+//! technically and economically feasible, and among them the one with the
+//! highest parallel efficiency.
+
+use crate::analysis::cost::CostModel;
+use crate::analysis::efficiency::efficiency_series;
+use extradeep_model::Model;
+use extradeep_sim::ScalingMode;
+use serde::{Deserialize, Serialize};
+
+/// The user's constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Constraints {
+    /// Maximum training time per epoch, seconds.
+    pub max_seconds: Option<f64>,
+    /// Maximum budget per epoch, core-hours.
+    pub max_core_hours: Option<f64>,
+}
+
+/// One evaluated candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    pub ranks: f64,
+    pub seconds: f64,
+    pub core_hours: f64,
+    pub efficiency_percent: f64,
+    pub feasible: bool,
+}
+
+/// The search outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    pub candidates: Vec<Candidate>,
+    /// The recommended configuration, when any candidate is feasible.
+    pub best: Option<Candidate>,
+}
+
+/// Evaluates all candidate rank counts and picks the most cost-effective
+/// feasible one.
+///
+/// * Weak scaling: every feasible configuration costs more and is less
+///   efficient the larger it is, so the recommendation is simply the
+///   smallest feasible rank count (paper: "the configuration with the
+///   smallest resource allocation will always be the one with the lowest
+///   cost and the highest parallel efficiency").
+/// * Strong scaling: feasibility is a genuine intersection (time falls,
+///   cost rises with scale); the recommendation maximizes parallel
+///   efficiency within the feasible set.
+pub fn find_cost_effective(
+    runtime: &Model,
+    cost: &CostModel,
+    candidates: &[f64],
+    constraints: Constraints,
+    scaling: ScalingMode,
+) -> SearchResult {
+    let efficiencies = efficiency_series(runtime, candidates);
+    let evaluated: Vec<Candidate> = candidates
+        .iter()
+        .zip(&efficiencies)
+        .map(|(&ranks, &(_, eff))| {
+            let seconds = runtime.predict_at(ranks);
+            let core_hours = cost.core_hours(seconds, ranks);
+            let time_ok = constraints.max_seconds.is_none_or(|t| seconds <= t);
+            let budget_ok = constraints.max_core_hours.is_none_or(|b| core_hours <= b);
+            Candidate {
+                ranks,
+                seconds,
+                core_hours,
+                efficiency_percent: eff,
+                feasible: time_ok && budget_ok,
+            }
+        })
+        .collect();
+
+    let best = match scaling {
+        ScalingMode::Weak => evaluated
+            .iter()
+            .filter(|c| c.feasible)
+            .min_by(|a, b| a.ranks.partial_cmp(&b.ranks).unwrap())
+            .copied(),
+        ScalingMode::Strong => evaluated
+            .iter()
+            .filter(|c| c.feasible)
+            .max_by(|a, b| {
+                a.efficiency_percent
+                    .partial_cmp(&b.efficiency_percent)
+                    .unwrap()
+            })
+            .copied(),
+    };
+
+    SearchResult {
+        candidates: evaluated,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions};
+
+    fn model(f: impl Fn(f64) -> f64, strong: bool) -> Model {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, f(x))).collect();
+        let opts = if strong {
+            ModelerOptions::strong_scaling()
+        } else {
+            ModelerOptions::default()
+        };
+        model_single_parameter(&ExperimentData::univariate("ranks", &pts), &opts).unwrap()
+    }
+
+    #[test]
+    fn weak_scaling_picks_smallest_feasible() {
+        // The paper's case-study answer to Q5: under weak scaling the most
+        // cost-effective configuration is the smallest one (x1 = 2).
+        let runtime = model(|x| 158.0 + 0.6 * x.powf(2.0 / 3.0) * x.log2().powi(2), false);
+        let cost = CostModel::new(8);
+        let r = find_cost_effective(
+            &runtime,
+            &cost,
+            &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            Constraints::default(),
+            ScalingMode::Weak,
+        );
+        assert_eq!(r.best.unwrap().ranks, 2.0);
+    }
+
+    #[test]
+    fn strong_scaling_intersects_time_and_budget() {
+        // Mirrors Fig. 4b: a target time cuts off small configurations, a
+        // budget cuts off large ones; the pick maximizes efficiency inside.
+        let runtime = model(|x| 40.0 + 1600.0 / x, true);
+        let cost = CostModel::new(8);
+        let constraints = Constraints {
+            max_seconds: Some(90.0),   // excludes very small rank counts
+            max_core_hours: Some(9.0), // excludes very large ones
+        };
+        let candidates = [8.0, 16.0, 24.0, 32.0, 40.0, 48.0, 56.0, 64.0];
+        let r = find_cost_effective(
+            &runtime,
+            &cost,
+            &candidates,
+            constraints,
+            ScalingMode::Strong,
+        );
+        let best = r.best.expect("a feasible window exists");
+        assert!(best.feasible);
+        // Infeasible extremes must be marked as such.
+        assert!(!r.candidates.first().unwrap().feasible || !r.candidates.last().unwrap().feasible);
+        // The best candidate has the maximum efficiency among feasible ones.
+        for c in r.candidates.iter().filter(|c| c.feasible) {
+            assert!(best.efficiency_percent >= c.efficiency_percent - 1e-9);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_yield_no_best() {
+        let runtime = model(|x| 100.0 + x, false);
+        let cost = CostModel::new(8);
+        let r = find_cost_effective(
+            &runtime,
+            &cost,
+            &[2.0, 4.0, 8.0],
+            Constraints {
+                max_seconds: Some(1.0),
+                max_core_hours: None,
+            },
+            ScalingMode::Weak,
+        );
+        assert!(r.best.is_none());
+        assert!(r.candidates.iter().all(|c| !c.feasible));
+    }
+
+    #[test]
+    fn no_constraints_everything_feasible() {
+        let runtime = model(|x| 100.0 + x, false);
+        let cost = CostModel::new(8);
+        let r = find_cost_effective(
+            &runtime,
+            &cost,
+            &[2.0, 4.0],
+            Constraints::default(),
+            ScalingMode::Weak,
+        );
+        assert!(r.candidates.iter().all(|c| c.feasible));
+        assert_eq!(r.best.unwrap().ranks, 2.0);
+    }
+}

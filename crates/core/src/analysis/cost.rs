@@ -1,0 +1,107 @@
+//! Training-cost analysis (paper §3.3, Eq. 14).
+//!
+//! The cost of a configuration is the consumed CPU core-hours:
+//! `C(x) = T(x) · o` with `o = x1 · ϱ` total cores. GPU time is included in
+//! the core-hour price on the paper's systems; a custom formula hook covers
+//! systems that bill differently.
+
+use extradeep_model::Model;
+use serde::{Deserialize, Serialize};
+
+/// Cost-model configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// CPU cores per MPI rank (ϱ).
+    pub cores_per_rank: u32,
+    /// Optional price per core-hour to convert to currency.
+    pub price_per_core_hour: Option<f64>,
+}
+
+impl CostModel {
+    pub fn new(cores_per_rank: u32) -> Self {
+        CostModel {
+            cores_per_rank,
+            price_per_core_hour: None,
+        }
+    }
+
+    pub fn with_price(mut self, price: f64) -> Self {
+        self.price_per_core_hour = Some(price);
+        self
+    }
+
+    /// Core-hours consumed by `ranks` ranks running for `seconds` (Eq. 14).
+    pub fn core_hours(&self, seconds: f64, ranks: f64) -> f64 {
+        let cores = ranks * self.cores_per_rank as f64;
+        seconds / 3600.0 * cores
+    }
+
+    /// Cost per epoch of a runtime model evaluated at `ranks`.
+    pub fn epoch_core_hours(&self, runtime: &Model, ranks: f64) -> f64 {
+        self.core_hours(runtime.predict_at(ranks), ranks)
+    }
+
+    /// Monetary cost, when a price is configured.
+    pub fn epoch_price(&self, runtime: &Model, ranks: f64) -> Option<f64> {
+        self.price_per_core_hour
+            .map(|p| p * self.epoch_core_hours(runtime, ranks))
+    }
+
+    /// Cost series over a parameter-value series.
+    pub fn cost_series(&self, runtime: &Model, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter()
+            .map(|&x| (x, self.epoch_core_hours(runtime, x)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions};
+
+    fn runtime_model(f: impl Fn(f64) -> f64) -> Model {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, f(x))).collect();
+        model_single_parameter(
+            &ExperimentData::univariate("p", &pts),
+            &ModelerOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn core_hours_formula() {
+        let cm = CostModel::new(8);
+        // 3600 s on 4 ranks x 8 cores = 32 core-hours.
+        assert!((cm.core_hours(3600.0, 4.0) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_study_cost_magnitude() {
+        // Paper: C_epoch(32) ≈ 22.49 core-hours for the CIFAR-10 study with
+        // T_epoch(32) ≈ 320 s and ϱ = 8 on DEEP.
+        let m = runtime_model(|x| 158.58 + 0.58 * x.powf(2.0 / 3.0) * x.log2().powi(2));
+        let cm = CostModel::new(8);
+        let c = cm.epoch_core_hours(&m, 32.0);
+        assert!((c - 22.49).abs() < 2.0, "core-hours {c}");
+    }
+
+    #[test]
+    fn weak_scaling_cost_grows_superlinearly() {
+        let m = runtime_model(|x| 100.0 + 3.0 * x.log2().powi(2));
+        let cm = CostModel::new(8);
+        let series = cm.cost_series(&m, &[2.0, 8.0, 32.0]);
+        // Cost at 32 ranks is more than 16x cost at 2 ranks (time also grew).
+        assert!(series[2].1 > 16.0 * series[0].1);
+    }
+
+    #[test]
+    fn price_conversion() {
+        let m = runtime_model(|x| 100.0 + x);
+        let cm = CostModel::new(8).with_price(0.05);
+        let hours = cm.epoch_core_hours(&m, 4.0);
+        assert_eq!(cm.epoch_price(&m, 4.0), Some(0.05 * hours));
+        assert_eq!(CostModel::new(8).epoch_price(&m, 4.0), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Parallel-efficiency analysis (paper §3.2, Eq. 13).
+//!
+//! `ε = Δ_a / Δ_t`, the ratio of the true speedup to the theoretical speedup
+//! assuming zero parallelization overhead; the baseline point has ε = 100%.
+
+use crate::analysis::speedup::speedup_series;
+use extradeep_model::{model_single_parameter, ExperimentData, Model, ModelerOptions, ModelingError};
+
+/// Theoretical speedup between the baseline rank count and `xk` (Eq. 13):
+/// `Δ_t = (x_k - x_1) / (x_1 / 100)`.
+pub fn theoretical_speedup_percent(x1: f64, xk: f64) -> f64 {
+    if x1 == 0.0 {
+        return 0.0;
+    }
+    (xk - x1) / (x1 / 100.0)
+}
+
+/// Efficiency series of a runtime model over a parameter series. The first
+/// point is the baseline with ε = 100%.
+pub fn efficiency_series(runtime: &Model, xs: &[f64]) -> Vec<(f64, f64)> {
+    let speedups = speedup_series(runtime, xs);
+    speedups
+        .iter()
+        .map(|&(x, delta_a)| {
+            let delta_t = theoretical_speedup_percent(xs[0], x);
+            let eps = if delta_t == 0.0 {
+                100.0
+            } else {
+                100.0 * delta_a / delta_t
+            };
+            (x, eps)
+        })
+        .collect()
+}
+
+/// Fits a PMNF model to the efficiency series, so efficiency can be
+/// evaluated at unmeasured configurations (paper: ε_kernel(x_m)).
+pub fn efficiency_model(runtime: &Model, xs: &[f64]) -> Result<Model, ModelingError> {
+    let series = efficiency_series(runtime, xs);
+    let param = runtime
+        .parameters
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "x1".to_string());
+    let mut options = ModelerOptions::strong_scaling();
+    options.reject_negative_predictions = false;
+    options.min_points = options.min_points.min(series.len());
+    model_single_parameter(&ExperimentData::univariate(&param, &series), &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions};
+
+    fn runtime_model(f: impl Fn(f64) -> f64) -> Model {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, f(x))).collect();
+        model_single_parameter(
+            &ExperimentData::univariate("p", &pts),
+            &ModelerOptions::strong_scaling(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn theoretical_speedup_matches_formula() {
+        // Doubling resources: Δt = (4-2)/(2/100) = 100%.
+        assert_eq!(theoretical_speedup_percent(2.0, 4.0), 100.0);
+        assert_eq!(theoretical_speedup_percent(2.0, 2.0), 0.0);
+        assert_eq!(theoretical_speedup_percent(2.0, 64.0), 3100.0);
+    }
+
+    #[test]
+    fn baseline_efficiency_is_100() {
+        let m = runtime_model(|x| 100.0 / x);
+        let e = efficiency_series(&m, &[2.0, 4.0, 8.0]);
+        assert_eq!(e[0].1, 100.0);
+    }
+
+    #[test]
+    fn ideal_scaling_keeps_efficiency_below_or_near_linear_bound() {
+        // Perfect 1/x scaling: from 2 to 4 ranks the true speedup is 50%,
+        // the theoretical is 100% -> ε = 50% under this (paper's) definition.
+        let m = runtime_model(|x| 100.0 / x);
+        let e = efficiency_series(&m, &[2.0, 4.0]);
+        assert!((e[1].1 - 50.0).abs() < 3.0, "{}", e[1].1);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_overhead() {
+        let m = runtime_model(|x| 100.0 / x + 5.0 * x.log2());
+        let e = efficiency_series(&m, &[2.0, 4.0, 8.0, 16.0, 32.0]);
+        assert!(
+            e.windows(2).skip(1).all(|w| w[1].1 <= w[0].1 + 1e-9),
+            "efficiency should fall with scale: {e:?}"
+        );
+    }
+
+    #[test]
+    fn efficiency_model_fits_series() {
+        let m = runtime_model(|x| 100.0 / x + 2.0);
+        let em = efficiency_model(&m, &[2.0, 4.0, 8.0, 16.0, 32.0]).unwrap();
+        let series = efficiency_series(&m, &[2.0, 4.0, 8.0, 16.0, 32.0]);
+        for (x, eps) in series {
+            let err = (em.predict_at(x) - eps).abs();
+            assert!(err < 10.0, "model off by {err} at {x}");
+        }
+    }
+}

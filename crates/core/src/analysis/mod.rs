@@ -1,0 +1,17 @@
+//! Performance analysis on top of the created models (paper §3): training
+//! scalability and bottlenecks, parallel efficiency, cost, and cost-effective
+//! configuration search.
+
+pub mod bottleneck;
+pub mod compare;
+pub mod config_search;
+pub mod cost;
+pub mod efficiency;
+pub mod speedup;
+
+pub use bottleneck::{rank_by_growth, top_bottlenecks, RankedKernel};
+pub use compare::{compare_model_sets, ComparisonReport, GrowthVerdict, KernelComparison};
+pub use config_search::{find_cost_effective, Candidate, Constraints, SearchResult};
+pub use cost::CostModel;
+pub use efficiency::{efficiency_model, efficiency_series, theoretical_speedup_percent};
+pub use speedup::{speedup_model, speedup_percent, speedup_series};

@@ -1,0 +1,101 @@
+//! Speedup analysis (paper §3.1, Eqs. 11-12).
+//!
+//! The speedup Δ quantifies the gain or loss in training performance in
+//! percent relative to the first measurement point of a series:
+//! `Δ_Pk = (T_1 - T_k) / (T_1 / 100)`.
+
+use extradeep_model::{model_single_parameter, ExperimentData, Model, ModelerOptions, ModelingError};
+
+/// Speedup in percent between a baseline runtime and a runtime at point k.
+pub fn speedup_percent(t1: f64, tk: f64) -> f64 {
+    if t1 == 0.0 {
+        return 0.0;
+    }
+    (t1 - tk) / (t1 / 100.0)
+}
+
+/// Computes the speedup series of a runtime model over a parameter-value
+/// series `x1`, with the first value as the baseline (Δ = 0 at k = 1).
+pub fn speedup_series(runtime: &Model, xs: &[f64]) -> Vec<(f64, f64)> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let t1 = runtime.predict_at(xs[0]);
+    xs.iter()
+        .map(|&x| (x, speedup_percent(t1, runtime.predict_at(x))))
+        .collect()
+}
+
+/// Fits a PMNF model to the speedup series (Eq. 12), so speedup itself can be
+/// extrapolated. Speedups can be negative and decreasing, so the
+/// strong-scaling search space is used.
+pub fn speedup_model(runtime: &Model, xs: &[f64]) -> Result<Model, ModelingError> {
+    let series = speedup_series(runtime, xs);
+    let param = runtime
+        .parameters
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "x1".to_string());
+    let mut options = ModelerOptions::strong_scaling();
+    // Speedup is legitimately negative for weak scaling; don't reject.
+    options.reject_negative_predictions = false;
+    options.min_points = options.min_points.min(series.len());
+    let data = ExperimentData::univariate(&param, &series);
+    model_single_parameter(&data, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions};
+
+    fn runtime_model(f: impl Fn(f64) -> f64, strong: bool) -> Model {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, f(x))).collect();
+        let opts = if strong {
+            ModelerOptions::strong_scaling()
+        } else {
+            ModelerOptions::default()
+        };
+        model_single_parameter(&ExperimentData::univariate("p", &pts), &opts).unwrap()
+    }
+
+    #[test]
+    fn baseline_speedup_is_zero() {
+        let m = runtime_model(|x| 100.0 + x, false);
+        let s = speedup_series(&m, &[2.0, 4.0, 8.0]);
+        assert_eq!(s[0].1, 0.0);
+    }
+
+    #[test]
+    fn strong_scaling_gives_positive_speedup() {
+        // Halving runtime from 2 to 4 ranks = +50% speedup.
+        let m = runtime_model(|x| 200.0 / x, true);
+        let s = speedup_series(&m, &[2.0, 4.0]);
+        assert!((s[1].1 - 50.0).abs() < 2.0, "{}", s[1].1);
+    }
+
+    #[test]
+    fn weak_scaling_overhead_gives_negative_speedup() {
+        let m = runtime_model(|x| 100.0 + 5.0 * x, false);
+        let s = speedup_series(&m, &[2.0, 32.0]);
+        assert!(s[1].1 < 0.0, "growing runtime must be a slowdown: {}", s[1].1);
+    }
+
+    #[test]
+    fn speedup_model_extrapolates() {
+        let m = runtime_model(|x| 200.0 / x, true);
+        let sm = speedup_model(&m, &[2.0, 4.0, 8.0, 16.0, 32.0]).unwrap();
+        // At 64 ranks: T = 3.125, speedup = (100-3.125)/1 = ~96.9%.
+        let p = sm.predict_at(64.0);
+        assert!((p - 96.875).abs() < 3.0, "predicted speedup {p}");
+    }
+
+    #[test]
+    fn speedup_percent_edge_cases() {
+        assert_eq!(speedup_percent(0.0, 5.0), 0.0);
+        assert_eq!(speedup_percent(100.0, 100.0), 0.0);
+        assert_eq!(speedup_percent(100.0, 50.0), 50.0);
+        assert_eq!(speedup_percent(100.0, 200.0), -100.0);
+    }
+}

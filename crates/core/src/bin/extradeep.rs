@@ -1,0 +1,12 @@
+//! The `extradeep` CLI: simulate, import, model, and analyze from the shell.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match extradeep::cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! The `extradeep` command-line interface.
+//!
+//! A thin, dependency-free argument layer over the library: simulate
+//! measurement runs, model profiles, and run the §3 analyses from the shell.
+//! The binary (`src/bin/extradeep.rs`) forwards to [`run`], which returns the
+//! rendered report — keeping every code path unit-testable.
+
+use crate::analysis::{find_cost_effective, rank_by_growth, Constraints, CostModel};
+use crate::modelset::{build_model_set, ModelSetOptions};
+use crate::questions;
+use crate::report::{fmt, pct, Table};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_sim::{
+    Benchmark, ExperimentSpec, ParallelStrategy, ScalingMode, SyncMode, SystemConfig,
+};
+use extradeep_trace::{json, import_csv, ExperimentProfiles, MetricKind};
+use std::fmt as stdfmt;
+
+/// CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+    Trace(String),
+    Modeling(String),
+}
+
+impl stdfmt::Display for CliError {
+    fn fmt(&self, f: &mut stdfmt::Formatter<'_>) -> stdfmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Modeling(e) => write!(f, "modeling error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+pub const USAGE: &str = "\
+extradeep — automated empirical performance modeling for distributed DL
+
+USAGE:
+  extradeep simulate --out <file.json> [--benchmark <name>] [--system deep|jureca]
+                     [--ranks 2,4,6,8,10] [--reps N] [--strategy data|tensor|pipeline]
+                     [--scaling weak|strong] [--asp]
+  extradeep model    --in <file.json> [--metric time|visits|bytes] [--top N]
+                     [--save-models <models.json>]
+  extradeep predict  --models <models.json> --at RANKS[,RANKS...]
+  extradeep analyze  --in <file.json> [--probe RANKS] [--budget CORE_HOURS]
+                     [--max-time SECONDS] [--candidates 2,4,...]
+  extradeep import   --csv <trace.csv>... --out <file.json>
+  extradeep summary  --in <file.json> [--top N]
+  extradeep calltree --in <file.json> [--top N]
+  extradeep compare  --a <file.json> --b <file.json> [--probe RANKS] [--top N]
+  extradeep export-chrome --in <file.json> --out <trace.json>
+
+Benchmarks: cifar10, cifar100, imagenet, imdb, speech_commands";
+
+/// Tiny flag parser: `--key value` pairs plus boolean flags.
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn new(argv: &[String]) -> Self {
+        Args {
+            items: argv.to_vec(),
+        }
+    }
+
+    fn value(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.items.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn values(&self, key: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + 1 < self.items.len() {
+            if self.items[i] == key {
+                out.push(self.items[i + 1].as_str());
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.items.iter().any(|a| a == key)
+    }
+}
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, CliError> {
+    match name {
+        "cifar10" => Ok(Benchmark::cifar10()),
+        "cifar100" => Ok(Benchmark::cifar100()),
+        "imagenet" => Ok(Benchmark::imagenet()),
+        "imdb" => Ok(Benchmark::imdb()),
+        "speech_commands" => Ok(Benchmark::speech_commands()),
+        other => Err(CliError::Usage(format!("unknown benchmark '{other}'"))),
+    }
+}
+
+fn parse_system(name: &str) -> Result<SystemConfig, CliError> {
+    match name {
+        "deep" => Ok(SystemConfig::deep()),
+        "jureca" => Ok(SystemConfig::jureca()),
+        other => Err(CliError::Usage(format!("unknown system '{other}'"))),
+    }
+}
+
+fn parse_metric(name: &str) -> Result<MetricKind, CliError> {
+    match name {
+        "time" => Ok(MetricKind::Time),
+        "visits" => Ok(MetricKind::Visits),
+        "bytes" => Ok(MetricKind::Bytes),
+        other => Err(CliError::Usage(format!("unknown metric '{other}'"))),
+    }
+}
+
+fn parse_list(raw: &str) -> Result<Vec<u32>, CliError> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid number '{s}'")))
+        })
+        .collect()
+}
+
+fn load_profiles(path: &str) -> Result<ExperimentProfiles, CliError> {
+    json::load(path).map_err(|e| CliError::Trace(e.to_string()))
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let out = args
+        .value("--out")
+        .ok_or_else(|| CliError::Usage("simulate requires --out".to_string()))?;
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    if let Some(b) = args.value("--benchmark") {
+        spec.benchmark = parse_benchmark(b)?;
+    }
+    if let Some(s) = args.value("--system") {
+        spec.system = parse_system(s)?;
+    }
+    if let Some(r) = args.value("--ranks") {
+        spec.rank_counts = parse_list(r)?;
+    }
+    if let Some(n) = args.value("--reps") {
+        spec.repetitions = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --reps '{n}'")))?;
+    }
+    if let Some(s) = args.value("--strategy") {
+        spec.strategy = match s {
+            "data" => ParallelStrategy::DataParallel,
+            "tensor" => ParallelStrategy::TensorParallel { group: 4 },
+            "pipeline" => ParallelStrategy::PipelineParallel {
+                stages: 4,
+                microbatches: 8,
+            },
+            other => return Err(CliError::Usage(format!("unknown strategy '{other}'"))),
+        };
+    }
+    if let Some(s) = args.value("--scaling") {
+        spec.scaling = match s {
+            "weak" => ScalingMode::Weak,
+            "strong" => ScalingMode::Strong,
+            other => return Err(CliError::Usage(format!("unknown scaling '{other}'"))),
+        };
+    }
+    if args.flag("--asp") {
+        spec.sync = SyncMode::Asp;
+    }
+    let profiles = spec.run();
+    json::save(&profiles, out).map_err(|e| CliError::Trace(e.to_string()))?;
+    Ok(format!(
+        "Simulated and profiled {} runs over {} configurations -> {}",
+        profiles.len(),
+        profiles.configs().len(),
+        out
+    ))
+}
+
+fn models_from(args: &Args, metric: MetricKind) -> Result<crate::modelset::ModelSet, CliError> {
+    let input = args
+        .value("--in")
+        .ok_or_else(|| CliError::Usage("missing --in <file.json>".to_string()))?;
+    let profiles = load_profiles(input)?;
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    build_model_set(&agg, metric, &ModelSetOptions::default())
+        .map_err(|e| CliError::Modeling(e.to_string()))
+}
+
+fn cmd_model(args: &Args) -> Result<String, CliError> {
+    let metric = match args.value("--metric") {
+        Some(m) => parse_metric(m)?,
+        None => MetricKind::Time,
+    };
+    let top: usize = args
+        .value("--top")
+        .map(|t| t.parse().unwrap_or(10))
+        .unwrap_or(10);
+    let models = models_from(args, metric)?;
+
+    if let Some(path) = args.value("--save-models") {
+        crate::persist::save_models(&models, path)
+            .map_err(|e| CliError::Modeling(e.to_string()))?;
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("Application models ({}):\n", metric.label()));
+    out.push_str(&format!("  epoch:          {}\n", models.app.epoch.formatted()));
+    out.push_str(&format!("  computation:    {}\n", models.app.computation.formatted()));
+    out.push_str(&format!("  communication:  {}\n", models.app.communication.formatted()));
+    out.push_str(&format!("  memory ops.:    {}\n", models.app.memory_ops.formatted()));
+    out.push_str(&format!(
+        "\n{} kernel models created ({} kernels unmodelable).\n",
+        models.kernels.len(),
+        models.failed.len()
+    ));
+    out.push_str(&format!("\nTop {top} kernels by growth trend:\n"));
+    let mut t = Table::new(&["kernel", "growth", "model"]);
+    for r in rank_by_growth(&models, 64.0).into_iter().take(top) {
+        let model = &models.kernels[&r.id];
+        t.add_row(vec![r.id.name.clone(), r.growth, model.formatted()]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+    let probe: f64 = args
+        .value("--probe")
+        .map(|p| p.parse().unwrap_or(64.0))
+        .unwrap_or(64.0);
+    let models = models_from(args, MetricKind::Time)?;
+    let cores = args
+        .value("--cores-per-rank")
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(8);
+    let cost = CostModel::new(cores);
+
+    let mut out = String::new();
+    out.push_str(&format!("T_epoch(x1) = {}\n\n", models.app.epoch.formatted()));
+    out.push_str(&format!(
+        "Q1. Training time per epoch at {probe} ranks: {:.2} s\n",
+        questions::q1_epoch_seconds(&models, probe)
+    ));
+    let q3 = questions::q3_bottlenecks(&models, probe);
+    out.push_str(&format!(
+        "Q3. Communication share at {probe} ranks: {} ({:.1} s of {:.1} s)\n",
+        pct(q3.communication_share_percent),
+        q3.communication_seconds,
+        q3.epoch_seconds
+    ));
+    out.push_str("    Top growth kernels:\n");
+    for k in &q3.top_kernels {
+        out.push_str(&format!("      {k}\n"));
+    }
+    out.push_str(&format!(
+        "Q4. Cost per epoch at {probe} ranks: {:.2} core-hours\n",
+        questions::q4_epoch_core_hours(&models, &cost, probe)
+    ));
+
+    let candidates: Vec<f64> = match args.value("--candidates") {
+        Some(c) => parse_list(c)?.into_iter().map(|v| v as f64).collect(),
+        None => vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+    };
+    let constraints = Constraints {
+        max_seconds: args.value("--max-time").and_then(|v| v.parse().ok()),
+        max_core_hours: args.value("--budget").and_then(|v| v.parse().ok()),
+    };
+    let scaling = if args.flag("--strong") {
+        ScalingMode::Strong
+    } else {
+        ScalingMode::Weak
+    };
+    let search = find_cost_effective(&models.app.epoch, &cost, &candidates, constraints, scaling);
+    out.push_str("Q5. Cost-effective configuration search:\n");
+    let mut t = Table::new(&["ranks", "time [s]", "core-h", "eff %", "feasible"]);
+    for c in &search.candidates {
+        t.add_row(vec![
+            fmt(c.ranks, 0),
+            fmt(c.seconds, 2),
+            fmt(c.core_hours, 2),
+            fmt(c.efficiency_percent, 1),
+            if c.feasible { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    match search.best {
+        Some(best) => out.push_str(&format!("    Recommendation: {} ranks\n", best.ranks)),
+        None => out.push_str("    No feasible configuration.\n"),
+    }
+    Ok(out)
+}
+
+fn cmd_summary(args: &Args) -> Result<String, CliError> {
+    let input = args
+        .value("--in")
+        .ok_or_else(|| CliError::Usage("summary requires --in".to_string()))?;
+    let top: usize = args
+        .value("--top")
+        .map(|t| t.parse().unwrap_or(15))
+        .unwrap_or(15);
+    let profiles = load_profiles(input)?;
+    let mut out = String::new();
+    for p in &profiles.profiles {
+        if p.repetition == 0 {
+            out.push_str(&extradeep_trace::render_summary(p, top));
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_predict(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .value("--models")
+        .ok_or_else(|| CliError::Usage("predict requires --models".to_string()))?;
+    let at = args
+        .value("--at")
+        .ok_or_else(|| CliError::Usage("predict requires --at".to_string()))?;
+    let models =
+        crate::persist::load_models(path).map_err(|e| CliError::Modeling(e.to_string()))?;
+    let mut out = String::new();
+    out.push_str(&format!("T_epoch(x1) = {}\n", models.app.epoch.formatted()));
+    let mut t = Table::new(&["ranks", "epoch [s]", "comm [s]", "95% CI"]);
+    for ranks in parse_list(at)? {
+        let x = ranks as f64;
+        let p = models.app.epoch.predict_at(x);
+        let ci = models
+            .app
+            .epoch
+            .confidence_interval(&[x])
+            .map(|(lo, hi)| format!("[{lo:.1}, {hi:.1}]"))
+            .unwrap_or_else(|| "-".to_string());
+        t.add_row(vec![
+            ranks.to_string(),
+            fmt(p, 2),
+            fmt(models.app.communication.predict_at(x).max(0.0), 2),
+            ci,
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+fn models_from_path(path: &str) -> Result<crate::modelset::ModelSet, CliError> {
+    let profiles = load_profiles(path)?;
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+        .map_err(|e| CliError::Modeling(e.to_string()))
+}
+
+fn cmd_calltree(args: &Args) -> Result<String, CliError> {
+    let input = args
+        .value("--in")
+        .ok_or_else(|| CliError::Usage("calltree requires --in".to_string()))?;
+    let top: usize = args
+        .value("--top")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(3);
+    let profiles = load_profiles(input)?;
+    let first = profiles
+        .profiles
+        .first()
+        .ok_or_else(|| CliError::Trace("no profiles in input".to_string()))?;
+    Ok(extradeep_trace::render_call_tree(first, top))
+}
+
+fn cmd_compare(args: &Args) -> Result<String, CliError> {
+    let a = args
+        .value("--a")
+        .ok_or_else(|| CliError::Usage("compare requires --a".to_string()))?;
+    let b = args
+        .value("--b")
+        .ok_or_else(|| CliError::Usage("compare requires --b".to_string()))?;
+    let probe: f64 = args
+        .value("--probe")
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(64.0);
+    let top: usize = args
+        .value("--top")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(15);
+    let set_a = models_from_path(a)?;
+    let set_b = models_from_path(b)?;
+    let report = crate::analysis::compare_model_sets(&set_a, &set_b, probe);
+    Ok(report.render(top))
+}
+
+fn cmd_export_chrome(args: &Args) -> Result<String, CliError> {
+    let input = args
+        .value("--in")
+        .ok_or_else(|| CliError::Usage("export-chrome requires --in".to_string()))?;
+    let out = args
+        .value("--out")
+        .ok_or_else(|| CliError::Usage("export-chrome requires --out".to_string()))?;
+    let profiles = load_profiles(input)?;
+    let first = profiles
+        .profiles
+        .first()
+        .ok_or_else(|| CliError::Trace("no profiles in input".to_string()))?;
+    std::fs::write(out, extradeep_trace::to_chrome_trace(first))?;
+    Ok(format!(
+        "Exported {} ({} ranks) -> {out} (open in ui.perfetto.dev)",
+        first.config.id(),
+        first.num_ranks()
+    ))
+}
+
+fn cmd_import(args: &Args) -> Result<String, CliError> {
+    let csvs = args.values("--csv");
+    if csvs.is_empty() {
+        return Err(CliError::Usage("import requires at least one --csv".to_string()));
+    }
+    let out = args
+        .value("--out")
+        .ok_or_else(|| CliError::Usage("import requires --out".to_string()))?;
+    let mut profiles = ExperimentProfiles::new();
+    for path in csvs {
+        let text = std::fs::read_to_string(path)?;
+        let profile = import_csv(&text).map_err(|e| CliError::Trace(e.to_string()))?;
+        profiles.push(profile);
+    }
+    json::save(&profiles, out).map_err(|e| CliError::Trace(e.to_string()))?;
+    Ok(format!(
+        "Imported {} profiles -> {}",
+        profiles.len(),
+        out
+    ))
+}
+
+/// Entry point: dispatches on the first argument, returns the report text.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage("no command given".to_string()));
+    };
+    let args = Args::new(&argv[1..]);
+    match command.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "model" => cmd_model(&args),
+        "analyze" => cmd_analyze(&args),
+        "predict" => cmd_predict(&args),
+        "summary" => cmd_summary(&args),
+        "calltree" => cmd_calltree(&args),
+        "compare" => cmd_compare(&args),
+        "export-chrome" => cmd_export_chrome(&args),
+        "import" => cmd_import(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("extradeep-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv("help")).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        assert!(matches!(run(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn simulate_then_model_then_analyze() {
+        let path = tmp("cli_pipeline.json");
+        let out = run(&argv(&format!(
+            "simulate --out {path} --ranks 2,4,6,8,10 --reps 2 --benchmark cifar10"
+        )))
+        .unwrap();
+        assert!(out.contains("5 configurations"));
+
+        let out = run(&argv(&format!("model --in {path} --top 3"))).unwrap();
+        assert!(out.contains("epoch:"));
+        assert!(out.contains("kernel models created"));
+
+        let out = run(&argv(&format!(
+            "analyze --in {path} --probe 32 --candidates 2,8,32"
+        )))
+        .unwrap();
+        assert!(out.contains("Q1."));
+        assert!(out.contains("Q5."));
+        assert!(out.contains("Recommendation: 2 ranks"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_and_predict_from_persisted_models() {
+        let profiles = tmp("persist_profiles.json");
+        let models = tmp("persist_models.json");
+        run(&argv(&format!(
+            "simulate --out {profiles} --ranks 2,4,6,8,10 --reps 1"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "model --in {profiles} --save-models {models}"
+        )))
+        .unwrap();
+        let out = run(&argv(&format!("predict --models {models} --at 16,64"))).unwrap();
+        assert!(out.contains("T_epoch"));
+        assert!(out.contains("16"));
+        assert!(out.contains("64"));
+        std::fs::remove_file(profiles).ok();
+        std::fs::remove_file(models).ok();
+    }
+
+    #[test]
+    fn summary_renders_kernel_tables() {
+        let path = tmp("cli_summary.json");
+        run(&argv(&format!("simulate --out {path} --ranks 2,4 --reps 1"))).unwrap();
+        let out = run(&argv(&format!("summary --in {path} --top 5"))).unwrap();
+        assert!(out.contains("Kernel summary for app.x2"));
+        assert!(out.contains("Kernel summary for app.x4"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn calltree_renders_phases() {
+        let path = tmp("cli_calltree.json");
+        run(&argv(&format!("simulate --out {path} --ranks 2,4 --reps 1"))).unwrap();
+        let out = run(&argv(&format!("calltree --in {path}"))).unwrap();
+        assert!(out.contains("train"));
+        assert!(out.contains("exchange"));
+        assert!(out.contains("forward"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compare_and_export_chrome() {
+        let a = tmp("cmp_a.json");
+        let b = tmp("cmp_b.json");
+        run(&argv(&format!("simulate --out {a} --ranks 2,4,6,8,10 --reps 1"))).unwrap();
+        run(&argv(&format!(
+            "simulate --out {b} --ranks 2,4,6,8,10 --reps 1 --system jureca --ranks 8,16,24,32,40"
+        )))
+        .unwrap();
+        let out = run(&argv(&format!("compare --a {a} --b {b} --probe 40"))).unwrap();
+        assert!(out.contains("epoch ratio"));
+
+        let chrome = tmp("trace_chrome.json");
+        let out = run(&argv(&format!("export-chrome --in {a} --out {chrome}"))).unwrap();
+        assert!(out.contains("perfetto"));
+        let body = std::fs::read_to_string(&chrome).unwrap();
+        assert!(body.starts_with('['));
+        for f in [a, b, chrome] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_benchmark() {
+        let path = tmp("never_written.json");
+        let err = run(&argv(&format!(
+            "simulate --out {path} --benchmark mnist"
+        )));
+        assert!(matches!(err, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn import_roundtrip() {
+        // Export a simulated profile to CSV, import via the CLI, model it.
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+        spec.repetitions = 1;
+        spec.profiler.max_recorded_ranks = 1;
+        let profiles = spec.run();
+        let mut csv_paths = Vec::new();
+        for (i, p) in profiles.profiles.iter().enumerate() {
+            let path = tmp(&format!("import_{i}.csv"));
+            std::fs::write(&path, extradeep_trace::export_csv(p)).unwrap();
+            csv_paths.push(path);
+        }
+        let out_json = tmp("imported.json");
+        let mut cmd = String::from("import");
+        for p in &csv_paths {
+            cmd.push_str(&format!(" --csv {p}"));
+        }
+        cmd.push_str(&format!(" --out {out_json}"));
+        let out = run(&argv(&cmd)).unwrap();
+        assert!(out.contains("Imported 5 profiles"));
+
+        let modeled = run(&argv(&format!("model --in {out_json}"))).unwrap();
+        assert!(modeled.contains("epoch:"));
+        for p in csv_paths {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(out_json).ok();
+    }
+}

@@ -1,0 +1,170 @@
+//! Accuracy evaluation (paper §4): model accuracy at the modeling points and
+//! predictive power at the evaluation points, summarized as (median)
+//! percentage errors.
+
+use extradeep_model::measurement::median;
+use extradeep_model::{ExperimentData, Model};
+use serde::{Deserialize, Serialize};
+
+/// Percentage error of a model at one coordinate against a measured value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointError {
+    pub coordinate: Vec<f64>,
+    pub predicted: f64,
+    pub measured: f64,
+    pub percent_error: f64,
+}
+
+/// Errors of one model over a measured dataset.
+pub fn point_errors(model: &Model, measured: &ExperimentData) -> Vec<PointError> {
+    measured
+        .measurements
+        .iter()
+        .map(|m| {
+            let actual = m.median();
+            let predicted = model.predict(&m.coordinate);
+            PointError {
+                coordinate: m.coordinate.clone(),
+                predicted,
+                measured: actual,
+                percent_error: extradeep_model::metrics::percentage_error(predicted, actual),
+            }
+        })
+        .collect()
+}
+
+/// Accuracy summary of one model against modeling and evaluation data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Errors at the points used for modeling ("model accuracy").
+    pub modeling_errors: Vec<PointError>,
+    /// Errors at held-out larger-scale points ("predictive power").
+    pub evaluation_errors: Vec<PointError>,
+}
+
+impl AccuracyReport {
+    pub fn new(model: &Model, modeling: &ExperimentData, evaluation: &ExperimentData) -> Self {
+        AccuracyReport {
+            modeling_errors: point_errors(model, modeling),
+            evaluation_errors: point_errors(model, evaluation),
+        }
+    }
+
+    /// Median percentage error over the modeling points.
+    pub fn model_accuracy_mpe(&self) -> f64 {
+        mpe(&self.modeling_errors)
+    }
+
+    /// Median percentage error over the evaluation points.
+    pub fn predictive_power_mpe(&self) -> f64 {
+        mpe(&self.evaluation_errors)
+    }
+
+    /// Accuracy in the paper's headline form: `100% - mean percentage error`
+    /// (the paper reports 97.6% model accuracy / 93.6% prediction accuracy).
+    pub fn model_accuracy_percent(&self) -> f64 {
+        100.0 - mean(&self.modeling_errors)
+    }
+
+    pub fn prediction_accuracy_percent(&self) -> f64 {
+        100.0 - mean(&self.evaluation_errors)
+    }
+
+    /// Error at the single largest evaluation coordinate.
+    pub fn max_scale_error(&self) -> Option<&PointError> {
+        self.evaluation_errors.iter().max_by(|a, b| {
+            a.coordinate
+                .partial_cmp(&b.coordinate)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// Median percentage error of a set of point errors.
+pub fn mpe(errors: &[PointError]) -> f64 {
+    let vals: Vec<f64> = errors.iter().map(|e| e.percent_error).collect();
+    median(&vals)
+}
+
+fn mean(errors: &[PointError]) -> f64 {
+    if errors.is_empty() {
+        return f64::NAN;
+    }
+    errors.iter().map(|e| e.percent_error).sum::<f64>() / errors.len() as f64
+}
+
+/// Median percentage error across several reports at one evaluation
+/// coordinate value (used for the per-node-count bars of Figs. 5-7).
+pub fn mpe_at_scale(reports: &[&AccuracyReport], scale: f64) -> f64 {
+    let vals: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| {
+            r.modeling_errors
+                .iter()
+                .chain(&r.evaluation_errors)
+                .filter(|e| (e.coordinate[0] - scale).abs() < 1e-9)
+                .map(|e| e.percent_error)
+        })
+        .collect();
+    median(&vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_model::{model_single_parameter, ModelerOptions};
+
+    fn setup() -> (Model, ExperimentData, ExperimentData) {
+        let truth = |x: f64| 100.0 + 2.0 * x;
+        let modeling = ExperimentData::univariate(
+            "p",
+            &[(2.0, truth(2.0)), (4.0, truth(4.0)), (6.0, truth(6.0)),
+              (8.0, truth(8.0)), (10.0, truth(10.0))],
+        );
+        // Evaluation points drift 5% from the trend, emulating noise at scale.
+        let evaluation = ExperimentData::univariate(
+            "p",
+            &[(16.0, truth(16.0) * 1.05), (32.0, truth(32.0) * 0.95),
+              (64.0, truth(64.0) * 1.05)],
+        );
+        let model = model_single_parameter(&modeling, &ModelerOptions::default()).unwrap();
+        (model, modeling, evaluation)
+    }
+
+    #[test]
+    fn modeling_errors_are_near_zero_for_exact_data() {
+        let (model, modeling, evaluation) = setup();
+        let report = AccuracyReport::new(&model, &modeling, &evaluation);
+        assert!(report.model_accuracy_mpe() < 0.01);
+        assert!(report.model_accuracy_percent() > 99.9);
+    }
+
+    #[test]
+    fn evaluation_errors_reflect_the_drift() {
+        let (model, modeling, evaluation) = setup();
+        let report = AccuracyReport::new(&model, &modeling, &evaluation);
+        let pp = report.predictive_power_mpe();
+        assert!((pp - 4.76).abs() < 1.0, "mpe {pp}"); // 5% drift ≈ 4.76% error
+    }
+
+    #[test]
+    fn max_scale_error_is_the_largest_point() {
+        let (model, modeling, evaluation) = setup();
+        let report = AccuracyReport::new(&model, &modeling, &evaluation);
+        assert_eq!(report.max_scale_error().unwrap().coordinate, vec![64.0]);
+    }
+
+    #[test]
+    fn mpe_at_scale_filters_by_coordinate() {
+        let (model, modeling, evaluation) = setup();
+        let report = AccuracyReport::new(&model, &modeling, &evaluation);
+        let at32 = mpe_at_scale(&[&report], 32.0);
+        let err32 = report
+            .evaluation_errors
+            .iter()
+            .find(|e| e.coordinate[0] == 32.0)
+            .unwrap()
+            .percent_error;
+        assert!((at32 - err32).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end experiment orchestration: simulate (or load) profiles at the
+//! modeling points, aggregate, model, then measure predictive power against
+//! held-out evaluation points — the workflow behind every figure of §4.
+
+use crate::evaluate::AccuracyReport;
+use crate::modelset::{build_model_set, ModelSet, ModelSetOptions};
+use extradeep_agg::{aggregate_experiment, AggregatedExperiment, AggregationOptions};
+use extradeep_model::{ExperimentData, ModelingError};
+use extradeep_sim::{ExperimentSpec, ScalingMode};
+use extradeep_trace::MetricKind;
+
+/// A full modeling experiment: measurement configurations split into the
+/// modeling set `P(x1)` and the evaluation set `P+(x1)` (paper §2.3/§4.1).
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    pub spec: ExperimentSpec,
+    /// Rank counts used for model creation, e.g. `{2,4,6,8,10}` on DEEP.
+    pub modeling_points: Vec<u32>,
+    /// Held-out rank counts for predictive-power evaluation,
+    /// e.g. `{12,16,24,32,40,48,56,64}` on DEEP.
+    pub evaluation_points: Vec<u32>,
+}
+
+/// The paper's point sets per system (§4.1, "Experiment configuration").
+pub fn deep_point_sets() -> (Vec<u32>, Vec<u32>) {
+    (
+        vec![2, 4, 6, 8, 10],
+        vec![12, 16, 24, 32, 40, 48, 56, 64],
+    )
+}
+
+pub fn jureca_point_sets() -> (Vec<u32>, Vec<u32>) {
+    (
+        vec![8, 16, 24, 32, 40],
+        vec![12, 48, 64, 96, 128, 160, 192, 224, 256],
+    )
+}
+
+/// The outcome of one experiment for one metric.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    pub models: ModelSet,
+    /// Aggregated data of the modeling configurations.
+    pub modeling_agg: AggregatedExperiment,
+    /// Aggregated data of the evaluation configurations.
+    pub evaluation_agg: AggregatedExperiment,
+    /// Accuracy of the application epoch model.
+    pub epoch_report: AccuracyReport,
+    /// Measured epoch data (modeling, evaluation) used for the report.
+    pub epoch_modeling_data: ExperimentData,
+    pub epoch_evaluation_data: ExperimentData,
+}
+
+impl ExperimentPlan {
+    /// Modeler options appropriate for this plan's scaling mode.
+    pub fn default_model_options(&self) -> ModelSetOptions {
+        match self.spec.scaling {
+            ScalingMode::Weak => ModelSetOptions::default(),
+            ScalingMode::Strong => ModelSetOptions::strong_scaling(),
+        }
+    }
+
+    /// Runs the full pipeline for one metric.
+    pub fn execute(&self, metric: MetricKind) -> Result<ExperimentOutcome, ModelingError> {
+        self.execute_with(metric, &self.default_model_options())
+    }
+
+    /// Runs the measurements of both point sets and aggregates them,
+    /// without modeling: `(modeling, evaluation)` aggregates.
+    pub fn aggregate(&self) -> (AggregatedExperiment, AggregatedExperiment) {
+        let agg_opts = AggregationOptions::default();
+
+        let mut modeling_spec = self.spec.clone();
+        modeling_spec.rank_counts = self.modeling_points.clone();
+        let modeling_agg = aggregate_experiment(&modeling_spec.run(), &agg_opts);
+
+        let mut eval_spec = self.spec.clone();
+        eval_spec.rank_counts = self.evaluation_points.clone();
+        // Evaluation measurements use an independent noise stream: the model
+        // must predict runs it has never seen.
+        eval_spec.profiler.seed = self.spec.profiler.seed.wrapping_add(0x5EED_0E7A);
+        let evaluation_agg = aggregate_experiment(&eval_spec.run(), &agg_opts);
+        (modeling_agg, evaluation_agg)
+    }
+
+    /// Runs the full pipeline with explicit model options.
+    pub fn execute_with(
+        &self,
+        metric: MetricKind,
+        options: &ModelSetOptions,
+    ) -> Result<ExperimentOutcome, ModelingError> {
+        let (modeling_agg, evaluation_agg) = self.aggregate();
+        let models = build_model_set(&modeling_agg, metric, options)?;
+
+        let epoch_modeling_data = modeling_agg.app_dataset(metric, None);
+        let epoch_evaluation_data = evaluation_agg.app_dataset(metric, None);
+        let epoch_report = AccuracyReport::new(
+            &models.app.epoch,
+            &epoch_modeling_data,
+            &epoch_evaluation_data,
+        );
+
+        Ok(ExperimentOutcome {
+            models,
+            modeling_agg,
+            evaluation_agg,
+            epoch_report,
+            epoch_modeling_data,
+            epoch_evaluation_data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_sim::ProfilerOptions;
+
+    fn quick_plan() -> ExperimentPlan {
+        let mut spec = ExperimentSpec::case_study(vec![]);
+        spec.repetitions = 2;
+        spec.profiler = ProfilerOptions {
+            max_recorded_ranks: 2,
+            ..Default::default()
+        };
+        ExperimentPlan {
+            spec,
+            modeling_points: vec![2, 4, 6, 8, 10],
+            evaluation_points: vec![16, 32],
+        }
+    }
+
+    #[test]
+    fn point_sets_match_the_paper() {
+        let (m, e) = deep_point_sets();
+        assert_eq!(m, vec![2, 4, 6, 8, 10]);
+        assert_eq!(e.last(), Some(&64));
+        let (mj, ej) = jureca_point_sets();
+        assert_eq!(mj, vec![8, 16, 24, 32, 40]);
+        assert_eq!(ej.last(), Some(&256));
+    }
+
+    #[test]
+    fn pipeline_produces_accurate_epoch_model() {
+        let outcome = quick_plan().execute(MetricKind::Time).unwrap();
+        // Model accuracy at fit points should be high (paper: MPE 0.4-1.4%).
+        let acc = outcome.epoch_report.model_accuracy_mpe();
+        assert!(acc < 5.0, "model accuracy MPE {acc}%");
+        // Predictive power within the paper's band at modest extrapolation.
+        let pp = outcome.epoch_report.predictive_power_mpe();
+        assert!(pp < 30.0, "predictive power MPE {pp}%");
+    }
+
+    #[test]
+    fn evaluation_uses_fresh_noise() {
+        let plan = quick_plan();
+        let outcome = plan.execute(MetricKind::Time).unwrap();
+        // Evaluation configs exist and differ from modeling configs.
+        assert_eq!(outcome.epoch_evaluation_data.len(), 2);
+        assert_eq!(outcome.epoch_modeling_data.len(), 5);
+    }
+}

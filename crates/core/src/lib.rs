@@ -1,0 +1,67 @@
+//! # extradeep
+//!
+//! The Extra-Deep framework facade (Ritter & Wolf, SC-W 2023): automated
+//! empirical performance modeling for distributed deep learning.
+//!
+//! The pipeline mirrors the paper's Fig. 1:
+//!
+//! 1. **Instrument** Python sources with NVTX (`extradeep-instrument`).
+//! 2. **Profile** a few small-scale configurations — here against the
+//!    simulated cluster substrate (`extradeep-sim`) using the efficient
+//!    sampling strategy (five steps of two epochs).
+//! 3. **Preprocess** the profiles into per-kernel, per-category derived
+//!    epoch metrics (`extradeep-agg`).
+//! 4. **Model** every kernel and the application phases with the PMNF
+//!    (`extradeep-model`), selected by cross-validated SMAPE.
+//! 5. **Analyze** scalability, bottlenecks, efficiency, and cost, and find
+//!    cost-effective training configurations (this crate).
+//!
+//! ```
+//! use extradeep::prelude::*;
+//!
+//! // Model the CIFAR-10 case study from five cheap measurements.
+//! let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+//! spec.repetitions = 2;
+//! spec.profiler.max_recorded_ranks = 2;
+//! let profiles = spec.run();
+//! let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+//! let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+//! // Q1: predicted training time per epoch at 40 ranks.
+//! let t40 = models.app.epoch.predict_at(40.0);
+//! assert!(t40 > 0.0);
+//! ```
+
+pub mod analysis;
+pub mod cli;
+pub mod evaluate;
+pub mod experiment;
+pub mod modelset;
+pub mod persist;
+pub mod questions;
+pub mod report;
+
+pub use analysis::{
+    efficiency_model, efficiency_series, find_cost_effective, rank_by_growth, speedup_model,
+    speedup_series, top_bottlenecks, Candidate, Constraints, CostModel, RankedKernel,
+    SearchResult,
+};
+pub use evaluate::{mpe, mpe_at_scale, point_errors, AccuracyReport, PointError};
+pub use experiment::{deep_point_sets, jureca_point_sets, ExperimentOutcome, ExperimentPlan};
+pub use modelset::{build_app_models, build_model_set, AppModels, ModelSet, ModelSetOptions};
+pub use persist::{load_models, models_from_json, models_to_json, save_models, PersistError};
+
+/// Common imports for downstream users.
+pub mod prelude {
+    pub use crate::analysis::{Constraints, CostModel};
+    pub use crate::evaluate::AccuracyReport;
+    pub use crate::experiment::{deep_point_sets, jureca_point_sets, ExperimentPlan};
+    pub use crate::modelset::{build_model_set, ModelSet, ModelSetOptions};
+    pub use crate::questions;
+    pub use extradeep_agg::{aggregate_experiment, AggregationOptions};
+    pub use extradeep_model::{Model, ModelerOptions};
+    pub use extradeep_sim::{
+        Benchmark, ExperimentSpec, ParallelStrategy, ProfilerOptions, ScalingMode, SyncMode,
+        SystemConfig,
+    };
+    pub use extradeep_trace::MetricKind;
+}

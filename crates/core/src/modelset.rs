@@ -1,0 +1,206 @@
+//! Building the full set of models from an aggregated experiment: one model
+//! per (kernel × metric) plus the application models (paper Fig. 1 step 4:
+//! "calltree: kernel models" and "collectives: application models").
+
+use extradeep_agg::{AggregatedExperiment, AppCategory, KernelId};
+use extradeep_model::{
+    model_multi_parameter, model_single_parameter, ExperimentData, Model, ModelerOptions,
+    ModelingError,
+};
+use extradeep_trace::MetricKind;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The application-level models (Eqs. 6, 8-10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModels {
+    /// Training time (or other metric) per epoch, all categories summed.
+    pub epoch: Model,
+    pub computation: Model,
+    pub communication: Model,
+    pub memory_ops: Model,
+}
+
+impl AppModels {
+    pub fn category(&self, cat: AppCategory) -> &Model {
+        match cat {
+            AppCategory::Computation => &self.computation,
+            AppCategory::Communication => &self.communication,
+            AppCategory::MemoryOps => &self.memory_ops,
+        }
+    }
+}
+
+/// All models created for one experiment and metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSet {
+    pub metric: MetricKind,
+    pub app: AppModels,
+    /// Per-kernel models, keyed by kernel identity.
+    pub kernels: BTreeMap<KernelId, Model>,
+    /// Kernels that passed the config filter but could not be modeled
+    /// (degenerate data), with the reason.
+    pub failed: BTreeMap<KernelId, ModelingError>,
+}
+
+/// Options for model building.
+#[derive(Debug, Clone)]
+pub struct ModelSetOptions {
+    /// Options for the (many) per-kernel models: single-term search.
+    pub modeler: ModelerOptions,
+    /// Options for the four application models. Application phases can mix
+    /// opposing trends — e.g. validation work strong-scales (`~1/x`) while
+    /// communication grows — so the application search allows two compound
+    /// terms and negative exponents by default.
+    pub app_modeler: ModelerOptions,
+    /// Minimum configurations a kernel must appear in (paper: 5).
+    pub min_configs: usize,
+}
+
+fn default_app_modeler() -> ModelerOptions {
+    let mut opts = ModelerOptions::strong_scaling();
+    opts.search_space = opts.search_space.with_max_terms(2);
+    opts
+}
+
+impl Default for ModelSetOptions {
+    fn default() -> Self {
+        ModelSetOptions {
+            modeler: ModelerOptions::default(),
+            app_modeler: default_app_modeler(),
+            min_configs: extradeep_model::MIN_MEASUREMENT_POINTS,
+        }
+    }
+}
+
+impl ModelSetOptions {
+    pub fn strong_scaling() -> Self {
+        ModelSetOptions {
+            modeler: ModelerOptions::strong_scaling(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Fits one dataset, dispatching between the single- and multi-parameter
+/// modelers by the number of coordinates.
+fn fit_dataset(data: &ExperimentData, options: &ModelerOptions) -> Result<Model, ModelingError> {
+    if data.num_parameters() > 1 {
+        model_multi_parameter(data, options)
+    } else {
+        model_single_parameter(data, options)
+    }
+}
+
+/// Builds the application models for one metric.
+pub fn build_app_models(
+    agg: &AggregatedExperiment,
+    metric: MetricKind,
+    options: &ModelSetOptions,
+) -> Result<AppModels, ModelingError> {
+    let fit = |cat: Option<AppCategory>| -> Result<Model, ModelingError> {
+        fit_dataset(&agg.app_dataset(metric, cat), &options.app_modeler)
+    };
+    Ok(AppModels {
+        epoch: fit(None)?,
+        computation: fit(Some(AppCategory::Computation))?,
+        communication: fit(Some(AppCategory::Communication))?,
+        memory_ops: fit(Some(AppCategory::MemoryOps))?,
+    })
+}
+
+/// Builds all kernel and application models for one metric, in parallel.
+pub fn build_model_set(
+    agg: &AggregatedExperiment,
+    metric: MetricKind,
+    options: &ModelSetOptions,
+) -> Result<ModelSet, ModelingError> {
+    let app = build_app_models(agg, metric, options)?;
+    let kernels_to_model = agg.modelable_kernels(options.min_configs);
+
+    let results: Vec<(KernelId, Result<Model, ModelingError>)> = kernels_to_model
+        .par_iter()
+        .map(|id| {
+            let data = agg.kernel_dataset(id, metric);
+            (id.clone(), fit_dataset(&data, &options.modeler))
+        })
+        .collect();
+
+    let mut kernels = BTreeMap::new();
+    let mut failed = BTreeMap::new();
+    for (id, res) in results {
+        match res {
+            Ok(m) => {
+                kernels.insert(id, m);
+            }
+            Err(e) => {
+                failed.insert(id, e);
+            }
+        }
+    }
+    Ok(ModelSet {
+        metric,
+        app,
+        kernels,
+        failed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_agg::{aggregate_experiment, AggregationOptions};
+    use extradeep_sim::{ExperimentSpec, ProfilerOptions};
+
+    fn small_experiment() -> AggregatedExperiment {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+        spec.repetitions = 2;
+        spec.profiler = ProfilerOptions {
+            max_recorded_ranks: 2,
+            ..Default::default()
+        };
+        aggregate_experiment(&spec.run(), &AggregationOptions::default())
+    }
+
+    #[test]
+    fn builds_app_and_kernel_models() {
+        let agg = small_experiment();
+        let set = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+        assert!(set.kernels.len() > 30, "only {} kernel models", set.kernels.len());
+        assert!(set.failed.is_empty(), "failed: {:?}", set.failed);
+        // The epoch model predicts growth with scale under weak scaling.
+        let m = &set.app.epoch;
+        assert!(m.predict_at(64.0) > m.predict_at(2.0));
+    }
+
+    #[test]
+    fn communication_model_grows_fastest() {
+        let agg = small_experiment();
+        let set = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+        let comm_growth =
+            set.app.communication.predict_at(64.0) / set.app.communication.predict_at(2.0);
+        let comp_growth =
+            set.app.computation.predict_at(64.0) / set.app.computation.predict_at(2.0);
+        assert!(
+            comm_growth > comp_growth,
+            "comm x{comm_growth:.2} vs comp x{comp_growth:.2}: the paper's \
+             bottleneck analysis hinges on communication growing faster"
+        );
+    }
+
+    #[test]
+    fn visits_models_exist_and_are_near_constant_under_weak_scaling() {
+        let agg = small_experiment();
+        let set = build_model_set(&agg, MetricKind::Visits, &ModelSetOptions::default()).unwrap();
+        let allreduce = set
+            .kernels
+            .iter()
+            .find(|(id, _)| id.name == "MPI_Allreduce")
+            .map(|(_, m)| m)
+            .expect("allreduce visits model");
+        // Weak scaling: steps/epoch constant, so visits/epoch barely move.
+        let ratio = allreduce.predict_at(64.0) / allreduce.predict_at(2.0);
+        assert!((0.5..2.0).contains(&ratio), "visits ratio {ratio}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Saving and loading model sets.
+//!
+//! Model creation is cheap but measurement is not: persisting the fitted
+//! models lets an analysis session (or the CLI) reuse models produced
+//! elsewhere. JSON requires string map keys, so the kernel map is stored as
+//! an explicit pair list.
+
+use crate::modelset::{AppModels, ModelSet};
+use extradeep_agg::KernelId;
+use extradeep_model::Model;
+use extradeep_trace::MetricKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedModelSet {
+    version: u32,
+    metric: MetricKind,
+    app: AppModels,
+    kernels: Vec<(KernelId, Model)>,
+}
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Format(serde_json::Error),
+    UnsupportedVersion { found: u32 },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "model format error: {e}"),
+            PersistError::UnsupportedVersion { found } => {
+                write!(f, "unsupported model format version {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Serializes a model set to JSON.
+pub fn models_to_json(set: &ModelSet) -> Result<String, PersistError> {
+    let persisted = PersistedModelSet {
+        version: MODEL_FORMAT_VERSION,
+        metric: set.metric,
+        app: set.app.clone(),
+        kernels: set
+            .kernels
+            .iter()
+            .map(|(k, m)| (k.clone(), m.clone()))
+            .collect(),
+    };
+    Ok(serde_json::to_string(&persisted)?)
+}
+
+/// Deserializes a model set from JSON. Unmodelable-kernel diagnostics are
+/// not persisted (they are a property of the measurement session).
+pub fn models_from_json(json: &str) -> Result<ModelSet, PersistError> {
+    let persisted: PersistedModelSet = serde_json::from_str(json)?;
+    if persisted.version != MODEL_FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: persisted.version,
+        });
+    }
+    Ok(ModelSet {
+        metric: persisted.metric,
+        app: persisted.app,
+        kernels: persisted.kernels.into_iter().collect(),
+        failed: BTreeMap::new(),
+    })
+}
+
+/// Writes a model set to a file.
+pub fn save_models(set: &ModelSet, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, models_to_json(set)?)?;
+    Ok(())
+}
+
+/// Reads a model set from a file.
+pub fn load_models(path: impl AsRef<Path>) -> Result<ModelSet, PersistError> {
+    models_from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelset::{build_model_set, ModelSetOptions};
+    use extradeep_agg::{aggregate_experiment, AggregationOptions};
+    use extradeep_sim::{ExperimentSpec, ProfilerOptions};
+
+    fn model_set() -> ModelSet {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+        spec.repetitions = 1;
+        spec.profiler = ProfilerOptions {
+            max_recorded_ranks: 1,
+            ..Default::default()
+        };
+        let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_models() {
+        let set = model_set();
+        let json = models_to_json(&set).unwrap();
+        let back = models_from_json(&json).unwrap();
+        assert_eq!(set.metric, back.metric);
+        assert_eq!(set.app, back.app);
+        assert_eq!(set.kernels, back.kernels);
+    }
+
+    #[test]
+    fn reloaded_models_predict_identically() {
+        let set = model_set();
+        let back = models_from_json(&models_to_json(&set).unwrap()).unwrap();
+        for x in [2.0, 16.0, 64.0, 256.0] {
+            assert_eq!(set.app.epoch.predict_at(x), back.app.epoch.predict_at(x));
+        }
+        // Confidence bands survive persistence.
+        assert_eq!(
+            set.app.epoch.confidence_interval(&[40.0]),
+            back.app.epoch.confidence_interval(&[40.0])
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let set = model_set();
+        let dir = std::env::temp_dir().join("extradeep-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        save_models(&set, &path).unwrap();
+        let back = load_models(&path).unwrap();
+        assert_eq!(set.kernels.len(), back.kernels.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let set = model_set();
+        let json = models_to_json(&set)
+            .unwrap()
+            .replacen("\"version\":1", "\"version\":42", 1);
+        assert!(matches!(
+            models_from_json(&json),
+            Err(PersistError::UnsupportedVersion { found: 42 })
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Answers to the paper's guiding questions Q1-Q5 (§1.1), as a programmatic
+//! API over the created models — the case-study walkthrough of §2-3.
+
+use crate::analysis::config_search::{find_cost_effective, Constraints, SearchResult};
+use crate::analysis::cost::CostModel;
+use crate::analysis::efficiency::efficiency_series;
+use crate::analysis::speedup::speedup_series;
+use crate::modelset::ModelSet;
+use extradeep_sim::ScalingMode;
+use serde::{Deserialize, Serialize};
+
+/// Q1: How long does one training epoch take at a given resource allocation?
+pub fn q1_epoch_seconds(models: &ModelSet, ranks: f64) -> f64 {
+    models.app.epoch.predict_at(ranks)
+}
+
+/// Q2: How do training time and speedup change with the configuration?
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingAnswer {
+    pub series: Vec<(f64, f64)>,
+    pub speedup_percent: Vec<(f64, f64)>,
+}
+
+pub fn q2_scaling_behavior(models: &ModelSet, xs: &[f64]) -> ScalingAnswer {
+    ScalingAnswer {
+        series: xs
+            .iter()
+            .map(|&x| (x, models.app.epoch.predict_at(x)))
+            .collect(),
+        speedup_percent: speedup_series(&models.app.epoch, xs),
+    }
+}
+
+/// Q3: Does the application suffer from latent bottlenecks? Returns the
+/// communication share of the epoch at the probe scale (the case study's
+/// finding: gradient exchange dominates at scale) plus the top-ranked
+/// kernels by growth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckAnswer {
+    pub communication_seconds: f64,
+    pub epoch_seconds: f64,
+    pub communication_share_percent: f64,
+    pub top_kernels: Vec<String>,
+}
+
+pub fn q3_bottlenecks(models: &ModelSet, probe_ranks: f64) -> BottleneckAnswer {
+    let comm = models.app.communication.predict_at(probe_ranks).max(0.0);
+    let epoch = models.app.epoch.predict_at(probe_ranks).max(f64::MIN_POSITIVE);
+    let top = crate::analysis::bottleneck::top_bottlenecks(models, probe_ranks, 5)
+        .into_iter()
+        .map(|r| format!("{} [{}]", r.id.name, r.growth))
+        .collect();
+    BottleneckAnswer {
+        communication_seconds: comm,
+        epoch_seconds: epoch,
+        communication_share_percent: 100.0 * comm / epoch,
+        top_kernels: top,
+    }
+}
+
+/// Q4: What does training cost per epoch at a given configuration?
+pub fn q4_epoch_core_hours(models: &ModelSet, cost: &CostModel, ranks: f64) -> f64 {
+    cost.epoch_core_hours(&models.app.epoch, ranks)
+}
+
+/// Q5: What is the most cost-effective configuration under the constraints?
+pub fn q5_cost_effective(
+    models: &ModelSet,
+    cost: &CostModel,
+    candidates: &[f64],
+    constraints: Constraints,
+    scaling: ScalingMode,
+) -> SearchResult {
+    find_cost_effective(&models.app.epoch, cost, candidates, constraints, scaling)
+}
+
+/// Parallel efficiency series, supporting the Q5 recommendation.
+pub fn efficiency_percent(models: &ModelSet, xs: &[f64]) -> Vec<(f64, f64)> {
+    efficiency_series(&models.app.epoch, xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelset::{build_model_set, ModelSetOptions};
+    use extradeep_agg::{aggregate_experiment, AggregationOptions};
+    use extradeep_sim::{ExperimentSpec, ProfilerOptions};
+    use extradeep_trace::MetricKind;
+
+    fn models() -> ModelSet {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+        spec.repetitions = 2;
+        spec.profiler = ProfilerOptions {
+            max_recorded_ranks: 2,
+            ..Default::default()
+        };
+        let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn q1_through_q5_are_answerable() {
+        let set = models();
+        let cost = CostModel::new(8);
+
+        let t40 = q1_epoch_seconds(&set, 40.0);
+        assert!(t40 > 0.0);
+
+        let q2 = q2_scaling_behavior(&set, &[2.0, 16.0, 64.0]);
+        assert_eq!(q2.series.len(), 3);
+        // Weak scaling: runtime grows, so speedup at 64 is negative.
+        assert!(q2.speedup_percent[2].1 < 0.0);
+
+        let q3 = q3_bottlenecks(&set, 64.0);
+        assert!(q3.communication_share_percent > 0.0);
+        assert_eq!(q3.top_kernels.len(), 5);
+
+        let c32 = q4_epoch_core_hours(&set, &cost, 32.0);
+        assert!(c32 > 0.0);
+        // Cost grows superlinearly with ranks under weak scaling.
+        assert!(q4_epoch_core_hours(&set, &cost, 64.0) > 2.0 * c32);
+
+        let q5 = q5_cost_effective(
+            &set,
+            &cost,
+            &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            Constraints::default(),
+            ScalingMode::Weak,
+        );
+        // Weak scaling: smallest allocation wins (the paper's Q5 answer).
+        assert_eq!(q5.best.unwrap().ranks, 2.0);
+    }
+
+    #[test]
+    fn communication_share_grows_with_scale() {
+        let set = models();
+        let small = q3_bottlenecks(&set, 4.0);
+        let large = q3_bottlenecks(&set, 64.0);
+        assert!(
+            large.communication_share_percent > small.communication_share_percent,
+            "comm share {} -> {}",
+            small.communication_share_percent,
+            large.communication_share_percent
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Plain-text report rendering: aligned tables and simple series output used
+//! by the experiment regenerators to print the paper's figures as text.
+
+use std::fmt::Write;
+
+/// A simple aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Renders an `(x, y)` series as two aligned columns.
+pub fn render_series(title: &str, xlabel: &str, ylabel: &str, series: &[(f64, f64)]) -> String {
+    let mut t = Table::new(&[xlabel, ylabel]);
+    for &(x, y) in series {
+        t.add_row(vec![fmt(x, 0), fmt(y, 2)]);
+    }
+    format!("== {title} ==\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["name", "value"]);
+        t.add_row(vec!["a".into(), "1.0".into()]);
+        t.add_row(vec!["long-name".into(), "123.45".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series("test", "x", "y", &[(2.0, 1.5), (4.0, 3.25)]);
+        assert!(s.contains("== test =="));
+        assert!(s.contains("3.25"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(12.34), "12.3%");
+    }
+
+    #[test]
+    fn ragged_rows_render() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.add_row(vec!["1".into()]);
+        let r = t.render();
+        assert!(r.lines().count() == 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! A line-oriented Python lexer sufficient for static instrumentation.
+//!
+//! The instrumenter (paper §2.1 step 1) only needs to recognize function
+//! definitions, decorators, imports, and indentation — but it must not be
+//! fooled by `def` appearing inside strings or comments, and it must track
+//! line continuations (open brackets, backslashes, triple-quoted strings) so
+//! a multi-line signature is treated as one logical line.
+
+/// Classification of one *logical* source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineKind {
+    /// `def name(...)` or `async def name(...)`.
+    FunctionDef { name: String, is_async: bool },
+    /// `class Name(...)`.
+    ClassDef { name: String },
+    /// `@decorator` line; payload is the text after `@` (trimmed).
+    Decorator { text: String },
+    /// `import x` / `from x import y`.
+    Import,
+    /// Anything else (statements, blank lines, comments).
+    Other,
+}
+
+/// One logical line: possibly spanning several physical lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalLine {
+    /// Index of the first physical line (0-based).
+    pub start_line: usize,
+    /// Number of physical lines consumed.
+    pub num_lines: usize,
+    /// Leading whitespace of the first physical line.
+    pub indent: String,
+    /// The joined text (without the indent of the first line).
+    pub text: String,
+    pub kind: LineKind,
+}
+
+/// Strips comments and (non-triple) string contents from one physical line so
+/// keyword detection cannot match inside them. Returns the scrubbed text and
+/// whether the line ends inside a triple-quoted string (with its delimiter).
+fn scrub_line(line: &str, mut in_triple: Option<char>) -> (String, Option<char>) {
+    let mut out = String::with_capacity(line.len());
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if let Some(q) = in_triple {
+            // Inside a triple-quoted string: look for the closing delimiter.
+            if c == q && i + 2 < bytes.len() + 1 && bytes.get(i + 1) == Some(&q) && bytes.get(i + 2) == Some(&q)
+            {
+                in_triple = None;
+                i += 3;
+            } else {
+                i += 1;
+            }
+            out.push(' ');
+            continue;
+        }
+        match c {
+            '#' => break, // comment: rest of the physical line is ignored
+            '\'' | '"' => {
+                if bytes.get(i + 1) == Some(&c) && bytes.get(i + 2) == Some(&c) {
+                    in_triple = Some(c);
+                    out.push(' ');
+                    i += 3;
+                    continue;
+                }
+                // Single-quoted string: skip to the closing quote.
+                out.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == c {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(' ');
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, in_triple)
+}
+
+fn bracket_depth_delta(scrubbed: &str) -> i32 {
+    scrubbed
+        .chars()
+        .map(|c| match c {
+            '(' | '[' | '{' => 1,
+            ')' | ']' | '}' => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn classify(text: &str) -> LineKind {
+    let trimmed = text.trim_start();
+    if let Some(rest) = trimmed.strip_prefix('@') {
+        return LineKind::Decorator {
+            text: rest.trim().to_string(),
+        };
+    }
+    let (is_async, after_async) = match trimmed.strip_prefix("async ") {
+        Some(rest) => (true, rest.trim_start()),
+        None => (false, trimmed),
+    };
+    if let Some(rest) = after_async.strip_prefix("def ") {
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            return LineKind::FunctionDef { name, is_async };
+        }
+    }
+    if let Some(rest) = trimmed.strip_prefix("class ") {
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            return LineKind::ClassDef { name };
+        }
+    }
+    if trimmed.starts_with("import ") || trimmed.starts_with("from ") {
+        return LineKind::Import;
+    }
+    LineKind::Other
+}
+
+/// Splits a Python source into classified logical lines.
+pub fn logical_lines(source: &str) -> Vec<LogicalLine> {
+    let physical: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut in_triple: Option<char> = None;
+
+    while i < physical.len() {
+        let start = i;
+        let raw = physical[i];
+        let started_in_triple = in_triple.is_some();
+        let (scrubbed, triple_after) = scrub_line(raw, in_triple);
+        in_triple = triple_after;
+        let mut depth = bracket_depth_delta(&scrubbed);
+        let mut joined = scrubbed.clone();
+        let mut backslash = raw.trim_end().ends_with('\\') && !started_in_triple;
+        i += 1;
+        // Continue while brackets are open, a backslash continuation is
+        // pending, or we are inside a triple-quoted string.
+        while i < physical.len() && (depth > 0 || backslash || in_triple.is_some()) {
+            let raw_next = physical[i];
+            let (scrubbed_next, triple_next) = scrub_line(raw_next, in_triple);
+            in_triple = triple_next;
+            depth += bracket_depth_delta(&scrubbed_next);
+            backslash = raw_next.trim_end().ends_with('\\') && in_triple.is_none();
+            joined.push(' ');
+            joined.push_str(scrubbed_next.trim_start());
+            i += 1;
+        }
+
+        let indent: String = raw
+            .chars()
+            .take_while(|c| *c == ' ' || *c == '\t')
+            .collect();
+        let kind = if started_in_triple {
+            LineKind::Other
+        } else {
+            classify(&joined)
+        };
+        out.push(LogicalLine {
+            start_line: start,
+            num_lines: i - start,
+            indent,
+            text: joined,
+            kind,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_simple_def() {
+        let lines = logical_lines("def train(self):\n    pass\n");
+        assert_eq!(
+            lines[0].kind,
+            LineKind::FunctionDef {
+                name: "train".into(),
+                is_async: false
+            }
+        );
+        assert_eq!(lines[1].kind, LineKind::Other);
+    }
+
+    #[test]
+    fn classifies_async_def_and_class() {
+        let lines = logical_lines("async def fetch():\n    pass\nclass Model(nn.Module):\n");
+        assert_eq!(
+            lines[0].kind,
+            LineKind::FunctionDef {
+                name: "fetch".into(),
+                is_async: true
+            }
+        );
+        assert_eq!(lines[2].kind, LineKind::ClassDef { name: "Model".into() });
+    }
+
+    #[test]
+    fn multiline_signature_is_one_logical_line() {
+        let src = "def training_step(\n    images,\n    labels,\n):\n    pass\n";
+        let lines = logical_lines(src);
+        assert_eq!(lines[0].num_lines, 4);
+        assert!(matches!(lines[0].kind, LineKind::FunctionDef { .. }));
+        assert_eq!(lines[1].start_line, 4);
+    }
+
+    #[test]
+    fn def_inside_string_is_not_a_def() {
+        let lines = logical_lines("x = \"def not_a_function():\"\n");
+        assert_eq!(lines[0].kind, LineKind::Other);
+    }
+
+    #[test]
+    fn def_inside_comment_is_not_a_def() {
+        let lines = logical_lines("# def commented():\n");
+        assert_eq!(lines[0].kind, LineKind::Other);
+    }
+
+    #[test]
+    fn triple_quoted_docstring_swallows_defs() {
+        let src = "\"\"\"\ndef inside_docstring():\n\"\"\"\ndef real():\n    pass\n";
+        let lines = logical_lines(src);
+        let defs: Vec<_> = lines
+            .iter()
+            .filter(|l| matches!(l.kind, LineKind::FunctionDef { .. }))
+            .collect();
+        assert_eq!(defs.len(), 1);
+        if let LineKind::FunctionDef { name, .. } = &defs[0].kind {
+            assert_eq!(name, "real");
+        }
+    }
+
+    #[test]
+    fn decorator_and_import_lines() {
+        let lines = logical_lines("@tf.function\nimport os\nfrom typing import List\n");
+        assert_eq!(
+            lines[0].kind,
+            LineKind::Decorator {
+                text: "tf.function".into()
+            }
+        );
+        assert_eq!(lines[1].kind, LineKind::Import);
+        assert_eq!(lines[2].kind, LineKind::Import);
+    }
+
+    #[test]
+    fn indent_is_preserved() {
+        let lines = logical_lines("    def method(self):\n");
+        assert_eq!(lines[0].indent, "    ");
+    }
+
+    #[test]
+    fn backslash_continuation() {
+        let src = "x = 1 + \\\n    2\ny = 3\n";
+        let lines = logical_lines(src);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].num_lines, 2);
+    }
+
+    #[test]
+    fn escaped_quote_inside_string() {
+        let lines = logical_lines("s = 'it\\'s fine'\ndef f():\n    pass\n");
+        assert!(matches!(lines[1].kind, LineKind::FunctionDef { .. }));
+    }
+}

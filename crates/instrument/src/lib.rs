@@ -1,0 +1,32 @@
+//! # extradeep-instrument
+//!
+//! Extra-Deep's "built-in automated instrumentation tool that uses static
+//! code analysis to instrument the code using NVIDIA's Tools Extension
+//! Library (NVTX)" (paper §2.1 step 1), rebuilt in Rust.
+//!
+//! It lexes and lightly parses Python sources (the only language the paper
+//! supports), then rewrites them:
+//!
+//! * every user-defined function gets an `@nvtx.annotate("qualified.name")`
+//!   decorator, so user code shows up next to framework kernels in profiles;
+//! * epoch and training-step callback functions additionally receive
+//!   `nvtx.mark(...)` calls — the timestamps the efficient sampling strategy
+//!   uses to attribute kernel executions to steps (paper §2.2);
+//! * the transformation is idempotent and string/comment-safe.
+//!
+//! ```
+//! use extradeep_instrument::{instrument_source, InstrumentOptions};
+//!
+//! let src = "def training_step(images, labels):\n    return loss\n";
+//! let out = instrument_source(src, &InstrumentOptions::default());
+//! assert!(out.source.contains("@nvtx.annotate(\"training_step\")"));
+//! assert!(out.source.contains("nvtx.mark(\"extradeep.step.training_step\")"));
+//! ```
+
+pub mod lexer;
+pub mod parser;
+pub mod rewrite;
+
+pub use lexer::{logical_lines, LineKind, LogicalLine};
+pub use parser::{parse_functions, PyFunction};
+pub use rewrite::{instrument_source, InstrumentOptions, InstrumentedSource};

@@ -1,0 +1,204 @@
+//! Extraction of instrumentable function definitions from Python sources.
+//!
+//! Builds on the logical-line lexer to produce qualified function names
+//! (`Class.method`, `outer.inner`) with their decorators, so the rewriter can
+//! decide what to annotate and detect already-instrumented code.
+
+use crate::lexer::{logical_lines, LineKind};
+
+/// One function definition found in a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PyFunction {
+    /// Bare name, e.g. `training_step`.
+    pub name: String,
+    /// Qualified name including enclosing classes/functions, e.g.
+    /// `Trainer.training_step`.
+    pub qualified_name: String,
+    /// 0-based physical line of the `def` (after any decorators).
+    pub def_line: usize,
+    /// Indentation string of the `def` line.
+    pub indent: String,
+    /// Decorator texts directly above the def, innermost last.
+    pub decorators: Vec<String>,
+    /// 0-based physical line where the decorator block starts (equals
+    /// `def_line` when there are no decorators).
+    pub insert_line: usize,
+    pub is_async: bool,
+    /// True when defined directly inside a `class` body.
+    pub is_method: bool,
+}
+
+impl PyFunction {
+    /// Whether any decorator mentions the given marker (e.g. `nvtx.annotate`).
+    pub fn has_decorator_containing(&self, marker: &str) -> bool {
+        self.decorators.iter().any(|d| d.contains(marker))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Scope {
+    indent_len: usize,
+    name: String,
+    is_class: bool,
+}
+
+fn indent_len(s: &str) -> usize {
+    // Treat a tab as 8 columns, the Python tokenizer default.
+    s.chars().map(|c| if c == '\t' { 8 } else { 1 }).sum()
+}
+
+/// Parses all function definitions in a source file.
+pub fn parse_functions(source: &str) -> Vec<PyFunction> {
+    let lines = logical_lines(source);
+    let mut out = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending_decorators: Vec<(usize, String)> = Vec::new();
+
+    for line in &lines {
+        let this_indent = indent_len(&line.indent);
+        match &line.kind {
+            LineKind::Decorator { text } => {
+                pending_decorators.push((line.start_line, text.clone()));
+            }
+            LineKind::FunctionDef { name, is_async } => {
+                pop_scopes(&mut scopes, this_indent);
+                let is_method = scopes.last().is_some_and(|s| s.is_class);
+                let qualified_name = qualify(&scopes, name);
+                let insert_line = pending_decorators
+                    .first()
+                    .map(|&(l, _)| l)
+                    .unwrap_or(line.start_line);
+                out.push(PyFunction {
+                    name: name.clone(),
+                    qualified_name: qualified_name.clone(),
+                    def_line: line.start_line,
+                    indent: line.indent.clone(),
+                    decorators: pending_decorators.iter().map(|(_, d)| d.clone()).collect(),
+                    insert_line,
+                    is_async: *is_async,
+                    is_method,
+                });
+                pending_decorators.clear();
+                scopes.push(Scope {
+                    indent_len: this_indent,
+                    name: name.clone(),
+                    is_class: false,
+                });
+            }
+            LineKind::ClassDef { name } => {
+                pop_scopes(&mut scopes, this_indent);
+                pending_decorators.clear();
+                scopes.push(Scope {
+                    indent_len: this_indent,
+                    name: name.clone(),
+                    is_class: true,
+                });
+            }
+            _ => {
+                // Non-def content resets any dangling decorators (they did
+                // not precede a def) and closes scopes it has dedented from.
+                if !line.text.trim().is_empty() {
+                    pop_scopes_strict(&mut scopes, this_indent);
+                    pending_decorators.clear();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pops scopes whose bodies this def/class cannot be inside (indent <= scope).
+fn pop_scopes(scopes: &mut Vec<Scope>, indent: usize) {
+    while scopes.last().is_some_and(|s| indent <= s.indent_len) {
+        scopes.pop();
+    }
+}
+
+/// Pops scopes for ordinary statements: a statement at the same indent as a
+/// scope header is *outside* that scope's body.
+fn pop_scopes_strict(scopes: &mut Vec<Scope>, indent: usize) {
+    while scopes.last().is_some_and(|s| indent <= s.indent_len) {
+        scopes.pop();
+    }
+}
+
+fn qualify(scopes: &[Scope], name: &str) -> String {
+    let mut parts: Vec<&str> = scopes.iter().map(|s| s.name.as_str()).collect();
+    parts.push(name);
+    parts.join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_top_level_functions() {
+        let src = "def train():\n    pass\n\ndef test():\n    pass\n";
+        let funcs = parse_functions(src);
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].qualified_name, "train");
+        assert_eq!(funcs[1].qualified_name, "test");
+        assert_eq!(funcs[1].def_line, 3);
+    }
+
+    #[test]
+    fn qualifies_methods() {
+        let src = "class Trainer:\n    def fit(self):\n        pass\n    def evaluate(self):\n        pass\n";
+        let funcs = parse_functions(src);
+        assert_eq!(funcs[0].qualified_name, "Trainer.fit");
+        assert!(funcs[0].is_method);
+        assert_eq!(funcs[1].qualified_name, "Trainer.evaluate");
+    }
+
+    #[test]
+    fn qualifies_nested_functions() {
+        let src = "def outer():\n    def inner():\n        pass\n";
+        let funcs = parse_functions(src);
+        assert_eq!(funcs[1].qualified_name, "outer.inner");
+        assert!(!funcs[1].is_method);
+    }
+
+    #[test]
+    fn collects_decorators_and_insert_line() {
+        let src = "@tf.function\n@other\ndef training_step(x):\n    pass\n";
+        let funcs = parse_functions(src);
+        assert_eq!(funcs[0].decorators, vec!["tf.function", "other"]);
+        assert_eq!(funcs[0].insert_line, 0);
+        assert_eq!(funcs[0].def_line, 2);
+        assert!(funcs[0].has_decorator_containing("tf.function"));
+    }
+
+    #[test]
+    fn sibling_after_nested_scope_is_top_level() {
+        let src = "class A:\n    def m(self):\n        pass\n\ndef free():\n    pass\n";
+        let funcs = parse_functions(src);
+        assert_eq!(funcs[1].qualified_name, "free");
+        assert!(!funcs[1].is_method);
+    }
+
+    #[test]
+    fn statement_at_class_indent_closes_scope() {
+        let src = "class A:\n    x = 1\nprint()\ndef f():\n    pass\n";
+        let funcs = parse_functions(src);
+        assert_eq!(funcs[0].qualified_name, "f");
+    }
+
+    #[test]
+    fn async_methods_detected() {
+        let src = "class S:\n    async def run(self):\n        pass\n";
+        let funcs = parse_functions(src);
+        assert!(funcs[0].is_async);
+        assert_eq!(funcs[0].qualified_name, "S.run");
+    }
+
+    #[test]
+    fn dangling_decorator_cleared_by_statement() {
+        // A decorator-like line followed by a plain statement must not attach
+        // to a later def.
+        let src = "@not_a_decorator\nx = 1\ndef f():\n    pass\n";
+        let funcs = parse_functions(src);
+        assert!(funcs[0].decorators.is_empty());
+        assert_eq!(funcs[0].insert_line, funcs[0].def_line);
+    }
+}

@@ -1,0 +1,303 @@
+//! Source rewriting: injects NVTX annotations into Python code.
+//!
+//! Implements the paper's step (1): every user-defined function receives an
+//! `@nvtx.annotate("qualified.name")` decorator, and functions recognized as
+//! epoch / training-step callbacks additionally receive `nvtx.mark(...)`
+//! calls so the profiler records step and epoch boundary timestamps
+//! (paper §2.2: "we inject NVTX marks into the training step and epoch
+//! callback functions").
+
+use crate::parser::{parse_functions, PyFunction};
+
+/// Instrumentation options.
+#[derive(Debug, Clone)]
+pub struct InstrumentOptions {
+    /// Decorator marker used both for emission and idempotency detection.
+    pub annotate_marker: String,
+    /// Function-name substrings treated as *epoch* callbacks.
+    pub epoch_callback_patterns: Vec<String>,
+    /// Function-name substrings treated as *step* callbacks.
+    pub step_callback_patterns: Vec<String>,
+    /// Skip dunder functions such as `__init__`.
+    pub skip_dunder: bool,
+}
+
+impl Default for InstrumentOptions {
+    fn default() -> Self {
+        InstrumentOptions {
+            annotate_marker: "nvtx.annotate".to_string(),
+            epoch_callback_patterns: vec![
+                "on_epoch_begin".into(),
+                "on_epoch_end".into(),
+                "epoch_callback".into(),
+            ],
+            step_callback_patterns: vec![
+                "on_train_batch_begin".into(),
+                "on_train_batch_end".into(),
+                "on_test_batch_begin".into(),
+                "on_test_batch_end".into(),
+                "step_callback".into(),
+                "training_step".into(),
+                "validation_step".into(),
+            ],
+            skip_dunder: true,
+        }
+    }
+}
+
+/// Result of instrumenting one source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrumentedSource {
+    pub source: String,
+    /// Qualified names of newly annotated functions.
+    pub annotated: Vec<String>,
+    /// Qualified names of functions that already carried an annotation.
+    pub skipped_existing: Vec<String>,
+    /// Qualified names where a step/epoch mark call was injected.
+    pub marked_callbacks: Vec<String>,
+}
+
+fn is_dunder(name: &str) -> bool {
+    name.starts_with("__") && name.ends_with("__")
+}
+
+fn callback_kind(options: &InstrumentOptions, f: &PyFunction) -> Option<&'static str> {
+    if options
+        .epoch_callback_patterns
+        .iter()
+        .any(|p| f.name.contains(p.as_str()))
+    {
+        Some("epoch")
+    } else if options
+        .step_callback_patterns
+        .iter()
+        .any(|p| f.name.contains(p.as_str()))
+    {
+        Some("step")
+    } else {
+        None
+    }
+}
+
+/// Finds the physical line index of the first statement of a function body,
+/// given the `def` header line. Returns `None` for bodiless (stub) sources.
+fn body_start(lines: &[&str], def_line: usize) -> Option<(usize, String)> {
+    // Skip to the end of the (possibly multi-line) signature: the line whose
+    // scrubbed content ends the header with ':'.
+    let mut i = def_line;
+    let mut depth = 0i32;
+    loop {
+        let line = lines.get(i)?;
+        for c in line.chars() {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 && line.trim_end().ends_with(':') {
+            break;
+        }
+        i += 1;
+        if i > def_line + 50 {
+            return None;
+        }
+    }
+    // First non-blank line after the header is the body start.
+    let mut j = i + 1;
+    while j < lines.len() && lines[j].trim().is_empty() {
+        j += 1;
+    }
+    if j >= lines.len() {
+        return None;
+    }
+    let indent: String = lines[j]
+        .chars()
+        .take_while(|c| *c == ' ' || *c == '\t')
+        .collect();
+    Some((j, indent))
+}
+
+/// Instruments one Python source. The transformation is idempotent: running
+/// it on its own output changes nothing.
+pub fn instrument_source(source: &str, options: &InstrumentOptions) -> InstrumentedSource {
+    let functions = parse_functions(source);
+    let lines: Vec<&str> = source.lines().collect();
+
+    // Planned insertions: (physical line index, text). Inserting *before*
+    // the given index; collected first, applied back-to-front.
+    let mut insertions: Vec<(usize, String)> = Vec::new();
+    let mut annotated = Vec::new();
+    let mut skipped_existing = Vec::new();
+    let mut marked_callbacks = Vec::new();
+
+    for f in &functions {
+        if options.skip_dunder && is_dunder(&f.name) {
+            continue;
+        }
+        if f.has_decorator_containing(&options.annotate_marker) {
+            skipped_existing.push(f.qualified_name.clone());
+        } else {
+            insertions.push((
+                f.insert_line,
+                format!(
+                    "{}@{}(\"{}\")",
+                    f.indent, options.annotate_marker, f.qualified_name
+                ),
+            ));
+            annotated.push(f.qualified_name.clone());
+        }
+
+        if let Some(kind) = callback_kind(options, f) {
+            if let Some((body_line, body_indent)) = body_start(&lines, f.def_line) {
+                let mark = format!(
+                    "{body_indent}nvtx.mark(\"extradeep.{kind}.{}\")",
+                    f.qualified_name
+                );
+                // Idempotency: skip when the mark is already the first body
+                // statement.
+                if lines.get(body_line).map(|l| l.trim()) != Some(mark.trim()) {
+                    insertions.push((body_line, mark));
+                    marked_callbacks.push(f.qualified_name.clone());
+                }
+            }
+        }
+    }
+
+    // Ensure `import nvtx` exists when we add any instrumentation.
+    let has_nvtx_import = lines
+        .iter()
+        .any(|l| l.trim() == "import nvtx" || l.trim().starts_with("import nvtx "));
+    if !insertions.is_empty() && !has_nvtx_import {
+        // After an initial shebang / encoding comment block, before code.
+        let mut at = 0;
+        while at < lines.len() && (lines[at].starts_with("#!") || lines[at].starts_with("# -*-")) {
+            at += 1;
+        }
+        insertions.push((at, "import nvtx".to_string()));
+    }
+
+    // Apply insertions bottom-up so indices stay valid. Stable ordering:
+    // later line first; ties keep declaration order reversed so that a
+    // decorator inserted at the same index as an import lands after it.
+    insertions.sort_by_key(|ins| std::cmp::Reverse(ins.0));
+    let mut out: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+    for (idx, text) in insertions {
+        let at = idx.min(out.len());
+        out.insert(at, text);
+    }
+
+    let mut source_out = out.join("\n");
+    if source.ends_with('\n') {
+        source_out.push('\n');
+    }
+    InstrumentedSource {
+        source: source_out,
+        annotated,
+        skipped_existing,
+        marked_callbacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> InstrumentedSource {
+        instrument_source(src, &InstrumentOptions::default())
+    }
+
+    #[test]
+    fn annotates_simple_function() {
+        let out = run("def train():\n    pass\n");
+        assert!(out.source.contains("@nvtx.annotate(\"train\")"));
+        assert!(out.source.starts_with("import nvtx\n"));
+        assert_eq!(out.annotated, vec!["train"]);
+    }
+
+    #[test]
+    fn annotates_methods_with_qualified_names() {
+        let out = run("class Trainer:\n    def fit(self):\n        pass\n");
+        assert!(out
+            .source
+            .contains("    @nvtx.annotate(\"Trainer.fit\")\n    def fit(self):"));
+    }
+
+    #[test]
+    fn is_idempotent() {
+        let src = "class T:\n    def fit(self):\n        pass\n\ndef training_step(x):\n    return x\n";
+        let once = run(src);
+        let twice = run(&once.source);
+        assert_eq!(once.source, twice.source);
+        assert!(twice.annotated.is_empty());
+        assert_eq!(twice.skipped_existing.len(), 2);
+    }
+
+    #[test]
+    fn injects_step_mark_into_callback() {
+        let out = run("def training_step(images, labels):\n    return loss\n");
+        assert!(out
+            .source
+            .contains("    nvtx.mark(\"extradeep.step.training_step\")"));
+        assert_eq!(out.marked_callbacks, vec!["training_step"]);
+    }
+
+    #[test]
+    fn injects_epoch_mark_into_callback() {
+        let out = run("def on_epoch_end(self, epoch, logs):\n    save(epoch)\n");
+        assert!(out
+            .source
+            .contains("nvtx.mark(\"extradeep.epoch.on_epoch_end\")"));
+    }
+
+    #[test]
+    fn skips_dunder_functions() {
+        let out = run("class M:\n    def __init__(self):\n        pass\n");
+        assert!(!out.source.contains("@nvtx.annotate"));
+        assert!(out.annotated.is_empty());
+    }
+
+    #[test]
+    fn preserves_existing_decorators_above() {
+        let out = run("@tf.function\ndef training_step(x):\n    return x\n");
+        let annotate_pos = out.source.find("@nvtx.annotate").unwrap();
+        let tf_pos = out.source.find("@tf.function").unwrap();
+        let def_pos = out.source.find("def training_step").unwrap();
+        assert!(annotate_pos < tf_pos || annotate_pos < def_pos);
+        assert!(out.source.contains("@tf.function"));
+    }
+
+    #[test]
+    fn does_not_duplicate_import() {
+        let out = run("import nvtx\ndef f():\n    pass\n");
+        assert_eq!(out.source.matches("import nvtx").count(), 1);
+    }
+
+    #[test]
+    fn multiline_signature_mark_lands_in_body() {
+        let src = "def training_step(\n    images,\n    labels,\n):\n    loss = 1\n    return loss\n";
+        let out = run(src);
+        let lines: Vec<&str> = out.source.lines().collect();
+        let mark_idx = lines
+            .iter()
+            .position(|l| l.contains("nvtx.mark"))
+            .expect("mark inserted");
+        assert!(lines[mark_idx - 1].trim_end().ends_with("):"));
+    }
+
+    #[test]
+    fn untouched_when_no_functions() {
+        let src = "x = 1\nprint(x)\n";
+        let out = run(src);
+        assert_eq!(out.source, src);
+        assert!(out.annotated.is_empty());
+    }
+
+    #[test]
+    fn preserves_trailing_newline_semantics() {
+        let with_nl = run("def f():\n    pass\n");
+        assert!(with_nl.source.ends_with('\n'));
+        let without_nl = run("def f():\n    pass");
+        assert!(!without_nl.source.ends_with('\n'));
+    }
+}

@@ -1,0 +1,285 @@
+//! Confidence intervals for model predictions.
+//!
+//! Figure 3 of the paper plots a 95% confidence band of the epoch-time model.
+//! We provide the standard linear-regression analytic interval (via the
+//! covariance of the fitted coefficients) and a nonparametric bootstrap over
+//! measurement repetitions.
+
+use crate::hypothesis::HypothesisShape;
+use crate::linalg::{self, Matrix};
+use crate::measurement::Coordinate;
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided Student-t quantiles for 95% confidence, indexed by degrees of
+/// freedom 1..=30; larger df falls back to the normal quantile 1.96.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 97.5th percentile of the t distribution for `df` degrees of freedom.
+pub fn t_quantile_975(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Analytic confidence-interval machinery retained from a regression fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionBand {
+    shape: HypothesisShape,
+    /// `(X'X)^{-1}` stored row-major.
+    xtx_inv: Vec<Vec<f64>>,
+    /// Residual variance estimate `s^2 = RSS / (n - k)`.
+    sigma2: f64,
+    /// Residual degrees of freedom `n - k`.
+    df: usize,
+}
+
+impl RegressionBand {
+    /// The hypothesis shape this band was fitted for.
+    pub fn shape(&self) -> &HypothesisShape {
+        &self.shape
+    }
+
+    /// Builds the band from the fit inputs. Returns `None` when there are no
+    /// residual degrees of freedom or the Gram matrix is singular.
+    pub fn from_fit(
+        shape: &HypothesisShape,
+        points: &[(Coordinate, f64)],
+        rss: f64,
+    ) -> Option<Self> {
+        let k = shape.num_coefficients();
+        let n = points.len();
+        if n <= k {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = points.iter().map(|(c, _)| shape.design_row(c)).collect();
+        let design = Matrix::from_rows(&rows);
+        let inv = linalg::invert(&design.gram())?;
+        let xtx_inv = (0..k)
+            .map(|r| (0..k).map(|c| inv.get(r, c)).collect())
+            .collect();
+        Some(RegressionBand {
+            shape: shape.clone(),
+            xtx_inv,
+            sigma2: rss / (n - k) as f64,
+            df: n - k,
+        })
+    }
+
+    pub fn degrees_of_freedom(&self) -> usize {
+        self.df
+    }
+
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// Standard error of the *mean response* at a point:
+    /// `sqrt(s^2 * x0' (X'X)^{-1} x0)`.
+    pub fn mean_std_error(&self, point: &[f64]) -> f64 {
+        let x0 = self.shape.design_row(point);
+        let k = x0.len();
+        let mut quad = 0.0;
+        for i in 0..k {
+            for j in 0..k {
+                quad += x0[i] * self.xtx_inv[i][j] * x0[j];
+            }
+        }
+        (self.sigma2 * quad.max(0.0)).sqrt()
+    }
+
+    /// Standard error of a *new observation* (prediction interval):
+    /// `sqrt(s^2 * (1 + x0' (X'X)^{-1} x0))`.
+    pub fn prediction_std_error(&self, point: &[f64]) -> f64 {
+        let se_mean = self.mean_std_error(point);
+        (self.sigma2 + se_mean * se_mean).sqrt()
+    }
+
+    /// 95% confidence interval of the mean response at a point.
+    pub fn confidence_interval(&self, predicted: f64, point: &[f64]) -> (f64, f64) {
+        let half = t_quantile_975(self.df) * self.mean_std_error(point);
+        (predicted - half, predicted + half)
+    }
+
+    /// 95% prediction interval for a new measurement at a point.
+    pub fn prediction_interval(&self, predicted: f64, point: &[f64]) -> (f64, f64) {
+        let half = t_quantile_975(self.df) * self.prediction_std_error(point);
+        (predicted - half, predicted + half)
+    }
+}
+
+/// Nonparametric bootstrap of a fitted model's prediction at one point.
+///
+/// Resamples the measurement repetitions with replacement, refits the
+/// *selected* hypothesis shape's coefficients on each resample, and returns
+/// the `[2.5%, 97.5%]` percentile interval of the predictions. Complements
+/// the analytic band: it reflects the actual repetition spread rather than
+/// the homoscedastic-residual assumption.
+///
+/// Returns `None` when the model carries no band (saturated fit) or too few
+/// resamples produce a valid refit.
+pub fn bootstrap_interval(
+    model: &crate::model::Model,
+    data: &crate::measurement::ExperimentData,
+    point: &[f64],
+    iterations: usize,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    let shape = model.band.as_ref()?.shape().clone();
+
+    // Local splitmix64/xorshift PRNG: the model crate stays dependency-free.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move |bound: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % bound.max(1) as u64) as usize
+    };
+
+    let mut predictions = Vec::with_capacity(iterations);
+    for _ in 0..iterations.max(1) {
+        let resampled: Vec<(Coordinate, f64)> = data
+            .measurements
+            .iter()
+            .map(|m| {
+                let vals = &m.values;
+                let pick = if vals.is_empty() {
+                    f64::NAN
+                } else {
+                    vals[next(vals.len())]
+                };
+                (m.coordinate.clone(), pick)
+            })
+            .collect();
+        if resampled.iter().any(|(_, v)| !v.is_finite()) {
+            continue;
+        }
+        if let Some(fitted) = crate::hypothesis::fit(&shape, &resampled) {
+            let p = fitted.function.evaluate(point);
+            if p.is_finite() {
+                predictions.push(p);
+            }
+        }
+    }
+    if predictions.len() < 10 {
+        return None;
+    }
+    predictions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = predictions[(predictions.len() as f64 * 0.025) as usize];
+    let hi = predictions[((predictions.len() as f64 * 0.975) as usize).min(predictions.len() - 1)];
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+    use crate::hypothesis::{self, HypothesisShape};
+    use crate::search_space::TermShape;
+
+    fn pts(raw: &[(f64, f64)]) -> Vec<(Coordinate, f64)> {
+        raw.iter().map(|&(x, v)| (vec![x], v)).collect()
+    }
+
+    #[test]
+    fn t_quantiles_monotonically_decrease() {
+        assert!(t_quantile_975(1) > t_quantile_975(2));
+        assert!(t_quantile_975(5) > t_quantile_975(30));
+        assert_eq!(t_quantile_975(1000), 1.96);
+        assert!(t_quantile_975(0).is_infinite());
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_width_band() {
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[(2.0, 4.0), (4.0, 8.0), (8.0, 16.0), (16.0, 32.0), (32.0, 64.0)]);
+        let fitted = hypothesis::fit(&shape, &data).unwrap();
+        let band = RegressionBand::from_fit(&shape, &data, fitted.rss).unwrap();
+        let (lo, hi) = band.confidence_interval(fitted.function.evaluate_at(10.0), &[10.0]);
+        assert!((hi - lo).abs() < 1e-6, "band width {}", hi - lo);
+    }
+
+    #[test]
+    fn noisy_fit_has_positive_band_growing_with_extrapolation() {
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[
+            (2.0, 4.3),
+            (4.0, 7.6),
+            (8.0, 16.5),
+            (16.0, 31.2),
+            (32.0, 65.0),
+        ]);
+        let fitted = hypothesis::fit(&shape, &data).unwrap();
+        let band = RegressionBand::from_fit(&shape, &data, fitted.rss).unwrap();
+        let near = band.mean_std_error(&[16.0]);
+        let far = band.mean_std_error(&[128.0]);
+        assert!(near > 0.0);
+        assert!(far > near, "extrapolated SE {far} must exceed in-range {near}");
+    }
+
+    #[test]
+    fn prediction_interval_wider_than_confidence_interval() {
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[(2.0, 4.3), (4.0, 7.6), (8.0, 16.5), (16.0, 31.2), (32.0, 65.0)]);
+        let fitted = hypothesis::fit(&shape, &data).unwrap();
+        let band = RegressionBand::from_fit(&shape, &data, fitted.rss).unwrap();
+        let p = fitted.function.evaluate_at(20.0);
+        let (clo, chi) = band.confidence_interval(p, &[20.0]);
+        let (plo, phi) = band.prediction_interval(p, &[20.0]);
+        assert!(phi - plo > chi - clo);
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_the_prediction() {
+        use crate::measurement::{ExperimentData, Measurement};
+        use crate::modeler::{model_single_parameter, ModelerOptions};
+        // Noisy linear data with 5 repetitions per point.
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let reps = |x: f64| -> Vec<f64> {
+            let base = 10.0 + 3.0 * x;
+            vec![base * 0.97, base * 0.99, base, base * 1.01, base * 1.03]
+        };
+        let data = ExperimentData::new(
+            vec!["p".into()],
+            xs.iter().map(|&x| Measurement::new(vec![x], reps(x))).collect(),
+        );
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let (lo, hi) = super::bootstrap_interval(&model, &data, &[64.0], 200, 7)
+            .expect("bootstrap succeeds");
+        let p = model.predict_at(64.0);
+        assert!(lo <= p && p <= hi, "{lo} <= {p} <= {hi}");
+        // Interval is non-degenerate but bounded by the ±3% repetition noise.
+        assert!(hi - lo > 0.0);
+        assert!((hi - lo) / p < 0.2, "width {}", (hi - lo) / p);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        use crate::measurement::ExperimentData;
+        use crate::modeler::{model_single_parameter, ModelerOptions};
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&x| (x, 5.0 + 2.0 * x))
+            .collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let a = super::bootstrap_interval(&model, &data, &[64.0], 100, 42);
+        let b = super::bootstrap_interval(&model, &data, &[64.0], 100, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn saturated_fit_has_no_band() {
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[(2.0, 4.0), (4.0, 8.0)]);
+        assert!(RegressionBand::from_fit(&shape, &data, 0.0).is_none());
+    }
+}

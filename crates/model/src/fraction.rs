@@ -1,0 +1,170 @@
+//! Exact rational exponents for PMNF terms.
+//!
+//! Extra-P's model search space uses fractional polynomial exponents such as
+//! `2/3` or `5/4`. Storing them as reduced fractions (rather than `f64`)
+//! keeps hypothesis identity exact, makes `Display` render the familiar
+//! `x^(2/3)` notation, and gives a total order for growth comparison.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A reduced rational number `num/den` with `den > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fraction {
+    num: i32,
+    den: i32,
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Fraction {
+    /// Creates a reduced fraction. Panics if `den == 0`.
+    pub fn new(num: i32, den: i32) -> Self {
+        assert!(den != 0, "fraction denominator must be nonzero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num as i64, den as i64).max(1) as i32;
+        Fraction {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The fraction 0/1.
+    pub const fn zero() -> Self {
+        Fraction { num: 0, den: 1 }
+    }
+
+    /// A whole number `n/1`.
+    pub const fn whole(n: i32) -> Self {
+        Fraction { num: n, den: 1 }
+    }
+
+    pub fn numerator(&self) -> i32 {
+        self.num
+    }
+
+    pub fn denominator(&self) -> i32 {
+        self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Self {
+        Fraction {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Fraction {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fraction {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Cross-multiplication avoids float rounding; denominators are > 0.
+        let lhs = self.num as i64 * other.den as i64;
+        let rhs = other.num as i64 * self.den as i64;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i32> for Fraction {
+    fn from(n: i32) -> Self {
+        Fraction::whole(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let f = Fraction::new(4, 6);
+        assert_eq!(f.numerator(), 2);
+        assert_eq!(f.denominator(), 3);
+    }
+
+    #[test]
+    fn normalizes_sign_into_numerator() {
+        let f = Fraction::new(1, -2);
+        assert_eq!(f.numerator(), -1);
+        assert_eq!(f.denominator(), 2);
+        assert!(f.is_negative());
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Fraction::zero().is_zero());
+        assert!(Fraction::new(0, 5).is_zero());
+        assert_eq!(Fraction::new(0, 5), Fraction::zero());
+    }
+
+    #[test]
+    fn ordering_matches_float_value() {
+        let half = Fraction::new(1, 2);
+        let two_thirds = Fraction::new(2, 3);
+        let three_quarters = Fraction::new(3, 4);
+        assert!(half < two_thirds);
+        assert!(two_thirds < three_quarters);
+        assert!(Fraction::new(-1, 2) < Fraction::zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Fraction::new(2, 3).to_string(), "2/3");
+        assert_eq!(Fraction::whole(2).to_string(), "2");
+        assert_eq!(Fraction::new(-5, 4).to_string(), "-5/4");
+    }
+
+    #[test]
+    fn as_f64_matches() {
+        assert!((Fraction::new(2, 3).as_f64() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neg_roundtrips() {
+        let f = Fraction::new(5, 4);
+        assert_eq!(f.neg().neg(), f);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Fraction::new(1, 0);
+    }
+}

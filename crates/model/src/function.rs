@@ -1,0 +1,264 @@
+//! The performance function `f(x) = c_0 + Σ_k c_k · Π_l x_l^{i} log2^{j}(x_l)`
+//! together with asymptotic growth comparison used for bottleneck ranking.
+
+use crate::fraction::Fraction;
+use crate::term::{CompoundTerm, SimpleTerm};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A fitted PMNF performance function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceFunction {
+    /// The constant coefficient `c_0`.
+    pub constant: f64,
+    /// The non-constant compound terms.
+    pub terms: Vec<CompoundTerm>,
+}
+
+impl PerformanceFunction {
+    pub fn constant_only(c0: f64) -> Self {
+        PerformanceFunction {
+            constant: c0,
+            terms: Vec::new(),
+        }
+    }
+
+    pub fn new(constant: f64, terms: Vec<CompoundTerm>) -> Self {
+        PerformanceFunction { constant, terms }
+    }
+
+    /// Evaluates the function at a parameter vector.
+    pub fn evaluate(&self, point: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|t| t.evaluate(point)).sum::<f64>()
+    }
+
+    /// Convenience for single-parameter functions.
+    pub fn evaluate_at(&self, x: f64) -> f64 {
+        self.evaluate(&[x])
+    }
+
+    pub fn is_constant(&self) -> bool {
+        self.terms.iter().all(CompoundTerm::is_constant)
+    }
+
+    /// Growth key of the dominant term, used to compare asymptotic behavior.
+    ///
+    /// For each parameter the dominant exponent pair is the lexicographic
+    /// maximum of `(i, j)`: polynomial growth dominates any logarithmic
+    /// factor. Across terms we take the per-parameter maximum so that
+    /// multi-term functions compare by their fastest-growing component.
+    pub fn growth_key(&self) -> GrowthKey {
+        let mut per_param: Vec<(Fraction, u32)> = Vec::new();
+        for term in &self.terms {
+            // Terms with (numerically) vanishing coefficients do not grow.
+            if term.coefficient.abs() < 1e-12 {
+                continue;
+            }
+            for f in &term.factors {
+                if per_param.len() <= f.parameter {
+                    per_param.resize(f.parameter + 1, (Fraction::zero(), 0));
+                }
+                let entry = &mut per_param[f.parameter];
+                let candidate = (f.exponent, f.log_exponent);
+                if candidate > *entry {
+                    *entry = candidate;
+                }
+            }
+        }
+        GrowthKey { per_param }
+    }
+
+    /// Big-O style rendering of the dominant growth, e.g. `O(p^(2/3) * log2(p)^2)`.
+    pub fn big_o(&self, names: &[&str]) -> String {
+        let key = self.growth_key();
+        if key.per_param.iter().all(|(e, l)| e.is_zero() && *l == 0) {
+            return "O(1)".to_string();
+        }
+        let mut parts = Vec::new();
+        for (idx, (exp, log)) in key.per_param.iter().enumerate() {
+            if exp.is_zero() && *log == 0 {
+                continue;
+            }
+            let mut s = String::new();
+            let t = SimpleTerm::new(idx, *exp, *log);
+            let term = CompoundTerm::new(1.0, vec![t]);
+            let rendered = term.format_with(names);
+            // Strip the leading "1.0000 * " coefficient rendering.
+            s.push_str(rendered.trim_start_matches("1.0000 * "));
+            parts.push(s);
+        }
+        format!("O({})", parts.join(" * "))
+    }
+
+    /// Renders the full function, e.g. `158.58 + 0.58 * p^(2/3) * log2(p)^2`.
+    pub fn format_with(&self, names: &[&str]) -> String {
+        let mut s = format!("{:.4}", self.constant);
+        for t in &self.terms {
+            if t.coefficient >= 0.0 {
+                s.push_str(" + ");
+                s.push_str(&t.format_with(names));
+            } else {
+                // Render subtraction instead of "+ -c".
+                let mut flipped = t.clone();
+                flipped.coefficient = -flipped.coefficient;
+                s.push_str(" - ");
+                s.push_str(&flipped.format_with(names));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for PerformanceFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max_param = self
+            .terms
+            .iter()
+            .flat_map(|t| t.factors.iter().map(|s| s.parameter))
+            .max()
+            .unwrap_or(0);
+        let default_names = ["x1", "x2", "x3", "x4", "x5", "x6"];
+        let names: Vec<&str> = (0..=max_param)
+            .map(|i| default_names.get(i).copied().unwrap_or("x"))
+            .collect();
+        write!(f, "{}", self.format_with(&names))
+    }
+}
+
+/// Total order on asymptotic growth: compare per-parameter dominant `(i, j)`
+/// pairs lexicographically, the overall key by the strongest parameter first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrowthKey {
+    per_param: Vec<(Fraction, u32)>,
+}
+
+impl GrowthKey {
+    pub fn per_parameter(&self) -> &[(Fraction, u32)] {
+        &self.per_param
+    }
+
+    /// The single strongest `(exponent, log_exponent)` pair over all parameters.
+    pub fn dominant(&self) -> (Fraction, u32) {
+        self.per_param
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or((Fraction::zero(), 0))
+    }
+}
+
+impl PartialOrd for GrowthKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GrowthKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dominant()
+            .cmp(&other.dominant())
+            .then_with(|| self.per_param.cmp(&other.per_param))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case_study_model() -> PerformanceFunction {
+        // T_epoch(x1) = 158.58 + 0.58 * x1^(2/3) * log2(x1)^2
+        PerformanceFunction::new(
+            158.58,
+            vec![CompoundTerm::univariate(0.58, Fraction::new(2, 3), 2)],
+        )
+    }
+
+    #[test]
+    fn evaluates_case_study_prediction() {
+        // Paper: at 40 ranks the model predicts ~352.37 s per epoch.
+        let f = case_study_model();
+        let t40 = f.evaluate_at(40.0);
+        assert!((t40 - 352.37).abs() < 2.5, "got {t40}"); // paper rounds the printed coefficients
+    }
+
+    #[test]
+    fn constant_function() {
+        let f = PerformanceFunction::constant_only(42.0);
+        assert!(f.is_constant());
+        assert_eq!(f.evaluate_at(1e6), 42.0);
+        assert_eq!(f.big_o(&["p"]), "O(1)");
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let f = case_study_model();
+        assert_eq!(
+            f.format_with(&["x1"]),
+            "158.5800 + 0.5800 * x1^(2/3) * log2(x1)^2"
+        );
+    }
+
+    #[test]
+    fn negative_terms_render_as_subtraction() {
+        let f = PerformanceFunction::new(
+            10.0,
+            vec![CompoundTerm::univariate(-0.5, Fraction::whole(1), 0)],
+        );
+        assert_eq!(f.format_with(&["p"]), "10.0000 - 0.5000 * p");
+    }
+
+    #[test]
+    fn growth_ranking_orders_polynomials_over_logs() {
+        let lin = PerformanceFunction::new(
+            0.0,
+            vec![CompoundTerm::univariate(1.0, Fraction::whole(1), 0)],
+        );
+        let loglin = PerformanceFunction::new(
+            0.0,
+            vec![CompoundTerm::univariate(1.0, Fraction::whole(1), 1)],
+        );
+        let quad = PerformanceFunction::new(
+            0.0,
+            vec![CompoundTerm::univariate(1.0, Fraction::whole(2), 0)],
+        );
+        let logonly = PerformanceFunction::new(
+            0.0,
+            vec![CompoundTerm::univariate(1.0, Fraction::zero(), 2)],
+        );
+        assert!(quad.growth_key() > loglin.growth_key());
+        assert!(loglin.growth_key() > lin.growth_key());
+        assert!(lin.growth_key() > logonly.growth_key());
+        assert!(logonly.growth_key() > PerformanceFunction::constant_only(9.0).growth_key());
+    }
+
+    #[test]
+    fn zero_coefficient_terms_do_not_grow() {
+        let f = PerformanceFunction::new(
+            1.0,
+            vec![CompoundTerm::univariate(0.0, Fraction::whole(3), 0)],
+        );
+        assert_eq!(f.growth_key(), PerformanceFunction::constant_only(1.0).growth_key());
+    }
+
+    #[test]
+    fn big_o_renders_dominant_term() {
+        let f = case_study_model();
+        assert_eq!(f.big_o(&["p"]), "O(p^(2/3) * log2(p)^2)");
+    }
+
+    #[test]
+    fn multi_parameter_growth() {
+        let f = PerformanceFunction::new(
+            0.0,
+            vec![CompoundTerm::new(
+                1.0,
+                vec![
+                    SimpleTerm::new(0, Fraction::whole(1), 0),
+                    SimpleTerm::new(1, Fraction::whole(2), 0),
+                ],
+            )],
+        );
+        assert_eq!(f.growth_key().dominant(), (Fraction::whole(2), 0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Fitting one PMNF hypothesis shape to measurement data.
+//!
+//! For a fixed shape the model is linear in its coefficients, so ordinary
+//! least squares on the design matrix `[1, basis_1(x), ..., basis_h(x)]`
+//! recovers them (paper §2.3: "the coefficients c_k of the hypothesis are
+//! calculated using linear regression").
+
+use crate::function::PerformanceFunction;
+use crate::linalg::{self, Matrix};
+use crate::measurement::Coordinate;
+use crate::metrics;
+use crate::search_space::TermShape;
+use crate::term::{CompoundTerm, SimpleTerm};
+use serde::{Deserialize, Serialize};
+
+/// A hypothesis shape for (possibly) multiple parameters: each compound term
+/// is a list of per-parameter factors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HypothesisShape {
+    /// `terms[k][l]` = factor of term `k` on parameter index `factors.0`.
+    pub terms: Vec<Vec<(usize, TermShape)>>,
+}
+
+impl HypothesisShape {
+    /// Single-parameter shape on parameter 0.
+    pub fn univariate(shapes: &[TermShape]) -> Self {
+        HypothesisShape {
+            terms: shapes.iter().map(|&s| vec![(0, s)]).collect(),
+        }
+    }
+
+    /// The constant-only hypothesis `f(x) = c_0`.
+    pub fn constant() -> Self {
+        HypothesisShape { terms: Vec::new() }
+    }
+
+    pub fn num_coefficients(&self) -> usize {
+        1 + self.terms.len()
+    }
+
+    fn basis_term(factors: &[(usize, TermShape)], point: &[f64]) -> f64 {
+        factors
+            .iter()
+            .map(|&(param, shape)| {
+                SimpleTerm::new(param, shape.exponent, shape.log_exponent).evaluate(point)
+            })
+            .product()
+    }
+
+    /// Builds the design matrix row for one coordinate: `[1, b_1, ..., b_h]`.
+    pub fn design_row(&self, point: &[f64]) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.num_coefficients());
+        row.push(1.0);
+        for factors in &self.terms {
+            row.push(Self::basis_term(factors, point));
+        }
+        row
+    }
+
+    /// Converts fitted coefficients into a [`PerformanceFunction`].
+    pub fn instantiate(&self, coefficients: &[f64]) -> PerformanceFunction {
+        assert_eq!(coefficients.len(), self.num_coefficients());
+        let terms = self
+            .terms
+            .iter()
+            .zip(&coefficients[1..])
+            .map(|(factors, &c)| {
+                CompoundTerm::new(
+                    c,
+                    factors
+                        .iter()
+                        .map(|&(param, shape)| {
+                            SimpleTerm::new(param, shape.exponent, shape.log_exponent)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        PerformanceFunction::new(coefficients[0], terms)
+    }
+}
+
+/// A fitted hypothesis with its quality statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedHypothesis {
+    pub shape: HypothesisShape,
+    pub function: PerformanceFunction,
+    /// SMAPE of the fit against the training points, in percent.
+    pub smape: f64,
+    /// Leave-one-out cross-validated SMAPE, in percent (NaN when not run).
+    pub cv_smape: f64,
+    pub rss: f64,
+    pub r_squared: f64,
+}
+
+/// Fits the hypothesis by OLS. Returns `None` when the normal equations are
+/// singular (e.g. duplicate basis columns) or produce non-finite output.
+pub fn fit(shape: &HypothesisShape, points: &[(Coordinate, f64)]) -> Option<FittedHypothesis> {
+    let k = shape.num_coefficients();
+    if points.len() < k {
+        return None;
+    }
+    let rows: Vec<Vec<f64>> = points.iter().map(|(c, _)| shape.design_row(c)).collect();
+    let y: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+    let design = Matrix::from_rows(&rows);
+    let coeffs = linalg::solve(&design.gram(), &design.transpose_mul_vec(&y))?;
+    if coeffs.iter().any(|c| !c.is_finite()) {
+        return None;
+    }
+    let function = shape.instantiate(&coeffs);
+    let predicted = design.mul_vec(&coeffs);
+    if predicted.iter().any(|p| !p.is_finite()) {
+        return None;
+    }
+    Some(FittedHypothesis {
+        smape: metrics::smape(&predicted, &y),
+        rss: metrics::rss(&predicted, &y),
+        r_squared: metrics::r_squared(&predicted, &y),
+        cv_smape: f64::NAN,
+        shape: shape.clone(),
+        function,
+    })
+}
+
+/// Leave-one-out cross-validation: refit on `n-1` points, score the held-out
+/// point, average the SMAPE contributions. Returns `None` when any fold is
+/// unfittable.
+pub fn cross_validate(shape: &HypothesisShape, points: &[(Coordinate, f64)]) -> Option<f64> {
+    let n = points.len();
+    if n <= shape.num_coefficients() {
+        return None;
+    }
+    let mut preds = Vec::with_capacity(n);
+    let mut actuals = Vec::with_capacity(n);
+    for holdout in 0..n {
+        let training: Vec<(Coordinate, f64)> = points
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != holdout)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let fitted = fit(shape, &training)?;
+        preds.push(fitted.function.evaluate(&points[holdout].0));
+        actuals.push(points[holdout].1);
+    }
+    Some(metrics::smape(&preds, &actuals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+
+    fn pts(raw: &[(f64, f64)]) -> Vec<(Coordinate, f64)> {
+        raw.iter().map(|&(x, v)| (vec![x], v)).collect()
+    }
+
+    #[test]
+    fn constant_hypothesis_fits_mean() {
+        let shape = HypothesisShape::constant();
+        let fitted = fit(&shape, &pts(&[(2.0, 10.0), (4.0, 12.0), (8.0, 14.0)])).unwrap();
+        assert!((fitted.function.constant - 12.0).abs() < 1e-9);
+        assert!(fitted.function.is_constant());
+    }
+
+    #[test]
+    fn linear_hypothesis_recovers_exact_coefficients() {
+        // y = 3 + 2x
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[(2.0, 7.0), (4.0, 11.0), (8.0, 19.0), (16.0, 35.0), (32.0, 67.0)]);
+        let fitted = fit(&shape, &data).unwrap();
+        assert!((fitted.function.constant - 3.0).abs() < 1e-8);
+        assert!((fitted.function.terms[0].coefficient - 2.0).abs() < 1e-8);
+        assert!(fitted.smape < 1e-8);
+        assert!((fitted.r_squared - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_hypothesis_recovers_exact_coefficients() {
+        // y = 1 + 5*log2(x)
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::zero(), 1)]);
+        let data = pts(&[(2.0, 6.0), (4.0, 11.0), (8.0, 16.0), (16.0, 21.0), (32.0, 26.0)]);
+        let fitted = fit(&shape, &data).unwrap();
+        assert!((fitted.function.constant - 1.0).abs() < 1e-8);
+        assert!((fitted.function.terms[0].coefficient - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn too_few_points_is_rejected() {
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        assert!(fit(&shape, &pts(&[(2.0, 7.0)])).is_none());
+    }
+
+    #[test]
+    fn degenerate_design_is_rejected() {
+        // All x identical -> the linear column is collinear with the constant.
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[(4.0, 1.0), (4.0, 2.0), (4.0, 3.0)]);
+        assert!(fit(&shape, &data).is_none());
+    }
+
+    #[test]
+    fn cross_validation_prefers_true_shape() {
+        // y = 2 + 0.5 * x^2; quadratic CV error must be far below linear.
+        let data = pts(&[
+            (2.0, 4.0),
+            (4.0, 10.0),
+            (8.0, 34.0),
+            (16.0, 130.0),
+            (32.0, 514.0),
+        ]);
+        let quad = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(2), 0)]);
+        let lin = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let cv_quad = cross_validate(&quad, &data).unwrap();
+        let cv_lin = cross_validate(&lin, &data).unwrap();
+        assert!(cv_quad < 1e-6, "quad cv = {cv_quad}");
+        assert!(cv_lin > 1.0, "lin cv = {cv_lin}");
+    }
+
+    #[test]
+    fn two_term_hypothesis_fits_mixed_function() {
+        // y = 1 + 2x + 3*log2(x)
+        let shape = HypothesisShape::univariate(&[
+            TermShape::new(Fraction::whole(1), 0),
+            TermShape::new(Fraction::zero(), 1),
+        ]);
+        let data = pts(&[
+            (2.0, 8.0),
+            (4.0, 15.0),
+            (8.0, 26.0),
+            (16.0, 45.0),
+            (32.0, 80.0),
+        ]);
+        let fitted = fit(&shape, &data).unwrap();
+        assert!((fitted.function.constant - 1.0).abs() < 1e-7);
+        assert!((fitted.function.terms[0].coefficient - 2.0).abs() < 1e-7);
+        assert!((fitted.function.terms[1].coefficient - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn multivariate_design_row() {
+        // Shape: c0 + c1 * x0 * log2(x1)
+        let shape = HypothesisShape {
+            terms: vec![vec![
+                (0, TermShape::new(Fraction::whole(1), 0)),
+                (1, TermShape::new(Fraction::zero(), 1)),
+            ]],
+        };
+        let row = shape.design_row(&[3.0, 4.0]);
+        assert_eq!(row.len(), 2);
+        assert!((row[1] - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! # extradeep-model
+//!
+//! The empirical performance-modeling engine of the Extra-Deep reproduction:
+//! a from-scratch implementation of the Extra-P core methodology that
+//! Extra-Deep builds on (Ritter & Wolf, SC-W 2023, §2.3).
+//!
+//! A performance model expresses a metric (runtime, visits, bytes) as a
+//! function of execution parameters using the *performance model normal form*
+//! (PMNF):
+//!
+//! ```text
+//! f(x_1, ..., x_m) = c_0 + Σ_k c_k · Π_l x_l^{i_kl} · log2^{j_kl}(x_l)
+//! ```
+//!
+//! Model creation instantiates the PMNF with exponents from a search space,
+//! fits each hypothesis's coefficients by ordinary least squares, and selects
+//! the hypothesis with the smallest cross-validated SMAPE.
+//!
+//! ## Example
+//!
+//! ```
+//! use extradeep_model::{ExperimentData, ModelerOptions, model_single_parameter};
+//!
+//! // Training time per epoch measured at five scales (weak scaling).
+//! let data = ExperimentData::univariate("ranks", &[
+//!     (2.0, 160.2), (4.0, 163.9), (8.0, 172.1), (16.0, 187.3), (32.0, 213.8),
+//! ]);
+//! let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+//! let predicted_64 = model.predict_at(64.0);
+//! assert!(predicted_64 > 213.8); // training time keeps growing with scale
+//! println!("T_epoch(ranks) = {}", model.formatted());
+//! ```
+
+pub mod confidence;
+pub mod fraction;
+pub mod function;
+pub mod hypothesis;
+pub mod linalg;
+pub mod measurement;
+pub mod metrics;
+pub mod model;
+pub mod modeler;
+pub mod multi_param;
+pub mod search_space;
+pub mod segmentation;
+pub mod term;
+
+pub use confidence::{bootstrap_interval, RegressionBand};
+pub use fraction::Fraction;
+pub use function::{GrowthKey, PerformanceFunction};
+pub use hypothesis::{FittedHypothesis, HypothesisShape};
+pub use measurement::{AggregationStat, Coordinate, ExperimentData, Measurement};
+pub use model::Model;
+pub use modeler::{
+    model_single_parameter, ModelerOptions, ModelingError, MIN_MEASUREMENT_POINTS,
+};
+pub use multi_param::model_multi_parameter;
+pub use search_space::{SearchSpace, TermShape};
+pub use segmentation::{detect_change_point, SegmentationOptions, SegmentedModel};
+pub use term::{CompoundTerm, SimpleTerm};

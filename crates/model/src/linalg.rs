@@ -1,0 +1,232 @@
+//! Minimal dense linear algebra for ordinary least squares.
+//!
+//! The PMNF hypothesis design matrices are tiny (a handful of points by at
+//! most three coefficients), so a straightforward normal-equations solve with
+//! partial pivoting is both adequate and dependency-free.
+
+// Indexed loops mirror the textbook formulation of the algorithms; iterator
+// adaptors would obscure the row/column arithmetic here.
+#![allow(clippy::needless_range_loop)]
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged matrix rows");
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `A^T * A` (Gram matrix).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                g.set(i, j, s);
+                g.set(j, i, s);
+            }
+        }
+        g
+    }
+
+    /// `A^T * y`.
+    pub fn transpose_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self.get(r, c) * y[r];
+            }
+        }
+        out
+    }
+
+    /// `A * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut s = 0.0;
+            for c in 0..self.cols {
+                s += self.get(r, c) * x[c];
+            }
+            out[r] = s;
+        }
+        out
+    }
+}
+
+/// Solves `A x = b` for square `A` via Gaussian elimination with partial
+/// pivoting. Returns `None` when the system is (numerically) singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows, a.cols, "solve requires a square matrix");
+    assert_eq!(b.len(), a.rows);
+    let n = a.rows;
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: pick the row with the largest magnitude in `col`.
+        let mut pivot_row = col;
+        let mut pivot_val = m.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = m.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m.get(col, col);
+        for r in (col + 1)..n {
+            let factor = m.get(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(r, c) - factor * m.get(col, c);
+                m.set(r, c, v);
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for c in (row + 1)..n {
+            s -= m.get(row, c) * x[c];
+        }
+        x[row] = s / m.get(row, row);
+    }
+    Some(x)
+}
+
+/// Inverts a square matrix (used for prediction-interval covariance).
+/// Returns `None` for singular matrices.
+pub fn invert(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows;
+    let mut inv = Matrix::zeros(n, n);
+    for col in 0..n {
+        let mut e = vec![0.0; n];
+        e[col] = 1.0;
+        let x = solve(a, &e)?;
+        for row in 0..n {
+            inv.set(row, col, x[row]);
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // First pivot is zero; naive elimination would divide by zero.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn gram_and_transpose_mul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = a.gram();
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+        let aty = a.transpose_mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(aty, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = invert(&a).unwrap();
+        // A * A^-1 = I
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += a.get(i, k) * inv.get(k, j);
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((s - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+}

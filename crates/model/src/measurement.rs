@@ -1,0 +1,232 @@
+//! Measurement points and experiment data for modeling.
+//!
+//! A *measurement point* `P(x1, ..., xm)` is one application configuration
+//! (paper §2.3). Each point carries the metric values observed across
+//! measurement repetitions; the modeler fits against a statistic of those
+//! (median by default, matching Extra-Deep's aggregation).
+
+use serde::{Deserialize, Serialize};
+
+/// Values of the execution parameters at one configuration, in a fixed
+/// parameter order shared by the whole experiment.
+pub type Coordinate = Vec<f64>;
+
+/// Which statistic of the repetitions the modeler fits against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AggregationStat {
+    #[default]
+    Median,
+    Mean,
+    Minimum,
+    Maximum,
+}
+
+/// One measurement point: a coordinate plus the observed metric values of all
+/// repetitions at that coordinate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    pub coordinate: Coordinate,
+    pub values: Vec<f64>,
+}
+
+impl Measurement {
+    pub fn new(coordinate: Coordinate, values: Vec<f64>) -> Self {
+        Measurement { coordinate, values }
+    }
+
+    /// Single-parameter, single-repetition convenience constructor.
+    pub fn single(x: f64, value: f64) -> Self {
+        Measurement {
+            coordinate: vec![x],
+            values: vec![value],
+        }
+    }
+
+    pub fn median(&self) -> f64 {
+        median(&self.values)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    pub fn minimum(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn maximum(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    pub fn statistic(&self, stat: AggregationStat) -> f64 {
+        match stat {
+            AggregationStat::Median => self.median(),
+            AggregationStat::Mean => self.mean(),
+            AggregationStat::Minimum => self.minimum(),
+            AggregationStat::Maximum => self.maximum(),
+        }
+    }
+
+    /// Run-to-run variation: (max - min) / median, in percent.
+    ///
+    /// This is the quantity the paper reports as 0.6%..13.9% for the case
+    /// study and ~12.6% / ~17.4% on average for DEEP / JURECA.
+    pub fn run_to_run_variation_percent(&self) -> f64 {
+        let med = self.median();
+        if med == 0.0 || self.values.len() < 2 {
+            return 0.0;
+        }
+        100.0 * (self.maximum() - self.minimum()) / med
+    }
+
+    /// Sample standard deviation of the repetitions.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        var.sqrt()
+    }
+}
+
+/// Median of a slice (interpolated for even lengths). NaN for empty input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// The data a modeler consumes: named parameters and a list of measurement
+/// points with repetitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentData {
+    /// Parameter names, defining the coordinate order (e.g. `["ranks"]`).
+    pub parameters: Vec<String>,
+    pub measurements: Vec<Measurement>,
+}
+
+impl ExperimentData {
+    pub fn new(parameters: Vec<String>, measurements: Vec<Measurement>) -> Self {
+        ExperimentData {
+            parameters,
+            measurements,
+        }
+    }
+
+    /// Single-parameter constructor from `(x, value)` pairs.
+    pub fn univariate(name: &str, points: &[(f64, f64)]) -> Self {
+        ExperimentData {
+            parameters: vec![name.to_string()],
+            measurements: points
+                .iter()
+                .map(|&(x, v)| Measurement::single(x, v))
+                .collect(),
+        }
+    }
+
+    /// Single-parameter constructor with repetitions.
+    pub fn univariate_with_reps(name: &str, points: &[(f64, Vec<f64>)]) -> Self {
+        ExperimentData {
+            parameters: vec![name.to_string()],
+            measurements: points
+                .iter()
+                .map(|(x, vs)| Measurement::new(vec![*x], vs.clone()))
+                .collect(),
+        }
+    }
+
+    pub fn num_parameters(&self) -> usize {
+        self.parameters.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Distinct values of one parameter, sorted ascending.
+    pub fn parameter_values(&self, param: usize) -> Vec<f64> {
+        let mut vals: Vec<f64> = self
+            .measurements
+            .iter()
+            .map(|m| m.coordinate[param])
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let m = Measurement::new(vec![4.0], vec![10.0, 12.0, 11.0, 9.0, 13.0]);
+        assert_eq!(m.median(), 11.0);
+        assert_eq!(m.mean(), 11.0);
+        assert_eq!(m.minimum(), 9.0);
+        assert_eq!(m.maximum(), 13.0);
+        assert_eq!(m.statistic(AggregationStat::Median), 11.0);
+        assert_eq!(m.statistic(AggregationStat::Maximum), 13.0);
+    }
+
+    #[test]
+    fn run_to_run_variation() {
+        let m = Measurement::new(vec![4.0], vec![100.0, 110.0, 105.0]);
+        let v = m.run_to_run_variation_percent();
+        assert!((v - 100.0 * 10.0 / 105.0).abs() < 1e-9);
+        let single = Measurement::single(4.0, 100.0);
+        assert_eq!(single.run_to_run_variation_percent(), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_values_is_zero() {
+        let m = Measurement::new(vec![1.0], vec![5.0, 5.0, 5.0]);
+        assert_eq!(m.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn experiment_parameter_values_sorted_dedup() {
+        let data = ExperimentData::univariate(
+            "ranks",
+            &[(8.0, 1.0), (2.0, 1.0), (4.0, 1.0), (2.0, 2.0)],
+        );
+        assert_eq!(data.parameter_values(0), vec![2.0, 4.0, 8.0]);
+        assert_eq!(data.num_parameters(), 1);
+        assert_eq!(data.len(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error metrics used for hypothesis selection and evaluation.
+//!
+//! Extra-P/Extra-Deep select the model hypothesis with the smallest symmetric
+//! mean absolute percentage error (SMAPE); the paper's evaluation reports
+//! plain percentage errors and median percentage errors (MPE).
+
+/// Symmetric mean absolute percentage error, in percent (0..=200).
+///
+/// `smape = 100/n * Σ 2|p - a| / (|p| + |a|)`, skipping pairs where both
+/// values are zero (defined as zero error).
+pub fn smape(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if predicted.is_empty() {
+        return f64::NAN;
+    }
+    let mut total = 0.0;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        let denom = p.abs() + a.abs();
+        if denom > 0.0 {
+            total += 2.0 * (p - a).abs() / denom;
+        }
+    }
+    100.0 * total / predicted.len() as f64
+}
+
+/// Mean absolute percentage error relative to the actual values, in percent.
+pub fn mape(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if predicted.is_empty() {
+        return f64::NAN;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if a != 0.0 {
+            total += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * total / n as f64
+    }
+}
+
+/// Percentage error of one prediction vs. one measured value, in percent.
+///
+/// This is the paper's accuracy measure: `|predicted - measured| / measured`.
+pub fn percentage_error(predicted: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * ((predicted - measured) / measured).abs()
+    }
+}
+
+/// Residual sum of squares.
+pub fn rss(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a) * (p - a))
+        .sum()
+}
+
+/// Coefficient of determination `R^2` (1 = perfect fit). Returns 1.0 when the
+/// data has no variance and residuals are zero, 0.0 when variance is zero but
+/// residuals are not.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    let n = actual.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    let mean = actual.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    let ss_res = rss(predicted, actual);
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smape_zero_for_perfect_prediction() {
+        assert_eq!(smape(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn smape_is_symmetric() {
+        let a = smape(&[100.0], &[110.0]);
+        let b = smape(&[110.0], &[100.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_bounded_by_200() {
+        // Opposite-sign extreme disagreement saturates at 200%.
+        let s = smape(&[1.0], &[-1.0]);
+        assert!((s - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_skips_double_zero() {
+        assert_eq!(smape(&[0.0, 1.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentage_error_matches_paper_definition() {
+        assert!((percentage_error(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert!((percentage_error(90.0, 100.0) - 10.0).abs() < 1e-12);
+        assert_eq!(percentage_error(0.0, 0.0), 0.0);
+        assert!(percentage_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn mape_ignores_zero_actuals() {
+        let e = mape(&[1.0, 5.0], &[0.0, 4.0]);
+        assert!((e - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rss_matches_manual() {
+        assert_eq!(rss(&[1.0, 2.0], &[0.0, 4.0]), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_model() {
+        assert_eq!(r_squared(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+        // Predicting the mean everywhere gives R^2 = 0.
+        let r = r_squared(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(r.abs() < 1e-12);
+    }
+}

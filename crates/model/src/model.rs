@@ -1,0 +1,130 @@
+//! The user-facing fitted model type.
+
+use crate::confidence::RegressionBand;
+use crate::function::PerformanceFunction;
+use crate::metrics::percentage_error;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fitted performance model: the selected PMNF function plus fit quality
+/// statistics and (when available) an analytic confidence band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Names of the modeled parameters, in coordinate order.
+    pub parameters: Vec<String>,
+    /// The selected performance function.
+    pub function: PerformanceFunction,
+    /// SMAPE of the fit against its training points, percent.
+    pub smape: f64,
+    /// Cross-validated SMAPE used for selection, percent (NaN if CV skipped).
+    pub cv_smape: f64,
+    pub rss: f64,
+    pub r_squared: f64,
+    /// Number of measurement points used for the fit.
+    pub num_points: usize,
+    /// Analytic 95% band (absent for saturated or degenerate fits).
+    pub band: Option<RegressionBand>,
+}
+
+impl Model {
+    /// Evaluates the model at a parameter vector.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        self.function.evaluate(point)
+    }
+
+    /// Single-parameter convenience.
+    pub fn predict_at(&self, x: f64) -> f64 {
+        self.function.evaluate_at(x)
+    }
+
+    /// 95% confidence interval of the mean response, if a band exists.
+    pub fn confidence_interval(&self, point: &[f64]) -> Option<(f64, f64)> {
+        self.band
+            .as_ref()
+            .map(|b| b.confidence_interval(self.predict(point), point))
+    }
+
+    /// 95% prediction interval for a new observation, if a band exists.
+    pub fn prediction_interval(&self, point: &[f64]) -> Option<(f64, f64)> {
+        self.band
+            .as_ref()
+            .map(|b| b.prediction_interval(self.predict(point), point))
+    }
+
+    /// Percentage error of the model against a measured value at a point —
+    /// the paper's model-accuracy / predictive-power measure.
+    pub fn percentage_error_at(&self, point: &[f64], measured: f64) -> f64 {
+        percentage_error(self.predict(point), measured)
+    }
+
+    /// Renders the function with this model's parameter names.
+    pub fn formatted(&self) -> String {
+        let names: Vec<&str> = self.parameters.iter().map(String::as_str).collect();
+        self.function.format_with(&names)
+    }
+
+    /// Big-O of the dominant growth term.
+    pub fn big_o(&self) -> String {
+        let names: Vec<&str> = self.parameters.iter().map(String::as_str).collect();
+        self.function.big_o(&names)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [SMAPE {:.2}%, R² {:.4}]",
+            self.formatted(),
+            self.smape,
+            self.r_squared
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+    use crate::term::CompoundTerm;
+
+    fn toy_model() -> Model {
+        Model {
+            parameters: vec!["p".into()],
+            function: PerformanceFunction::new(
+                158.58,
+                vec![CompoundTerm::univariate(0.58, Fraction::new(2, 3), 2)],
+            ),
+            smape: 0.5,
+            cv_smape: 0.8,
+            rss: 1.0,
+            r_squared: 0.999,
+            num_points: 5,
+            band: None,
+        }
+    }
+
+    #[test]
+    fn predict_and_errors() {
+        let m = toy_model();
+        let p = m.predict_at(40.0);
+        assert!((p - 352.37).abs() < 2.5);
+        let err = m.percentage_error_at(&[40.0], 350.0);
+        assert!(err < 1.0);
+    }
+
+    #[test]
+    fn formatting_uses_parameter_names() {
+        let m = toy_model();
+        assert!(m.formatted().contains("p^(2/3)"));
+        assert_eq!(m.big_o(), "O(p^(2/3) * log2(p)^2)");
+        assert!(m.to_string().contains("SMAPE"));
+    }
+
+    #[test]
+    fn intervals_absent_without_band() {
+        let m = toy_model();
+        assert!(m.confidence_interval(&[8.0]).is_none());
+        assert!(m.prediction_interval(&[8.0]).is_none());
+    }
+}

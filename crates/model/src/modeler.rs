@@ -1,0 +1,496 @@
+//! The single-parameter modeler: hypothesis search, fit, cross-validated
+//! selection (paper §2.3, following Extra-P's core methodology).
+
+use crate::confidence::RegressionBand;
+use crate::hypothesis::{self, FittedHypothesis, HypothesisShape};
+use crate::measurement::{AggregationStat, Coordinate, ExperimentData};
+use crate::model::Model;
+use crate::search_space::SearchSpace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The paper's minimum: five measurement points per modeled parameter.
+pub const MIN_MEASUREMENT_POINTS: usize = 5;
+
+/// Reasons a model cannot be created.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelingError {
+    /// Fewer than [`MIN_MEASUREMENT_POINTS`] distinct coordinates (paper:
+    /// "if the kernel appears in less than five of the applications'
+    /// configurations, no model will be created").
+    InsufficientPoints { required: usize, available: usize },
+    /// No parameters or mismatched coordinate arity.
+    InvalidData(String),
+    /// Every hypothesis in the search space failed to fit.
+    NoViableHypothesis,
+}
+
+impl std::fmt::Display for ModelingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelingError::InsufficientPoints {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient measurement points for modeling: need {required}, have {available}"
+            ),
+            ModelingError::InvalidData(msg) => write!(f, "invalid experiment data: {msg}"),
+            ModelingError::NoViableHypothesis => {
+                write!(f, "no hypothesis in the search space could be fitted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelingError {}
+
+/// Modeler configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelerOptions {
+    pub search_space: SearchSpace,
+    /// Statistic of the repetitions used as the fitting target.
+    pub statistic: AggregationStat,
+    /// Select by leave-one-out cross-validation (Extra-P's selection rule);
+    /// when off, selection is by training SMAPE alone.
+    pub use_cross_validation: bool,
+    /// Minimum distinct coordinates required (default: the paper's 5).
+    pub min_points: usize,
+    /// Reject hypotheses that predict negative values at any training
+    /// coordinate (a time/visits/bytes metric cannot be negative).
+    pub reject_negative_predictions: bool,
+    /// Growth-bound guard: reject hypotheses whose dominant polynomial
+    /// exponent exceeds the *observed* log-log slope of the data by more
+    /// than this margin (symmetrically below for decreasing data).
+    ///
+    /// Near-constant noisy series otherwise tempt the cross-validation into
+    /// steep terms with tiny coefficients that explode under extrapolation —
+    /// the noise-resilience concern of the Extra-P line of work. `None`
+    /// disables the guard.
+    pub growth_bound_margin: Option<f64>,
+}
+
+impl Default for ModelerOptions {
+    fn default() -> Self {
+        ModelerOptions {
+            search_space: SearchSpace::default(),
+            statistic: AggregationStat::Median,
+            use_cross_validation: true,
+            min_points: MIN_MEASUREMENT_POINTS,
+            reject_negative_predictions: true,
+            growth_bound_margin: Some(1.0),
+        }
+    }
+}
+
+impl ModelerOptions {
+    /// Options for strong-scaling metrics (negative exponents enabled).
+    pub fn strong_scaling() -> Self {
+        ModelerOptions {
+            search_space: SearchSpace::strong_scaling(),
+            ..ModelerOptions::default()
+        }
+    }
+}
+
+/// Primary selection score of a fitted hypothesis.
+fn score(h: &FittedHypothesis, use_cv: bool) -> f64 {
+    if use_cv && h.cv_smape.is_finite() {
+        h.cv_smape
+    } else {
+        h.smape
+    }
+}
+
+/// Growth penalty of a hypothesis: the dominant polynomial exponent plus a
+/// smaller contribution per log factor. Scaled by the noise tolerance and
+/// added to the CV score, it makes the selection prefer slower-growing
+/// hypotheses whenever the data cannot distinguish them — without ever
+/// overriding a clear CV winner.
+fn growth_penalty(h: &FittedHypothesis) -> f64 {
+    let (exp, log_exp) = h.function.growth_key().dominant();
+    exp.as_f64().abs() + 0.3 * log_exp as f64
+}
+
+/// Selects the winner among fitted hypotheses: minimal
+/// `cv_smape + tolerance · growth_penalty` (Occam within noise).
+/// Near-constant noisy data otherwise tempts the CV into steep terms with
+/// tiny coefficients that explode under extrapolation.
+fn select_winner(
+    candidates: Vec<FittedHypothesis>,
+    use_cv: bool,
+    tolerance: f64,
+) -> Option<FittedHypothesis> {
+    candidates.into_iter().min_by(|a, b| {
+        let ka = score(a, use_cv) + tolerance * growth_penalty(a);
+        let kb = score(b, use_cv) + tolerance * growth_penalty(b);
+        ka.partial_cmp(&kb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.shape.num_coefficients().cmp(&b.shape.num_coefficients()))
+    })
+}
+
+/// Estimates the selection tolerance from the repetition spread of the
+/// measurements: half the mean run-to-run variation, clamped to a sane band.
+fn noise_tolerance(data: &ExperimentData) -> f64 {
+    let variations: Vec<f64> = data
+        .measurements
+        .iter()
+        .map(|m| m.run_to_run_variation_percent())
+        .filter(|v| v.is_finite())
+        .collect();
+    if variations.is_empty() {
+        return 1.0;
+    }
+    let mean = variations.iter().sum::<f64>() / variations.len() as f64;
+    (mean / 2.0).clamp(0.5, 5.0)
+}
+
+/// Observed log-log slope of a (single-parameter) point set via least
+/// squares on `(ln x, ln y)`. `None` when undefined (non-positive values,
+/// no spread in x).
+fn empirical_loglog_slope(points: &[(Coordinate, f64)]) -> Option<f64> {
+    let mut xs = Vec::with_capacity(points.len());
+    let mut ys = Vec::with_capacity(points.len());
+    for (c, v) in points {
+        let x = *c.first()?;
+        if x <= 0.0 || *v <= 0.0 {
+            return None;
+        }
+        xs.push(x.ln());
+        ys.push(v.ln());
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx < 1e-12 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Some(sxy / sxx)
+}
+
+/// Fits one hypothesis end to end (fit + optional CV + negativity guard).
+fn evaluate_shape(
+    shape: &HypothesisShape,
+    points: &[(Coordinate, f64)],
+    options: &ModelerOptions,
+    exponent_bounds: Option<(f64, f64)>,
+) -> Option<FittedHypothesis> {
+    if let Some((lo, hi)) = exponent_bounds {
+        let out_of_bounds = shape
+            .terms
+            .iter()
+            .flatten()
+            .any(|(_, s)| {
+                let e = s.exponent.as_f64();
+                e > hi || e < lo
+            });
+        if out_of_bounds {
+            return None;
+        }
+    }
+    let mut fitted = hypothesis::fit(shape, points)?;
+    if options.reject_negative_predictions {
+        let negative = points
+            .iter()
+            .any(|(c, _)| fitted.function.evaluate(c) < 0.0);
+        if negative {
+            return None;
+        }
+        // A runtime/visits/bytes model must stay non-negative under
+        // extrapolation too: probe a few multiples of the largest coordinate
+        // (decaying models with a negative constant otherwise cross zero
+        // just outside the fit range).
+        if let Some(far) = points
+            .iter()
+            .map(|(c, _)| c.clone())
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            for factor in [2.0, 8.0, 32.0] {
+                let probe: Vec<f64> = far.iter().map(|x| x * factor).collect();
+                if fitted.function.evaluate(&probe) < 0.0 {
+                    return None;
+                }
+            }
+        }
+    }
+    // Cancellation guard: a fit whose terms are individually huge but cancel
+    // to the measured magnitude is numerically meaningless outside the fit
+    // range (two opposing growing terms explode under extrapolation).
+    if let Some(far) = points
+        .iter()
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        let value = fitted.function.evaluate(&far.0).abs().max(1e-30);
+        let magnitude: f64 = fitted.function.constant.abs()
+            + fitted
+                .function
+                .terms
+                .iter()
+                .map(|t| t.evaluate(&far.0).abs())
+                .sum::<f64>();
+        if magnitude > 10.0 * value {
+            return None;
+        }
+    }
+    if options.use_cross_validation {
+        if let Some(cv) = hypothesis::cross_validate(shape, points) {
+            fitted.cv_smape = cv;
+        }
+    }
+    Some(fitted)
+}
+
+/// Creates a performance model for a single parameter from experiment data.
+///
+/// The data may contain repetitions per coordinate; the configured statistic
+/// collapses them before fitting, mirroring Extra-Deep's median aggregation.
+pub fn model_single_parameter(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+) -> Result<Model, ModelingError> {
+    if data.num_parameters() != 1 {
+        return Err(ModelingError::InvalidData(format!(
+            "single-parameter modeler got {} parameters",
+            data.num_parameters()
+        )));
+    }
+    model_with_shapes(
+        data,
+        options,
+        &SearchSpace::hypothesis_shapes(&options.search_space)
+            .into_iter()
+            .map(|shapes| HypothesisShape::univariate(&shapes))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Shared search driver: evaluates the provided hypothesis shapes (plus the
+/// constant hypothesis) in parallel and selects the best.
+pub(crate) fn model_with_shapes(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+    shapes: &[HypothesisShape],
+) -> Result<Model, ModelingError> {
+    let points: Vec<(Coordinate, f64)> = data
+        .measurements
+        .iter()
+        .map(|m| (m.coordinate.clone(), m.statistic(options.statistic)))
+        .collect();
+
+    let distinct = {
+        let mut coords: Vec<&Coordinate> = points.iter().map(|(c, _)| c).collect();
+        coords.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        coords.dedup();
+        coords.len()
+    };
+    if distinct < options.min_points {
+        return Err(ModelingError::InsufficientPoints {
+            required: options.min_points,
+            available: distinct,
+        });
+    }
+    if points.iter().any(|(_, v)| !v.is_finite()) {
+        return Err(ModelingError::InvalidData(
+            "non-finite metric value".to_string(),
+        ));
+    }
+
+    // Growth-bound guard: constrain candidate polynomial exponents to the
+    // neighborhood of the observed log-log slope. Only meaningful for
+    // single-parameter data (the slope of a grid projection would conflate
+    // the parameters).
+    let exponent_bounds = if data.num_parameters() != 1 {
+        None
+    } else {
+        options.growth_bound_margin
+    }
+    .and_then(|margin| {
+        empirical_loglog_slope(&points).map(|slope| {
+            if slope >= 0.0 {
+                // Growing data: allow anything up to slope + margin; permit
+                // mildly decreasing terms too (strong-scaling residuals).
+                (-margin.min(1.0), slope + margin)
+            } else {
+                (slope - margin, margin.min(1.0))
+            }
+        })
+    });
+
+    // The constant hypothesis is always a candidate; it is also the fallback
+    // the search degenerates to for flat data.
+    let mut candidates: Vec<FittedHypothesis> = shapes
+        .par_iter()
+        .filter_map(|shape| evaluate_shape(shape, &points, options, exponent_bounds))
+        .collect();
+    if let Some(c) = evaluate_shape(&HypothesisShape::constant(), &points, options, None) {
+        candidates.push(c);
+    }
+
+    let tolerance = noise_tolerance(data);
+    let winner = select_winner(candidates, options.use_cross_validation, tolerance)
+        .ok_or(ModelingError::NoViableHypothesis)?;
+
+    let band = RegressionBand::from_fit(&winner.shape, &points, winner.rss);
+    Ok(Model {
+        parameters: data.parameters.clone(),
+        function: winner.function,
+        smape: winner.smape,
+        cv_smape: winner.cv_smape,
+        rss: winner.rss,
+        r_squared: winner.r_squared,
+        num_points: points.len(),
+        band,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+
+    fn xs() -> Vec<f64> {
+        vec![2.0, 4.0, 8.0, 16.0, 32.0]
+    }
+
+    fn data_from(f: impl Fn(f64) -> f64) -> ExperimentData {
+        let pts: Vec<(f64, f64)> = xs().iter().map(|&x| (x, f(x))).collect();
+        ExperimentData::univariate("p", &pts)
+    }
+
+    #[test]
+    fn recovers_linear_growth() {
+        let model =
+            model_single_parameter(&data_from(|x| 3.0 + 2.0 * x), &ModelerOptions::default())
+                .unwrap();
+        assert_eq!(model.big_o(), "O(p)");
+        assert!((model.predict_at(64.0) - 131.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_log_growth() {
+        let model = model_single_parameter(
+            &data_from(|x| 1.0 + 4.0 * x.log2()),
+            &ModelerOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(model.big_o(), "O(log2(p))");
+    }
+
+    #[test]
+    fn recovers_case_study_shape() {
+        // The paper's CIFAR-10 epoch-time model: 158.58 + 0.58 x^(2/3) log2(x)^2.
+        let f = |x: f64| 158.58 + 0.58 * x.powf(2.0 / 3.0) * x.log2().powi(2);
+        let model = model_single_parameter(&data_from(f), &ModelerOptions::default()).unwrap();
+        assert_eq!(model.big_o(), "O(p^(2/3) * log2(p)^2)");
+        // Extrapolation to 64 ranks matches the generator within 1%.
+        let err = model.percentage_error_at(&[64.0], f(64.0));
+        assert!(err < 1.0, "extrapolation error {err}%");
+    }
+
+    #[test]
+    fn constant_data_yields_constant_model() {
+        let model = model_single_parameter(&data_from(|_| 42.0), &ModelerOptions::default())
+            .unwrap();
+        assert!(model.function.is_constant());
+        assert!((model.predict_at(1024.0) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_scaling_decreasing_runtime() {
+        // Amdahl-ish strong scaling: t(p) = 10 + 100/p.
+        let model = model_single_parameter(
+            &data_from(|x| 10.0 + 100.0 / x),
+            &ModelerOptions::strong_scaling(),
+        )
+        .unwrap();
+        let p64 = model.predict_at(64.0);
+        assert!(
+            (p64 - (10.0 + 100.0 / 64.0)).abs() < 0.5,
+            "predicted {p64}"
+        );
+        // The default (weak-scaling) space cannot express a positive
+        // decreasing function this well; strong-scaling space must use a
+        // negative exponent.
+        let key = model.function.growth_key().dominant();
+        assert!(key.0 <= Fraction::zero());
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let data = ExperimentData::univariate("p", &[(2.0, 1.0), (4.0, 2.0), (8.0, 3.0)]);
+        match model_single_parameter(&data, &ModelerOptions::default()) {
+            Err(ModelingError::InsufficientPoints {
+                required,
+                available,
+            }) => {
+                assert_eq!(required, 5);
+                assert_eq!(available, 3);
+            }
+            other => panic!("expected InsufficientPoints, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repetitions_collapse_by_median() {
+        let pts: Vec<(f64, Vec<f64>)> = xs()
+            .iter()
+            .map(|&x| {
+                let base = 5.0 * x;
+                // Outlier repetition: the median rejects it.
+                (x, vec![base, base * 1.01, base * 0.99, base * 10.0, base])
+            })
+            .collect();
+        let data = ExperimentData::univariate_with_reps("p", &pts);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        assert!((model.predict_at(64.0) - 320.0).abs() / 320.0 < 0.05);
+    }
+
+    #[test]
+    fn multi_parameter_data_is_rejected_here() {
+        let data = ExperimentData::new(
+            vec!["a".into(), "b".into()],
+            vec![crate::measurement::Measurement::new(vec![1.0, 2.0], vec![3.0])],
+        );
+        assert!(matches!(
+            model_single_parameter(&data, &ModelerOptions::default()),
+            Err(ModelingError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn noisy_linear_data_still_selects_linear() {
+        // ±2% deterministic perturbation.
+        let noise = [1.02, 0.98, 1.01, 0.99, 1.015];
+        let pts: Vec<(f64, f64)> = xs()
+            .iter()
+            .zip(noise.iter())
+            .map(|(&x, &n)| (x, (5.0 + 3.0 * x) * n))
+            .collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let dominant = model.function.growth_key().dominant();
+        // Linear-ish: exponent within [3/4, 5/4].
+        assert!(
+            dominant.0 >= Fraction::new(3, 4) && dominant.0 <= Fraction::new(5, 4),
+            "dominant {dominant:?}"
+        );
+    }
+
+    #[test]
+    fn negative_prediction_guard_respected() {
+        // A strongly decreasing series that would tempt a negative-coefficient
+        // linear fit dipping below zero inside the range.
+        let data = ExperimentData::univariate(
+            "p",
+            &[(2.0, 100.0), (4.0, 50.0), (8.0, 25.0), (16.0, 12.5), (32.0, 6.25)],
+        );
+        let model =
+            model_single_parameter(&data, &ModelerOptions::strong_scaling()).unwrap();
+        for &x in &xs() {
+            assert!(model.predict_at(x) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Multi-parameter modeling.
+//!
+//! Extra-P's sparse multi-parameter scheme (which Extra-Deep inherits): first
+//! find the best single-parameter term for each parameter from the subsets of
+//! points where the other parameters are held constant, then combine those
+//! per-parameter terms additively and multiplicatively into multi-parameter
+//! hypotheses, refit the coefficients on *all* points, and select by
+//! cross-validated SMAPE.
+
+use crate::hypothesis::HypothesisShape;
+use crate::measurement::{ExperimentData, Measurement};
+use crate::model::Model;
+use crate::modeler::{self, ModelerOptions, ModelingError};
+use crate::search_space::TermShape;
+
+/// Finds, for one parameter, the subset of measurements where all *other*
+/// parameters equal their smallest observed value (the canonical "line"
+/// through the measurement grid).
+fn parameter_line(data: &ExperimentData, param: usize) -> Vec<Measurement> {
+    let m = data.num_parameters();
+    let mins: Vec<f64> = (0..m)
+        .map(|p| {
+            data.measurements
+                .iter()
+                .map(|meas| meas.coordinate[p])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    data.measurements
+        .iter()
+        .filter(|meas| {
+            (0..m).all(|p| p == param || (meas.coordinate[p] - mins[p]).abs() < 1e-12)
+        })
+        .cloned()
+        .collect()
+}
+
+/// Candidate term shapes for one parameter: the best-fit shape of its
+/// canonical line plus a small set of generic alternatives (logarithmic,
+/// linear, reciprocal), so the grid-level refit can correct a line-level
+/// misjudgment. Empty when the line is flat (constant in that parameter).
+fn candidate_shapes_for_parameter(
+    data: &ExperimentData,
+    param: usize,
+    options: &ModelerOptions,
+) -> Result<Vec<TermShape>, ModelingError> {
+    let line = parameter_line(data, param);
+    let projected = ExperimentData::new(
+        vec![data.parameters[param].clone()],
+        line.iter()
+            .map(|m| Measurement::new(vec![m.coordinate[param]], m.values.clone()))
+            .collect(),
+    );
+    // Grid dimensions can legitimately decrease (e.g. per-epoch work falls
+    // with batch size), so the line search always allows negative exponents.
+    let mut line_options = options.clone();
+    line_options.search_space.allow_negative_exponents = true;
+    let model = modeler::model_single_parameter(&projected, &line_options)?;
+    if model.function.is_constant() || model.function.terms.is_empty() {
+        return Ok(Vec::new());
+    }
+    let factor = &model.function.terms[0].factors[0];
+    let mut shapes = vec![
+        TermShape::new(factor.exponent, factor.log_exponent),
+        TermShape::new(crate::fraction::Fraction::zero(), 1),
+        TermShape::new(crate::fraction::Fraction::whole(1), 0),
+        TermShape::new(crate::fraction::Fraction::whole(-1), 0),
+    ];
+    shapes.dedup();
+    Ok(shapes)
+}
+
+/// Builds candidate multi-parameter hypothesis shapes from the per-parameter
+/// candidate pools: singles, additive combinations (one term per parameter),
+/// multiplicative combinations (one compound term with one factor per
+/// parameter), and additive+multiplicative interactions — each over the
+/// cross product of the pools.
+fn combine_shapes(per_param: &[(usize, Vec<TermShape>)]) -> Vec<HypothesisShape> {
+    let mut out = Vec::new();
+    // Singles.
+    for (p, pool) in per_param {
+        for &s in pool {
+            out.push(HypothesisShape {
+                terms: vec![vec![(*p, s)]],
+            });
+        }
+    }
+    if per_param.len() < 2 {
+        return out;
+    }
+
+    // Cross product of one shape per parameter.
+    let mut picks: Vec<Vec<(usize, TermShape)>> = vec![Vec::new()];
+    for (p, pool) in per_param {
+        let mut next = Vec::with_capacity(picks.len() * pool.len());
+        for prefix in &picks {
+            for &s in pool {
+                let mut combo = prefix.clone();
+                combo.push((*p, s));
+                next.push(combo);
+            }
+        }
+        picks = next;
+    }
+
+    for combo in &picks {
+        // Additive: c0 + Σ_l c_l · term_l(x_l)
+        out.push(HypothesisShape {
+            terms: combo.iter().map(|&(p, s)| vec![(p, s)]).collect(),
+        });
+        // Multiplicative: c0 + c1 · Π_l term_l(x_l)
+        out.push(HypothesisShape {
+            terms: vec![combo.clone()],
+        });
+        // Additive + multiplicative interaction.
+        let mut terms: Vec<Vec<(usize, TermShape)>> =
+            combo.iter().map(|&(p, s)| vec![(p, s)]).collect();
+        terms.push(combo.clone());
+        out.push(HypothesisShape { terms });
+    }
+    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out.dedup();
+    out
+}
+
+/// Creates a multi-parameter model. Falls back to single-parameter modeling
+/// when the data has one parameter.
+pub fn model_multi_parameter(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+) -> Result<Model, ModelingError> {
+    let m = data.num_parameters();
+    if m == 0 {
+        return Err(ModelingError::InvalidData("no parameters".into()));
+    }
+    if m == 1 {
+        return modeler::model_single_parameter(data, options);
+    }
+
+    let mut per_param = Vec::new();
+    for p in 0..m {
+        let pool = candidate_shapes_for_parameter(data, p, options)?;
+        if !pool.is_empty() {
+            per_param.push((p, pool));
+        }
+    }
+
+    if per_param.is_empty() {
+        // Constant in every parameter: fit the constant on all points.
+        return modeler::model_with_shapes(data, options, &[]);
+    }
+
+    let shapes = combine_shapes(&per_param);
+    // Refit on all points with a relaxed point minimum: the full grid has at
+    // least `min_points` per parameter by construction of the experiment.
+    let mut full_options = options.clone();
+    full_options.min_points = full_options.min_points.min(data.len());
+    modeler::model_with_shapes(data, &full_options, &shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::Measurement;
+
+    /// Full grid over ranks x batch-size.
+    fn grid(f: impl Fn(f64, f64) -> f64) -> ExperimentData {
+        let ranks = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let batches = [32.0, 64.0, 128.0, 256.0, 512.0];
+        let mut meas = Vec::new();
+        for &r in &ranks {
+            for &b in &batches {
+                meas.push(Measurement::new(vec![r, b], vec![f(r, b)]));
+            }
+        }
+        ExperimentData::new(vec!["ranks".into(), "batch".into()], meas)
+    }
+
+    #[test]
+    fn additive_two_parameter_function() {
+        // f(r, b) = 5 + 2r + 0.1b
+        let data = grid(|r, b| 5.0 + 2.0 * r + 0.1 * b);
+        let model = model_multi_parameter(&data, &ModelerOptions::default()).unwrap();
+        let pred = model.predict(&[64.0, 1024.0]);
+        let truth = 5.0 + 2.0 * 64.0 + 0.1 * 1024.0;
+        assert!(
+            (pred - truth).abs() / truth < 0.05,
+            "pred {pred} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn multiplicative_two_parameter_function() {
+        // f(r, b) = 1 + 0.01 * r * b
+        let data = grid(|r, b| 1.0 + 0.01 * r * b);
+        let model = model_multi_parameter(&data, &ModelerOptions::default()).unwrap();
+        let pred = model.predict(&[64.0, 1024.0]);
+        let truth = 1.0 + 0.01 * 64.0 * 1024.0;
+        assert!(
+            (pred - truth).abs() / truth < 0.05,
+            "pred {pred} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn constant_in_one_parameter() {
+        // f depends only on ranks; the batch term must vanish.
+        let data = grid(|r, _| 3.0 + r * r);
+        let model = model_multi_parameter(&data, &ModelerOptions::default()).unwrap();
+        let a = model.predict(&[16.0, 32.0]);
+        let b = model.predict(&[16.0, 512.0]);
+        assert!((a - b).abs() / a < 0.02, "batch must not matter: {a} vs {b}");
+    }
+
+    #[test]
+    fn fully_constant_grid() {
+        let data = grid(|_, _| 7.0);
+        let model = model_multi_parameter(&data, &ModelerOptions::default()).unwrap();
+        assert!((model.predict(&[64.0, 64.0]) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_parameter_fallback() {
+        let data = ExperimentData::univariate(
+            "p",
+            &[(2.0, 4.0), (4.0, 8.0), (8.0, 16.0), (16.0, 32.0), (32.0, 64.0)],
+        );
+        let model = model_multi_parameter(&data, &ModelerOptions::default()).unwrap();
+        assert_eq!(model.big_o(), "O(p)");
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        let data = ExperimentData::new(vec![], vec![]);
+        assert!(model_multi_parameter(&data, &ModelerOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Generation of the PMNF hypothesis search space.
+//!
+//! A hypothesis *shape* fixes the exponents `(i, j)` of each term; only the
+//! coefficients remain free and are found by linear regression. The search
+//! space is the cross product of a set of polynomial exponents `I` and
+//! logarithmic exponents `J` (paper Eq. 5 and §2.3), optionally mirrored to
+//! negative polynomial exponents to support strong-scaling (decreasing)
+//! behavior — one of Extra-Deep's extensions over stock Extra-P.
+
+use crate::fraction::Fraction;
+use serde::{Deserialize, Serialize};
+
+/// The exponent pair of one single-parameter term factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TermShape {
+    pub exponent: Fraction,
+    pub log_exponent: u32,
+}
+
+impl TermShape {
+    pub fn new(exponent: Fraction, log_exponent: u32) -> Self {
+        TermShape {
+            exponent,
+            log_exponent,
+        }
+    }
+
+    pub fn is_constant(&self) -> bool {
+        self.exponent.is_zero() && self.log_exponent == 0
+    }
+}
+
+/// Configuration of the hypothesis search space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Polynomial exponents `I` (non-negative; mirrored if `allow_negative`).
+    pub poly_exponents: Vec<Fraction>,
+    /// Logarithmic exponents `J`.
+    pub log_exponents: Vec<u32>,
+    /// Mirror the polynomial exponents to negative values so decreasing
+    /// metrics (strong-scaling runtime) can be modeled.
+    pub allow_negative_exponents: bool,
+    /// Maximum number of compound terms `h` per hypothesis (besides `c_0`).
+    pub max_terms: usize,
+}
+
+impl SearchSpace {
+    /// The Extra-P default search space: a dense grid of rational exponents
+    /// from 0 to 3 and log exponents {0, 1, 2}.
+    pub fn extra_p_default() -> Self {
+        let poly = [
+            (0, 1),
+            (1, 4),
+            (1, 3),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (1, 1),
+            (5, 4),
+            (4, 3),
+            (3, 2),
+            (5, 3),
+            (7, 4),
+            (2, 1),
+            (9, 4),
+            (7, 3),
+            (5, 2),
+            (8, 3),
+            (11, 4),
+            (3, 1),
+        ]
+        .iter()
+        .map(|&(n, d)| Fraction::new(n, d))
+        .collect();
+        SearchSpace {
+            poly_exponents: poly,
+            log_exponents: vec![0, 1, 2],
+            allow_negative_exponents: false,
+            max_terms: 1,
+        }
+    }
+
+    /// The small illustrative space from the paper (`I = {0,1,2}`, `J = {0,1}`).
+    pub fn paper_example() -> Self {
+        SearchSpace {
+            poly_exponents: vec![Fraction::zero(), Fraction::whole(1), Fraction::whole(2)],
+            log_exponents: vec![0, 1],
+            allow_negative_exponents: false,
+            max_terms: 1,
+        }
+    }
+
+    /// Default space extended with negative exponents for strong scaling.
+    pub fn strong_scaling() -> Self {
+        SearchSpace {
+            allow_negative_exponents: true,
+            ..SearchSpace::extra_p_default()
+        }
+    }
+
+    /// Enables two-term hypotheses (a wider but much more expensive search).
+    pub fn with_max_terms(mut self, h: usize) -> Self {
+        self.max_terms = h.max(1);
+        self
+    }
+
+    /// All candidate term shapes, excluding the constant shape `(0, 0)`
+    /// (which is represented by `c_0` in every hypothesis).
+    pub fn term_shapes(&self) -> Vec<TermShape> {
+        let mut shapes = Vec::new();
+        let mut polys: Vec<Fraction> = self.poly_exponents.clone();
+        if self.allow_negative_exponents {
+            let negatives: Vec<Fraction> = self
+                .poly_exponents
+                .iter()
+                .filter(|f| !f.is_zero())
+                .map(Fraction::neg)
+                .collect();
+            polys.extend(negatives);
+        }
+        for &i in &polys {
+            for &j in &self.log_exponents {
+                let shape = TermShape::new(i, j);
+                if !shape.is_constant() {
+                    shapes.push(shape);
+                }
+            }
+        }
+        shapes.sort_by(|a, b| {
+            (a.exponent, a.log_exponent).cmp(&(b.exponent, b.log_exponent))
+        });
+        shapes.dedup();
+        shapes
+    }
+
+    /// All hypothesis shapes: single terms, plus unordered pairs when
+    /// `max_terms >= 2`. (Extra-P's default modeler uses single compound
+    /// terms; multi-term search is the refinement.)
+    pub fn hypothesis_shapes(&self) -> Vec<Vec<TermShape>> {
+        let singles = self.term_shapes();
+        let mut out: Vec<Vec<TermShape>> = singles.iter().map(|&s| vec![s]).collect();
+        if self.max_terms >= 2 {
+            for a in 0..singles.len() {
+                for b in (a + 1)..singles.len() {
+                    out.push(vec![singles[a], singles[b]]);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace::extra_p_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_has_expected_size() {
+        let space = SearchSpace::extra_p_default();
+        // 20 poly exponents x 3 log exponents = 60, minus the (0,0) constant.
+        assert_eq!(space.term_shapes().len(), 59);
+    }
+
+    #[test]
+    fn paper_example_space() {
+        let space = SearchSpace::paper_example();
+        // 3 x 2 = 6, minus the constant -> 5 shapes.
+        assert_eq!(space.term_shapes().len(), 5);
+    }
+
+    #[test]
+    fn negative_exponents_mirror_nonzero_polys() {
+        let space = SearchSpace::strong_scaling();
+        let shapes = space.term_shapes();
+        assert!(shapes
+            .iter()
+            .any(|s| s.exponent == Fraction::new(-1, 1) && s.log_exponent == 0));
+        // Zero exponent is not mirrored (no "-0").
+        let zero_negatives = shapes
+            .iter()
+            .filter(|s| s.exponent.is_zero() && s.log_exponent == 0)
+            .count();
+        assert_eq!(zero_negatives, 0);
+    }
+
+    #[test]
+    fn shapes_are_sorted_and_unique() {
+        let shapes = SearchSpace::extra_p_default().term_shapes();
+        for w in shapes.windows(2) {
+            assert!(
+                (w[0].exponent, w[0].log_exponent) < (w[1].exponent, w[1].log_exponent),
+                "shapes must be strictly increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn two_term_hypotheses_are_pairs() {
+        let space = SearchSpace::paper_example().with_max_terms(2);
+        let n = space.term_shapes().len();
+        let hyps = space.hypothesis_shapes();
+        assert_eq!(hyps.len(), n + n * (n - 1) / 2);
+        assert!(hyps.iter().all(|h| h.len() <= 2 && !h.is_empty()));
+    }
+
+    #[test]
+    fn max_terms_clamped_to_one() {
+        let space = SearchSpace::paper_example().with_max_terms(0);
+        assert_eq!(space.max_terms, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Segmented modeling: change-point detection over the measurement range.
+//!
+//! The paper's discussion (§4.3) warns that "communication algorithms and
+//! performed memory techniques might change depending on the application
+//! scale" — behavior the PMNF cannot capture with a single function. Like
+//! Extra-P's segmented regression, this module tests whether splitting the
+//! measurement series into two regimes and fitting each separately explains
+//! the data *dramatically* better than one model; if so, the user is warned
+//! that their measurement range straddles a behavioral change and told where.
+
+use crate::measurement::{ExperimentData, Measurement};
+use crate::model::Model;
+use crate::modeler::{model_single_parameter, ModelerOptions, ModelingError};
+use serde::{Deserialize, Serialize};
+
+/// A two-regime model with the detected change point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentedModel {
+    /// Parameter value separating the regimes: points `<= split_at` belong
+    /// to the left segment.
+    pub split_at: f64,
+    pub left: Model,
+    pub right: Model,
+    /// Combined fit SMAPE of the two segments, percent.
+    pub segmented_smape: f64,
+    /// Fit SMAPE of the single unsegmented model, percent.
+    pub single_smape: f64,
+}
+
+impl SegmentedModel {
+    /// Predicts with the segment the coordinate falls into.
+    pub fn predict_at(&self, x: f64) -> f64 {
+        if x <= self.split_at {
+            self.left.predict_at(x)
+        } else {
+            self.right.predict_at(x)
+        }
+    }
+
+    /// Relative improvement of the segmentation over the single model.
+    pub fn improvement(&self) -> f64 {
+        if self.single_smape <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.segmented_smape / self.single_smape
+    }
+}
+
+/// Options for change-point detection.
+#[derive(Debug, Clone)]
+pub struct SegmentationOptions {
+    pub modeler: ModelerOptions,
+    /// Minimum points per segment. The paper's five-point minimum cannot be
+    /// met by both halves of a small series, so segment fits relax it; the
+    /// resulting segment models are diagnostic, not predictive.
+    pub min_segment_points: usize,
+    /// Required relative improvement (e.g. 0.6 = the segmented fit must
+    /// reduce SMAPE by at least 60%) before a change point is reported.
+    pub min_improvement: f64,
+    /// Single-model SMAPE below which the data is considered well explained
+    /// and no change point is searched for (percent).
+    pub smape_floor: f64,
+}
+
+impl Default for SegmentationOptions {
+    fn default() -> Self {
+        let mut modeler = ModelerOptions::strong_scaling();
+        modeler.min_points = 3;
+        modeler.use_cross_validation = false; // segments are tiny
+        SegmentationOptions {
+            modeler,
+            min_segment_points: 4,
+            min_improvement: 0.7,
+            smape_floor: 3.0,
+        }
+    }
+}
+
+fn subset(data: &ExperimentData, pick: impl Fn(&Measurement) -> bool) -> ExperimentData {
+    ExperimentData::new(
+        data.parameters.clone(),
+        data.measurements
+            .iter()
+            .filter(|m| pick(m))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Detects a change point in a single-parameter series. Returns
+/// `Ok(None)` when one PMNF instance explains the data adequately.
+pub fn detect_change_point(
+    data: &ExperimentData,
+    options: &SegmentationOptions,
+) -> Result<Option<SegmentedModel>, ModelingError> {
+    if data.num_parameters() != 1 {
+        return Err(ModelingError::InvalidData(
+            "segmentation requires single-parameter data".into(),
+        ));
+    }
+    let xs = data.parameter_values(0);
+    if xs.len() < 2 * options.min_segment_points {
+        return Ok(None);
+    }
+
+    // The reference: one model over everything (with the default minimum).
+    let mut full_options = options.modeler.clone();
+    full_options.min_points = full_options.min_points.max(xs.len().min(5));
+    let single = model_single_parameter(data, &full_options)?;
+    if single.smape <= options.smape_floor {
+        return Ok(None);
+    }
+
+    let mut best: Option<SegmentedModel> = None;
+    let split_candidates =
+        &xs[(options.min_segment_points - 1)..(xs.len() - options.min_segment_points)];
+    for &split_at in split_candidates {
+        let left_data = subset(data, |m| m.coordinate[0] <= split_at);
+        let right_data = subset(data, |m| m.coordinate[0] > split_at);
+        let (Ok(left), Ok(right)) = (
+            model_single_parameter(&left_data, &options.modeler),
+            model_single_parameter(&right_data, &options.modeler),
+        ) else {
+            continue;
+        };
+        // Weighted combined SMAPE over all points.
+        let n_l = left_data.len() as f64;
+        let n_r = right_data.len() as f64;
+        let combined = (left.smape * n_l + right.smape * n_r) / (n_l + n_r);
+        let candidate = SegmentedModel {
+            split_at,
+            left,
+            right,
+            segmented_smape: combined,
+            single_smape: single.smape,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.segmented_smape < b.segmented_smape)
+        {
+            best = Some(candidate);
+        }
+    }
+
+    Ok(best.filter(|b| b.improvement() >= options.min_improvement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64) -> ExperimentData {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, f(x))).collect();
+        ExperimentData::univariate("p", &pts)
+    }
+
+    #[test]
+    fn detects_an_algorithm_switch() {
+        // A collective that switches algorithms at 32 ranks: logarithmic
+        // below, steeply linear above (e.g. ring -> flat tree fallback).
+        let f = |x: f64| {
+            if x <= 32.0 {
+                10.0 + 2.0 * x.log2()
+            } else {
+                0.5 * x + 5.0
+            }
+        };
+        let seg = detect_change_point(&series(f), &SegmentationOptions::default())
+            .unwrap()
+            .expect("change point found");
+        assert!(
+            (16.0..=64.0).contains(&seg.split_at),
+            "split at {}",
+            seg.split_at
+        );
+        assert!(seg.improvement() > 0.6);
+        // The segmented prediction matches each regime.
+        assert!((seg.predict_at(8.0) - f(8.0)).abs() / f(8.0) < 0.1);
+        assert!((seg.predict_at(128.0) - f(128.0)).abs() / f(128.0) < 0.1);
+    }
+
+    #[test]
+    fn smooth_growth_has_no_change_point() {
+        let f = |x: f64| 5.0 + 1.5 * x.sqrt();
+        let seg = detect_change_point(&series(f), &SegmentationOptions::default()).unwrap();
+        assert!(seg.is_none(), "spurious change point: {seg:?}");
+    }
+
+    #[test]
+    fn constant_data_has_no_change_point() {
+        let seg =
+            detect_change_point(&series(|_| 42.0), &SegmentationOptions::default()).unwrap();
+        assert!(seg.is_none());
+    }
+
+    #[test]
+    fn too_few_points_yields_none() {
+        let data = ExperimentData::univariate(
+            "p",
+            &[(2.0, 1.0), (4.0, 2.0), (8.0, 4.0), (16.0, 20.0), (32.0, 40.0)],
+        );
+        let seg = detect_change_point(&data, &SegmentationOptions::default()).unwrap();
+        assert!(seg.is_none(), "5 points cannot support 3+3 segments");
+    }
+
+    #[test]
+    fn multi_parameter_data_is_rejected() {
+        let data = ExperimentData::new(
+            vec!["a".into(), "b".into()],
+            vec![Measurement::new(vec![1.0, 2.0], vec![3.0])],
+        );
+        assert!(detect_change_point(&data, &SegmentationOptions::default()).is_err());
+    }
+}

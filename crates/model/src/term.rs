@@ -1,0 +1,220 @@
+//! PMNF terms: products of polynomial and logarithmic factors.
+//!
+//! The performance model normal form (paper Eq. 5) expresses a metric as
+//!
+//! ```text
+//! f(x_1, ..., x_m) = c_0 + Σ_k  c_k · Π_l  x_l^{i_kl} · log2(x_l)^{j_kl}
+//! ```
+//!
+//! A [`SimpleTerm`] is one factor `x_l^{i} · log2(x_l)^{j}` bound to a single
+//! parameter; a [`CompoundTerm`] multiplies one factor per parameter with a
+//! coefficient `c_k`.
+
+use crate::fraction::Fraction;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One factor of a compound term: `x^{exponent} * log2(x)^{log_exponent}`
+/// applied to the parameter with index `parameter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SimpleTerm {
+    /// Index of the parameter this factor applies to.
+    pub parameter: usize,
+    /// Polynomial exponent `i` (rational, may be negative for strong scaling).
+    pub exponent: Fraction,
+    /// Logarithmic exponent `j` (small non-negative integer).
+    pub log_exponent: u32,
+}
+
+impl SimpleTerm {
+    pub fn new(parameter: usize, exponent: Fraction, log_exponent: u32) -> Self {
+        SimpleTerm {
+            parameter,
+            exponent,
+            log_exponent,
+        }
+    }
+
+    /// True when this factor is identically 1 (`x^0 * log^0`).
+    pub fn is_unit(&self) -> bool {
+        self.exponent.is_zero() && self.log_exponent == 0
+    }
+
+    /// Evaluates the factor at a parameter vector.
+    ///
+    /// Parameter values must be positive; `log2` of values `<= 0` would be
+    /// undefined. Values are clamped to a tiny positive epsilon defensively.
+    pub fn evaluate(&self, point: &[f64]) -> f64 {
+        let x = point[self.parameter].max(f64::MIN_POSITIVE);
+        let poly = if self.exponent.is_zero() {
+            1.0
+        } else {
+            x.powf(self.exponent.as_f64())
+        };
+        let log = if self.log_exponent == 0 {
+            1.0
+        } else {
+            x.log2().powi(self.log_exponent as i32)
+        };
+        poly * log
+    }
+}
+
+/// A full PMNF term `c · Π_l x_l^{i_l} · log2(x_l)^{j_l}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompoundTerm {
+    pub coefficient: f64,
+    pub factors: Vec<SimpleTerm>,
+}
+
+impl CompoundTerm {
+    pub fn new(coefficient: f64, factors: Vec<SimpleTerm>) -> Self {
+        CompoundTerm {
+            coefficient,
+            factors,
+        }
+    }
+
+    /// A single-parameter term `c * x^(i) * log2(x)^j` on parameter 0.
+    pub fn univariate(coefficient: f64, exponent: Fraction, log_exponent: u32) -> Self {
+        CompoundTerm::new(
+            coefficient,
+            vec![SimpleTerm::new(0, exponent, log_exponent)],
+        )
+    }
+
+    /// Evaluates `Π_l factor_l(point)` without the coefficient.
+    pub fn evaluate_basis(&self, point: &[f64]) -> f64 {
+        self.factors.iter().map(|t| t.evaluate(point)).product()
+    }
+
+    /// Evaluates the full term including the coefficient.
+    pub fn evaluate(&self, point: &[f64]) -> f64 {
+        self.coefficient * self.evaluate_basis(point)
+    }
+
+    /// True if every factor is the unit factor (term degenerates to `c`).
+    pub fn is_constant(&self) -> bool {
+        self.factors.iter().all(SimpleTerm::is_unit)
+    }
+}
+
+fn format_factor(t: &SimpleTerm, names: &[&str], out: &mut String) {
+    use fmt::Write;
+    let name = names
+        .get(t.parameter)
+        .copied()
+        .unwrap_or("x");
+    if !t.exponent.is_zero() {
+        if t.exponent == Fraction::whole(1) {
+            let _ = write!(out, "{name}");
+        } else if t.exponent.denominator() == 1 {
+            let _ = write!(out, "{name}^{}", t.exponent.numerator());
+        } else {
+            let _ = write!(out, "{name}^({})", t.exponent);
+        }
+    }
+    if t.log_exponent > 0 {
+        if !t.exponent.is_zero() {
+            out.push_str(" * ");
+        }
+        if t.log_exponent == 1 {
+            let _ = write!(out, "log2({name})");
+        } else {
+            let _ = write!(out, "log2({name})^{}", t.log_exponent);
+        }
+    }
+}
+
+impl CompoundTerm {
+    /// Renders the term with parameter names, e.g. `0.58 * p^(2/3) * log2(p)^2`.
+    pub fn format_with(&self, names: &[&str]) -> String {
+        let mut s = format!("{:.4}", self.coefficient);
+        for f in &self.factors {
+            if f.is_unit() {
+                continue;
+            }
+            s.push_str(" * ");
+            format_factor(f, names, &mut s);
+        }
+        s
+    }
+}
+
+impl fmt::Display for CompoundTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = (0..self.factors.len()).map(|_| "x").collect();
+        write!(f, "{}", self.format_with(&names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_factor_evaluates_to_one() {
+        let t = SimpleTerm::new(0, Fraction::zero(), 0);
+        assert!(t.is_unit());
+        assert_eq!(t.evaluate(&[37.0]), 1.0);
+    }
+
+    #[test]
+    fn polynomial_factor() {
+        let t = SimpleTerm::new(0, Fraction::whole(2), 0);
+        assert_eq!(t.evaluate(&[3.0]), 9.0);
+    }
+
+    #[test]
+    fn fractional_exponent() {
+        let t = SimpleTerm::new(0, Fraction::new(2, 3), 0);
+        assert!((t.evaluate(&[8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_exponent_decreases() {
+        let t = SimpleTerm::new(0, Fraction::new(-1, 1), 0);
+        assert!((t.evaluate(&[4.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_factor() {
+        let t = SimpleTerm::new(0, Fraction::zero(), 2);
+        assert!((t.evaluate(&[8.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_factor_matches_case_study_shape() {
+        // x^(2/3) * log2(x)^2 at x = 64: 16 * 36 = 576
+        let t = SimpleTerm::new(0, Fraction::new(2, 3), 2);
+        assert!((t.evaluate(&[64.0]) - 576.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compound_term_multiplies_parameters() {
+        let term = CompoundTerm::new(
+            2.0,
+            vec![
+                SimpleTerm::new(0, Fraction::whole(1), 0),
+                SimpleTerm::new(1, Fraction::whole(1), 1),
+            ],
+        );
+        // 2 * x0 * x1 * log2(x1) at (3, 4) = 2 * 3 * 4 * 2 = 48
+        assert!((term.evaluate(&[3.0, 4.0]) - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let term = CompoundTerm::univariate(0.58, Fraction::new(2, 3), 2);
+        assert_eq!(term.format_with(&["p"]), "0.5800 * p^(2/3) * log2(p)^2");
+        let lin = CompoundTerm::univariate(1.5, Fraction::whole(1), 0);
+        assert_eq!(lin.format_with(&["p"]), "1.5000 * p");
+    }
+
+    #[test]
+    fn constant_term_detection() {
+        let c = CompoundTerm::univariate(5.0, Fraction::zero(), 0);
+        assert!(c.is_constant());
+        assert_eq!(c.evaluate(&[123.0]), 5.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the PMNF modeling engine.
+
+use extradeep_model::{
+    model_single_parameter, ExperimentData, Fraction, Measurement, ModelerOptions,
+};
+use proptest::prelude::*;
+
+const XS: [f64; 5] = [2.0, 4.0, 8.0, 16.0, 32.0];
+
+fn data_of(f: impl Fn(f64) -> f64) -> ExperimentData {
+    let pts: Vec<(f64, f64)> = XS.iter().map(|&x| (x, f(x))).collect();
+    ExperimentData::univariate("p", &pts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact log-growth data is recovered with small extrapolation error.
+    #[test]
+    fn recovers_logarithmic_growth(c0 in 0.5f64..500.0, c1 in 0.1f64..50.0) {
+        let f = |x: f64| c0 + c1 * x.log2();
+        let model = model_single_parameter(&data_of(f), &ModelerOptions::default()).unwrap();
+        let err = model.percentage_error_at(&[128.0], f(128.0));
+        prop_assert!(err < 5.0, "err {err}% for {}", model.formatted());
+    }
+
+    /// Exact sqrt-growth data extrapolates within a tight band.
+    #[test]
+    fn recovers_sqrt_growth(c0 in 0.5f64..500.0, c1 in 0.1f64..50.0) {
+        let f = |x: f64| c0 + c1 * x.sqrt();
+        let model = model_single_parameter(&data_of(f), &ModelerOptions::default()).unwrap();
+        let err = model.percentage_error_at(&[128.0], f(128.0));
+        prop_assert!(err < 10.0, "err {err}% for {}", model.formatted());
+    }
+
+    /// Scaling the data scales the model: f and k·f predict proportionally.
+    #[test]
+    fn prediction_is_scale_equivariant(k in 0.1f64..1000.0) {
+        let base = |x: f64| 10.0 + 3.0 * x;
+        let m1 = model_single_parameter(&data_of(base), &ModelerOptions::default()).unwrap();
+        let m2 = model_single_parameter(&data_of(|x| k * base(x)), &ModelerOptions::default())
+            .unwrap();
+        let p1 = m1.predict_at(64.0);
+        let p2 = m2.predict_at(64.0);
+        prop_assert!((p2 / p1 / k - 1.0).abs() < 0.05, "ratio {}", p2 / p1 / k);
+    }
+
+    /// Models never predict negative values anywhere near the fit range when
+    /// the data is positive (the negativity guard).
+    #[test]
+    fn positive_data_positive_predictions(
+        c0 in 1.0f64..100.0,
+        slope in -0.9f64..3.0,
+    ) {
+        let f = |x: f64| c0 * x.powf(slope).max(1e-6);
+        let mut options = ModelerOptions::strong_scaling();
+        options.min_points = 5;
+        let model = model_single_parameter(&data_of(f), &options).unwrap();
+        for mult in [1.0, 2.0, 8.0, 32.0] {
+            let x = 32.0 * mult;
+            prop_assert!(model.predict_at(x) >= 0.0, "negative at {x}");
+        }
+    }
+
+    /// The fit-range SMAPE reported by the model matches a recomputation
+    /// from its own predictions.
+    #[test]
+    fn reported_smape_is_consistent(c1 in 0.1f64..10.0) {
+        let noise = [1.03, 0.98, 1.01, 0.97, 1.02];
+        let pts: Vec<(f64, f64)> = XS
+            .iter()
+            .zip(noise.iter())
+            .map(|(&x, &n)| (x, (5.0 + c1 * x) * n))
+            .collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let predicted: Vec<f64> = pts.iter().map(|&(x, _)| model.predict_at(x)).collect();
+        let actual: Vec<f64> = pts.iter().map(|&(_, v)| v).collect();
+        let recomputed = extradeep_model::metrics::smape(&predicted, &actual);
+        prop_assert!((model.smape - recomputed).abs() < 1e-6);
+    }
+
+    /// Repetition order never changes the fit (median is order-free).
+    #[test]
+    fn repetition_order_is_irrelevant(seed in 0u64..1000) {
+        let reps_at = |x: f64| -> Vec<f64> {
+            let base = 4.0 + 2.0 * x;
+            vec![base * 0.98, base, base * 1.02, base * (1.0 + (seed % 7) as f64 / 100.0)]
+        };
+        let fwd = ExperimentData::new(
+            vec!["p".into()],
+            XS.iter().map(|&x| Measurement::new(vec![x], reps_at(x))).collect(),
+        );
+        let rev = ExperimentData::new(
+            vec!["p".into()],
+            XS.iter()
+                .map(|&x| {
+                    let mut v = reps_at(x);
+                    v.reverse();
+                    Measurement::new(vec![x], v)
+                })
+                .collect(),
+        );
+        let opts = ModelerOptions::default();
+        let m1 = model_single_parameter(&fwd, &opts).unwrap();
+        let m2 = model_single_parameter(&rev, &opts).unwrap();
+        prop_assert_eq!(m1.function, m2.function);
+    }
+
+    /// The confidence interval contains the point prediction and widens as
+    /// the probe moves away from the data.
+    #[test]
+    fn confidence_band_well_formed(c1 in 0.5f64..10.0) {
+        let noise = [1.02, 0.99, 1.01, 0.98, 1.015];
+        let pts: Vec<(f64, f64)> = XS
+            .iter()
+            .zip(noise.iter())
+            .map(|(&x, &n)| (x, (3.0 + c1 * x) * n))
+            .collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        if let (Some((lo_near, hi_near)), Some((lo_far, hi_far))) = (
+            model.confidence_interval(&[16.0]),
+            model.confidence_interval(&[512.0]),
+        ) {
+            let p_near = model.predict_at(16.0);
+            prop_assert!(lo_near <= p_near && p_near <= hi_near);
+            prop_assert!(hi_far - lo_far >= hi_near - lo_near);
+        }
+    }
+
+    /// Fraction exponents respect exponent arithmetic through evaluation:
+    /// x^(a/b) evaluated equals the float power.
+    #[test]
+    fn fraction_exponent_evaluation(num in 1i32..9, den in 1i32..5, x in 1.5f64..500.0) {
+        use extradeep_model::{CompoundTerm, PerformanceFunction};
+        let f = PerformanceFunction::new(
+            0.0,
+            vec![CompoundTerm::univariate(1.0, Fraction::new(num, den), 0)],
+        );
+        let expected = x.powf(num as f64 / den as f64);
+        prop_assert!((f.evaluate_at(x) - expected).abs() / expected < 1e-12);
+    }
+}

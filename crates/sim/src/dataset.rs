@@ -1,0 +1,174 @@
+//! The five benchmark datasets (paper §4.1) and scaling-mode bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Weak vs. strong scaling (paper §2: "Extra-Deep supports weak as well as
+/// strong scaling scenarios").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalingMode {
+    /// The dataset is replicated/augmented with the data-parallel degree so
+    /// every worker keeps a constant per-epoch workload (the paper's CIFAR-10
+    /// case study: "we multiply the size of the training dataset by the
+    /// number of MPI ranks ... then shard").
+    Weak,
+    /// The dataset stays fixed; more workers each process a smaller shard.
+    Strong,
+}
+
+impl ScalingMode {
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalingMode::Weak => "weak",
+            ScalingMode::Strong => "strong",
+        }
+    }
+}
+
+/// Static description of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    pub name: String,
+    /// Base number of training samples.
+    pub train_samples: u64,
+    /// Number of validation samples.
+    pub val_samples: u64,
+    /// On-disk bytes per sample (drives I/O and HtoD copy costs).
+    pub bytes_per_sample: u64,
+    /// CPU preprocessing cost per sample, in microseconds (decode + augment).
+    pub preprocess_us_per_sample: f64,
+    pub classes: usize,
+}
+
+impl DatasetSpec {
+    pub fn cifar10() -> Self {
+        DatasetSpec {
+            name: "CIFAR-10".to_string(),
+            train_samples: 50_000,
+            val_samples: 10_000,
+            bytes_per_sample: 3 * 32 * 32,
+            preprocess_us_per_sample: 45.0,
+            classes: 10,
+        }
+    }
+
+    pub fn cifar100() -> Self {
+        DatasetSpec {
+            name: "CIFAR-100".to_string(),
+            train_samples: 50_000,
+            val_samples: 10_000,
+            bytes_per_sample: 3 * 32 * 32,
+            preprocess_us_per_sample: 45.0,
+            classes: 100,
+        }
+    }
+
+    pub fn imagenet() -> Self {
+        DatasetSpec {
+            name: "ImageNet".to_string(),
+            train_samples: 1_281_167,
+            val_samples: 50_000,
+            bytes_per_sample: 110_000, // average JPEG size
+            preprocess_us_per_sample: 900.0,
+            classes: 1000,
+        }
+    }
+
+    pub fn imdb() -> Self {
+        DatasetSpec {
+            name: "IMDB".to_string(),
+            train_samples: 25_000,
+            val_samples: 25_000,
+            bytes_per_sample: 1_300, // tokenized review
+            preprocess_us_per_sample: 12.0,
+            classes: 2,
+        }
+    }
+
+    pub fn speech_commands() -> Self {
+        DatasetSpec {
+            name: "Speech Commands".to_string(),
+            train_samples: 85_000,
+            val_samples: 10_000,
+            bytes_per_sample: 32_000, // 1 s of 16 kHz int16 audio
+            preprocess_us_per_sample: 240.0,
+            classes: 12,
+        }
+    }
+
+    /// WikiText-103-like corpus for the Transformer extension workload:
+    /// token sequences of 512 tokens each.
+    pub fn wikitext() -> Self {
+        DatasetSpec {
+            name: "WikiText".to_string(),
+            train_samples: 230_000,
+            val_samples: 5_000,
+            bytes_per_sample: 2_048, // 512 tokens x 4 B ids
+            preprocess_us_per_sample: 25.0,
+            classes: 0,
+        }
+    }
+
+    /// Effective training-set size for a scaling mode and data-parallel
+    /// degree `g` (weak scaling replicates the dataset `g`-fold).
+    pub fn effective_train_samples(&self, mode: ScalingMode, g: u32) -> u64 {
+        match mode {
+            ScalingMode::Weak => self.train_samples * g as u64,
+            ScalingMode::Strong => self.train_samples,
+        }
+    }
+
+    /// Samples each of the `g` data-parallel workers processes per epoch
+    /// (the dataset "is sharded by the number of MPI ranks").
+    pub fn samples_per_worker(&self, mode: ScalingMode, g: u32) -> u64 {
+        self.effective_train_samples(mode, g) / g.max(1) as u64
+    }
+
+    /// Validation samples per worker.
+    pub fn val_samples_per_worker(&self, g: u32) -> u64 {
+        self.val_samples / g.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_sizes_match_the_literature() {
+        assert_eq!(DatasetSpec::cifar10().train_samples, 50_000);
+        assert_eq!(DatasetSpec::cifar100().classes, 100);
+        assert!(DatasetSpec::imagenet().train_samples > 1_200_000);
+        assert_eq!(DatasetSpec::imdb().train_samples, 25_000);
+        assert_eq!(DatasetSpec::speech_commands().classes, 12);
+    }
+
+    #[test]
+    fn weak_scaling_keeps_per_worker_constant() {
+        let d = DatasetSpec::cifar10();
+        for g in [1, 2, 8, 64] {
+            assert_eq!(d.samples_per_worker(ScalingMode::Weak, g), 50_000);
+        }
+    }
+
+    #[test]
+    fn strong_scaling_shrinks_shards() {
+        let d = DatasetSpec::cifar10();
+        assert_eq!(d.samples_per_worker(ScalingMode::Strong, 2), 25_000);
+        assert_eq!(d.samples_per_worker(ScalingMode::Strong, 50), 1_000);
+    }
+
+    #[test]
+    fn imagenet_dwarfs_imdb_in_work() {
+        // Motivates the Fig. 7 observation: IMDB models extrapolate best,
+        // ImageNet worst — sheer scale of per-epoch work differs by ~50x.
+        let imagenet = DatasetSpec::imagenet();
+        let imdb = DatasetSpec::imdb();
+        assert!(imagenet.train_samples > 50 * imdb.train_samples);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ScalingMode::Weak.label(), "weak");
+        assert_eq!(ScalingMode::Strong.label(), "strong");
+    }
+}

@@ -1,0 +1,506 @@
+//! The four DNN architectures of the paper's evaluation (§4.1):
+//! ResNet-50 (CIFAR-10/100), EfficientNet-B0 (ImageNet), an NNLM (IMDB), and
+//! a ten-hidden-layer CNN (Speech Commands).
+
+use crate::dnn::layer::{Activation, Layer, PoolKind, Shape};
+use serde::{Deserialize, Serialize};
+
+/// A named layer in an architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedLayer {
+    /// Stable layer name, e.g. `stage2.block1.conv2`; used for kernel naming.
+    pub name: String,
+    pub layer: Layer,
+}
+
+/// A costed DNN architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    pub name: String,
+    /// Input shape of one sample.
+    pub input: Shape,
+    pub layers: Vec<NamedLayer>,
+}
+
+impl Architecture {
+    fn push(&mut self, name: impl Into<String>, layer: Layer) {
+        self.layers.push(NamedLayer {
+            name: name.into(),
+            layer,
+        });
+    }
+
+    /// Total trainable parameters.
+    pub fn params(&self) -> usize {
+        self.layers.iter().map(|l| l.layer.params()).sum()
+    }
+
+    /// Gradient bytes exchanged per step under data parallelism (fp32).
+    pub fn gradient_bytes(&self) -> u64 {
+        4 * self.params() as u64
+    }
+
+    /// Forward FLOPs for one sample.
+    pub fn forward_flops_per_sample(&self) -> u64 {
+        self.walk().map(|(_, flops, _)| flops).sum()
+    }
+
+    /// Total activation bytes produced for one sample.
+    pub fn activation_bytes_per_sample(&self) -> u64 {
+        self.walk().map(|(_, _, act)| act).sum()
+    }
+
+    /// Iterates layers with per-layer `(index, forward_flops, activation
+    /// bytes)`, threading the shape through the network.
+    pub fn walk(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        let mut shape = self.input.clone();
+        self.layers.iter().enumerate().map(move |(i, nl)| {
+            let flops = nl.layer.forward_flops(&shape);
+            let act = nl.layer.activation_bytes(&shape);
+            shape = nl.layer.output_shape(&shape);
+            (i, flops, act)
+        })
+    }
+
+    /// A ResNet-50 (bottleneck blocks `[3,4,6,3]`) for `hw`×`hw` inputs with
+    /// `classes` outputs. Uses the CIFAR-style 3×3 stem for small inputs and
+    /// the ImageNet 7×7/2 stem otherwise.
+    pub fn resnet50(hw: usize, classes: usize) -> Self {
+        let mut a = Architecture {
+            name: "ResNet-50".to_string(),
+            input: Shape::chw(3, hw, hw),
+            layers: Vec::new(),
+        };
+        if hw >= 64 {
+            a.push("stem.conv", Layer::conv(3, 64, 7, 2));
+            a.push("stem.bn", Layer::BatchNorm { channels: 64 });
+            a.push("stem.relu", Layer::Activation(Activation::Relu));
+            a.push(
+                "stem.maxpool",
+                Layer::Pool {
+                    kind: PoolKind::Max,
+                    kernel: 2,
+                    stride: 2,
+                },
+            );
+        } else {
+            a.push("stem.conv", Layer::conv(3, 64, 3, 1));
+            a.push("stem.bn", Layer::BatchNorm { channels: 64 });
+            a.push("stem.relu", Layer::Activation(Activation::Relu));
+        }
+
+        let stage_blocks = [3usize, 4, 6, 3];
+        let stage_mid = [64usize, 128, 256, 512];
+        let mut in_ch = 64;
+        for (s, (&blocks, &mid)) in stage_blocks.iter().zip(&stage_mid).enumerate() {
+            let out_ch = mid * 4;
+            for b in 0..blocks {
+                let prefix = format!("stage{}.block{}", s + 1, b + 1);
+                let stride = if b == 0 && s > 0 { 2 } else { 1 };
+                a.push(format!("{prefix}.conv1"), Layer::conv(in_ch, mid, 1, 1));
+                a.push(format!("{prefix}.bn1"), Layer::BatchNorm { channels: mid });
+                a.push(
+                    format!("{prefix}.relu1"),
+                    Layer::Activation(Activation::Relu),
+                );
+                a.push(format!("{prefix}.conv2"), Layer::conv(mid, mid, 3, stride));
+                a.push(format!("{prefix}.bn2"), Layer::BatchNorm { channels: mid });
+                a.push(
+                    format!("{prefix}.relu2"),
+                    Layer::Activation(Activation::Relu),
+                );
+                a.push(format!("{prefix}.conv3"), Layer::conv(mid, out_ch, 1, 1));
+                a.push(
+                    format!("{prefix}.bn3"),
+                    Layer::BatchNorm { channels: out_ch },
+                );
+                a.push(format!("{prefix}.add"), Layer::ResidualAdd);
+                a.push(
+                    format!("{prefix}.relu3"),
+                    Layer::Activation(Activation::Relu),
+                );
+                in_ch = out_ch;
+            }
+        }
+        a.push("head.avgpool", Layer::GlobalAveragePool);
+        a.push(
+            "head.fc",
+            Layer::Dense {
+                inputs: 2048,
+                outputs: classes,
+            },
+        );
+        a.push("head.softmax", Layer::Softmax);
+        a
+    }
+
+    /// EfficientNet-B0 for `hw`×`hw` inputs (MBConv stages, swish).
+    pub fn efficientnet_b0(hw: usize, classes: usize) -> Self {
+        let mut a = Architecture {
+            name: "EfficientNet-B0".to_string(),
+            input: Shape::chw(3, hw, hw),
+            layers: Vec::new(),
+        };
+        a.push("stem.conv", Layer::conv(3, 32, 3, 2));
+        a.push("stem.bn", Layer::BatchNorm { channels: 32 });
+        a.push("stem.swish", Layer::Activation(Activation::Swish));
+
+        // (expansion, channels, repeats, stride, kernel) per MBConv stage.
+        let stages: [(usize, usize, usize, usize, usize); 7] = [
+            (1, 16, 1, 1, 3),
+            (6, 24, 2, 2, 3),
+            (6, 40, 2, 2, 5),
+            (6, 80, 3, 2, 3),
+            (6, 112, 3, 1, 5),
+            (6, 192, 4, 2, 5),
+            (6, 320, 1, 1, 3),
+        ];
+        let mut in_ch = 32;
+        for (s, &(expand, out_ch, repeats, stride, kernel)) in stages.iter().enumerate() {
+            for r in 0..repeats {
+                let prefix = format!("mbconv{}.r{}", s + 1, r + 1);
+                let stride = if r == 0 { stride } else { 1 };
+                let mid = in_ch * expand;
+                if expand > 1 {
+                    a.push(format!("{prefix}.expand"), Layer::conv(in_ch, mid, 1, 1));
+                    a.push(
+                        format!("{prefix}.expand_bn"),
+                        Layer::BatchNorm { channels: mid },
+                    );
+                    a.push(
+                        format!("{prefix}.expand_swish"),
+                        Layer::Activation(Activation::Swish),
+                    );
+                }
+                a.push(
+                    format!("{prefix}.dwconv"),
+                    Layer::Conv2d {
+                        in_channels: mid,
+                        out_channels: mid,
+                        kernel,
+                        stride,
+                        padding: kernel / 2,
+                        groups: mid,
+                    },
+                );
+                a.push(format!("{prefix}.dw_bn"), Layer::BatchNorm { channels: mid });
+                a.push(
+                    format!("{prefix}.dw_swish"),
+                    Layer::Activation(Activation::Swish),
+                );
+                a.push(format!("{prefix}.project"), Layer::conv(mid, out_ch, 1, 1));
+                a.push(
+                    format!("{prefix}.project_bn"),
+                    Layer::BatchNorm { channels: out_ch },
+                );
+                if stride == 1 && in_ch == out_ch {
+                    a.push(format!("{prefix}.add"), Layer::ResidualAdd);
+                }
+                in_ch = out_ch;
+            }
+        }
+        a.push("head.conv", Layer::conv(320, 1280, 1, 1));
+        a.push("head.bn", Layer::BatchNorm { channels: 1280 });
+        a.push("head.swish", Layer::Activation(Activation::Swish));
+        a.push("head.avgpool", Layer::GlobalAveragePool);
+        a.push(
+            "head.fc",
+            Layer::Dense {
+                inputs: 1280,
+                outputs: classes,
+            },
+        );
+        a.push("head.softmax", Layer::Softmax);
+        a
+    }
+
+    /// The ten-hidden-layer CNN used for Speech Commands: operates on
+    /// spectrogram inputs (1×124×129 in the TF tutorial this benchmark
+    /// mirrors; simplified to 1×124×128).
+    pub fn cnn10(classes: usize) -> Self {
+        let mut a = Architecture {
+            name: "CNN-10".to_string(),
+            input: Shape::chw(1, 124, 128),
+            layers: Vec::new(),
+        };
+        let widths = [32usize, 32, 64, 64, 128, 128, 256, 256, 512, 512];
+        let mut in_ch = 1;
+        for (i, &w) in widths.iter().enumerate() {
+            a.push(format!("conv{}", i + 1), Layer::conv(in_ch, w, 3, 1));
+            a.push(format!("bn{}", i + 1), Layer::BatchNorm { channels: w });
+            a.push(
+                format!("relu{}", i + 1),
+                Layer::Activation(Activation::Relu),
+            );
+            if i % 2 == 1 {
+                a.push(
+                    format!("pool{}", i / 2 + 1),
+                    Layer::Pool {
+                        kind: PoolKind::Max,
+                        kernel: 2,
+                        stride: 2,
+                    },
+                );
+            }
+            in_ch = w;
+        }
+        a.push("head.avgpool", Layer::GlobalAveragePool);
+        a.push(
+            "head.fc",
+            Layer::Dense {
+                inputs: 512,
+                outputs: classes,
+            },
+        );
+        a.push("head.softmax", Layer::Softmax);
+        a
+    }
+
+    /// A decoder-style Transformer language model (extension workload).
+    ///
+    /// The paper's introduction motivates Extra-Deep with GPT-scale NLP
+    /// models; this constructor provides a parameterizable Transformer so
+    /// the framework can be exercised on attention-dominated workloads:
+    /// `layers` blocks of (LN → multi-head self-attention → residual →
+    /// LN → 4x MLP → residual) over `seq`-token sequences of width `dim`.
+    pub fn transformer(
+        layers: usize,
+        dim: usize,
+        heads: usize,
+        seq: usize,
+        vocab: usize,
+    ) -> Self {
+        let mut a = Architecture {
+            name: format!("Transformer-{layers}x{dim}"),
+            input: Shape::seq(seq, 1),
+            layers: Vec::new(),
+        };
+        a.push("embedding", Layer::Embedding { vocab, dim });
+        a.push("pos_dropout", Layer::Dropout);
+        for l in 0..layers {
+            let prefix = format!("block{}", l + 1);
+            a.push(format!("{prefix}.ln1"), Layer::LayerNorm { dim });
+            a.push(
+                format!("{prefix}.attn"),
+                Layer::SelfAttention { dim, heads },
+            );
+            a.push(format!("{prefix}.attn_drop"), Layer::Dropout);
+            a.push(format!("{prefix}.add1"), Layer::ResidualAdd);
+            a.push(format!("{prefix}.ln2"), Layer::LayerNorm { dim });
+            a.push(
+                format!("{prefix}.mlp"),
+                Layer::TokenMlp {
+                    dim,
+                    hidden: 4 * dim,
+                },
+            );
+            a.push(format!("{prefix}.gelu"), Layer::Activation(Activation::Gelu));
+            a.push(format!("{prefix}.add2"), Layer::ResidualAdd);
+        }
+        a.push("final_ln", Layer::LayerNorm { dim });
+        a.push(
+            "lm_head",
+            Layer::Dense {
+                inputs: dim,
+                outputs: vocab,
+            },
+        );
+        a.push("softmax", Layer::Softmax);
+        a
+    }
+
+    /// A synthetic CNN generated from a seed: random depth, widths, kernel
+    /// sizes, and downsampling. Used by robustness tests to verify that the
+    /// whole pipeline (engine -> profiler -> aggregation -> modeling) holds
+    /// for arbitrary architectures, not just the paper's four.
+    pub fn synthetic(seed: u64) -> Self {
+        // Tiny deterministic PRNG (kept local so the dnn module stays
+        // self-contained).
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % bound as u64) as usize
+        };
+
+        let mut a = Architecture {
+            name: format!("SyntheticCNN-{seed}"),
+            input: Shape::chw(3, 64, 64),
+            layers: Vec::new(),
+        };
+        let depth = 3 + next(8);
+        let mut ch = 3;
+        let mut hw = 64usize;
+        for i in 0..depth {
+            let out = [16, 32, 48, 64, 96, 128][next(6)];
+            let kernel = [1, 3, 5][next(3)];
+            let stride = if hw >= 8 && next(3) == 0 { 2 } else { 1 };
+            a.push(format!("conv{i}"), Layer::conv(ch, out, kernel, stride));
+            a.push(format!("bn{i}"), Layer::BatchNorm { channels: out });
+            a.push(format!("act{i}"), Layer::Activation(Activation::Relu));
+            if stride == 2 {
+                hw /= 2;
+            }
+            ch = out;
+        }
+        a.push("head.pool", Layer::GlobalAveragePool);
+        a.push(
+            "head.fc",
+            Layer::Dense {
+                inputs: ch,
+                outputs: 10,
+            },
+        );
+        a.push("head.softmax", Layer::Softmax);
+        a
+    }
+
+    /// The neural-network language model (NNLM) used for IMDB sentiment:
+    /// token embedding + LSTM + dense head over 200-token reviews.
+    pub fn nnlm(vocab: usize, classes: usize) -> Self {
+        let mut a = Architecture {
+            name: "NNLM".to_string(),
+            input: Shape::seq(200, 1),
+            layers: Vec::new(),
+        };
+        a.push("embedding", Layer::Embedding { vocab, dim: 64 });
+        a.push("dropout1", Layer::Dropout);
+        a.push(
+            "lstm",
+            Layer::Lstm {
+                inputs: 64,
+                hidden: 128,
+            },
+        );
+        a.push("flatten", Layer::Flatten);
+        a.push(
+            "dense1",
+            Layer::Dense {
+                inputs: 200 * 128,
+                outputs: 64,
+            },
+        );
+        a.push("relu1", Layer::Activation(Activation::Relu));
+        a.push("dropout2", Layer::Dropout);
+        a.push(
+            "dense2",
+            Layer::Dense {
+                inputs: 64,
+                outputs: classes,
+            },
+        );
+        a.push("softmax", Layer::Softmax);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_imagenet_flops_and_params_are_in_range() {
+        let r = Architecture::resnet50(224, 1000);
+        let params = r.params();
+        // Reference ResNet-50: ~25.6M parameters.
+        assert!(
+            (20_000_000..32_000_000).contains(&params),
+            "params {params}"
+        );
+        let gflops = r.forward_flops_per_sample() as f64 / 1e9;
+        // Reference: ~3.8 GMACs = ~7.7 GFLOPs (multiply-accumulate counted as 2).
+        assert!((5.0..10.0).contains(&gflops), "gflops {gflops}");
+    }
+
+    #[test]
+    fn resnet50_cifar_is_much_cheaper_than_imagenet() {
+        let cifar = Architecture::resnet50(32, 10).forward_flops_per_sample();
+        let imagenet = Architecture::resnet50(224, 1000).forward_flops_per_sample();
+        assert!(imagenet > 3 * cifar, "imagenet {imagenet} cifar {cifar}");
+    }
+
+    #[test]
+    fn efficientnet_b0_is_lighter_than_resnet50_at_224() {
+        let eff = Architecture::efficientnet_b0(224, 1000);
+        let res = Architecture::resnet50(224, 1000);
+        assert!(eff.forward_flops_per_sample() < res.forward_flops_per_sample() / 4);
+        let params = eff.params();
+        // Reference EfficientNet-B0: ~5.3M (we omit squeeze-excite, so a bit less).
+        assert!((3_000_000..8_000_000).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn cnn10_has_ten_conv_layers() {
+        let c = Architecture::cnn10(12);
+        let convs = c
+            .layers
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 10);
+    }
+
+    #[test]
+    fn nnlm_is_tiny_compared_to_cnns() {
+        let n = Architecture::nnlm(20_000, 2);
+        let c = Architecture::cnn10(12);
+        assert!(n.forward_flops_per_sample() < c.forward_flops_per_sample());
+    }
+
+    #[test]
+    fn gradient_bytes_are_4x_params() {
+        let r = Architecture::resnet50(32, 10);
+        assert_eq!(r.gradient_bytes(), 4 * r.params() as u64);
+    }
+
+    #[test]
+    fn walk_is_consistent_with_totals() {
+        let a = Architecture::efficientnet_b0(224, 1000);
+        let total: u64 = a.walk().map(|(_, f, _)| f).sum();
+        assert_eq!(total, a.forward_flops_per_sample());
+        assert_eq!(a.walk().count(), a.layers.len());
+    }
+
+    #[test]
+    fn transformer_is_gpt2_sized() {
+        // GPT-2 small: 12 layers, d=768, 12 heads, vocab 50257 -> ~124M
+        // params with a tied LM head; ours unties the head (+38.6M).
+        let t = Architecture::transformer(12, 768, 12, 512, 50_257);
+        let params = t.params();
+        assert!(
+            (120_000_000..175_000_000).contains(&params),
+            "params {params}"
+        );
+        // Attention + MLP dominate FLOPs.
+        let gflops = t.forward_flops_per_sample() as f64 / 1e9;
+        assert!(gflops > 50.0, "gflops {gflops}");
+    }
+
+    #[test]
+    fn transformer_attention_cost_grows_quadratically_with_sequence() {
+        let short = Architecture::transformer(4, 256, 4, 128, 1000);
+        let long = Architecture::transformer(4, 256, 4, 1024, 1000);
+        let fs = short.forward_flops_per_sample() as f64;
+        let fl = long.forward_flops_per_sample() as f64;
+        // 8x the sequence: linear terms give 8x, attention t^2 gives 64x.
+        assert!(fl / fs > 8.0, "ratio {}", fl / fs);
+    }
+
+    #[test]
+    fn layer_names_are_unique() {
+        for arch in [
+            Architecture::resnet50(32, 10),
+            Architecture::efficientnet_b0(224, 1000),
+            Architecture::cnn10(12),
+            Architecture::nnlm(20_000, 2),
+            Architecture::transformer(12, 768, 12, 512, 50_257),
+        ] {
+            let mut names: Vec<&str> = arch.layers.iter().map(|l| l.name.as_str()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate layer names in {}", arch.name);
+        }
+    }
+}

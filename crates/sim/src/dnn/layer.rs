@@ -1,0 +1,353 @@
+//! Layer-level compute/parameter/activation models.
+//!
+//! The simulator does not execute networks; it *costs* them. Each layer type
+//! knows its output shape, trainable parameter count, forward FLOPs per
+//! sample, and activation footprint — the quantities the GPU compute model
+//! and the communication models consume.
+
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape (without the batch dimension).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    pub fn chw(c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![c, h, w])
+    }
+
+    pub fn seq(tokens: usize, dim: usize) -> Self {
+        Shape(vec![tokens, dim])
+    }
+
+    pub fn vec1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    pub fn elements(&self) -> usize {
+        self.0.iter().product()
+    }
+}
+
+/// Activation function kinds (costed identically, named distinctly so kernel
+/// populations differ between architectures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    Relu,
+    Swish,
+    Gelu,
+    Sigmoid,
+    Tanh,
+}
+
+impl Activation {
+    pub fn kernel_name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu_kernel",
+            Activation::Swish => "swish_kernel",
+            Activation::Gelu => "gelu_kernel",
+            Activation::Sigmoid => "sigmoid_kernel",
+            Activation::Tanh => "tanh_kernel",
+        }
+    }
+}
+
+/// Pooling kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolKind {
+    Max,
+    Average,
+}
+
+/// One layer of a DNN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution. `groups > 1` models grouped/depthwise convolutions
+    /// (`groups == in_channels` is depthwise).
+    Conv2d {
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    },
+    /// Fully connected layer.
+    Dense { inputs: usize, outputs: usize },
+    BatchNorm { channels: usize },
+    LayerNorm { dim: usize },
+    Activation(Activation),
+    Pool {
+        kind: PoolKind,
+        kernel: usize,
+        stride: usize,
+    },
+    GlobalAveragePool,
+    /// Token embedding lookup.
+    Embedding { vocab: usize, dim: usize },
+    /// A (single-layer) LSTM over the whole sequence.
+    Lstm { inputs: usize, hidden: usize },
+    /// Multi-head self-attention over the sequence.
+    SelfAttention { dim: usize, heads: usize },
+    /// A per-token two-layer MLP (`dim -> hidden -> dim`), the feed-forward
+    /// half of a Transformer block. Shape-preserving over the sequence.
+    TokenMlp { dim: usize, hidden: usize },
+    /// Residual add of the block input.
+    ResidualAdd,
+    Softmax,
+    Dropout,
+    Flatten,
+}
+
+impl Layer {
+    /// Convenience conv constructor (groups = 1).
+    pub fn conv(in_channels: usize, out_channels: usize, kernel: usize, stride: usize) -> Layer {
+        Layer::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding: kernel / 2,
+            groups: 1,
+        }
+    }
+
+    /// Depthwise conv constructor.
+    pub fn depthwise(channels: usize, kernel: usize, stride: usize) -> Layer {
+        Layer::Conv2d {
+            in_channels: channels,
+            out_channels: channels,
+            kernel,
+            stride,
+            padding: kernel / 2,
+            groups: channels,
+        }
+    }
+
+    /// Output shape given the input shape.
+    pub fn output_shape(&self, input: &Shape) -> Shape {
+        match self {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let (h, w) = (input.0[1], input.0[2]);
+                let oh = (h + 2 * padding - kernel) / stride + 1;
+                let ow = (w + 2 * padding - kernel) / stride + 1;
+                Shape::chw(*out_channels, oh, ow)
+            }
+            Layer::Dense { outputs, .. } => Shape::vec1(*outputs),
+            Layer::Pool { kernel, stride, .. } => {
+                let (c, h, w) = (input.0[0], input.0[1], input.0[2]);
+                Shape::chw(c, (h - kernel) / stride + 1, (w - kernel) / stride + 1)
+            }
+            Layer::GlobalAveragePool => Shape::vec1(input.0[0]),
+            Layer::Embedding { dim, .. } => Shape::seq(input.0[0], *dim),
+            Layer::Lstm { hidden, .. } => Shape::seq(input.0[0], *hidden),
+            Layer::SelfAttention { .. } | Layer::TokenMlp { .. } => input.clone(),
+            Layer::Flatten => Shape::vec1(input.elements()),
+            Layer::BatchNorm { .. }
+            | Layer::LayerNorm { .. }
+            | Layer::Activation(_)
+            | Layer::ResidualAdd
+            | Layer::Softmax
+            | Layer::Dropout => input.clone(),
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn params(&self) -> usize {
+        match self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                groups,
+                ..
+            } => kernel * kernel * (in_channels / groups) * out_channels + out_channels,
+            Layer::Dense { inputs, outputs } => inputs * outputs + outputs,
+            Layer::BatchNorm { channels } => 2 * channels,
+            Layer::LayerNorm { dim } => 2 * dim,
+            Layer::Embedding { vocab, dim } => vocab * dim,
+            Layer::Lstm { inputs, hidden } => 4 * (hidden * (inputs + hidden) + hidden),
+            Layer::SelfAttention { dim, .. } => 4 * dim * dim + 4 * dim,
+            Layer::TokenMlp { dim, hidden } => 2 * dim * hidden + hidden + dim,
+            _ => 0,
+        }
+    }
+
+    /// Forward FLOPs for one sample with the given input shape.
+    pub fn forward_flops(&self, input: &Shape) -> u64 {
+        let out = self.output_shape(input);
+        match self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                groups,
+                ..
+            } => {
+                let spatial = out.0[1] * out.0[2];
+                (2 * kernel * kernel * (in_channels / groups) * out_channels * spatial) as u64
+            }
+            Layer::Dense { inputs, outputs } => (2 * inputs * outputs) as u64,
+            Layer::BatchNorm { .. } => (4 * input.elements()) as u64,
+            Layer::LayerNorm { .. } => (5 * input.elements()) as u64,
+            Layer::Activation(_) => input.elements() as u64,
+            Layer::Pool { kernel, .. } => (kernel * kernel * out.elements()) as u64,
+            Layer::GlobalAveragePool => input.elements() as u64,
+            Layer::Embedding { .. } => out.elements() as u64, // gather traffic
+            Layer::Lstm { inputs, hidden } => {
+                let tokens = input.0[0];
+                (8 * tokens * hidden * (inputs + hidden)) as u64
+            }
+            Layer::SelfAttention { dim, .. } => {
+                let tokens = input.0[0];
+                // QKV + output projections: 8·t·d²; attention matrix: 4·t²·d.
+                (8 * tokens * dim * dim + 4 * tokens * tokens * dim) as u64
+            }
+            Layer::TokenMlp { dim, hidden } => {
+                let tokens = input.0[0];
+                (4 * tokens * dim * hidden) as u64
+            }
+            Layer::ResidualAdd => input.elements() as u64,
+            Layer::Softmax => (3 * input.elements()) as u64,
+            Layer::Dropout => input.elements() as u64,
+            Layer::Flatten => 0,
+        }
+    }
+
+    /// Activation bytes produced for one sample (fp32).
+    pub fn activation_bytes(&self, input: &Shape) -> u64 {
+        4 * self.output_shape(input).elements() as u64
+    }
+
+    /// Whether this layer's forward pass is dominated by dense linear algebra
+    /// (dispatched to cuBLAS/cuDNN) vs. elementwise/memory-bound kernels.
+    pub fn is_tensor_op(&self) -> bool {
+        matches!(
+            self,
+            Layer::Conv2d { .. }
+                | Layer::Dense { .. }
+                | Layer::Lstm { .. }
+                | Layer::SelfAttention { .. }
+                | Layer::TokenMlp { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape_and_params() {
+        // 3x3 conv, 64->128, stride 2, pad 1 on 56x56.
+        let l = Layer::conv(64, 128, 3, 2);
+        let out = l.output_shape(&Shape::chw(64, 56, 56));
+        assert_eq!(out, Shape::chw(128, 28, 28));
+        assert_eq!(l.params(), 3 * 3 * 64 * 128 + 128);
+    }
+
+    #[test]
+    fn conv_flops_match_textbook_formula() {
+        let l = Layer::conv(3, 64, 7, 2);
+        let input = Shape::chw(3, 224, 224);
+        let out = l.output_shape(&input);
+        assert_eq!(out.0[1], 112);
+        let expected = 2u64 * 7 * 7 * 3 * 64 * 112 * 112;
+        assert_eq!(l.forward_flops(&input), expected);
+    }
+
+    #[test]
+    fn depthwise_conv_is_cheaper_than_full() {
+        let input = Shape::chw(128, 28, 28);
+        let full = Layer::conv(128, 128, 3, 1).forward_flops(&input);
+        let dw = Layer::depthwise(128, 3, 1).forward_flops(&input);
+        assert_eq!(full / dw, 128);
+    }
+
+    #[test]
+    fn dense_layer_flops_and_params() {
+        let l = Layer::Dense {
+            inputs: 2048,
+            outputs: 1000,
+        };
+        assert_eq!(l.forward_flops(&Shape::vec1(2048)), 2 * 2048 * 1000);
+        assert_eq!(l.params(), 2048 * 1000 + 1000);
+        assert_eq!(l.output_shape(&Shape::vec1(2048)), Shape::vec1(1000));
+    }
+
+    #[test]
+    fn lstm_flops() {
+        let l = Layer::Lstm {
+            inputs: 64,
+            hidden: 128,
+        };
+        let input = Shape::seq(100, 64);
+        assert_eq!(l.forward_flops(&input), 8 * 100 * 128 * (64 + 128));
+        assert_eq!(l.output_shape(&input), Shape::seq(100, 128));
+    }
+
+    #[test]
+    fn attention_quadratic_in_sequence() {
+        let l = Layer::SelfAttention { dim: 64, heads: 4 };
+        let short = l.forward_flops(&Shape::seq(64, 64));
+        let long = l.forward_flops(&Shape::seq(256, 64));
+        assert!(long > 4 * short, "quadratic term must dominate");
+    }
+
+    #[test]
+    fn pool_and_global_pool_shapes() {
+        let p = Layer::Pool {
+            kind: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+        };
+        assert_eq!(p.output_shape(&Shape::chw(64, 32, 32)), Shape::chw(64, 16, 16));
+        let g = Layer::GlobalAveragePool;
+        assert_eq!(g.output_shape(&Shape::chw(2048, 7, 7)), Shape::vec1(2048));
+    }
+
+    #[test]
+    fn embedding_shape_and_params() {
+        let e = Layer::Embedding {
+            vocab: 20_000,
+            dim: 64,
+        };
+        assert_eq!(e.params(), 20_000 * 64);
+        assert_eq!(e.output_shape(&Shape::seq(200, 1)), Shape::seq(200, 64));
+    }
+
+    #[test]
+    fn shape_preserving_layers() {
+        let input = Shape::chw(64, 8, 8);
+        for l in [
+            Layer::BatchNorm { channels: 64 },
+            Layer::Activation(Activation::Relu),
+            Layer::ResidualAdd,
+            Layer::Softmax,
+            Layer::Dropout,
+        ] {
+            assert_eq!(l.output_shape(&input), input);
+        }
+    }
+
+    #[test]
+    fn activation_bytes_are_fp32() {
+        let l = Layer::conv(3, 16, 3, 1);
+        let input = Shape::chw(3, 32, 32);
+        assert_eq!(l.activation_bytes(&input), 4 * 16 * 32 * 32);
+    }
+
+    #[test]
+    fn tensor_op_classification() {
+        assert!(Layer::conv(3, 16, 3, 1).is_tensor_op());
+        assert!(Layer::Dense { inputs: 1, outputs: 1 }.is_tensor_op());
+        assert!(!Layer::Softmax.is_tensor_op());
+        assert!(!Layer::BatchNorm { channels: 4 }.is_tensor_op());
+    }
+}

@@ -1,0 +1,7 @@
+//! DNN architecture and layer cost models.
+
+pub mod arch;
+pub mod layer;
+
+pub use arch::{Architecture, NamedLayer};
+pub use layer::{Activation, Layer, PoolKind, Shape};

@@ -1,0 +1,924 @@
+//! The training-step cost engine.
+//!
+//! For a [`TrainingJob`] (system × benchmark × strategy × scaling × ranks)
+//! the engine builds deterministic *step plans*: the list of kernel rows one
+//! rank executes for a training step, a validation step, program
+//! initialization, and the epoch boundary. The profiler replays these plans
+//! with noise to produce traces; analytic epoch-time estimates reuse the same
+//! plans, so both paths agree by construction.
+
+use crate::dataset::ScalingMode;
+use crate::dnn::layer::Layer;
+use crate::gpu;
+use crate::kernels;
+use crate::network::{collective_cost, Collective};
+use crate::strategy::{ParallelStrategy, SyncMode};
+use crate::system::SystemConfig;
+use crate::workload::Benchmark;
+use extradeep_trace::{ApiDomain, TrainingMeta};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Calibration constants of the simulator (documented in DESIGN.md).
+mod calib {
+    /// Fraction of raw InfiniBand bandwidth a host-staged (non-NCCL) Horovod
+    /// allreduce sustains.
+    pub const MPI_ALLREDUCE_EFFICIENCY: f64 = 0.12;
+    /// Quadratic-in-log2(nodes) congestion factor of the flat MPI path; this
+    /// is what bends weak-scaling communication into the `~log²` growth the
+    /// paper measures (T_comm: 34 s @2 → 297 s @64 for the case study).
+    pub const MPI_CONGESTION_PER_LOG2_SQ: f64 = 0.18;
+    /// Python / framework host orchestration time per step, seconds.
+    pub const HOST_OVERHEAD_PER_STEP: f64 = 0.045;
+    /// CPU time of one library API dispatch (cuDNN/cuBLAS), seconds.
+    pub const API_CALL_SECONDS: f64 = 18e-6;
+    /// CPU time of one cudaLaunchKernel, seconds.
+    pub const LAUNCH_API_SECONDS: f64 = 3.5e-6;
+    /// Sustained read bandwidth of the parallel filesystem per rank, B/s.
+    pub const FS_READ_BPS: f64 = 1.2e9;
+    /// Sustained write bandwidth (checkpointing), B/s.
+    pub const FS_WRITE_BPS: f64 = 0.8e9;
+    /// Number of gradient fusion buffers Horovod negotiates per step.
+    pub const FUSION_BUFFERS: u64 = 8;
+}
+
+/// Training-phase region of a planned row, for the NVTX call tree
+/// (paper Fig. 1: "Calltree: kernel models"). Derived from the kernel's
+/// identity: the six phases of §2.2 (I/O, preprocessing, forward,
+/// backward, gradient exchange, weight update) plus host bookkeeping.
+pub fn phase_region(name: &str, domain: ApiDomain) -> &'static str {
+    match domain {
+        ApiDomain::Mpi | ApiDomain::Nccl => "exchange",
+        ApiDomain::Io => "input",
+        ApiDomain::MemSet => "update",
+        ApiDomain::MemCpy => {
+            if name.contains("DtoH") {
+                "output"
+            } else {
+                "input"
+            }
+        }
+        ApiDomain::Os => {
+            if name == "read" || name == "mmap" {
+                "input"
+            } else if name == "write" || name == "fsync" {
+                "checkpoint"
+            } else {
+                "host"
+            }
+        }
+        ApiDomain::CudaApi => "host",
+        ApiDomain::Nvtx => {
+            if name.contains("data_prep") {
+                "input"
+            } else {
+                "host"
+            }
+        }
+        ApiDomain::CudaKernel | ApiDomain::CuBlas | ApiDomain::CuDnn => {
+            if name.contains("bgrad") || name.contains("_grad") || name.contains("Backward")
+                || name.contains("bw_")
+            {
+                "backward"
+            } else if name.contains("sgd") || name.contains("update") {
+                "update"
+            } else {
+                "forward"
+            }
+        }
+    }
+}
+
+/// One planned kernel row: `visits` executions totalling `seconds`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedKernel {
+    pub name: Arc<str>,
+    pub domain: ApiDomain,
+    pub seconds: f64,
+    pub visits: u64,
+    pub bytes: Option<u64>,
+    /// Whether this row is subject to run-to-run noise (communication and
+    /// compute are; pure bookkeeping rows are not).
+    pub noisy: bool,
+}
+
+/// An ordered list of kernel rows executed back to back.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepPlan {
+    pub rows: Vec<PlannedKernel>,
+}
+
+impl StepPlan {
+    pub fn seconds(&self) -> f64 {
+        self.rows.iter().map(|r| r.seconds).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// All plans of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobPlans {
+    /// Program start: dataset load, weight broadcast, allocator warm-up.
+    pub init: StepPlan,
+    /// One training step.
+    pub train_step: StepPlan,
+    /// One validation step (forward only).
+    pub val_step: StepPlan,
+    /// Epoch boundary: checkpointing.
+    pub epoch_end: StepPlan,
+    /// Communication the ASP mode issues *between* steps (empty under BSP).
+    pub async_comm: StepPlan,
+}
+
+/// A fully specified simulated training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingJob {
+    pub system: SystemConfig,
+    pub benchmark: Benchmark,
+    pub strategy: ParallelStrategy,
+    pub scaling: ScalingMode,
+    pub sync: SyncMode,
+    /// Number of MPI ranks `x1` (one rank per GPU).
+    pub ranks: u32,
+}
+
+/// Internal accumulator that merges rows by kernel name.
+#[derive(Default)]
+struct RowAccum {
+    order: Vec<Arc<str>>,
+    rows: BTreeMap<Arc<str>, PlannedKernel>,
+}
+
+impl RowAccum {
+    fn add(
+        &mut self,
+        name: impl Into<Arc<str>>,
+        domain: ApiDomain,
+        seconds: f64,
+        visits: u64,
+        bytes: Option<u64>,
+        noisy: bool,
+    ) {
+        let name = name.into();
+        match self.rows.get_mut(&name) {
+            Some(row) => {
+                row.seconds += seconds;
+                row.visits += visits;
+                if let Some(b) = bytes {
+                    row.bytes = Some(row.bytes.unwrap_or(0) + b);
+                }
+            }
+            None => {
+                self.order.push(name.clone());
+                self.rows.insert(
+                    name.clone(),
+                    PlannedKernel {
+                        name,
+                        domain,
+                        seconds,
+                        visits,
+                        bytes,
+                        noisy,
+                    },
+                );
+            }
+        }
+    }
+
+    fn finish(mut self) -> StepPlan {
+        StepPlan {
+            rows: self
+                .order
+                .drain(..)
+                .map(|n| self.rows.remove(&n).expect("row recorded"))
+                .collect(),
+        }
+    }
+}
+
+impl TrainingJob {
+    /// The analytic training values Extra-Deep needs once per application
+    /// (paper §2.3.1), matching the paper's `G = x1` convention.
+    pub fn training_meta(&self) -> TrainingMeta {
+        let g = self.strategy.data_parallel_degree(self.ranks);
+        let m = self.strategy.model_parallel_degree();
+        let replicas = self.strategy.replicas(self.ranks);
+        TrainingMeta {
+            batch_size: self.benchmark.batch_size,
+            train_samples: self
+                .benchmark
+                .dataset
+                .effective_train_samples(self.scaling, replicas),
+            val_samples: self.benchmark.dataset.val_samples,
+            data_parallel: g,
+            model_parallel: m,
+            cores_per_rank: self.system.cores_per_rank,
+        }
+    }
+
+    /// Number of GPUs sharing one model instance.
+    fn model_shard(&self) -> f64 {
+        self.strategy.model_parallel_degree() as f64
+    }
+
+    /// Straggler wait a BSP collective absorbs: the expected max of
+    /// log-normal per-rank step times exceeds the median by roughly
+    /// `exp(σ·sqrt(2·ln p)) - 1`.
+    fn straggler_seconds(&self, compute_seconds: f64) -> f64 {
+        let p = self.ranks.max(1) as f64;
+        if p < 2.0 {
+            return 0.0;
+        }
+        let sigma = self.system.noise.sigma_at(self.ranks);
+        ((sigma * (2.0 * p.ln()).sqrt()).exp() - 1.0) * compute_seconds
+    }
+
+    /// Effective bandwidth of a flat host-staged MPI allreduce (the DEEP
+    /// path): a small fraction of line rate, degrading quadratically in
+    /// log2(nodes).
+    fn mpi_allreduce_bandwidth_gbs(&self) -> f64 {
+        let nodes = self.system.nodes_for_ranks(self.ranks).max(1) as f64;
+        let l = nodes.log2();
+        let mut bw = self.system.interconnect.bandwidth_gbs * calib::MPI_ALLREDUCE_EFFICIENCY
+            / (1.0 + calib::MPI_CONGESTION_PER_LOG2_SQ * l * l);
+        // Optional algorithm switch: beyond the threshold the MPI library
+        // falls back to a slower algorithm — the scale-dependent behavior
+        // change the paper's §4.3 warns measurement ranges can straddle.
+        if let Some(switch) = self.system.interconnect.algorithm_switch_nodes {
+            if nodes > switch as f64 {
+                bw *= 0.45;
+            }
+        }
+        bw
+    }
+
+    /// Time and wire bytes of the per-step gradient allreduce for `bytes`
+    /// payload across the data-parallel width.
+    fn gradient_allreduce(&self, bytes: u64) -> (f64, u64, &'static str, ApiDomain) {
+        let p = self.ranks;
+        if p <= 1 || bytes == 0 {
+            return (0.0, 0, "MPI_Allreduce", ApiDomain::Mpi);
+        }
+        if self.system.nccl {
+            let c = collective_cost(&self.system, Collective::Allreduce, bytes, p);
+            (c.seconds, c.wire_bytes, Collective::Allreduce.nccl_name(), ApiDomain::Nccl)
+        } else {
+            let bw = self.mpi_allreduce_bandwidth_gbs();
+            let alpha = self.system.interconnect.latency_us * 1e-6;
+            let ring = 2.0 * (p - 1) as f64 / p as f64 * bytes as f64 / (bw * 1e9);
+            let latency = 2.0 * (p - 1) as f64 * alpha * calib::FUSION_BUFFERS as f64;
+            let staging = 2.0 * bytes as f64 / (self.system.node.host_to_device_gbs * 1e9);
+            let wire = (2.0 * bytes as f64 * (p - 1) as f64 / p as f64) as u64;
+            (ring + latency + staging, wire, Collective::Allreduce.mpi_name(), ApiDomain::Mpi)
+        }
+    }
+
+    /// Builds the plan of one training or validation step.
+    fn step_plan(&self, training: bool) -> StepPlan {
+        let mut acc = RowAccum::default();
+        let gpu = &self.system.node.gpu;
+        let arch_prefix = kernels::gpu_arch_prefix(&gpu.name);
+        let batch = self.benchmark.batch_size;
+        let m = self.model_shard();
+        let dataset = &self.benchmark.dataset;
+
+        // --- Input pipeline: fetch, preprocess, stage to device. ---
+        let sample_bytes = batch * dataset.bytes_per_sample;
+        acc.add(
+            "read",
+            ApiDomain::Os,
+            sample_bytes as f64 / calib::FS_READ_BPS,
+            batch / 32 + 1,
+            Some(sample_bytes),
+            true,
+        );
+        let prep_seconds = dataset.preprocess_us_per_sample * 1e-6 * batch as f64
+            / self.system.cores_per_rank.min(8) as f64;
+        acc.add(
+            "train.data_prep",
+            ApiDomain::Nvtx,
+            prep_seconds,
+            1,
+            None,
+            true,
+        );
+        let input_tensor_bytes = 4 * self.benchmark.architecture.input.elements() as u64 * batch;
+        acc.add(
+            "CUDA memcpy HtoD",
+            ApiDomain::MemCpy,
+            gpu::h2d_seconds(self.system.node.host_to_device_gbs, input_tensor_bytes),
+            2,
+            Some(input_tensor_bytes),
+            true,
+        );
+
+        // --- Forward (and backward) through the network. ---
+        let mut shape = self.benchmark.architecture.input.clone();
+        let mut launches: u64 = 0;
+        let mut compute_seconds = 0.0;
+        let mut tp_activation_bytes: u64 = 0;
+        for nl in &self.benchmark.architecture.layers {
+            let layer = &nl.layer;
+            if matches!(layer, Layer::Flatten) {
+                shape = layer.output_shape(&shape);
+                continue;
+            }
+            // Model-parallel sharding divides per-rank work.
+            let fwd = gpu::forward_kernel_seconds(gpu, layer, &shape, batch) / m;
+            let fwd_name = kernels::forward_kernel_name(arch_prefix, layer, &nl.name);
+            acc.add(fwd_name, ApiDomain::CudaKernel, fwd, 1, None, true);
+            compute_seconds += fwd;
+            launches += 1;
+            if let Some(api) = kernels::api_call_name(layer, false) {
+                let dom = if api.starts_with("cublas") {
+                    ApiDomain::CuBlas
+                } else {
+                    ApiDomain::CuDnn
+                };
+                acc.add(api, dom, calib::API_CALL_SECONDS, 1, None, true);
+            }
+
+            if training {
+                let bwd = gpu::backward_kernel_seconds(gpu, layer, &shape, batch) / m;
+                let bwd_name = kernels::backward_kernel_name(arch_prefix, layer, &nl.name);
+                acc.add(bwd_name, ApiDomain::CudaKernel, bwd, 1, None, true);
+                compute_seconds += bwd;
+                launches += 1;
+                if let Some(api) = kernels::api_call_name(layer, true) {
+                    let dom = if api.starts_with("cublas") {
+                        ApiDomain::CuBlas
+                    } else {
+                        ApiDomain::CuDnn
+                    };
+                    acc.add(api, dom, calib::API_CALL_SECONDS, 1, None, true);
+                }
+            }
+
+            if layer.is_tensor_op() {
+                tp_activation_bytes += layer.activation_bytes(&shape) * batch;
+            }
+            shape = layer.output_shape(&shape);
+        }
+
+        // --- Strategy-specific communication. ---
+        let grad_bytes = self.benchmark.architecture.gradient_bytes();
+        match self.strategy {
+            ParallelStrategy::DataParallel => {
+                if training {
+                    self.add_gradient_exchange(&mut acc, grad_bytes, compute_seconds);
+                }
+            }
+            ParallelStrategy::TensorParallel { group } => {
+                // Intra-group activation allgathers after every tensor op,
+                // forward and (in training) backward.
+                let group = group.min(self.ranks);
+                let passes = if training { 2 } else { 1 };
+                let payload = (tp_activation_bytes as f64 / m) as u64;
+                let c = collective_cost(&self.system, Collective::Allgather, payload, group);
+                let (name, dom) = if self.system.nccl {
+                    (Collective::Allgather.nccl_name(), ApiDomain::Nccl)
+                } else {
+                    (Collective::Allgather.mpi_name(), ApiDomain::Mpi)
+                };
+                acc.add(
+                    name,
+                    dom,
+                    c.seconds * passes as f64,
+                    self.tensor_op_count() * passes,
+                    Some(c.wire_bytes * passes),
+                    true,
+                );
+                // Occasional layout exchange within the group.
+                let at = collective_cost(&self.system, Collective::Alltoall, payload / 4, group);
+                acc.add(
+                    if self.system.nccl {
+                        Collective::Alltoall.nccl_name()
+                    } else {
+                        Collective::Alltoall.mpi_name()
+                    },
+                    if self.system.nccl { ApiDomain::Nccl } else { ApiDomain::Mpi },
+                    at.seconds,
+                    1,
+                    Some(at.wire_bytes),
+                    true,
+                );
+                if training {
+                    // Gradient allreduce of this rank's parameter shard
+                    // across the replica groups.
+                    self.add_gradient_exchange(&mut acc, (grad_bytes as f64 / m) as u64, compute_seconds);
+                }
+            }
+            ParallelStrategy::PipelineParallel { stages, microbatches } => {
+                let stages = stages.min(self.ranks);
+                // Stage-boundary activations per microbatch, both directions.
+                let micro = batch / microbatches.max(1) as u64;
+                let cut_bytes = 4 * (self.benchmark.architecture.activation_bytes_per_sample()
+                    / self.benchmark.architecture.layers.len() as u64)
+                    * micro;
+                let per_send = collective_cost(&self.system, Collective::SendRecv, cut_bytes, 2);
+                let sends = microbatches as u64 * if training { 2 } else { 1 };
+                acc.add(
+                    Collective::SendRecv.mpi_name(),
+                    ApiDomain::Mpi,
+                    per_send.seconds * sends as f64,
+                    sends,
+                    Some(per_send.wire_bytes * sends),
+                    true,
+                );
+                // Pipeline bubble: idle fraction (s-1)/(mb+s-1) of compute.
+                let bubble = compute_seconds * (stages - 1) as f64
+                    / (microbatches + stages - 1).max(1) as f64;
+                acc.add("train.pipeline_flush", ApiDomain::Nvtx, bubble, 1, None, true);
+                if training {
+                    self.add_gradient_exchange(&mut acc, (grad_bytes as f64 / m) as u64, compute_seconds);
+                }
+            }
+        }
+
+        // --- Optimizer update (training only). ---
+        if training {
+            let upd = gpu::weight_update_seconds(gpu, grad_bytes / 4) / m;
+            acc.add(
+                "sgd_momentum_update_kernel",
+                ApiDomain::CudaKernel,
+                upd,
+                1,
+                None,
+                true,
+            );
+            launches += 1;
+            let memset_bytes = (grad_bytes as f64 / m) as u64;
+            acc.add(
+                "CUDA memset",
+                ApiDomain::MemSet,
+                memset_bytes as f64 / (gpu.mem_bandwidth_gbs * 1e9),
+                1,
+                Some(memset_bytes),
+                true,
+            );
+        }
+
+        // Loss scalar back to host.
+        acc.add(
+            "CUDA memcpy DtoH",
+            ApiDomain::MemCpy,
+            5e-6,
+            1,
+            Some(4 * batch),
+            false,
+        );
+
+        // --- CUDA API and OS bookkeeping. ---
+        acc.add(
+            "cudaLaunchKernel",
+            ApiDomain::CudaApi,
+            launches as f64 * calib::LAUNCH_API_SECONDS,
+            launches,
+            None,
+            false,
+        );
+        acc.add("cudaStreamSynchronize", ApiDomain::CudaApi, 12e-6, 2, None, true);
+        acc.add("ioctl", ApiDomain::Os, 8e-6, 4, None, true);
+        acc.add("sched_yield", ApiDomain::Os, 4e-6, 6, None, true);
+
+        // Host-side framework orchestration.
+        acc.add(
+            if training { "train.training_step" } else { "test.validation_step" },
+            ApiDomain::Nvtx,
+            calib::HOST_OVERHEAD_PER_STEP,
+            1,
+            None,
+            true,
+        );
+
+        acc.finish()
+    }
+
+    /// Adds the per-step gradient exchange (BSP: blocking row in the step;
+    /// ASP handled by the profiler via [`JobPlans::async_comm`]).
+    fn add_gradient_exchange(&self, acc: &mut RowAccum, bytes: u64, compute_seconds: f64) {
+        if self.ranks <= 1 {
+            return;
+        }
+        let (mut seconds, wire, name, domain) = self.gradient_allreduce(bytes);
+        match self.sync {
+            SyncMode::Bsp => {
+                seconds += self.straggler_seconds(compute_seconds);
+            }
+            SyncMode::Asp => {
+                // Overlapped: the blocking remainder in the step is small;
+                // the bulk is emitted asynchronously by the profiler.
+                seconds *= 0.25;
+            }
+        }
+        acc.add(name, domain, seconds, calib::FUSION_BUFFERS, Some(wire), true);
+        // Horovod-style coordination traffic.
+        acc.add(
+            "MPI_Allgather",
+            ApiDomain::Mpi,
+            self.ranks as f64 * 2e-6,
+            1,
+            Some(64 * self.ranks as u64),
+            true,
+        );
+    }
+
+    fn tensor_op_count(&self) -> u64 {
+        self.benchmark
+            .architecture
+            .layers
+            .iter()
+            .filter(|l| l.layer.is_tensor_op())
+            .count() as u64
+    }
+
+    /// The initialization plan (program start / first use).
+    fn init_plan(&self) -> StepPlan {
+        let mut acc = RowAccum::default();
+        let meta = self.training_meta();
+        let replicas = self.strategy.replicas(self.ranks).max(1) as u64;
+        let shard_bytes =
+            meta.train_samples / replicas * self.benchmark.dataset.bytes_per_sample;
+        acc.add(
+            "read",
+            ApiDomain::Os,
+            shard_bytes as f64 / calib::FS_READ_BPS * 0.1, // streamed lazily
+            64,
+            Some(shard_bytes / 10),
+            true,
+        );
+        acc.add("mmap", ApiDomain::Os, 300e-6, 12, None, false);
+        acc.add("cudaMalloc", ApiDomain::CudaApi, 90e-3, 40, None, false);
+        if self.ranks > 1 {
+            let bytes = self.benchmark.architecture.gradient_bytes();
+            let c = collective_cost(&self.system, Collective::Broadcast, bytes, self.ranks);
+            acc.add(
+                Collective::Broadcast.mpi_name(),
+                ApiDomain::Mpi,
+                c.seconds,
+                1,
+                Some(c.wire_bytes),
+                true,
+            );
+            let b = collective_cost(&self.system, Collective::Barrier, 0, self.ranks);
+            acc.add(
+                Collective::Barrier.mpi_name(),
+                ApiDomain::Mpi,
+                b.seconds,
+                1,
+                None,
+                true,
+            );
+        }
+        acc.add("train", ApiDomain::Nvtx, 1e-3, 1, None, false);
+        acc.finish()
+    }
+
+    /// Epoch-boundary plan: checkpoint write by every rank's shard.
+    fn epoch_end_plan(&self) -> StepPlan {
+        let mut acc = RowAccum::default();
+        let ckpt_bytes =
+            self.benchmark.architecture.gradient_bytes() / self.model_shard() as u64;
+        acc.add(
+            "write",
+            ApiDomain::Os,
+            ckpt_bytes as f64 / calib::FS_WRITE_BPS,
+            8,
+            Some(ckpt_bytes),
+            true,
+        );
+        acc.add("fsync", ApiDomain::Os, 2e-3, 1, None, true);
+        acc.finish()
+    }
+
+    /// Device memory one rank needs, in GB: model states (weights +
+    /// gradients + optimizer momentum, fp32) on this rank's shard plus the
+    /// activations of its batch (with gradient checkpointing assumed off).
+    pub fn memory_required_gb(&self) -> f64 {
+        let m = self.model_shard();
+        let params = self.benchmark.architecture.params() as f64 / m;
+        let states = 3.0 * 4.0 * params;
+        let activations = self.benchmark.architecture.activation_bytes_per_sample() as f64
+            * self.benchmark.batch_size as f64
+            / m;
+        (states + activations) / 1e9
+    }
+
+    /// Whether the job fits the GPU memory of the system — the technical
+    /// feasibility boundary of the paper's Fig. 4a ("technically feasible").
+    pub fn fits_in_memory(&self) -> bool {
+        self.memory_required_gb() <= self.system.node.gpu.mem_gb
+    }
+
+    /// Builds all plans.
+    pub fn plans(&self) -> JobPlans {
+        let train_step = self.step_plan(true);
+        let async_comm = match self.sync {
+            SyncMode::Bsp => StepPlan::default(),
+            SyncMode::Asp => {
+                let mut acc = RowAccum::default();
+                let bytes = self.benchmark.architecture.gradient_bytes();
+                let (seconds, wire, name, domain) = self.gradient_allreduce(
+                    (bytes as f64 / self.model_shard()) as u64,
+                );
+                acc.add(name, domain, seconds * 0.75, calib::FUSION_BUFFERS, Some(wire), true);
+                acc.finish()
+            }
+        };
+        JobPlans {
+            init: self.init_plan(),
+            train_step,
+            val_step: self.step_plan(false),
+            epoch_end: self.epoch_end_plan(),
+            async_comm,
+        }
+    }
+
+    /// Noise-free per-epoch runtime estimate, in seconds.
+    pub fn epoch_seconds_estimate(&self) -> f64 {
+        let meta = self.training_meta();
+        let plans = self.plans();
+        let n_t = meta.training_steps_per_epoch() as f64;
+        let n_v = meta.validation_steps_per_epoch() as f64;
+        n_t * (plans.train_step.seconds() + plans.async_comm.seconds())
+            + n_v * plans.val_step.seconds()
+            + plans.epoch_end.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ScalingMode;
+    use crate::noise::NoiseProfile;
+
+    fn cifar_job(ranks: u32) -> TrainingJob {
+        TrainingJob {
+            system: SystemConfig::deep(),
+            benchmark: Benchmark::cifar10(),
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks,
+        }
+    }
+
+    #[test]
+    fn meta_matches_paper_conventions() {
+        let job = cifar_job(8);
+        let meta = job.training_meta();
+        assert_eq!(meta.data_parallel, 8);
+        assert_eq!(meta.model_parallel, 1);
+        assert_eq!(meta.batch_size, 256);
+        // Weak scaling: dataset grows with ranks, per-worker steps constant.
+        assert_eq!(
+            meta.training_steps_per_epoch(),
+            cifar_job(2).training_meta().training_steps_per_epoch()
+        );
+    }
+
+    #[test]
+    fn strong_scaling_reduces_steps() {
+        let weak = TrainingJob {
+            scaling: ScalingMode::Weak,
+            ..cifar_job(16)
+        };
+        let strong = TrainingJob {
+            scaling: ScalingMode::Strong,
+            ..cifar_job(16)
+        };
+        assert!(
+            strong.training_meta().training_steps_per_epoch()
+                < weak.training_meta().training_steps_per_epoch()
+        );
+    }
+
+    #[test]
+    fn train_step_has_rich_kernel_population() {
+        let plan = cifar_job(4).plans().train_step;
+        assert!(plan.rows.len() > 40, "only {} rows", plan.rows.len());
+        let domains: std::collections::HashSet<ApiDomain> =
+            plan.rows.iter().map(|r| r.domain).collect();
+        for d in [
+            ApiDomain::CudaKernel,
+            ApiDomain::CuDnn,
+            ApiDomain::CuBlas,
+            ApiDomain::Mpi,
+            ApiDomain::MemCpy,
+            ApiDomain::MemSet,
+            ApiDomain::Os,
+            ApiDomain::Nvtx,
+            ApiDomain::CudaApi,
+        ] {
+            assert!(domains.contains(&d), "missing domain {d:?}");
+        }
+    }
+
+    #[test]
+    fn validation_step_is_cheaper_and_commless() {
+        let plans = cifar_job(8).plans();
+        assert!(plans.val_step.seconds() < plans.train_step.seconds() * 0.75);
+        assert!(!plans
+            .val_step
+            .rows
+            .iter()
+            .any(|r| r.name.contains("Allreduce")));
+    }
+
+    #[test]
+    fn weak_scaling_epoch_time_grows_with_ranks() {
+        let t2 = cifar_job(2).epoch_seconds_estimate();
+        let t16 = cifar_job(16).epoch_seconds_estimate();
+        let t64 = cifar_job(64).epoch_seconds_estimate();
+        assert!(t2 < t16 && t16 < t64, "{t2} {t16} {t64}");
+        // Growth is meaningful but sub-linear (the paper sees ~2-4x 2→64).
+        assert!(t64 / t2 > 1.3 && t64 / t2 < 8.0, "ratio {}", t64 / t2);
+    }
+
+    #[test]
+    fn communication_grows_superlinearly_under_weak_scaling() {
+        let comm = |ranks: u32| -> f64 {
+            cifar_job(ranks)
+                .plans()
+                .train_step
+                .rows
+                .iter()
+                .filter(|r| matches!(r.domain, ApiDomain::Mpi | ApiDomain::Nccl))
+                .map(|r| r.seconds)
+                .sum()
+        };
+        let c2 = comm(2);
+        let c64 = comm(64);
+        assert!(
+            c64 / c2 > 3.0,
+            "paper: comm per epoch grows ~9x from 2 to 64 nodes; got {}",
+            c64 / c2
+        );
+    }
+
+    #[test]
+    fn strong_scaling_epoch_time_decreases_then_flattens() {
+        let strong = |r| TrainingJob {
+            scaling: ScalingMode::Strong,
+            ..cifar_job(r)
+        }
+        .epoch_seconds_estimate();
+        let t2 = strong(2);
+        let t16 = strong(16);
+        assert!(t16 < t2, "strong scaling must speed up: {t2} -> {t16}");
+    }
+
+    #[test]
+    fn single_rank_has_no_collectives() {
+        let plan = cifar_job(1).plans().train_step;
+        assert!(!plan
+            .rows
+            .iter()
+            .any(|r| matches!(r.domain, ApiDomain::Mpi | ApiDomain::Nccl)));
+    }
+
+    #[test]
+    fn jureca_uses_nccl_names() {
+        let job = TrainingJob {
+            system: SystemConfig::jureca(),
+            ..cifar_job(16)
+        };
+        let plan = job.plans().train_step;
+        assert!(plan.rows.iter().any(|r| r.name.contains("ncclAllReduce")));
+        assert!(!plan.rows.iter().any(|r| &*r.name == "MPI_Allreduce"));
+    }
+
+    #[test]
+    fn tensor_parallel_adds_allgather() {
+        let job = TrainingJob {
+            strategy: ParallelStrategy::TensorParallel { group: 4 },
+            ..cifar_job(16)
+        };
+        let plan = job.plans().train_step;
+        assert!(plan.rows.iter().any(|r| r.name.contains("Allgather")));
+        assert!(plan.rows.iter().any(|r| r.name.contains("Alltoall")));
+    }
+
+    #[test]
+    fn pipeline_parallel_has_sendrecv_and_bubble() {
+        let job = TrainingJob {
+            strategy: ParallelStrategy::PipelineParallel {
+                stages: 4,
+                microbatches: 8,
+            },
+            ..cifar_job(16)
+        };
+        let plan = job.plans().train_step;
+        assert!(plan.rows.iter().any(|r| r.name.contains("Sendrecv")));
+        assert!(plan.rows.iter().any(|r| r.name.contains("pipeline_flush")));
+    }
+
+    #[test]
+    fn asp_moves_communication_off_the_step() {
+        let bsp = cifar_job(16);
+        let asp = TrainingJob {
+            sync: SyncMode::Asp,
+            ..cifar_job(16)
+        };
+        let bsp_plans = bsp.plans();
+        let asp_plans = asp.plans();
+        assert!(bsp_plans.async_comm.is_empty());
+        assert!(!asp_plans.async_comm.is_empty());
+        let step_comm = |p: &StepPlan| -> f64 {
+            p.rows
+                .iter()
+                .filter(|r| r.name.contains("Allreduce"))
+                .map(|r| r.seconds)
+                .sum()
+        };
+        assert!(step_comm(&asp_plans.train_step) < step_comm(&bsp_plans.train_step));
+    }
+
+    #[test]
+    fn quiet_system_has_no_straggler_wait() {
+        let mut sys = SystemConfig::deep();
+        sys.noise = NoiseProfile::quiet();
+        let quiet = TrainingJob {
+            system: sys,
+            ..cifar_job(64)
+        };
+        let noisy = cifar_job(64);
+        let comm = |j: &TrainingJob| -> f64 {
+            j.plans()
+                .train_step
+                .rows
+                .iter()
+                .filter(|r| r.name.contains("Allreduce"))
+                .map(|r| r.seconds)
+                .sum()
+        };
+        assert!(comm(&quiet) < comm(&noisy));
+    }
+
+    #[test]
+    fn init_plan_broadcasts_weights() {
+        let plan = cifar_job(8).plans().init;
+        assert!(plan.rows.iter().any(|r| &*r.name == "MPI_Bcast"));
+        assert!(plan.rows.iter().any(|r| &*r.name == "cudaMalloc"));
+    }
+
+    #[test]
+    fn epoch_end_checkpoints() {
+        let plan = cifar_job(8).plans().epoch_end;
+        assert!(plan.rows.iter().any(|r| &*r.name == "write"));
+    }
+
+    #[test]
+    fn memory_feasibility_bounds_batch_size() {
+        // CIFAR-10 ResNet-50 at B=256 fits a V100 (32 GB)...
+        assert!(cifar_job(4).fits_in_memory());
+        // ...but GPT-small at a huge batch does not.
+        let mut big = cifar_job(4);
+        big.benchmark = Benchmark::gpt_small();
+        big.benchmark.batch_size = 512;
+        assert!(!big.fits_in_memory(), "needs {:.1} GB", big.memory_required_gb());
+        // Tensor parallelism shards the model states and activations.
+        let sharded = TrainingJob {
+            strategy: ParallelStrategy::TensorParallel { group: 4 },
+            ..big.clone()
+        };
+        assert!(sharded.memory_required_gb() < big.memory_required_gb());
+    }
+
+    #[test]
+    fn algorithm_switch_bends_the_comm_curve() {
+        let mut sys = SystemConfig::deep();
+        sys.interconnect.algorithm_switch_nodes = Some(16);
+        let comm = |system: &SystemConfig, ranks: u32| -> f64 {
+            TrainingJob { system: system.clone(), ..cifar_job(ranks) }
+                .plans()
+                .train_step
+                .rows
+                .iter()
+                .filter(|r| r.name.contains("Allreduce"))
+                .map(|r| r.seconds)
+                .sum()
+        };
+        let plain = SystemConfig::deep();
+        // Below the threshold: identical. Above: markedly slower.
+        assert!((comm(&sys, 8) - comm(&plain, 8)).abs() < 1e-12);
+        assert!(comm(&sys, 32) > 1.5 * comm(&plain, 32));
+    }
+
+    #[test]
+    fn imagenet_epoch_dwarfs_imdb() {
+        let imagenet = TrainingJob {
+            benchmark: Benchmark::imagenet(),
+            ..cifar_job(64)
+        };
+        let imdb = TrainingJob {
+            benchmark: Benchmark::imdb(),
+            ..cifar_job(64)
+        };
+        let ratio = imagenet.epoch_seconds_estimate() / imdb.epoch_seconds_estimate();
+        assert!(ratio > 20.0, "ImageNet/IMDB epoch ratio {ratio}");
+    }
+}

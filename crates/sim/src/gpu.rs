@@ -1,0 +1,147 @@
+//! GPU kernel cost model.
+//!
+//! Converts a layer's work (FLOPs, activation traffic) into kernel execution
+//! times on a given GPU. Tensor ops (conv/GEMM/LSTM/attention) are costed by
+//! FLOPs against a utilization-scaled peak; elementwise and normalization
+//! kernels are memory-bandwidth-bound; every kernel pays a launch overhead.
+
+use crate::dnn::layer::{Layer, Shape};
+use crate::system::GpuSpec;
+
+/// Fraction of peak FP32 the GPU sustains for each tensor-op flavor.
+/// Depthwise convolutions are memory-bound and sustain far less.
+fn tensor_op_efficiency(layer: &Layer, spatial_elems: usize) -> f64 {
+    let base = match layer {
+        Layer::Conv2d { groups, in_channels, .. } if *groups == *in_channels && *groups > 1 => 0.10,
+        Layer::Conv2d { .. } => 0.52,
+        Layer::Dense { .. } => 0.60,
+        Layer::Lstm { .. } => 0.30,
+        Layer::SelfAttention { .. } => 0.42,
+        Layer::TokenMlp { .. } => 0.55,
+        _ => 0.40,
+    };
+    // Small problems underutilize the GPU: scale efficiency down when the
+    // per-kernel work is tiny (few output elements to parallelize over).
+    let utilization = (spatial_elems as f64 / 50_000.0).clamp(0.08, 1.0);
+    base * utilization
+}
+
+/// Time for the forward kernel of `layer` over a batch, in seconds.
+pub fn forward_kernel_seconds(gpu: &GpuSpec, layer: &Layer, input: &Shape, batch: u64) -> f64 {
+    let launch = gpu.launch_overhead_us * 1e-6;
+    let out_elems = layer.output_shape(input).elements();
+    if layer.is_tensor_op() {
+        let flops = layer.forward_flops(input) as f64 * batch as f64;
+        let eff = tensor_op_efficiency(layer, out_elems * batch as usize);
+        launch + flops / (gpu.fp32_tflops * 1e12 * eff)
+    } else {
+        // Read input + write output, fp32.
+        let bytes = 4.0 * (input.elements() + out_elems) as f64 * batch as f64;
+        // Elementwise kernels reach ~70% of peak bandwidth.
+        launch + bytes / (gpu.mem_bandwidth_gbs * 1e9 * 0.7)
+    }
+}
+
+/// Time for the backward kernels of `layer`, in seconds. Backward performs
+/// roughly twice the forward work for tensor ops (dgrad + wgrad) and the same
+/// traffic again for elementwise layers.
+pub fn backward_kernel_seconds(gpu: &GpuSpec, layer: &Layer, input: &Shape, batch: u64) -> f64 {
+    let fwd = forward_kernel_seconds(gpu, layer, input, batch);
+    if layer.is_tensor_op() {
+        2.0 * fwd
+    } else {
+        fwd
+    }
+}
+
+/// Time for the optimizer update of `params` parameters (SGD+momentum reads
+/// and writes weights, gradients, and momentum: ~6 fp32 streams).
+pub fn weight_update_seconds(gpu: &GpuSpec, params: u64) -> f64 {
+    let bytes = 6.0 * 4.0 * params as f64;
+    gpu.launch_overhead_us * 1e-6 + bytes / (gpu.mem_bandwidth_gbs * 1e9 * 0.7)
+}
+
+/// Host-to-device copy time for `bytes` over the staging link.
+pub fn h2d_seconds(host_to_device_gbs: f64, bytes: u64) -> f64 {
+    bytes as f64 / (host_to_device_gbs * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::GpuSpec;
+
+    fn v100() -> GpuSpec {
+        GpuSpec::v100()
+    }
+
+    #[test]
+    fn conv_forward_time_scales_with_batch() {
+        let l = Layer::conv(64, 64, 3, 1);
+        let s = Shape::chw(64, 56, 56);
+        let t32 = forward_kernel_seconds(&v100(), &l, &s, 32);
+        let t256 = forward_kernel_seconds(&v100(), &l, &s, 256);
+        assert!(t256 > 6.0 * t32, "t32 {t32} t256 {t256}");
+    }
+
+    #[test]
+    fn backward_is_about_twice_forward_for_convs() {
+        let l = Layer::conv(64, 128, 3, 1);
+        let s = Shape::chw(64, 28, 28);
+        let f = forward_kernel_seconds(&v100(), &l, &s, 128);
+        let b = backward_kernel_seconds(&v100(), &l, &s, 128);
+        assert!((b / f - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elementwise_is_bandwidth_bound() {
+        let relu = Layer::Activation(crate::dnn::layer::Activation::Relu);
+        let s = Shape::chw(256, 56, 56);
+        let t = forward_kernel_seconds(&v100(), &relu, &s, 64);
+        // 2 * 4B * 256*56*56 * 64 / (900 GB/s * 0.7) ≈ 0.65 ms.
+        assert!(t > 1e-4 && t < 3e-3, "t {t}");
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let relu = Layer::Activation(crate::dnn::layer::Activation::Relu);
+        let s = Shape::vec1(16);
+        let t = forward_kernel_seconds(&v100(), &relu, &s, 1);
+        assert!(t >= 5e-6);
+    }
+
+    #[test]
+    fn a100_is_faster_than_v100() {
+        let l = Layer::conv(128, 128, 3, 1);
+        let s = Shape::chw(128, 28, 28);
+        let tv = forward_kernel_seconds(&GpuSpec::v100(), &l, &s, 256);
+        let ta = forward_kernel_seconds(&GpuSpec::a100(), &l, &s, 256);
+        assert!(ta < tv);
+    }
+
+    #[test]
+    fn depthwise_conv_is_inefficient() {
+        // Same FLOPs take longer per FLOP as a depthwise conv.
+        let s = Shape::chw(128, 28, 28);
+        let full = Layer::conv(128, 128, 3, 1);
+        let dw = Layer::depthwise(128, 3, 1);
+        let t_full = forward_kernel_seconds(&v100(), &full, &s, 64);
+        let t_dw = forward_kernel_seconds(&v100(), &dw, &s, 64);
+        // Depthwise has 128x fewer FLOPs but takes far more than 1/128 time.
+        assert!(t_dw > t_full / 60.0);
+    }
+
+    #[test]
+    fn weight_update_scales_with_params() {
+        let small = weight_update_seconds(&v100(), 1_000_000);
+        let large = weight_update_seconds(&v100(), 25_000_000);
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn h2d_matches_link_speed() {
+        // 1.2 GB over 12 GB/s = 0.1 s.
+        let t = h2d_seconds(12.0, 1_200_000_000);
+        assert!((t - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Kernel naming: maps layers to the CUDA/cuDNN/cuBLAS kernel names a real
+//! profile would contain.
+//!
+//! Names are keyed by layer *shape class*, so the same kernel appears across
+//! all measurement configurations (a prerequisite for the ≥5-configs kernel
+//! filter) while different layers still produce a rich kernel population.
+
+use crate::dnn::layer::Layer;
+
+/// GPU kernel name for the forward pass of a layer.
+pub fn forward_kernel_name(gpu_arch: &str, layer: &Layer, layer_name: &str) -> String {
+    match layer {
+        Layer::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            groups,
+            ..
+        } => {
+            if *groups == *in_channels && *groups > 1 {
+                format!("{gpu_arch}_dwconv2d_fprop_c{in_channels}_k{kernel}s{stride}")
+            } else {
+                format!(
+                    "{gpu_arch}_scudnn_implicit_gemm_fprop_{in_channels}x{out_channels}_k{kernel}s{stride}"
+                )
+            }
+        }
+        Layer::Dense { inputs, outputs } => {
+            format!("{gpu_arch}_sgemm_{inputs}x{outputs}_tn")
+        }
+        Layer::Lstm { hidden, .. } => format!("{gpu_arch}_lstm_cell_fprop_h{hidden}"),
+        Layer::SelfAttention { dim, heads } => {
+            format!("{gpu_arch}_fmha_fprop_d{dim}_h{heads}")
+        }
+        Layer::TokenMlp { dim, hidden } => {
+            format!("{gpu_arch}_sgemm_mlp_fprop_{dim}x{hidden}")
+        }
+        Layer::BatchNorm { .. } => "cudnn::bn_fw_tr_1C11_singleread_kernel".to_string(),
+        Layer::LayerNorm { .. } => "layer_norm_fw_kernel".to_string(),
+        Layer::Activation(a) => format!("EigenMetaKernel_{}", a.kernel_name()),
+        Layer::Pool { .. } => "cudnn::pooling_fw_4d_kernel".to_string(),
+        Layer::GlobalAveragePool => "EigenMetaKernel_MeanReducer".to_string(),
+        Layer::Embedding { .. } => "embedding_lookup_kernel".to_string(),
+        Layer::ResidualAdd => "EigenMetaKernel_Add".to_string(),
+        Layer::Softmax => "softmax_warp_forward_kernel".to_string(),
+        Layer::Dropout => "EigenMetaKernel_Dropout".to_string(),
+        Layer::Flatten => format!("noop_{layer_name}"),
+    }
+}
+
+/// GPU kernel name for the backward pass of a layer.
+pub fn backward_kernel_name(gpu_arch: &str, layer: &Layer, layer_name: &str) -> String {
+    match layer {
+        Layer::Conv2d { .. } | Layer::Dense { .. } | Layer::Lstm { .. }
+        | Layer::SelfAttention { .. } | Layer::TokenMlp { .. } => {
+            format!("{}_bgrad", forward_kernel_name(gpu_arch, layer, layer_name))
+        }
+        Layer::BatchNorm { .. } => "cudnn::bn_bw_1C11_singleread_kernel".to_string(),
+        _ => format!("{}_grad", forward_kernel_name(gpu_arch, layer, layer_name)),
+    }
+}
+
+/// Library API call name dispatched on the CPU for a tensor-op layer.
+pub fn api_call_name(layer: &Layer, backward: bool) -> Option<&'static str> {
+    match (layer, backward) {
+        (Layer::Conv2d { .. }, false) => Some("cudnnConvolutionForward"),
+        (Layer::Conv2d { .. }, true) => Some("cudnnConvolutionBackwardData"),
+        (Layer::Dense { .. }, false) => Some("cublasSgemm_v2"),
+        (Layer::Dense { .. }, true) => Some("cublasSgemmStridedBatched"),
+        (Layer::Lstm { .. }, false) => Some("cudnnRNNForwardTraining"),
+        (Layer::Lstm { .. }, true) => Some("cudnnRNNBackwardData"),
+        (Layer::SelfAttention { .. }, false) => Some("cublasGemmEx"),
+        (Layer::SelfAttention { .. }, true) => Some("cublasGemmBatchedEx"),
+        (Layer::TokenMlp { .. }, false) => Some("cublasSgemmStridedBatched"),
+        (Layer::TokenMlp { .. }, true) => Some("cublasSgemmStridedBatched"),
+        (Layer::BatchNorm { .. }, false) => Some("cudnnBatchNormalizationForwardTraining"),
+        (Layer::BatchNorm { .. }, true) => Some("cudnnBatchNormalizationBackward"),
+        (Layer::Pool { .. }, false) => Some("cudnnPoolingForward"),
+        (Layer::Pool { .. }, true) => Some("cudnnPoolingBackward"),
+        _ => None,
+    }
+}
+
+/// The GPU architecture prefix used in kernel names.
+pub fn gpu_arch_prefix(gpu_name: &str) -> &'static str {
+    if gpu_name.contains("A100") {
+        "ampere"
+    } else if gpu_name.contains("V100") {
+        "volta"
+    } else {
+        "sm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnn::layer::Activation;
+
+    #[test]
+    fn conv_names_key_on_shape_class() {
+        let a = Layer::conv(64, 128, 3, 2);
+        let b = Layer::conv(64, 128, 3, 2);
+        let c = Layer::conv(64, 256, 3, 2);
+        assert_eq!(
+            forward_kernel_name("volta", &a, "x"),
+            forward_kernel_name("volta", &b, "y")
+        );
+        assert_ne!(
+            forward_kernel_name("volta", &a, "x"),
+            forward_kernel_name("volta", &c, "x")
+        );
+    }
+
+    #[test]
+    fn depthwise_uses_dwconv_name() {
+        let dw = Layer::depthwise(96, 5, 2);
+        assert!(forward_kernel_name("ampere", &dw, "x").contains("dwconv2d"));
+    }
+
+    #[test]
+    fn backward_names_differ_from_forward() {
+        let l = Layer::conv(64, 64, 3, 1);
+        assert_ne!(
+            forward_kernel_name("volta", &l, "x"),
+            backward_kernel_name("volta", &l, "x")
+        );
+        assert!(backward_kernel_name("volta", &l, "x").ends_with("_bgrad"));
+    }
+
+    #[test]
+    fn api_calls_for_tensor_ops_only() {
+        assert_eq!(
+            api_call_name(&Layer::conv(3, 16, 3, 1), false),
+            Some("cudnnConvolutionForward")
+        );
+        assert_eq!(
+            api_call_name(&Layer::Dense { inputs: 8, outputs: 2 }, false),
+            Some("cublasSgemm_v2")
+        );
+        assert_eq!(api_call_name(&Layer::Activation(Activation::Relu), false), None);
+        assert_eq!(api_call_name(&Layer::Softmax, true), None);
+    }
+
+    #[test]
+    fn gpu_prefixes() {
+        assert_eq!(gpu_arch_prefix("NVIDIA V100"), "volta");
+        assert_eq!(gpu_arch_prefix("NVIDIA A100"), "ampere");
+        assert_eq!(gpu_arch_prefix("Unknown"), "sm");
+    }
+
+    #[test]
+    fn eigen_kernels_for_elementwise() {
+        assert_eq!(
+            forward_kernel_name("volta", &Layer::Activation(Activation::Relu), "x"),
+            "EigenMetaKernel_relu_kernel"
+        );
+        assert_eq!(
+            forward_kernel_name("volta", &Layer::ResidualAdd, "x"),
+            "EigenMetaKernel_Add"
+        );
+    }
+}

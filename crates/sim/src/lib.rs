@@ -1,0 +1,47 @@
+//! # extradeep-sim
+//!
+//! The hardware/profiling substrate of the Extra-Deep reproduction: a
+//! distributed deep-learning *training simulator* that plays the role of the
+//! DEEP and JURECA clusters, the TensorFlow/PyTorch + Horovod benchmark
+//! applications, and the Nsight Systems profiler of the original paper.
+//!
+//! Extra-Deep itself only consumes profiles (kernel events per rank with NVTX
+//! step/epoch marks); this crate produces exactly those, with calibrated
+//! growth shapes: weak-scaling communication that bends upward in `~log²`
+//! as ranks grow, NCCL vs. flat-MPI paths, scale-dependent system noise,
+//! warm-up inflation of the first epoch, and the paper's efficient sampling
+//! strategy (profile five steps of two epochs instead of full runs).
+//!
+//! ```
+//! use extradeep_sim::{ExperimentSpec, ProfilerOptions};
+//!
+//! let mut spec = ExperimentSpec::case_study(vec![2, 4, 6]);
+//! spec.repetitions = 1;
+//! spec.profiler.max_recorded_ranks = 2;
+//! let profiles = spec.run();
+//! assert_eq!(profiles.configs().len(), 3);
+//! ```
+
+pub mod dataset;
+pub mod dnn;
+pub mod engine;
+pub mod gpu;
+pub mod kernels;
+pub mod network;
+pub mod noise;
+pub mod profiler;
+pub mod runner;
+pub mod strategy;
+pub mod system;
+pub mod workload;
+
+pub use dataset::{DatasetSpec, ScalingMode};
+pub use dnn::{Architecture, Layer, Shape};
+pub use engine::{JobPlans, PlannedKernel, StepPlan, TrainingJob};
+pub use network::{collective_cost, Collective, CollectiveCost};
+pub use noise::{NoiseProfile, Rng};
+pub use profiler::{profile_job, ProfilerOptions, SamplingStrategy, PROFILING_OVERHEAD_FRACTION};
+pub use runner::ExperimentSpec;
+pub use strategy::{ParallelStrategy, SyncMode};
+pub use system::{GpuSpec, InterconnectSpec, NodeSpec, SystemConfig};
+pub use workload::Benchmark;

@@ -1,0 +1,234 @@
+//! Communication cost models: α–β collectives over the cluster fabric.
+//!
+//! The simulator distinguishes the DEEP path (flat MPI across all ranks, one
+//! GPU per node, host staging) from the JURECA path (hierarchical NCCL:
+//! NVLink ring inside the node, InfiniBand ring between nodes).
+
+use crate::system::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Collective operations the training strategies issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    Allreduce,
+    Allgather,
+    ReduceScatter,
+    Broadcast,
+    Alltoall,
+    Barrier,
+    /// Point-to-point send+recv pair (pipeline stage boundary).
+    SendRecv,
+}
+
+impl Collective {
+    /// MPI function name as it appears in profiles.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            Collective::Allreduce => "MPI_Allreduce",
+            Collective::Allgather => "MPI_Allgather",
+            Collective::ReduceScatter => "MPI_Reduce_scatter",
+            Collective::Broadcast => "MPI_Bcast",
+            Collective::Alltoall => "MPI_Alltoall",
+            Collective::Barrier => "MPI_Barrier",
+            Collective::SendRecv => "MPI_Sendrecv",
+        }
+    }
+
+    /// NCCL kernel name as it appears in profiles.
+    pub fn nccl_name(self) -> &'static str {
+        match self {
+            Collective::Allreduce => "ncclAllReduce",
+            Collective::Allgather => "ncclAllGather",
+            Collective::ReduceScatter => "ncclReduceScatter",
+            Collective::Broadcast => "ncclBroadcast",
+            Collective::Alltoall => "ncclAllToAll",
+            Collective::Barrier => "ncclBarrier",
+            Collective::SendRecv => "ncclSendRecv",
+        }
+    }
+}
+
+/// Estimated cost of one collective call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveCost {
+    pub seconds: f64,
+    /// Bytes this rank moved over interconnects (for the bytes metric).
+    pub wire_bytes: u64,
+}
+
+/// Ring-based collective time over `p` participants with per-hop latency
+/// `alpha` (s) and bandwidth `beta_gbs` (GB/s). `volume_factor` scales the
+/// on-wire traffic relative to the payload (2·(p−1)/p for allreduce,
+/// (p−1)/p for allgather/reduce-scatter).
+fn ring_time(bytes: u64, p: u32, alpha: f64, beta_gbs: f64, volume_factor: f64) -> f64 {
+    if p <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let steps = match volume_factor {
+        f if f > 1.0 => 2 * (p - 1),
+        _ => p - 1,
+    } as f64;
+    let transfer = volume_factor * bytes as f64 / (beta_gbs * 1e9);
+    steps * alpha + transfer
+}
+
+/// Cost model entry point: the time and wire volume one rank observes for a
+/// collective of `bytes` payload across `ranks` ranks on `system`.
+pub fn collective_cost(
+    system: &SystemConfig,
+    op: Collective,
+    bytes: u64,
+    ranks: u32,
+) -> CollectiveCost {
+    if ranks <= 1 {
+        return CollectiveCost {
+            seconds: 0.0,
+            wire_bytes: 0,
+        };
+    }
+    let nodes = system.nodes_for_ranks(ranks);
+    let alpha = system.interconnect.latency_us * 1e-6;
+    let beta = system.effective_bandwidth_gbs(nodes);
+
+    let seconds = match op {
+        Collective::Allreduce => {
+            if system.nccl && system.node.gpus_per_node > 1 && system.node.nvlink_gbs > 0.0 {
+                // Hierarchical NCCL: reduce-scatter+allgather inside the node
+                // over NVLink, ring allreduce across nodes, broadcast back.
+                let g = system.node.gpus_per_node.min(ranks);
+                let intra = ring_time(bytes, g, 3e-6, system.node.nvlink_gbs, 2.0);
+                let inter = if nodes > 1 {
+                    ring_time(bytes, nodes, alpha, beta, 2.0)
+                } else {
+                    0.0
+                };
+                intra + inter
+            } else {
+                // Flat MPI ring over all ranks; payload staged through host.
+                let staging = bytes as f64 / (system.node.host_to_device_gbs * 1e9);
+                ring_time(bytes, ranks, alpha, beta, 2.0) + 2.0 * staging
+            }
+        }
+        Collective::Allgather | Collective::ReduceScatter => {
+            ring_time(bytes, ranks, alpha, beta, 1.0)
+        }
+        Collective::Broadcast => {
+            // Binomial tree: log2(p) hops of the full payload.
+            let hops = (ranks as f64).log2().ceil();
+            hops * (alpha + bytes as f64 / (beta * 1e9))
+        }
+        Collective::Alltoall => {
+            // Pairwise exchange: (p-1) messages of bytes/p each.
+            let per_msg = bytes as f64 / ranks as f64;
+            (ranks - 1) as f64 * (alpha + per_msg / (beta * 1e9))
+        }
+        Collective::Barrier => {
+            // Dissemination barrier: log2(p) latency-bound rounds.
+            (ranks as f64).log2().ceil() * alpha
+        }
+        Collective::SendRecv => alpha + bytes as f64 / (beta * 1e9),
+    };
+
+    let wire_bytes = match op {
+        Collective::Allreduce => (2.0 * bytes as f64 * (ranks - 1) as f64 / ranks as f64) as u64,
+        Collective::Allgather | Collective::ReduceScatter => {
+            (bytes as f64 * (ranks - 1) as f64 / ranks as f64) as u64
+        }
+        Collective::Broadcast => bytes,
+        Collective::Alltoall => (bytes as f64 * (ranks - 1) as f64 / ranks as f64) as u64,
+        Collective::Barrier => 0,
+        Collective::SendRecv => bytes,
+    };
+
+    CollectiveCost {
+        seconds,
+        wire_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deep() -> SystemConfig {
+        SystemConfig::deep()
+    }
+
+    fn jureca() -> SystemConfig {
+        SystemConfig::jureca()
+    }
+
+    const MB_100: u64 = 100 << 20; // ~ResNet-50 gradients (fp32)
+
+    #[test]
+    fn single_rank_is_free() {
+        let c = collective_cost(&deep(), Collective::Allreduce, MB_100, 1);
+        assert_eq!(c.seconds, 0.0);
+        assert_eq!(c.wire_bytes, 0);
+    }
+
+    #[test]
+    fn allreduce_time_grows_with_ranks() {
+        let t2 = collective_cost(&deep(), Collective::Allreduce, MB_100, 2).seconds;
+        let t16 = collective_cost(&deep(), Collective::Allreduce, MB_100, 16).seconds;
+        let t64 = collective_cost(&deep(), Collective::Allreduce, MB_100, 64).seconds;
+        assert!(t2 < t16 && t16 < t64, "{t2} {t16} {t64}");
+    }
+
+    #[test]
+    fn allreduce_time_grows_with_bytes() {
+        let small = collective_cost(&deep(), Collective::Allreduce, 1 << 20, 16).seconds;
+        let large = collective_cost(&deep(), Collective::Allreduce, 1 << 28, 16).seconds;
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn nccl_hierarchical_beats_flat_mpi_at_same_scale() {
+        // 16 ranks on JURECA = 4 nodes of 4 GPUs via NVLink; DEEP = 16 nodes.
+        let j = collective_cost(&jureca(), Collective::Allreduce, MB_100, 16).seconds;
+        let d = collective_cost(&deep(), Collective::Allreduce, MB_100, 16).seconds;
+        assert!(j < d, "NCCL {j} should beat flat MPI {d}");
+    }
+
+    #[test]
+    fn intra_node_only_on_jureca_uses_nvlink() {
+        // 4 ranks fit in one JURECA node: no inter-node component at all.
+        let c4 = collective_cost(&jureca(), Collective::Allreduce, MB_100, 4).seconds;
+        let c8 = collective_cost(&jureca(), Collective::Allreduce, MB_100, 8).seconds;
+        assert!(c4 < c8 / 3.0, "one-node {c4} vs two-node {c8}");
+    }
+
+    #[test]
+    fn allreduce_wire_volume_matches_ring_formula() {
+        let c = collective_cost(&deep(), Collective::Allreduce, 1000, 4);
+        assert_eq!(c.wire_bytes, 1500); // 2 * 1000 * 3/4
+    }
+
+    #[test]
+    fn barrier_is_latency_only() {
+        let c = collective_cost(&deep(), Collective::Barrier, 0, 64);
+        assert_eq!(c.wire_bytes, 0);
+        assert!(c.seconds > 0.0 && c.seconds < 1e-3);
+    }
+
+    #[test]
+    fn broadcast_scales_logarithmically() {
+        let t8 = collective_cost(&deep(), Collective::Broadcast, 1 << 20, 8).seconds;
+        let t64 = collective_cost(&deep(), Collective::Broadcast, 1 << 20, 64).seconds;
+        assert!(t64 / t8 < 3.0, "log growth expected: {t8} -> {t64}");
+    }
+
+    #[test]
+    fn alltoall_scales_superlinearly_in_ranks() {
+        let t4 = collective_cost(&deep(), Collective::Alltoall, 1 << 24, 4).seconds;
+        let t32 = collective_cost(&deep(), Collective::Alltoall, 1 << 24, 32).seconds;
+        assert!(t32 > t4);
+    }
+
+    #[test]
+    fn mpi_and_nccl_names() {
+        assert_eq!(Collective::Allreduce.mpi_name(), "MPI_Allreduce");
+        assert_eq!(Collective::Allreduce.nccl_name(), "ncclAllReduce");
+        assert_eq!(Collective::Alltoall.mpi_name(), "MPI_Alltoall");
+    }
+}

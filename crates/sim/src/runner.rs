@@ -1,0 +1,181 @@
+//! Experiment runner: executes a series of measurement configurations (rank
+//! counts × repetitions) in parallel and collects the profiles.
+
+use crate::dataset::ScalingMode;
+use crate::engine::TrainingJob;
+use crate::profiler::{profile_job, ProfilerOptions};
+use crate::strategy::{ParallelStrategy, SyncMode};
+use crate::system::SystemConfig;
+use crate::workload::Benchmark;
+use extradeep_trace::ExperimentProfiles;
+use rayon::prelude::*;
+
+/// A planned series of performance experiments for one application.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    pub system: SystemConfig,
+    pub benchmark: Benchmark,
+    pub strategy: ParallelStrategy,
+    pub scaling: ScalingMode,
+    pub sync: SyncMode,
+    /// Rank counts to measure, e.g. `[2, 4, 6, 8, 10]`.
+    pub rank_counts: Vec<u32>,
+    /// Batch sizes to sweep for multi-parameter experiments `P(x1, x2)`;
+    /// empty = the benchmark's default batch size only.
+    pub batch_sizes: Vec<u64>,
+    /// Measurement repetitions per configuration.
+    pub repetitions: u32,
+    pub profiler: ProfilerOptions,
+}
+
+impl ExperimentSpec {
+    /// The paper's case-study setup: ResNet-50 / CIFAR-10, data parallel,
+    /// weak scaling on DEEP, five repetitions.
+    pub fn case_study(rank_counts: Vec<u32>) -> Self {
+        ExperimentSpec {
+            system: SystemConfig::deep(),
+            benchmark: Benchmark::cifar10(),
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            rank_counts,
+            batch_sizes: Vec::new(),
+            repetitions: 5,
+            profiler: ProfilerOptions::default(),
+        }
+    }
+
+    fn job(&self, ranks: u32, batch: u64) -> TrainingJob {
+        let mut benchmark = self.benchmark.clone();
+        benchmark.batch_size = batch;
+        TrainingJob {
+            system: self.system.clone(),
+            benchmark,
+            strategy: self.strategy,
+            scaling: self.scaling,
+            sync: self.sync,
+            ranks,
+        }
+    }
+
+    /// The effective batch sweep: the configured list, or the benchmark's
+    /// default batch size.
+    fn batches(&self) -> Vec<u64> {
+        if self.batch_sizes.is_empty() {
+            vec![self.benchmark.batch_size]
+        } else {
+            self.batch_sizes.clone()
+        }
+    }
+
+    /// Runs every (configuration × repetition), parallelized with Rayon.
+    pub fn run(&self) -> ExperimentProfiles {
+        let batches = self.batches();
+        let mut profiler = self.profiler;
+        // A swept batch size must appear in the coordinates, or different
+        // configurations would collide.
+        if self.batch_sizes.len() > 1 {
+            profiler.record_batch_parameter = true;
+        }
+        let tasks: Vec<(u32, u64, u32)> = self
+            .rank_counts
+            .iter()
+            .filter(|&&r| self.strategy.supports_ranks(r))
+            .flat_map(|&r| {
+                batches.iter().flat_map(move |&b| {
+                    (0..self.repetitions).map(move |rep| (r, b, rep))
+                })
+            })
+            .collect();
+        let profiles: Vec<_> = tasks
+            .par_iter()
+            .map(|&(ranks, batch, rep)| profile_job(&self.job(ranks, batch), &profiler, rep))
+            .collect();
+        let mut exp = ExperimentProfiles::new();
+        for p in profiles {
+            exp.push(p);
+        }
+        exp
+    }
+
+    /// Analytic (noise-free) epoch-time estimate at a rank count; used by
+    /// overhead studies and as a ground-truth oracle in tests.
+    pub fn epoch_seconds_estimate(&self, ranks: u32) -> f64 {
+        self.job(ranks, self.benchmark.batch_size).epoch_seconds_estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_configs_and_reps() {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6]);
+        spec.repetitions = 3;
+        spec.profiler.max_recorded_ranks = 2;
+        let exp = spec.run();
+        assert_eq!(exp.len(), 9);
+        assert_eq!(exp.configs().len(), 3);
+    }
+
+    #[test]
+    fn unsupported_rank_counts_are_skipped() {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8]);
+        spec.strategy = ParallelStrategy::TensorParallel { group: 4 };
+        spec.repetitions = 1;
+        spec.profiler.max_recorded_ranks = 1;
+        let exp = spec.run();
+        // 2 and 6 are not multiples of the tensor group (4).
+        assert_eq!(exp.configs().len(), 2);
+    }
+
+    #[test]
+    fn batch_sweep_creates_a_grid() {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4]);
+        spec.batch_sizes = vec![128, 256, 512];
+        spec.repetitions = 1;
+        spec.profiler.max_recorded_ranks = 1;
+        let exp = spec.run();
+        assert_eq!(exp.configs().len(), 6);
+        // Batch appears as the second coordinate.
+        let c = exp.configs()[0].clone();
+        assert_eq!(c.parameter_names(), vec!["ranks", "batch"]);
+        // Larger batches mean fewer steps per epoch but longer steps; the
+        // meta must reflect the swept batch.
+        let b128 = exp
+            .profiles
+            .iter()
+            .find(|p| p.config.value("batch") == Some(128.0))
+            .unwrap();
+        let b512 = exp
+            .profiles
+            .iter()
+            .find(|p| p.config.value("batch") == Some(512.0))
+            .unwrap();
+        assert_eq!(b128.meta.batch_size, 128);
+        assert!(
+            b128.meta.training_steps_per_epoch() > b512.meta.training_steps_per_epoch()
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4]);
+        spec.repetitions = 2;
+        spec.profiler.max_recorded_ranks = 2;
+        assert_eq!(spec.run(), spec.run());
+    }
+
+    #[test]
+    fn repetitions_vary_but_share_medians_roughly() {
+        let mut spec = ExperimentSpec::case_study(vec![4]);
+        spec.repetitions = 2;
+        spec.profiler.max_recorded_ranks = 1;
+        let exp = spec.run();
+        let a = exp.profiles[0].execution_seconds;
+        let b = exp.profiles[1].execution_seconds;
+        assert_ne!(a, b);
+        assert!((a - b).abs() / a < 0.25, "reps too far apart: {a} vs {b}");
+    }
+}

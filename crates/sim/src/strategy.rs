@@ -1,0 +1,135 @@
+//! Parallel training strategies (paper §4.1): pure data parallelism and two
+//! hybrid forms — tensor parallelism and pipeline parallelism — plus the
+//! BSP/ASP synchronization models.
+
+use serde::{Deserialize, Serialize};
+
+/// Synchronization model of the gradient exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SyncMode {
+    /// Bulk-synchronous: every step ends with a blocking collective.
+    #[default]
+    Bsp,
+    /// Asynchronous: communication overlaps the next step's computation;
+    /// some collectives land *between* NVTX step marks (the async-kernel
+    /// case of paper Fig. 2 step 1).
+    Asp,
+}
+
+/// The parallel strategy used for distributed training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelStrategy {
+    /// Pure data parallelism (TensorFlow + Horovod in the paper).
+    DataParallel,
+    /// Tensor (intra-layer model) parallelism in groups of `group` ranks,
+    /// data parallelism between the groups (Mesh-TensorFlow in the paper).
+    TensorParallel { group: u32 },
+    /// Pipeline parallelism with `stages` pipeline stages per replica and
+    /// `microbatches` in flight (PyTorch + Horovod in the paper).
+    PipelineParallel { stages: u32, microbatches: u32 },
+}
+
+impl ParallelStrategy {
+    pub fn label(self) -> &'static str {
+        match self {
+            ParallelStrategy::DataParallel => "data parallelism",
+            ParallelStrategy::TensorParallel { .. } => "tensor parallelism",
+            ParallelStrategy::PipelineParallel { .. } => "pipeline parallelism",
+        }
+    }
+
+    /// The paper's evaluation configuration: `M = 1, G = x1` for data
+    /// parallelism and `M = 4, G = x1 / 4` for the hybrid strategies.
+    pub fn paper_default_hybrid() -> ParallelStrategy {
+        ParallelStrategy::TensorParallel { group: 4 }
+    }
+
+    /// Degree of model parallelism `M`.
+    pub fn model_parallel_degree(self) -> u32 {
+        match self {
+            ParallelStrategy::DataParallel => 1,
+            ParallelStrategy::TensorParallel { group } => group,
+            ParallelStrategy::PipelineParallel { stages, .. } => stages,
+        }
+    }
+
+    /// Degree of data parallelism `G` for a rank count `x1`.
+    ///
+    /// Under the hybrids, `G = x1 / M` *replica groups* exist, but the paper
+    /// defines `G` as the total rank count with `M` ranks cooperating per
+    /// model instance (`G = x1`, `M = 4` ⇒ `G/M` data shards). We follow the
+    /// paper: `G = x1`.
+    pub fn data_parallel_degree(self, ranks: u32) -> u32 {
+        let _ = self;
+        ranks
+    }
+
+    /// Number of independent model replicas (`G / M`).
+    pub fn replicas(self, ranks: u32) -> u32 {
+        (ranks / self.model_parallel_degree()).max(1)
+    }
+
+    /// Whether a rank count is valid for this strategy.
+    pub fn supports_ranks(self, ranks: u32) -> bool {
+        let m = self.model_parallel_degree();
+        ranks >= m && ranks.is_multiple_of(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_parallel_degrees() {
+        let s = ParallelStrategy::DataParallel;
+        assert_eq!(s.model_parallel_degree(), 1);
+        assert_eq!(s.data_parallel_degree(16), 16);
+        assert_eq!(s.replicas(16), 16);
+        assert!(s.supports_ranks(2));
+    }
+
+    #[test]
+    fn tensor_parallel_degrees_match_paper() {
+        // Paper §4.2.1: G = x1, M = 4 for tensor/pipeline parallelism.
+        let s = ParallelStrategy::TensorParallel { group: 4 };
+        assert_eq!(s.model_parallel_degree(), 4);
+        assert_eq!(s.data_parallel_degree(16), 16);
+        assert_eq!(s.replicas(16), 4);
+        assert!(s.supports_ranks(8));
+        assert!(!s.supports_ranks(6));
+        assert!(!s.supports_ranks(2));
+    }
+
+    #[test]
+    fn pipeline_parallel_degrees() {
+        let s = ParallelStrategy::PipelineParallel {
+            stages: 4,
+            microbatches: 8,
+        };
+        assert_eq!(s.model_parallel_degree(), 4);
+        assert_eq!(s.replicas(32), 8);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(ParallelStrategy::DataParallel.label(), "data parallelism");
+        assert_eq!(
+            ParallelStrategy::TensorParallel { group: 4 }.label(),
+            "tensor parallelism"
+        );
+        assert_eq!(
+            ParallelStrategy::PipelineParallel {
+                stages: 4,
+                microbatches: 8
+            }
+            .label(),
+            "pipeline parallelism"
+        );
+    }
+
+    #[test]
+    fn sync_mode_default_is_bsp() {
+        assert_eq!(SyncMode::default(), SyncMode::Bsp);
+    }
+}

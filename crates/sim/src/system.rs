@@ -1,0 +1,239 @@
+//! Hardware models of the evaluation systems.
+//!
+//! Table 1 of the paper describes the two clusters used for all experiments.
+//! The simulator reproduces their relevant characteristics: GPU throughput,
+//! memory bandwidth, node topology (GPUs per node), interconnect latency and
+//! bandwidth, NCCL availability, and the noise climate the paper reports
+//! (≈12.6% average run-to-run variation on DEEP, ≈17.4% on JURECA).
+
+use crate::noise::NoiseProfile;
+use serde::{Deserialize, Serialize};
+
+/// A GPU model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    pub name: String,
+    /// Peak single-precision throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Device memory capacity in GB.
+    pub mem_gb: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuSpec {
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "NVIDIA V100".to_string(),
+            fp32_tflops: 15.7,
+            mem_bandwidth_gbs: 900.0,
+            mem_gb: 32.0,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "NVIDIA A100".to_string(),
+            fp32_tflops: 19.5,
+            mem_bandwidth_gbs: 1555.0,
+            mem_gb: 40.0,
+            launch_overhead_us: 4.0,
+        }
+    }
+}
+
+/// A compute node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    pub cpu_name: String,
+    /// Physical CPU cores per node.
+    pub cores: u32,
+    /// RAM in GB.
+    pub ram_gb: f64,
+    pub gpus_per_node: u32,
+    pub gpu: GpuSpec,
+    /// Host memory bandwidth in GB/s (PCIe staging for HtoD copies).
+    pub host_to_device_gbs: f64,
+    /// Intra-node GPU-to-GPU bandwidth in GB/s (NVLink; 0 when PCIe-only).
+    pub nvlink_gbs: f64,
+}
+
+/// The inter-node network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    pub name: String,
+    /// Point-to-point bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Base point-to-point latency in microseconds.
+    pub latency_us: f64,
+    /// Bandwidth degradation per log2(nodes) from congestion/adaptive
+    /// routing (fraction of bandwidth lost per doubling; 0 = ideal fabric).
+    pub congestion_per_log2: f64,
+    /// Node count beyond which the MPI library switches to a slower
+    /// collective algorithm (`None` = no switch). Models the
+    /// scale-dependent behavior changes the paper's discussion warns about;
+    /// exercised by the change-point-detection tests.
+    #[serde(default)]
+    pub algorithm_switch_nodes: Option<u32>,
+}
+
+/// A full system preset (one row of the paper's Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    pub name: String,
+    pub total_nodes: u32,
+    pub node: NodeSpec,
+    pub interconnect: InterconnectSpec,
+    /// Whether NCCL collectives are available (JURECA yes, DEEP no).
+    pub nccl: bool,
+    pub noise: NoiseProfile,
+    /// CPU cores a single MPI rank occupies (ϱ in the cost model, Eq. 14).
+    pub cores_per_rank: u32,
+}
+
+impl SystemConfig {
+    /// The DEEP Extreme Scale Booster: 75 nodes, 1x Xeon Silver 4215
+    /// (8 cores / 16 threads), 48 GB DDR4, InfiniBand EDR (100 Gbit/s),
+    /// 1x V100 per node, without NCCL support.
+    pub fn deep() -> Self {
+        SystemConfig {
+            name: "DEEP".to_string(),
+            total_nodes: 75,
+            node: NodeSpec {
+                cpu_name: "Intel Xeon Cascade Lake Silver 4215".to_string(),
+                cores: 8,
+                ram_gb: 48.0,
+                gpus_per_node: 1,
+                gpu: GpuSpec::v100(),
+                host_to_device_gbs: 12.0,
+                nvlink_gbs: 0.0,
+            },
+            interconnect: InterconnectSpec {
+                name: "InfiniBand EDR (100 Gbit/s)".to_string(),
+                bandwidth_gbs: 12.5,
+                latency_us: 2.0,
+                congestion_per_log2: 0.06,
+                algorithm_switch_nodes: None,
+            },
+            nccl: false,
+            noise: NoiseProfile::deep(),
+            cores_per_rank: 8,
+        }
+    }
+
+    /// The JURECA DC module: 192 nodes, 2x AMD EPYC 7742 (128 cores),
+    /// 512 GB DDR4, 2x InfiniBand HDR, 4x A100 per node, with NCCL support.
+    pub fn jureca() -> Self {
+        SystemConfig {
+            name: "JURECA".to_string(),
+            total_nodes: 192,
+            node: NodeSpec {
+                cpu_name: "2x AMD EPYC 7742".to_string(),
+                cores: 128,
+                ram_gb: 512.0,
+                gpus_per_node: 4,
+                gpu: GpuSpec::a100(),
+                host_to_device_gbs: 25.0,
+                nvlink_gbs: 300.0,
+            },
+            interconnect: InterconnectSpec {
+                name: "2x InfiniBand HDR (NVIDIA Mellanox Connect-X6)".to_string(),
+                bandwidth_gbs: 50.0,
+                latency_us: 1.5,
+                congestion_per_log2: 0.08,
+                algorithm_switch_nodes: None,
+            },
+            nccl: true,
+            noise: NoiseProfile::jureca(),
+            cores_per_rank: 32,
+        }
+    }
+
+    /// Number of nodes occupied by `ranks` MPI ranks (one rank per GPU).
+    pub fn nodes_for_ranks(&self, ranks: u32) -> u32 {
+        ranks.div_ceil(self.node.gpus_per_node)
+    }
+
+    /// Total CPU cores billed for `ranks` MPI ranks (the `o` of Eq. 14).
+    pub fn total_cores(&self, ranks: u32) -> u32 {
+        ranks * self.cores_per_rank
+    }
+
+    /// Effective inter-node bandwidth at a given node count, accounting for
+    /// fabric congestion.
+    pub fn effective_bandwidth_gbs(&self, nodes: u32) -> f64 {
+        let doublings = (nodes.max(1) as f64).log2();
+        let degradation = 1.0 + self.interconnect.congestion_per_log2 * doublings;
+        self.interconnect.bandwidth_gbs / degradation
+    }
+
+    /// Renders the Table-1 row for reports.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{}: {} nodes, {} ({} cores), {:.0} GB RAM, {}, {}x {}, {} NCCL support",
+            self.name,
+            self.total_nodes,
+            self.node.cpu_name,
+            self.node.cores,
+            self.node.ram_gb,
+            self.interconnect.name,
+            self.node.gpus_per_node,
+            self.node.gpu.name,
+            if self.nccl { "with" } else { "without" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1() {
+        let deep = SystemConfig::deep();
+        assert_eq!(deep.total_nodes, 75);
+        assert_eq!(deep.node.gpus_per_node, 1);
+        assert!(!deep.nccl);
+        assert_eq!(deep.node.cores, 8);
+
+        let jureca = SystemConfig::jureca();
+        assert_eq!(jureca.total_nodes, 192);
+        assert_eq!(jureca.node.gpus_per_node, 4);
+        assert!(jureca.nccl);
+        assert!(jureca.node.gpu.fp32_tflops > deep.node.gpu.fp32_tflops);
+    }
+
+    #[test]
+    fn nodes_for_ranks_rounds_up() {
+        let jureca = SystemConfig::jureca();
+        assert_eq!(jureca.nodes_for_ranks(4), 1);
+        assert_eq!(jureca.nodes_for_ranks(5), 2);
+        assert_eq!(jureca.nodes_for_ranks(16), 4);
+        let deep = SystemConfig::deep();
+        assert_eq!(deep.nodes_for_ranks(16), 16);
+    }
+
+    #[test]
+    fn cost_core_accounting() {
+        let deep = SystemConfig::deep();
+        assert_eq!(deep.total_cores(32), 256);
+    }
+
+    #[test]
+    fn congestion_degrades_bandwidth_monotonically() {
+        let deep = SystemConfig::deep();
+        let b2 = deep.effective_bandwidth_gbs(2);
+        let b64 = deep.effective_bandwidth_gbs(64);
+        assert!(b2 > b64);
+        assert!(b64 > 0.5 * deep.interconnect.bandwidth_gbs / 2.0);
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        assert!(SystemConfig::deep().table1_row().contains("without NCCL"));
+        assert!(SystemConfig::jureca().table1_row().contains("with NCCL"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The five application benchmarks of the paper's evaluation: one synthetic
+//! training application per dataset, each pairing a dataset with the DNN
+//! architecture the paper uses for it (§4.1).
+
+use crate::dataset::DatasetSpec;
+use crate::dnn::arch::Architecture;
+use serde::{Deserialize, Serialize};
+
+/// One benchmark: a dataset, the DNN trained on it, and the batch size per
+/// worker the paper's experiments use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    pub name: String,
+    pub dataset: DatasetSpec,
+    pub architecture: Architecture,
+    /// Batch size per worker `B`.
+    pub batch_size: u64,
+}
+
+impl Benchmark {
+    /// ResNet-50 on CIFAR-10 with B = 256 — the paper's case study.
+    pub fn cifar10() -> Self {
+        Benchmark {
+            name: "CIFAR-10".to_string(),
+            dataset: DatasetSpec::cifar10(),
+            architecture: Architecture::resnet50(32, 10),
+            batch_size: 256,
+        }
+    }
+
+    pub fn cifar100() -> Self {
+        Benchmark {
+            name: "CIFAR-100".to_string(),
+            dataset: DatasetSpec::cifar100(),
+            architecture: Architecture::resnet50(32, 100),
+            batch_size: 256,
+        }
+    }
+
+    pub fn imagenet() -> Self {
+        Benchmark {
+            name: "ImageNet".to_string(),
+            dataset: DatasetSpec::imagenet(),
+            architecture: Architecture::efficientnet_b0(224, 1000),
+            batch_size: 128,
+        }
+    }
+
+    pub fn imdb() -> Self {
+        Benchmark {
+            name: "IMDB".to_string(),
+            dataset: DatasetSpec::imdb(),
+            architecture: Architecture::nnlm(20_000, 2),
+            batch_size: 128,
+        }
+    }
+
+    pub fn speech_commands() -> Self {
+        Benchmark {
+            name: "Speech Commands".to_string(),
+            dataset: DatasetSpec::speech_commands(),
+            architecture: Architecture::cnn10(12),
+            batch_size: 128,
+        }
+    }
+
+    /// Extension workload beyond the paper's five: a GPT-style Transformer
+    /// language model on a WikiText-like corpus (the paper's introduction
+    /// motivates Extra-Deep with exactly this class of models).
+    pub fn gpt_small() -> Self {
+        Benchmark {
+            name: "GPT-small".to_string(),
+            dataset: DatasetSpec::wikitext(),
+            architecture: Architecture::transformer(12, 768, 12, 512, 50_257),
+            batch_size: 16,
+        }
+    }
+
+    /// All five benchmarks in the paper's presentation order.
+    pub fn all() -> Vec<Benchmark> {
+        vec![
+            Benchmark::cifar10(),
+            Benchmark::cifar100(),
+            Benchmark::imagenet(),
+            Benchmark::imdb(),
+            Benchmark::speech_commands(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_benchmarks_cover_the_paper() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 5);
+        let names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["CIFAR-10", "CIFAR-100", "ImageNet", "IMDB", "Speech Commands"]
+        );
+    }
+
+    #[test]
+    fn architecture_pairing_matches_paper() {
+        assert_eq!(Benchmark::cifar10().architecture.name, "ResNet-50");
+        assert_eq!(Benchmark::cifar100().architecture.name, "ResNet-50");
+        assert_eq!(Benchmark::imagenet().architecture.name, "EfficientNet-B0");
+        assert_eq!(Benchmark::imdb().architecture.name, "NNLM");
+        assert_eq!(Benchmark::speech_commands().architecture.name, "CNN-10");
+    }
+
+    #[test]
+    fn case_study_batch_size_is_256() {
+        assert_eq!(Benchmark::cifar10().batch_size, 256);
+    }
+
+    #[test]
+    fn gpt_small_extension_workload() {
+        let gpt = Benchmark::gpt_small();
+        assert_eq!(gpt.architecture.name, "Transformer-12x768");
+        // Per-step compute exceeds every paper benchmark despite the small
+        // batch: exactly the GPT-scale motivation of the paper's intro.
+        let per_step = |b: &Benchmark| {
+            b.architecture.forward_flops_per_sample() as f64 * b.batch_size as f64
+        };
+        let max_paper = Benchmark::all()
+            .iter()
+            .map(&per_step)
+            .fold(0.0f64, f64::max);
+        assert!(per_step(&gpt) > max_paper, "GPT must be the heaviest");
+    }
+
+    #[test]
+    fn imagenet_is_the_heaviest_per_step() {
+        let per_step = |b: &Benchmark| {
+            b.architecture.forward_flops_per_sample() as f64 * b.batch_size as f64
+        };
+        let all = Benchmark::all();
+        let imagenet = per_step(&all[2]);
+        let imdb = per_step(&all[3]);
+        assert!(imagenet > 10.0 * imdb, "ratio {}", imagenet / imdb);
+    }
+}

@@ -1,0 +1,235 @@
+//! An NVTX-style trace builder.
+//!
+//! The simulator (and any other producer) uses this to emit a well-formed
+//! [`RankProfile`]: a monotone clock, push/pop step and epoch regions, and
+//! event emission that records timestamps automatically.
+
+use crate::domain::ApiDomain;
+use crate::event::Event;
+use crate::marks::{EpochMark, StepMark, StepPhase};
+use crate::profile::RankProfile;
+use std::sync::Arc;
+
+/// Builds one rank's profile with an internal monotone clock (nanoseconds).
+#[derive(Debug)]
+pub struct TraceBuilder {
+    profile: RankProfile,
+    clock_ns: u64,
+    open_epoch: Option<(u32, u64)>,
+    open_step: Option<(u32, u32, StepPhase, u64)>,
+    /// Open NVTX region names, innermost last.
+    region_stack: Vec<String>,
+    /// Interned joined path for the current stack (rebuilt on change).
+    current_path: Option<Arc<str>>,
+}
+
+impl TraceBuilder {
+    pub fn new(rank: u32) -> Self {
+        TraceBuilder {
+            profile: RankProfile::new(rank),
+            clock_ns: 0,
+            open_epoch: None,
+            open_step: None,
+            region_stack: Vec::new(),
+            current_path: None,
+        }
+    }
+
+    /// Opens an NVTX region; subsequently emitted events carry the joined
+    /// region path (`outer/inner`) as their call path.
+    pub fn push_region(&mut self, name: impl Into<String>) {
+        self.region_stack.push(name.into());
+        self.current_path = Some(Arc::from(self.region_stack.join("/")));
+    }
+
+    /// Closes the innermost NVTX region.
+    pub fn pop_region(&mut self) {
+        self.region_stack.pop();
+        self.current_path = if self.region_stack.is_empty() {
+            None
+        } else {
+            Some(Arc::from(self.region_stack.join("/")))
+        };
+    }
+
+    fn stamp(&self, mut e: Event) -> Event {
+        if let Some(path) = &self.current_path {
+            e.call_path = Some(path.clone());
+        }
+        e
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the clock without emitting an event (idle / untracked time).
+    pub fn advance(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
+    /// Emits an event lasting `duration_ns`, advancing the clock past it.
+    pub fn emit(&mut self, name: impl Into<Arc<str>>, domain: ApiDomain, duration_ns: u64) {
+        let e = self.stamp(Event::new(name, domain, self.clock_ns, duration_ns));
+        self.clock_ns += duration_ns;
+        self.profile.events.push(e);
+    }
+
+    /// Emits an event that also carries a byte payload.
+    pub fn emit_bytes(
+        &mut self,
+        name: impl Into<Arc<str>>,
+        domain: ApiDomain,
+        duration_ns: u64,
+        bytes: u64,
+    ) {
+        let e = self.stamp(Event::new(name, domain, self.clock_ns, duration_ns).with_bytes(bytes));
+        self.clock_ns += duration_ns;
+        self.profile.events.push(e);
+    }
+
+    /// Emits an aggregated row: `visits` executions of one kernel totalling
+    /// `total_duration_ns` (and optionally `bytes`), advancing the clock past
+    /// the total.
+    pub fn emit_aggregated(
+        &mut self,
+        name: impl Into<Arc<str>>,
+        domain: ApiDomain,
+        total_duration_ns: u64,
+        visits: u64,
+        bytes: Option<u64>,
+    ) {
+        let mut e =
+            self.stamp(Event::new(name, domain, self.clock_ns, total_duration_ns).with_visits(visits));
+        e.bytes = bytes;
+        self.clock_ns += total_duration_ns;
+        self.profile.events.push(e);
+    }
+
+    /// Emits an *asynchronous* event at an explicit timestamp without moving
+    /// the clock — models kernels that "fall in between two steps"
+    /// (paper §2.2 step 1).
+    pub fn emit_async(
+        &mut self,
+        name: impl Into<Arc<str>>,
+        domain: ApiDomain,
+        start_ns: u64,
+        duration_ns: u64,
+    ) {
+        let e = self.stamp(Event::new(name, domain, start_ns, duration_ns));
+        self.profile.events.push(e);
+    }
+
+    pub fn begin_epoch(&mut self, epoch: u32) {
+        assert!(self.open_epoch.is_none(), "epoch already open");
+        self.open_epoch = Some((epoch, self.clock_ns));
+    }
+
+    pub fn end_epoch(&mut self) {
+        let (epoch, start) = self.open_epoch.take().expect("no open epoch");
+        self.profile
+            .epoch_marks
+            .push(EpochMark::new(epoch, start, self.clock_ns));
+    }
+
+    pub fn begin_step(&mut self, epoch: u32, step: u32, phase: StepPhase) {
+        assert!(self.open_step.is_none(), "step already open");
+        self.open_step = Some((epoch, step, phase, self.clock_ns));
+    }
+
+    pub fn end_step(&mut self) {
+        let (epoch, step, phase, start) = self.open_step.take().expect("no open step");
+        self.profile
+            .step_marks
+            .push(StepMark::new(epoch, step, phase, start, self.clock_ns));
+    }
+
+    /// Finishes the build. Panics when an epoch or step is still open —
+    /// a malformed trace should never escape the producer.
+    pub fn finish(self) -> RankProfile {
+        assert!(self.open_epoch.is_none(), "unclosed epoch at finish");
+        assert!(self.open_step.is_none(), "unclosed step at finish");
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_marked_trace() {
+        let mut b = TraceBuilder::new(3);
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.emit("EigenMetaKernel", ApiDomain::CudaKernel, 1_000);
+        b.emit_bytes("CUDA memcpy HtoD", ApiDomain::MemCpy, 500, 4096);
+        b.end_step();
+        b.advance(100);
+        b.begin_step(0, 1, StepPhase::Training);
+        b.emit("EigenMetaKernel", ApiDomain::CudaKernel, 1_100);
+        b.end_step();
+        b.end_epoch();
+        let p = b.finish();
+
+        assert_eq!(p.rank, 3);
+        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.step_marks.len(), 2);
+        assert_eq!(p.epoch_marks.len(), 1);
+        // Steps tile the timeline in order and don't overlap.
+        assert_eq!(p.step_marks[0].start_ns, 0);
+        assert_eq!(p.step_marks[0].end_ns, 1_500);
+        assert_eq!(p.step_marks[1].start_ns, 1_600);
+        assert_eq!(p.epoch_marks[0].end_ns, 2_700);
+        // Events fall inside their steps.
+        assert!(p.step_marks[0].contains(p.events[0].start_ns));
+        assert!(p.step_marks[1].contains(p.events[2].start_ns));
+    }
+
+    #[test]
+    fn async_events_do_not_advance_clock() {
+        let mut b = TraceBuilder::new(0);
+        b.emit("k", ApiDomain::CudaKernel, 100);
+        let t = b.now_ns();
+        b.emit_async("nccl_bg", ApiDomain::Nccl, 50, 500);
+        assert_eq!(b.now_ns(), t);
+        let p = b.finish();
+        assert_eq!(p.events.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed epoch")]
+    fn unclosed_epoch_panics() {
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "step already open")]
+    fn nested_steps_panic() {
+        let mut b = TraceBuilder::new(0);
+        b.begin_step(0, 0, StepPhase::Training, );
+        b.begin_step(0, 1, StepPhase::Training);
+    }
+
+    #[test]
+    fn aggregated_rows_carry_visits() {
+        let mut b = TraceBuilder::new(0);
+        b.emit_aggregated("relu_kernel", ApiDomain::CudaKernel, 3_000, 48, None);
+        b.emit_aggregated("CUDA memcpy HtoD", ApiDomain::MemCpy, 1_000, 2, Some(8192));
+        let p = b.finish();
+        assert_eq!(p.events[0].visits, 48);
+        assert_eq!(p.events[0].duration_ns, 3_000);
+        assert_eq!(p.events[1].bytes, Some(8192));
+        assert_eq!(p.events[1].start_ns, 3_000);
+    }
+
+    #[test]
+    fn bytes_payload_recorded() {
+        let mut b = TraceBuilder::new(0);
+        b.emit_bytes("MPI_Allreduce", ApiDomain::Mpi, 10, 1 << 20);
+        let p = b.finish();
+        assert_eq!(p.events[0].bytes, Some(1 << 20));
+    }
+}

@@ -1,0 +1,182 @@
+//! Call-tree view of a profile (paper Fig. 1: "Calltree: kernel models").
+//!
+//! Events carry the NVTX region path they were recorded under
+//! (`train/training_step/forward`); this module folds a profile's events
+//! into a region tree with per-node totals and the kernels executing at each
+//! node — the structure Extra-P's GUI displays per call path.
+
+use crate::profile::{ConfigProfile, RankProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One node of the call tree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CallNode {
+    /// Total seconds of all events at or below this node.
+    pub total_seconds: f64,
+    /// Total kernel executions at or below this node.
+    pub total_visits: u64,
+    /// Kernels recorded directly at this node: name -> (seconds, visits).
+    pub kernels: BTreeMap<String, (f64, u64)>,
+    pub children: BTreeMap<String, CallNode>,
+}
+
+impl CallNode {
+    fn insert(&mut self, path: &[&str], name: &str, seconds: f64, visits: u64) {
+        self.total_seconds += seconds;
+        self.total_visits += visits;
+        match path.split_first() {
+            None => {
+                let e = self.kernels.entry(name.to_string()).or_insert((0.0, 0));
+                e.0 += seconds;
+                e.1 += visits;
+            }
+            Some((head, rest)) => {
+                self.children
+                    .entry(head.to_string())
+                    .or_default()
+                    .insert(rest, name, seconds, visits);
+            }
+        }
+    }
+
+    /// Looks up a node by slash-separated path.
+    pub fn node(&self, path: &str) -> Option<&CallNode> {
+        let mut cur = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            cur = cur.children.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    fn render_into(&self, name: &str, depth: usize, top_kernels: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{indent}{name:<32} {:>10.3} ms  {:>8} visits\n",
+            self.total_seconds * 1e3,
+            self.total_visits
+        ));
+        let mut kernels: Vec<(&String, &(f64, u64))> = self.kernels.iter().collect();
+        kernels.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap());
+        for (k, (sec, vis)) in kernels.into_iter().take(top_kernels) {
+            let kindent = "  ".repeat(depth + 1);
+            out.push_str(&format!(
+                "{kindent}· {k:<55} {:>9.3} ms  {vis:>6}x\n",
+                sec * 1e3
+            ));
+        }
+        for (child_name, child) in &self.children {
+            child.render_into(child_name, depth + 1, top_kernels, out);
+        }
+    }
+}
+
+fn fold_rank(rank: &RankProfile, root: &mut CallNode) {
+    for e in &rank.events {
+        let seconds = e.duration_ns as f64 * 1e-9;
+        let path_owned;
+        let path: Vec<&str> = match &e.call_path {
+            Some(p) => {
+                path_owned = p.to_string();
+                path_owned.split('/').collect()
+            }
+            None => Vec::new(),
+        };
+        root.insert(&path, &e.name, seconds, e.visits);
+    }
+}
+
+/// Builds the call tree of one configuration profile (all ranks folded).
+pub fn call_tree(profile: &ConfigProfile) -> CallNode {
+    let mut root = CallNode::default();
+    for rank in &profile.ranks {
+        fold_rank(rank, &mut root);
+    }
+    root
+}
+
+/// Renders the call tree with up to `top_kernels` kernels listed per node.
+pub fn render_call_tree(profile: &ConfigProfile, top_kernels: usize) -> String {
+    let tree = call_tree(profile);
+    let mut out = format!("Call tree for {} (all ranks):\n", profile.config.id());
+    tree.render_into("<root>", 0, top_kernels, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::config::{MeasurementConfig, TrainingMeta};
+    use crate::domain::ApiDomain;
+    use crate::marks::StepPhase;
+
+    fn profile() -> ConfigProfile {
+        let meta = TrainingMeta {
+            batch_size: 1,
+            train_samples: 1,
+            val_samples: 0,
+            data_parallel: 1,
+            model_parallel: 1,
+            cores_per_rank: 1,
+        };
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(1), 0, meta);
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.push_region("train");
+        b.push_region("forward");
+        b.emit("gemm", ApiDomain::CudaKernel, 3_000);
+        b.pop_region();
+        b.push_region("exchange");
+        b.emit("MPI_Allreduce", ApiDomain::Mpi, 1_000);
+        b.pop_region();
+        b.pop_region();
+        b.emit("orphan", ApiDomain::Os, 500); // no region
+        b.end_step();
+        b.end_epoch();
+        cp.ranks.push(b.finish());
+        cp
+    }
+
+    #[test]
+    fn tree_structure_follows_regions() {
+        let tree = call_tree(&profile());
+        let train = tree.node("train").expect("train node");
+        assert!((train.total_seconds - 4_000e-9).abs() < 1e-15);
+        let fwd = tree.node("train/forward").unwrap();
+        assert_eq!(fwd.kernels["gemm"].1, 1);
+        let ex = tree.node("train/exchange").unwrap();
+        assert!(ex.kernels.contains_key("MPI_Allreduce"));
+        // Orphan event lands at the root.
+        assert!(tree.kernels.contains_key("orphan"));
+    }
+
+    #[test]
+    fn totals_are_inclusive() {
+        let tree = call_tree(&profile());
+        // Root total covers everything.
+        assert!((tree.total_seconds - 4_500e-9).abs() < 1e-15);
+        assert_eq!(tree.total_visits, 3);
+    }
+
+    #[test]
+    fn missing_path_lookup() {
+        let tree = call_tree(&profile());
+        assert!(tree.node("train/backward").is_none());
+        assert!(tree.node("").is_some()); // root
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let text = render_call_tree(&profile(), 3);
+        assert!(text.contains("train"));
+        assert!(text.contains("forward"));
+        assert!(text.contains("gemm"));
+        // Children are indented deeper than parents.
+        let train_line = text.lines().find(|l| l.trim_start().starts_with("train")).unwrap();
+        let fwd_line = text.lines().find(|l| l.trim_start().starts_with("forward")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(fwd_line) > indent(train_line));
+    }
+}

@@ -1,0 +1,145 @@
+//! Export to the Chrome trace-event format (`chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev)): every kernel event becomes a
+//! complete ("X") event on its rank's track, step and epoch marks become
+//! enclosing slices — a practical way to eyeball a simulated or imported
+//! profile on a timeline.
+
+use crate::profile::ConfigProfile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    cat: &'a str,
+    ph: &'a str,
+    /// Microseconds (the format's native unit).
+    ts: f64,
+    dur: f64,
+    pid: u32,
+    tid: u32,
+}
+
+/// Serializes one configuration profile to a Chrome trace-event JSON array.
+///
+/// Layout: one process per MPI rank (`pid` = rank); `tid` 0 carries the
+/// epoch/step slices, `tid` 1 the kernel events. Timestamps are converted
+/// from nanoseconds to microseconds.
+pub fn to_chrome_trace(profile: &ConfigProfile) -> String {
+    let mut events: Vec<ChromeEvent> = Vec::new();
+    let mut step_names: Vec<String> = Vec::new();
+    // Pre-render step names (borrowed by the serializer below).
+    for rank in &profile.ranks {
+        for s in &rank.step_marks {
+            step_names.push(format!(
+                "{} step e{}s{}",
+                s.phase.label(),
+                s.epoch,
+                s.step
+            ));
+        }
+    }
+    let mut name_idx = 0;
+    for rank in &profile.ranks {
+        for e in &rank.epoch_marks {
+            events.push(ChromeEvent {
+                name: "epoch",
+                cat: "marks",
+                ph: "X",
+                ts: e.start_ns as f64 / 1e3,
+                dur: e.duration_ns() as f64 / 1e3,
+                pid: rank.rank,
+                tid: 0,
+            });
+        }
+        for s in &rank.step_marks {
+            events.push(ChromeEvent {
+                name: &step_names[name_idx],
+                cat: "marks",
+                ph: "X",
+                ts: s.start_ns as f64 / 1e3,
+                dur: s.duration_ns() as f64 / 1e3,
+                pid: rank.rank,
+                tid: 0,
+            });
+            name_idx += 1;
+        }
+        for ev in &rank.events {
+            events.push(ChromeEvent {
+                name: &ev.name,
+                cat: ev.domain.label(),
+                ph: "X",
+                ts: ev.start_ns as f64 / 1e3,
+                dur: (ev.duration_ns as f64 / 1e3).max(0.001),
+                pid: rank.rank,
+                tid: 1,
+            });
+        }
+    }
+    serde_json::to_string(&events).expect("chrome trace serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::config::{MeasurementConfig, TrainingMeta};
+    use crate::domain::ApiDomain;
+    use crate::marks::StepPhase;
+
+    fn profile() -> ConfigProfile {
+        let meta = TrainingMeta {
+            batch_size: 1,
+            train_samples: 1,
+            val_samples: 0,
+            data_parallel: 1,
+            model_parallel: 1,
+            cores_per_rank: 1,
+        };
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(1), 0, meta);
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.emit("gemm", ApiDomain::CudaKernel, 2_000);
+        b.end_step();
+        b.end_epoch();
+        cp.ranks.push(b.finish());
+        cp
+    }
+
+    #[test]
+    fn emits_valid_json_array() {
+        let json = to_chrome_trace(&profile());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // 1 epoch + 1 step + 1 kernel.
+        assert_eq!(arr.len(), 3);
+        assert!(arr.iter().all(|e| e["ph"] == "X"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let json = to_chrome_trace(&profile());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let kernel = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"] == "gemm")
+            .unwrap();
+        assert_eq!(kernel["dur"].as_f64().unwrap(), 2.0);
+        assert_eq!(kernel["tid"].as_u64().unwrap(), 1);
+    }
+
+    #[test]
+    fn marks_live_on_track_zero() {
+        let json = to_chrome_trace(&profile());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let step = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"].as_str().unwrap().contains("training step"))
+            .unwrap();
+        assert_eq!(step["tid"].as_u64().unwrap(), 0);
+    }
+}

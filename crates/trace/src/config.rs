@@ -1,0 +1,175 @@
+//! Measurement configurations and training metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A measurement point `P(x1, ..., xm)`: one unique configuration of the
+/// application's execution parameters (paper §2.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementConfig {
+    /// Ordered `(name, value)` pairs; order defines the coordinate order for
+    /// modeling.
+    pub parameters: Vec<(String, f64)>,
+}
+
+impl MeasurementConfig {
+    pub fn new(parameters: Vec<(String, f64)>) -> Self {
+        MeasurementConfig { parameters }
+    }
+
+    /// Single-parameter configuration, typically the number of MPI ranks.
+    pub fn ranks(x1: u32) -> Self {
+        MeasurementConfig {
+            parameters: vec![("ranks".to_string(), x1 as f64)],
+        }
+    }
+
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.parameters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Coordinate vector in parameter order.
+    pub fn coordinate(&self) -> Vec<f64> {
+        self.parameters.iter().map(|&(_, v)| v).collect()
+    }
+
+    pub fn parameter_names(&self) -> Vec<String> {
+        self.parameters.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Stable identifier like `app.x4` / `app.x4.b256` used in file names and
+    /// reports (mirrors the paper's Figure 2 naming).
+    pub fn id(&self) -> String {
+        let mut s = String::from("app");
+        for (name, value) in &self.parameters {
+            let short = match name.as_str() {
+                "ranks" => "x",
+                "batch" | "batch_size" => "b",
+                other => other,
+            };
+            if value.fract() == 0.0 {
+                s.push_str(&format!(".{short}{}", *value as i64));
+            } else {
+                s.push_str(&format!(".{short}{value}"));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for MeasurementConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// Analytical training values the user supplies once per application
+/// (paper §2.3.1): batch size per worker `B`, dataset sizes `D_t`/`D_v`,
+/// degree of data parallelism `G`, degree of model parallelism `M`, and CPU
+/// cores per rank `ϱ` for the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingMeta {
+    /// Batch size per worker `B`.
+    pub batch_size: u64,
+    /// Samples in the training dataset `D_t` (after any weak-scaling growth).
+    pub train_samples: u64,
+    /// Samples in the validation dataset `D_v`.
+    pub val_samples: u64,
+    /// Degree of data parallelism `G`.
+    pub data_parallel: u32,
+    /// Degree of model parallelism `M`.
+    pub model_parallel: u32,
+    /// CPU cores used per MPI rank `ϱ` (cost model, paper Eq. 14).
+    pub cores_per_rank: u32,
+}
+
+impl TrainingMeta {
+    /// Number of training steps per epoch (paper Eq. 2):
+    /// `n_t = ⌊(D_t / (G / M)) / B⌋`.
+    ///
+    /// Clamped to ≥ 1 when the shard is non-empty: a worker whose shard is
+    /// smaller than the batch still executes one (partial) step per epoch.
+    pub fn training_steps_per_epoch(&self) -> u64 {
+        let n = steps(
+            self.train_samples,
+            self.data_parallel,
+            self.model_parallel,
+            self.batch_size,
+        );
+        if n == 0 && self.train_samples > 0 {
+            1
+        } else {
+            n
+        }
+    }
+
+    /// Number of validation steps per epoch (paper Eq. 3).
+    pub fn validation_steps_per_epoch(&self) -> u64 {
+        steps(self.val_samples, self.data_parallel, self.model_parallel, self.batch_size)
+    }
+}
+
+fn steps(samples: u64, g: u32, m: u32, batch: u64) -> u64 {
+    assert!(g >= 1 && m >= 1 && batch >= 1, "degrees and batch must be >= 1");
+    let shard = samples as f64 / (g as f64 / m as f64);
+    (shard / batch as f64).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_id_and_lookup() {
+        let c = MeasurementConfig::ranks(4);
+        assert_eq!(c.id(), "app.x4");
+        assert_eq!(c.value("ranks"), Some(4.0));
+        assert_eq!(c.value("batch"), None);
+        assert_eq!(c.coordinate(), vec![4.0]);
+    }
+
+    #[test]
+    fn multi_parameter_id() {
+        let c = MeasurementConfig::new(vec![
+            ("ranks".into(), 8.0),
+            ("batch".into(), 256.0),
+        ]);
+        assert_eq!(c.id(), "app.x8.b256");
+        assert_eq!(c.parameter_names(), vec!["ranks", "batch"]);
+    }
+
+    #[test]
+    fn steps_match_paper_equations() {
+        // CIFAR-10: 50k train / 10k val samples, B = 256, pure data
+        // parallelism with G = 4, M = 1: n_t = floor((50000/4)/256) = 48.
+        let meta = TrainingMeta {
+            batch_size: 256,
+            train_samples: 50_000,
+            val_samples: 10_000,
+            data_parallel: 4,
+            model_parallel: 1,
+            cores_per_rank: 8,
+        };
+        assert_eq!(meta.training_steps_per_epoch(), 48);
+        assert_eq!(meta.validation_steps_per_epoch(), 9);
+    }
+
+    #[test]
+    fn model_parallelism_scales_effective_workers() {
+        // G/M workers process distinct data shards: with G = 8, M = 4 the
+        // effective data-parallel width is 2.
+        let meta = TrainingMeta {
+            batch_size: 100,
+            train_samples: 10_000,
+            val_samples: 0,
+            data_parallel: 8,
+            model_parallel: 4,
+            cores_per_rank: 1,
+        };
+        assert_eq!(meta.training_steps_per_epoch(), 50);
+        assert_eq!(meta.validation_steps_per_epoch(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! API domains and kernel categories.
+//!
+//! The paper measures "CUDA kernels, memset, memcopy, and NCCL operations on
+//! the GPU, as well as CUDA API, cuBLAS, cuDNN, MPI, OS, and user-defined
+//! function calls on the CPU" (§2.1 step 2) and later groups kernels into
+//! computation, communication, and memory operations for application models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which measurement interface / library an event was recorded from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ApiDomain {
+    /// A CUDA kernel executed on the GPU.
+    CudaKernel,
+    /// A CUDA runtime/driver API call on the CPU (e.g. `cudaLaunchKernel`).
+    CudaApi,
+    /// A cuBLAS library call.
+    CuBlas,
+    /// A cuDNN library call.
+    CuDnn,
+    /// An MPI function call.
+    Mpi,
+    /// An NCCL collective on the GPU.
+    Nccl,
+    /// An OS / libc function call.
+    Os,
+    /// A user-defined function covered by NVTX instrumentation.
+    Nvtx,
+    /// A device/host memory copy.
+    MemCpy,
+    /// A device memory set.
+    MemSet,
+    /// File or dataset I/O.
+    Io,
+}
+
+impl ApiDomain {
+    pub const ALL: [ApiDomain; 11] = [
+        ApiDomain::CudaKernel,
+        ApiDomain::CudaApi,
+        ApiDomain::CuBlas,
+        ApiDomain::CuDnn,
+        ApiDomain::Mpi,
+        ApiDomain::Nccl,
+        ApiDomain::Os,
+        ApiDomain::Nvtx,
+        ApiDomain::MemCpy,
+        ApiDomain::MemSet,
+        ApiDomain::Io,
+    ];
+
+    /// The default kernel category of events from this domain, used by the
+    /// application-model aggregation (paper §2.2 step: categorize by type).
+    pub fn default_category(self) -> KernelCategory {
+        match self {
+            ApiDomain::CudaKernel | ApiDomain::CuBlas | ApiDomain::CuDnn | ApiDomain::CudaApi => {
+                KernelCategory::Computation
+            }
+            ApiDomain::Mpi | ApiDomain::Nccl => KernelCategory::Communication,
+            ApiDomain::MemCpy | ApiDomain::MemSet => KernelCategory::MemoryOperation,
+            ApiDomain::Io => KernelCategory::Io,
+            ApiDomain::Os | ApiDomain::Nvtx => KernelCategory::Other,
+        }
+    }
+
+    /// Short label used in reports (matches the paper's Table 2 rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            ApiDomain::CudaKernel => "CUDA kernels",
+            ApiDomain::CudaApi => "CUDA API",
+            ApiDomain::CuBlas => "cuBLAS",
+            ApiDomain::CuDnn => "cuDNN",
+            ApiDomain::Mpi => "MPI",
+            ApiDomain::Nccl => "NCCL",
+            ApiDomain::Os => "OS func.",
+            ApiDomain::Nvtx => "NVTX func.",
+            ApiDomain::MemCpy => "Memory ops. (memcpy)",
+            ApiDomain::MemSet => "Memory ops. (memset)",
+            ApiDomain::Io => "I/O",
+        }
+    }
+}
+
+impl fmt::Display for ApiDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// High-level category of work a kernel performs. Application models sum the
+/// per-kernel metric values within each category (paper Eqs. 8-10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum KernelCategory {
+    Computation,
+    Communication,
+    MemoryOperation,
+    Io,
+    Other,
+}
+
+impl KernelCategory {
+    pub const ALL: [KernelCategory; 5] = [
+        KernelCategory::Computation,
+        KernelCategory::Communication,
+        KernelCategory::MemoryOperation,
+        KernelCategory::Io,
+        KernelCategory::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelCategory::Computation => "computation",
+            KernelCategory::Communication => "communication",
+            KernelCategory::MemoryOperation => "memory ops.",
+            KernelCategory::Io => "I/O",
+            KernelCategory::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for KernelCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn communication_domains_categorize_as_communication() {
+        assert_eq!(
+            ApiDomain::Mpi.default_category(),
+            KernelCategory::Communication
+        );
+        assert_eq!(
+            ApiDomain::Nccl.default_category(),
+            KernelCategory::Communication
+        );
+    }
+
+    #[test]
+    fn memory_domains_categorize_as_memory() {
+        assert_eq!(
+            ApiDomain::MemCpy.default_category(),
+            KernelCategory::MemoryOperation
+        );
+        assert_eq!(
+            ApiDomain::MemSet.default_category(),
+            KernelCategory::MemoryOperation
+        );
+    }
+
+    #[test]
+    fn compute_domains_categorize_as_computation() {
+        for d in [
+            ApiDomain::CudaKernel,
+            ApiDomain::CuBlas,
+            ApiDomain::CuDnn,
+            ApiDomain::CudaApi,
+        ] {
+            assert_eq!(d.default_category(), KernelCategory::Computation);
+        }
+    }
+
+    #[test]
+    fn all_domains_listed_once() {
+        let mut set = std::collections::HashSet::new();
+        for d in ApiDomain::ALL {
+            assert!(set.insert(d), "duplicate domain {d:?}");
+        }
+        assert_eq!(set.len(), 11);
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_displayable() {
+        for d in ApiDomain::ALL {
+            assert!(!d.label().is_empty());
+            assert_eq!(format!("{d}"), d.label());
+        }
+        for c in KernelCategory::ALL {
+            assert!(!c.label().is_empty());
+        }
+    }
+}

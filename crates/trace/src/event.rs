@@ -1,0 +1,157 @@
+//! Profiled events and the metrics they carry.
+
+use crate::domain::{ApiDomain, KernelCategory};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The metrics Extra-Deep models (paper §2.1: "we measure the runtime and the
+/// number of visits for each instrumented function... For the memory
+/// operations, we additionally measure the number of transferred bytes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Wall-clock runtime (seconds when aggregated; nanoseconds in events).
+    Time,
+    /// Number of executions of a kernel.
+    Visits,
+    /// Bytes transferred (memory operations and communication).
+    Bytes,
+}
+
+impl MetricKind {
+    pub const ALL: [MetricKind; 3] = [MetricKind::Time, MetricKind::Visits, MetricKind::Bytes];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Time => "time",
+            MetricKind::Visits => "visits",
+            MetricKind::Bytes => "bytes",
+        }
+    }
+}
+
+/// One profiled execution of a kernel / API function, as a profiling tool
+/// such as Nsight Systems would export it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Kernel / function name (interned: many events share one name).
+    pub name: Arc<str>,
+    pub domain: ApiDomain,
+    /// Category override; `None` means the domain's default applies.
+    pub category: Option<KernelCategory>,
+    /// Start timestamp in nanoseconds since profile begin.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Bytes transferred, when applicable (memcpy/memset/collectives).
+    pub bytes: Option<u64>,
+    /// Number of kernel executions this row aggregates.
+    ///
+    /// Profilers commonly export per-kernel *rows* that sum several
+    /// back-to-back launches of the same kernel (Nsight's stats views do
+    /// this); `duration_ns` and `bytes` then hold totals across the row.
+    /// Defaults to 1 — one row per execution.
+    pub visits: u64,
+    /// The enclosing NVTX region path at emission time, e.g.
+    /// `train/training_step/forward` — the call-tree position the paper's
+    /// Fig. 1 displays ("Calltree: kernel models"). `None` when the
+    /// producer recorded no regions.
+    #[serde(default)]
+    pub call_path: Option<Arc<str>>,
+}
+
+impl Event {
+    pub fn new(name: impl Into<Arc<str>>, domain: ApiDomain, start_ns: u64, duration_ns: u64) -> Self {
+        Event {
+            name: name.into(),
+            domain,
+            category: None,
+            start_ns,
+            duration_ns,
+            bytes: None,
+            visits: 1,
+            call_path: None,
+        }
+    }
+
+    pub fn with_call_path(mut self, path: impl Into<Arc<str>>) -> Self {
+        self.call_path = Some(path.into());
+        self
+    }
+
+    pub fn with_bytes(mut self, bytes: u64) -> Self {
+        self.bytes = Some(bytes);
+        self
+    }
+
+    pub fn with_visits(mut self, visits: u64) -> Self {
+        self.visits = visits.max(1);
+        self
+    }
+
+    pub fn with_category(mut self, category: KernelCategory) -> Self {
+        self.category = Some(category);
+        self
+    }
+
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.duration_ns
+    }
+
+    /// Effective category: the explicit override or the domain default.
+    pub fn category(&self) -> KernelCategory {
+        self.category.unwrap_or_else(|| self.domain.default_category())
+    }
+
+    /// The value of one metric for this event row.
+    ///
+    /// Time is reported in seconds, visits as the number of executions the
+    /// row aggregates, bytes as the payload (0 when not applicable).
+    pub fn metric_value(&self, metric: MetricKind) -> f64 {
+        match metric {
+            MetricKind::Time => self.duration_ns as f64 * 1e-9,
+            MetricKind::Visits => self.visits as f64,
+            MetricKind::Bytes => self.bytes.unwrap_or(0) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_end_and_metrics() {
+        let e = Event::new("MPI_Allreduce", ApiDomain::Mpi, 100, 50).with_bytes(4096);
+        assert_eq!(e.end_ns(), 150);
+        assert_eq!(e.metric_value(MetricKind::Visits), 1.0);
+        assert_eq!(e.metric_value(MetricKind::Bytes), 4096.0);
+        assert!((e.metric_value(MetricKind::Time) - 50e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn category_defaults_from_domain() {
+        let e = Event::new("ncclAllReduce", ApiDomain::Nccl, 0, 1);
+        assert_eq!(e.category(), KernelCategory::Communication);
+    }
+
+    #[test]
+    fn category_override_wins() {
+        let e = Event::new("custom_copy", ApiDomain::CudaKernel, 0, 1)
+            .with_category(KernelCategory::MemoryOperation);
+        assert_eq!(e.category(), KernelCategory::MemoryOperation);
+    }
+
+    #[test]
+    fn bytes_default_zero() {
+        let e = Event::new("EigenMetaKernel", ApiDomain::CudaKernel, 0, 1);
+        assert_eq!(e.metric_value(MetricKind::Bytes), 0.0);
+    }
+
+    #[test]
+    fn names_are_shared() {
+        let name: Arc<str> = Arc::from("volta_sgemm_128x64_nn");
+        let a = Event::new(name.clone(), ApiDomain::CuBlas, 0, 1);
+        let b = Event::new(name.clone(), ApiDomain::CuBlas, 1, 1);
+        assert!(Arc::ptr_eq(&a.name, &b.name));
+    }
+}

@@ -1,0 +1,432 @@
+//! Import/export of profiles in a plain CSV interchange format.
+//!
+//! The paper's toolchain is profiler-agnostic: "Extra-Deep supports
+//! measurements from other profiling tools such as Score-P, or any
+//! CUPTI-based performance profiler" (§2.1). This module defines the textual
+//! interchange format an exporter from such a tool would produce — one CSV
+//! row per kernel event / NVTX mark, with `#`-prefixed header lines for the
+//! configuration metadata — and a strict parser for it.
+//!
+//! ```text
+//! # extradeep-trace-csv v1
+//! # param: ranks=4
+//! # meta: batch=256 train=50000 val=10000 G=4 M=1 cores=8
+//! # repetition: 0
+//! # execution_seconds: 12.5
+//! # profiling_seconds: 0.66
+//! kind,rank,epoch,step,phase,name,domain,start_ns,dur_ns,bytes,visits,path
+//! epoch,0,0,,,,,0,90000000,,,
+//! step,0,0,0,training,,,1000,400000,,,
+//! event,0,,,,EigenMetaKernel,cuda_kernel,1200,350000,,12,train/forward
+//! event,0,,,,MPI_Allreduce,mpi,361200,30000,1048576,1,train/exchange
+//! ```
+
+use crate::config::{MeasurementConfig, TrainingMeta};
+use crate::domain::ApiDomain;
+use crate::event::Event;
+use crate::marks::{EpochMark, StepMark, StepPhase};
+use crate::profile::{ConfigProfile, RankProfile};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised by the CSV importer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The `# extradeep-trace-csv v1` magic line is missing or wrong.
+    BadMagic,
+    MissingHeader(&'static str),
+    /// Malformed line, with its 1-based line number and a description.
+    BadLine { line: usize, reason: String },
+    UnknownDomain { line: usize, domain: String },
+    UnknownPhase { line: usize, phase: String },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::BadMagic => write!(f, "missing '# extradeep-trace-csv v1' magic line"),
+            ImportError::MissingHeader(h) => write!(f, "missing required header '{h}'"),
+            ImportError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ImportError::UnknownDomain { line, domain } => {
+                write!(f, "line {line}: unknown domain '{domain}'")
+            }
+            ImportError::UnknownPhase { line, phase } => {
+                write!(f, "line {line}: unknown phase '{phase}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn domain_tag(domain: ApiDomain) -> &'static str {
+    match domain {
+        ApiDomain::CudaKernel => "cuda_kernel",
+        ApiDomain::CudaApi => "cuda_api",
+        ApiDomain::CuBlas => "cublas",
+        ApiDomain::CuDnn => "cudnn",
+        ApiDomain::Mpi => "mpi",
+        ApiDomain::Nccl => "nccl",
+        ApiDomain::Os => "os",
+        ApiDomain::Nvtx => "nvtx",
+        ApiDomain::MemCpy => "memcpy",
+        ApiDomain::MemSet => "memset",
+        ApiDomain::Io => "io",
+    }
+}
+
+fn parse_domain(tag: &str, line: usize) -> Result<ApiDomain, ImportError> {
+    ApiDomain::ALL
+        .iter()
+        .copied()
+        .find(|&d| domain_tag(d) == tag)
+        .ok_or_else(|| ImportError::UnknownDomain {
+            line,
+            domain: tag.to_string(),
+        })
+}
+
+/// Exports one configuration profile to the CSV interchange format.
+pub fn export_csv(profile: &ConfigProfile) -> String {
+    let mut out = String::new();
+    out.push_str("# extradeep-trace-csv v1\n");
+    for (name, value) in &profile.config.parameters {
+        out.push_str(&format!("# param: {name}={value}\n"));
+    }
+    let m = &profile.meta;
+    out.push_str(&format!(
+        "# meta: batch={} train={} val={} G={} M={} cores={}\n",
+        m.batch_size, m.train_samples, m.val_samples, m.data_parallel, m.model_parallel,
+        m.cores_per_rank
+    ));
+    out.push_str(&format!("# repetition: {}\n", profile.repetition));
+    out.push_str(&format!("# execution_seconds: {}\n", profile.execution_seconds));
+    out.push_str(&format!("# profiling_seconds: {}\n", profile.profiling_seconds));
+    out.push_str("kind,rank,epoch,step,phase,name,domain,start_ns,dur_ns,bytes,visits,path\n");
+    for rank in &profile.ranks {
+        for e in &rank.epoch_marks {
+            out.push_str(&format!(
+                "epoch,{},{},,,,,{},{},,,\n",
+                rank.rank,
+                e.epoch,
+                e.start_ns,
+                e.duration_ns()
+            ));
+        }
+        for s in &rank.step_marks {
+            out.push_str(&format!(
+                "step,{},{},{},{},,,{},{},,,\n",
+                rank.rank,
+                s.epoch,
+                s.step,
+                s.phase.label(),
+                s.start_ns,
+                s.duration_ns()
+            ));
+        }
+        for ev in &rank.events {
+            out.push_str(&format!(
+                "event,{},,,,{},{},{},{},{},{},{}\n",
+                rank.rank,
+                ev.name,
+                domain_tag(ev.domain),
+                ev.start_ns,
+                ev.duration_ns,
+                ev.bytes.map(|b| b.to_string()).unwrap_or_default(),
+                ev.visits,
+                ev.call_path.as_deref().unwrap_or("")
+            ));
+        }
+    }
+    out
+}
+
+fn field<'a>(cols: &[&'a str], idx: usize, line: usize) -> Result<&'a str, ImportError> {
+    cols.get(idx).copied().ok_or_else(|| ImportError::BadLine {
+        line,
+        reason: format!("expected at least {} columns", idx + 1),
+    })
+}
+
+fn parse_u64(s: &str, what: &str, line: usize) -> Result<u64, ImportError> {
+    s.parse().map_err(|_| ImportError::BadLine {
+        line,
+        reason: format!("invalid {what} '{s}'"),
+    })
+}
+
+/// Imports one configuration profile from the CSV interchange format.
+pub fn import_csv(text: &str) -> Result<ConfigProfile, ImportError> {
+    let mut lines = text.lines().enumerate().peekable();
+
+    // Magic.
+    match lines.next() {
+        Some((_, l)) if l.trim() == "# extradeep-trace-csv v1" => {}
+        _ => return Err(ImportError::BadMagic),
+    }
+
+    // Headers.
+    let mut params: Vec<(String, f64)> = Vec::new();
+    let mut meta: Option<TrainingMeta> = None;
+    let mut repetition = 0u32;
+    let mut execution_seconds = 0.0f64;
+    let mut profiling_seconds = 0.0f64;
+    while let Some(&(lineno, l)) = lines.peek() {
+        let Some(rest) = l.strip_prefix('#') else { break };
+        lines.next();
+        let rest = rest.trim();
+        if let Some(p) = rest.strip_prefix("param:") {
+            let p = p.trim();
+            let (name, value) = p.split_once('=').ok_or_else(|| ImportError::BadLine {
+                line: lineno + 1,
+                reason: "param header must be name=value".to_string(),
+            })?;
+            let v: f64 = value.parse().map_err(|_| ImportError::BadLine {
+                line: lineno + 1,
+                reason: format!("invalid param value '{value}'"),
+            })?;
+            params.push((name.to_string(), v));
+        } else if let Some(mline) = rest.strip_prefix("meta:") {
+            let mut kv = BTreeMap::new();
+            for pair in mline.split_whitespace() {
+                if let Some((k, v)) = pair.split_once('=') {
+                    let v: u64 = v.parse().map_err(|_| ImportError::BadLine {
+                        line: lineno + 1,
+                        reason: format!("invalid meta value '{v}'"),
+                    })?;
+                    kv.insert(k.to_string(), v);
+                }
+            }
+            let need = |k: &'static str| -> Result<u64, ImportError> {
+                kv.get(k).copied().ok_or(ImportError::MissingHeader(k))
+            };
+            meta = Some(TrainingMeta {
+                batch_size: need("batch")?,
+                train_samples: need("train")?,
+                val_samples: need("val")?,
+                data_parallel: need("G")? as u32,
+                model_parallel: need("M")? as u32,
+                cores_per_rank: need("cores")? as u32,
+            });
+        } else if let Some(r) = rest.strip_prefix("repetition:") {
+            repetition = r.trim().parse().unwrap_or(0);
+        } else if let Some(r) = rest.strip_prefix("execution_seconds:") {
+            execution_seconds = r.trim().parse().unwrap_or(0.0);
+        } else if let Some(r) = rest.strip_prefix("profiling_seconds:") {
+            profiling_seconds = r.trim().parse().unwrap_or(0.0);
+        }
+        // Unknown '#' headers are ignored (forward compatibility).
+    }
+
+    let meta = meta.ok_or(ImportError::MissingHeader("meta"))?;
+    if params.is_empty() {
+        return Err(ImportError::MissingHeader("param"));
+    }
+
+    // Column header row.
+    match lines.next() {
+        Some((_, l)) if l.starts_with("kind,") => {}
+        Some((n, _)) => {
+            return Err(ImportError::BadLine {
+                line: n + 1,
+                reason: "expected the 'kind,...' column header".to_string(),
+            })
+        }
+        None => {
+            return Err(ImportError::BadLine {
+                line: 0,
+                reason: "unexpected end of file before column header".to_string(),
+            })
+        }
+    }
+
+    let mut ranks: BTreeMap<u32, RankProfile> = BTreeMap::new();
+    for (idx, l) in lines {
+        let lineno = idx + 1;
+        if l.trim().is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = l.split(',').collect();
+        let kind = field(&cols, 0, lineno)?;
+        let rank_id: u32 = parse_u64(field(&cols, 1, lineno)?, "rank", lineno)? as u32;
+        let rank = ranks
+            .entry(rank_id)
+            .or_insert_with(|| RankProfile::new(rank_id));
+        match kind {
+            "epoch" => {
+                let epoch = parse_u64(field(&cols, 2, lineno)?, "epoch", lineno)? as u32;
+                let start = parse_u64(field(&cols, 7, lineno)?, "start_ns", lineno)?;
+                let dur = parse_u64(field(&cols, 8, lineno)?, "dur_ns", lineno)?;
+                rank.epoch_marks.push(EpochMark::new(epoch, start, start + dur));
+            }
+            "step" => {
+                let epoch = parse_u64(field(&cols, 2, lineno)?, "epoch", lineno)? as u32;
+                let step = parse_u64(field(&cols, 3, lineno)?, "step", lineno)? as u32;
+                let phase = match field(&cols, 4, lineno)? {
+                    "training" => StepPhase::Training,
+                    "validation" => StepPhase::Validation,
+                    other => {
+                        return Err(ImportError::UnknownPhase {
+                            line: lineno,
+                            phase: other.to_string(),
+                        })
+                    }
+                };
+                let start = parse_u64(field(&cols, 7, lineno)?, "start_ns", lineno)?;
+                let dur = parse_u64(field(&cols, 8, lineno)?, "dur_ns", lineno)?;
+                rank.step_marks
+                    .push(StepMark::new(epoch, step, phase, start, start + dur));
+            }
+            "event" => {
+                let name = field(&cols, 5, lineno)?;
+                if name.is_empty() {
+                    return Err(ImportError::BadLine {
+                        line: lineno,
+                        reason: "event with empty name".to_string(),
+                    });
+                }
+                let domain = parse_domain(field(&cols, 6, lineno)?, lineno)?;
+                let start = parse_u64(field(&cols, 7, lineno)?, "start_ns", lineno)?;
+                let dur = parse_u64(field(&cols, 8, lineno)?, "dur_ns", lineno)?;
+                let mut event = Event::new(name.to_string(), domain, start, dur);
+                let bytes = field(&cols, 9, lineno)?;
+                if !bytes.is_empty() {
+                    event = event.with_bytes(parse_u64(bytes, "bytes", lineno)?);
+                }
+                let visits = field(&cols, 10, lineno)?;
+                if !visits.is_empty() {
+                    event = event.with_visits(parse_u64(visits, "visits", lineno)?);
+                }
+                // Optional 12th column (absent in v1 exports without paths).
+                if let Some(path) = cols.get(11) {
+                    if !path.is_empty() {
+                        event = event.with_call_path(path.to_string());
+                    }
+                }
+                rank.events.push(event);
+            }
+            other => {
+                return Err(ImportError::BadLine {
+                    line: lineno,
+                    reason: format!("unknown record kind '{other}'"),
+                })
+            }
+        }
+    }
+
+    let mut profile = ConfigProfile::new(MeasurementConfig::new(params), repetition, meta);
+    profile.execution_seconds = execution_seconds;
+    profile.profiling_seconds = profiling_seconds;
+    profile.ranks = ranks.into_values().collect();
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample_profile() -> ConfigProfile {
+        let meta = TrainingMeta {
+            batch_size: 256,
+            train_samples: 50_000,
+            val_samples: 10_000,
+            data_parallel: 4,
+            model_parallel: 1,
+            cores_per_rank: 8,
+        };
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(4), 2, meta);
+        cp.execution_seconds = 3.25;
+        cp.profiling_seconds = 0.175;
+        for rank in 0..2 {
+            let mut b = TraceBuilder::new(rank);
+            b.begin_epoch(0);
+            b.begin_step(0, 0, StepPhase::Training);
+            b.emit("EigenMetaKernel", ApiDomain::CudaKernel, 1_000);
+            b.emit_bytes("MPI_Allreduce", ApiDomain::Mpi, 500, 1 << 20);
+            b.end_step();
+            b.begin_step(0, 0, StepPhase::Validation);
+            b.emit("EigenMetaKernel", ApiDomain::CudaKernel, 400);
+            b.end_step();
+            b.end_epoch();
+            cp.ranks.push(b.finish());
+        }
+        cp
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_profile() {
+        let profile = sample_profile();
+        let csv = export_csv(&profile);
+        let back = import_csv(&csv).unwrap();
+        assert_eq!(profile, back);
+    }
+
+    #[test]
+    fn missing_magic_is_rejected() {
+        assert_eq!(import_csv("kind,rank\n"), Err(ImportError::BadMagic));
+    }
+
+    #[test]
+    fn missing_meta_is_rejected() {
+        let csv = "# extradeep-trace-csv v1\n# param: ranks=4\nkind,rank,epoch,step,phase,name,domain,start_ns,dur_ns,bytes,visits\n";
+        assert_eq!(import_csv(csv), Err(ImportError::MissingHeader("meta")));
+    }
+
+    #[test]
+    fn unknown_domain_reports_line() {
+        let csv = "# extradeep-trace-csv v1\n\
+                   # param: ranks=2\n\
+                   # meta: batch=1 train=10 val=0 G=2 M=1 cores=1\n\
+                   kind,rank,epoch,step,phase,name,domain,start_ns,dur_ns,bytes,visits\n\
+                   event,0,,,,k,warp_drive,0,1,,1\n";
+        match import_csv(csv) {
+            Err(ImportError::UnknownDomain { line, domain }) => {
+                assert_eq!(line, 5);
+                assert_eq!(domain, "warp_drive");
+            }
+            other => panic!("expected UnknownDomain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_report_line() {
+        let csv = "# extradeep-trace-csv v1\n\
+                   # param: ranks=2\n\
+                   # meta: batch=1 train=10 val=0 G=2 M=1 cores=1\n\
+                   kind,rank,epoch,step,phase,name,domain,start_ns,dur_ns,bytes,visits\n\
+                   event,0,,,,k,mpi,zero,1,,1\n";
+        assert!(matches!(
+            import_csv(csv),
+            Err(ImportError::BadLine { line: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_headers_are_ignored() {
+        let csv = "# extradeep-trace-csv v1\n\
+                   # exporter: nsys-to-extradeep 0.3\n\
+                   # param: ranks=2\n\
+                   # meta: batch=1 train=10 val=0 G=2 M=1 cores=1\n\
+                   kind,rank,epoch,step,phase,name,domain,start_ns,dur_ns,bytes,visits\n\
+                   event,0,,,,k,os,0,5,,1\n";
+        let p = import_csv(csv).unwrap();
+        assert_eq!(p.ranks.len(), 1);
+        assert_eq!(p.ranks[0].events.len(), 1);
+    }
+
+    #[test]
+    fn all_domains_roundtrip_their_tags() {
+        for d in ApiDomain::ALL {
+            assert_eq!(parse_domain(domain_tag(d), 1).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn imported_profile_feeds_the_pipeline() {
+        // The imported profile must be structurally valid for aggregation.
+        let profile = import_csv(&export_csv(&sample_profile())).unwrap();
+        let issues = crate::validate::validate_config(&profile);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+}

@@ -1,0 +1,182 @@
+//! JSON (de)serialization of profiles.
+//!
+//! Mirrors the role of Nsight Systems' export files: profiles written by the
+//! profiler are loaded back by the preprocessing stage. JSON keeps the traces
+//! human-inspectable; the format is versioned for forward compatibility.
+
+use crate::profile::{ConfigProfile, ExperimentProfiles};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct VersionedExperiment {
+    version: u32,
+    experiment: ExperimentProfiles,
+}
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    Io(io::Error),
+    Format(serde_json::Error),
+    UnsupportedVersion { found: u32, supported: u32 },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace format error: {e}"),
+            TraceIoError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported trace format version {found} (supported: {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+/// Serializes an experiment to a JSON string.
+pub fn to_json(experiment: &ExperimentProfiles) -> Result<String, TraceIoError> {
+    let versioned = VersionedExperiment {
+        version: FORMAT_VERSION,
+        experiment: experiment.clone(),
+    };
+    Ok(serde_json::to_string(&versioned)?)
+}
+
+/// Deserializes an experiment from a JSON string.
+pub fn from_json(json: &str) -> Result<ExperimentProfiles, TraceIoError> {
+    let versioned: VersionedExperiment = serde_json::from_str(json)?;
+    if versioned.version != FORMAT_VERSION {
+        return Err(TraceIoError::UnsupportedVersion {
+            found: versioned.version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(versioned.experiment)
+}
+
+/// Writes an experiment to a file.
+pub fn save(experiment: &ExperimentProfiles, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    fs::write(path, to_json(experiment)?)?;
+    Ok(())
+}
+
+/// Reads an experiment from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<ExperimentProfiles, TraceIoError> {
+    from_json(&fs::read_to_string(path)?)
+}
+
+/// Serializes one configuration profile (for per-config export).
+pub fn config_to_json(profile: &ConfigProfile) -> Result<String, TraceIoError> {
+    Ok(serde_json::to_string(profile)?)
+}
+
+/// Deserializes one configuration profile.
+pub fn config_from_json(json: &str) -> Result<ConfigProfile, TraceIoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::config::{MeasurementConfig, TrainingMeta};
+    use crate::domain::ApiDomain;
+    use crate::marks::StepPhase;
+
+    fn sample_experiment() -> ExperimentProfiles {
+        let meta = TrainingMeta {
+            batch_size: 256,
+            train_samples: 50_000,
+            val_samples: 10_000,
+            data_parallel: 4,
+            model_parallel: 1,
+            cores_per_rank: 8,
+        };
+        let mut exp = ExperimentProfiles::new();
+        for rep in 0..2 {
+            let mut cp = ConfigProfile::new(MeasurementConfig::ranks(4), rep, meta);
+            for rank in 0..2 {
+                let mut b = TraceBuilder::new(rank);
+                b.begin_epoch(0);
+                b.begin_step(0, 0, StepPhase::Training);
+                b.emit("EigenMetaKernel", ApiDomain::CudaKernel, 1000 + rank as u64);
+                b.emit_bytes("MPI_Allreduce", ApiDomain::Mpi, 500, 1 << 16);
+                b.end_step();
+                b.end_epoch();
+                cp.ranks.push(b.finish());
+            }
+            cp.execution_seconds = 12.5;
+            cp.profiling_seconds = 0.7;
+            exp.push(cp);
+        }
+        exp
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_experiment() {
+        let exp = sample_experiment();
+        let json = to_json(&exp).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(exp, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let exp = sample_experiment();
+        let dir = std::env::temp_dir().join("extradeep-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exp.json");
+        save(&exp, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(exp, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let exp = sample_experiment();
+        let json = to_json(&exp).unwrap().replacen("\"version\":1", "\"version\":99", 1);
+        match from_json(&json) {
+            Err(TraceIoError::UnsupportedVersion { found, .. }) => assert_eq!(found, 99),
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_format_error() {
+        assert!(matches!(
+            from_json("{not json"),
+            Err(TraceIoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn config_profile_roundtrip() {
+        let exp = sample_experiment();
+        let cp = &exp.profiles[0];
+        let json = config_to_json(cp).unwrap();
+        let back = config_from_json(&json).unwrap();
+        assert_eq!(*cp, back);
+    }
+}

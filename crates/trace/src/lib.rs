@@ -1,0 +1,49 @@
+//! # extradeep-trace
+//!
+//! The profile/trace data model of the Extra-Deep reproduction: an
+//! Nsight-Systems-like event representation with NVTX step and epoch marks.
+//!
+//! The paper's toolchain profiles instrumented applications with Nsight
+//! Systems and reads the exported kernel events per MPI rank; this crate is
+//! the Rust equivalent of that interchange layer. The simulator substrate
+//! (`extradeep-sim`) produces these profiles, and the preprocessing stage
+//! (`extradeep-agg`) consumes them.
+//!
+//! ```
+//! use extradeep_trace::{ApiDomain, StepPhase, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new(0);
+//! b.begin_epoch(0);
+//! b.begin_step(0, 0, StepPhase::Training);
+//! b.emit("EigenMetaKernel", ApiDomain::CudaKernel, 1_200_000);
+//! b.emit_bytes("MPI_Allreduce", ApiDomain::Mpi, 800_000, 25 << 20);
+//! b.end_step();
+//! b.end_epoch();
+//! let profile = b.finish();
+//! assert_eq!(profile.events.len(), 2);
+//! ```
+
+pub mod builder;
+pub mod calltree;
+pub mod chrome;
+pub mod config;
+pub mod domain;
+pub mod event;
+pub mod import;
+pub mod json;
+pub mod marks;
+pub mod profile;
+pub mod summary;
+pub mod validate;
+
+pub use builder::TraceBuilder;
+pub use calltree::{call_tree, render_call_tree, CallNode};
+pub use chrome::to_chrome_trace;
+pub use import::{export_csv, import_csv, ImportError};
+pub use config::{MeasurementConfig, TrainingMeta};
+pub use domain::{ApiDomain, KernelCategory};
+pub use event::{Event, MetricKind};
+pub use marks::{EpochMark, StepMark, StepPhase};
+pub use profile::{ConfigProfile, ExperimentProfiles, RankProfile};
+pub use summary::{kernel_summary, render_summary, KernelSummary};
+pub use validate::{validate_config, validate_rank, TraceIssue};

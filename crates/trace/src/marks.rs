@@ -1,0 +1,116 @@
+//! NVTX step and epoch marks.
+//!
+//! During instrumentation Extra-Deep injects NVTX marks into the training
+//! step and epoch callbacks, producing timestamps "indicating the start and
+//! end of each training step s and epoch e during profiling" (paper §2.2).
+//! The aggregation uses them to decide which kernel executions belong to
+//! which training/validation step.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a step updates gradients (training) or only evaluates (validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StepPhase {
+    Training,
+    Validation,
+}
+
+impl StepPhase {
+    pub const ALL: [StepPhase; 2] = [StepPhase::Training, StepPhase::Validation];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            StepPhase::Training => "training",
+            StepPhase::Validation => "validation",
+        }
+    }
+}
+
+/// The NVTX mark delimiting one training/validation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepMark {
+    /// Epoch index (0-based).
+    pub epoch: u32,
+    /// Step index within the epoch (0-based).
+    pub step: u32,
+    pub phase: StepPhase,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl StepMark {
+    pub fn new(epoch: u32, step: u32, phase: StepPhase, start_ns: u64, end_ns: u64) -> Self {
+        assert!(end_ns >= start_ns, "step must end after it starts");
+        StepMark {
+            epoch,
+            step,
+            phase,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    pub fn contains(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns < self.end_ns
+    }
+}
+
+/// The NVTX mark delimiting one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochMark {
+    pub epoch: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl EpochMark {
+    pub fn new(epoch: u32, start_ns: u64, end_ns: u64) -> Self {
+        assert!(end_ns >= start_ns, "epoch must end after it starts");
+        EpochMark {
+            epoch,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_containment_is_half_open() {
+        let s = StepMark::new(0, 0, StepPhase::Training, 100, 200);
+        assert!(s.contains(100));
+        assert!(s.contains(199));
+        assert!(!s.contains(200));
+        assert!(!s.contains(99));
+        assert_eq!(s.duration_ns(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_step_panics() {
+        let _ = StepMark::new(0, 0, StepPhase::Training, 200, 100);
+    }
+
+    #[test]
+    fn epoch_duration() {
+        let e = EpochMark::new(1, 1000, 5000);
+        assert_eq!(e.duration_ns(), 4000);
+    }
+
+    #[test]
+    fn phases_have_labels() {
+        assert_eq!(StepPhase::Training.label(), "training");
+        assert_eq!(StepPhase::Validation.label(), "validation");
+    }
+}

@@ -1,0 +1,186 @@
+//! Profile containers: per-rank event streams and per-configuration bundles.
+
+use crate::config::{MeasurementConfig, TrainingMeta};
+use crate::event::Event;
+use crate::marks::{EpochMark, StepMark};
+use serde::{Deserialize, Serialize};
+
+/// The profile of one MPI rank in one measurement repetition: the raw event
+/// stream plus the NVTX step/epoch marks (`app.x4.mpi0.r1` in Figure 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RankProfile {
+    pub rank: u32,
+    pub events: Vec<Event>,
+    pub step_marks: Vec<StepMark>,
+    pub epoch_marks: Vec<EpochMark>,
+}
+
+impl RankProfile {
+    pub fn new(rank: u32) -> Self {
+        RankProfile {
+            rank,
+            ..Default::default()
+        }
+    }
+
+    /// Total profiled wall time: the span covered by epoch marks, or by
+    /// events when no marks exist.
+    pub fn span_ns(&self) -> u64 {
+        let from_marks = self
+            .epoch_marks
+            .iter()
+            .map(|m| m.end_ns)
+            .max()
+            .unwrap_or(0);
+        let from_events = self.events.iter().map(Event::end_ns).max().unwrap_or(0);
+        from_marks.max(from_events)
+    }
+
+    /// Distinct kernel names in this profile.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.events.iter().map(|e| &*e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+/// All rank profiles of one measurement configuration and repetition
+/// (`app.x4.r1` in Figure 2 before rank aggregation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigProfile {
+    pub config: MeasurementConfig,
+    /// Repetition index `r` of this measurement configuration (0-based).
+    pub repetition: u32,
+    pub meta: TrainingMeta,
+    pub ranks: Vec<RankProfile>,
+    /// Simulated/recorded wall-clock seconds spent *profiling* (measurement
+    /// overhead), used by the Figure-8 overhead study.
+    pub profiling_seconds: f64,
+    /// Wall-clock seconds of application execution covered by the profile.
+    pub execution_seconds: f64,
+}
+
+impl ConfigProfile {
+    pub fn new(config: MeasurementConfig, repetition: u32, meta: TrainingMeta) -> Self {
+        ConfigProfile {
+            config,
+            repetition,
+            meta,
+            ranks: Vec::new(),
+            profiling_seconds: 0.0,
+            execution_seconds: 0.0,
+        }
+    }
+
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn total_events(&self) -> usize {
+        self.ranks.iter().map(|r| r.events.len()).sum()
+    }
+}
+
+/// A full experiment: profiles of all configurations and repetitions — the
+/// empirical measurement base for modeling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExperimentProfiles {
+    pub profiles: Vec<ConfigProfile>,
+}
+
+impl ExperimentProfiles {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, profile: ConfigProfile) {
+        self.profiles.push(profile);
+    }
+
+    /// Distinct measurement configurations, in insertion order.
+    pub fn configs(&self) -> Vec<&MeasurementConfig> {
+        let mut seen = Vec::new();
+        for p in &self.profiles {
+            if !seen.iter().any(|c: &&MeasurementConfig| **c == p.config) {
+                seen.push(&p.config);
+            }
+        }
+        seen
+    }
+
+    /// All repetitions of one configuration.
+    pub fn repetitions_of(&self, config: &MeasurementConfig) -> Vec<&ConfigProfile> {
+        self.profiles.iter().filter(|p| &p.config == config).collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ApiDomain;
+    use crate::marks::StepPhase;
+
+    fn meta() -> TrainingMeta {
+        TrainingMeta {
+            batch_size: 256,
+            train_samples: 50_000,
+            val_samples: 10_000,
+            data_parallel: 4,
+            model_parallel: 1,
+            cores_per_rank: 8,
+        }
+    }
+
+    #[test]
+    fn rank_profile_span_prefers_latest() {
+        let mut rp = RankProfile::new(0);
+        rp.events.push(Event::new("k", ApiDomain::CudaKernel, 10, 100));
+        assert_eq!(rp.span_ns(), 110);
+        rp.epoch_marks.push(EpochMark::new(0, 0, 500));
+        assert_eq!(rp.span_ns(), 500);
+    }
+
+    #[test]
+    fn kernel_names_dedup() {
+        let mut rp = RankProfile::new(0);
+        rp.events.push(Event::new("a", ApiDomain::CudaKernel, 0, 1));
+        rp.events.push(Event::new("b", ApiDomain::Mpi, 1, 1));
+        rp.events.push(Event::new("a", ApiDomain::CudaKernel, 2, 1));
+        assert_eq!(rp.kernel_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn experiment_groups_configs_and_reps() {
+        let mut exp = ExperimentProfiles::new();
+        for rep in 0..3 {
+            exp.push(ConfigProfile::new(MeasurementConfig::ranks(4), rep, meta()));
+        }
+        exp.push(ConfigProfile::new(MeasurementConfig::ranks(8), 0, meta()));
+        assert_eq!(exp.len(), 4);
+        assert_eq!(exp.configs().len(), 2);
+        assert_eq!(exp.repetitions_of(&MeasurementConfig::ranks(4)).len(), 3);
+        assert_eq!(exp.repetitions_of(&MeasurementConfig::ranks(8)).len(), 1);
+    }
+
+    #[test]
+    fn config_profile_counts() {
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(2), 0, meta());
+        let mut r0 = RankProfile::new(0);
+        r0.events.push(Event::new("k", ApiDomain::CudaKernel, 0, 1));
+        r0.step_marks
+            .push(StepMark::new(0, 0, StepPhase::Training, 0, 10));
+        cp.ranks.push(r0);
+        cp.ranks.push(RankProfile::new(1));
+        assert_eq!(cp.num_ranks(), 2);
+        assert_eq!(cp.total_events(), 1);
+    }
+}

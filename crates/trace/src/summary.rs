@@ -1,0 +1,189 @@
+//! Per-kernel summary statistics over raw profiles — the equivalent of
+//! `nsys stats --report gpukernsum`: how often each kernel ran, how much
+//! time it consumed, and its share of the profiled span. Useful for eyeball
+//! inspection of a trace before (or instead of) modeling.
+
+use crate::domain::ApiDomain;
+use crate::profile::{ConfigProfile, RankProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary of one kernel within a profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSummary {
+    pub name: String,
+    pub domain: ApiDomain,
+    /// Total executions (sums aggregated-row visit counts).
+    pub visits: u64,
+    pub total_seconds: f64,
+    pub mean_seconds: f64,
+    pub min_seconds: f64,
+    pub max_seconds: f64,
+    pub total_bytes: u64,
+    /// Share of the summed kernel time, percent.
+    pub time_share_percent: f64,
+}
+
+#[derive(Default)]
+struct Accum {
+    visits: u64,
+    total_ns: f64,
+    min_row_ns: f64,
+    max_row_ns: f64,
+    bytes: u64,
+}
+
+fn accumulate(rank: &RankProfile, map: &mut BTreeMap<(String, ApiDomain), Accum>) {
+    for e in &rank.events {
+        let key = (e.name.to_string(), e.domain);
+        let acc = map.entry(key).or_insert_with(|| Accum {
+            min_row_ns: f64::INFINITY,
+            ..Default::default()
+        });
+        acc.visits += e.visits;
+        acc.total_ns += e.duration_ns as f64;
+        // Per-row mean execution time (rows may aggregate several visits).
+        let per_visit = e.duration_ns as f64 / e.visits.max(1) as f64;
+        acc.min_row_ns = acc.min_row_ns.min(per_visit);
+        acc.max_row_ns = acc.max_row_ns.max(per_visit);
+        acc.bytes += e.bytes.unwrap_or(0);
+    }
+}
+
+/// Summarizes all kernels of a configuration profile, sorted by total time
+/// descending.
+pub fn kernel_summary(profile: &ConfigProfile) -> Vec<KernelSummary> {
+    let mut map: BTreeMap<(String, ApiDomain), Accum> = BTreeMap::new();
+    for rank in &profile.ranks {
+        accumulate(rank, &mut map);
+    }
+    let grand_total: f64 = map.values().map(|a| a.total_ns).sum();
+    let mut out: Vec<KernelSummary> = map
+        .into_iter()
+        .map(|((name, domain), acc)| KernelSummary {
+            name,
+            domain,
+            visits: acc.visits,
+            total_seconds: acc.total_ns * 1e-9,
+            mean_seconds: acc.total_ns * 1e-9 / acc.visits.max(1) as f64,
+            min_seconds: if acc.min_row_ns.is_finite() {
+                acc.min_row_ns * 1e-9
+            } else {
+                0.0
+            },
+            max_seconds: acc.max_row_ns * 1e-9,
+            total_bytes: acc.bytes,
+            time_share_percent: if grand_total > 0.0 {
+                100.0 * acc.total_ns / grand_total
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.total_seconds
+            .partial_cmp(&a.total_seconds)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Renders the summary as an aligned text table (top `limit` kernels).
+pub fn render_summary(profile: &ConfigProfile, limit: usize) -> String {
+    let rows = kernel_summary(profile);
+    let mut out = format!(
+        "Kernel summary for {} (rep {}, {} ranks recorded)\n",
+        profile.config.id(),
+        profile.repetition,
+        profile.num_ranks()
+    );
+    out.push_str(&format!(
+        "{:<58} {:>10} {:>12} {:>10} {:>8}\n",
+        "kernel", "visits", "total [ms]", "mean [us]", "share"
+    ));
+    for r in rows.iter().take(limit) {
+        out.push_str(&format!(
+            "{:<58} {:>10} {:>12.3} {:>10.2} {:>7.1}%\n",
+            r.name,
+            r.visits,
+            r.total_seconds * 1e3,
+            r.mean_seconds * 1e6,
+            r.time_share_percent
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::config::{MeasurementConfig, TrainingMeta};
+    use crate::marks::StepPhase;
+
+    fn profile() -> ConfigProfile {
+        let meta = TrainingMeta {
+            batch_size: 1,
+            train_samples: 1,
+            val_samples: 0,
+            data_parallel: 1,
+            model_parallel: 1,
+            cores_per_rank: 1,
+        };
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(2), 0, meta);
+        for rank in 0..2 {
+            let mut b = TraceBuilder::new(rank);
+            b.begin_epoch(0);
+            b.begin_step(0, 0, StepPhase::Training);
+            b.emit_aggregated("gemm", ApiDomain::CudaKernel, 8_000, 4, None);
+            b.emit_bytes("memcpy", ApiDomain::MemCpy, 1_000, 4096);
+            b.end_step();
+            b.end_epoch();
+            cp.ranks.push(b.finish());
+        }
+        cp
+    }
+
+    #[test]
+    fn aggregates_across_ranks() {
+        let s = kernel_summary(&profile());
+        assert_eq!(s.len(), 2);
+        let gemm = &s[0];
+        assert_eq!(gemm.name, "gemm");
+        assert_eq!(gemm.visits, 8); // 4 per rank x 2 ranks
+        assert!((gemm.total_seconds - 16_000e-9).abs() < 1e-15);
+        assert!((gemm.mean_seconds - 2_000e-9).abs() < 1e-15);
+        let memcpy = &s[1];
+        assert_eq!(memcpy.total_bytes, 8192);
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        let s = kernel_summary(&profile());
+        let total: f64 = s.iter().map(|k| k.time_share_percent).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_by_total_time() {
+        let s = kernel_summary(&profile());
+        for w in s.windows(2) {
+            assert!(w[0].total_seconds >= w[1].total_seconds);
+        }
+    }
+
+    #[test]
+    fn render_is_bounded_by_limit() {
+        let text = render_summary(&profile(), 1);
+        assert!(text.contains("gemm"));
+        assert!(!text.contains("memcpy"));
+    }
+
+    #[test]
+    fn empty_profile_renders() {
+        let meta = profile().meta;
+        let cp = ConfigProfile::new(MeasurementConfig::ranks(1), 0, meta);
+        assert!(kernel_summary(&cp).is_empty());
+        assert!(render_summary(&cp, 5).contains("Kernel summary"));
+    }
+}

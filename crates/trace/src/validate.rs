@@ -1,0 +1,193 @@
+//! Trace validation.
+//!
+//! Profiles arriving from external tools (or a buggy producer) can be
+//! malformed; the aggregation pipeline assumes ordered, non-overlapping step
+//! marks and in-span events. `validate` reports every violation rather than
+//! stopping at the first, so a trace can be diagnosed in one pass.
+
+use crate::profile::{ConfigProfile, RankProfile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One validation problem found in a profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceIssue {
+    /// Step marks of one epoch are not sorted by start time.
+    UnorderedSteps { rank: u32 },
+    /// Two step marks overlap in time.
+    OverlappingSteps { rank: u32, first: u32, second: u32 },
+    /// An event has zero duration (suspicious, usually a unit bug).
+    ZeroDurationEvent { rank: u32, name: String },
+    /// An event starts after the last epoch ends.
+    EventOutsideSpan { rank: u32, name: String },
+    /// A step mark references an epoch with no epoch mark.
+    StepWithoutEpoch { rank: u32, epoch: u32 },
+    /// The profile has no events at all.
+    EmptyRank { rank: u32 },
+}
+
+impl fmt::Display for TraceIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIssue::UnorderedSteps { rank } => write!(f, "rank {rank}: unordered step marks"),
+            TraceIssue::OverlappingSteps {
+                rank,
+                first,
+                second,
+            } => write!(f, "rank {rank}: steps {first} and {second} overlap"),
+            TraceIssue::ZeroDurationEvent { rank, name } => {
+                write!(f, "rank {rank}: zero-duration event '{name}'")
+            }
+            TraceIssue::EventOutsideSpan { rank, name } => {
+                write!(f, "rank {rank}: event '{name}' outside profiled span")
+            }
+            TraceIssue::StepWithoutEpoch { rank, epoch } => {
+                write!(f, "rank {rank}: step references unknown epoch {epoch}")
+            }
+            TraceIssue::EmptyRank { rank } => write!(f, "rank {rank}: no events"),
+        }
+    }
+}
+
+/// Validates one rank profile.
+pub fn validate_rank(profile: &RankProfile) -> Vec<TraceIssue> {
+    let mut issues = Vec::new();
+    let rank = profile.rank;
+
+    if profile.events.is_empty() {
+        issues.push(TraceIssue::EmptyRank { rank });
+    }
+
+    // Ordering and overlap of step marks.
+    let mut sorted = profile.step_marks.clone();
+    sorted.sort_by_key(|s| s.start_ns);
+    if sorted
+        .iter()
+        .zip(&profile.step_marks)
+        .any(|(a, b)| a != b)
+    {
+        issues.push(TraceIssue::UnorderedSteps { rank });
+    }
+    for w in sorted.windows(2) {
+        if w[1].start_ns < w[0].end_ns {
+            issues.push(TraceIssue::OverlappingSteps {
+                rank,
+                first: w[0].step,
+                second: w[1].step,
+            });
+        }
+    }
+
+    // Steps must belong to a marked epoch (when epochs are marked at all).
+    if !profile.epoch_marks.is_empty() {
+        for s in &profile.step_marks {
+            if !profile.epoch_marks.iter().any(|e| e.epoch == s.epoch) {
+                issues.push(TraceIssue::StepWithoutEpoch {
+                    rank,
+                    epoch: s.epoch,
+                });
+            }
+        }
+    }
+
+    let span = profile.span_ns();
+    for e in &profile.events {
+        if e.duration_ns == 0 {
+            issues.push(TraceIssue::ZeroDurationEvent {
+                rank,
+                name: e.name.to_string(),
+            });
+        }
+        if e.start_ns > span {
+            issues.push(TraceIssue::EventOutsideSpan {
+                rank,
+                name: e.name.to_string(),
+            });
+        }
+    }
+
+    issues
+}
+
+/// Validates all ranks of a configuration profile.
+pub fn validate_config(profile: &ConfigProfile) -> Vec<TraceIssue> {
+    profile.ranks.iter().flat_map(validate_rank).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::domain::ApiDomain;
+    use crate::marks::{StepMark, StepPhase};
+
+    #[test]
+    fn well_formed_trace_has_no_issues() {
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        b.begin_step(0, 0, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, 100);
+        b.end_step();
+        b.end_epoch();
+        assert!(validate_rank(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn detects_empty_rank() {
+        let p = RankProfile::new(7);
+        let issues = validate_rank(&p);
+        assert!(issues.contains(&TraceIssue::EmptyRank { rank: 7 }));
+    }
+
+    #[test]
+    fn detects_overlapping_steps() {
+        let mut p = RankProfile::new(0);
+        p.step_marks
+            .push(StepMark::new(0, 0, StepPhase::Training, 0, 100));
+        p.step_marks
+            .push(StepMark::new(0, 1, StepPhase::Training, 50, 150));
+        let issues = validate_rank(&p);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::OverlappingSteps { .. })));
+    }
+
+    #[test]
+    fn detects_unordered_steps() {
+        let mut p = RankProfile::new(0);
+        p.step_marks
+            .push(StepMark::new(0, 1, StepPhase::Training, 200, 300));
+        p.step_marks
+            .push(StepMark::new(0, 0, StepPhase::Training, 0, 100));
+        let issues = validate_rank(&p);
+        assert!(issues.contains(&TraceIssue::UnorderedSteps { rank: 0 }));
+    }
+
+    #[test]
+    fn detects_zero_duration_and_step_without_epoch() {
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        b.emit("zero", ApiDomain::Os, 0);
+        b.end_epoch();
+        let mut p = b.finish();
+        p.step_marks
+            .push(StepMark::new(5, 0, StepPhase::Validation, 0, 0));
+        let issues = validate_rank(&p);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::ZeroDurationEvent { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::StepWithoutEpoch { epoch: 5, .. })));
+    }
+
+    #[test]
+    fn issues_render_human_readably() {
+        let i = TraceIssue::OverlappingSteps {
+            rank: 2,
+            first: 1,
+            second: 2,
+        };
+        assert_eq!(i.to_string(), "rank 2: steps 1 and 2 overlap");
+    }
+}

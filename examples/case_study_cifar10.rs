@@ -1,0 +1,83 @@
+//! The paper's CIFAR-10 case study (§2-3) as a runnable walkthrough:
+//! answers questions Q1-Q5 from §1.1 with the created models.
+//!
+//! ```sh
+//! cargo run --release --example case_study_cifar10
+//! ```
+
+use extradeep::prelude::*;
+use extradeep::{rank_by_growth, speedup_series, efficiency_series};
+
+fn main() {
+    println!("Extra-Deep case study: ResNet-50 on CIFAR-10, DEEP system,");
+    println!("data parallelism, weak scaling, batch size 256 per rank.\n");
+
+    // The case study's modeling points P(x1) with x1 = {2, 4, 6, 10, 12}
+    // and five repetitions (§2.3).
+    let spec = ExperimentSpec::case_study(vec![2, 4, 6, 10, 12]);
+    let profiles = spec.run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+
+    println!("Epoch-time model:  T_epoch(x1) = {}", models.app.epoch.formatted());
+    println!("Comm-time model:   T_comm(x1)  = {}", models.app.communication.formatted());
+
+    // --- Q1: training time per epoch for a given allocation. -------------
+    let t40 = questions::q1_epoch_seconds(&models, 40.0);
+    println!("\nQ1. Training time per epoch at 40 MPI ranks: {t40:.2} s");
+    println!("    (paper's model predicts 352.37 s for its measured cluster)");
+
+    // --- Q2: how performance changes with the configuration. -------------
+    let xs = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    println!("\nQ2. Scaling behavior (weak scaling, ideal would be flat):");
+    for (x, t) in xs.iter().map(|&x| (x, models.app.epoch.predict_at(x))) {
+        println!("    {x:>4.0} ranks: {t:8.1} s/epoch");
+    }
+    let speedups = speedup_series(&models.app.epoch, &xs);
+    println!(
+        "    Speedup at 64 ranks vs 2: {:+.1}% (negative = overhead grows)",
+        speedups.last().unwrap().1
+    );
+
+    // --- Q3: latent bottlenecks. ------------------------------------------
+    let q3 = questions::q3_bottlenecks(&models, 64.0);
+    println!("\nQ3. Bottleneck analysis at 64 ranks:");
+    println!(
+        "    communication: {:.1} s of {:.1} s per epoch ({:.1}%)",
+        q3.communication_seconds, q3.epoch_seconds, q3.communication_share_percent
+    );
+    println!("    Top kernels by growth trend:");
+    for r in rank_by_growth(&models, 64.0).iter().take(5) {
+        println!(
+            "      {:<55} {:<28} {:5.1}% of epoch",
+            r.id.name, r.growth, r.share_percent
+        );
+    }
+
+    // --- Q4: cost per epoch. ----------------------------------------------
+    let cost = CostModel::new(8);
+    let c32 = questions::q4_epoch_core_hours(&models, &cost, 32.0);
+    println!("\nQ4. Cost per epoch at 32 ranks: {c32:.2} core-hours");
+    println!("    (paper's cost model gives 22.49 core-hours)");
+
+    // --- Q5: most cost-effective configuration. ---------------------------
+    let search = questions::q5_cost_effective(
+        &models,
+        &cost,
+        &xs,
+        Constraints::default(),
+        ScalingMode::Weak,
+    );
+    println!(
+        "\nQ5. Most cost-effective configuration (weak scaling): {} ranks",
+        search.best.map(|b| b.ranks).unwrap_or(f64::NAN)
+    );
+    println!("    (weak scaling: the smallest allocation always wins — paper §3.3)");
+
+    let eff = efficiency_series(&models.app.epoch, &xs);
+    println!("\nParallel efficiency by scale:");
+    for (x, e) in eff {
+        println!("    {x:>4.0} ranks: {e:7.1}%");
+    }
+}

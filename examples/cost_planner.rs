@@ -1,0 +1,81 @@
+//! Cost-effective training-configuration planning under a budget and a
+//! deadline (paper §3.3 / Fig. 4b): strong scaling, where feasibility is a
+//! real intersection between "fast enough" and "cheap enough".
+//!
+//! ```sh
+//! cargo run --release --example cost_planner
+//! ```
+
+use extradeep::prelude::*;
+use extradeep::{efficiency_series, find_cost_effective};
+
+fn main() {
+    // Model ImageNet/EfficientNet-B0 under strong scaling on JURECA: the
+    // dataset is fixed, so more GPUs genuinely shorten the epoch.
+    let mut spec = ExperimentSpec::case_study(vec![8, 16, 24, 32, 40]);
+    spec.system = SystemConfig::jureca();
+    spec.benchmark = Benchmark::imagenet();
+    spec.scaling = ScalingMode::Strong;
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 4;
+
+    let profiles = spec.run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::strong_scaling()).unwrap();
+    let runtime = &models.app.epoch;
+    println!("Strong-scaling epoch-time model: {}\n", runtime.formatted());
+
+    let cost = CostModel::new(SystemConfig::jureca().cores_per_rank).with_price(0.02);
+    let candidates: Vec<f64> = [16u32, 32, 48, 64, 96, 128, 160, 192, 224, 256]
+        .iter()
+        .map(|&r| r as f64)
+        .collect();
+
+    // The planner's constraints: finish an epoch within a deadline, spend at
+    // most a given number of core-hours per epoch.
+    let deadline_s = runtime.predict_at(64.0); // "as fast as 64 GPUs"
+    let budget_ch = cost.epoch_core_hours(runtime, 160.0); // "at most the 160-GPU bill"
+    println!("Deadline: {deadline_s:.0} s/epoch   Budget: {budget_ch:.1} core-hours/epoch\n");
+
+    let result = find_cost_effective(
+        runtime,
+        &cost,
+        &candidates,
+        Constraints {
+            max_seconds: Some(deadline_s),
+            max_core_hours: Some(budget_ch),
+        },
+        ScalingMode::Strong,
+    );
+
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>10}",
+        "GPUs", "time [s]", "core-hours", "price [$]", "feasible"
+    );
+    for c in &result.candidates {
+        let price = cost.price_per_core_hour.unwrap() * c.core_hours;
+        println!(
+            "{:>6.0} {:>12.1} {:>14.2} {:>12.2} {:>10}",
+            c.ranks,
+            c.seconds,
+            c.core_hours,
+            price,
+            if c.feasible { "yes" } else { "no" }
+        );
+    }
+
+    match result.best {
+        Some(best) => println!(
+            "\nRecommended: {} GPUs — {:.0} s/epoch at {:.1} core-hours \
+             (highest parallel efficiency in the feasible window)",
+            best.ranks, best.seconds, best.core_hours
+        ),
+        None => println!("\nNo configuration satisfies both constraints."),
+    }
+
+    println!("\nParallel efficiency across the candidate range:");
+    for (x, e) in efficiency_series(runtime, &candidates) {
+        println!("  {x:>6.0} GPUs: {e:6.1}%");
+    }
+}

@@ -1,0 +1,59 @@
+//! Extension workload: performance modeling of a GPT-style Transformer
+//! (the paper's introduction motivates Extra-Deep with exactly this model
+//! class — "GPT-3 ... requiring hundreds of GPUs and several days").
+//!
+//! ```sh
+//! cargo run --release --example gpt_scaling
+//! ```
+
+use extradeep::prelude::*;
+
+fn main() {
+    let gpt = Benchmark::gpt_small();
+    println!(
+        "Workload: {} on {} ({} M parameters, {:.1} GFLOPs/sample forward)\n",
+        gpt.architecture.name,
+        gpt.dataset.name,
+        gpt.architecture.params() / 1_000_000,
+        gpt.architecture.forward_flops_per_sample() as f64 / 1e9,
+    );
+
+    // Tensor parallelism on JURECA: groups of 4 A100s share one model
+    // instance, data parallelism between the groups.
+    let mut spec = ExperimentSpec::case_study(vec![8, 16, 24, 32, 40]);
+    spec.system = SystemConfig::jureca();
+    spec.benchmark = gpt;
+    spec.strategy = ParallelStrategy::TensorParallel { group: 4 };
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 4;
+
+    let profiles = spec.run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+
+    println!("T_epoch(ranks)  = {}", models.app.epoch.formatted());
+    println!("T_comm(ranks)   = {}", models.app.communication.formatted());
+
+    println!("\nPredicted GPT training time per epoch (weak scaling):");
+    for ranks in [8u32, 32, 128, 256] {
+        let t = models.app.epoch.predict_at(ranks as f64);
+        println!(
+            "  {ranks:>4} GPUs: {:>9.1} s/epoch  (~{:.1} h for 50 epochs)",
+            t,
+            t * 50.0 / 3600.0
+        );
+    }
+
+    let cost = CostModel::new(SystemConfig::jureca().cores_per_rank).with_price(0.02);
+    println!("\nCost per epoch at 128 GPUs: {:.1} core-hours (~${:.2})",
+        cost.epoch_core_hours(&models.app.epoch, 128.0),
+        cost.epoch_price(&models.app.epoch, 128.0).unwrap());
+
+    let q3 = extradeep::questions::q3_bottlenecks(&models, 128.0);
+    println!(
+        "Communication share at 128 GPUs: {:.1}% — the tensor-parallel \
+         allgathers dominate as the paper's hybrid-strategy discussion predicts.",
+        q3.communication_share_percent
+    );
+}

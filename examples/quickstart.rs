@@ -1,0 +1,65 @@
+//! Quickstart: model the training time of a distributed DL application from
+//! five cheap, small-scale measurements, then predict larger scales.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use extradeep::prelude::*;
+
+fn main() {
+    // 1. Measure: profile ResNet-50/CIFAR-10 (data parallel, weak scaling)
+    //    at five small rank counts on the simulated DEEP system, using the
+    //    efficient sampling strategy (5 steps of 2 epochs).
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 3;
+    let profiles = spec.run();
+    println!(
+        "Profiled {} measurement runs ({} configurations)",
+        profiles.len(),
+        profiles.configs().len()
+    );
+
+    // 2. Preprocess: step-window extraction, median aggregation, kernel
+    //    filtering, derived per-epoch metrics.
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+
+    // 3. Model: PMNF hypothesis search per kernel and per application phase.
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+        .expect("modeling succeeds");
+    println!(
+        "Created {} kernel models + 4 application models",
+        models.kernels.len()
+    );
+    println!("\nT_epoch(ranks) = {}", models.app.epoch.formatted());
+    println!("Dominant growth: {}", models.app.epoch.big_o());
+
+    // 4. Predict (Q1): training time per epoch at unmeasured scales.
+    for ranks in [16.0, 32.0, 64.0] {
+        println!(
+            "Predicted training time per epoch at {:>2} ranks: {:7.1} s",
+            ranks,
+            models.app.epoch.predict_at(ranks)
+        );
+    }
+
+    // 5. Analyze: cost (Q4) and the most cost-effective configuration (Q5).
+    let cost = CostModel::new(8);
+    println!(
+        "\nPredicted cost per epoch at 32 ranks: {:.2} core-hours",
+        cost.epoch_core_hours(&models.app.epoch, 32.0)
+    );
+    let search = questions::q5_cost_effective(
+        &models,
+        &cost,
+        &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+        Constraints::default(),
+        ScalingMode::Weak,
+    );
+    if let Some(best) = search.best {
+        println!(
+            "Most cost-effective configuration: {} ranks ({:.1} s/epoch, {:.2} core-hours)",
+            best.ranks, best.seconds, best.core_hours
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Compares the three parallel strategies of the paper's evaluation (data,
+//! tensor, and pipeline parallelism) on the simulated JURECA system:
+//! who is fastest per epoch at which scale, and how the communication
+//! profile differs.
+//!
+//! ```sh
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use extradeep::prelude::*;
+
+fn model_epoch(strategy: ParallelStrategy, ranks: Vec<u32>) -> Option<extradeep::ModelSet> {
+    let mut spec = ExperimentSpec::case_study(ranks);
+    spec.system = SystemConfig::jureca();
+    spec.benchmark = Benchmark::cifar100();
+    spec.strategy = strategy;
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 4;
+    let profiles = spec.run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).ok()
+}
+
+fn main() {
+    // The paper's JURECA configuration: four GPUs (ranks) per node, so node
+    // counts {2,...,10} are rank counts {8,...,40}; M = 4 for the hybrids.
+    let modeling_ranks = vec![8, 16, 24, 32, 40];
+    let strategies = [
+        ParallelStrategy::DataParallel,
+        ParallelStrategy::TensorParallel { group: 4 },
+        ParallelStrategy::PipelineParallel {
+            stages: 4,
+            microbatches: 8,
+        },
+    ];
+
+    println!("CIFAR-100 / ResNet-50 on JURECA (weak scaling), epoch-time models:\n");
+    let mut models = Vec::new();
+    for &s in &strategies {
+        match model_epoch(s, modeling_ranks.clone()) {
+            Some(set) => {
+                println!("{:<22} T_epoch = {}", s.label(), set.app.epoch.formatted());
+                models.push((s, set));
+            }
+            None => println!("{:<22} (modeling failed)", s.label()),
+        }
+    }
+
+    println!("\nPredicted training time per epoch [s]:");
+    println!("{:<8} {:>14} {:>14} {:>14}", "nodes", "data", "tensor", "pipeline");
+    for nodes in [2u32, 4, 8, 16, 32, 64] {
+        let ranks = (nodes * 4) as f64;
+        print!("{nodes:<8}");
+        for (_, set) in &models {
+            print!(" {:>14.1}", set.app.epoch.predict_at(ranks));
+        }
+        println!();
+    }
+
+    println!("\nCommunication share of the epoch at 64 nodes:");
+    for (s, set) in &models {
+        let ranks = 256.0;
+        let comm = set.app.communication.predict_at(ranks).max(0.0);
+        let epoch = set.app.epoch.predict_at(ranks);
+        println!(
+            "  {:<22} {:6.1}% ({:.1} s of {:.1} s)",
+            s.label(),
+            100.0 * comm / epoch,
+            comm,
+            epoch
+        );
+    }
+
+    println!(
+        "\nNote: hybrid strategies trade extra intra-group communication \
+         (allgather/alltoall, pipeline sends + bubble) for smaller per-rank \
+         models — the paper finds them harder to predict for the same reason."
+    );
+}

@@ -1,0 +1,43 @@
+//! Tour of the trace tooling around the modeling pipeline: simulate a
+//! profile, inspect its kernel summary and NVTX call tree, round-trip it
+//! through the profiler-agnostic CSV format, and export a Perfetto timeline.
+//!
+//! ```sh
+//! cargo run --release --example trace_tooling
+//! ```
+
+use extradeep::prelude::*;
+use extradeep_trace::{export_csv, import_csv, render_call_tree, render_summary, to_chrome_trace};
+
+fn main() {
+    let mut spec = ExperimentSpec::case_study(vec![4]);
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 2;
+    let profiles = spec.run();
+    let profile = &profiles.profiles[0];
+
+    // 1. Per-kernel summary (the `nsys stats` view).
+    println!("{}", render_summary(profile, 10));
+
+    // 2. The NVTX call tree (paper Fig. 1: "Calltree: kernel models").
+    println!("{}", render_call_tree(profile, 2));
+
+    // 3. Round-trip through the profiler-agnostic CSV interchange format.
+    let csv = export_csv(profile);
+    let reimported = import_csv(&csv).expect("CSV round-trip");
+    assert_eq!(*profile, reimported);
+    println!(
+        "CSV round-trip: {} lines, identical after re-import ✓",
+        csv.lines().count()
+    );
+
+    // 4. Perfetto / chrome://tracing timeline export.
+    let chrome = to_chrome_trace(profile);
+    let out = std::env::temp_dir().join("extradeep_timeline.json");
+    std::fs::write(&out, &chrome).unwrap();
+    println!(
+        "Perfetto timeline with {} events written to {} (open in ui.perfetto.dev)",
+        chrome.matches("\"ph\"").count(),
+        out.display()
+    );
+}

@@ -1,0 +1,7 @@
+//! Workspace-level umbrella crate: hosts the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/`.
+//!
+//! The actual library surface lives in the member crates; this crate simply
+//! re-exports the facade so examples can `use extradeep_suite as _` cheaply.
+
+pub use extradeep as framework;

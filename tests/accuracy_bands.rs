@@ -1,0 +1,169 @@
+//! Accuracy-band assertions: the reproduced pipeline must land in the
+//! paper's qualitative bands — high model accuracy at the fit points,
+//! bounded extrapolation error, communication as the growth bottleneck, and
+//! the ~95% profiling-time reduction of the efficient sampling strategy.
+
+use extradeep::prelude::*;
+use extradeep_baselines::compare_overhead;
+use extradeep_sim::{SamplingStrategy, TrainingJob};
+
+fn case_plan() -> ExperimentPlan {
+    let mut spec = ExperimentSpec::case_study(vec![]);
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 2;
+    ExperimentPlan {
+        spec,
+        modeling_points: vec![2, 4, 6, 8, 10],
+        evaluation_points: vec![16, 32, 64],
+    }
+}
+
+#[test]
+fn model_accuracy_is_high_at_fit_points() {
+    let outcome = case_plan().execute(MetricKind::Time).unwrap();
+    let mpe = outcome.epoch_report.model_accuracy_mpe();
+    // Paper: MPE between 0.3% and 1.4% at the modeling points. Allow slack
+    // for the simulated noise climate.
+    assert!(mpe < 5.0, "model accuracy MPE {mpe}% (paper: <1.5%)");
+}
+
+#[test]
+fn predictive_power_degrades_gracefully_with_scale() {
+    let outcome = case_plan().execute(MetricKind::Time).unwrap();
+    let errors = &outcome.epoch_report.evaluation_errors;
+    // Paper: prediction error grows with extrapolation distance, reaching
+    // 15-29% at 64 nodes for the case study; "prediction errors for 64
+    // nodes between 15-20% are a desirable outcome".
+    let at64 = errors
+        .iter()
+        .find(|e| e.coordinate[0] == 64.0)
+        .expect("64-rank evaluation point");
+    assert!(
+        at64.percent_error < 35.0,
+        "error at 64 ranks {}%",
+        at64.percent_error
+    );
+}
+
+#[test]
+fn communication_is_the_scaling_bottleneck() {
+    let outcome = case_plan().execute(MetricKind::Time).unwrap();
+    let comm = &outcome.models.app.communication;
+    let growth = comm.predict_at(64.0) / comm.predict_at(2.0).max(1e-9);
+    // Paper: comm per epoch grows from 34.41 s (2 nodes) to 296.57 s
+    // (64 nodes) — roughly 9x. Require clearly superconstant growth.
+    assert!(
+        growth > 2.5,
+        "communication grew only {growth:.2}x from 2 to 64 ranks"
+    );
+    // And faster than computation.
+    let comp = &outcome.models.app.computation;
+    let comp_growth = comp.predict_at(64.0) / comp.predict_at(2.0).max(1e-9);
+    assert!(growth > comp_growth, "comm {growth:.2}x vs comp {comp_growth:.2}x");
+}
+
+#[test]
+fn run_to_run_variation_grows_with_scale() {
+    // Fig. 3: "run-to-run variation increases the larger x1". With few
+    // repetitions the per-config range is itself noisy, so compare averages
+    // over several small vs. several large configurations at 5 repetitions.
+    let mut plan = case_plan();
+    plan.spec.repetitions = 5;
+    plan.evaluation_points = vec![40, 48, 56, 64];
+    let (modeling, evaluation) = plan.aggregate();
+    let mean_variation = |agg: &extradeep_agg::AggregatedExperiment| {
+        let data = agg.app_dataset(MetricKind::Time, None);
+        data.measurements
+            .iter()
+            .map(|m| m.run_to_run_variation_percent())
+            .sum::<f64>()
+            / data.len() as f64
+    };
+    let small = mean_variation(&modeling); // 2..10 ranks
+    let large = mean_variation(&evaluation); // 40..64 ranks
+    assert!(
+        large > small,
+        "variation should grow with scale: {small:.2}% -> {large:.2}%"
+    );
+}
+
+#[test]
+fn efficient_sampling_reduction_is_near_the_papers_949_percent() {
+    let mut reductions = Vec::new();
+    for benchmark in Benchmark::all() {
+        let job = TrainingJob {
+            system: SystemConfig::deep(),
+            benchmark,
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks: 64,
+        };
+        let cmp = compare_overhead(&job, SamplingStrategy::paper_default());
+        reductions.push(cmp.profiling_reduction_percent());
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    assert!(
+        (85.0..100.0).contains(&avg),
+        "average profiling reduction {avg:.1}% (paper: ~94.9%)"
+    );
+    // The asymmetry the paper reports: long benchmarks benefit most.
+    let imagenet = reductions[2];
+    let imdb = reductions[3];
+    assert!(imagenet > imdb, "ImageNet {imagenet:.1}% <= IMDB {imdb:.1}%");
+}
+
+#[test]
+fn jureca_models_are_somewhat_less_accurate_than_deep() {
+    // Fig. 6: JURECA (NCCL, 4 GPUs/node, noisier) extrapolates slightly
+    // worse than DEEP. Compare the MPE over shared evaluation node counts.
+    let deep = case_plan().execute(MetricKind::Time).unwrap();
+
+    let mut spec = ExperimentSpec::case_study(vec![]);
+    spec.system = SystemConfig::jureca();
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 2;
+    let jureca_plan = ExperimentPlan {
+        spec,
+        modeling_points: vec![8, 16, 24, 32, 40],
+        evaluation_points: vec![64, 128, 256],
+    };
+    let jureca = jureca_plan.execute(MetricKind::Time).unwrap();
+
+    // Not a strict per-point comparison (axes differ); both must simply be
+    // finite and the JURECA far-point error nonzero.
+    let deep_far = deep.epoch_report.evaluation_errors.last().unwrap();
+    let jureca_far = jureca.epoch_report.evaluation_errors.last().unwrap();
+    assert!(deep_far.percent_error.is_finite());
+    assert!(jureca_far.percent_error.is_finite());
+    assert!(jureca_far.percent_error > 0.0);
+}
+
+#[test]
+fn visits_are_easier_to_predict_than_time() {
+    // Table 2's key finding: "for all model types, the number of visits is
+    // generally easier to predict than the runtime".
+    let plan = case_plan();
+    let (modeling, evaluation) = plan.aggregate();
+    let mpe_for = |metric: MetricKind| -> f64 {
+        let models =
+            extradeep::build_model_set(&modeling, metric, &Default::default()).unwrap();
+        let mut errors = Vec::new();
+        for (id, model) in &models.kernels {
+            let data = evaluation.kernel_dataset(id, metric);
+            for e in extradeep::point_errors(model, &data) {
+                if e.measured != 0.0 {
+                    errors.push(e.percent_error);
+                }
+            }
+        }
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errors[errors.len() / 2]
+    };
+    let time_mpe = mpe_for(MetricKind::Time);
+    let visits_mpe = mpe_for(MetricKind::Visits);
+    assert!(
+        visits_mpe <= time_mpe,
+        "visits MPE {visits_mpe:.2}% should not exceed time MPE {time_mpe:.2}%"
+    );
+}

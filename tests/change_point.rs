@@ -1,0 +1,63 @@
+//! End-to-end change-point detection: the paper's §4.3 caveat that
+//! "communication algorithms ... might change depending on the application
+//! scale" — simulate a cluster whose MPI library switches collective
+//! algorithms beyond 16 nodes, measure across the switch, and verify the
+//! segmented modeler localizes it.
+
+use extradeep::prelude::*;
+use extradeep_agg::AppCategory;
+use extradeep_model::{detect_change_point, SegmentationOptions};
+
+fn spec_with_switch(switch: Option<u32>) -> ExperimentSpec {
+    let mut spec =
+        ExperimentSpec::case_study(vec![2, 4, 8, 12, 16, 24, 32, 48, 64]);
+    spec.system.interconnect.algorithm_switch_nodes = switch;
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 2;
+    spec
+}
+
+fn comm_dataset(spec: &ExperimentSpec) -> extradeep_model::ExperimentData {
+    let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+    agg.app_dataset(MetricKind::Time, Some(AppCategory::Communication))
+}
+
+#[test]
+fn detects_the_simulated_algorithm_switch() {
+    let data = comm_dataset(&spec_with_switch(Some(16)));
+    let seg = detect_change_point(&data, &SegmentationOptions::default())
+        .expect("segmentation runs")
+        .expect("the algorithm switch must be detected");
+    assert!(
+        (8.0..=32.0).contains(&seg.split_at),
+        "switch localized at {} (injected at 16 nodes)",
+        seg.split_at
+    );
+    assert!(seg.improvement() > 0.6, "improvement {}", seg.improvement());
+}
+
+#[test]
+fn no_spurious_change_point_without_a_switch() {
+    let data = comm_dataset(&spec_with_switch(None));
+    let seg = detect_change_point(&data, &SegmentationOptions::default()).unwrap();
+    assert!(
+        seg.is_none(),
+        "spurious change point on a smooth system: {seg:?}"
+    );
+}
+
+#[test]
+fn single_pmnf_model_suffers_across_the_switch() {
+    // The motivation for segmentation: one PMNF instance fitted across the
+    // behavioral change fits visibly worse than the segmented pair.
+    let data = comm_dataset(&spec_with_switch(Some(16)));
+    let seg = detect_change_point(&data, &SegmentationOptions::default())
+        .unwrap()
+        .expect("change point");
+    assert!(
+        seg.segmented_smape < seg.single_smape,
+        "segmented {} vs single {}",
+        seg.segmented_smape,
+        seg.single_smape
+    );
+}

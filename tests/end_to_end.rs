@@ -1,0 +1,128 @@
+//! End-to-end pipeline test: simulate → serialize → reload → aggregate →
+//! model → analyze, across crate boundaries — the full Fig. 1 workflow.
+
+use extradeep::prelude::*;
+use extradeep::{rank_by_growth, speedup_series, efficiency_series, find_cost_effective};
+use extradeep_trace::json;
+
+fn run_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 2;
+    spec
+}
+
+#[test]
+fn full_pipeline_from_profiles_to_answers() {
+    // 1. Simulate + profile.
+    let profiles = run_spec().run();
+    assert_eq!(profiles.len(), 15);
+
+    // 2. Round-trip through the on-disk trace format (what a real deployment
+    //    would do between the profiling and analysis machines).
+    let json_str = json::to_json(&profiles).expect("serialize");
+    let reloaded = json::from_json(&json_str).expect("deserialize");
+    assert_eq!(profiles, reloaded);
+
+    // 3. Preprocess.
+    let agg = aggregate_experiment(&reloaded, &AggregationOptions::default());
+    assert_eq!(agg.configs.len(), 5);
+    let modelable = agg.modelable_kernels(5);
+    assert!(
+        modelable.len() > 40,
+        "expected a rich kernel population, got {}",
+        modelable.len()
+    );
+
+    // 4. Model.
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).expect("models");
+    assert_eq!(models.kernels.len(), modelable.len() - models.failed.len());
+
+    // 5. Analyze: every §3 analysis must be computable from the models.
+    let xs = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    let speedup = speedup_series(&models.app.epoch, &xs);
+    assert_eq!(speedup[0].1, 0.0);
+    let eff = efficiency_series(&models.app.epoch, &xs);
+    assert_eq!(eff[0].1, 100.0);
+    let ranking = rank_by_growth(&models, 64.0);
+    assert_eq!(ranking.len(), models.kernels.len());
+    let cost = CostModel::new(8);
+    let search = find_cost_effective(
+        &models.app.epoch,
+        &cost,
+        &xs,
+        Constraints::default(),
+        ScalingMode::Weak,
+    );
+    assert_eq!(search.best.unwrap().ranks, 2.0);
+}
+
+#[test]
+fn profiles_validate_cleanly() {
+    let profiles = run_spec().run();
+    for p in &profiles.profiles {
+        let issues = extradeep_trace::validate_config(p);
+        assert!(issues.is_empty(), "{}: {issues:?}", p.config.id());
+    }
+}
+
+#[test]
+fn weak_scaling_epoch_model_grows() {
+    let agg = aggregate_experiment(&run_spec().run(), &AggregationOptions::default());
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    let t2 = models.app.epoch.predict_at(2.0);
+    let t64 = models.app.epoch.predict_at(64.0);
+    assert!(
+        t64 > t2 * 1.2,
+        "weak-scaling epoch time should grow visibly: {t2} -> {t64}"
+    );
+}
+
+#[test]
+fn strong_scaling_epoch_model_shrinks() {
+    let mut spec = run_spec();
+    spec.scaling = ScalingMode::Strong;
+    let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::strong_scaling()).unwrap();
+    let t2 = models.app.epoch.predict_at(2.0);
+    let t32 = models.app.epoch.predict_at(32.0);
+    assert!(
+        t32 < t2,
+        "strong-scaling epoch time should fall: {t2} -> {t32}"
+    );
+}
+
+#[test]
+fn all_three_metrics_are_modelable() {
+    let agg = aggregate_experiment(&run_spec().run(), &AggregationOptions::default());
+    for metric in [MetricKind::Time, MetricKind::Visits, MetricKind::Bytes] {
+        let models = build_model_set(&agg, metric, &ModelSetOptions::default())
+            .unwrap_or_else(|e| panic!("{metric:?}: {e}"));
+        assert!(!models.kernels.is_empty(), "{metric:?} produced no models");
+    }
+}
+
+#[test]
+fn hybrid_strategies_flow_through_the_pipeline() {
+    for strategy in [
+        ParallelStrategy::TensorParallel { group: 4 },
+        ParallelStrategy::PipelineParallel {
+            stages: 4,
+            microbatches: 8,
+        },
+    ] {
+        let mut spec = run_spec();
+        spec.system = SystemConfig::jureca();
+        spec.strategy = strategy;
+        spec.rank_counts = vec![8, 16, 24, 32, 40];
+        let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+        let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+            .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+        assert!(
+            models.app.communication.predict_at(40.0) > 0.0,
+            "{strategy:?} must show communication"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Failure-injection tests: the pipeline must degrade gracefully when fed
+//! incomplete or malformed measurement data.
+
+use extradeep_agg::{aggregate_experiment, AggregationOptions, KernelId};
+use extradeep_model::{model_single_parameter, ModelerOptions, ModelingError};
+use extradeep_sim::{ExperimentSpec, ProfilerOptions};
+use extradeep_trace::{
+    validate_rank, ApiDomain, ConfigProfile, MeasurementConfig, MetricKind, RankProfile,
+    StepPhase, TraceBuilder, TraceIssue, TrainingMeta,
+};
+
+fn meta() -> TrainingMeta {
+    TrainingMeta {
+        batch_size: 128,
+        train_samples: 12_800,
+        val_samples: 1_280,
+        data_parallel: 4,
+        model_parallel: 1,
+        cores_per_rank: 8,
+    }
+}
+
+fn marked_rank(rank: u32, kernel_ns: u64) -> RankProfile {
+    let mut b = TraceBuilder::new(rank);
+    b.begin_epoch(0);
+    for step in 0..3 {
+        b.begin_step(0, step, StepPhase::Training);
+        b.emit("k", ApiDomain::CudaKernel, kernel_ns);
+        b.end_step();
+    }
+    b.end_epoch();
+    b.finish()
+}
+
+#[test]
+fn dropped_ranks_still_aggregate() {
+    // A 4-rank configuration where 2 ranks' profiles were lost: medians are
+    // computed over the surviving ranks.
+    let mut exp = extradeep_trace::ExperimentProfiles::new();
+    for &(ranks, lost) in &[(4u32, 2usize), (8, 0), (16, 1), (32, 3), (64, 2)] {
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(ranks), 0, meta());
+        let surviving = 4usize.saturating_sub(lost).max(1);
+        for r in 0..surviving {
+            cp.ranks.push(marked_rank(r as u32, 1_000 * ranks as u64));
+        }
+        exp.push(cp);
+    }
+    let agg = aggregate_experiment(&exp, &AggregationOptions { warmup_epochs: 0 });
+    let id = KernelId {
+        name: "k".into(),
+        domain: ApiDomain::CudaKernel,
+    };
+    let data = agg.kernel_dataset(&id, MetricKind::Time);
+    assert_eq!(data.len(), 5);
+    assert!(data.measurements.iter().all(|m| m.values[0] > 0.0));
+}
+
+#[test]
+fn profile_without_step_marks_yields_outside_only_aggregates() {
+    // A trace from a tool that lost the NVTX marks: all events land outside
+    // steps and surface through the per-epoch "outside" channel.
+    let mut cp = ConfigProfile::new(MeasurementConfig::ranks(2), 0, meta());
+    let mut b = TraceBuilder::new(0);
+    b.begin_epoch(0);
+    b.emit("k", ApiDomain::CudaKernel, 5_000);
+    b.end_epoch();
+    cp.ranks.push(b.finish());
+    let mut exp = extradeep_trace::ExperimentProfiles::new();
+    exp.push(cp);
+    let agg = aggregate_experiment(&exp, &AggregationOptions { warmup_epochs: 0 });
+    let k = &agg.configs[0].kernels[&KernelId {
+        name: "k".into(),
+        domain: ApiDomain::CudaKernel,
+    }];
+    assert_eq!(k.reps[0].time.train, 0.0);
+    assert!((k.reps[0].time.outside - 5_000e-9).abs() < 1e-15);
+}
+
+#[test]
+fn kernel_below_config_threshold_gets_no_model() {
+    // Simulated experiment plus a kernel injected into just one config.
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 1;
+    spec.profiler = ProfilerOptions {
+        max_recorded_ranks: 1,
+        ..Default::default()
+    };
+    let mut profiles = spec.run();
+    profiles.profiles[0].ranks[0]
+        .events
+        .push(extradeep_trace::Event::new(
+            "one_hit_wonder",
+            ApiDomain::CudaKernel,
+            10,
+            100,
+        ));
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let modelable = agg.modelable_kernels(5);
+    assert!(
+        !modelable.iter().any(|k| k.name == "one_hit_wonder"),
+        "a kernel in one config must not be modeled (paper §2.2 step 4)"
+    );
+
+    // Its dataset exists but the modeler refuses it.
+    let id = KernelId {
+        name: "one_hit_wonder".into(),
+        domain: ApiDomain::CudaKernel,
+    };
+    let data = agg.kernel_dataset(&id, MetricKind::Time);
+    assert!(matches!(
+        model_single_parameter(&data, &ModelerOptions::default()),
+        Err(ModelingError::InsufficientPoints { .. })
+    ));
+}
+
+#[test]
+fn zero_duration_and_orphan_steps_are_reported_not_fatal() {
+    let mut p = RankProfile::new(0);
+    p.events
+        .push(extradeep_trace::Event::new("ghost", ApiDomain::Os, 0, 0));
+    p.step_marks.push(extradeep_trace::StepMark::new(
+        7,
+        0,
+        StepPhase::Training,
+        0,
+        10,
+    ));
+    p.epoch_marks.push(extradeep_trace::EpochMark::new(0, 0, 100));
+    let issues = validate_rank(&p);
+    assert!(issues
+        .iter()
+        .any(|i| matches!(i, TraceIssue::ZeroDurationEvent { .. })));
+    assert!(issues
+        .iter()
+        .any(|i| matches!(i, TraceIssue::StepWithoutEpoch { epoch: 7, .. })));
+
+    // Aggregation still works on the same data.
+    let mut cp = ConfigProfile::new(MeasurementConfig::ranks(1), 0, meta());
+    cp.ranks.push(p);
+    let mut exp = extradeep_trace::ExperimentProfiles::new();
+    exp.push(cp);
+    let agg = aggregate_experiment(&exp, &AggregationOptions { warmup_epochs: 0 });
+    assert_eq!(agg.configs.len(), 1);
+}
+
+#[test]
+fn uneven_repetition_counts_are_tolerated() {
+    // One config measured 3 times, another only once.
+    let mut exp = extradeep_trace::ExperimentProfiles::new();
+    for &(ranks, reps) in &[(2u32, 3u32), (4, 1), (8, 3), (16, 2), (32, 3)] {
+        for rep in 0..reps {
+            let mut cp = ConfigProfile::new(MeasurementConfig::ranks(ranks), rep, meta());
+            cp.ranks.push(marked_rank(0, 1_000 * ranks as u64 + rep as u64));
+            exp.push(cp);
+        }
+    }
+    let agg = aggregate_experiment(&exp, &AggregationOptions { warmup_epochs: 0 });
+    let id = KernelId {
+        name: "k".into(),
+        domain: ApiDomain::CudaKernel,
+    };
+    let data = agg.kernel_dataset(&id, MetricKind::Time);
+    let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+    assert!(model.predict_at(64.0) > 0.0);
+}
+
+#[test]
+fn constant_metric_data_produces_a_constant_model_not_an_error() {
+    let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+        .iter()
+        .map(|&x| (x, 7.25))
+        .collect();
+    let data = extradeep_model::ExperimentData::univariate("p", &pts);
+    let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+    assert!(model.function.is_constant());
+}

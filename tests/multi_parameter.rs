@@ -1,0 +1,90 @@
+//! Multi-parameter modeling across the full pipeline: a ranks × batch-size
+//! measurement grid `P(x1, x2)` (paper §2.3), modeled with Extra-P's sparse
+//! multi-parameter scheme.
+
+use extradeep::prelude::*;
+
+fn grid_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 8, 16, 32]);
+    spec.batch_sizes = vec![32, 64, 128, 256, 512];
+    spec.repetitions = 2;
+    spec.profiler.max_recorded_ranks = 1;
+    spec
+}
+
+#[test]
+fn grid_produces_two_parameter_configs() {
+    let profiles = grid_spec().run();
+    assert_eq!(profiles.configs().len(), 25);
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    assert_eq!(agg.parameters, vec!["ranks", "batch"]);
+    assert!(agg.configs.iter().all(|c| c.config.coordinate().len() == 2));
+}
+
+#[test]
+fn epoch_model_over_ranks_and_batch() {
+    let profiles = grid_spec().run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+        .expect("multi-parameter models");
+    assert_eq!(models.app.epoch.parameters, vec!["ranks", "batch"]);
+
+    // Weak scaling: epoch time grows with ranks at fixed batch...
+    let t_small = models.app.epoch.predict(&[2.0, 256.0]);
+    let t_large = models.app.epoch.predict(&[32.0, 256.0]);
+    assert!(
+        t_large > t_small,
+        "epoch time must grow with ranks: {t_small} -> {t_large}"
+    );
+
+    // ...and all predictions on the measured grid are close to measurement.
+    let data = agg.app_dataset(MetricKind::Time, None);
+    for m in &data.measurements {
+        let err = models.app.epoch.percentage_error_at(&m.coordinate, m.median());
+        assert!(
+            err < 25.0,
+            "grid fit error {err:.1}% at {:?}",
+            m.coordinate
+        );
+    }
+}
+
+#[test]
+fn batch_size_affects_steps_and_step_cost_oppositely() {
+    // Fewer, more expensive steps with larger batches: the per-epoch compute
+    // should be roughly batch-independent, so the epoch model must not grow
+    // steeply in the batch dimension.
+    let profiles = grid_spec().run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    let t_b64 = models.app.epoch.predict(&[8.0, 64.0]);
+    let t_b512 = models.app.epoch.predict(&[8.0, 512.0]);
+    let ratio = t_b512 / t_b64;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "epoch time across batch sizes should stay the same order: ratio {ratio}"
+    );
+}
+
+#[test]
+fn kernel_models_exist_on_the_grid() {
+    let profiles = grid_spec().run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    assert!(
+        models.kernels.len() > 30,
+        "kernel population on the grid: {}",
+        models.kernels.len()
+    );
+    // The allreduce model depends on ranks but barely on batch.
+    let allreduce = models
+        .kernels
+        .iter()
+        .find(|(id, _)| id.name == "MPI_Allreduce")
+        .map(|(_, m)| m)
+        .expect("allreduce model");
+    let by_ranks = allreduce.predict(&[32.0, 256.0]) / allreduce.predict(&[2.0, 256.0]);
+    assert!(by_ranks > 1.5, "allreduce must grow with ranks: {by_ranks}");
+}

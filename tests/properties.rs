@@ -1,0 +1,156 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use extradeep_agg::{aggregate_repetition, AggregationOptions, KernelId};
+use extradeep_instrument::{instrument_source, InstrumentOptions};
+use extradeep_model::{
+    model_single_parameter, ExperimentData, Fraction, ModelerOptions, PerformanceFunction,
+};
+use extradeep_model::term::CompoundTerm;
+use extradeep_sim::{collective_cost, Collective, SystemConfig};
+use extradeep_trace::{
+    ApiDomain, ConfigProfile, MeasurementConfig, StepPhase, TraceBuilder, TrainingMeta,
+};
+use proptest::prelude::*;
+
+fn meta() -> TrainingMeta {
+    TrainingMeta {
+        batch_size: 64,
+        train_samples: 6_400,
+        val_samples: 640,
+        data_parallel: 2,
+        model_parallel: 1,
+        cores_per_rank: 8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// OLS recovers exact coefficients of noise-free linear data, for any
+    /// positive slope/intercept.
+    #[test]
+    fn modeler_recovers_linear_functions(a in 0.1f64..100.0, b in 0.01f64..10.0) {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, a + b * x)).collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let predicted = model.predict_at(64.0);
+        let truth = a + b * 64.0;
+        prop_assert!((predicted - truth).abs() / truth < 0.02,
+            "predicted {predicted} vs {truth} (model {})", model.formatted());
+    }
+
+    /// PMNF evaluation is monotone in x for positive coefficients and
+    /// non-negative exponents.
+    #[test]
+    fn pmnf_monotone_for_positive_terms(
+        c0 in 0.0f64..100.0,
+        c1 in 0.001f64..10.0,
+        exp_num in 0i32..3,
+        log_exp in 0u32..3,
+        x in 2.0f64..1000.0,
+    ) {
+        prop_assume!(exp_num > 0 || log_exp > 0);
+        let f = PerformanceFunction::new(
+            c0,
+            vec![CompoundTerm::univariate(c1, Fraction::new(exp_num, 1), log_exp)],
+        );
+        prop_assert!(f.evaluate_at(x * 2.0) >= f.evaluate_at(x));
+    }
+
+    /// The median aggregation is invariant under rank relabeling/reordering.
+    #[test]
+    fn aggregation_invariant_under_rank_permutation(durations in proptest::collection::vec(100u64..100_000, 3..6)) {
+        let build = |order: &[u64]| -> ConfigProfile {
+            let mut cp = ConfigProfile::new(MeasurementConfig::ranks(order.len() as u32), 0, meta());
+            for (i, &d) in order.iter().enumerate() {
+                let mut b = TraceBuilder::new(i as u32);
+                b.begin_epoch(0);
+                for step in 0..3 {
+                    b.begin_step(0, step, StepPhase::Training);
+                    b.emit("k", ApiDomain::CudaKernel, d + step as u64);
+                    b.end_step();
+                }
+                b.end_epoch();
+                cp.ranks.push(b.finish());
+            }
+            cp
+        };
+        let forward = build(&durations);
+        let mut reversed_order = durations.clone();
+        reversed_order.reverse();
+        let reversed = build(&reversed_order);
+        let opts = AggregationOptions { warmup_epochs: 0 };
+        let a = aggregate_repetition(&forward, &opts);
+        let b = aggregate_repetition(&reversed, &opts);
+        let id = KernelId { name: "k".into(), domain: ApiDomain::CudaKernel };
+        prop_assert_eq!(a[&id], b[&id]);
+    }
+
+    /// Collective costs are monotone in payload size and participant count.
+    #[test]
+    fn collective_costs_monotone(bytes in 1u64..(1 << 28), p in 2u32..128) {
+        let sys = SystemConfig::deep();
+        let c1 = collective_cost(&sys, Collective::Allreduce, bytes, p);
+        let c2 = collective_cost(&sys, Collective::Allreduce, bytes * 2, p);
+        prop_assert!(c2.seconds >= c1.seconds);
+        prop_assert!(c2.wire_bytes >= c1.wire_bytes);
+        let c3 = collective_cost(&sys, Collective::Allreduce, bytes, p * 2);
+        prop_assert!(c3.wire_bytes >= c1.wire_bytes);
+    }
+
+    /// The instrumenter is idempotent on arbitrary simple function sources.
+    #[test]
+    fn instrumenter_idempotent(
+        names in proptest::collection::vec("[a-z_][a-z0-9_]{0,10}", 1..5),
+    ) {
+        let mut src = String::new();
+        for n in &names {
+            src.push_str(&format!("def {n}(x):\n    return x\n\n"));
+        }
+        let opts = InstrumentOptions::default();
+        let once = instrument_source(&src, &opts);
+        let twice = instrument_source(&once.source, &opts);
+        prop_assert_eq!(once.source, twice.source);
+    }
+
+    /// Training-step counts follow Eq. 2 for any valid configuration.
+    #[test]
+    fn step_counts_follow_eq2(
+        samples in 1_000u64..1_000_000,
+        batch in 1u64..1024,
+        g in 1u32..256,
+    ) {
+        let m = TrainingMeta {
+            batch_size: batch,
+            train_samples: samples,
+            val_samples: 0,
+            data_parallel: g,
+            model_parallel: 1,
+            cores_per_rank: 1,
+        };
+        // Eq. 2, clamped to >= 1: a non-empty shard always runs at least one
+        // (partial) step per epoch.
+        let expected = (((samples as f64 / g as f64) / batch as f64).floor() as u64).max(1);
+        prop_assert_eq!(m.training_steps_per_epoch(), expected);
+    }
+
+    /// SMAPE is symmetric and bounded by 200.
+    #[test]
+    fn smape_symmetric_bounded(a in 0.001f64..1e6, b in 0.001f64..1e6) {
+        let s1 = extradeep_model::metrics::smape(&[a], &[b]);
+        let s2 = extradeep_model::metrics::smape(&[b], &[a]);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+        prop_assert!((0.0..=200.0).contains(&s1));
+    }
+
+    /// Fractions order consistently with their float values.
+    #[test]
+    fn fraction_order_matches_floats(n1 in -12i32..12, d1 in 1i32..12, n2 in -12i32..12, d2 in 1i32..12) {
+        let f1 = Fraction::new(n1, d1);
+        let f2 = Fraction::new(n2, d2);
+        let by_frac = f1.cmp(&f2);
+        let by_float = f1.as_f64().partial_cmp(&f2.as_f64()).unwrap();
+        prop_assert_eq!(by_frac, by_float);
+    }
+}

@@ -1,0 +1,57 @@
+//! Robustness sweep: seed-generated synthetic architectures must flow
+//! through the entire pipeline (engine → profiler → aggregation → modeling →
+//! analysis) without panics, degenerate models, or invalid traces.
+
+use extradeep::prelude::*;
+use extradeep::rank_by_growth;
+use extradeep_sim::Architecture;
+use extradeep_trace::validate_config;
+use proptest::prelude::*;
+
+fn run_synthetic(seed: u64) -> Result<(), TestCaseError> {
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 8, 16, 32]);
+    spec.benchmark.architecture = Architecture::synthetic(seed);
+    spec.benchmark.name = format!("synthetic-{seed}");
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 1;
+
+    let profiles = spec.run();
+    for p in &profiles.profiles {
+        let issues = validate_config(p);
+        prop_assert!(issues.is_empty(), "seed {seed}: {issues:?}");
+    }
+
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+        .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+
+    // The epoch model is finite and positive everywhere probed.
+    for x in [2.0, 16.0, 64.0, 256.0] {
+        let p = models.app.epoch.predict_at(x);
+        prop_assert!(p.is_finite() && p > 0.0, "seed {seed}: T({x}) = {p}");
+    }
+    // Growth ranking covers every kernel model without panicking.
+    let ranking = rank_by_growth(&models, 64.0);
+    prop_assert_eq!(ranking.len(), models.kernels.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn arbitrary_architectures_survive_the_pipeline(seed in 0u64..10_000) {
+        run_synthetic(seed)?;
+    }
+}
+
+#[test]
+fn synthetic_architectures_are_deterministic_and_varied() {
+    let a = Architecture::synthetic(7);
+    let b = Architecture::synthetic(7);
+    assert_eq!(a, b, "same seed, same architecture");
+    let c = Architecture::synthetic(8);
+    assert_ne!(a, c, "different seeds should differ");
+    assert!(a.params() > 0);
+    assert!(a.forward_flops_per_sample() > 0);
+}
