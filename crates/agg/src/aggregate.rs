@@ -4,9 +4,7 @@
 
 use crate::window::{attribute_events, usable_steps};
 use extradeep_model::measurement::median;
-use extradeep_trace::{
-    ApiDomain, ConfigProfile, MetricKind, RankProfile, StepPhase,
-};
+use extradeep_trace::{ApiDomain, ConfigProfile, MetricKind, RankProfile, StepPhase};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -314,7 +312,10 @@ mod tests {
                 domain: ApiDomain::CudaKernel,
             })
             .unwrap();
-        assert!((k.time.train - 100e-9).abs() < 1e-15, "warm-up must be dropped");
+        assert!(
+            (k.time.train - 100e-9).abs() < 1e-15,
+            "warm-up must be dropped"
+        );
     }
 
     #[test]
@@ -351,15 +352,27 @@ mod tests {
             },
             reps: vec![
                 KernelRepAggregate {
-                    time: PhaseValues { train: 1.0, val: 0.0, outside: 0.0 },
+                    time: PhaseValues {
+                        train: 1.0,
+                        val: 0.0,
+                        outside: 0.0,
+                    },
                     ..Default::default()
                 },
                 KernelRepAggregate {
-                    time: PhaseValues { train: 3.0, val: 0.0, outside: 0.0 },
+                    time: PhaseValues {
+                        train: 3.0,
+                        val: 0.0,
+                        outside: 0.0,
+                    },
                     ..Default::default()
                 },
                 KernelRepAggregate {
-                    time: PhaseValues { train: 2.0, val: 0.0, outside: 0.0 },
+                    time: PhaseValues {
+                        train: 2.0,
+                        val: 0.0,
+                        outside: 0.0,
+                    },
                     ..Default::default()
                 },
             ],

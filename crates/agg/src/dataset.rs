@@ -3,8 +3,7 @@
 //! category sums (Eqs. 6, 8-10).
 
 use crate::aggregate::{
-    aggregate_repetition, AggregationOptions, KernelConfigAggregate, KernelId,
-    KernelRepAggregate,
+    aggregate_repetition, AggregationOptions, KernelConfigAggregate, KernelId, KernelRepAggregate,
 };
 use extradeep_model::{ExperimentData, Measurement};
 use extradeep_trace::{ApiDomain, ExperimentProfiles, MeasurementConfig, MetricKind, TrainingMeta};
@@ -315,9 +314,7 @@ mod tests {
         let total = agg.app_dataset(MetricKind::Time, None);
         let parts: f64 = AppCategory::ALL
             .iter()
-            .map(|&c| {
-                agg.app_dataset(MetricKind::Time, Some(c)).measurements[0].values[0]
-            })
+            .map(|&c| agg.app_dataset(MetricKind::Time, Some(c)).measurements[0].values[0])
             .sum();
         assert!((total.measurements[0].values[0] - parts).abs() < 1e-12);
     }
@@ -387,7 +384,10 @@ mod tests {
         assert_eq!(AppCategory::of(ApiDomain::Nccl), AppCategory::Communication);
         assert_eq!(AppCategory::of(ApiDomain::MemCpy), AppCategory::MemoryOps);
         assert_eq!(AppCategory::of(ApiDomain::MemSet), AppCategory::MemoryOps);
-        assert_eq!(AppCategory::of(ApiDomain::CudaKernel), AppCategory::Computation);
+        assert_eq!(
+            AppCategory::of(ApiDomain::CudaKernel),
+            AppCategory::Computation
+        );
         assert_eq!(AppCategory::of(ApiDomain::Os), AppCategory::Computation);
     }
 }

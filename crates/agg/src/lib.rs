@@ -23,8 +23,8 @@ pub mod dataset;
 pub mod window;
 
 pub use aggregate::{
-    aggregate_repetition, AggregationOptions, KernelConfigAggregate, KernelId,
-    KernelRepAggregate, PhaseValues,
+    aggregate_repetition, AggregationOptions, KernelConfigAggregate, KernelId, KernelRepAggregate,
+    PhaseValues,
 };
 pub use dataset::{aggregate_experiment, AggregatedConfig, AggregatedExperiment, AppCategory};
 pub use window::{attribute_events, place_event, step_counts, usable_steps, Placement};

@@ -63,9 +63,7 @@ pub fn compare_overhead(job: &TrainingJob, sampled: SamplingStrategy) -> Overhea
 #[cfg(test)]
 mod tests {
     use super::*;
-    use extradeep_sim::{
-        Benchmark, ParallelStrategy, ScalingMode, SyncMode, SystemConfig,
-    };
+    use extradeep_sim::{Benchmark, ParallelStrategy, ScalingMode, SyncMode, SystemConfig};
 
     fn job(benchmark: Benchmark) -> TrainingJob {
         TrainingJob {
@@ -80,7 +78,10 @@ mod tests {
 
     #[test]
     fn efficient_sampling_reduces_profiling_time_massively() {
-        let cmp = compare_overhead(&job(Benchmark::cifar10()), SamplingStrategy::paper_default());
+        let cmp = compare_overhead(
+            &job(Benchmark::cifar10()),
+            SamplingStrategy::paper_default(),
+        );
         let red = cmp.profiling_reduction_percent();
         assert!(red > 85.0, "reduction {red}%");
         assert!(red < 100.0);
@@ -90,8 +91,10 @@ mod tests {
     fn reduction_is_larger_for_long_benchmarks() {
         // Paper: "especially effective for large and long-running benchmarks
         // such as ImageNet and less effective for short-running ... IMDB".
-        let imagenet =
-            compare_overhead(&job(Benchmark::imagenet()), SamplingStrategy::paper_default());
+        let imagenet = compare_overhead(
+            &job(Benchmark::imagenet()),
+            SamplingStrategy::paper_default(),
+        );
         let imdb = compare_overhead(&job(Benchmark::imdb()), SamplingStrategy::paper_default());
         assert!(
             imagenet.profiling_reduction_percent() > imdb.profiling_reduction_percent(),
@@ -103,7 +106,10 @@ mod tests {
 
     #[test]
     fn overhead_fraction_matches_the_profiler_constant() {
-        let cmp = compare_overhead(&job(Benchmark::cifar10()), SamplingStrategy::paper_default());
+        let cmp = compare_overhead(
+            &job(Benchmark::cifar10()),
+            SamplingStrategy::paper_default(),
+        );
         assert!((cmp.overhead_fraction() - PROFILING_OVERHEAD_FRACTION).abs() < 1e-9);
     }
 }

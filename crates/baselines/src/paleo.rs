@@ -49,9 +49,10 @@ pub fn predict_epoch(
     let replicas = strategy.replicas(ranks);
 
     // Compute: forward + backward ≈ 3x forward FLOPs (PALEO's convention).
-    let flops_per_step =
-        3.0 * benchmark.architecture.forward_flops_per_sample() as f64 * benchmark.batch_size as f64
-            / m;
+    let flops_per_step = 3.0
+        * benchmark.architecture.forward_flops_per_sample() as f64
+        * benchmark.batch_size as f64
+        / m;
     let sustained = system.node.gpu.fp32_tflops * 1e12 * platform.platform_percent_of_peak;
     let compute = flops_per_step / sustained;
 
@@ -64,9 +65,7 @@ pub fn predict_epoch(
         0.0
     };
 
-    let samples = benchmark
-        .dataset
-        .effective_train_samples(scaling, replicas);
+    let samples = benchmark.dataset.effective_train_samples(scaling, replicas);
     let steps_per_epoch =
         (samples as f64 / replicas as f64 / benchmark.batch_size as f64).floor() as u64;
 

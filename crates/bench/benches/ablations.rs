@@ -7,7 +7,9 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    g.bench_function("selection_variants", |b| b.iter(|| black_box(ablation_selection())));
+    g.bench_function("selection_variants", |b| {
+        b.iter(|| black_box(ablation_selection()))
+    });
     g.finish();
 }
 

@@ -1,0 +1,53 @@
+//! Leave-one-out cross-validation: the closed-form hat-matrix path against
+//! the naive refit-per-fold loop, across point counts and hypothesis widths.
+//! This is the inner loop the tentpole speedup comes from — the naive loop
+//! is O(n) LDL^T factorizations per hypothesis, the closed form is one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extradeep_bench::inputs;
+use extradeep_model::hypothesis::{cross_validate, cross_validate_naive, HypothesisShape};
+use extradeep_model::{Fraction, TermShape};
+use std::hint::black_box;
+
+fn points(n: usize) -> Vec<(Vec<f64>, f64)> {
+    inputs::synthetic_series(n)
+        .measurements
+        .iter()
+        .map(|m| (m.coordinate.clone(), m.median()))
+        .collect()
+}
+
+fn shapes() -> Vec<(&'static str, HypothesisShape)> {
+    vec![
+        (
+            "one_term",
+            HypothesisShape::univariate(&[TermShape::new(Fraction::new(2, 3), 2)]),
+        ),
+        (
+            "two_term",
+            HypothesisShape::univariate(&[
+                TermShape::new(Fraction::whole(1), 0),
+                TermShape::new(Fraction::zero(), 1),
+            ]),
+        ),
+    ]
+}
+
+fn bench_loocv(c: &mut Criterion) {
+    for (label, shape) in shapes() {
+        let mut g = c.benchmark_group(format!("loocv/{label}"));
+        for n in [6usize, 10, 20, 40] {
+            let pts = points(n);
+            g.bench_with_input(BenchmarkId::new("closed_form", n), &pts, |b, p| {
+                b.iter(|| black_box(cross_validate(&shape, black_box(p))))
+            });
+            g.bench_with_input(BenchmarkId::new("naive_refit", n), &pts, |b, p| {
+                b.iter(|| black_box(cross_validate_naive(&shape, black_box(p))))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_loocv);
+criterion_main!(benches);

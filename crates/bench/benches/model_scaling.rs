@@ -1,18 +1,17 @@
 //! How PMNF model search scales with the search-space size and the number
-//! of measurement points — the cost a user pays per kernel model.
+//! of measurement points — the cost a user pays per kernel model — plus the
+//! fast-path engine against the frozen reference implementation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions, SearchSpace};
+use extradeep_bench::inputs;
+use extradeep_model::{
+    model_multi_parameter, model_multi_parameter_reference, model_single_parameter,
+    model_single_parameter_reference, ExperimentData, ModelerOptions, SearchSpace,
+};
 use std::hint::black_box;
 
 fn data_with_points(n: usize) -> ExperimentData {
-    let pts: Vec<(f64, f64)> = (1..=n)
-        .map(|i| {
-            let x = (2u64 << i) as f64;
-            (x, 25.0 + 1.7 * x.powf(0.66) * x.log2())
-        })
-        .collect();
-    ExperimentData::univariate("p", &pts)
+    inputs::synthetic_series(n)
 }
 
 fn bench_search_spaces(c: &mut Criterion) {
@@ -46,5 +45,44 @@ fn bench_point_counts(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_search_spaces, bench_point_counts);
+/// The tentpole comparison: closed-form LOO-CV + shared basis cache +
+/// workspace reuse vs the frozen reference path, end to end.
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_scaling/engine_vs_reference");
+    let series = data_with_points(8);
+    let options = ModelerOptions::default();
+    g.bench_function("single_param/engine", |b| {
+        b.iter(|| black_box(model_single_parameter(black_box(&series), &options)))
+    });
+    g.bench_function("single_param/reference", |b| {
+        b.iter(|| {
+            black_box(model_single_parameter_reference(
+                black_box(&series),
+                &options,
+            ))
+        })
+    });
+    let naive_cv = ModelerOptions {
+        use_naive_loocv: true,
+        ..ModelerOptions::default()
+    };
+    g.bench_function("single_param/engine_naive_loocv", |b| {
+        b.iter(|| black_box(model_single_parameter(black_box(&series), &naive_cv)))
+    });
+    let grid = inputs::synthetic_grid();
+    g.bench_function("multi_param/engine", |b| {
+        b.iter(|| black_box(model_multi_parameter(black_box(&grid), &options)))
+    });
+    g.bench_function("multi_param/reference", |b| {
+        b.iter(|| black_box(model_multi_parameter_reference(black_box(&grid), &options)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_spaces,
+    bench_point_counts,
+    bench_engine_vs_reference
+);
 criterion_main!(benches);

@@ -27,7 +27,12 @@ fn bench_aggregation(c: &mut Criterion) {
     spec.profiler.max_recorded_ranks = 2;
     let profiles = spec.run();
     g.bench_function("median_aggregation", |b| {
-        b.iter(|| black_box(aggregate_experiment(&profiles, &AggregationOptions::default())))
+        b.iter(|| {
+            black_box(aggregate_experiment(
+                &profiles,
+                &AggregationOptions::default(),
+            ))
+        })
     });
     g.finish();
 }
@@ -39,7 +44,13 @@ fn bench_modeling(c: &mut Criterion) {
     // Single-kernel PMNF hypothesis search.
     let data = ExperimentData::univariate(
         "ranks",
-        &[(2.0, 160.2), (4.0, 163.9), (8.0, 172.1), (16.0, 187.3), (32.0, 213.8)],
+        &[
+            (2.0, 160.2),
+            (4.0, 163.9),
+            (8.0, 172.1),
+            (16.0, 187.3),
+            (32.0, 213.8),
+        ],
     );
     g.bench_function("single_model_search", |b| {
         b.iter(|| black_box(model_single_parameter(&data, &ModelerOptions::default())))
@@ -52,7 +63,11 @@ fn bench_modeling(c: &mut Criterion) {
     let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
     g.bench_function("full_model_set", |b| {
         b.iter(|| {
-            black_box(build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()))
+            black_box(build_model_set(
+                &agg,
+                MetricKind::Time,
+                &ModelSetOptions::default(),
+            ))
         })
     });
     g.finish();

@@ -24,11 +24,7 @@ fn base_plan(reps: u32, steps: u32) -> ExperimentPlan {
     }
 }
 
-fn run_with(
-    reps: u32,
-    steps: u32,
-    options: &ModelSetOptions,
-) -> Option<(f64, f64)> {
+fn run_with(reps: u32, steps: u32, options: &ModelSetOptions) -> Option<(f64, f64)> {
     let outcome = base_plan(reps, steps)
         .execute_with(MetricKind::Time, options)
         .ok()?;
@@ -96,17 +92,19 @@ pub fn ablation_selection() -> String {
             None => t.add_row(vec![name.to_string(), "-".into(), "-".into()]),
         }
     }
-    format!(
-        "== Ablation: model-selection machinery ==\n{}",
-        t.render()
-    )
+    format!("== Ablation: model-selection machinery ==\n{}", t.render())
 }
 
 /// Ablation: BSP vs ASP gradient exchange — how much step time the
 /// asynchronous overlap hides, and whether the models stay accurate when
 /// collectives fall between the NVTX step marks.
 pub fn ablation_sync_mode() -> String {
-    let mut t = Table::new(&["sync mode", "T_epoch(64) [s]", "fit MPE", "extrapolation MPE"]);
+    let mut t = Table::new(&[
+        "sync mode",
+        "T_epoch(64) [s]",
+        "fit MPE",
+        "extrapolation MPE",
+    ]);
     for (label, sync) in [("BSP", SyncMode::Bsp), ("ASP", SyncMode::Asp)] {
         let mut plan = base_plan(3, 5);
         plan.spec.sync = sync;

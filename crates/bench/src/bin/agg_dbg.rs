@@ -2,20 +2,35 @@ use extradeep::prelude::*;
 use extradeep_agg::AggregatedExperiment;
 use extradeep_trace::MetricKind;
 fn main() {
-    let mut spec = ExperimentSpec::case_study(vec![32, 40]);
-    spec.system = SystemConfig::jureca();
-    spec.repetitions = 1;
-    spec.profiler.max_recorded_ranks = 2;
+    let spec = extradeep_bench::inputs::debug_experiment(
+        SystemConfig::jureca(),
+        Benchmark::cifar10(),
+        vec![32, 40],
+        1,
+        2,
+    );
     let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
     for c in &agg.configs {
-        println!("== config {} n_t={} n_v={}", c.config.id(), c.meta.training_steps_per_epoch(), c.meta.validation_steps_per_epoch());
-        let mut rows: Vec<(String, f64)> = c.kernels.values().map(|k| {
-            let f = AggregatedExperiment::kernel_epoch_value(&c.meta, &k.reps[0], MetricKind::Time);
-            (k.id.name.clone(), f)
-        }).collect();
-        rows.sort_by(|a,b| b.1.partial_cmp(&a.1).unwrap());
+        println!(
+            "== config {} n_t={} n_v={}",
+            c.config.id(),
+            c.meta.training_steps_per_epoch(),
+            c.meta.validation_steps_per_epoch()
+        );
+        let mut rows: Vec<(String, f64)> = c
+            .kernels
+            .values()
+            .map(|k| {
+                let f =
+                    AggregatedExperiment::kernel_epoch_value(&c.meta, &k.reps[0], MetricKind::Time);
+                (k.id.name.clone(), f)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let total: f64 = rows.iter().map(|r| r.1).sum();
         println!("total {total:.2}");
-        for (n, f) in rows.iter().take(8) { println!("  {:<55} {:>8.3}", n, f); }
+        for (n, f) in rows.iter().take(8) {
+            println!("  {:<55} {:>8.3}", n, f);
+        }
     }
 }

@@ -1,0 +1,112 @@
+//! Times the fast-path hypothesis search (closed-form LOO-CV, shared basis
+//! cache, workspace reuse) against the frozen reference implementation and
+//! records the speedups in `BENCH_model.json`.
+//!
+//! Run with `cargo run --release -p extradeep-bench --bin bench_model`.
+//! An optional first argument overrides the output path.
+
+use extradeep_bench::inputs;
+use extradeep_model::hypothesis::{cross_validate, cross_validate_naive, HypothesisShape};
+use extradeep_model::{
+    model_multi_parameter, model_multi_parameter_reference, model_single_parameter,
+    model_single_parameter_reference, Fraction, ModelerOptions, TermShape,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-batches wall time per call, in seconds. The best batch (rather
+/// than the mean) suppresses scheduler noise, which matters because the fast
+/// path's per-call cost is microseconds.
+fn time_per_call<F: FnMut()>(batches: usize, iters: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn comparison(name: &str, reference_s: f64, engine_s: f64, model: &str) -> serde_json::Value {
+    serde_json::json!({
+        "name": name,
+        "reference_us": reference_s * 1e6,
+        "engine_us": engine_s * 1e6,
+        "speedup": reference_s / engine_s,
+        "model": model,
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_model.json".to_string());
+    let options = ModelerOptions::default();
+
+    // --- single-parameter search: the per-kernel cost of the pipeline.
+    let series = inputs::synthetic_series(8);
+    let fast = model_single_parameter(&series, &options).unwrap();
+    let slow = model_single_parameter_reference(&series, &options).unwrap();
+    assert_eq!(
+        fast.function.to_string(),
+        slow.function.to_string(),
+        "fast path and reference must select the same model"
+    );
+    let single_ref = time_per_call(5, 50, || {
+        black_box(model_single_parameter_reference(
+            black_box(&series),
+            &options,
+        ))
+        .ok();
+    });
+    let single_eng = time_per_call(5, 50, || {
+        black_box(model_single_parameter(black_box(&series), &options)).ok();
+    });
+
+    // --- multi-parameter search on the ranks x batch grid.
+    let grid = inputs::synthetic_grid();
+    let fast_mp = model_multi_parameter(&grid, &options).unwrap();
+    let slow_mp = model_multi_parameter_reference(&grid, &options).unwrap();
+    let multi_ref = time_per_call(5, 20, || {
+        black_box(model_multi_parameter_reference(black_box(&grid), &options)).ok();
+    });
+    let multi_eng = time_per_call(5, 20, || {
+        black_box(model_multi_parameter(black_box(&grid), &options)).ok();
+    });
+
+    // --- LOO-CV in isolation: closed-form vs naive n-refit, one hypothesis.
+    let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::new(2, 3), 2)]);
+    let points: Vec<(Vec<f64>, f64)> = inputs::synthetic_series(20)
+        .measurements
+        .iter()
+        .map(|m| (m.coordinate.clone(), m.median()))
+        .collect();
+    let cv_ref = time_per_call(5, 2000, || {
+        black_box(cross_validate_naive(&shape, black_box(&points)));
+    });
+    let cv_eng = time_per_call(5, 2000, || {
+        black_box(cross_validate(&shape, black_box(&points)));
+    });
+
+    let report = serde_json::json!({
+        "benchmark": "PMNF hypothesis search: fast path vs reference",
+        "search_space": "extra_p_default",
+        "comparisons": [
+            comparison("single_param", single_ref, single_eng, &fast.function.to_string()),
+            comparison("multi_param", multi_ref, multi_eng, &fast_mp.function.to_string()),
+            comparison("loocv_one_hypothesis", cv_ref, cv_eng, "x^(2/3) * log2(x)^2, 20 points"),
+        ],
+        "agreement": {
+            "single_param_reference_model": slow.function.to_string(),
+            "multi_param_engine_model": fast_mp.function.to_string(),
+            "multi_param_reference_model": slow_mp.function.to_string(),
+        },
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, format!("{pretty}\n")).expect("write BENCH_model.json");
+    println!("{pretty}");
+    println!("wrote {out_path}");
+}

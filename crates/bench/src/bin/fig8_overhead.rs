@@ -5,6 +5,10 @@ use extradeep_bench::experiments::{fig8_overhead, RunScale};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { RunScale::quick() } else { RunScale::paper() };
+    let scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::paper()
+    };
     println!("{}", fig8_overhead(&scale));
 }

@@ -5,6 +5,10 @@ use extradeep_bench::experiments::{headline_summary, RunScale};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { RunScale::quick() } else { RunScale::paper() };
+    let scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::paper()
+    };
     println!("{}", headline_summary(&scale));
 }

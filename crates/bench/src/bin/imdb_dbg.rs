@@ -1,39 +1,86 @@
 use extradeep::prelude::*;
 fn main() {
-    let mut spec = ExperimentSpec::case_study(vec![2,4,6,8,10]);
-    spec.benchmark = Benchmark::imdb();
-    spec.repetitions = 5;
-    spec.profiler.max_recorded_ranks = 4;
+    let spec = extradeep_bench::inputs::debug_experiment(
+        SystemConfig::deep(),
+        Benchmark::imdb(),
+        vec![2, 4, 6, 8, 10],
+        5,
+        4,
+    );
     let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
     let data = agg.app_dataset(MetricKind::Time, None);
     for m in &data.measurements {
-        println!("x={:>4} median={:.3} vals={:?}", m.coordinate[0], m.median(), m.values.iter().map(|v| (v*100.0).round()/100.0).collect::<Vec<_>>());
+        println!(
+            "x={:>4} median={:.3} vals={:?}",
+            m.coordinate[0],
+            m.median(),
+            m.values
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
     let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
     println!("model: {}", models.app.epoch.formatted());
-    println!("cv_smape {:.3} smape {:.3}", models.app.epoch.cv_smape, models.app.epoch.smape);
-    for x in [12.0, 24.0, 64.0] { println!("pred {}: {:.2}", x, models.app.epoch.predict_at(x)); }
+    println!(
+        "cv_smape {:.3} smape {:.3}",
+        models.app.epoch.cv_smape, models.app.epoch.smape
+    );
+    for x in [12.0, 24.0, 64.0] {
+        println!("pred {}: {:.2}", x, models.app.epoch.predict_at(x));
+    }
     // candidate inspection
     use extradeep_model::hypothesis::{self, HypothesisShape};
     use extradeep_model::{Fraction, TermShape};
-    let pts: Vec<(Vec<f64>, f64)> = data.measurements.iter().map(|m| (m.coordinate.clone(), m.median())).collect();
+    let pts: Vec<(Vec<f64>, f64)> = data
+        .measurements
+        .iter()
+        .map(|m| (m.coordinate.clone(), m.median()))
+        .collect();
     for (name, shape) in [
         ("const", HypothesisShape::constant()),
-        ("log", HypothesisShape::univariate(&[TermShape::new(Fraction::zero(), 1)])),
-        ("log2", HypothesisShape::univariate(&[TermShape::new(Fraction::zero(), 2)])),
-        ("x^1/4", HypothesisShape::univariate(&[TermShape::new(Fraction::new(1,4), 0)])),
-        ("x^1/2", HypothesisShape::univariate(&[TermShape::new(Fraction::new(1,2), 0)])),
-        ("x^1", HypothesisShape::univariate(&[TermShape::new(Fraction::new(1,1), 0)])),
+        (
+            "log",
+            HypothesisShape::univariate(&[TermShape::new(Fraction::zero(), 1)]),
+        ),
+        (
+            "log2",
+            HypothesisShape::univariate(&[TermShape::new(Fraction::zero(), 2)]),
+        ),
+        (
+            "x^1/4",
+            HypothesisShape::univariate(&[TermShape::new(Fraction::new(1, 4), 0)]),
+        ),
+        (
+            "x^1/2",
+            HypothesisShape::univariate(&[TermShape::new(Fraction::new(1, 2), 0)]),
+        ),
+        (
+            "x^1",
+            HypothesisShape::univariate(&[TermShape::new(Fraction::new(1, 1), 0)]),
+        ),
     ] {
         if let Some(f) = hypothesis::fit(&shape, &pts) {
             let cv = hypothesis::cross_validate(&shape, &pts);
-            println!("{name}: fit={} smape={:.3} cv={:?} pred64={:.2}", f.function, f.smape, cv.map(|c| (c*1000.0).round()/1000.0), f.function.evaluate_at(64.0));
+            println!(
+                "{name}: fit={} smape={:.3} cv={:?} pred64={:.2}",
+                f.function,
+                f.smape,
+                cv.map(|c| (c * 1000.0).round() / 1000.0),
+                f.function.evaluate_at(64.0)
+            );
         }
     }
     // ground truth estimates
-    for r in [2u32,10,64] {
-        let job = extradeep_sim::TrainingJob { system: SystemConfig::deep(), benchmark: Benchmark::imdb(),
-            strategy: ParallelStrategy::DataParallel, scaling: ScalingMode::Weak, sync: SyncMode::Bsp, ranks: r };
+    for r in [2u32, 10, 64] {
+        let job = extradeep_sim::TrainingJob {
+            system: SystemConfig::deep(),
+            benchmark: Benchmark::imdb(),
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks: r,
+        };
         println!("estimate {}: {:.2}", r, job.epoch_seconds_estimate());
     }
 }

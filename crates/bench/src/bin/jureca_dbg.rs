@@ -2,17 +2,31 @@ use extradeep::prelude::*;
 fn main() {
     for scaling in [ScalingMode::Weak, ScalingMode::Strong] {
         println!("=== {:?}", scaling);
-        let mut spec = ExperimentSpec::case_study(vec![8,16,24,32,40]);
-        spec.system = SystemConfig::jureca();
+        let mut spec = extradeep_bench::inputs::debug_experiment(
+            SystemConfig::jureca(),
+            Benchmark::cifar10(),
+            vec![8, 16, 24, 32, 40],
+            5,
+            4,
+        );
         spec.scaling = scaling;
-        spec.repetitions = 5;
-        spec.profiler.max_recorded_ranks = 4;
-        let plan = ExperimentPlan { spec, modeling_points: vec![8,16,24,32,40],
-            evaluation_points: vec![48,64,96,128,160,192,224,256] };
+        let plan = ExperimentPlan {
+            spec,
+            modeling_points: vec![8, 16, 24, 32, 40],
+            evaluation_points: vec![48, 64, 96, 128, 160, 192, 224, 256],
+        };
         let out = plan.execute(MetricKind::Time).unwrap();
         println!("model: {}", out.models.app.epoch.formatted());
-        for e in out.epoch_report.modeling_errors.iter().chain(&out.epoch_report.evaluation_errors) {
-            println!("x={:>4} measured={:>10.2} pred={:>10.2} err={:>6.1}%", e.coordinate[0], e.measured, e.predicted, e.percent_error);
+        for e in out
+            .epoch_report
+            .modeling_errors
+            .iter()
+            .chain(&out.epoch_report.evaluation_errors)
+        {
+            println!(
+                "x={:>4} measured={:>10.2} pred={:>10.2} err={:>6.1}%",
+                e.coordinate[0], e.measured, e.predicted, e.percent_error
+            );
         }
     }
 }

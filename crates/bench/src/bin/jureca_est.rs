@@ -1,12 +1,35 @@
 use extradeep_sim::*;
 fn main() {
     for r in [8u32, 16, 24, 32, 36, 40, 48, 64, 128] {
-        let job = TrainingJob { system: SystemConfig::jureca(), benchmark: Benchmark::cifar10(),
-            strategy: ParallelStrategy::DataParallel, scaling: ScalingMode::Weak, sync: SyncMode::Bsp, ranks: r };
+        let job = TrainingJob {
+            system: SystemConfig::jureca(),
+            benchmark: Benchmark::cifar10(),
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks: r,
+        };
         let plans = job.plans();
-        let comm: f64 = plans.train_step.rows.iter().filter(|x| matches!(x.domain, extradeep_trace::ApiDomain::Nccl | extradeep_trace::ApiDomain::Mpi)).map(|x| x.seconds).sum();
-        println!("ranks {:>4}: epoch {:>8.2}  step {:.4} comm/step {:.4} n_t {} n_v {}", r,
-            job.epoch_seconds_estimate(), plans.train_step.seconds(), comm,
-            job.training_meta().training_steps_per_epoch(), job.training_meta().validation_steps_per_epoch());
+        let comm: f64 = plans
+            .train_step
+            .rows
+            .iter()
+            .filter(|x| {
+                matches!(
+                    x.domain,
+                    extradeep_trace::ApiDomain::Nccl | extradeep_trace::ApiDomain::Mpi
+                )
+            })
+            .map(|x| x.seconds)
+            .sum();
+        println!(
+            "ranks {:>4}: epoch {:>8.2}  step {:.4} comm/step {:.4} n_t {} n_v {}",
+            r,
+            job.epoch_seconds_estimate(),
+            plans.train_step.seconds(),
+            comm,
+            job.training_meta().training_steps_per_epoch(),
+            job.training_meta().validation_steps_per_epoch()
+        );
     }
 }

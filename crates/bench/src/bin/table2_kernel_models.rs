@@ -5,6 +5,10 @@ use extradeep_bench::experiments::{table2_kernel_models, RunScale};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { RunScale::quick() } else { RunScale::paper() };
+    let scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::paper()
+    };
     println!("{}", table2_kernel_models(&scale));
 }

@@ -3,10 +3,10 @@
 //! print it, the Criterion benches run it at [`RunScale::quick`].
 
 use extradeep::prelude::*;
+use extradeep::report::{fmt, pct, Table};
 use extradeep::{
     build_model_set, find_cost_effective, point_errors, speedup_series, ModelSetOptions,
 };
-use extradeep::report::{fmt, pct, Table};
 use extradeep_agg::AggregatedExperiment;
 use extradeep_baselines::compare_overhead;
 use extradeep_model::measurement::median;
@@ -129,13 +129,21 @@ pub fn fig3_case_study(scale: &RunScale) -> String {
     let model = &outcome.models.app.epoch;
 
     let mut out = String::new();
-    out.push_str("== Figure 3: training time per epoch, CIFAR-10 case study (DEEP, weak scaling) ==\n");
+    out.push_str(
+        "== Figure 3: training time per epoch, CIFAR-10 case study (DEEP, weak scaling) ==\n",
+    );
     out.push_str(&format!("Model: T_epoch(x1) = {}\n", model.formatted()));
     out.push_str(&format!("Growth: {}\n\n", model.big_o()));
 
     let mut t = Table::new(&[
-        "ranks", "set", "measured [s]", "predicted [s]", "err %", "95% CI",
-        "bootstrap CI", "run-to-run %",
+        "ranks",
+        "set",
+        "measured [s]",
+        "predicted [s]",
+        "err %",
+        "95% CI",
+        "bootstrap CI",
+        "run-to-run %",
     ]);
     let rows = outcome
         .epoch_modeling_data
@@ -171,7 +179,9 @@ pub fn fig3_case_study(scale: &RunScale) -> String {
             set.to_string(),
             fmt(measured, 2),
             fmt(predicted, 2),
-            pct(extradeep_model::metrics::percentage_error(predicted, measured)),
+            pct(extradeep_model::metrics::percentage_error(
+                predicted, measured,
+            )),
             ci,
             boot,
             pct(m.run_to_run_variation_percent()),
@@ -223,13 +233,7 @@ pub fn fig4_cost_effectiveness(scale: &RunScale) -> String {
         max_seconds: Some(mid_time),
         max_core_hours: Some(mid_cost),
     };
-    let result = find_cost_effective(
-        model,
-        &cost,
-        &candidates,
-        constraints,
-        ScalingMode::Strong,
-    );
+    let result = find_cost_effective(model, &cost, &candidates, constraints, ScalingMode::Strong);
 
     let mut out = String::new();
     out.push_str("== Figure 4b: cost-effective training configurations (strong scaling) ==\n");
@@ -239,7 +243,11 @@ pub fn fig4_cost_effectiveness(scale: &RunScale) -> String {
         mid_time, mid_cost
     ));
     let mut t = Table::new(&[
-        "nodes", "time [s]", "cost [core-h]", "efficiency %", "feasible",
+        "nodes",
+        "time [s]",
+        "cost [core-h]",
+        "efficiency %",
+        "feasible",
     ]);
     for c in &result.candidates {
         t.add_row(vec![
@@ -308,8 +316,8 @@ pub fn fig5_parallel_strategies(scale: &RunScale) -> String {
                         .iter()
                         .chain(&outcome.epoch_report.evaluation_errors)
                     {
-                        let nodes = (e.coordinate[0] as u32)
-                            / SystemConfig::jureca().node.gpus_per_node;
+                        let nodes =
+                            (e.coordinate[0] as u32) / SystemConfig::jureca().node.gpus_per_node;
                         errors.entry(nodes).or_default().push(e.percent_error);
                     }
                 }
@@ -325,7 +333,11 @@ pub fn fig5_parallel_strategies(scale: &RunScale) -> String {
     all_nodes.sort_unstable();
     all_nodes.dedup();
     for nodes in all_nodes {
-        let set = if DEEP_MODELING_NODES.contains(&nodes) { "P" } else { "P+" };
+        let set = if DEEP_MODELING_NODES.contains(&nodes) {
+            "P"
+        } else {
+            "P+"
+        };
         let cells: Vec<String> = per_strategy
             .iter()
             .map(|m| {
@@ -386,14 +398,15 @@ pub fn fig6_systems(scale: &RunScale) -> String {
         per_system.push(errors);
     }
 
-    let mut all_nodes: Vec<u32> = per_system
-        .iter()
-        .flat_map(|m| m.keys().copied())
-        .collect();
+    let mut all_nodes: Vec<u32> = per_system.iter().flat_map(|m| m.keys().copied()).collect();
     all_nodes.sort_unstable();
     all_nodes.dedup();
     for nodes in all_nodes {
-        let set = if DEEP_MODELING_NODES.contains(&nodes) { "P" } else { "P+" };
+        let set = if DEEP_MODELING_NODES.contains(&nodes) {
+            "P"
+        } else {
+            "P+"
+        };
         let mut row = vec![nodes.to_string(), set.to_string()];
         for m in &per_system {
             row.push(
@@ -512,16 +525,56 @@ struct Table2Row {
 }
 
 const TABLE2_ROWS: [Table2Row; 10] = [
-    Table2Row { label: "CUDA kernels / time", domains: &[ApiDomain::CudaKernel], metric: MetricKind::Time },
-    Table2Row { label: "CUDA kernels / visits", domains: &[ApiDomain::CudaKernel], metric: MetricKind::Visits },
-    Table2Row { label: "NVTX func. / time", domains: &[ApiDomain::Nvtx], metric: MetricKind::Time },
-    Table2Row { label: "NVTX func. / visits", domains: &[ApiDomain::Nvtx], metric: MetricKind::Visits },
-    Table2Row { label: "OS func. / time", domains: &[ApiDomain::Os], metric: MetricKind::Time },
-    Table2Row { label: "cuBLAS / time", domains: &[ApiDomain::CuBlas], metric: MetricKind::Time },
-    Table2Row { label: "cuDNN / time", domains: &[ApiDomain::CuDnn], metric: MetricKind::Time },
-    Table2Row { label: "MPI / time", domains: &[ApiDomain::Mpi, ApiDomain::Nccl], metric: MetricKind::Time },
-    Table2Row { label: "Memory ops. / time", domains: &[ApiDomain::MemCpy, ApiDomain::MemSet], metric: MetricKind::Time },
-    Table2Row { label: "Memory ops. / bytes", domains: &[ApiDomain::MemCpy, ApiDomain::MemSet], metric: MetricKind::Bytes },
+    Table2Row {
+        label: "CUDA kernels / time",
+        domains: &[ApiDomain::CudaKernel],
+        metric: MetricKind::Time,
+    },
+    Table2Row {
+        label: "CUDA kernels / visits",
+        domains: &[ApiDomain::CudaKernel],
+        metric: MetricKind::Visits,
+    },
+    Table2Row {
+        label: "NVTX func. / time",
+        domains: &[ApiDomain::Nvtx],
+        metric: MetricKind::Time,
+    },
+    Table2Row {
+        label: "NVTX func. / visits",
+        domains: &[ApiDomain::Nvtx],
+        metric: MetricKind::Visits,
+    },
+    Table2Row {
+        label: "OS func. / time",
+        domains: &[ApiDomain::Os],
+        metric: MetricKind::Time,
+    },
+    Table2Row {
+        label: "cuBLAS / time",
+        domains: &[ApiDomain::CuBlas],
+        metric: MetricKind::Time,
+    },
+    Table2Row {
+        label: "cuDNN / time",
+        domains: &[ApiDomain::CuDnn],
+        metric: MetricKind::Time,
+    },
+    Table2Row {
+        label: "MPI / time",
+        domains: &[ApiDomain::Mpi, ApiDomain::Nccl],
+        metric: MetricKind::Time,
+    },
+    Table2Row {
+        label: "Memory ops. / time",
+        domains: &[ApiDomain::MemCpy, ApiDomain::MemSet],
+        metric: MetricKind::Time,
+    },
+    Table2Row {
+        label: "Memory ops. / bytes",
+        domains: &[ApiDomain::MemCpy, ApiDomain::MemSet],
+        metric: MetricKind::Bytes,
+    },
 ];
 
 /// Per-kernel-model evaluation: errors of every kernel model of `domains` ×
@@ -675,7 +728,10 @@ pub fn case_study_speedup(scale: &RunScale) -> Vec<(f64, f64)> {
         scale,
     );
     let outcome = p.execute(MetricKind::Time).expect("case study");
-    speedup_series(&outcome.models.app.epoch, &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+    speedup_series(
+        &outcome.models.app.epoch,
+        &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,55 @@
+//! Shared construction of the small experiments used by the debug binaries
+//! and the modeling benchmarks.
+//!
+//! The ad-hoc debug binaries (`agg_dbg`, `jureca_dbg`, `imdb_dbg`) and the
+//! `bench_model` emitter previously each hand-rolled their own specs and
+//! datasets; this module is the single place those inputs are defined, so a
+//! number printed by a debug tool and a number recorded in
+//! `BENCH_model.json` describe the same workload.
+
+use extradeep_model::{ExperimentData, Measurement};
+use extradeep_sim::{Benchmark, ExperimentSpec, SystemConfig};
+
+/// A case-study-derived spec with the common debug knobs applied.
+pub fn debug_experiment(
+    system: SystemConfig,
+    benchmark: Benchmark,
+    rank_counts: Vec<u32>,
+    repetitions: u32,
+    max_recorded_ranks: u32,
+) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::case_study(rank_counts);
+    spec.system = system;
+    spec.benchmark = benchmark;
+    spec.repetitions = repetitions;
+    spec.profiler.max_recorded_ranks = max_recorded_ranks;
+    spec
+}
+
+/// Synthetic single-parameter series with the case-study growth shape
+/// (`c0 + c1 · x^(2/3) · log2(x)`), at `n` geometric coordinates. This is
+/// the dataset the modeling benchmarks time the hypothesis search on.
+pub fn synthetic_series(n: usize) -> ExperimentData {
+    let pts: Vec<(f64, f64)> = (1..=n)
+        .map(|i| {
+            let x = (2u64 << i) as f64;
+            (x, 25.0 + 1.7 * x.powf(0.66) * x.log2())
+        })
+        .collect();
+    ExperimentData::univariate("p", &pts)
+}
+
+/// Full ranks × batch-size grid with mixed additive/multiplicative growth,
+/// exercising the sparse multi-parameter search end to end.
+pub fn synthetic_grid() -> ExperimentData {
+    let ranks = [2.0f64, 4.0, 8.0, 16.0, 32.0];
+    let batches = [32.0f64, 64.0, 128.0, 256.0, 512.0];
+    let mut measurements = Vec::new();
+    for &r in &ranks {
+        for &b in &batches {
+            let y = 5.0 + 0.8 * r * r.log2() + 0.02 * b + 0.001 * r * b;
+            measurements.push(Measurement::new(vec![r, b], vec![y]));
+        }
+    }
+    ExperimentData::new(vec!["ranks".into(), "batch".into()], measurements)
+}

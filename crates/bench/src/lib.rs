@@ -7,5 +7,6 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod inputs;
 
 pub use experiments::RunScale;

@@ -56,7 +56,10 @@ pub fn rank_by_growth(set: &ModelSet, probe_scale: f64) -> Vec<RankedKernel> {
 
 /// The top-`k` growth-ranked kernels.
 pub fn top_bottlenecks(set: &ModelSet, probe_scale: f64, k: usize) -> Vec<RankedKernel> {
-    rank_by_growth(set, probe_scale).into_iter().take(k).collect()
+    rank_by_growth(set, probe_scale)
+        .into_iter()
+        .take(k)
+        .collect()
 }
 
 #[cfg(test)]

@@ -160,7 +160,10 @@ mod tests {
         assert!(r.only_in_b.is_empty());
         assert!((r.epoch_ratio - 1.0).abs() < 1e-12);
         assert!(r.growth_changes().is_empty());
-        assert!(r.common.iter().all(|c| (c.ratio_at_probe - 1.0).abs() < 1e-12));
+        assert!(r
+            .common
+            .iter()
+            .all(|c| (c.ratio_at_probe - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -118,7 +118,10 @@ mod tests {
     fn weak_scaling_picks_smallest_feasible() {
         // The paper's case-study answer to Q5: under weak scaling the most
         // cost-effective configuration is the smallest one (x1 = 2).
-        let runtime = model(|x| 158.0 + 0.6 * x.powf(2.0 / 3.0) * x.log2().powi(2), false);
+        let runtime = model(
+            |x| 158.0 + 0.6 * x.powf(2.0 / 3.0) * x.log2().powi(2),
+            false,
+        );
         let cost = CostModel::new(8);
         let r = find_cost_effective(
             &runtime,

@@ -4,7 +4,9 @@
 //! assuming zero parallelization overhead; the baseline point has ε = 100%.
 
 use crate::analysis::speedup::speedup_series;
-use extradeep_model::{model_single_parameter, ExperimentData, Model, ModelerOptions, ModelingError};
+use extradeep_model::{
+    model_single_parameter, ExperimentData, Model, ModelerOptions, ModelingError,
+};
 
 /// Theoretical speedup between the baseline rank count and `xk` (Eq. 13):
 /// `Δ_t = (x_k - x_1) / (x_1 / 100)`.

@@ -4,7 +4,9 @@
 //! percent relative to the first measurement point of a series:
 //! `Δ_Pk = (T_1 - T_k) / (T_1 / 100)`.
 
-use extradeep_model::{model_single_parameter, ExperimentData, Model, ModelerOptions, ModelingError};
+use extradeep_model::{
+    model_single_parameter, ExperimentData, Model, ModelerOptions, ModelingError,
+};
 
 /// Speedup in percent between a baseline runtime and a runtime at point k.
 pub fn speedup_percent(t1: f64, tk: f64) -> f64 {
@@ -79,7 +81,11 @@ mod tests {
     fn weak_scaling_overhead_gives_negative_speedup() {
         let m = runtime_model(|x| 100.0 + 5.0 * x, false);
         let s = speedup_series(&m, &[2.0, 32.0]);
-        assert!(s[1].1 < 0.0, "growing runtime must be a slowdown: {}", s[1].1);
+        assert!(
+            s[1].1 < 0.0,
+            "growing runtime must be a slowdown: {}",
+            s[1].1
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use extradeep_agg::{aggregate_experiment, AggregationOptions};
 use extradeep_sim::{
     Benchmark, ExperimentSpec, ParallelStrategy, ScalingMode, SyncMode, SystemConfig,
 };
-use extradeep_trace::{json, import_csv, ExperimentProfiles, MetricKind};
+use extradeep_trace::{import_csv, json, ExperimentProfiles, MetricKind};
 use std::fmt as stdfmt;
 
 /// CLI failure.
@@ -223,10 +223,22 @@ fn cmd_model(args: &Args) -> Result<String, CliError> {
 
     let mut out = String::new();
     out.push_str(&format!("Application models ({}):\n", metric.label()));
-    out.push_str(&format!("  epoch:          {}\n", models.app.epoch.formatted()));
-    out.push_str(&format!("  computation:    {}\n", models.app.computation.formatted()));
-    out.push_str(&format!("  communication:  {}\n", models.app.communication.formatted()));
-    out.push_str(&format!("  memory ops.:    {}\n", models.app.memory_ops.formatted()));
+    out.push_str(&format!(
+        "  epoch:          {}\n",
+        models.app.epoch.formatted()
+    ));
+    out.push_str(&format!(
+        "  computation:    {}\n",
+        models.app.computation.formatted()
+    ));
+    out.push_str(&format!(
+        "  communication:  {}\n",
+        models.app.communication.formatted()
+    ));
+    out.push_str(&format!(
+        "  memory ops.:    {}\n",
+        models.app.memory_ops.formatted()
+    ));
     out.push_str(&format!(
         "\n{} kernel models created ({} kernels unmodelable).\n",
         models.kernels.len(),
@@ -255,7 +267,10 @@ fn cmd_analyze(args: &Args) -> Result<String, CliError> {
     let cost = CostModel::new(cores);
 
     let mut out = String::new();
-    out.push_str(&format!("T_epoch(x1) = {}\n\n", models.app.epoch.formatted()));
+    out.push_str(&format!(
+        "T_epoch(x1) = {}\n\n",
+        models.app.epoch.formatted()
+    ));
     out.push_str(&format!(
         "Q1. Training time per epoch at {probe} ranks: {:.2} s\n",
         questions::q1_epoch_seconds(&models, probe)
@@ -427,7 +442,9 @@ fn cmd_export_chrome(args: &Args) -> Result<String, CliError> {
 fn cmd_import(args: &Args) -> Result<String, CliError> {
     let csvs = args.values("--csv");
     if csvs.is_empty() {
-        return Err(CliError::Usage("import requires at least one --csv".to_string()));
+        return Err(CliError::Usage(
+            "import requires at least one --csv".to_string(),
+        ));
     }
     let out = args
         .value("--out")
@@ -439,11 +456,7 @@ fn cmd_import(args: &Args) -> Result<String, CliError> {
         profiles.push(profile);
     }
     json::save(&profiles, out).map_err(|e| CliError::Trace(e.to_string()))?;
-    Ok(format!(
-        "Imported {} profiles -> {}",
-        profiles.len(),
-        out
-    ))
+    Ok(format!("Imported {} profiles -> {}", profiles.len(), out))
 }
 
 /// Entry point: dispatches on the first argument, returns the report text.
@@ -539,7 +552,10 @@ mod tests {
     #[test]
     fn summary_renders_kernel_tables() {
         let path = tmp("cli_summary.json");
-        run(&argv(&format!("simulate --out {path} --ranks 2,4 --reps 1"))).unwrap();
+        run(&argv(&format!(
+            "simulate --out {path} --ranks 2,4 --reps 1"
+        )))
+        .unwrap();
         let out = run(&argv(&format!("summary --in {path} --top 5"))).unwrap();
         assert!(out.contains("Kernel summary for app.x2"));
         assert!(out.contains("Kernel summary for app.x4"));
@@ -549,7 +565,10 @@ mod tests {
     #[test]
     fn calltree_renders_phases() {
         let path = tmp("cli_calltree.json");
-        run(&argv(&format!("simulate --out {path} --ranks 2,4 --reps 1"))).unwrap();
+        run(&argv(&format!(
+            "simulate --out {path} --ranks 2,4 --reps 1"
+        )))
+        .unwrap();
         let out = run(&argv(&format!("calltree --in {path}"))).unwrap();
         assert!(out.contains("train"));
         assert!(out.contains("exchange"));
@@ -561,7 +580,10 @@ mod tests {
     fn compare_and_export_chrome() {
         let a = tmp("cmp_a.json");
         let b = tmp("cmp_b.json");
-        run(&argv(&format!("simulate --out {a} --ranks 2,4,6,8,10 --reps 1"))).unwrap();
+        run(&argv(&format!(
+            "simulate --out {a} --ranks 2,4,6,8,10 --reps 1"
+        )))
+        .unwrap();
         run(&argv(&format!(
             "simulate --out {b} --ranks 2,4,6,8,10 --reps 1 --system jureca --ranks 8,16,24,32,40"
         )))
@@ -582,9 +604,7 @@ mod tests {
     #[test]
     fn simulate_rejects_bad_benchmark() {
         let path = tmp("never_written.json");
-        let err = run(&argv(&format!(
-            "simulate --out {path} --benchmark mnist"
-        )));
+        let err = run(&argv(&format!("simulate --out {path} --benchmark mnist")));
         assert!(matches!(err, Err(CliError::Usage(_))));
     }
 

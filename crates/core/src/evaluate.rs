@@ -118,14 +118,22 @@ mod tests {
         let truth = |x: f64| 100.0 + 2.0 * x;
         let modeling = ExperimentData::univariate(
             "p",
-            &[(2.0, truth(2.0)), (4.0, truth(4.0)), (6.0, truth(6.0)),
-              (8.0, truth(8.0)), (10.0, truth(10.0))],
+            &[
+                (2.0, truth(2.0)),
+                (4.0, truth(4.0)),
+                (6.0, truth(6.0)),
+                (8.0, truth(8.0)),
+                (10.0, truth(10.0)),
+            ],
         );
         // Evaluation points drift 5% from the trend, emulating noise at scale.
         let evaluation = ExperimentData::univariate(
             "p",
-            &[(16.0, truth(16.0) * 1.05), (32.0, truth(32.0) * 0.95),
-              (64.0, truth(64.0) * 1.05)],
+            &[
+                (16.0, truth(16.0) * 1.05),
+                (32.0, truth(32.0) * 0.95),
+                (64.0, truth(64.0) * 1.05),
+            ],
         );
         let model = model_single_parameter(&modeling, &ModelerOptions::default()).unwrap();
         (model, modeling, evaluation)

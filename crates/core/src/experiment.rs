@@ -23,10 +23,7 @@ pub struct ExperimentPlan {
 
 /// The paper's point sets per system (§4.1, "Experiment configuration").
 pub fn deep_point_sets() -> (Vec<u32>, Vec<u32>) {
-    (
-        vec![2, 4, 6, 8, 10],
-        vec![12, 16, 24, 32, 40, 48, 56, 64],
-    )
+    (vec![2, 4, 6, 8, 10], vec![12, 16, 24, 32, 40, 48, 56, 64])
 }
 
 pub fn jureca_point_sets() -> (Vec<u32>, Vec<u32>) {

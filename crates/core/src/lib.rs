@@ -42,8 +42,7 @@ pub mod report;
 
 pub use analysis::{
     efficiency_model, efficiency_series, find_cost_effective, rank_by_growth, speedup_model,
-    speedup_series, top_bottlenecks, Candidate, Constraints, CostModel, RankedKernel,
-    SearchResult,
+    speedup_series, top_bottlenecks, Candidate, Constraints, CostModel, RankedKernel, SearchResult,
 };
 pub use evaluate::{mpe, mpe_at_scale, point_errors, AccuracyReport, PointError};
 pub use experiment::{deep_point_sets, jureca_point_sets, ExperimentOutcome, ExperimentPlan};

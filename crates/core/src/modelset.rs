@@ -3,10 +3,7 @@
 //! "calltree: kernel models" and "collectives: application models").
 
 use extradeep_agg::{AggregatedExperiment, AppCategory, KernelId};
-use extradeep_model::{
-    model_multi_parameter, model_single_parameter, ExperimentData, Model, ModelerOptions,
-    ModelingError,
-};
+use extradeep_model::{Model, ModelerOptions, ModelingError, SearchEngine};
 use extradeep_trace::MetricKind;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -83,24 +80,17 @@ impl ModelSetOptions {
     }
 }
 
-/// Fits one dataset, dispatching between the single- and multi-parameter
-/// modelers by the number of coordinates.
-fn fit_dataset(data: &ExperimentData, options: &ModelerOptions) -> Result<Model, ModelingError> {
-    if data.num_parameters() > 1 {
-        model_multi_parameter(data, options)
-    } else {
-        model_single_parameter(data, options)
-    }
-}
-
 /// Builds the application models for one metric.
 pub fn build_app_models(
     agg: &AggregatedExperiment,
     metric: MetricKind,
     options: &ModelSetOptions,
 ) -> Result<AppModels, ModelingError> {
+    // One engine serves all four application models: the hypothesis-shape
+    // list of the (wider, two-term) application space is generated once.
+    let engine = SearchEngine::new(options.app_modeler.clone());
     let fit = |cat: Option<AppCategory>| -> Result<Model, ModelingError> {
-        fit_dataset(&agg.app_dataset(metric, cat), &options.app_modeler)
+        engine.model(&agg.app_dataset(metric, cat))
     };
     Ok(AppModels {
         epoch: fit(None)?,
@@ -119,11 +109,14 @@ pub fn build_model_set(
     let app = build_app_models(agg, metric, options)?;
     let kernels_to_model = agg.modelable_kernels(options.min_configs);
 
+    // One shared engine across the (potentially hundreds of) kernel models:
+    // the search space is expanded into hypothesis shapes exactly once.
+    let engine = SearchEngine::new(options.modeler.clone());
     let results: Vec<(KernelId, Result<Model, ModelingError>)> = kernels_to_model
         .par_iter()
         .map(|id| {
             let data = agg.kernel_dataset(id, metric);
-            (id.clone(), fit_dataset(&data, &options.modeler))
+            (id.clone(), engine.model(&data))
         })
         .collect();
 
@@ -167,7 +160,11 @@ mod tests {
     fn builds_app_and_kernel_models() {
         let agg = small_experiment();
         let set = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
-        assert!(set.kernels.len() > 30, "only {} kernel models", set.kernels.len());
+        assert!(
+            set.kernels.len() > 30,
+            "only {} kernel models",
+            set.kernels.len()
+        );
         assert!(set.failed.is_empty(), "failed: {:?}", set.failed);
         // The epoch model predicts growth with scale under weak scaling.
         let m = &set.app.epoch;

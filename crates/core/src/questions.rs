@@ -45,7 +45,11 @@ pub struct BottleneckAnswer {
 
 pub fn q3_bottlenecks(models: &ModelSet, probe_ranks: f64) -> BottleneckAnswer {
     let comm = models.app.communication.predict_at(probe_ranks).max(0.0);
-    let epoch = models.app.epoch.predict_at(probe_ranks).max(f64::MIN_POSITIVE);
+    let epoch = models
+        .app
+        .epoch
+        .predict_at(probe_ranks)
+        .max(f64::MIN_POSITIVE);
     let top = crate::analysis::bottleneck::top_bottlenecks(models, probe_ranks, 5)
         .into_iter()
         .map(|r| format!("{} [{}]", r.id.name, r.growth))

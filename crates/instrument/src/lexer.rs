@@ -46,7 +46,10 @@ fn scrub_line(line: &str, mut in_triple: Option<char>) -> (String, Option<char>)
         let c = bytes[i];
         if let Some(q) = in_triple {
             // Inside a triple-quoted string: look for the closing delimiter.
-            if c == q && i + 2 < bytes.len() + 1 && bytes.get(i + 1) == Some(&q) && bytes.get(i + 2) == Some(&q)
+            if c == q
+                && i + 2 < bytes.len() + 1
+                && bytes.get(i + 1) == Some(&q)
+                && bytes.get(i + 2) == Some(&q)
             {
                 in_triple = None;
                 i += 3;
@@ -213,7 +216,12 @@ mod tests {
                 is_async: true
             }
         );
-        assert_eq!(lines[2].kind, LineKind::ClassDef { name: "Model".into() });
+        assert_eq!(
+            lines[2].kind,
+            LineKind::ClassDef {
+                name: "Model".into()
+            }
+        );
     }
 
     #[test]

@@ -225,7 +225,8 @@ mod tests {
 
     #[test]
     fn is_idempotent() {
-        let src = "class T:\n    def fit(self):\n        pass\n\ndef training_step(x):\n    return x\n";
+        let src =
+            "class T:\n    def fit(self):\n        pass\n\ndef training_step(x):\n    return x\n";
         let once = run(src);
         let twice = run(&once.source);
         assert_eq!(once.source, twice.source);
@@ -275,7 +276,8 @@ mod tests {
 
     #[test]
     fn multiline_signature_mark_lands_in_body() {
-        let src = "def training_step(\n    images,\n    labels,\n):\n    loss = 1\n    return loss\n";
+        let src =
+            "def training_step(\n    images,\n    labels,\n):\n    loss = 1\n    return loss\n";
         let out = run(src);
         let lines: Vec<&str> = out.source.lines().collect();
         let mark_idx = lines

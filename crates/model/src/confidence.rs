@@ -200,7 +200,13 @@ mod tests {
     #[test]
     fn perfect_fit_has_zero_width_band() {
         let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
-        let data = pts(&[(2.0, 4.0), (4.0, 8.0), (8.0, 16.0), (16.0, 32.0), (32.0, 64.0)]);
+        let data = pts(&[
+            (2.0, 4.0),
+            (4.0, 8.0),
+            (8.0, 16.0),
+            (16.0, 32.0),
+            (32.0, 64.0),
+        ]);
         let fitted = hypothesis::fit(&shape, &data).unwrap();
         let band = RegressionBand::from_fit(&shape, &data, fitted.rss).unwrap();
         let (lo, hi) = band.confidence_interval(fitted.function.evaluate_at(10.0), &[10.0]);
@@ -222,13 +228,22 @@ mod tests {
         let near = band.mean_std_error(&[16.0]);
         let far = band.mean_std_error(&[128.0]);
         assert!(near > 0.0);
-        assert!(far > near, "extrapolated SE {far} must exceed in-range {near}");
+        assert!(
+            far > near,
+            "extrapolated SE {far} must exceed in-range {near}"
+        );
     }
 
     #[test]
     fn prediction_interval_wider_than_confidence_interval() {
         let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
-        let data = pts(&[(2.0, 4.3), (4.0, 7.6), (8.0, 16.5), (16.0, 31.2), (32.0, 65.0)]);
+        let data = pts(&[
+            (2.0, 4.3),
+            (4.0, 7.6),
+            (8.0, 16.5),
+            (16.0, 31.2),
+            (32.0, 65.0),
+        ]);
         let fitted = hypothesis::fit(&shape, &data).unwrap();
         let band = RegressionBand::from_fit(&shape, &data, fitted.rss).unwrap();
         let p = fitted.function.evaluate_at(20.0);
@@ -249,11 +264,13 @@ mod tests {
         };
         let data = ExperimentData::new(
             vec!["p".into()],
-            xs.iter().map(|&x| Measurement::new(vec![x], reps(x))).collect(),
+            xs.iter()
+                .map(|&x| Measurement::new(vec![x], reps(x)))
+                .collect(),
         );
         let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
-        let (lo, hi) = super::bootstrap_interval(&model, &data, &[64.0], 200, 7)
-            .expect("bootstrap succeeds");
+        let (lo, hi) =
+            super::bootstrap_interval(&model, &data, &[64.0], 200, 7).expect("bootstrap succeeds");
         let p = model.predict_at(64.0);
         assert!(lo <= p && p <= hi, "{lo} <= {p} <= {hi}");
         // Interval is non-degenerate but bounded by the ±3% repetition noise.

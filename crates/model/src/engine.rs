@@ -1,0 +1,490 @@
+//! The fast-path hypothesis search engine.
+//!
+//! Profiling the modeling stage shows the naive leave-one-out loop dominates
+//! its cost: for every one of the ~60 candidate shapes it refits the model
+//! `n` times, and every refit rebuilds the design matrix, re-evaluates every
+//! basis function, and solves the normal equations from scratch. This module
+//! replaces that inner loop with three cooperating pieces:
+//!
+//! 1. **Closed-form LOO-CV.** For ordinary least squares the leave-one-out
+//!    prediction follows exactly from the *full-data* fit via the hat-matrix
+//!    identity `ŷ₋ᵢ = yᵢ − eᵢ / (1 − hᵢᵢ)`, where `eᵢ` is the full-fit
+//!    residual and `hᵢᵢ = xᵢ'(XᵀX)⁻¹xᵢ` the leverage of point `i`. One LDLᵀ
+//!    factorization of the Gram matrix therefore replaces the `n` refits.
+//!    Folds whose leverage is ≈ 1 (removing the point makes the design
+//!    rank-deficient) fall back to an exact refit of that fold, so the
+//!    accept/reject behavior matches the naive loop.
+//! 2. **A shared basis cache.** All candidate shapes draw their basis
+//!    columns from the same small set of `(parameter, TermShape)` factors;
+//!    [`BasisCache`] evaluates each distinct factor once per search and
+//!    assembles per-shape design matrices from the cached columns.
+//! 3. **Allocation-free workspaces.** Each rayon worker owns one
+//!    [`Workspace`] of scratch buffers, reused across every shape it
+//!    evaluates — the steady-state search loop performs no heap allocation
+//!    beyond the winning hypothesis.
+//!
+//! The naive path survives as [`hypothesis::cross_validate_naive`]
+//! (selectable per search via `ModelerOptions::use_naive_loocv`) and in
+//! [`crate::reference`], the frozen pre-optimization driver used for
+//! benchmarking and equivalence tests.
+
+use crate::hypothesis::{self, FittedHypothesis, HypothesisShape};
+use crate::linalg;
+use crate::measurement::{Coordinate, ExperimentData};
+use crate::metrics;
+use crate::model::Model;
+use crate::modeler::{self, ModelerOptions, ModelingError};
+use crate::multi_param;
+use crate::search_space::TermShape;
+use crate::term::SimpleTerm;
+use std::collections::HashMap;
+
+/// A fold whose `1 − hᵢᵢ` is below this threshold would divide by ≈ 0 in the
+/// hat-matrix identity; such folds are refit exactly instead.
+const LEVERAGE_EPS: f64 = 1e-7;
+
+/// Per-worker scratch buffers. One instance lives in each rayon worker and
+/// is reused across every hypothesis that worker evaluates.
+#[derive(Debug, Default)]
+pub(crate) struct Workspace {
+    /// Row-major `n × k` design matrix of the current shape.
+    design: Vec<f64>,
+    /// `k × k` Gram matrix `XᵀX`, overwritten in place by its LDLᵀ factor.
+    gram: Vec<f64>,
+    /// `Xᵀy`.
+    rhs: Vec<f64>,
+    coeffs: Vec<f64>,
+    /// Fitted values at the training points.
+    fitted: Vec<f64>,
+    /// Metric values, aligned with the design-matrix rows.
+    actuals: Vec<f64>,
+    /// Leave-one-out predictions.
+    loo: Vec<f64>,
+    /// `k`-length scratch for the per-point leverage solves.
+    scratch: Vec<f64>,
+    probe_point: Vec<f64>,
+    probe_row: Vec<f64>,
+}
+
+/// Shared basis-column cache: every distinct `(parameter, TermShape)` factor
+/// appearing in the candidate shapes is evaluated exactly once per search.
+pub(crate) struct BasisCache {
+    len: usize,
+    index: HashMap<(usize, TermShape), usize>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl BasisCache {
+    pub(crate) fn build(shapes: &[HypothesisShape], points: &[(Coordinate, f64)]) -> Self {
+        let mut cache = BasisCache {
+            len: points.len(),
+            index: HashMap::new(),
+            columns: Vec::new(),
+        };
+        for shape in shapes {
+            for factors in &shape.terms {
+                for &(param, ts) in factors {
+                    cache.insert(param, ts, points);
+                }
+            }
+        }
+        cache
+    }
+
+    fn insert(&mut self, param: usize, ts: TermShape, points: &[(Coordinate, f64)]) {
+        if self.index.contains_key(&(param, ts)) {
+            return;
+        }
+        let term = SimpleTerm::new(param, ts.exponent, ts.log_exponent);
+        let column: Vec<f64> = points.iter().map(|(c, _)| term.evaluate(c)).collect();
+        self.index.insert((param, ts), self.columns.len());
+        self.columns.push(column);
+    }
+
+    /// Assembles the design matrix of `shape` into `ws.design` from cached
+    /// columns. Factor products run in declaration order, so every entry is
+    /// bitwise identical to [`HypothesisShape::design_row`].
+    fn fill_design(&self, shape: &HypothesisShape, ws: &mut Workspace) {
+        let (n, k) = (self.len, shape.num_coefficients());
+        ws.design.clear();
+        ws.design.resize(n * k, 1.0);
+        for (t, factors) in shape.terms.iter().enumerate() {
+            for &(param, ts) in factors {
+                let column = &self.columns[self.index[&(param, ts)]];
+                for (i, &v) in column.iter().enumerate() {
+                    ws.design[i * k + t + 1] *= v;
+                }
+            }
+        }
+    }
+}
+
+/// `c₀ + Σ c_j·b_j` with the same summation order as
+/// `PerformanceFunction::evaluate`, so guard decisions taken on raw design
+/// rows agree bitwise with the instantiated function.
+#[inline]
+fn predict(coeffs: &[f64], row: &[f64]) -> f64 {
+    let terms: f64 = coeffs[1..].iter().zip(&row[1..]).map(|(c, b)| c * b).sum();
+    coeffs[0] + terms
+}
+
+/// OLS on the workspace's design matrix via normal equations and one LDLᵀ
+/// factorization. Returns `false` on a non-positive-definite Gram matrix
+/// (collinear basis columns) or non-finite output — the same rejections as
+/// the Gaussian-elimination path in [`hypothesis::fit`].
+fn fit_in_workspace(ws: &mut Workspace, n: usize, k: usize) -> bool {
+    ws.gram.clear();
+    ws.gram.resize(k * k, 0.0);
+    ws.rhs.clear();
+    ws.rhs.resize(k, 0.0);
+    for i in 0..n {
+        let row = &ws.design[i * k..(i + 1) * k];
+        let y = ws.actuals[i];
+        for a in 0..k {
+            ws.rhs[a] += row[a] * y;
+            for b in a..k {
+                ws.gram[a * k + b] += row[a] * row[b];
+            }
+        }
+    }
+    // The factorization and solves read only the lower triangle.
+    for a in 0..k {
+        for b in 0..a {
+            ws.gram[a * k + b] = ws.gram[b * k + a];
+        }
+    }
+    if !linalg::ldlt_factor_in_place(&mut ws.gram, k) {
+        return false;
+    }
+    ws.coeffs.clear();
+    ws.coeffs.extend_from_slice(&ws.rhs);
+    linalg::ldlt_solve_in_place(&ws.gram, k, &mut ws.coeffs);
+    if ws.coeffs.iter().any(|c| !c.is_finite()) {
+        return false;
+    }
+    ws.fitted.clear();
+    for i in 0..n {
+        let p = predict(&ws.coeffs, &ws.design[i * k..(i + 1) * k]);
+        if !p.is_finite() {
+            return false;
+        }
+        ws.fitted.push(p);
+    }
+    true
+}
+
+/// Closed-form LOO-CV from an already-fitted workspace. Returns `None` when
+/// CV is undefined (`n ≤ k`) or a degenerate fold's exact refit fails —
+/// matching [`hypothesis::cross_validate_naive`].
+fn loo_from_workspace(
+    shape: &HypothesisShape,
+    points: &[(Coordinate, f64)],
+    ws: &mut Workspace,
+    n: usize,
+    k: usize,
+) -> Option<f64> {
+    if n <= k {
+        return None;
+    }
+    ws.loo.clear();
+    for i in 0..n {
+        ws.scratch.clear();
+        ws.scratch.extend_from_slice(&ws.design[i * k..(i + 1) * k]);
+        linalg::ldlt_solve_in_place(&ws.gram, k, &mut ws.scratch);
+        let leverage: f64 = ws.design[i * k..(i + 1) * k]
+            .iter()
+            .zip(&ws.scratch)
+            .map(|(a, b)| a * b)
+            .sum();
+        let denom = 1.0 - leverage;
+        let pred = ws.actuals[i] - (ws.actuals[i] - ws.fitted[i]) / denom;
+        if denom < LEVERAGE_EPS || !pred.is_finite() {
+            ws.loo
+                .push(hypothesis::naive_fold_prediction(shape, points, i)?);
+        } else {
+            ws.loo.push(pred);
+        }
+    }
+    Some(metrics::smape(&ws.loo, &ws.actuals))
+}
+
+/// Standalone closed-form LOO-CV entry point (backs
+/// [`hypothesis::cross_validate`]). Allocates its own workspace; the search
+/// loop instead goes through [`evaluate_shape_cached`], which reuses the
+/// factorization already computed for the fit.
+pub(crate) fn cross_validate_closed_form(
+    shape: &HypothesisShape,
+    points: &[(Coordinate, f64)],
+) -> Option<f64> {
+    let n = points.len();
+    let k = shape.num_coefficients();
+    if n <= k {
+        return None;
+    }
+    let mut ws = Workspace::default();
+    for (c, _) in points {
+        shape.design_row_into(c, &mut ws.probe_row);
+        ws.design.extend_from_slice(&ws.probe_row);
+    }
+    ws.actuals.extend(points.iter().map(|&(_, v)| v));
+    if !fit_in_workspace(&mut ws, n, k) {
+        return None;
+    }
+    loo_from_workspace(shape, points, &mut ws, n, k)
+}
+
+/// Whether every polynomial exponent of the shape lies inside the growth
+/// bounds (shared by the fast and reference drivers).
+pub(crate) fn shape_within_bounds(shape: &HypothesisShape, bounds: Option<(f64, f64)>) -> bool {
+    match bounds {
+        None => true,
+        Some((lo, hi)) => shape.terms.iter().flatten().all(|(_, s)| {
+            let e = s.exponent.as_f64();
+            e >= lo && e <= hi
+        }),
+    }
+}
+
+/// Fits one hypothesis end to end on the fast path: cached design assembly,
+/// LDLᵀ fit, the negativity/cancellation guards of the reference driver, and
+/// closed-form cross-validation reusing the fit's factorization.
+pub(crate) fn evaluate_shape_cached(
+    shape: &HypothesisShape,
+    points: &[(Coordinate, f64)],
+    options: &ModelerOptions,
+    exponent_bounds: Option<(f64, f64)>,
+    cache: &BasisCache,
+    ws: &mut Workspace,
+) -> Option<FittedHypothesis> {
+    if !shape_within_bounds(shape, exponent_bounds) {
+        return None;
+    }
+    let n = points.len();
+    let k = shape.num_coefficients();
+    if n < k {
+        return None;
+    }
+    cache.fill_design(shape, ws);
+    ws.actuals.clear();
+    ws.actuals.extend(points.iter().map(|&(_, v)| v));
+    if !fit_in_workspace(ws, n, k) {
+        return None;
+    }
+
+    let far_index = (0..n).max_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if options.reject_negative_predictions {
+        if ws.fitted.iter().any(|&p| p < 0.0) {
+            return None;
+        }
+        // A runtime/visits/bytes model must stay non-negative under
+        // extrapolation too: probe a few multiples of the largest coordinate
+        // (decaying models with a negative constant otherwise cross zero
+        // just outside the fit range).
+        if let Some(far) = far_index {
+            for factor in [2.0, 8.0, 32.0] {
+                ws.probe_point.clear();
+                ws.probe_point
+                    .extend(points[far].0.iter().map(|x| x * factor));
+                shape.design_row_into(&ws.probe_point, &mut ws.probe_row);
+                if predict(&ws.coeffs, &ws.probe_row) < 0.0 {
+                    return None;
+                }
+            }
+        }
+    }
+    // Cancellation guard: a fit whose terms are individually huge but cancel
+    // to the measured magnitude is numerically meaningless outside the fit
+    // range (two opposing growing terms explode under extrapolation).
+    if let Some(far) = far_index {
+        let row = &ws.design[far * k..(far + 1) * k];
+        let value = ws.fitted[far].abs().max(1e-30);
+        let magnitude: f64 = ws.coeffs[0].abs()
+            + ws.coeffs[1..]
+                .iter()
+                .zip(&row[1..])
+                .map(|(c, b)| (c * b).abs())
+                .sum::<f64>();
+        if magnitude > 10.0 * value {
+            return None;
+        }
+    }
+
+    let mut cv_smape = f64::NAN;
+    if options.use_cross_validation {
+        let cv = if options.use_naive_loocv {
+            hypothesis::cross_validate_naive(shape, points)
+        } else {
+            loo_from_workspace(shape, points, ws, n, k)
+        };
+        if let Some(cv) = cv {
+            cv_smape = cv;
+        }
+    }
+
+    Some(FittedHypothesis {
+        function: shape.instantiate(&ws.coeffs),
+        smape: metrics::smape(&ws.fitted, &ws.actuals),
+        rss: metrics::rss(&ws.fitted, &ws.actuals),
+        r_squared: metrics::r_squared(&ws.fitted, &ws.actuals),
+        cv_smape,
+        shape: shape.clone(),
+    })
+}
+
+/// A reusable hypothesis search engine.
+///
+/// Precomputes the univariate hypothesis shapes of its search space once, so
+/// modeling hundreds of kernel datasets (the per-kernel loop of the paper's
+/// step 4) does not regenerate them per kernel. Dispatches on the parameter
+/// count of each dataset.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    options: ModelerOptions,
+    univariate: Vec<HypothesisShape>,
+}
+
+impl SearchEngine {
+    pub fn new(options: ModelerOptions) -> Self {
+        let univariate = options.search_space.univariate_hypotheses();
+        SearchEngine {
+            options,
+            univariate,
+        }
+    }
+
+    pub fn options(&self) -> &ModelerOptions {
+        &self.options
+    }
+
+    /// Models one dataset: single-parameter data goes through the cached
+    /// shape list, multi-parameter data through the sparse combination
+    /// search (whose grid refit shares the same fast path).
+    pub fn model(&self, data: &ExperimentData) -> Result<Model, ModelingError> {
+        match data.num_parameters() {
+            0 => Err(ModelingError::InvalidData("no parameters".into())),
+            1 => modeler::model_with_shapes(data, &self.options, &self.univariate),
+            _ => multi_param::model_multi_parameter(data, &self.options),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraction::Fraction;
+    use crate::measurement::ExperimentData;
+
+    fn pts(raw: &[(f64, f64)]) -> Vec<(Coordinate, f64)> {
+        raw.iter().map(|&(x, v)| (vec![x], v)).collect()
+    }
+
+    #[test]
+    fn basis_cache_matches_design_row() {
+        let shapes = vec![
+            HypothesisShape::univariate(&[TermShape::new(Fraction::new(2, 3), 2)]),
+            HypothesisShape::univariate(&[
+                TermShape::new(Fraction::whole(1), 0),
+                TermShape::new(Fraction::zero(), 1),
+            ]),
+        ];
+        let points = pts(&[(2.0, 1.0), (4.0, 2.0), (8.0, 3.0), (16.0, 4.0)]);
+        let cache = BasisCache::build(&shapes, &points);
+        let mut ws = Workspace::default();
+        for shape in &shapes {
+            cache.fill_design(shape, &mut ws);
+            let k = shape.num_coefficients();
+            for (i, (c, _)) in points.iter().enumerate() {
+                let expected = shape.design_row(c);
+                assert_eq!(&ws.design[i * k..(i + 1) * k], expected.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_fit_matches_reference_fit() {
+        let shape = HypothesisShape::univariate(&[
+            TermShape::new(Fraction::whole(1), 0),
+            TermShape::new(Fraction::zero(), 1),
+        ]);
+        let points = pts(&[
+            (2.0, 8.1),
+            (4.0, 15.2),
+            (8.0, 25.9),
+            (16.0, 45.3),
+            (32.0, 79.8),
+        ]);
+        let cache = BasisCache::build(std::slice::from_ref(&shape), &points);
+        let mut ws = Workspace::default();
+        cache.fill_design(&shape, &mut ws);
+        ws.actuals.extend(points.iter().map(|&(_, v)| v));
+        assert!(fit_in_workspace(
+            &mut ws,
+            points.len(),
+            shape.num_coefficients()
+        ));
+        let reference = hypothesis::fit(&shape, &points).unwrap();
+        let coeffs = [
+            reference.function.constant,
+            reference.function.terms[0].coefficient,
+            reference.function.terms[1].coefficient,
+        ];
+        for (fast, slow) in ws.coeffs.iter().zip(coeffs) {
+            assert!(
+                (fast - slow).abs() < 1e-9 * (1.0 + slow.abs()),
+                "{fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_engine_models_univariate_data() {
+        let data = ExperimentData::univariate(
+            "p",
+            &[
+                (2.0, 7.0),
+                (4.0, 11.0),
+                (8.0, 19.0),
+                (16.0, 35.0),
+                (32.0, 67.0),
+            ],
+        );
+        let engine = SearchEngine::new(ModelerOptions::default());
+        let model = engine.model(&data).unwrap();
+        assert_eq!(model.big_o(), "O(p)");
+        assert!((model.predict_at(64.0) - 131.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn search_engine_rejects_zero_parameters() {
+        let data = ExperimentData::new(vec![], vec![]);
+        let engine = SearchEngine::new(ModelerOptions::default());
+        assert!(matches!(
+            engine.model(&data),
+            Err(ModelingError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn naive_flag_produces_same_model() {
+        let f = |x: f64| 3.5 + 0.25 * x * x.log2();
+        let points: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&x| (x, f(x)))
+            .collect();
+        let data = ExperimentData::univariate("p", &points);
+        let fast = modeler::model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let naive_options = ModelerOptions {
+            use_naive_loocv: true,
+            ..ModelerOptions::default()
+        };
+        let naive = modeler::model_single_parameter(&data, &naive_options).unwrap();
+        assert_eq!(fast.big_o(), naive.big_o());
+        let (a, b) = (fast.predict_at(64.0), naive.predict_at(64.0));
+        assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+}

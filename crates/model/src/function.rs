@@ -238,7 +238,10 @@ mod tests {
             1.0,
             vec![CompoundTerm::univariate(0.0, Fraction::whole(3), 0)],
         );
-        assert_eq!(f.growth_key(), PerformanceFunction::constant_only(1.0).growth_key());
+        assert_eq!(
+            f.growth_key(),
+            PerformanceFunction::constant_only(1.0).growth_key()
+        );
     }
 
     #[test]

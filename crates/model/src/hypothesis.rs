@@ -50,11 +50,18 @@ impl HypothesisShape {
     /// Builds the design matrix row for one coordinate: `[1, b_1, ..., b_h]`.
     pub fn design_row(&self, point: &[f64]) -> Vec<f64> {
         let mut row = Vec::with_capacity(self.num_coefficients());
-        row.push(1.0);
-        for factors in &self.terms {
-            row.push(Self::basis_term(factors, point));
-        }
+        self.design_row_into(point, &mut row);
         row
+    }
+
+    /// Writes the design row into a reusable buffer (cleared first), so hot
+    /// loops can evaluate probe points without allocating.
+    pub fn design_row_into(&self, point: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.push(1.0);
+        for factors in &self.terms {
+            out.push(Self::basis_term(factors, point));
+        }
     }
 
     /// Converts fitted coefficients into a [`PerformanceFunction`].
@@ -122,10 +129,28 @@ pub fn fit(shape: &HypothesisShape, points: &[(Coordinate, f64)]) -> Option<Fitt
     })
 }
 
-/// Leave-one-out cross-validation: refit on `n-1` points, score the held-out
-/// point, average the SMAPE contributions. Returns `None` when any fold is
-/// unfittable.
+/// Leave-one-out cross-validated SMAPE, computed in closed form.
+///
+/// For OLS the leave-one-out prediction follows exactly from the full-data
+/// fit via the hat-matrix identity `ŷ₋ᵢ = yᵢ − eᵢ / (1 − hᵢᵢ)`, where `eᵢ`
+/// is the full-fit residual and `hᵢᵢ = xᵢ'(X'X)⁻¹xᵢ` the leverage — so one
+/// LDLᵀ decomposition replaces the `n` refits of the naive loop. Degenerate
+/// folds (leverage ≈ 1, i.e. removing the point makes the design
+/// rank-deficient) automatically fall back to an exact refit of that fold.
+/// Returns `None` when any fold is unfittable, exactly like
+/// [`cross_validate_naive`].
 pub fn cross_validate(shape: &HypothesisShape, points: &[(Coordinate, f64)]) -> Option<f64> {
+    crate::engine::cross_validate_closed_form(shape, points)
+}
+
+/// The naive n-refit leave-one-out cross-validation: refit on `n-1` points,
+/// score the held-out point, average the SMAPE contributions. Returns `None`
+/// when any fold is unfittable.
+///
+/// Retained as the ground truth for the closed-form path: the equivalence
+/// proptest asserts both agree, and [`crate::modeler::ModelerOptions`]
+/// `use_naive_loocv` routes the whole search through this implementation.
+pub fn cross_validate_naive(shape: &HypothesisShape, points: &[(Coordinate, f64)]) -> Option<f64> {
     let n = points.len();
     if n <= shape.num_coefficients() {
         return None;
@@ -133,17 +158,27 @@ pub fn cross_validate(shape: &HypothesisShape, points: &[(Coordinate, f64)]) -> 
     let mut preds = Vec::with_capacity(n);
     let mut actuals = Vec::with_capacity(n);
     for holdout in 0..n {
-        let training: Vec<(Coordinate, f64)> = points
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != holdout)
-            .map(|(_, p)| p.clone())
-            .collect();
-        let fitted = fit(shape, &training)?;
-        preds.push(fitted.function.evaluate(&points[holdout].0));
+        preds.push(naive_fold_prediction(shape, points, holdout)?);
         actuals.push(points[holdout].1);
     }
     Some(metrics::smape(&preds, &actuals))
+}
+
+/// Refits one leave-one-out fold and predicts the held-out point. Shared by
+/// the naive loop and the closed-form path's degenerate-fold fallback.
+pub(crate) fn naive_fold_prediction(
+    shape: &HypothesisShape,
+    points: &[(Coordinate, f64)],
+    holdout: usize,
+) -> Option<f64> {
+    let training: Vec<(Coordinate, f64)> = points
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != holdout)
+        .map(|(_, p)| p.clone())
+        .collect();
+    let fitted = fit(shape, &training)?;
+    Some(fitted.function.evaluate(&points[holdout].0))
 }
 
 #[cfg(test)]
@@ -167,7 +202,13 @@ mod tests {
     fn linear_hypothesis_recovers_exact_coefficients() {
         // y = 3 + 2x
         let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
-        let data = pts(&[(2.0, 7.0), (4.0, 11.0), (8.0, 19.0), (16.0, 35.0), (32.0, 67.0)]);
+        let data = pts(&[
+            (2.0, 7.0),
+            (4.0, 11.0),
+            (8.0, 19.0),
+            (16.0, 35.0),
+            (32.0, 67.0),
+        ]);
         let fitted = fit(&shape, &data).unwrap();
         assert!((fitted.function.constant - 3.0).abs() < 1e-8);
         assert!((fitted.function.terms[0].coefficient - 2.0).abs() < 1e-8);
@@ -179,7 +220,13 @@ mod tests {
     fn log_hypothesis_recovers_exact_coefficients() {
         // y = 1 + 5*log2(x)
         let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::zero(), 1)]);
-        let data = pts(&[(2.0, 6.0), (4.0, 11.0), (8.0, 16.0), (16.0, 21.0), (32.0, 26.0)]);
+        let data = pts(&[
+            (2.0, 6.0),
+            (4.0, 11.0),
+            (8.0, 16.0),
+            (16.0, 21.0),
+            (32.0, 26.0),
+        ]);
         let fitted = fit(&shape, &data).unwrap();
         assert!((fitted.function.constant - 1.0).abs() < 1e-8);
         assert!((fitted.function.terms[0].coefficient - 5.0).abs() < 1e-8);
@@ -215,6 +262,66 @@ mod tests {
         let cv_lin = cross_validate(&lin, &data).unwrap();
         assert!(cv_quad < 1e-6, "quad cv = {cv_quad}");
         assert!(cv_lin > 1.0, "lin cv = {cv_lin}");
+    }
+
+    #[test]
+    fn closed_form_cv_matches_naive_refit() {
+        // Noisy quadratic-ish data: both paths must produce the same SMAPE.
+        let data = pts(&[
+            (2.0, 4.3),
+            (4.0, 10.4),
+            (8.0, 33.1),
+            (16.0, 131.0),
+            (32.0, 509.8),
+            (64.0, 2061.0),
+        ]);
+        for shape in [
+            HypothesisShape::constant(),
+            HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]),
+            HypothesisShape::univariate(&[TermShape::new(Fraction::whole(2), 0)]),
+            HypothesisShape::univariate(&[
+                TermShape::new(Fraction::whole(1), 0),
+                TermShape::new(Fraction::zero(), 1),
+            ]),
+        ] {
+            let fast = cross_validate(&shape, &data);
+            let naive = cross_validate_naive(&shape, &data);
+            match (fast, naive) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-9, "{a} vs {b} for {shape:?}")
+                }
+                (None, None) => {}
+                other => panic!("rejection mismatch {other:?} for {shape:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_cv_rejects_degenerate_design_like_naive() {
+        // All x identical: every fold is singular for a non-constant shape.
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[(4.0, 1.0), (4.0, 2.0), (4.0, 3.0), (4.0, 4.0)]);
+        assert_eq!(cross_validate(&shape, &data), None);
+        assert_eq!(cross_validate_naive(&shape, &data), None);
+    }
+
+    #[test]
+    fn closed_form_cv_falls_back_on_leverage_one_folds() {
+        // One isolated point dominating a steep basis column: its leverage is
+        // ~1, so the closed-form path must agree with the naive loop (here:
+        // both reject, since the fold without it is rank-deficient).
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(3), 0)]);
+        let data = pts(&[
+            (2.0, 1.0),
+            (2.0, 1.1),
+            (2.0, 0.9),
+            (2.0, 1.0),
+            (1024.0, 500.0),
+        ]);
+        assert_eq!(
+            cross_validate(&shape, &data),
+            cross_validate_naive(&shape, &data)
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod confidence;
+pub mod engine;
 pub mod fraction;
 pub mod function;
 pub mod hypothesis;
@@ -41,20 +42,21 @@ pub mod metrics;
 pub mod model;
 pub mod modeler;
 pub mod multi_param;
+pub mod reference;
 pub mod search_space;
 pub mod segmentation;
 pub mod term;
 
 pub use confidence::{bootstrap_interval, RegressionBand};
+pub use engine::SearchEngine;
 pub use fraction::Fraction;
 pub use function::{GrowthKey, PerformanceFunction};
 pub use hypothesis::{FittedHypothesis, HypothesisShape};
 pub use measurement::{AggregationStat, Coordinate, ExperimentData, Measurement};
 pub use model::Model;
-pub use modeler::{
-    model_single_parameter, ModelerOptions, ModelingError, MIN_MEASUREMENT_POINTS,
-};
+pub use modeler::{model_single_parameter, ModelerOptions, ModelingError, MIN_MEASUREMENT_POINTS};
 pub use multi_param::model_multi_parameter;
+pub use reference::{model_multi_parameter_reference, model_single_parameter_reference};
 pub use search_space::{SearchSpace, TermShape};
 pub use segmentation::{detect_change_point, SegmentationOptions, SegmentedModel};
 pub use term::{CompoundTerm, SimpleTerm};

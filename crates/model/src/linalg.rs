@@ -89,6 +89,107 @@ impl Matrix {
     }
 }
 
+/// LDLᵀ factorization of a symmetric positive-definite matrix — in practice
+/// the Gram matrix `X'X` of a hypothesis design.
+///
+/// Factoring once and solving many right-hand sides is the backbone of the
+/// fast modeling path: the same factor yields the OLS coefficients *and* the
+/// hat-matrix leverages `h_ii = x_i' (X'X)^{-1} x_i` that the closed-form
+/// leave-one-out cross-validation needs, without ever refitting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ldlt {
+    n: usize,
+    /// Row-major `n × n` buffer: strictly-lower triangle holds `L` (the unit
+    /// diagonal is implicit), the diagonal holds `D`.
+    factor: Vec<f64>,
+}
+
+impl Ldlt {
+    /// Factors a symmetric matrix. Returns `None` when a pivot collapses
+    /// relative to the original diagonal (rank-deficient input).
+    pub fn decompose(a: &Matrix) -> Option<Ldlt> {
+        assert_eq!(a.rows, a.cols, "LDL^T requires a square matrix");
+        let mut factor = a.data.clone();
+        if ldlt_factor_in_place(&mut factor, a.rows) {
+            Some(Ldlt { n: a.rows, factor })
+        } else {
+            None
+        }
+    }
+
+    /// Solves `A x = b` in place.
+    pub fn solve_into(&self, b: &mut [f64]) {
+        ldlt_solve_in_place(&self.factor, self.n, b);
+    }
+
+    /// Solves `A x = b` into a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_into(&mut x);
+        x
+    }
+}
+
+/// Factors a symmetric positive-definite row-major `n × n` matrix in place:
+/// the strictly-lower triangle receives `L` (unit diagonal implicit), the
+/// diagonal receives `D`. Returns `false` when the matrix is numerically
+/// rank-deficient.
+///
+/// The pivot test is *relative to the column's original diagonal entry*: the
+/// Gram matrices of PMNF designs mix columns of wildly different magnitudes
+/// (a constant column next to `x^3` at `x = 512`), so an absolute threshold
+/// would either reject healthy systems or accept collapsed ones.
+pub fn ldlt_factor_in_place(a: &mut [f64], n: usize) -> bool {
+    const REL_TOL: f64 = 1e-12;
+    for j in 0..n {
+        let orig_diag = a[j * n + j];
+        let mut d = orig_diag;
+        for k in 0..j {
+            let l = a[j * n + k];
+            d -= l * l * a[k * n + k];
+        }
+        // A Gram pivot is non-negative in exact arithmetic; a collapse below
+        // the original diagonal's scale means rank deficiency.
+        if !(d > REL_TOL * orig_diag.abs().max(1e-300)) {
+            return false;
+        }
+        a[j * n + j] = d;
+        for i in (j + 1)..n {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k] * a[k * n + k];
+            }
+            a[i * n + j] = s / d;
+        }
+    }
+    true
+}
+
+/// Solves `A x = b` in place given a factor produced by
+/// [`ldlt_factor_in_place`].
+pub fn ldlt_solve_in_place(factor: &[f64], n: usize, b: &mut [f64]) {
+    // Forward substitution with the unit lower triangle: L z = b.
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= factor[i * n + k] * b[k];
+        }
+        b[i] = s;
+    }
+    // Diagonal scaling: D w = z.
+    for i in 0..n {
+        b[i] /= factor[i * n + i];
+    }
+    // Backward substitution with the transpose: L^T x = w.
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= factor[k * n + i] * b[k];
+        }
+        b[i] = s;
+    }
+}
+
 /// Solves `A x = b` for square `A` via Gaussian elimination with partial
 /// pivoting. Returns `None` when the system is (numerically) singular.
 pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
@@ -228,5 +329,59 @@ mod tests {
     fn mul_vec_matches_manual() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn ldlt_matches_gaussian_elimination() {
+        // SPD Gram matrix of a tall design.
+        let design = Matrix::from_rows(&[
+            vec![1.0, 2.0, 4.0],
+            vec![1.0, 4.0, 16.0],
+            vec![1.0, 8.0, 64.0],
+            vec![1.0, 16.0, 256.0],
+            vec![1.0, 32.0, 1024.0],
+        ]);
+        let gram = design.gram();
+        let b = design.transpose_mul_vec(&[3.0, 5.0, 9.0, 17.0, 33.0]);
+        let ge = solve(&gram, &b).unwrap();
+        let ldlt = Ldlt::decompose(&gram).unwrap().solve(&b);
+        for (x, y) in ge.iter().zip(&ldlt) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn ldlt_rejects_singular_gram() {
+        // Duplicate columns -> rank-deficient Gram matrix.
+        let design = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        assert!(Ldlt::decompose(&design.gram()).is_none());
+    }
+
+    #[test]
+    fn ldlt_handles_mixed_scale_diagonals() {
+        // Constant column next to x^3 at large x: absolute pivot thresholds
+        // would misjudge this; the relative test must accept it.
+        let xs = [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0, 512.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x * x * x]).collect();
+        let design = Matrix::from_rows(&rows);
+        let gram = design.gram();
+        let y: Vec<f64> = xs.iter().map(|&x| 5.0 + 2.0 * x * x * x).collect();
+        let b = design.transpose_mul_vec(&y);
+        let c = Ldlt::decompose(&gram).expect("well-posed system").solve(&b);
+        assert!((c[0] - 5.0).abs() < 1e-6, "c0 = {}", c[0]);
+        assert!((c[1] - 2.0).abs() < 1e-9, "c1 = {}", c[1]);
+    }
+
+    #[test]
+    fn ldlt_solve_in_place_roundtrip() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let mut f = vec![4.0, 2.0, 2.0, 3.0];
+        assert!(ldlt_factor_in_place(&mut f, 2));
+        let mut b = vec![10.0, 8.0];
+        ldlt_solve_in_place(&f, 2, &mut b);
+        // Verify A x = b.
+        let ax = a.mul_vec(&b);
+        assert!((ax[0] - 10.0).abs() < 1e-12);
+        assert!((ax[1] - 8.0).abs() < 1e-12);
     }
 }

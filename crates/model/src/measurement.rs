@@ -221,10 +221,8 @@ mod tests {
 
     #[test]
     fn experiment_parameter_values_sorted_dedup() {
-        let data = ExperimentData::univariate(
-            "ranks",
-            &[(8.0, 1.0), (2.0, 1.0), (4.0, 1.0), (2.0, 2.0)],
-        );
+        let data =
+            ExperimentData::univariate("ranks", &[(8.0, 1.0), (2.0, 1.0), (4.0, 1.0), (2.0, 2.0)]);
         assert_eq!(data.parameter_values(0), vec![2.0, 4.0, 8.0]);
         assert_eq!(data.num_parameters(), 1);
         assert_eq!(data.len(), 4);

@@ -2,7 +2,8 @@
 //! selection (paper §2.3, following Extra-P's core methodology).
 
 use crate::confidence::RegressionBand;
-use crate::hypothesis::{self, FittedHypothesis, HypothesisShape};
+use crate::engine;
+use crate::hypothesis::{FittedHypothesis, HypothesisShape};
 use crate::measurement::{AggregationStat, Coordinate, ExperimentData};
 use crate::model::Model;
 use crate::search_space::SearchSpace;
@@ -68,6 +69,12 @@ pub struct ModelerOptions {
     /// the noise-resilience concern of the Extra-P line of work. `None`
     /// disables the guard.
     pub growth_bound_margin: Option<f64>,
+    /// Route leave-one-out cross-validation through the naive n-refit loop
+    /// instead of the closed-form hat-matrix identity. A debugging and
+    /// benchmarking aid: the two agree to ~1e-9 but the naive loop is an
+    /// order of magnitude slower.
+    #[serde(default)]
+    pub use_naive_loocv: bool,
 }
 
 impl Default for ModelerOptions {
@@ -79,6 +86,7 @@ impl Default for ModelerOptions {
             min_points: MIN_MEASUREMENT_POINTS,
             reject_negative_predictions: true,
             growth_bound_margin: Some(1.0),
+            use_naive_loocv: false,
         }
     }
 }
@@ -116,7 +124,7 @@ fn growth_penalty(h: &FittedHypothesis) -> f64 {
 /// `cv_smape + tolerance · growth_penalty` (Occam within noise).
 /// Near-constant noisy data otherwise tempts the CV into steep terms with
 /// tiny coefficients that explode under extrapolation.
-fn select_winner(
+pub(crate) fn select_winner(
     candidates: Vec<FittedHypothesis>,
     use_cv: bool,
     tolerance: f64,
@@ -132,7 +140,7 @@ fn select_winner(
 
 /// Estimates the selection tolerance from the repetition spread of the
 /// measurements: half the mean run-to-run variation, clamped to a sane band.
-fn noise_tolerance(data: &ExperimentData) -> f64 {
+pub(crate) fn noise_tolerance(data: &ExperimentData) -> f64 {
     let variations: Vec<f64> = data
         .measurements
         .iter()
@@ -171,76 +179,104 @@ fn empirical_loglog_slope(points: &[(Coordinate, f64)]) -> Option<f64> {
     Some(sxy / sxx)
 }
 
-/// Fits one hypothesis end to end (fit + optional CV + negativity guard).
-fn evaluate_shape(
-    shape: &HypothesisShape,
-    points: &[(Coordinate, f64)],
+/// Elementwise total order on coordinates, safe for any float input (the
+/// distinct-coordinate count below must never panic on exotic values).
+fn cmp_coordinates(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Collapses repetitions via the configured statistic and validates the
+/// result: every coordinate and metric value must be finite, and enough
+/// distinct coordinates must remain. Shared by the fast and reference
+/// search drivers.
+pub(crate) fn validated_points(
+    data: &ExperimentData,
     options: &ModelerOptions,
-    exponent_bounds: Option<(f64, f64)>,
-) -> Option<FittedHypothesis> {
-    if let Some((lo, hi)) = exponent_bounds {
-        let out_of_bounds = shape
-            .terms
-            .iter()
-            .flatten()
-            .any(|(_, s)| {
-                let e = s.exponent.as_f64();
-                e > hi || e < lo
-            });
-        if out_of_bounds {
-            return None;
-        }
-    }
-    let mut fitted = hypothesis::fit(shape, points)?;
-    if options.reject_negative_predictions {
-        let negative = points
-            .iter()
-            .any(|(c, _)| fitted.function.evaluate(c) < 0.0);
-        if negative {
-            return None;
-        }
-        // A runtime/visits/bytes model must stay non-negative under
-        // extrapolation too: probe a few multiples of the largest coordinate
-        // (decaying models with a negative constant otherwise cross zero
-        // just outside the fit range).
-        if let Some(far) = points
-            .iter()
-            .map(|(c, _)| c.clone())
-            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-        {
-            for factor in [2.0, 8.0, 32.0] {
-                let probe: Vec<f64> = far.iter().map(|x| x * factor).collect();
-                if fitted.function.evaluate(&probe) < 0.0 {
-                    return None;
-                }
-            }
-        }
-    }
-    // Cancellation guard: a fit whose terms are individually huge but cancel
-    // to the measured magnitude is numerically meaningless outside the fit
-    // range (two opposing growing terms explode under extrapolation).
-    if let Some(far) = points
+) -> Result<Vec<(Coordinate, f64)>, ModelingError> {
+    let points: Vec<(Coordinate, f64)> = data
+        .measurements
         .iter()
-        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
-    {
-        let value = fitted.function.evaluate(&far.0).abs().max(1e-30);
-        let magnitude: f64 = fitted.function.constant.abs()
-            + fitted
-                .function
-                .terms
-                .iter()
-                .map(|t| t.evaluate(&far.0).abs())
-                .sum::<f64>();
-        if magnitude > 10.0 * value {
-            return None;
+        .map(|m| (m.coordinate.clone(), m.statistic(options.statistic)))
+        .collect();
+
+    for (c, v) in &points {
+        if c.iter().any(|x| !x.is_finite()) {
+            return Err(ModelingError::InvalidData(format!(
+                "non-finite coordinate {c:?}"
+            )));
+        }
+        if !v.is_finite() {
+            return Err(ModelingError::InvalidData(
+                "non-finite metric value".to_string(),
+            ));
         }
     }
-    if options.use_cross_validation {
-        if let Some(cv) = hypothesis::cross_validate(shape, points) {
-            fitted.cv_smape = cv;
-        }
+
+    let distinct = {
+        let mut coords: Vec<&Coordinate> = points.iter().map(|(c, _)| c).collect();
+        coords.sort_by(|a, b| cmp_coordinates(a, b));
+        coords.dedup();
+        coords.len()
+    };
+    if distinct < options.min_points {
+        return Err(ModelingError::InsufficientPoints {
+            required: options.min_points,
+            available: distinct,
+        });
     }
-    Some(fitted)
+    Ok(points)
+}
+
+/// Growth-bound guard: constrains candidate polynomial exponents to the
+/// neighborhood of the observed log-log slope. Only meaningful for
+/// single-parameter data (the slope of a grid projection would conflate the
+/// parameters).
+pub(crate) fn exponent_bounds(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+    points: &[(Coordinate, f64)],
+) -> Option<(f64, f64)> {
+    if data.num_parameters() != 1 {
+        None
+    } else {
+        options.growth_bound_margin
+    }
+    .and_then(|margin| {
+        empirical_loglog_slope(points).map(|slope| {
+            if slope >= 0.0 {
+                // Growing data: allow anything up to slope + margin; permit
+                // mildly decreasing terms too (strong-scaling residuals).
+                (-margin.min(1.0), slope + margin)
+            } else {
+                (slope - margin, margin.min(1.0))
+            }
+        })
+    })
+}
+
+/// Assembles the final [`Model`] from the winning hypothesis.
+pub(crate) fn finish_model(
+    data: &ExperimentData,
+    points: &[(Coordinate, f64)],
+    winner: FittedHypothesis,
+) -> Model {
+    let band = RegressionBand::from_fit(&winner.shape, points, winner.rss);
+    Model {
+        parameters: data.parameters.clone(),
+        function: winner.function,
+        smape: winner.smape,
+        cv_smape: winner.cv_smape,
+        rss: winner.rss,
+        r_squared: winner.r_squared,
+        num_points: points.len(),
+        band,
+    }
 }
 
 /// Creates a performance model for a single parameter from experiment data.
@@ -257,93 +293,52 @@ pub fn model_single_parameter(
             data.num_parameters()
         )));
     }
-    model_with_shapes(
-        data,
-        options,
-        &SearchSpace::hypothesis_shapes(&options.search_space)
-            .into_iter()
-            .map(|shapes| HypothesisShape::univariate(&shapes))
-            .collect::<Vec<_>>(),
-    )
+    model_with_shapes(data, options, &options.search_space.univariate_hypotheses())
 }
 
 /// Shared search driver: evaluates the provided hypothesis shapes (plus the
 /// constant hypothesis) in parallel and selects the best.
+///
+/// This is the fast path: basis columns are evaluated once into a shared
+/// [`engine::BasisCache`], each rayon worker reuses one scratch
+/// [`engine::Workspace`] across all shapes it evaluates, and
+/// cross-validation runs in closed form off the fit's own LDLᵀ
+/// factorization. The pre-optimization driver survives as
+/// [`crate::reference::model_with_shapes_reference`].
 pub(crate) fn model_with_shapes(
     data: &ExperimentData,
     options: &ModelerOptions,
     shapes: &[HypothesisShape],
 ) -> Result<Model, ModelingError> {
-    let points: Vec<(Coordinate, f64)> = data
-        .measurements
-        .iter()
-        .map(|m| (m.coordinate.clone(), m.statistic(options.statistic)))
-        .collect();
-
-    let distinct = {
-        let mut coords: Vec<&Coordinate> = points.iter().map(|(c, _)| c).collect();
-        coords.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        coords.dedup();
-        coords.len()
-    };
-    if distinct < options.min_points {
-        return Err(ModelingError::InsufficientPoints {
-            required: options.min_points,
-            available: distinct,
-        });
-    }
-    if points.iter().any(|(_, v)| !v.is_finite()) {
-        return Err(ModelingError::InvalidData(
-            "non-finite metric value".to_string(),
-        ));
-    }
-
-    // Growth-bound guard: constrain candidate polynomial exponents to the
-    // neighborhood of the observed log-log slope. Only meaningful for
-    // single-parameter data (the slope of a grid projection would conflate
-    // the parameters).
-    let exponent_bounds = if data.num_parameters() != 1 {
-        None
-    } else {
-        options.growth_bound_margin
-    }
-    .and_then(|margin| {
-        empirical_loglog_slope(&points).map(|slope| {
-            if slope >= 0.0 {
-                // Growing data: allow anything up to slope + margin; permit
-                // mildly decreasing terms too (strong-scaling residuals).
-                (-margin.min(1.0), slope + margin)
-            } else {
-                (slope - margin, margin.min(1.0))
-            }
-        })
-    });
+    let points = validated_points(data, options)?;
+    let bounds = exponent_bounds(data, options, &points);
+    let cache = engine::BasisCache::build(shapes, &points);
 
     // The constant hypothesis is always a candidate; it is also the fallback
     // the search degenerates to for flat data.
     let mut candidates: Vec<FittedHypothesis> = shapes
         .par_iter()
-        .filter_map(|shape| evaluate_shape(shape, &points, options, exponent_bounds))
+        .map_init(engine::Workspace::default, |ws, shape| {
+            engine::evaluate_shape_cached(shape, &points, options, bounds, &cache, ws)
+        })
+        .flatten()
         .collect();
-    if let Some(c) = evaluate_shape(&HypothesisShape::constant(), &points, options, None) {
+    let mut ws = engine::Workspace::default();
+    if let Some(c) = engine::evaluate_shape_cached(
+        &HypothesisShape::constant(),
+        &points,
+        options,
+        None,
+        &cache,
+        &mut ws,
+    ) {
         candidates.push(c);
     }
 
     let tolerance = noise_tolerance(data);
     let winner = select_winner(candidates, options.use_cross_validation, tolerance)
         .ok_or(ModelingError::NoViableHypothesis)?;
-
-    let band = RegressionBand::from_fit(&winner.shape, &points, winner.rss);
-    Ok(Model {
-        parameters: data.parameters.clone(),
-        function: winner.function,
-        smape: winner.smape,
-        cv_smape: winner.cv_smape,
-        rss: winner.rss,
-        r_squared: winner.r_squared,
-        num_points: points.len(),
-        band,
-    })
+    Ok(finish_model(data, &points, winner))
 }
 
 #[cfg(test)]
@@ -392,8 +387,8 @@ mod tests {
 
     #[test]
     fn constant_data_yields_constant_model() {
-        let model = model_single_parameter(&data_from(|_| 42.0), &ModelerOptions::default())
-            .unwrap();
+        let model =
+            model_single_parameter(&data_from(|_| 42.0), &ModelerOptions::default()).unwrap();
         assert!(model.function.is_constant());
         assert!((model.predict_at(1024.0) - 42.0).abs() < 1e-9);
     }
@@ -407,10 +402,7 @@ mod tests {
         )
         .unwrap();
         let p64 = model.predict_at(64.0);
-        assert!(
-            (p64 - (10.0 + 100.0 / 64.0)).abs() < 0.5,
-            "predicted {p64}"
-        );
+        assert!((p64 - (10.0 + 100.0 / 64.0)).abs() < 0.5, "predicted {p64}");
         // The default (weak-scaling) space cannot express a positive
         // decreasing function this well; strong-scaling space must use a
         // negative exponent.
@@ -452,7 +444,10 @@ mod tests {
     fn multi_parameter_data_is_rejected_here() {
         let data = ExperimentData::new(
             vec!["a".into(), "b".into()],
-            vec![crate::measurement::Measurement::new(vec![1.0, 2.0], vec![3.0])],
+            vec![crate::measurement::Measurement::new(
+                vec![1.0, 2.0],
+                vec![3.0],
+            )],
         );
         assert!(matches!(
             model_single_parameter(&data, &ModelerOptions::default()),
@@ -485,10 +480,15 @@ mod tests {
         // linear fit dipping below zero inside the range.
         let data = ExperimentData::univariate(
             "p",
-            &[(2.0, 100.0), (4.0, 50.0), (8.0, 25.0), (16.0, 12.5), (32.0, 6.25)],
+            &[
+                (2.0, 100.0),
+                (4.0, 50.0),
+                (8.0, 25.0),
+                (16.0, 12.5),
+                (32.0, 6.25),
+            ],
         );
-        let model =
-            model_single_parameter(&data, &ModelerOptions::strong_scaling()).unwrap();
+        let model = model_single_parameter(&data, &ModelerOptions::strong_scaling()).unwrap();
         for &x in &xs() {
             assert!(model.predict_at(x) >= 0.0);
         }

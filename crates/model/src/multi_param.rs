@@ -13,24 +13,32 @@ use crate::model::Model;
 use crate::modeler::{self, ModelerOptions, ModelingError};
 use crate::search_space::TermShape;
 
+/// The modeler driving the per-parameter line searches: the fast path uses
+/// [`modeler::model_single_parameter`], the frozen baseline its reference
+/// twin — so old-vs-new benchmarks measure their whole pipeline honestly.
+pub(crate) type LineModeler = fn(&ExperimentData, &ModelerOptions) -> Result<Model, ModelingError>;
+
+/// Smallest observed value of every parameter, computed once per search
+/// (the per-line scans previously recomputed the full minima vector for
+/// each parameter).
+fn coordinate_minima(data: &ExperimentData) -> Vec<f64> {
+    let mut mins = vec![f64::INFINITY; data.num_parameters()];
+    for meas in &data.measurements {
+        for (slot, &x) in mins.iter_mut().zip(&meas.coordinate) {
+            *slot = slot.min(x);
+        }
+    }
+    mins
+}
+
 /// Finds, for one parameter, the subset of measurements where all *other*
 /// parameters equal their smallest observed value (the canonical "line"
 /// through the measurement grid).
-fn parameter_line(data: &ExperimentData, param: usize) -> Vec<Measurement> {
+fn parameter_line(data: &ExperimentData, param: usize, mins: &[f64]) -> Vec<Measurement> {
     let m = data.num_parameters();
-    let mins: Vec<f64> = (0..m)
-        .map(|p| {
-            data.measurements
-                .iter()
-                .map(|meas| meas.coordinate[p])
-                .fold(f64::INFINITY, f64::min)
-        })
-        .collect();
     data.measurements
         .iter()
-        .filter(|meas| {
-            (0..m).all(|p| p == param || (meas.coordinate[p] - mins[p]).abs() < 1e-12)
-        })
+        .filter(|meas| (0..m).all(|p| p == param || (meas.coordinate[p] - mins[p]).abs() < 1e-12))
         .cloned()
         .collect()
 }
@@ -43,8 +51,10 @@ fn candidate_shapes_for_parameter(
     data: &ExperimentData,
     param: usize,
     options: &ModelerOptions,
+    mins: &[f64],
+    line_modeler: LineModeler,
 ) -> Result<Vec<TermShape>, ModelingError> {
-    let line = parameter_line(data, param);
+    let line = parameter_line(data, param, mins);
     let projected = ExperimentData::new(
         vec![data.parameters[param].clone()],
         line.iter()
@@ -55,7 +65,7 @@ fn candidate_shapes_for_parameter(
     // with batch size), so the line search always allows negative exponents.
     let mut line_options = options.clone();
     line_options.search_space.allow_negative_exponents = true;
-    let model = modeler::model_single_parameter(&projected, &line_options)?;
+    let model = line_modeler(&projected, &line_options)?;
     if model.function.is_constant() || model.function.terms.is_empty() {
         return Ok(Vec::new());
     }
@@ -123,6 +133,51 @@ fn combine_shapes(per_param: &[(usize, Vec<TermShape>)]) -> Vec<HypothesisShape>
     out
 }
 
+/// The outcome of the sparse per-parameter search: the combined hypothesis
+/// shapes to refit on the full grid and the options for that refit.
+pub(crate) struct MultiParamPlan {
+    pub shapes: Vec<HypothesisShape>,
+    pub options: ModelerOptions,
+}
+
+/// Runs the per-parameter line searches and combines their candidate term
+/// pools into full-grid hypotheses. Shared by the fast and reference
+/// drivers, which differ only in the `line_modeler` they plug in and the
+/// full-grid search path they feed the plan to.
+pub(crate) fn search_plan(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+    line_modeler: LineModeler,
+) -> Result<MultiParamPlan, ModelingError> {
+    let m = data.num_parameters();
+    let mins = coordinate_minima(data);
+    let mut per_param = Vec::new();
+    for p in 0..m {
+        let pool = candidate_shapes_for_parameter(data, p, options, &mins, line_modeler)?;
+        if !pool.is_empty() {
+            per_param.push((p, pool));
+        }
+    }
+
+    if per_param.is_empty() {
+        // Constant in every parameter: fit the constant on all points.
+        return Ok(MultiParamPlan {
+            shapes: Vec::new(),
+            options: options.clone(),
+        });
+    }
+
+    let shapes = combine_shapes(&per_param);
+    // Refit on all points with a relaxed point minimum: the full grid has at
+    // least `min_points` per parameter by construction of the experiment.
+    let mut full_options = options.clone();
+    full_options.min_points = full_options.min_points.min(data.len());
+    Ok(MultiParamPlan {
+        shapes,
+        options: full_options,
+    })
+}
+
 /// Creates a multi-parameter model. Falls back to single-parameter modeling
 /// when the data has one parameter.
 pub fn model_multi_parameter(
@@ -136,26 +191,8 @@ pub fn model_multi_parameter(
     if m == 1 {
         return modeler::model_single_parameter(data, options);
     }
-
-    let mut per_param = Vec::new();
-    for p in 0..m {
-        let pool = candidate_shapes_for_parameter(data, p, options)?;
-        if !pool.is_empty() {
-            per_param.push((p, pool));
-        }
-    }
-
-    if per_param.is_empty() {
-        // Constant in every parameter: fit the constant on all points.
-        return modeler::model_with_shapes(data, options, &[]);
-    }
-
-    let shapes = combine_shapes(&per_param);
-    // Refit on all points with a relaxed point minimum: the full grid has at
-    // least `min_points` per parameter by construction of the experiment.
-    let mut full_options = options.clone();
-    full_options.min_points = full_options.min_points.min(data.len());
-    modeler::model_with_shapes(data, &full_options, &shapes)
+    let plan = search_plan(data, options, modeler::model_single_parameter)?;
+    modeler::model_with_shapes(data, &plan.options, &plan.shapes)
 }
 
 #[cfg(test)]
@@ -209,7 +246,10 @@ mod tests {
         let model = model_multi_parameter(&data, &ModelerOptions::default()).unwrap();
         let a = model.predict(&[16.0, 32.0]);
         let b = model.predict(&[16.0, 512.0]);
-        assert!((a - b).abs() / a < 0.02, "batch must not matter: {a} vs {b}");
+        assert!(
+            (a - b).abs() / a < 0.02,
+            "batch must not matter: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -223,7 +263,13 @@ mod tests {
     fn single_parameter_fallback() {
         let data = ExperimentData::univariate(
             "p",
-            &[(2.0, 4.0), (4.0, 8.0), (8.0, 16.0), (16.0, 32.0), (32.0, 64.0)],
+            &[
+                (2.0, 4.0),
+                (4.0, 8.0),
+                (8.0, 16.0),
+                (16.0, 32.0),
+                (32.0, 64.0),
+            ],
         );
         let model = model_multi_parameter(&data, &ModelerOptions::default()).unwrap();
         assert_eq!(model.big_o(), "O(p)");

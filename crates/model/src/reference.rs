@@ -1,0 +1,158 @@
+//! The pre-optimization reference search driver.
+//!
+//! This is the original modeling path — per-shape design-matrix
+//! construction, Gaussian-elimination OLS via [`hypothesis::fit`], and the
+//! naive n-refit leave-one-out loop — preserved so the fast path in
+//! [`crate::engine`] can be benchmarked against it honestly and
+//! property-tested for equivalence. Production drivers never call it.
+
+use crate::hypothesis::{self, FittedHypothesis, HypothesisShape};
+use crate::measurement::{Coordinate, ExperimentData};
+use crate::model::Model;
+use crate::modeler::{self, ModelerOptions, ModelingError};
+use crate::multi_param;
+use rayon::prelude::*;
+
+/// The original per-hypothesis evaluation: OLS fit, negativity and
+/// cancellation guards, then the n-refit cross-validation loop.
+pub fn evaluate_shape_reference(
+    shape: &HypothesisShape,
+    points: &[(Coordinate, f64)],
+    options: &ModelerOptions,
+    exponent_bounds: Option<(f64, f64)>,
+) -> Option<FittedHypothesis> {
+    if !crate::engine::shape_within_bounds(shape, exponent_bounds) {
+        return None;
+    }
+    let mut fitted = hypothesis::fit(shape, points)?;
+    if options.reject_negative_predictions {
+        let negative = points
+            .iter()
+            .any(|(c, _)| fitted.function.evaluate(c) < 0.0);
+        if negative {
+            return None;
+        }
+        if let Some(far) = points
+            .iter()
+            .map(|(c, _)| c.clone())
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            for factor in [2.0, 8.0, 32.0] {
+                let probe: Vec<f64> = far.iter().map(|x| x * factor).collect();
+                if fitted.function.evaluate(&probe) < 0.0 {
+                    return None;
+                }
+            }
+        }
+    }
+    if let Some(far) = points
+        .iter()
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        let value = fitted.function.evaluate(&far.0).abs().max(1e-30);
+        let magnitude: f64 = fitted.function.constant.abs()
+            + fitted
+                .function
+                .terms
+                .iter()
+                .map(|t| t.evaluate(&far.0).abs())
+                .sum::<f64>();
+        if magnitude > 10.0 * value {
+            return None;
+        }
+    }
+    if options.use_cross_validation {
+        if let Some(cv) = hypothesis::cross_validate_naive(shape, points) {
+            fitted.cv_smape = cv;
+        }
+    }
+    Some(fitted)
+}
+
+/// The original search driver over an explicit shape list.
+pub fn model_with_shapes_reference(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+    shapes: &[HypothesisShape],
+) -> Result<Model, ModelingError> {
+    let points = modeler::validated_points(data, options)?;
+    let exponent_bounds = modeler::exponent_bounds(data, options, &points);
+    let mut candidates: Vec<FittedHypothesis> = shapes
+        .par_iter()
+        .filter_map(|shape| evaluate_shape_reference(shape, &points, options, exponent_bounds))
+        .collect();
+    if let Some(c) = evaluate_shape_reference(&HypothesisShape::constant(), &points, options, None)
+    {
+        candidates.push(c);
+    }
+    let tolerance = modeler::noise_tolerance(data);
+    let winner = modeler::select_winner(candidates, options.use_cross_validation, tolerance)
+        .ok_or(ModelingError::NoViableHypothesis)?;
+    Ok(modeler::finish_model(data, &points, winner))
+}
+
+/// The original single-parameter modeler.
+pub fn model_single_parameter_reference(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+) -> Result<Model, ModelingError> {
+    if data.num_parameters() != 1 {
+        return Err(ModelingError::InvalidData(format!(
+            "single-parameter modeler got {} parameters",
+            data.num_parameters()
+        )));
+    }
+    let shapes = options.search_space.univariate_hypotheses();
+    model_with_shapes_reference(data, options, &shapes)
+}
+
+/// The original multi-parameter modeler: same sparse combination scheme, but
+/// both the per-parameter line searches and the full-grid refit run on the
+/// reference path.
+pub fn model_multi_parameter_reference(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+) -> Result<Model, ModelingError> {
+    let m = data.num_parameters();
+    if m == 0 {
+        return Err(ModelingError::InvalidData("no parameters".into()));
+    }
+    if m == 1 {
+        return model_single_parameter_reference(data, options);
+    }
+    let plan = multi_param::search_plan(data, options, model_single_parameter_reference)?;
+    model_with_shapes_reference(data, &plan.options, &plan.shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_recovers_case_study_shape() {
+        let f = |x: f64| 158.58 + 0.58 * x.powf(2.0 / 3.0) * x.log2().powi(2);
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&x| (x, f(x)))
+            .collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let model = model_single_parameter_reference(&data, &ModelerOptions::default()).unwrap();
+        assert_eq!(model.big_o(), "O(p^(2/3) * log2(p)^2)");
+    }
+
+    #[test]
+    fn reference_and_fast_path_agree_on_clean_data() {
+        let f = |x: f64| 12.0 + 3.0 * x.log2() + 0.4 * x;
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&x| (x, f(x)))
+            .collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let options = ModelerOptions::default();
+        let slow = model_single_parameter_reference(&data, &options).unwrap();
+        let fast = modeler::model_single_parameter(&data, &options).unwrap();
+        assert_eq!(slow.big_o(), fast.big_o());
+        let (a, b) = (fast.predict_at(128.0), slow.predict_at(128.0));
+        assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+}

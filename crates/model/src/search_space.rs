@@ -127,9 +127,7 @@ impl SearchSpace {
                 }
             }
         }
-        shapes.sort_by(|a, b| {
-            (a.exponent, a.log_exponent).cmp(&(b.exponent, b.log_exponent))
-        });
+        shapes.sort_by(|a, b| (a.exponent, a.log_exponent).cmp(&(b.exponent, b.log_exponent)));
         shapes.dedup();
         shapes
     }
@@ -148,6 +146,17 @@ impl SearchSpace {
             }
         }
         out
+    }
+
+    /// All single-parameter [`HypothesisShape`]s of this space (on parameter
+    /// index 0), ready for the search driver. Precompute once — e.g. via
+    /// [`crate::engine::SearchEngine`] — when modeling many kernel datasets
+    /// with the same space.
+    pub fn univariate_hypotheses(&self) -> Vec<crate::hypothesis::HypothesisShape> {
+        self.hypothesis_shapes()
+            .iter()
+            .map(|shapes| crate::hypothesis::HypothesisShape::univariate(shapes))
+            .collect()
     }
 }
 

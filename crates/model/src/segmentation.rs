@@ -189,8 +189,7 @@ mod tests {
 
     #[test]
     fn constant_data_has_no_change_point() {
-        let seg =
-            detect_change_point(&series(|_| 42.0), &SegmentationOptions::default()).unwrap();
+        let seg = detect_change_point(&series(|_| 42.0), &SegmentationOptions::default()).unwrap();
         assert!(seg.is_none());
     }
 
@@ -198,7 +197,13 @@ mod tests {
     fn too_few_points_yields_none() {
         let data = ExperimentData::univariate(
             "p",
-            &[(2.0, 1.0), (4.0, 2.0), (8.0, 4.0), (16.0, 20.0), (32.0, 40.0)],
+            &[
+                (2.0, 1.0),
+                (4.0, 2.0),
+                (8.0, 4.0),
+                (16.0, 20.0),
+                (32.0, 40.0),
+            ],
         );
         let seg = detect_change_point(&data, &SegmentationOptions::default()).unwrap();
         assert!(seg.is_none(), "5 points cannot support 3+3 segments");

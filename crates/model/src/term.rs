@@ -101,10 +101,7 @@ impl CompoundTerm {
 
 fn format_factor(t: &SimpleTerm, names: &[&str], out: &mut String) {
     use fmt::Write;
-    let name = names
-        .get(t.parameter)
-        .copied()
-        .unwrap_or("x");
+    let name = names.get(t.parameter).copied().unwrap_or("x");
     if !t.exponent.is_zero() {
         if t.exponent == Fraction::whole(1) {
             let _ = write!(out, "{name}");

@@ -1,0 +1,140 @@
+//! Property tests: the closed-form leave-one-out cross-validation must be
+//! indistinguishable from the naive n-refit loop — same SMAPE (within
+//! floating-point tolerance) and, crucially, the same accept/reject decision
+//! on degenerate designs (duplicate coordinates, leverage-one folds).
+
+use extradeep_model::hypothesis::{cross_validate, cross_validate_naive, HypothesisShape};
+use extradeep_model::{Fraction, TermShape};
+use proptest::prelude::*;
+
+type Points = Vec<(Vec<f64>, f64)>;
+
+fn shape_pool() -> Vec<HypothesisShape> {
+    vec![
+        HypothesisShape::constant(),
+        HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]),
+        HypothesisShape::univariate(&[TermShape::new(Fraction::new(1, 2), 1)]),
+        HypothesisShape::univariate(&[TermShape::new(Fraction::whole(2), 0)]),
+        HypothesisShape::univariate(&[TermShape::new(Fraction::new(2, 3), 2)]),
+        HypothesisShape::univariate(&[TermShape::new(Fraction::zero(), 2)]),
+        HypothesisShape::univariate(&[
+            TermShape::new(Fraction::whole(1), 0),
+            TermShape::new(Fraction::zero(), 1),
+        ]),
+    ]
+}
+
+/// Mixed absolute/relative tolerance: SMAPE values live on [0, 200], and the
+/// two paths accumulate rounding differently (one decomposition vs n
+/// eliminations), so pure absolute 1e-9 is the bound for well-conditioned
+/// fits and the relative part covers the pathological high-SMAPE tail.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn assert_equivalent(shape: &HypothesisShape, points: &Points) {
+    let fast = cross_validate(shape, points);
+    let naive = cross_validate_naive(shape, points);
+    match (fast, naive) {
+        (Some(a), Some(b)) => {
+            assert!(
+                close(a, b),
+                "closed-form {a} vs naive {b} for {shape:?} on {points:?}"
+            );
+        }
+        (None, None) => {}
+        other => panic!("rejection mismatch {other:?} for {shape:?} on {points:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary positive values at geometric coordinates: every shape in
+    /// the pool produces the same CV score through both paths.
+    #[test]
+    fn agrees_on_random_data(
+        values in proptest::collection::vec(0.1f64..1e4, 6..=10),
+    ) {
+        let points: Points = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (vec![(2u64 << i) as f64], v))
+            .collect();
+        for shape in &shape_pool() {
+            assert_equivalent(shape, &points);
+        }
+    }
+
+    /// Model-generated data with multiplicative noise — the realistic case
+    /// the search spends its time on.
+    #[test]
+    fn agrees_on_noisy_model_data(
+        c0 in 0.5f64..200.0,
+        c1 in 0.01f64..20.0,
+        noise in proptest::collection::vec(-0.08f64..0.08, 6),
+    ) {
+        let points: Points = noise
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let x = (2u64 << i) as f64;
+                let y = (c0 + c1 * x.powf(2.0 / 3.0) * x.log2()) * (1.0 + n);
+                (vec![x], y)
+            })
+            .collect();
+        for shape in &shape_pool() {
+            assert_equivalent(shape, &points);
+        }
+    }
+
+    /// Near-singular designs: only two distinct coordinates, so removing
+    /// the lone second-level point makes every non-constant fold
+    /// rank-deficient. Both paths must agree on rejection (or, for the
+    /// constant shape, on the value).
+    #[test]
+    fn agrees_on_near_singular_designs(
+        lone in 0usize..6,
+        values in proptest::collection::vec(0.5f64..100.0, 6),
+    ) {
+        let points: Points = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let x = if i == lone { 64.0 } else { 4.0 };
+                (vec![x], v)
+            })
+            .collect();
+        for shape in &shape_pool() {
+            assert_equivalent(shape, &points);
+        }
+    }
+
+    /// Fully collinear designs (every coordinate identical) must be
+    /// rejected by both paths for every non-constant shape.
+    #[test]
+    fn agrees_on_fully_degenerate_designs(
+        values in proptest::collection::vec(0.5f64..100.0, 5..=8),
+    ) {
+        let points: Points = values.iter().map(|&v| (vec![16.0], v)).collect();
+        for shape in &shape_pool() {
+            assert_equivalent(shape, &points);
+        }
+    }
+
+    /// Leverage ≈ 1: one isolated far point dominates a steep basis column.
+    /// The closed-form path must detect the degenerate fold and fall back to
+    /// the exact refit, matching the naive loop's outcome.
+    #[test]
+    fn agrees_on_leverage_one_folds(
+        far_x in 256.0f64..4096.0,
+        values in proptest::collection::vec(0.5f64..10.0, 5),
+        far_v in 100.0f64..1e5,
+    ) {
+        let mut points: Points = values.iter().map(|&v| (vec![2.0], v)).collect();
+        points.push((vec![far_x], far_v));
+        for shape in &shape_pool() {
+            assert_equivalent(shape, &points);
+        }
+    }
+}

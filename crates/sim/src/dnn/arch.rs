@@ -183,7 +183,10 @@ impl Architecture {
                         groups: mid,
                     },
                 );
-                a.push(format!("{prefix}.dw_bn"), Layer::BatchNorm { channels: mid });
+                a.push(
+                    format!("{prefix}.dw_bn"),
+                    Layer::BatchNorm { channels: mid },
+                );
                 a.push(
                     format!("{prefix}.dw_swish"),
                     Layer::Activation(Activation::Swish),
@@ -263,13 +266,7 @@ impl Architecture {
     /// the framework can be exercised on attention-dominated workloads:
     /// `layers` blocks of (LN → multi-head self-attention → residual →
     /// LN → 4x MLP → residual) over `seq`-token sequences of width `dim`.
-    pub fn transformer(
-        layers: usize,
-        dim: usize,
-        heads: usize,
-        seq: usize,
-        vocab: usize,
-    ) -> Self {
+    pub fn transformer(layers: usize, dim: usize, heads: usize, seq: usize, vocab: usize) -> Self {
         let mut a = Architecture {
             name: format!("Transformer-{layers}x{dim}"),
             input: Shape::seq(seq, 1),
@@ -294,7 +291,10 @@ impl Architecture {
                     hidden: 4 * dim,
                 },
             );
-            a.push(format!("{prefix}.gelu"), Layer::Activation(Activation::Gelu));
+            a.push(
+                format!("{prefix}.gelu"),
+                Layer::Activation(Activation::Gelu),
+            );
             a.push(format!("{prefix}.add2"), Layer::ResidualAdd);
         }
         a.push("final_ln", Layer::LayerNorm { dim });
@@ -500,7 +500,12 @@ mod tests {
             let before = names.len();
             names.sort_unstable();
             names.dedup();
-            assert_eq!(names.len(), before, "duplicate layer names in {}", arch.name);
+            assert_eq!(
+                names.len(),
+                before,
+                "duplicate layer names in {}",
+                arch.name
+            );
         }
     }
 }

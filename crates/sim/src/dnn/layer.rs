@@ -73,9 +73,16 @@ pub enum Layer {
         groups: usize,
     },
     /// Fully connected layer.
-    Dense { inputs: usize, outputs: usize },
-    BatchNorm { channels: usize },
-    LayerNorm { dim: usize },
+    Dense {
+        inputs: usize,
+        outputs: usize,
+    },
+    BatchNorm {
+        channels: usize,
+    },
+    LayerNorm {
+        dim: usize,
+    },
     Activation(Activation),
     Pool {
         kind: PoolKind,
@@ -84,14 +91,26 @@ pub enum Layer {
     },
     GlobalAveragePool,
     /// Token embedding lookup.
-    Embedding { vocab: usize, dim: usize },
+    Embedding {
+        vocab: usize,
+        dim: usize,
+    },
     /// A (single-layer) LSTM over the whole sequence.
-    Lstm { inputs: usize, hidden: usize },
+    Lstm {
+        inputs: usize,
+        hidden: usize,
+    },
     /// Multi-head self-attention over the sequence.
-    SelfAttention { dim: usize, heads: usize },
+    SelfAttention {
+        dim: usize,
+        heads: usize,
+    },
     /// A per-token two-layer MLP (`dim -> hidden -> dim`), the feed-forward
     /// half of a Transformer block. Shape-preserving over the sequence.
-    TokenMlp { dim: usize, hidden: usize },
+    TokenMlp {
+        dim: usize,
+        hidden: usize,
+    },
     /// Residual add of the block input.
     ResidualAdd,
     Softmax,
@@ -307,7 +326,10 @@ mod tests {
             kernel: 2,
             stride: 2,
         };
-        assert_eq!(p.output_shape(&Shape::chw(64, 32, 32)), Shape::chw(64, 16, 16));
+        assert_eq!(
+            p.output_shape(&Shape::chw(64, 32, 32)),
+            Shape::chw(64, 16, 16)
+        );
         let g = Layer::GlobalAveragePool;
         assert_eq!(g.output_shape(&Shape::chw(2048, 7, 7)), Shape::vec1(2048));
     }
@@ -346,7 +368,11 @@ mod tests {
     #[test]
     fn tensor_op_classification() {
         assert!(Layer::conv(3, 16, 3, 1).is_tensor_op());
-        assert!(Layer::Dense { inputs: 1, outputs: 1 }.is_tensor_op());
+        assert!(Layer::Dense {
+            inputs: 1,
+            outputs: 1
+        }
+        .is_tensor_op());
         assert!(!Layer::Softmax.is_tensor_op());
         assert!(!Layer::BatchNorm { channels: 4 }.is_tensor_op());
     }

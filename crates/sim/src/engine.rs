@@ -76,7 +76,9 @@ pub fn phase_region(name: &str, domain: ApiDomain) -> &'static str {
             }
         }
         ApiDomain::CudaKernel | ApiDomain::CuBlas | ApiDomain::CuDnn => {
-            if name.contains("bgrad") || name.contains("_grad") || name.contains("Backward")
+            if name.contains("bgrad")
+                || name.contains("_grad")
+                || name.contains("Backward")
                 || name.contains("bw_")
             {
                 "backward"
@@ -264,7 +266,12 @@ impl TrainingJob {
         }
         if self.system.nccl {
             let c = collective_cost(&self.system, Collective::Allreduce, bytes, p);
-            (c.seconds, c.wire_bytes, Collective::Allreduce.nccl_name(), ApiDomain::Nccl)
+            (
+                c.seconds,
+                c.wire_bytes,
+                Collective::Allreduce.nccl_name(),
+                ApiDomain::Nccl,
+            )
         } else {
             let bw = self.mpi_allreduce_bandwidth_gbs();
             let alpha = self.system.interconnect.latency_us * 1e-6;
@@ -272,7 +279,12 @@ impl TrainingJob {
             let latency = 2.0 * (p - 1) as f64 * alpha * calib::FUSION_BUFFERS as f64;
             let staging = 2.0 * bytes as f64 / (self.system.node.host_to_device_gbs * 1e9);
             let wire = (2.0 * bytes as f64 * (p - 1) as f64 / p as f64) as u64;
-            (ring + latency + staging, wire, Collective::Allreduce.mpi_name(), ApiDomain::Mpi)
+            (
+                ring + latency + staging,
+                wire,
+                Collective::Allreduce.mpi_name(),
+                ApiDomain::Mpi,
+            )
         }
     }
 
@@ -399,7 +411,11 @@ impl TrainingJob {
                     } else {
                         Collective::Alltoall.mpi_name()
                     },
-                    if self.system.nccl { ApiDomain::Nccl } else { ApiDomain::Mpi },
+                    if self.system.nccl {
+                        ApiDomain::Nccl
+                    } else {
+                        ApiDomain::Mpi
+                    },
                     at.seconds,
                     1,
                     Some(at.wire_bytes),
@@ -408,15 +424,23 @@ impl TrainingJob {
                 if training {
                     // Gradient allreduce of this rank's parameter shard
                     // across the replica groups.
-                    self.add_gradient_exchange(&mut acc, (grad_bytes as f64 / m) as u64, compute_seconds);
+                    self.add_gradient_exchange(
+                        &mut acc,
+                        (grad_bytes as f64 / m) as u64,
+                        compute_seconds,
+                    );
                 }
             }
-            ParallelStrategy::PipelineParallel { stages, microbatches } => {
+            ParallelStrategy::PipelineParallel {
+                stages,
+                microbatches,
+            } => {
                 let stages = stages.min(self.ranks);
                 // Stage-boundary activations per microbatch, both directions.
                 let micro = batch / microbatches.max(1) as u64;
-                let cut_bytes = 4 * (self.benchmark.architecture.activation_bytes_per_sample()
-                    / self.benchmark.architecture.layers.len() as u64)
+                let cut_bytes = 4
+                    * (self.benchmark.architecture.activation_bytes_per_sample()
+                        / self.benchmark.architecture.layers.len() as u64)
                     * micro;
                 let per_send = collective_cost(&self.system, Collective::SendRecv, cut_bytes, 2);
                 let sends = microbatches as u64 * if training { 2 } else { 1 };
@@ -431,9 +455,20 @@ impl TrainingJob {
                 // Pipeline bubble: idle fraction (s-1)/(mb+s-1) of compute.
                 let bubble = compute_seconds * (stages - 1) as f64
                     / (microbatches + stages - 1).max(1) as f64;
-                acc.add("train.pipeline_flush", ApiDomain::Nvtx, bubble, 1, None, true);
+                acc.add(
+                    "train.pipeline_flush",
+                    ApiDomain::Nvtx,
+                    bubble,
+                    1,
+                    None,
+                    true,
+                );
                 if training {
-                    self.add_gradient_exchange(&mut acc, (grad_bytes as f64 / m) as u64, compute_seconds);
+                    self.add_gradient_exchange(
+                        &mut acc,
+                        (grad_bytes as f64 / m) as u64,
+                        compute_seconds,
+                    );
                 }
             }
         }
@@ -480,13 +515,24 @@ impl TrainingJob {
             None,
             false,
         );
-        acc.add("cudaStreamSynchronize", ApiDomain::CudaApi, 12e-6, 2, None, true);
+        acc.add(
+            "cudaStreamSynchronize",
+            ApiDomain::CudaApi,
+            12e-6,
+            2,
+            None,
+            true,
+        );
         acc.add("ioctl", ApiDomain::Os, 8e-6, 4, None, true);
         acc.add("sched_yield", ApiDomain::Os, 4e-6, 6, None, true);
 
         // Host-side framework orchestration.
         acc.add(
-            if training { "train.training_step" } else { "test.validation_step" },
+            if training {
+                "train.training_step"
+            } else {
+                "test.validation_step"
+            },
             ApiDomain::Nvtx,
             calib::HOST_OVERHEAD_PER_STEP,
             1,
@@ -514,7 +560,14 @@ impl TrainingJob {
                 seconds *= 0.25;
             }
         }
-        acc.add(name, domain, seconds, calib::FUSION_BUFFERS, Some(wire), true);
+        acc.add(
+            name,
+            domain,
+            seconds,
+            calib::FUSION_BUFFERS,
+            Some(wire),
+            true,
+        );
         // Horovod-style coordination traffic.
         acc.add(
             "MPI_Allgather",
@@ -540,8 +593,7 @@ impl TrainingJob {
         let mut acc = RowAccum::default();
         let meta = self.training_meta();
         let replicas = self.strategy.replicas(self.ranks).max(1) as u64;
-        let shard_bytes =
-            meta.train_samples / replicas * self.benchmark.dataset.bytes_per_sample;
+        let shard_bytes = meta.train_samples / replicas * self.benchmark.dataset.bytes_per_sample;
         acc.add(
             "read",
             ApiDomain::Os,
@@ -580,8 +632,7 @@ impl TrainingJob {
     /// Epoch-boundary plan: checkpoint write by every rank's shard.
     fn epoch_end_plan(&self) -> StepPlan {
         let mut acc = RowAccum::default();
-        let ckpt_bytes =
-            self.benchmark.architecture.gradient_bytes() / self.model_shard() as u64;
+        let ckpt_bytes = self.benchmark.architecture.gradient_bytes() / self.model_shard() as u64;
         acc.add(
             "write",
             ApiDomain::Os,
@@ -621,10 +672,16 @@ impl TrainingJob {
             SyncMode::Asp => {
                 let mut acc = RowAccum::default();
                 let bytes = self.benchmark.architecture.gradient_bytes();
-                let (seconds, wire, name, domain) = self.gradient_allreduce(
-                    (bytes as f64 / self.model_shard()) as u64,
+                let (seconds, wire, name, domain) =
+                    self.gradient_allreduce((bytes as f64 / self.model_shard()) as u64);
+                acc.add(
+                    name,
+                    domain,
+                    seconds * 0.75,
+                    calib::FUSION_BUFFERS,
+                    Some(wire),
+                    true,
                 );
-                acc.add(name, domain, seconds * 0.75, calib::FUSION_BUFFERS, Some(wire), true);
                 acc.finish()
             }
         };
@@ -761,11 +818,13 @@ mod tests {
 
     #[test]
     fn strong_scaling_epoch_time_decreases_then_flattens() {
-        let strong = |r| TrainingJob {
-            scaling: ScalingMode::Strong,
-            ..cifar_job(r)
-        }
-        .epoch_seconds_estimate();
+        let strong = |r| {
+            TrainingJob {
+                scaling: ScalingMode::Strong,
+                ..cifar_job(r)
+            }
+            .epoch_seconds_estimate()
+        };
         let t2 = strong(2);
         let t16 = strong(16);
         assert!(t16 < t2, "strong scaling must speed up: {t2} -> {t16}");
@@ -879,7 +938,11 @@ mod tests {
         let mut big = cifar_job(4);
         big.benchmark = Benchmark::gpt_small();
         big.benchmark.batch_size = 512;
-        assert!(!big.fits_in_memory(), "needs {:.1} GB", big.memory_required_gb());
+        assert!(
+            !big.fits_in_memory(),
+            "needs {:.1} GB",
+            big.memory_required_gb()
+        );
         // Tensor parallelism shards the model states and activations.
         let sharded = TrainingJob {
             strategy: ParallelStrategy::TensorParallel { group: 4 },
@@ -893,14 +956,17 @@ mod tests {
         let mut sys = SystemConfig::deep();
         sys.interconnect.algorithm_switch_nodes = Some(16);
         let comm = |system: &SystemConfig, ranks: u32| -> f64 {
-            TrainingJob { system: system.clone(), ..cifar_job(ranks) }
-                .plans()
-                .train_step
-                .rows
-                .iter()
-                .filter(|r| r.name.contains("Allreduce"))
-                .map(|r| r.seconds)
-                .sum()
+            TrainingJob {
+                system: system.clone(),
+                ..cifar_job(ranks)
+            }
+            .plans()
+            .train_step
+            .rows
+            .iter()
+            .filter(|r| r.name.contains("Allreduce"))
+            .map(|r| r.seconds)
+            .sum()
         };
         let plain = SystemConfig::deep();
         // Below the threshold: identical. Above: markedly slower.

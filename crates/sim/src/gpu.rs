@@ -12,7 +12,11 @@ use crate::system::GpuSpec;
 /// Depthwise convolutions are memory-bound and sustain far less.
 fn tensor_op_efficiency(layer: &Layer, spatial_elems: usize) -> f64 {
     let base = match layer {
-        Layer::Conv2d { groups, in_channels, .. } if *groups == *in_channels && *groups > 1 => 0.10,
+        Layer::Conv2d {
+            groups,
+            in_channels,
+            ..
+        } if *groups == *in_channels && *groups > 1 => 0.10,
         Layer::Conv2d { .. } => 0.52,
         Layer::Dense { .. } => 0.60,
         Layer::Lstm { .. } => 0.30,

@@ -52,8 +52,11 @@ pub fn forward_kernel_name(gpu_arch: &str, layer: &Layer, layer_name: &str) -> S
 /// GPU kernel name for the backward pass of a layer.
 pub fn backward_kernel_name(gpu_arch: &str, layer: &Layer, layer_name: &str) -> String {
     match layer {
-        Layer::Conv2d { .. } | Layer::Dense { .. } | Layer::Lstm { .. }
-        | Layer::SelfAttention { .. } | Layer::TokenMlp { .. } => {
+        Layer::Conv2d { .. }
+        | Layer::Dense { .. }
+        | Layer::Lstm { .. }
+        | Layer::SelfAttention { .. }
+        | Layer::TokenMlp { .. } => {
             format!("{}_bgrad", forward_kernel_name(gpu_arch, layer, layer_name))
         }
         Layer::BatchNorm { .. } => "cudnn::bn_bw_1C11_singleread_kernel".to_string(),
@@ -136,10 +139,19 @@ mod tests {
             Some("cudnnConvolutionForward")
         );
         assert_eq!(
-            api_call_name(&Layer::Dense { inputs: 8, outputs: 2 }, false),
+            api_call_name(
+                &Layer::Dense {
+                    inputs: 8,
+                    outputs: 2
+                },
+                false
+            ),
             Some("cublasSgemm_v2")
         );
-        assert_eq!(api_call_name(&Layer::Activation(Activation::Relu), false), None);
+        assert_eq!(
+            api_call_name(&Layer::Activation(Activation::Relu), false),
+            None
+        );
         assert_eq!(api_call_name(&Layer::Softmax, true), None);
     }
 

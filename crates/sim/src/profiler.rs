@@ -4,9 +4,7 @@
 
 use crate::engine::{phase_region, StepPlan, TrainingJob};
 use crate::noise::Rng;
-use extradeep_trace::{
-    ConfigProfile, MeasurementConfig, RankProfile, StepPhase, TraceBuilder,
-};
+use extradeep_trace::{ConfigProfile, MeasurementConfig, RankProfile, StepPhase, TraceBuilder};
 
 /// Fraction of executed time the profiler itself costs (the paper measures
 /// ≈5.4% across benchmarks, unchanged by the sampling strategy).
@@ -26,7 +24,10 @@ pub enum SamplingStrategy {
 impl SamplingStrategy {
     /// The paper's default efficient configuration.
     pub fn paper_default() -> Self {
-        SamplingStrategy::Efficient { steps: 5, epochs: 2 }
+        SamplingStrategy::Efficient {
+            steps: 5,
+            epochs: 2,
+        }
     }
 
     pub fn epochs(&self) -> u32 {
@@ -388,7 +389,11 @@ mod tests {
             bgrad.call_path.as_deref(),
             Some("train/training_step/backward")
         );
-        let malloc = rank.events.iter().find(|e| &*e.name == "cudaMalloc").unwrap();
+        let malloc = rank
+            .events
+            .iter()
+            .find(|e| &*e.name == "cudaMalloc")
+            .unwrap();
         assert_eq!(malloc.call_path.as_deref(), Some("init/host"));
         let write = rank.events.iter().find(|e| &*e.name == "write").unwrap();
         assert_eq!(write.call_path.as_deref(), Some("checkpoint/checkpoint"));

@@ -82,9 +82,9 @@ impl ExperimentSpec {
             .iter()
             .filter(|&&r| self.strategy.supports_ranks(r))
             .flat_map(|&r| {
-                batches.iter().flat_map(move |&b| {
-                    (0..self.repetitions).map(move |rep| (r, b, rep))
-                })
+                batches
+                    .iter()
+                    .flat_map(move |&b| (0..self.repetitions).map(move |rep| (r, b, rep)))
             })
             .collect();
         let profiles: Vec<_> = tasks
@@ -101,7 +101,8 @@ impl ExperimentSpec {
     /// Analytic (noise-free) epoch-time estimate at a rank count; used by
     /// overhead studies and as a ground-truth oracle in tests.
     pub fn epoch_seconds_estimate(&self, ranks: u32) -> f64 {
-        self.job(ranks, self.benchmark.batch_size).epoch_seconds_estimate()
+        self.job(ranks, self.benchmark.batch_size)
+            .epoch_seconds_estimate()
     }
 }
 
@@ -154,9 +155,7 @@ mod tests {
             .find(|p| p.config.value("batch") == Some(512.0))
             .unwrap();
         assert_eq!(b128.meta.batch_size, 128);
-        assert!(
-            b128.meta.training_steps_per_epoch() > b512.meta.training_steps_per_epoch()
-        );
+        assert!(b128.meta.training_steps_per_epoch() > b512.meta.training_steps_per_epoch());
     }
 
     #[test]

@@ -99,7 +99,13 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["CIFAR-10", "CIFAR-100", "ImageNet", "IMDB", "Speech Commands"]
+            vec![
+                "CIFAR-10",
+                "CIFAR-100",
+                "ImageNet",
+                "IMDB",
+                "Speech Commands"
+            ]
         );
     }
 
@@ -123,9 +129,8 @@ mod tests {
         assert_eq!(gpt.architecture.name, "Transformer-12x768");
         // Per-step compute exceeds every paper benchmark despite the small
         // batch: exactly the GPT-scale motivation of the paper's intro.
-        let per_step = |b: &Benchmark| {
-            b.architecture.forward_flops_per_sample() as f64 * b.batch_size as f64
-        };
+        let per_step =
+            |b: &Benchmark| b.architecture.forward_flops_per_sample() as f64 * b.batch_size as f64;
         let max_paper = Benchmark::all()
             .iter()
             .map(&per_step)
@@ -135,9 +140,8 @@ mod tests {
 
     #[test]
     fn imagenet_is_the_heaviest_per_step() {
-        let per_step = |b: &Benchmark| {
-            b.architecture.forward_flops_per_sample() as f64 * b.batch_size as f64
-        };
+        let per_step =
+            |b: &Benchmark| b.architecture.forward_flops_per_sample() as f64 * b.batch_size as f64;
         let all = Benchmark::all();
         let imagenet = per_step(&all[2]);
         let imdb = per_step(&all[3]);

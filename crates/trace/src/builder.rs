@@ -99,8 +99,8 @@ impl TraceBuilder {
         visits: u64,
         bytes: Option<u64>,
     ) {
-        let mut e =
-            self.stamp(Event::new(name, domain, self.clock_ns, total_duration_ns).with_visits(visits));
+        let mut e = self
+            .stamp(Event::new(name, domain, self.clock_ns, total_duration_ns).with_visits(visits));
         e.bytes = bytes;
         self.clock_ns += total_duration_ns;
         self.profile.events.push(e);
@@ -209,7 +209,7 @@ mod tests {
     #[should_panic(expected = "step already open")]
     fn nested_steps_panic() {
         let mut b = TraceBuilder::new(0);
-        b.begin_step(0, 0, StepPhase::Training, );
+        b.begin_step(0, 0, StepPhase::Training);
         b.begin_step(0, 1, StepPhase::Training);
     }
 

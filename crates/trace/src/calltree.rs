@@ -174,8 +174,14 @@ mod tests {
         assert!(text.contains("forward"));
         assert!(text.contains("gemm"));
         // Children are indented deeper than parents.
-        let train_line = text.lines().find(|l| l.trim_start().starts_with("train")).unwrap();
-        let fwd_line = text.lines().find(|l| l.trim_start().starts_with("forward")).unwrap();
+        let train_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("train"))
+            .unwrap();
+        let fwd_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("forward"))
+            .unwrap();
         let indent = |l: &str| l.len() - l.trim_start().len();
         assert!(indent(fwd_line) > indent(train_line));
     }

@@ -30,12 +30,7 @@ pub fn to_chrome_trace(profile: &ConfigProfile) -> String {
     // Pre-render step names (borrowed by the serializer below).
     for rank in &profile.ranks {
         for s in &rank.step_marks {
-            step_names.push(format!(
-                "{} step e{}s{}",
-                s.phase.label(),
-                s.epoch,
-                s.step
-            ));
+            step_names.push(format!("{} step e{}s{}", s.phase.label(), s.epoch, s.step));
         }
     }
     let mut name_idx = 0;

@@ -108,12 +108,20 @@ impl TrainingMeta {
 
     /// Number of validation steps per epoch (paper Eq. 3).
     pub fn validation_steps_per_epoch(&self) -> u64 {
-        steps(self.val_samples, self.data_parallel, self.model_parallel, self.batch_size)
+        steps(
+            self.val_samples,
+            self.data_parallel,
+            self.model_parallel,
+            self.batch_size,
+        )
     }
 }
 
 fn steps(samples: u64, g: u32, m: u32, batch: u64) -> u64 {
-    assert!(g >= 1 && m >= 1 && batch >= 1, "degrees and batch must be >= 1");
+    assert!(
+        g >= 1 && m >= 1 && batch >= 1,
+        "degrees and batch must be >= 1"
+    );
     let shard = samples as f64 / (g as f64 / m as f64);
     (shard / batch as f64).floor() as u64
 }
@@ -133,10 +141,7 @@ mod tests {
 
     #[test]
     fn multi_parameter_id() {
-        let c = MeasurementConfig::new(vec![
-            ("ranks".into(), 8.0),
-            ("batch".into(), 256.0),
-        ]);
+        let c = MeasurementConfig::new(vec![("ranks".into(), 8.0), ("batch".into(), 256.0)]);
         assert_eq!(c.id(), "app.x8.b256");
         assert_eq!(c.parameter_names(), vec!["ranks", "batch"]);
     }

@@ -60,7 +60,12 @@ pub struct Event {
 }
 
 impl Event {
-    pub fn new(name: impl Into<Arc<str>>, domain: ApiDomain, start_ns: u64, duration_ns: u64) -> Self {
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        domain: ApiDomain,
+        start_ns: u64,
+        duration_ns: u64,
+    ) -> Self {
         Event {
             name: name.into(),
             domain,
@@ -99,7 +104,8 @@ impl Event {
 
     /// Effective category: the explicit override or the domain default.
     pub fn category(&self) -> KernelCategory {
-        self.category.unwrap_or_else(|| self.domain.default_category())
+        self.category
+            .unwrap_or_else(|| self.domain.default_category())
     }
 
     /// The value of one metric for this event row.

@@ -36,9 +36,18 @@ pub enum ImportError {
     BadMagic,
     MissingHeader(&'static str),
     /// Malformed line, with its 1-based line number and a description.
-    BadLine { line: usize, reason: String },
-    UnknownDomain { line: usize, domain: String },
-    UnknownPhase { line: usize, phase: String },
+    BadLine {
+        line: usize,
+        reason: String,
+    },
+    UnknownDomain {
+        line: usize,
+        domain: String,
+    },
+    UnknownPhase {
+        line: usize,
+        phase: String,
+    },
 }
 
 impl fmt::Display for ImportError {
@@ -96,12 +105,22 @@ pub fn export_csv(profile: &ConfigProfile) -> String {
     let m = &profile.meta;
     out.push_str(&format!(
         "# meta: batch={} train={} val={} G={} M={} cores={}\n",
-        m.batch_size, m.train_samples, m.val_samples, m.data_parallel, m.model_parallel,
+        m.batch_size,
+        m.train_samples,
+        m.val_samples,
+        m.data_parallel,
+        m.model_parallel,
         m.cores_per_rank
     ));
     out.push_str(&format!("# repetition: {}\n", profile.repetition));
-    out.push_str(&format!("# execution_seconds: {}\n", profile.execution_seconds));
-    out.push_str(&format!("# profiling_seconds: {}\n", profile.profiling_seconds));
+    out.push_str(&format!(
+        "# execution_seconds: {}\n",
+        profile.execution_seconds
+    ));
+    out.push_str(&format!(
+        "# profiling_seconds: {}\n",
+        profile.profiling_seconds
+    ));
     out.push_str("kind,rank,epoch,step,phase,name,domain,start_ns,dur_ns,bytes,visits,path\n");
     for rank in &profile.ranks {
         for e in &rank.epoch_marks {
@@ -172,7 +191,9 @@ pub fn import_csv(text: &str) -> Result<ConfigProfile, ImportError> {
     let mut execution_seconds = 0.0f64;
     let mut profiling_seconds = 0.0f64;
     while let Some(&(lineno, l)) = lines.peek() {
-        let Some(rest) = l.strip_prefix('#') else { break };
+        let Some(rest) = l.strip_prefix('#') else {
+            break;
+        };
         lines.next();
         let rest = rest.trim();
         if let Some(p) = rest.strip_prefix("param:") {
@@ -257,7 +278,8 @@ pub fn import_csv(text: &str) -> Result<ConfigProfile, ImportError> {
                 let epoch = parse_u64(field(&cols, 2, lineno)?, "epoch", lineno)? as u32;
                 let start = parse_u64(field(&cols, 7, lineno)?, "start_ns", lineno)?;
                 let dur = parse_u64(field(&cols, 8, lineno)?, "dur_ns", lineno)?;
-                rank.epoch_marks.push(EpochMark::new(epoch, start, start + dur));
+                rank.epoch_marks
+                    .push(EpochMark::new(epoch, start, start + dur));
             }
             "step" => {
                 let epoch = parse_u64(field(&cols, 2, lineno)?, "epoch", lineno)? as u32;

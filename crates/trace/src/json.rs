@@ -156,7 +156,9 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected() {
         let exp = sample_experiment();
-        let json = to_json(&exp).unwrap().replacen("\"version\":1", "\"version\":99", 1);
+        let json = to_json(&exp)
+            .unwrap()
+            .replacen("\"version\":1", "\"version\":99", 1);
         match from_json(&json) {
             Err(TraceIoError::UnsupportedVersion { found, .. }) => assert_eq!(found, 99),
             other => panic!("expected version error, got {other:?}"),

@@ -39,10 +39,10 @@ pub mod validate;
 pub use builder::TraceBuilder;
 pub use calltree::{call_tree, render_call_tree, CallNode};
 pub use chrome::to_chrome_trace;
-pub use import::{export_csv, import_csv, ImportError};
 pub use config::{MeasurementConfig, TrainingMeta};
 pub use domain::{ApiDomain, KernelCategory};
 pub use event::{Event, MetricKind};
+pub use import::{export_csv, import_csv, ImportError};
 pub use marks::{EpochMark, StepMark, StepPhase};
 pub use profile::{ConfigProfile, ExperimentProfiles, RankProfile};
 pub use summary::{kernel_summary, render_summary, KernelSummary};

@@ -26,12 +26,7 @@ impl RankProfile {
     /// Total profiled wall time: the span covered by epoch marks, or by
     /// events when no marks exist.
     pub fn span_ns(&self) -> u64 {
-        let from_marks = self
-            .epoch_marks
-            .iter()
-            .map(|m| m.end_ns)
-            .max()
-            .unwrap_or(0);
+        let from_marks = self.epoch_marks.iter().map(|m| m.end_ns).max().unwrap_or(0);
         let from_events = self.events.iter().map(Event::end_ns).max().unwrap_or(0);
         from_marks.max(from_events)
     }
@@ -111,7 +106,10 @@ impl ExperimentProfiles {
 
     /// All repetitions of one configuration.
     pub fn repetitions_of(&self, config: &MeasurementConfig) -> Vec<&ConfigProfile> {
-        self.profiles.iter().filter(|p| &p.config == config).collect()
+        self.profiles
+            .iter()
+            .filter(|p| &p.config == config)
+            .collect()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -143,7 +141,8 @@ mod tests {
     #[test]
     fn rank_profile_span_prefers_latest() {
         let mut rp = RankProfile::new(0);
-        rp.events.push(Event::new("k", ApiDomain::CudaKernel, 10, 100));
+        rp.events
+            .push(Event::new("k", ApiDomain::CudaKernel, 10, 100));
         assert_eq!(rp.span_ns(), 110);
         rp.epoch_marks.push(EpochMark::new(0, 0, 500));
         assert_eq!(rp.span_ns(), 500);

@@ -61,11 +61,7 @@ pub fn validate_rank(profile: &RankProfile) -> Vec<TraceIssue> {
     // Ordering and overlap of step marks.
     let mut sorted = profile.step_marks.clone();
     sorted.sort_by_key(|s| s.start_ns);
-    if sorted
-        .iter()
-        .zip(&profile.step_marks)
-        .any(|(a, b)| a != b)
-    {
+    if sorted.iter().zip(&profile.step_marks).any(|(a, b)| a != b) {
         issues.push(TraceIssue::UnorderedSteps { rank });
     }
     for w in sorted.windows(2) {

@@ -33,7 +33,11 @@ fn main() {
         Some(seg) => {
             println!("\n⚠ Behavioral change detected at ~{} ranks!", seg.split_at);
             println!("  below: {}  [{}]", seg.left.formatted(), seg.left.big_o());
-            println!("  above: {}  [{}]", seg.right.formatted(), seg.right.big_o());
+            println!(
+                "  above: {}  [{}]",
+                seg.right.formatted(),
+                seg.right.big_o()
+            );
             println!(
                 "  one PMNF model fits at {:.1}% SMAPE; the segmented pair at {:.1}% \
                  ({:.0}% better)",

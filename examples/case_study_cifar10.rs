@@ -6,7 +6,7 @@
 //! ```
 
 use extradeep::prelude::*;
-use extradeep::{rank_by_growth, speedup_series, efficiency_series};
+use extradeep::{efficiency_series, rank_by_growth, speedup_series};
 
 fn main() {
     println!("Extra-Deep case study: ResNet-50 on CIFAR-10, DEEP system,");
@@ -17,11 +17,16 @@ fn main() {
     let spec = ExperimentSpec::case_study(vec![2, 4, 6, 10, 12]);
     let profiles = spec.run();
     let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
-    let models =
-        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
 
-    println!("Epoch-time model:  T_epoch(x1) = {}", models.app.epoch.formatted());
-    println!("Comm-time model:   T_comm(x1)  = {}", models.app.communication.formatted());
+    println!(
+        "Epoch-time model:  T_epoch(x1) = {}",
+        models.app.epoch.formatted()
+    );
+    println!(
+        "Comm-time model:   T_comm(x1)  = {}",
+        models.app.communication.formatted()
+    );
 
     // --- Q1: training time per epoch for a given allocation. -------------
     let t40 = questions::q1_epoch_seconds(&models, 40.0);

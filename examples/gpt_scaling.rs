@@ -29,8 +29,7 @@ fn main() {
 
     let profiles = spec.run();
     let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
-    let models =
-        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
 
     println!("T_epoch(ranks)  = {}", models.app.epoch.formatted());
     println!("T_comm(ranks)   = {}", models.app.communication.formatted());
@@ -46,9 +45,11 @@ fn main() {
     }
 
     let cost = CostModel::new(SystemConfig::jureca().cores_per_rank).with_price(0.02);
-    println!("\nCost per epoch at 128 GPUs: {:.1} core-hours (~${:.2})",
+    println!(
+        "\nCost per epoch at 128 GPUs: {:.1} core-hours (~${:.2})",
         cost.epoch_core_hours(&models.app.epoch, 128.0),
-        cost.epoch_price(&models.app.epoch, 128.0).unwrap());
+        cost.epoch_price(&models.app.epoch, 128.0).unwrap()
+    );
 
     let q3 = extradeep::questions::q3_bottlenecks(&models, 128.0);
     println!(

@@ -53,6 +53,9 @@ fn main() {
 
     // Idempotency check: instrumenting the output changes nothing.
     let again = instrument_source(&result.source, &InstrumentOptions::default());
-    assert_eq!(again.source, result.source, "instrumentation must be idempotent");
+    assert_eq!(
+        again.source, result.source,
+        "instrumentation must be idempotent"
+    );
     println!("\nRe-instrumentation is a no-op (idempotent) ✓");
 }

@@ -47,7 +47,10 @@ fn main() {
     }
 
     println!("\nPredicted training time per epoch [s]:");
-    println!("{:<8} {:>14} {:>14} {:>14}", "nodes", "data", "tensor", "pipeline");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}",
+        "nodes", "data", "tensor", "pipeline"
+    );
     for nodes in [2u32, 4, 8, 16, 32, 64] {
         let ranks = (nodes * 4) as f64;
         print!("{nodes:<8}");

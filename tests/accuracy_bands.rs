@@ -59,7 +59,10 @@ fn communication_is_the_scaling_bottleneck() {
     // And faster than computation.
     let comp = &outcome.models.app.computation;
     let comp_growth = comp.predict_at(64.0) / comp.predict_at(2.0).max(1e-9);
-    assert!(growth > comp_growth, "comm {growth:.2}x vs comp {comp_growth:.2}x");
+    assert!(
+        growth > comp_growth,
+        "comm {growth:.2}x vs comp {comp_growth:.2}x"
+    );
 }
 
 #[test]
@@ -110,7 +113,10 @@ fn efficient_sampling_reduction_is_near_the_papers_949_percent() {
     // The asymmetry the paper reports: long benchmarks benefit most.
     let imagenet = reductions[2];
     let imdb = reductions[3];
-    assert!(imagenet > imdb, "ImageNet {imagenet:.1}% <= IMDB {imdb:.1}%");
+    assert!(
+        imagenet > imdb,
+        "ImageNet {imagenet:.1}% <= IMDB {imdb:.1}%"
+    );
 }
 
 #[test]
@@ -146,8 +152,7 @@ fn visits_are_easier_to_predict_than_time() {
     let plan = case_plan();
     let (modeling, evaluation) = plan.aggregate();
     let mpe_for = |metric: MetricKind| -> f64 {
-        let models =
-            extradeep::build_model_set(&modeling, metric, &Default::default()).unwrap();
+        let models = extradeep::build_model_set(&modeling, metric, &Default::default()).unwrap();
         let mut errors = Vec::new();
         for (id, model) in &models.kernels {
             let data = evaluation.kernel_dataset(id, metric);

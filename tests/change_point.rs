@@ -9,8 +9,7 @@ use extradeep_agg::AppCategory;
 use extradeep_model::{detect_change_point, SegmentationOptions};
 
 fn spec_with_switch(switch: Option<u32>) -> ExperimentSpec {
-    let mut spec =
-        ExperimentSpec::case_study(vec![2, 4, 8, 12, 16, 24, 32, 48, 64]);
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 8, 12, 16, 24, 32, 48, 64]);
     spec.system.interconnect.algorithm_switch_nodes = switch;
     spec.repetitions = 3;
     spec.profiler.max_recorded_ranks = 2;

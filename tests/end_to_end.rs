@@ -2,7 +2,7 @@
 //! model → analyze, across crate boundaries — the full Fig. 1 workflow.
 
 use extradeep::prelude::*;
-use extradeep::{rank_by_growth, speedup_series, efficiency_series, find_cost_effective};
+use extradeep::{efficiency_series, find_cost_effective, rank_by_growth, speedup_series};
 use extradeep_trace::json;
 
 fn run_spec() -> ExperimentSpec {

@@ -5,8 +5,8 @@ use extradeep_agg::{aggregate_experiment, AggregationOptions, KernelId};
 use extradeep_model::{model_single_parameter, ModelerOptions, ModelingError};
 use extradeep_sim::{ExperimentSpec, ProfilerOptions};
 use extradeep_trace::{
-    validate_rank, ApiDomain, ConfigProfile, MeasurementConfig, MetricKind, RankProfile,
-    StepPhase, TraceBuilder, TraceIssue, TrainingMeta,
+    validate_rank, ApiDomain, ConfigProfile, MeasurementConfig, MetricKind, RankProfile, StepPhase,
+    TraceBuilder, TraceIssue, TrainingMeta,
 };
 
 fn meta() -> TrainingMeta {
@@ -125,7 +125,8 @@ fn zero_duration_and_orphan_steps_are_reported_not_fatal() {
         0,
         10,
     ));
-    p.epoch_marks.push(extradeep_trace::EpochMark::new(0, 0, 100));
+    p.epoch_marks
+        .push(extradeep_trace::EpochMark::new(0, 0, 100));
     let issues = validate_rank(&p);
     assert!(issues
         .iter()
@@ -150,7 +151,8 @@ fn uneven_repetition_counts_are_tolerated() {
     for &(ranks, reps) in &[(2u32, 3u32), (4, 1), (8, 3), (16, 2), (32, 3)] {
         for rep in 0..reps {
             let mut cp = ConfigProfile::new(MeasurementConfig::ranks(ranks), rep, meta());
-            cp.ranks.push(marked_rank(0, 1_000 * ranks as u64 + rep as u64));
+            cp.ranks
+                .push(marked_rank(0, 1_000 * ranks as u64 + rep as u64));
             exp.push(cp);
         }
     }

@@ -40,12 +40,11 @@ fn epoch_model_over_ranks_and_batch() {
     // ...and all predictions on the measured grid are close to measurement.
     let data = agg.app_dataset(MetricKind::Time, None);
     for m in &data.measurements {
-        let err = models.app.epoch.percentage_error_at(&m.coordinate, m.median());
-        assert!(
-            err < 25.0,
-            "grid fit error {err:.1}% at {:?}",
-            m.coordinate
-        );
+        let err = models
+            .app
+            .epoch
+            .percentage_error_at(&m.coordinate, m.median());
+        assert!(err < 25.0, "grid fit error {err:.1}% at {:?}", m.coordinate);
     }
 }
 
@@ -56,8 +55,7 @@ fn batch_size_affects_steps_and_step_cost_oppositely() {
     // steeply in the batch dimension.
     let profiles = grid_spec().run();
     let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
-    let models =
-        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
     let t_b64 = models.app.epoch.predict(&[8.0, 64.0]);
     let t_b512 = models.app.epoch.predict(&[8.0, 512.0]);
     let ratio = t_b512 / t_b64;
@@ -71,8 +69,7 @@ fn batch_size_affects_steps_and_step_cost_oppositely() {
 fn kernel_models_exist_on_the_grid() {
     let profiles = grid_spec().run();
     let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
-    let models =
-        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
     assert!(
         models.kernels.len() > 30,
         "kernel population on the grid: {}",

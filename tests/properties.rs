@@ -2,10 +2,10 @@
 
 use extradeep_agg::{aggregate_repetition, AggregationOptions, KernelId};
 use extradeep_instrument::{instrument_source, InstrumentOptions};
+use extradeep_model::term::CompoundTerm;
 use extradeep_model::{
     model_single_parameter, ExperimentData, Fraction, ModelerOptions, PerformanceFunction,
 };
-use extradeep_model::term::CompoundTerm;
 use extradeep_sim::{collective_cost, Collective, SystemConfig};
 use extradeep_trace::{
     ApiDomain, ConfigProfile, MeasurementConfig, StepPhase, TraceBuilder, TrainingMeta,
