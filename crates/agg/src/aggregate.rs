@@ -171,6 +171,7 @@ pub fn aggregate_repetition(
     profile: &ConfigProfile,
     options: &AggregationOptions,
 ) -> BTreeMap<KernelId, KernelRepAggregate> {
+    let _span = extradeep_obs::span("agg.repetition");
     let per_rank: Vec<BTreeMap<KernelId, KernelRepAggregate>> = profile
         .ranks
         .iter()

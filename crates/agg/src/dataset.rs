@@ -67,6 +67,7 @@ pub fn aggregate_experiment(
     profiles: &ExperimentProfiles,
     options: &AggregationOptions,
 ) -> AggregatedExperiment {
+    let _span = extradeep_obs::span("agg.experiment");
     let mut parameters = Vec::new();
     let mut configs: Vec<AggregatedConfig> = Vec::new();
 

@@ -82,6 +82,7 @@ pub fn attribute_events(profile: &RankProfile) -> StepAttribution {
             Placement::Outside => attribution.outside.push(ei),
         }
     }
+    extradeep_obs::counter("agg.events_attributed").add(profile.events.len() as u64);
     attribution
 }
 

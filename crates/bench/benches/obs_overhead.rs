@@ -1,0 +1,75 @@
+//! Criterion view of the self-profiling cost: the full pipeline with
+//! instrumentation disabled vs enabled (the acceptance budget is < 5%
+//! overhead), plus the microscopic per-site costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extradeep::{build_model_set, ModelSetOptions};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_sim::ExperimentSpec;
+use extradeep_trace::MetricKind;
+use std::hint::black_box;
+
+fn pipeline_once() {
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 2;
+    let profiles = spec.run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    black_box(build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap());
+}
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/pipeline");
+    g.sample_size(10);
+
+    extradeep_obs::set_enabled(false);
+    extradeep_obs::drain();
+    g.bench_function("disabled", |b| b.iter(pipeline_once));
+
+    extradeep_obs::set_enabled(true);
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            pipeline_once();
+            // Drain inside the measured region: an instrumented run is only
+            // usable once its buffers are collected, so the export side
+            // belongs to the cost being measured — and the buffers must not
+            // grow without bound across iterations.
+            black_box(extradeep_obs::drain());
+        })
+    });
+    extradeep_obs::set_enabled(false);
+    extradeep_obs::drain();
+    g.finish();
+}
+
+fn bench_span_sites(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/span");
+
+    extradeep_obs::set_enabled(false);
+    g.bench_function("disabled_site", |b| {
+        b.iter(|| black_box(extradeep_obs::span("bench.noop")))
+    });
+
+    // Enabled sites buffer a record per span, so the measured unit is a
+    // 1000-span batch plus its drain — keeping memory bounded across
+    // Criterion's iteration count.
+    extradeep_obs::set_enabled(true);
+    g.bench_function("enabled_1k_spans_plus_drain", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(extradeep_obs::span("bench.noop"));
+            }
+            black_box(extradeep_obs::drain())
+        })
+    });
+    extradeep_obs::set_enabled(false);
+    extradeep_obs::drain();
+
+    g.bench_function("disabled_counter", |b| {
+        b.iter(|| extradeep_obs::counter("bench.counter").add(black_box(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overhead, bench_span_sites);
+criterion_main!(benches);

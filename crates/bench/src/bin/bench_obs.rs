@@ -1,0 +1,107 @@
+//! Measures the cost of the self-profiling layer on the full pipeline
+//! (simulate → aggregate → model) and records the result in
+//! `BENCH_obs.json`: wall time with instrumentation disabled vs enabled,
+//! the disabled per-span cost, and the phase/counter breakdown of one
+//! instrumented run.
+//!
+//! Run with `cargo run --release -p extradeep-bench --bin bench_obs`.
+//! An optional first argument overrides the output path.
+
+use extradeep::{build_model_set, ModelSetOptions};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_sim::ExperimentSpec;
+use extradeep_trace::MetricKind;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn pipeline_once() {
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 2;
+    let profiles = spec.run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    black_box(build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap());
+}
+
+/// Best-of-batches wall time per pipeline run, in seconds.
+fn time_pipeline(batches: usize) -> f64 {
+    pipeline_once(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        pipeline_once();
+        best = best.min(start.elapsed().as_secs_f64());
+        // Keep the span buffers from growing across instrumented batches.
+        extradeep_obs::drain();
+    }
+    best
+}
+
+/// Per-call cost of a span at a disabled site, in nanoseconds: the price
+/// every instrumented hot path pays when `--profile-self` is off.
+fn disabled_span_ns() -> f64 {
+    extradeep_obs::set_enabled(false);
+    const ITERS: u64 = 4_000_000;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        let _s = black_box(extradeep_obs::span("bench.noop"));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    extradeep_obs::set_enabled(false);
+    extradeep_obs::drain();
+    let disabled_s = time_pipeline(5);
+
+    extradeep_obs::set_enabled(true);
+    extradeep_obs::drain();
+    let enabled_s = time_pipeline(5);
+
+    // One more instrumented run for the reported breakdown.
+    pipeline_once();
+    extradeep_obs::set_enabled(false);
+    let snap = extradeep_obs::drain();
+
+    let span_ns = disabled_span_ns();
+    let overhead_percent = (enabled_s / disabled_s - 1.0) * 100.0;
+
+    let mut names: Vec<&str> = snap.spans.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    let phases: Vec<serde_json::Value> = names
+        .iter()
+        .map(|name| {
+            serde_json::json!({
+                "span": name,
+                "count": snap.count(name),
+                "total_ms": snap.total_ns(name) as f64 / 1e6,
+            })
+        })
+        .collect();
+    let counters: serde_json::Map<String, serde_json::Value> = snap
+        .counters
+        .iter()
+        .map(|c| (c.name.to_string(), serde_json::json!(c.value)))
+        .collect();
+
+    let report = serde_json::json!({
+        "benchmark": "self-profiling overhead on the full pipeline",
+        "pipeline": "simulate(5 configs) -> aggregate -> model_set(Time)",
+        "disabled_ms": disabled_s * 1e3,
+        "enabled_ms": enabled_s * 1e3,
+        "overhead_percent": overhead_percent,
+        "disabled_span_ns": span_ns,
+        "spans_recorded": snap.spans.len(),
+        "phases": phases,
+        "counters": counters,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, format!("{pretty}\n")).expect("write BENCH_obs.json");
+    println!("{pretty}");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,136 @@
+//! Validates a Chrome trace-event JSON file (as written by
+//! `extradeep --profile-self`): structurally well-formed, matched B/E pairs
+//! per thread with non-decreasing timestamps, known phase kinds.
+//!
+//! ```text
+//! check_chrome_trace <trace.json> [--require-cats sim,agg,model,core]
+//! ```
+//!
+//! Exits 0 when valid; prints the first problem and exits 1 otherwise. CI
+//! runs this against the self-profile of a small pipeline run.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("check_chrome_trace: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = argv.first() else {
+        return fail("usage: check_chrome_trace <trace.json> [--require-cats a,b,c]");
+    };
+    let required: Vec<String> = argv
+        .iter()
+        .position(|a| a == "--require-cats")
+        .and_then(|i| argv.get(i + 1))
+        .map(|v| v.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let value: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("invalid JSON: {e}")),
+    };
+    let Some(events) = value.as_array() else {
+        return fail("top level is not an array");
+    };
+
+    // Per-tid open-span stacks and last-seen timestamps.
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut seen_cats: Vec<String> = Vec::new();
+    let mut durations = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        let Some(obj) = ev.as_object() else {
+            return fail(&format!("event {i} is not an object"));
+        };
+        let Some(name) = obj.get("name").and_then(|v| v.as_str()) else {
+            return fail(&format!("event {i} lacks a string 'name'"));
+        };
+        let Some(ph) = obj.get("ph").and_then(|v| v.as_str()) else {
+            return fail(&format!("event {i} ('{name}') lacks 'ph'"));
+        };
+        if let Some(cat) = obj.get("cat").and_then(|v| v.as_str()) {
+            if !seen_cats.iter().any(|c| c == cat) {
+                seen_cats.push(cat.to_string());
+            }
+        }
+        match ph {
+            "M" => continue,
+            "C" => {
+                let ok = obj
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .map(|v| v.is_number())
+                    .unwrap_or(false);
+                if !ok {
+                    return fail(&format!("counter event {i} ('{name}') lacks args.value"));
+                }
+            }
+            "B" | "E" => {
+                durations += 1;
+                let Some(tid) = obj.get("tid").and_then(|v| v.as_u64()) else {
+                    return fail(&format!("event {i} ('{name}') lacks integer 'tid'"));
+                };
+                let Some(ts) = obj.get("ts").and_then(|v| v.as_f64()) else {
+                    return fail(&format!("event {i} ('{name}') lacks numeric 'ts'"));
+                };
+                let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+                if ts < *prev {
+                    return fail(&format!(
+                        "event {i} ('{name}'): ts {ts} < previous {prev} on tid {tid}"
+                    ));
+                }
+                *prev = ts;
+                let stack = stacks.entry(tid).or_default();
+                if ph == "B" {
+                    stack.push(name.to_string());
+                } else {
+                    match stack.pop() {
+                        Some(open) if open == name => {}
+                        Some(open) => {
+                            return fail(&format!(
+                                "event {i}: E '{name}' does not match open B '{open}' on tid {tid}"
+                            ));
+                        }
+                        None => {
+                            return fail(&format!(
+                                "event {i}: E '{name}' with no open B on tid {tid}"
+                            ));
+                        }
+                    }
+                }
+            }
+            other => return fail(&format!("event {i} ('{name}') has unknown ph '{other}'")),
+        }
+    }
+
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return fail(&format!("unclosed B '{open}' on tid {tid}"));
+        }
+    }
+    for cat in &required {
+        if !seen_cats.iter().any(|c| c == cat) {
+            return fail(&format!(
+                "required category '{cat}' absent (saw: {})",
+                seen_cats.join(", ")
+            ));
+        }
+    }
+
+    println!(
+        "ok: {} events ({durations} B/E, {} threads, categories: {})",
+        events.len(),
+        stacks.len(),
+        seen_cats.join(", ")
+    );
+    ExitCode::SUCCESS
+}

@@ -2,10 +2,15 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = argv.iter().any(|a| a == "-q" || a == "--quiet");
     match extradeep::cli::run(&argv) {
-        Ok(report) => println!("{report}"),
+        Ok(report) => {
+            if !quiet {
+                println!("{report}");
+            }
+        }
         Err(e) => {
-            eprintln!("{e}");
+            extradeep::obs::error!("{e}");
             std::process::exit(2);
         }
     }

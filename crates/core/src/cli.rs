@@ -56,11 +56,22 @@ USAGE:
   extradeep predict  --models <models.json> --at RANKS[,RANKS...]
   extradeep analyze  --in <file.json> [--probe RANKS] [--budget CORE_HOURS]
                      [--max-time SECONDS] [--candidates 2,4,...]
+  extradeep pipeline [simulate options] [--probe RANKS] [--out <file.json>]
   extradeep import   --csv <trace.csv>... --out <file.json>
   extradeep summary  --in <file.json> [--top N]
   extradeep calltree --in <file.json> [--top N]
   extradeep compare  --a <file.json> --b <file.json> [--probe RANKS] [--top N]
   extradeep export-chrome --in <file.json> --out <trace.json>
+
+GLOBAL FLAGS (any command):
+  --profile-self <out.json>   record the pipeline's own spans/counters and
+                              export them as Chrome trace-event JSON
+                              (chrome://tracing, ui.perfetto.dev)
+  --self-trace <out.json>     re-emit the recorded spans as an extradeep
+                              trace so the modeler can model the pipeline
+  --report-phases             append a per-phase wall-time table
+  -q, --quiet                 errors only (also suppresses the stdout report)
+  --verbose                   debug-level logging on stderr
 
 Benchmarks: cifar10, cifar100, imagenet, imdb, speech_commands";
 
@@ -145,10 +156,9 @@ fn load_profiles(path: &str) -> Result<ExperimentProfiles, CliError> {
     json::load(path).map_err(|e| CliError::Trace(e.to_string()))
 }
 
-fn cmd_simulate(args: &Args) -> Result<String, CliError> {
-    let out = args
-        .value("--out")
-        .ok_or_else(|| CliError::Usage("simulate requires --out".to_string()))?;
+/// Builds an [`ExperimentSpec`] from the shared simulate flags (used by
+/// `simulate` and `pipeline`).
+fn spec_from_args(args: &Args) -> Result<ExperimentSpec, CliError> {
     let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
     if let Some(b) = args.value("--benchmark") {
         spec.benchmark = parse_benchmark(b)?;
@@ -185,6 +195,15 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if args.flag("--asp") {
         spec.sync = SyncMode::Asp;
     }
+    Ok(spec)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let out = args
+        .value("--out")
+        .ok_or_else(|| CliError::Usage("simulate requires --out".to_string()))?;
+    let spec = spec_from_args(args)?;
+    extradeep_obs::info!("simulating {} rank counts", spec.rank_counts.len());
     let profiles = spec.run();
     json::save(&profiles, out).map_err(|e| CliError::Trace(e.to_string()))?;
     Ok(format!(
@@ -193,6 +212,65 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         profiles.configs().len(),
         out
     ))
+}
+
+/// `pipeline`: the whole workflow in one process — simulate, save, reload,
+/// aggregate, model, analyze. Exists chiefly as the self-profiling driver:
+/// one invocation under `--profile-self` touches every instrumented crate
+/// (sim, trace, agg, model, core).
+fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
+    let spec = spec_from_args(args)?;
+    let keep = args.value("--out").map(str::to_string);
+    let path = keep.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("extradeep-pipeline-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let probe: f64 = args
+        .value("--probe")
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(64.0);
+
+    extradeep_obs::info!("pipeline: simulate -> {path}");
+    let profiles = spec.run();
+    json::save(&profiles, &path).map_err(|e| CliError::Trace(e.to_string()))?;
+    // Reload from disk so the (de)serialization stage is genuinely
+    // exercised, exactly as in the two-command workflow.
+    let profiles = load_profiles(&path)?;
+    extradeep_obs::info!("pipeline: aggregate + model {} profiles", profiles.len());
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+        .map_err(|e| CliError::Modeling(e.to_string()))?;
+    if keep.is_none() {
+        std::fs::remove_file(&path).ok();
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pipeline: {} runs over {} configurations\n",
+        profiles.len(),
+        profiles.configs().len()
+    ));
+    out.push_str(&format!("T_epoch(x1) = {}\n", models.app.epoch.formatted()));
+    out.push_str(&format!(
+        "{} kernel models created ({} unmodelable)\n",
+        models.kernels.len(),
+        models.failed.len()
+    ));
+    out.push_str(&format!(
+        "Q1. Training time per epoch at {probe} ranks: {:.2} s\n",
+        questions::q1_epoch_seconds(&models, probe)
+    ));
+    let q3 = questions::q3_bottlenecks(&models, probe);
+    out.push_str(&format!(
+        "Q3. Communication share at {probe} ranks: {}\n",
+        pct(q3.communication_share_percent)
+    ));
+    if let Some(p) = keep {
+        out.push_str(&format!("Profiles kept at {p}\n"));
+    }
+    Ok(out)
 }
 
 fn models_from(args: &Args, metric: MetricKind) -> Result<crate::modelset::ModelSet, CliError> {
@@ -459,25 +537,141 @@ fn cmd_import(args: &Args) -> Result<String, CliError> {
     Ok(format!("Imported {} profiles -> {}", profiles.len(), out))
 }
 
+/// Global flags shared by every command, stripped from the argument list
+/// before command dispatch.
+#[derive(Debug, Default)]
+struct GlobalFlags {
+    /// Write the pipeline's own spans as Chrome trace-event JSON here.
+    profile_self: Option<String>,
+    /// Re-emit the pipeline's own spans as an extradeep trace here.
+    self_trace: Option<String>,
+    /// Append the per-phase wall-time table to the report.
+    report_phases: bool,
+    quiet: bool,
+    verbose: bool,
+}
+
+impl GlobalFlags {
+    fn profiling(&self) -> bool {
+        self.profile_self.is_some() || self.self_trace.is_some() || self.report_phases
+    }
+}
+
+fn extract_global_flags(argv: &[String]) -> (Vec<String>, GlobalFlags) {
+    let mut flags = GlobalFlags::default();
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--profile-self" | "--self-trace" if i + 1 < argv.len() => {
+                let value = Some(argv[i + 1].clone());
+                if argv[i] == "--profile-self" {
+                    flags.profile_self = value;
+                } else {
+                    flags.self_trace = value;
+                }
+                i += 2;
+            }
+            "--report-phases" => {
+                flags.report_phases = true;
+                i += 1;
+            }
+            "-q" | "--quiet" => {
+                flags.quiet = true;
+                i += 1;
+            }
+            "--verbose" => {
+                flags.verbose = true;
+                i += 1;
+            }
+            _ => {
+                rest.push(argv[i].clone());
+                i += 1;
+            }
+        }
+    }
+    (rest, flags)
+}
+
+/// The `core.<command>` span name of a dispatched command.
+fn command_span(command: &str) -> &'static str {
+    match command {
+        "simulate" => "core.simulate",
+        "model" => "core.model",
+        "analyze" => "core.analyze",
+        "predict" => "core.predict",
+        "summary" => "core.summary",
+        "calltree" => "core.calltree",
+        "compare" => "core.compare",
+        "export-chrome" => "core.export_chrome",
+        "import" => "core.import",
+        "pipeline" => "core.pipeline",
+        _ => "core.command",
+    }
+}
+
+fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
+    match command {
+        "simulate" => cmd_simulate(args),
+        "model" => cmd_model(args),
+        "analyze" => cmd_analyze(args),
+        "predict" => cmd_predict(args),
+        "summary" => cmd_summary(args),
+        "calltree" => cmd_calltree(args),
+        "compare" => cmd_compare(args),
+        "export-chrome" => cmd_export_chrome(args),
+        "import" => cmd_import(args),
+        "pipeline" => cmd_pipeline(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
 /// Entry point: dispatches on the first argument, returns the report text.
+///
+/// Handles the global flags first: `-q`/`--verbose` set the log level, and
+/// any of `--profile-self`/`--self-trace`/`--report-phases` turn the
+/// self-profiling runtime on around the command and export what it recorded.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (argv, flags) = extract_global_flags(argv);
+    if flags.quiet {
+        extradeep_obs::log::set_max_level(extradeep_obs::log::Level::Error);
+    } else if flags.verbose {
+        extradeep_obs::log::set_max_level(extradeep_obs::log::Level::Debug);
+    }
     let Some(command) = argv.first() else {
         return Err(CliError::Usage("no command given".to_string()));
     };
     let args = Args::new(&argv[1..]);
-    match command.as_str() {
-        "simulate" => cmd_simulate(&args),
-        "model" => cmd_model(&args),
-        "analyze" => cmd_analyze(&args),
-        "predict" => cmd_predict(&args),
-        "summary" => cmd_summary(&args),
-        "calltree" => cmd_calltree(&args),
-        "compare" => cmd_compare(&args),
-        "export-chrome" => cmd_export_chrome(&args),
-        "import" => cmd_import(&args),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+
+    if flags.profiling() {
+        extradeep_obs::set_enabled(true);
     }
+    let result = {
+        let _span = extradeep_obs::span(command_span(command));
+        dispatch(command, &args)
+    };
+    if !flags.profiling() {
+        return result;
+    }
+
+    extradeep_obs::set_enabled(false);
+    let snap = extradeep_obs::drain();
+    let mut report = result?;
+    if let Some(path) = &flags.profile_self {
+        std::fs::write(path, extradeep_obs::chrome_trace_json(&snap))?;
+        report.push_str(&format!("\nSelf-profile (Chrome trace) -> {path}\n"));
+    }
+    if let Some(path) = &flags.self_trace {
+        let exp = crate::selfprofile::self_profile_experiment(&[(1.0, snap.clone())]);
+        json::save(&exp, path).map_err(|e| CliError::Trace(e.to_string()))?;
+        report.push_str(&format!("\nSelf-trace (extradeep format) -> {path}\n"));
+    }
+    if flags.report_phases {
+        report.push('\n');
+        report.push_str(&extradeep_obs::phase_report(&snap));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -599,6 +793,49 @@ mod tests {
         for f in [a, b, chrome] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn global_flags_are_stripped_before_dispatch() {
+        let (rest, flags) = extract_global_flags(&argv(
+            "model --in x.json --profile-self prof.json --report-phases -q --top 3",
+        ));
+        assert_eq!(rest, argv("model --in x.json --top 3"));
+        assert_eq!(flags.profile_self.as_deref(), Some("prof.json"));
+        assert!(flags.report_phases);
+        assert!(flags.quiet);
+        assert!(!flags.verbose);
+        assert!(flags.profiling());
+    }
+
+    #[test]
+    fn pipeline_with_self_profiling_exports_traces() {
+        let chrome = tmp("self_profile.json");
+        let selftrace = tmp("self_trace.json");
+        let out = run(&argv(&format!(
+            "pipeline --ranks 2,4,6,8,10 --reps 1 \
+             --profile-self {chrome} --self-trace {selftrace} --report-phases"
+        )))
+        .unwrap();
+        assert!(out.contains("kernel models created"));
+        assert!(out.contains("phase report"), "missing phase table:\n{out}");
+
+        // The Chrome export contains spans from every pipeline layer.
+        let body = std::fs::read_to_string(&chrome).unwrap();
+        assert!(body.trim_start().starts_with('['));
+        for cat in ["sim", "trace", "agg", "model", "core"] {
+            assert!(
+                body.contains(&format!("\"cat\":\"{cat}\"")),
+                "no '{cat}' spans in the self-profile"
+            );
+        }
+
+        // The self-trace round-trips through the ordinary trace loader.
+        let exp = json::load(&selftrace).unwrap();
+        assert_eq!(exp.len(), 1);
+        assert!(!exp.profiles[0].ranks[0].events.is_empty());
+        std::fs::remove_file(chrome).ok();
+        std::fs::remove_file(selftrace).ok();
     }
 
     #[test]

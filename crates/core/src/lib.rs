@@ -39,6 +39,12 @@ pub mod modelset;
 pub mod persist;
 pub mod questions;
 pub mod report;
+pub mod selfprofile;
+
+/// The self-profiling runtime, re-exported so binaries and downstream users
+/// reach spans, counters, and the `error!`/`warn!`/`info!`/`debug!` macros
+/// through one crate.
+pub use extradeep_obs as obs;
 
 pub use analysis::{
     efficiency_model, efficiency_series, find_cost_effective, rank_by_growth, speedup_model,
@@ -48,6 +54,7 @@ pub use evaluate::{mpe, mpe_at_scale, point_errors, AccuracyReport, PointError};
 pub use experiment::{deep_point_sets, jureca_point_sets, ExperimentOutcome, ExperimentPlan};
 pub use modelset::{build_app_models, build_model_set, AppModels, ModelSet, ModelSetOptions};
 pub use persist::{load_models, models_from_json, models_to_json, save_models, PersistError};
+pub use selfprofile::{self_profile_config, self_profile_experiment, SELF_PARAMETER};
 
 /// Common imports for downstream users.
 pub mod prelude {

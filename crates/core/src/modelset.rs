@@ -86,6 +86,7 @@ pub fn build_app_models(
     metric: MetricKind,
     options: &ModelSetOptions,
 ) -> Result<AppModels, ModelingError> {
+    let _span = extradeep_obs::span("core.app_models");
     // One engine serves all four application models: the hypothesis-shape
     // list of the (wider, two-term) application space is generated once.
     let engine = SearchEngine::new(options.app_modeler.clone());
@@ -106,6 +107,7 @@ pub fn build_model_set(
     metric: MetricKind,
     options: &ModelSetOptions,
 ) -> Result<ModelSet, ModelingError> {
+    let _span = extradeep_obs::span("core.model_set");
     let app = build_app_models(agg, metric, options)?;
     let kernels_to_model = agg.modelable_kernels(options.min_configs);
 
@@ -115,6 +117,7 @@ pub fn build_model_set(
     let results: Vec<(KernelId, Result<Model, ModelingError>)> = kernels_to_model
         .par_iter()
         .map(|id| {
+            let _span = extradeep_obs::span("core.kernel_model");
             let data = agg.kernel_dataset(id, metric);
             (id.clone(), engine.model(&data))
         })

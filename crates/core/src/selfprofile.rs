@@ -1,0 +1,223 @@
+//! Feeding the pipeline's own profile back into the modeler.
+//!
+//! [`extradeep_obs`] records what the pipeline does; this module re-emits
+//! that recording as an [`extradeep_trace`] event stream — the same format
+//! the pipeline consumes — so the unmodified aggregation and modeling stages
+//! can fit scaling models *of the pipeline itself* ("how does the hypothesis
+//! search scale with input size?").
+//!
+//! ## Encoding
+//!
+//! One obs [`Snapshot`] becomes one [`ConfigProfile`]:
+//!
+//! - All spans land in a **single rank** (rank 0). The aggregation takes the
+//!   median over ranks that executed a kernel; splitting the pipeline's
+//!   threads across synthetic ranks would turn totals into medians and break
+//!   them. Within one rank everything sums, which is what a wall-time total
+//!   means.
+//! - Each span becomes an [`ApiDomain::Nvtx`] event named after the span, so
+//!   the `<crate>.` prefix survives as the kernel name and per-stage models
+//!   fall out of the ordinary per-kernel loop.
+//! - **Epoch 0 is empty**: the default [`AggregationOptions`] treats the
+//!   first epoch as warm-up and drops its steps. The real content sits in
+//!   epoch 1 as one all-covering training step.
+//! - The [`TrainingMeta`] pins `n_t = 1, n_v = 0`, so the derived per-epoch
+//!   metric `F = n_t·ṽ_t + outside` equals the raw recorded totals.
+//! - Counters become zero-duration events whose `visits` field carries the
+//!   count, making them modelable under [`MetricKind::Visits`].
+//!
+//! [`AggregationOptions`]: extradeep_agg::AggregationOptions
+//! [`MetricKind::Visits`]: extradeep_trace::MetricKind::Visits
+
+use extradeep_obs::Snapshot;
+use extradeep_trace::{
+    ApiDomain, ConfigProfile, EpochMark, Event, ExperimentProfiles, MeasurementConfig, RankProfile,
+    StepMark, StepPhase, TrainingMeta,
+};
+
+/// The modeled coordinate of a self-profile experiment: the work scale the
+/// pipeline run corresponds to (e.g. rank-count sweep size, kernel count).
+pub const SELF_PARAMETER: &str = "work";
+
+/// Padding around the recorded spans inside the synthetic training step.
+const PAD_NS: u64 = 1_000;
+
+fn self_meta() -> TrainingMeta {
+    TrainingMeta {
+        batch_size: 1,
+        train_samples: 1,
+        val_samples: 0,
+        data_parallel: 1,
+        model_parallel: 1,
+        cores_per_rank: 1,
+    }
+}
+
+/// Converts one obs snapshot into a trace profile at coordinate `work`.
+pub fn self_profile_config(snap: &Snapshot, work: f64, repetition: u32) -> ConfigProfile {
+    let config = MeasurementConfig::new(vec![(SELF_PARAMETER.to_string(), work)]);
+    let mut profile = ConfigProfile::new(config, repetition, self_meta());
+
+    // Normalize span timestamps so the stream starts shortly after the
+    // (empty, warm-up) epoch 0.
+    let t0 = snap.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let shift = |t: u64| t - t0 + 2 * PAD_NS;
+
+    let mut rank = RankProfile::new(0);
+    for s in &snap.spans {
+        rank.events.push(Event::new(
+            s.name,
+            ApiDomain::Nvtx,
+            shift(s.start_ns),
+            s.dur_ns.max(1),
+        ));
+    }
+    let step_start = PAD_NS;
+    let content_end = snap
+        .spans
+        .iter()
+        .map(|s| shift(s.end_ns()))
+        .max()
+        .unwrap_or(step_start);
+    for c in &snap.counters {
+        if c.value == 0 {
+            continue;
+        }
+        // `visits` carries the counter reading; `with_visits` clamps to ≥ 1,
+        // which is fine here since zero counters are skipped above.
+        rank.events
+            .push(Event::new(c.name, ApiDomain::Nvtx, content_end, 1).with_visits(c.value));
+    }
+    let step_end = content_end + PAD_NS;
+
+    // Epoch 0: the synthetic warm-up round the default aggregation drops.
+    rank.epoch_marks.push(EpochMark::new(0, 0, 1));
+    // Epoch 1: one training step covering every recorded span and counter.
+    rank.step_marks.push(StepMark::new(
+        1,
+        0,
+        StepPhase::Training,
+        step_start,
+        step_end,
+    ));
+    rank.epoch_marks
+        .push(EpochMark::new(1, step_start, step_end));
+
+    profile.execution_seconds = (step_end - step_start) as f64 * 1e-9;
+    profile.ranks.push(rank);
+    profile
+}
+
+/// Bundles `(work, snapshot)` pairs — e.g. one pipeline run per input scale
+/// — into an experiment the ordinary modeling stack can fit.
+pub fn self_profile_experiment(runs: &[(f64, Snapshot)]) -> ExperimentProfiles {
+    let mut exp = ExperimentProfiles::new();
+    for (work, snap) in runs {
+        exp.push(self_profile_config(snap, *work, 0));
+    }
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_obs::{CounterValue, SpanRecord};
+
+    fn snap_with(spans: Vec<SpanRecord>, counters: Vec<CounterValue>) -> Snapshot {
+        Snapshot {
+            spans,
+            counters,
+            ..Default::default()
+        }
+    }
+
+    fn span(name: &'static str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_ns: start,
+            dur_ns: dur,
+            tid: 0,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn spans_land_inside_the_training_step() {
+        let p = self_profile_config(
+            &snap_with(
+                vec![
+                    span("model.search", 5_000, 2_000),
+                    span("agg.experiment", 9_000, 500),
+                ],
+                vec![],
+            ),
+            4.0,
+            0,
+        );
+        assert_eq!(p.num_ranks(), 1);
+        let rank = &p.ranks[0];
+        let step = &rank.step_marks[0];
+        assert_eq!(step.epoch, 1);
+        for e in &rank.events {
+            assert!(e.start_ns >= step.start_ns && e.end_ns() <= step.end_ns);
+        }
+        assert_eq!(p.config.value(SELF_PARAMETER), Some(4.0));
+        // n_t = 1, n_v = 0: per-epoch totals equal raw totals.
+        assert_eq!(p.meta.training_steps_per_epoch(), 1);
+        assert_eq!(p.meta.validation_steps_per_epoch(), 0);
+    }
+
+    #[test]
+    fn counters_become_visit_events() {
+        let p = self_profile_config(
+            &snap_with(
+                vec![span("model.search", 0, 100)],
+                vec![
+                    CounterValue {
+                        name: "model.search.hypotheses",
+                        value: 61,
+                    },
+                    CounterValue {
+                        name: "model.loocv.fallback_folds",
+                        value: 0,
+                    },
+                ],
+            ),
+            2.0,
+            0,
+        );
+        let events = &p.ranks[0].events;
+        let c = events
+            .iter()
+            .find(|e| &*e.name == "model.search.hypotheses")
+            .unwrap();
+        assert_eq!(c.visits, 61);
+        // Zero counters are dropped, not emitted as visits=1 noise.
+        assert!(!events
+            .iter()
+            .any(|e| &*e.name == "model.loocv.fallback_folds"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_yields_a_wellformed_profile() {
+        let p = self_profile_config(&Snapshot::default(), 1.0, 0);
+        assert_eq!(p.num_ranks(), 1);
+        assert!(p.ranks[0].events.is_empty());
+        assert_eq!(p.ranks[0].step_marks.len(), 1);
+    }
+
+    #[test]
+    fn experiment_carries_one_config_per_work_scale() {
+        let runs: Vec<(f64, Snapshot)> = (1..=5)
+            .map(|w| {
+                (
+                    w as f64,
+                    snap_with(vec![span("core.model_set", 0, 1000 * w)], vec![]),
+                )
+            })
+            .collect();
+        let exp = self_profile_experiment(&runs);
+        assert_eq!(exp.len(), 5);
+        assert_eq!(exp.configs().len(), 5);
+    }
+}

@@ -43,6 +43,41 @@ use std::collections::HashMap;
 /// hat-matrix identity; such folds are refit exactly instead.
 const LEVERAGE_EPS: f64 = 1e-7;
 
+/// Self-profiling counters. Resolved once per process (the registry lock is
+/// taken on first use only); every increment afterwards is one relaxed
+/// atomic check plus, when enabled, one relaxed add. Fold counts are
+/// accumulated locally per cross-validation and flushed in one add.
+pub(crate) mod obs_counters {
+    use std::sync::OnceLock;
+
+    macro_rules! cached_counter {
+        ($fn_name:ident, $name:literal) => {
+            pub(crate) fn $fn_name() -> &'static extradeep_obs::Counter {
+                static C: OnceLock<&'static extradeep_obs::Counter> = OnceLock::new();
+                C.get_or_init(|| extradeep_obs::counter($name))
+            }
+        };
+    }
+
+    cached_counter!(hypotheses, "model.search.hypotheses");
+    cached_counter!(loocv_fastpath, "model.loocv.fastpath_folds");
+    cached_counter!(loocv_fallback, "model.loocv.fallback_folds");
+    cached_counter!(loocv_naive, "model.loocv.naive_folds");
+    cached_counter!(basis_hits, "model.basis_cache.hits");
+    cached_counter!(basis_misses, "model.basis_cache.misses");
+}
+
+/// Flushes locally accumulated LOO-CV fold counts (zero adds are skipped so
+/// the disabled path stays at the enabled-flag check).
+fn flush_loo_counts(fast: u64, fallback: u64) {
+    if fast > 0 {
+        obs_counters::loocv_fastpath().add(fast);
+    }
+    if fallback > 0 {
+        obs_counters::loocv_fallback().add(fallback);
+    }
+}
+
 /// Per-worker scratch buffers. One instance lives in each rayon worker and
 /// is reused across every hypothesis that worker evaluates.
 #[derive(Debug, Default)]
@@ -93,8 +128,10 @@ impl BasisCache {
 
     fn insert(&mut self, param: usize, ts: TermShape, points: &[(Coordinate, f64)]) {
         if self.index.contains_key(&(param, ts)) {
+            obs_counters::basis_hits().incr();
             return;
         }
+        obs_counters::basis_misses().incr();
         let term = SimpleTerm::new(param, ts.exponent, ts.log_exponent);
         let column: Vec<f64> = points.iter().map(|(c, _)| term.evaluate(c)).collect();
         self.index.insert((param, ts), self.columns.len());
@@ -108,14 +145,19 @@ impl BasisCache {
         let (n, k) = (self.len, shape.num_coefficients());
         ws.design.clear();
         ws.design.resize(n * k, 1.0);
+        // Every factor read here is a reuse of a column computed once in
+        // `build` — a cache hit. Tallied locally, flushed in one add.
+        let mut reads = 0u64;
         for (t, factors) in shape.terms.iter().enumerate() {
             for &(param, ts) in factors {
+                reads += 1;
                 let column = &self.columns[self.index[&(param, ts)]];
                 for (i, &v) in column.iter().enumerate() {
                     ws.design[i * k + t + 1] *= v;
                 }
             }
         }
+        obs_counters::basis_hits().add(reads);
     }
 }
 
@@ -187,6 +229,7 @@ fn loo_from_workspace(
         return None;
     }
     ws.loo.clear();
+    let (mut fast_folds, mut fallback_folds) = (0u64, 0u64);
     for i in 0..n {
         ws.scratch.clear();
         ws.scratch.extend_from_slice(&ws.design[i * k..(i + 1) * k]);
@@ -199,12 +242,20 @@ fn loo_from_workspace(
         let denom = 1.0 - leverage;
         let pred = ws.actuals[i] - (ws.actuals[i] - ws.fitted[i]) / denom;
         if denom < LEVERAGE_EPS || !pred.is_finite() {
-            ws.loo
-                .push(hypothesis::naive_fold_prediction(shape, points, i)?);
+            fallback_folds += 1;
+            match hypothesis::naive_fold_prediction(shape, points, i) {
+                Some(p) => ws.loo.push(p),
+                None => {
+                    flush_loo_counts(fast_folds, fallback_folds);
+                    return None;
+                }
+            }
         } else {
+            fast_folds += 1;
             ws.loo.push(pred);
         }
     }
+    flush_loo_counts(fast_folds, fallback_folds);
     Some(metrics::smape(&ws.loo, &ws.actuals))
 }
 
@@ -256,6 +307,7 @@ pub(crate) fn evaluate_shape_cached(
     cache: &BasisCache,
     ws: &mut Workspace,
 ) -> Option<FittedHypothesis> {
+    obs_counters::hypotheses().incr();
     if !shape_within_bounds(shape, exponent_bounds) {
         return None;
     }
@@ -317,6 +369,7 @@ pub(crate) fn evaluate_shape_cached(
     let mut cv_smape = f64::NAN;
     if options.use_cross_validation {
         let cv = if options.use_naive_loocv {
+            obs_counters::loocv_naive().add(n as u64);
             hypothesis::cross_validate_naive(shape, points)
         } else {
             loo_from_workspace(shape, points, ws, n, k)

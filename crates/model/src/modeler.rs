@@ -310,6 +310,7 @@ pub(crate) fn model_with_shapes(
     options: &ModelerOptions,
     shapes: &[HypothesisShape],
 ) -> Result<Model, ModelingError> {
+    let _span = extradeep_obs::span("model.search");
     let points = validated_points(data, options)?;
     let bounds = exponent_bounds(data, options, &points);
     let cache = engine::BasisCache::build(shapes, &points);

@@ -184,6 +184,7 @@ pub fn model_multi_parameter(
     data: &ExperimentData,
     options: &ModelerOptions,
 ) -> Result<Model, ModelingError> {
+    let _span = extradeep_obs::span("model.multi_param");
     let m = data.num_parameters();
     if m == 0 {
         return Err(ModelingError::InvalidData("no parameters".into()));

@@ -1,0 +1,87 @@
+//! The search engine's self-profiling counters: on well-conditioned inputs
+//! the closed-form LOO-CV fast path must dominate, with the per-fold exact
+//! refit reserved for degenerate (leverage ≈ 1) folds.
+
+use extradeep_model::{ExperimentData, ModelerOptions, SearchEngine};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn well_conditioned_data() -> ExperimentData {
+    // Smooth growth over a proper geometric coordinate spread: no fold is
+    // anywhere near leverage 1.
+    let f = |x: f64| 5.0 + 0.8 * x + 0.1 * x * x.log2();
+    let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+        .iter()
+        .map(|&x| (x, f(x)))
+        .collect();
+    ExperimentData::univariate("p", &pts)
+}
+
+#[test]
+fn fast_path_dominates_on_well_conditioned_inputs() {
+    let _l = LOCK.lock().unwrap();
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    let engine = SearchEngine::new(ModelerOptions::default());
+    engine.model(&well_conditioned_data()).unwrap();
+    extradeep_obs::set_enabled(false);
+    let snap = extradeep_obs::drain();
+
+    let hypotheses = snap.counter("model.search.hypotheses").unwrap_or(0);
+    let fast = snap.counter("model.loocv.fastpath_folds").unwrap_or(0);
+    let fallback = snap.counter("model.loocv.fallback_folds").unwrap_or(0);
+    let naive = snap.counter("model.loocv.naive_folds").unwrap_or(0);
+
+    assert!(hypotheses > 10, "search must try many shapes: {hypotheses}");
+    assert!(fast > 0, "closed-form folds must be exercised");
+    assert_eq!(naive, 0, "default options must not take the naive path");
+    assert!(
+        fast >= 20 * fallback.max(1) || fallback == 0,
+        "fast path must dominate: {fast} fast vs {fallback} fallback folds"
+    );
+}
+
+#[test]
+fn naive_option_routes_folds_to_the_naive_counter() {
+    let _l = LOCK.lock().unwrap();
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    let options = ModelerOptions {
+        use_naive_loocv: true,
+        ..ModelerOptions::default()
+    };
+    let engine = SearchEngine::new(options);
+    engine.model(&well_conditioned_data()).unwrap();
+    extradeep_obs::set_enabled(false);
+    let snap = extradeep_obs::drain();
+
+    assert!(snap.counter("model.loocv.naive_folds").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("model.loocv.fastpath_folds").unwrap_or(0), 0);
+}
+
+#[test]
+fn basis_cache_hit_rate_is_high_across_the_shape_list() {
+    let _l = LOCK.lock().unwrap();
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    // A two-term search space (as the application modeler uses): shapes
+    // share factors, so the cache gets real cross-shape reuse on top of the
+    // per-evaluation column reads.
+    let mut options = ModelerOptions::strong_scaling();
+    options.search_space = options.search_space.with_max_terms(2);
+    let engine = SearchEngine::new(options);
+    engine.model(&well_conditioned_data()).unwrap();
+    extradeep_obs::set_enabled(false);
+    let snap = extradeep_obs::drain();
+
+    let hits = snap.counter("model.basis_cache.hits").unwrap_or(0);
+    let misses = snap.counter("model.basis_cache.misses").unwrap_or(0);
+    // Distinct factors are evaluated once; the (much longer) shape list
+    // reuses them.
+    assert!(misses > 0);
+    assert!(
+        hits > misses,
+        "cache must be reused: {hits} hits / {misses} misses"
+    );
+}

@@ -1,0 +1,232 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the classic [trace-event format] understood by `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev): a JSON array of events with
+//! matched `B`/`E` (begin/end) duration pairs per thread, `C` counter
+//! samples, and `M` metadata records naming the process and threads.
+//!
+//! The writer is hand-rolled: the event schema is tiny and fixed, and the
+//! runtime must not depend on serde. Span names are `&'static str` chosen by
+//! instrumentation sites, but they are still escaped defensively.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::registry::Snapshot;
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Serializes a [`Snapshot`] as a Chrome trace-event JSON array.
+///
+/// Guarantees, per thread id:
+/// - every `B` has a matching `E` with the same name;
+/// - timestamps are non-decreasing in emission order;
+/// - nesting is proper (a child's `E` precedes its parent's `E`).
+///
+/// These hold because spans are recorded with per-thread stack discipline
+/// (see [`crate::span`]); the export is a linear sweep that replays that
+/// stack from `(start, depth, end)`-sorted records.
+pub fn chrome_trace_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(snap.spans.len() * 96 + 1024);
+    out.push('[');
+    let mut first = true;
+
+    // Process metadata.
+    meta_event(&mut out, &mut first, "process_name", 0, None, "extradeep");
+
+    // Thread metadata: one row per recording thread, named by its obs tid.
+    let mut tids: Vec<u64> = snap.spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for &tid in &tids {
+        let name = format!("obs-thread-{tid}");
+        meta_event(&mut out, &mut first, "thread_name", tid, Some(tid), &name);
+    }
+
+    // Duration events: per-tid B/E sweep. Records arrive sorted by
+    // (tid, start, depth, end); within one tid that order is exactly the
+    // order of span *openings*, so replaying a stack of open end-times
+    // yields properly nested, timestamp-ordered B/E pairs.
+    for &tid in &tids {
+        let spans = snap.spans.iter().filter(|s| s.tid == tid);
+        // Stack of (end_ns, name) for spans whose B has been emitted.
+        let mut open: Vec<(u64, &SpanRecord)> = Vec::new();
+        for s in spans {
+            while let Some(&(end, rec)) = open.last() {
+                if end <= s.start_ns {
+                    duration_event(&mut out, &mut first, "E", rec, end);
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            duration_event(&mut out, &mut first, "B", s, s.start_ns);
+            open.push((s.end_ns(), s));
+        }
+        while let Some((end, rec)) = open.pop() {
+            duration_event(&mut out, &mut first, "E", rec, end);
+        }
+    }
+
+    // Counter samples at capture time.
+    for c in &snap.counters {
+        counter_event(&mut out, &mut first, c.name, snap.captured_ns, c.value);
+    }
+    for h in &snap.histograms {
+        counter_event(&mut out, &mut first, h.name, snap.captured_ns, h.count);
+    }
+
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Nanoseconds → the format's microsecond timestamps, keeping ns precision
+/// as a fractional part.
+fn write_ts(out: &mut String, ns: u64) {
+    let micros = ns / 1000;
+    let frac = ns % 1000;
+    let _ = write!(out, "{micros}.{frac:03}");
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn meta_event(
+    out: &mut String,
+    first: &mut bool,
+    kind: &str,
+    tid: u64,
+    sort_index: Option<u64>,
+    name: &str,
+) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":"
+    );
+    write_json_string(out, name);
+    if let Some(idx) = sort_index {
+        let _ = write!(out, ",\"sort_index\":{idx}");
+    }
+    out.push_str("}}");
+}
+
+fn duration_event(out: &mut String, first: &mut bool, ph: &str, rec: &SpanRecord, ts_ns: u64) {
+    sep(out, first);
+    let _ = write!(out, "{{\"name\":");
+    write_json_string(out, rec.name);
+    let _ = write!(out, ",\"cat\":");
+    write_json_string(out, rec.category());
+    let _ = write!(
+        out,
+        ",\"ph\":\"{ph}\",\"pid\":0,\"tid\":{},\"ts\":",
+        rec.tid
+    );
+    write_ts(out, ts_ns);
+    out.push('}');
+}
+
+fn counter_event(out: &mut String, first: &mut bool, name: &str, ts_ns: u64, value: u64) {
+    sep(out, first);
+    out.push_str("{\"name\":");
+    write_json_string(out, name);
+    out.push_str(",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
+    write_ts(out, ts_ns);
+    let _ = write!(out, ",\"args\":{{\"value\":{value}}}}}");
+}
+
+/// Writes `s` as a JSON string literal (quotes included).
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CounterValue;
+
+    fn rec(name: &'static str, start: u64, dur: u64, tid: u64, depth: u32) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_ns: start,
+            dur_ns: dur,
+            tid,
+            depth,
+        }
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_controls() {
+        let mut s = String::new();
+        write_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nested_spans_emit_matched_pairs_in_order() {
+        // outer [0, 100], inner [10, 40], sibling [50, 90]
+        let snap = Snapshot {
+            spans: vec![
+                rec("core.outer", 0, 100, 0, 0),
+                rec("model.inner", 10, 30, 0, 1),
+                rec("model.sibling", 50, 40, 0, 1),
+            ],
+            ..Default::default()
+        };
+        let json = chrome_trace_json(&snap);
+        // Order of B/E events for tid 0 must replay the stack:
+        // B outer, B inner, E inner, B sibling, E sibling, E outer.
+        let seq: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"B\"") || l.contains("\"ph\":\"E\""))
+            .map(|l| if l.contains("\"ph\":\"B\"") { "B" } else { "E" })
+            .collect();
+        assert_eq!(seq, ["B", "B", "E", "B", "E", "E"]);
+        assert!(json.contains("\"cat\":\"model\""));
+    }
+
+    #[test]
+    fn counters_become_c_events() {
+        let snap = Snapshot {
+            counters: vec![CounterValue {
+                name: "model.search.hypotheses",
+                value: 42,
+            }],
+            captured_ns: 5000,
+            ..Default::default()
+        };
+        let json = chrome_trace_json(&snap);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":42"));
+    }
+
+    #[test]
+    fn timestamps_are_fractional_micros() {
+        let mut s = String::new();
+        write_ts(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        let mut s = String::new();
+        write_ts(&mut s, 42);
+        assert_eq!(s, "0.042");
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal leveled logging to stderr.
+//!
+//! Deliberately tiny: a global max level (default [`Level::Warn`], so
+//! default output is unchanged from the historical ad-hoc `eprintln!`s) and
+//! four macros. No targets, no structured fields — the span/counter side of
+//! this crate covers that.
+//!
+//! ```
+//! extradeep_obs::log::set_max_level(extradeep_obs::log::Level::Info);
+//! extradeep_obs::info!("fitted {} kernels", 12);
+//! extradeep_obs::log::set_max_level(extradeep_obs::log::Level::Warn);
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Default: warnings and errors only, matching the pipeline's historical
+/// stderr behavior.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the global maximum level (messages above it are dropped).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global maximum level.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a message at `level` would currently be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one formatted line to stderr. Prefer the macros.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[{}] {}", level.tag(), args);
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_gate() {
+        let _l = crate::testutil::LOCK.lock();
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_max_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        assert_eq!(max_level(), Level::Debug);
+        set_max_level(Level::Warn);
+    }
+
+    #[test]
+    fn error_is_most_severe() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

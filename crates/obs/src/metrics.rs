@@ -1,0 +1,243 @@
+//! Monotonic counters and log₂-bucket histograms.
+//!
+//! Both are lock-free: an increment is one relaxed atomic op (preceded by
+//! the global enabled check). Hot loops should accumulate locally and call
+//! [`Counter::add`] once per batch — the model search does this for its
+//! per-fold LOO-CV counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+/// One counter reading inside a [`crate::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterValue {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+impl Counter {
+    pub(crate) fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`; a no-op (one atomic load) while recording is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::registry::is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1; a no-op while recording is disabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Returns the current value and resets to zero.
+    pub(crate) fn take(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds values with bit length `i`
+/// (bucket 0 is exactly zero), so the range covers the full `u64` span.
+const BUCKETS: usize = 65;
+
+/// A named histogram over `u64` samples (typically nanoseconds) with log₂
+/// buckets: cheap concurrent recording, quantiles within a factor of two.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Median (upper bucket bound — an overestimate of at most 2×).
+    pub p50: u64,
+    /// 95th percentile (upper bucket bound).
+    pub p95: u64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Upper bound of a bucket: the largest value whose bit length is `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample; a no-op (one atomic load) while disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::registry::is_enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing it; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(i).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            name: self.name,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::LOCK as TEST_LOCK;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let _l = TEST_LOCK.lock();
+        let h = Histogram::new("test.h");
+        crate::registry::set_enabled(true);
+        for v in [1u64, 2, 3, 10, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        crate::registry::set_enabled(false);
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 11_116);
+        assert_eq!(s.max, 10_000);
+        // p50 falls in the bucket containing the 4th sample (10): [8, 15].
+        assert!(s.p50 >= 10 && s.p50 <= 15, "p50 = {}", s.p50);
+        // p95 lands in the top bucket, clamped to the observed max.
+        assert!(s.p95 >= 10_000 && s.p95 <= 16_383, "p95 = {}", s.p95);
+    }
+
+    #[test]
+    fn disabled_counter_and_histogram_do_not_move() {
+        let _l = TEST_LOCK.lock();
+        crate::registry::set_enabled(false);
+        let c = Counter::new("test.c");
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 0);
+        let h = Histogram::new("test.h2");
+        h.record(9);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn counter_take_resets() {
+        let _l = TEST_LOCK.lock();
+        let c = Counter::new("test.take");
+        crate::registry::set_enabled(true);
+        c.add(7);
+        crate::registry::set_enabled(false);
+        assert_eq!(c.take(), 7);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new("test.empty");
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

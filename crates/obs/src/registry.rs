@@ -1,0 +1,231 @@
+//! The global registry: the enabled flag, the monotonic clock, per-thread
+//! span buffers, and the named counter/histogram tables.
+//!
+//! Everything lives in statics so instrumentation sites need no handle
+//! threading. The hot paths touch only the enabled flag (one relaxed atomic
+//! load) plus, when enabled, a thread-local buffer; the `parking_lot`
+//! mutexes here are contended only during collection.
+
+use crate::metrics::{Counter, CounterValue, Histogram, HistogramSummary};
+use crate::span::SpanRecord;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation is recording. One relaxed atomic load — this is
+/// the *entire* cost of a disabled span or counter increment.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off globally. Spans already open keep their start
+/// time and still record on drop; spans opened while disabled never record.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Shorthand for [`set_enabled`]`(true)`.
+pub fn enable() {
+    set_enabled(true);
+}
+
+/// Shorthand for [`set_enabled`]`(false)`.
+pub fn disable() {
+    set_enabled(false);
+}
+
+/// The process-wide trace epoch: all span timestamps are nanoseconds since
+/// the first observation.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the trace epoch (monotonic).
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One thread's finished-span buffer. The owning thread pushes; collection
+/// locks briefly from outside.
+pub(crate) struct ThreadBuffer {
+    pub(crate) tid: u64,
+    pub(crate) records: Mutex<Vec<SpanRecord>>,
+}
+
+struct Registry {
+    threads: Mutex<Vec<Arc<ThreadBuffer>>>,
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    next_tid: AtomicU64,
+}
+
+static REGISTRY: Registry = Registry {
+    threads: Mutex::new(Vec::new()),
+    counters: Mutex::new(BTreeMap::new()),
+    histograms: Mutex::new(BTreeMap::new()),
+    next_tid: AtomicU64::new(0),
+};
+
+/// Creates and registers the calling thread's span buffer (called once per
+/// thread from the span machinery's thread-local init).
+pub(crate) fn register_thread() -> Arc<ThreadBuffer> {
+    let buf = Arc::new(ThreadBuffer {
+        tid: REGISTRY.next_tid.fetch_add(1, Ordering::Relaxed),
+        records: Mutex::new(Vec::new()),
+    });
+    REGISTRY.threads.lock().push(Arc::clone(&buf));
+    buf
+}
+
+/// Returns the named counter, creating and registering it on first use.
+/// Call sites should cache the returned reference (e.g. in a `OnceLock`) so
+/// the registry lock is taken once, not per increment.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut map = REGISTRY.counters.lock();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::new(name))))
+}
+
+/// Returns the named histogram, creating and registering it on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut map = REGISTRY.histograms.lock();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new(name))))
+}
+
+/// Everything recorded so far: finished spans plus current counter and
+/// histogram readings.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Finished spans from every thread, sorted by `(tid, start, depth)`.
+    pub spans: Vec<SpanRecord>,
+    /// Counter readings at capture time.
+    pub counters: Vec<CounterValue>,
+    /// Histogram summaries at capture time.
+    pub histograms: Vec<HistogramSummary>,
+    /// Capture timestamp, nanoseconds since the trace epoch.
+    pub captured_ns: u64,
+}
+
+impl Snapshot {
+    /// Total recorded time of all spans with this exact name.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Number of finished spans with this exact name.
+    pub fn count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// The reading of a named counter, when present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
+fn collect(take: bool) -> Snapshot {
+    let mut spans = Vec::new();
+    for buf in REGISTRY.threads.lock().iter() {
+        let mut records = buf.records.lock();
+        if take {
+            spans.append(&mut records);
+        } else {
+            spans.extend(records.iter().cloned());
+        }
+    }
+    spans.sort_by_key(|s| (s.tid, s.start_ns, s.depth, s.end_ns()));
+    let counters = REGISTRY
+        .counters
+        .lock()
+        .values()
+        .map(|c| CounterValue {
+            name: c.name(),
+            value: if take { c.take() } else { c.get() },
+        })
+        .collect();
+    let histograms = REGISTRY
+        .histograms
+        .lock()
+        .values()
+        .map(|h| {
+            let s = h.summary();
+            if take {
+                h.reset();
+            }
+            s
+        })
+        .collect();
+    Snapshot {
+        spans,
+        counters,
+        histograms,
+        captured_ns: now_ns(),
+    }
+}
+
+/// Copies out everything recorded so far without clearing it.
+pub fn snapshot() -> Snapshot {
+    collect(false)
+}
+
+/// Takes everything recorded so far, clearing span buffers and zeroing
+/// counters and histograms — the natural call between profiled runs.
+pub fn drain() -> Snapshot {
+    collect(true)
+}
+
+/// Clears all recorded data without returning it.
+pub fn reset() {
+    let _ = drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_flag_flips() {
+        let _l = crate::testutil::LOCK.lock();
+        set_enabled(false);
+        assert!(!is_enabled());
+        set_enabled(true);
+        assert!(is_enabled());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let a = counter("registry.test.counter") as *const Counter;
+        let b = counter("registry.test.counter") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_registration_is_idempotent() {
+        let a = histogram("registry.test.histogram") as *const Histogram;
+        let b = histogram("registry.test.histogram") as *const Histogram;
+        assert_eq!(a, b);
+    }
+}

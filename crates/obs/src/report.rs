@@ -1,0 +1,159 @@
+//! Human-readable per-phase report.
+//!
+//! Aggregates a [`Snapshot`] by span name into a fixed-width table of
+//! count / total / mean / p50 / p95 / max wall times, followed by counter
+//! and histogram readings. Quantiles here are exact (computed from the full
+//! duration list), unlike the log₂-bucket [`crate::Histogram`] ones.
+
+use crate::registry::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a per-phase wall-time table plus counters and histograms.
+pub fn phase_report(snap: &Snapshot) -> String {
+    let mut by_name: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for s in &snap.spans {
+        by_name.entry(s.name).or_default().push(s.dur_ns);
+    }
+
+    let mut out = String::new();
+    out.push_str("self-profile: phase report\n");
+    out.push_str("==========================\n");
+    if by_name.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        let name_w = by_name
+            .keys()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(4)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>7}  {:>12}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "span", "count", "total ms", "mean ms", "p50 ms", "p95 ms", "max ms"
+        );
+        // Sort by total time descending so the expensive phases lead.
+        let mut rows: Vec<(&'static str, Vec<u64>)> = by_name.into_iter().collect();
+        rows.sort_by_key(|(_, durs)| std::cmp::Reverse(durs.iter().sum::<u64>()));
+        for (name, mut durs) in rows {
+            durs.sort_unstable();
+            let count = durs.len();
+            let total: u64 = durs.iter().sum();
+            let mean = total as f64 / count as f64;
+            let p50 = exact_quantile(&durs, 0.50);
+            let p95 = exact_quantile(&durs, 0.95);
+            let max = *durs.last().unwrap();
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>7}  {:>12.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}",
+                name,
+                count,
+                ms(total),
+                mean / 1e6,
+                ms(p50),
+                ms(p95),
+                ms(max)
+            );
+        }
+    }
+
+    if !snap.counters.is_empty() {
+        out.push_str("\ncounters\n--------\n");
+        let name_w = snap
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(4);
+        for c in &snap.counters {
+            let _ = writeln!(out, "{:<name_w$}  {}", c.name, c.value);
+        }
+    }
+
+    if !snap.histograms.is_empty() {
+        out.push_str("\nhistograms\n----------\n");
+        let name_w = snap
+            .histograms
+            .iter()
+            .map(|h| h.name.len())
+            .max()
+            .unwrap_or(4);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>10}  {:>12}  {:>10}  {:>10}  {:>10}",
+            "name", "count", "sum", "p50", "p95", "max"
+        );
+        for h in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>10}  {:>12}  {:>10}  {:>10}  {:>10}",
+                h.name, h.count, h.sum, h.p50, h.p95, h.max
+            );
+        }
+    }
+
+    out
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Exact quantile over sorted data: the value at the ceil(q·n)-th sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecord;
+
+    #[test]
+    fn exact_quantile_picks_order_statistics() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(exact_quantile(&data, 0.50), 5);
+        assert_eq!(exact_quantile(&data, 0.95), 10);
+        assert_eq!(exact_quantile(&data, 0.0), 1);
+        assert_eq!(exact_quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn report_lists_phases_by_total_time() {
+        let snap = Snapshot {
+            spans: vec![
+                SpanRecord {
+                    name: "a.cheap",
+                    start_ns: 0,
+                    dur_ns: 1_000_000,
+                    tid: 0,
+                    depth: 0,
+                },
+                SpanRecord {
+                    name: "b.dear",
+                    start_ns: 0,
+                    dur_ns: 9_000_000,
+                    tid: 0,
+                    depth: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let rep = phase_report(&snap);
+        let dear = rep.find("b.dear").unwrap();
+        let cheap = rep.find("a.cheap").unwrap();
+        assert!(dear < cheap, "most expensive phase should lead:\n{rep}");
+        assert!(rep.contains("total ms"));
+    }
+
+    #[test]
+    fn empty_snapshot_reports_no_spans() {
+        let rep = phase_report(&Snapshot::default());
+        assert!(rep.contains("no spans recorded"));
+    }
+}

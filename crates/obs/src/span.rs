@@ -1,0 +1,201 @@
+//! RAII spans with thread-local stacks.
+//!
+//! A span measures the wall time of a lexical scope. Each thread keeps its
+//! own depth counter and finished-span buffer, so spans nest correctly under
+//! rayon's fork/join execution: a worker that steals a task while one of its
+//! own spans is open simply records the stolen task's spans as deeper
+//! entries on the *same* thread — stack discipline per OS thread is exactly
+//! what the Chrome trace B/E event model requires.
+
+use crate::registry::{self, ThreadBuffer};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, by convention `<crate>.<phase>[.<detail>]`.
+    pub name: &'static str,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread (obs-internal id, dense from 0).
+    pub tid: u64,
+    /// Nesting depth on the recording thread at span start (0 = top level).
+    pub depth: u32,
+}
+
+impl SpanRecord {
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+
+    /// The span's category: the name segment before the first `.` — the
+    /// crate/stage it belongs to (`sim`, `trace`, `agg`, `model`, `core`).
+    pub fn category(&self) -> &'static str {
+        match self.name.split_once('.') {
+            Some((cat, _)) => cat,
+            None => self.name,
+        }
+    }
+}
+
+struct Local {
+    buf: Arc<ThreadBuffer>,
+    depth: u32,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// Guard returned by [`span`]; records the span when dropped.
+///
+/// `#[must_use]`: binding it to `_` drops it immediately and measures
+/// nothing — bind to a named `_guard`-style local instead.
+#[must_use = "a span guard measures the scope it is bound to; dropping it immediately records an empty span"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+    /// A guard must drop on the thread that opened it (the thread-local
+    /// depth counter and buffer are only correct there), so it is `!Send`.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Opens a span. When recording is disabled this is one atomic load and the
+/// returned guard is inert.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !registry::is_enabled() {
+        return SpanGuard {
+            active: None,
+            _not_send: std::marker::PhantomData,
+        };
+    }
+    let start_ns = registry::now_ns();
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let local = slot.get_or_insert_with(|| Local {
+            buf: registry::register_thread(),
+            depth: 0,
+        });
+        local.depth += 1;
+    });
+    SpanGuard {
+        active: Some(ActiveSpan { name, start_ns }),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end_ns = registry::now_ns();
+        LOCAL.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            // The local state exists: an active guard implies this thread
+            // went through `span()`'s init. (Guards are not Send, so drop
+            // runs on the opening thread.)
+            if let Some(local) = slot.as_mut() {
+                local.depth = local.depth.saturating_sub(1);
+                local.buf.records.lock().push(SpanRecord {
+                    name: active.name,
+                    start_ns: active.start_ns,
+                    dur_ns: end_ns.saturating_sub(active.start_ns),
+                    tid: local.buf.tid,
+                    depth: local.depth,
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    use crate::testutil::LOCK as TEST_LOCK;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = TEST_LOCK.lock();
+        registry::set_enabled(false);
+        registry::reset();
+        {
+            let _g = span("test.disabled");
+        }
+        let snap = registry::drain();
+        assert_eq!(snap.count("test.disabled"), 0);
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_containment() {
+        let _l = TEST_LOCK.lock();
+        registry::reset();
+        registry::set_enabled(true);
+        {
+            let _outer = span("test.outer");
+            {
+                let _inner = span("test.inner");
+            }
+            {
+                let _inner2 = span("test.inner2");
+            }
+        }
+        registry::set_enabled(false);
+        let snap = registry::drain();
+        let outer = snap.spans.iter().find(|s| s.name == "test.outer").unwrap();
+        let inner = snap.spans.iter().find(|s| s.name == "test.inner").unwrap();
+        let inner2 = snap.spans.iter().find(|s| s.name == "test.inner2").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner2.depth, 1);
+        assert_eq!(outer.tid, inner.tid);
+        // Containment: children start no earlier and end no later.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        // Siblings are disjoint.
+        assert!(inner.end_ns() <= inner2.start_ns);
+    }
+
+    #[test]
+    fn spans_from_multiple_threads_get_distinct_tids() {
+        let _l = TEST_LOCK.lock();
+        registry::reset();
+        registry::set_enabled(true);
+        let handle = std::thread::spawn(|| {
+            let _g = span("test.worker");
+        });
+        {
+            let _g = span("test.main");
+        }
+        handle.join().unwrap();
+        registry::set_enabled(false);
+        let snap = registry::drain();
+        let main = snap.spans.iter().find(|s| s.name == "test.main").unwrap();
+        let worker = snap.spans.iter().find(|s| s.name == "test.worker").unwrap();
+        assert_ne!(main.tid, worker.tid);
+    }
+
+    #[test]
+    fn category_is_prefix_before_dot() {
+        let r = SpanRecord {
+            name: "model.search.inner",
+            start_ns: 0,
+            dur_ns: 1,
+            tid: 0,
+            depth: 0,
+        };
+        assert_eq!(r.category(), "model");
+        let bare = SpanRecord { name: "flat", ..r };
+        assert_eq!(bare.category(), "flat");
+    }
+}

@@ -1,0 +1,137 @@
+//! The Chrome trace-event export, validated with a real JSON parser: the
+//! emitted string must be valid JSON with the documented schema, matched
+//! B/E pairs per thread, and non-decreasing timestamps.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Tests in this binary flip the global enabled flag; serialize them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn record_some_work() -> extradeep_obs::Snapshot {
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    {
+        let _outer = extradeep_obs::span("core.command");
+        {
+            let _m = extradeep_obs::span("model.search");
+            for _ in 0..3 {
+                let _inner = extradeep_obs::span("model.search.shape");
+            }
+        }
+        let _a = extradeep_obs::span("agg.experiment");
+    }
+    extradeep_obs::counter("model.search.hypotheses").add(42);
+    extradeep_obs::histogram("model.fit_ns").record(1234);
+    extradeep_obs::set_enabled(false);
+    extradeep_obs::drain()
+}
+
+#[test]
+fn export_is_valid_json_with_matched_pairs() {
+    let _l = LOCK.lock().unwrap();
+    let snap = record_some_work();
+    let json = extradeep_obs::chrome_trace_json(&snap);
+
+    let value: serde_json::Value = serde_json::from_str(&json).expect("export must parse");
+    let events = value.as_array().expect("top level must be an array");
+    assert!(!events.is_empty());
+
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut b_count = 0;
+    let mut e_count = 0;
+    let mut saw_counter = false;
+    for ev in events {
+        let obj = ev.as_object().expect("every event is an object");
+        let ph = obj["ph"].as_str().unwrap();
+        let name = obj["name"].as_str().unwrap().to_string();
+        match ph {
+            "M" => continue,
+            "C" => {
+                saw_counter = true;
+                assert!(obj["args"]["value"].is_number());
+            }
+            "B" | "E" => {
+                let tid = obj["tid"].as_u64().unwrap();
+                let ts = obj["ts"].as_f64().unwrap();
+                let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+                assert!(
+                    ts >= *prev,
+                    "timestamps must be non-decreasing per tid: {ts} < {prev}"
+                );
+                *prev = ts;
+                let stack = stacks.entry(tid).or_default();
+                if ph == "B" {
+                    b_count += 1;
+                    stack.push(name);
+                } else {
+                    e_count += 1;
+                    assert_eq!(stack.pop().as_ref(), Some(&name), "E must match open B");
+                }
+            }
+            other => panic!("unknown phase kind '{other}'"),
+        }
+    }
+    assert!(stacks.values().all(|s| s.is_empty()), "unclosed B events");
+    assert_eq!(b_count, e_count);
+    assert_eq!(b_count, snap.spans.len(), "one B/E pair per span");
+    assert!(saw_counter, "counters must export as C events");
+}
+
+#[test]
+fn export_carries_categories_and_metadata() {
+    let _l = LOCK.lock().unwrap();
+    let snap = record_some_work();
+    let json = extradeep_obs::chrome_trace_json(&snap);
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let events = value.as_array().unwrap();
+
+    let cats: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+        .collect();
+    assert!(cats.contains(&"core"));
+    assert!(cats.contains(&"model"));
+    assert!(cats.contains(&"agg"));
+    assert!(events
+        .iter()
+        .any(|e| e["ph"] == "M" && e["name"] == "process_name"));
+}
+
+#[test]
+fn spans_recorded_under_rayon_still_export_cleanly() {
+    let _l = LOCK.lock().unwrap();
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    use rayon::prelude::*;
+    let total: u64 = (0..64u64)
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|&i| {
+            let _s = extradeep_obs::span("model.search");
+            let _inner = extradeep_obs::span("model.search.shape");
+            i
+        })
+        .sum();
+    extradeep_obs::set_enabled(false);
+    assert_eq!(total, 2016);
+    let snap = extradeep_obs::drain();
+    assert_eq!(snap.count("model.search"), 64);
+
+    let json = extradeep_obs::chrome_trace_json(&snap);
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let mut stacks: HashMap<u64, i64> = HashMap::new();
+    for ev in value.as_array().unwrap() {
+        match ev["ph"].as_str().unwrap() {
+            "B" => *stacks.entry(ev["tid"].as_u64().unwrap()).or_default() += 1,
+            "E" => {
+                let depth = stacks.entry(ev["tid"].as_u64().unwrap()).or_default();
+                *depth -= 1;
+                assert!(*depth >= 0, "E without open B");
+            }
+            _ => {}
+        }
+    }
+    assert!(stacks.values().all(|&d| d == 0));
+}

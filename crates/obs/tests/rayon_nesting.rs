@@ -1,0 +1,98 @@
+//! Property test: span nesting discipline holds under arbitrary fork/join
+//! shapes executed on rayon's work-stealing pool.
+//!
+//! The invariant the Chrome exporter relies on: on every OS thread, spans
+//! form a proper stack — two spans on the same thread are either disjoint in
+//! time or one contains the other (by `(start, end)` *and* by depth).
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// A recursive fork/join workload shape.
+#[derive(Debug, Clone)]
+enum Shape {
+    /// A leaf span doing a little work.
+    Leaf,
+    /// A span wrapping two children executed via `rayon::join`.
+    Fork(Box<Shape>, Box<Shape>),
+    /// A span wrapping two children executed sequentially.
+    Seq(Box<Shape>, Box<Shape>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = Just(Shape::Leaf);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::Fork(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Shape::Seq(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn execute(shape: &Shape) {
+    match shape {
+        Shape::Leaf => {
+            let _s = extradeep_obs::span("prop.leaf");
+            std::hint::black_box(7u64.wrapping_mul(13));
+        }
+        Shape::Fork(a, b) => {
+            let _s = extradeep_obs::span("prop.fork");
+            rayon::join(|| execute(a), || execute(b));
+        }
+        Shape::Seq(a, b) => {
+            let _s = extradeep_obs::span("prop.seq");
+            execute(a);
+            execute(b);
+        }
+    }
+}
+
+fn count_spans(shape: &Shape) -> usize {
+    match shape {
+        Shape::Leaf => 1,
+        Shape::Fork(a, b) | Shape::Seq(a, b) => 1 + count_spans(a) + count_spans(b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn per_thread_spans_form_a_proper_stack(shape in shape_strategy()) {
+        let _l = LOCK.lock().unwrap();
+        extradeep_obs::reset();
+        extradeep_obs::set_enabled(true);
+        execute(&shape);
+        extradeep_obs::set_enabled(false);
+        let snap = extradeep_obs::drain();
+
+        // Nothing lost: every executed span is recorded exactly once.
+        prop_assert_eq!(snap.spans.len(), count_spans(&shape));
+
+        // Per-thread stack discipline.
+        let mut tids: Vec<u64> = snap.spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let spans: Vec<_> = snap.spans.iter().filter(|s| s.tid == tid).collect();
+            for (i, a) in spans.iter().enumerate() {
+                for b in spans.iter().skip(i + 1) {
+                    let disjoint = a.end_ns() <= b.start_ns || b.end_ns() <= a.start_ns;
+                    let a_in_b = a.start_ns >= b.start_ns
+                        && a.end_ns() <= b.end_ns()
+                        && a.depth > b.depth;
+                    let b_in_a = b.start_ns >= a.start_ns
+                        && b.end_ns() <= a.end_ns()
+                        && b.depth > a.depth;
+                    prop_assert!(
+                        disjoint || a_in_b || b_in_a,
+                        "spans on tid {} must nest or be disjoint: {:?} vs {:?}",
+                        tid, a, b
+                    );
+                }
+            }
+        }
+    }
+}

@@ -205,6 +205,9 @@ pub fn profile_job(job: &TrainingJob, options: &ProfilerOptions, repetition: u32
         })
         .collect();
 
+    let emitted: u64 = ranks.iter().map(|r| r.events.len() as u64).sum();
+    extradeep_obs::counter("sim.trace_events").add(emitted);
+
     // Execution time covered by the profile: the slowest recorded rank.
     let span_seconds = ranks
         .iter()

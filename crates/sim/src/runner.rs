@@ -70,6 +70,7 @@ impl ExperimentSpec {
 
     /// Runs every (configuration × repetition), parallelized with Rayon.
     pub fn run(&self) -> ExperimentProfiles {
+        let _span = extradeep_obs::span("sim.run_experiment");
         let batches = self.batches();
         let mut profiler = self.profiler;
         // A swept batch size must appear in the coordinates, or different
@@ -89,7 +90,10 @@ impl ExperimentSpec {
             .collect();
         let profiles: Vec<_> = tasks
             .par_iter()
-            .map(|&(ranks, batch, rep)| profile_job(&self.job(ranks, batch), &profiler, rep))
+            .map(|&(ranks, batch, rep)| {
+                let _span = extradeep_obs::span("sim.profile_job");
+                profile_job(&self.job(ranks, batch), &profiler, rep)
+            })
             .collect();
         let mut exp = ExperimentProfiles::new();
         for p in profiles {

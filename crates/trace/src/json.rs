@@ -56,6 +56,7 @@ impl From<serde_json::Error> for TraceIoError {
 
 /// Serializes an experiment to a JSON string.
 pub fn to_json(experiment: &ExperimentProfiles) -> Result<String, TraceIoError> {
+    let _span = extradeep_obs::span("trace.to_json");
     let versioned = VersionedExperiment {
         version: FORMAT_VERSION,
         experiment: experiment.clone(),
@@ -65,6 +66,7 @@ pub fn to_json(experiment: &ExperimentProfiles) -> Result<String, TraceIoError> 
 
 /// Deserializes an experiment from a JSON string.
 pub fn from_json(json: &str) -> Result<ExperimentProfiles, TraceIoError> {
+    let _span = extradeep_obs::span("trace.from_json");
     let versioned: VersionedExperiment = serde_json::from_str(json)?;
     if versioned.version != FORMAT_VERSION {
         return Err(TraceIoError::UnsupportedVersion {
@@ -77,12 +79,14 @@ pub fn from_json(json: &str) -> Result<ExperimentProfiles, TraceIoError> {
 
 /// Writes an experiment to a file.
 pub fn save(experiment: &ExperimentProfiles, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let _span = extradeep_obs::span("trace.save");
     fs::write(path, to_json(experiment)?)?;
     Ok(())
 }
 
 /// Reads an experiment from a file.
 pub fn load(path: impl AsRef<Path>) -> Result<ExperimentProfiles, TraceIoError> {
+    let _span = extradeep_obs::span("trace.load");
     from_json(&fs::read_to_string(path)?)
 }
 

@@ -1,0 +1,107 @@
+//! End-to-end self-profiling: the pipeline profiles itself, re-emits its own
+//! spans as an extradeep trace, and the unmodified aggregation + modeling
+//! stages fit scaling models *of the pipeline*.
+//!
+//! The workload is deliberately deterministic in span count: at work scale
+//! `w` the hypothesis search runs exactly `w` times, so the `model.search`
+//! kernel's visits metric must come out exactly linear in `w` — a ground
+//! truth the fitted model is checked against.
+
+use extradeep::{self_profile_experiment, SELF_PARAMETER};
+use extradeep_agg::{aggregate_experiment, AggregationOptions, KernelId};
+use extradeep_model::{ExperimentData, ModelerOptions, SearchEngine};
+use extradeep_trace::{ApiDomain, MetricKind};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global obs flag.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn workload_data() -> ExperimentData {
+    let f = |x: f64| 3.0 + 0.5 * x * x.log2();
+    let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+        .iter()
+        .map(|&x| (x, f(x)))
+        .collect();
+    ExperimentData::univariate("p", &pts)
+}
+
+/// Runs the hypothesis search `w` times under self-profiling and returns the
+/// drained snapshot.
+fn profiled_run(w: usize) -> extradeep_obs::Snapshot {
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    let engine = SearchEngine::new(ModelerOptions::default());
+    let data = workload_data();
+    for _ in 0..w {
+        engine.model(&data).unwrap();
+    }
+    extradeep_obs::set_enabled(false);
+    extradeep_obs::drain()
+}
+
+#[test]
+fn pipeline_models_its_own_scaling() {
+    let _l = LOCK.lock().unwrap();
+
+    // One profiled run per work scale.
+    let scales = [2usize, 4, 6, 8, 10];
+    let runs: Vec<(f64, extradeep_obs::Snapshot)> = scales
+        .iter()
+        .map(|&w| (w as f64, profiled_run(w)))
+        .collect();
+
+    // Snapshot → trace → aggregate, all through the ordinary stack.
+    let exp = self_profile_experiment(&runs);
+    assert_eq!(exp.len(), scales.len());
+    let agg = aggregate_experiment(&exp, &AggregationOptions::default());
+    assert_eq!(agg.parameters, vec![SELF_PARAMETER.to_string()]);
+
+    let search = KernelId {
+        name: "model.search".to_string(),
+        domain: ApiDomain::Nvtx,
+    };
+    assert!(
+        agg.modelable_kernels(scales.len()).contains(&search),
+        "the search span must appear in every config"
+    );
+
+    // Visits ground truth: exactly w searches per run → a linear model.
+    let visits = agg.kernel_dataset(&search, MetricKind::Visits);
+    for (m, &w) in visits.measurements.iter().zip(scales.iter()) {
+        assert_eq!(m.values, vec![w as f64], "raw visit counts must be exact");
+    }
+    let engine = SearchEngine::new(ModelerOptions::default());
+    let visits_model = engine.model(&visits).unwrap();
+    for probe in [3.0, 12.0, 20.0] {
+        let predicted = visits_model.predict(&[probe]);
+        let rel = (predicted - probe).abs() / probe;
+        assert!(
+            rel < 0.05,
+            "visits model must be ~linear: f({probe}) = {predicted}"
+        );
+    }
+
+    // Time is noisy wall-clock, so only demand a finite, positive fit.
+    let time = agg.kernel_dataset(&search, MetricKind::Time);
+    let time_model = engine.model(&time).unwrap();
+    for probe in [4.0, 16.0] {
+        let predicted = time_model.predict(&[probe]);
+        assert!(
+            predicted.is_finite() && predicted >= 0.0,
+            "time model must stay finite: f({probe}) = {predicted}"
+        );
+    }
+
+    // The search's own counters ride along as visit-bearing kernels.
+    let hypotheses = KernelId {
+        name: "model.search.hypotheses".to_string(),
+        domain: ApiDomain::Nvtx,
+    };
+    let hyp = agg.kernel_dataset(&hypotheses, MetricKind::Visits);
+    assert_eq!(hyp.measurements.len(), scales.len());
+    let per_search = hyp.measurements[0].values[0] / scales[0] as f64;
+    assert!(
+        per_search >= 1.0,
+        "each search must log its hypothesis count"
+    );
+}
