@@ -1,0 +1,65 @@
+//! Runs the extrapolation-validation harness (`extradeep doctor`) on the
+//! simulated DEEP preset and records its headline quality numbers in
+//! `BENCH_doctor.json`, so `perf_history` can track model-quality drift the
+//! same way it tracks speed.
+//!
+//! Run with `cargo run --release -p extradeep-bench --bin bench_doctor`.
+//! An optional first non-flag argument overrides the output path.
+
+use extradeep::doctor::{validate_at_scales, DoctorThresholds};
+use extradeep::modelset::{build_model_set, ModelSetOptions};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_sim::ExperimentSpec;
+use extradeep_trace::MetricKind;
+use std::time::Instant;
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_doctor.json".to_string());
+
+    // The paper's modeling setup: five cheap small-scale runs, five
+    // repetitions, validated at the held-out 16- and 32-rank scales.
+    let start = Instant::now();
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.profiler.max_recorded_ranks = 4;
+    let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+    let models =
+        build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).expect("model set");
+    let report = validate_at_scales(
+        &models,
+        &spec,
+        &agg,
+        &[16, 32],
+        &DoctorThresholds::default(),
+    );
+    let wall = start.elapsed().as_secs_f64();
+
+    let epoch = &report.app[0];
+    let per_scale: Vec<serde_json::Value> = report
+        .per_scale_aggregate_mpe
+        .iter()
+        .map(|(scale, mpe)| {
+            serde_json::json!({
+                "name": format!("ranks_{scale}"),
+                "mpe_percent": mpe,
+            })
+        })
+        .collect();
+    let snapshot = serde_json::json!({
+        "benchmark": "doctor harness on the simulated DEEP preset",
+        "holdout_scales": report.holdout_scales,
+        "aggregate_kernel_mpe": report.aggregate_kernel_mpe,
+        "epoch_validation_mpe": epoch.validation_mpe,
+        "epoch_band_coverage": epoch.band_coverage,
+        "kernels_validated": report.kernels.len(),
+        "models_flagged": report.num_flagged(),
+        "per_scale": per_scale,
+        "wall_seconds": wall,
+    });
+    let pretty = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    std::fs::write(&out_path, format!("{pretty}\n")).expect("write BENCH_doctor.json");
+    println!("{pretty}");
+    println!("wrote {out_path}");
+}

@@ -3,7 +3,9 @@
 //! records the speedups in `BENCH_model.json`.
 //!
 //! Run with `cargo run --release -p extradeep-bench --bin bench_model`.
-//! An optional first argument overrides the output path.
+//! An optional first non-flag argument overrides the output path;
+//! `--quick` cuts the batch/iteration counts for CI smoke runs where only
+//! regression *detection* matters, not publication-grade timings.
 
 use extradeep_bench::inputs;
 use extradeep_model::hypothesis::{cross_validate, cross_validate_naive, HypothesisShape};
@@ -41,9 +43,14 @@ fn comparison(name: &str, reference_s: f64, engine_s: f64, model: &str) -> serde
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_model.json".to_string());
+    let batches = if quick { 3 } else { 5 };
     let options = ModelerOptions::default();
 
     // --- single-parameter search: the per-kernel cost of the pipeline.
@@ -55,14 +62,15 @@ fn main() {
         slow.function.to_string(),
         "fast path and reference must select the same model"
     );
-    let single_ref = time_per_call(5, 50, || {
+    let single_iters = if quick { 10 } else { 50 };
+    let single_ref = time_per_call(batches, single_iters, || {
         black_box(model_single_parameter_reference(
             black_box(&series),
             &options,
         ))
         .ok();
     });
-    let single_eng = time_per_call(5, 50, || {
+    let single_eng = time_per_call(batches, single_iters, || {
         black_box(model_single_parameter(black_box(&series), &options)).ok();
     });
 
@@ -70,10 +78,11 @@ fn main() {
     let grid = inputs::synthetic_grid();
     let fast_mp = model_multi_parameter(&grid, &options).unwrap();
     let slow_mp = model_multi_parameter_reference(&grid, &options).unwrap();
-    let multi_ref = time_per_call(5, 20, || {
+    let multi_iters = if quick { 5 } else { 20 };
+    let multi_ref = time_per_call(batches, multi_iters, || {
         black_box(model_multi_parameter_reference(black_box(&grid), &options)).ok();
     });
-    let multi_eng = time_per_call(5, 20, || {
+    let multi_eng = time_per_call(batches, multi_iters, || {
         black_box(model_multi_parameter(black_box(&grid), &options)).ok();
     });
 
@@ -84,10 +93,11 @@ fn main() {
         .iter()
         .map(|m| (m.coordinate.clone(), m.median()))
         .collect();
-    let cv_ref = time_per_call(5, 2000, || {
+    let cv_iters = if quick { 500 } else { 2000 };
+    let cv_ref = time_per_call(batches, cv_iters, || {
         black_box(cross_validate_naive(&shape, black_box(&points)));
     });
-    let cv_eng = time_per_call(5, 2000, || {
+    let cv_eng = time_per_call(batches, cv_iters, || {
         black_box(cross_validate(&shape, black_box(&points)));
     });
 

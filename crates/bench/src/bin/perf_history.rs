@@ -1,0 +1,208 @@
+//! Performance-history tool: appends benchmark snapshots to the committed
+//! `BENCH_history.json` and gates CI on regressions beyond noise tolerance.
+//!
+//! ```text
+//! perf_history update [--history FILE] [--label NAME] [--snapshot PREFIX=FILE]...
+//! perf_history check  [--history FILE] [--tolerance FRAC] [--markdown FILE]
+//!                     [--snapshot PREFIX=FILE]...
+//! ```
+//!
+//! Without `--snapshot`, the default snapshots `BENCH_model.json` (prefix
+//! `model`), `BENCH_obs.json` (`obs`) and `BENCH_doctor.json` (`doctor`) are
+//! ingested when present. `check` compares the current snapshots against the
+//! per-metric median of the recorded history and exits 1 when any gated
+//! metric is worse by more than the tolerance (default 25%, sized for
+//! shared-runner timing noise).
+
+use extradeep_bench::history::{
+    detect_regressions, flatten_snapshot, render_markdown, HistoryEntry, PerfHistory,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const DEFAULT_SNAPSHOTS: &[(&str, &str)] = &[
+    ("model", "BENCH_model.json"),
+    ("obs", "BENCH_obs.json"),
+    ("doctor", "BENCH_doctor.json"),
+];
+
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+struct Args {
+    command: String,
+    history_path: String,
+    label: String,
+    tolerance: f64,
+    markdown_path: Option<String>,
+    snapshots: Vec<(String, String)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_history <update|check> [--history FILE] [--label NAME] \
+         [--tolerance FRAC] [--markdown FILE] [--snapshot PREFIX=FILE]..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else { usage() };
+    if command != "update" && command != "check" {
+        usage();
+    }
+    let mut args = Args {
+        command,
+        history_path: "BENCH_history.json".to_string(),
+        label: "local".to_string(),
+        tolerance: DEFAULT_TOLERANCE,
+        markdown_path: None,
+        snapshots: Vec::new(),
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--history" => args.history_path = value("--history"),
+            "--label" => args.label = value("--label"),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                args.tolerance = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --tolerance {raw:?}");
+                    usage()
+                });
+            }
+            "--markdown" => args.markdown_path = Some(value("--markdown")),
+            "--snapshot" => {
+                let raw = value("--snapshot");
+                let Some((prefix, path)) = raw.split_once('=') else {
+                    eprintln!("--snapshot expects PREFIX=FILE, got {raw:?}");
+                    usage()
+                };
+                args.snapshots.push((prefix.to_string(), path.to_string()));
+            }
+            _ => usage(),
+        }
+    }
+    if args.snapshots.is_empty() {
+        args.snapshots = DEFAULT_SNAPSHOTS
+            .iter()
+            .map(|&(p, f)| (p.to_string(), f.to_string()))
+            .collect();
+    }
+    args
+}
+
+/// Flattened metrics of every snapshot that exists and parses. Missing
+/// default snapshots are skipped silently; explicitly requested ones abort.
+fn collect_metrics(snapshots: &[(String, String)], explicit: bool) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    let mut found = 0;
+    for (prefix, path) in snapshots {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(err) => {
+                if explicit {
+                    eprintln!("cannot read snapshot {path}: {err}");
+                    std::process::exit(2);
+                }
+                continue;
+            }
+        };
+        let value: serde_json::Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(err) => {
+                eprintln!("cannot parse snapshot {path}: {err}");
+                std::process::exit(2);
+            }
+        };
+        metrics.extend(flatten_snapshot(prefix, &value));
+        found += 1;
+    }
+    if found == 0 {
+        eprintln!("no benchmark snapshots found; run bench_model/bench_obs/bench_doctor first");
+        std::process::exit(2);
+    }
+    metrics
+}
+
+fn load_history(path: &str) -> PerfHistory {
+    match std::fs::read_to_string(path) {
+        Ok(text) => PerfHistory::from_json(&text).unwrap_or_else(|err| {
+            eprintln!("cannot parse history {path}: {err}");
+            std::process::exit(2);
+        }),
+        Err(_) => PerfHistory::default(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let explicit = std::env::args().any(|a| a == "--snapshot");
+    let metrics = collect_metrics(&args.snapshots, explicit);
+    let mut history = load_history(&args.history_path);
+
+    match args.command.as_str() {
+        "update" => {
+            let unix_seconds = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            history.push(HistoryEntry {
+                label: args.label,
+                unix_seconds,
+                metrics,
+            });
+            std::fs::write(&args.history_path, format!("{}\n", history.to_json())).unwrap_or_else(
+                |err| {
+                    eprintln!("cannot write {}: {err}", args.history_path);
+                    std::process::exit(2);
+                },
+            );
+            println!(
+                "recorded run {} of {} in {}",
+                history.entries.len(),
+                extradeep_bench::history::MAX_ENTRIES,
+                args.history_path
+            );
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            if history.entries.is_empty() {
+                eprintln!(
+                    "history {} is empty; run `perf_history update` to seed it",
+                    args.history_path
+                );
+                return ExitCode::from(2);
+            }
+            let regressions = detect_regressions(&history, &metrics, args.tolerance);
+            let md = render_markdown(&history, &metrics, &regressions, args.tolerance);
+            if let Some(path) = &args.markdown_path {
+                std::fs::write(path, &md).unwrap_or_else(|err| {
+                    eprintln!("cannot write {path}: {err}");
+                    std::process::exit(2);
+                });
+            }
+            println!("{md}");
+            if regressions.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for r in &regressions {
+                    eprintln!(
+                        "REGRESSION {}: baseline {:.3} -> current {:.3} ({:+.1}% worse)",
+                        r.metric,
+                        r.baseline,
+                        r.current,
+                        r.relative_change * 100.0
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        }
+        _ => unreachable!(),
+    }
+}

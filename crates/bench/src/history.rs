@@ -1,0 +1,384 @@
+//! Performance-history tracking: ingest `BENCH_*.json` snapshots, maintain a
+//! committed history file, and detect speed regressions beyond noise
+//! tolerance.
+//!
+//! The bench binaries (`bench_model`, `bench_obs`, `bench_doctor`) each emit
+//! a JSON snapshot of their headline numbers. This module flattens those
+//! snapshots into named scalar metrics, appends them to a rolling history
+//! (`BENCH_history.json`), and compares a fresh snapshot against the median
+//! of the recorded runs — the same robust-center idea the modeler applies to
+//! measurement repetitions. CI runs `perf_history check` on every push and
+//! fails when a metric is worse than the historical median by more than the
+//! tolerance.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a metric is compared across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (times, error percentages).
+    LowerIsBetter,
+    /// Larger is better (speedups, coverage).
+    HigherIsBetter,
+    /// Tracked for the record but never gated (counts, identifiers).
+    Informational,
+}
+
+/// Classifies a metric name by suffix convention: `*_us`/`*_ns`/`*_ms`/
+/// `*_s`/`*_percent`/`*_mpe` are costs (lower is better), `*speedup*` and
+/// `*coverage*` are scores (higher is better), anything else is tracked but
+/// not gated.
+pub fn direction_of(metric: &str) -> Direction {
+    let lower = ["_us", "_ns", "_ms", "_s", "_percent", "_mpe", "_seconds"];
+    if metric.contains("speedup") || metric.contains("coverage") {
+        Direction::HigherIsBetter
+    } else if lower.iter().any(|suf| metric.ends_with(suf)) {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One recorded benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Free-form label, e.g. a git revision or `ci`.
+    pub label: String,
+    /// Unix timestamp (seconds) of the run; 0 when unknown.
+    pub unix_seconds: u64,
+    /// Flattened `metric name -> value`.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// The rolling history file.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfHistory {
+    pub entries: Vec<HistoryEntry>,
+}
+
+/// Retain at most this many runs; older entries age out so a one-off slow
+/// machine cannot poison the baseline forever.
+pub const MAX_ENTRIES: usize = 50;
+
+impl PerfHistory {
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("history serializes")
+    }
+
+    /// Appends a run, aging out the oldest beyond [`MAX_ENTRIES`].
+    pub fn push(&mut self, entry: HistoryEntry) {
+        self.entries.push(entry);
+        if self.entries.len() > MAX_ENTRIES {
+            let excess = self.entries.len() - MAX_ENTRIES;
+            self.entries.drain(..excess);
+        }
+    }
+
+    /// Median of a metric over the recorded runs (`None` when absent).
+    pub fn baseline(&self, metric: &str) -> Option<f64> {
+        let mut values: Vec<f64> = self
+            .entries
+            .iter()
+            .filter_map(|e| e.metrics.get(metric).copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = values.len();
+        Some(if n % 2 == 1 {
+            values[n / 2]
+        } else {
+            0.5 * (values[n / 2 - 1] + values[n / 2])
+        })
+    }
+}
+
+/// Flattens a benchmark snapshot (`BENCH_*.json`) into named scalar metrics.
+///
+/// Numeric leaves become `prefix.path.to.leaf`; array elements that carry a
+/// `"name"` field use it as the path segment (the `comparisons` layout of
+/// `BENCH_model.json`), others use their index.
+pub fn flatten_snapshot(prefix: &str, value: &serde_json::Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(prefix, value, &mut out);
+    out
+}
+
+fn walk(path: &str, value: &serde_json::Value, out: &mut BTreeMap<String, f64>) {
+    match value {
+        serde_json::Value::Number(n) => {
+            if let Some(v) = n.as_f64() {
+                out.insert(path.to_string(), v);
+            }
+        }
+        serde_json::Value::Object(map) => {
+            for (k, v) in map {
+                walk(&format!("{path}.{k}"), v, out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let seg = item
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .map(str::to_string)
+                    .unwrap_or_else(|| i.to_string());
+                walk(&format!("{path}.{seg}"), item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One metric that moved beyond tolerance in the worse direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Relative change in the *worse* direction, as a fraction (0.3 = 30%).
+    pub relative_change: f64,
+}
+
+/// Compares `current` against the history's per-metric medians.
+///
+/// A gated metric regresses when it is worse than its baseline by more than
+/// `tolerance` (relative). Informational metrics and metrics without history
+/// never regress. Returns regressions sorted worst-first.
+pub fn detect_regressions(
+    history: &PerfHistory,
+    current: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (metric, &value) in current {
+        if !value.is_finite() {
+            continue;
+        }
+        let Some(baseline) = history.baseline(metric) else {
+            continue;
+        };
+        if baseline.abs() < f64::EPSILON {
+            continue;
+        }
+        let worse_by = match direction_of(metric) {
+            Direction::LowerIsBetter => (value - baseline) / baseline,
+            Direction::HigherIsBetter => (baseline - value) / baseline,
+            Direction::Informational => continue,
+        };
+        if worse_by > tolerance {
+            out.push(Regression {
+                metric: metric.clone(),
+                baseline,
+                current: value,
+                relative_change: worse_by,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.relative_change
+            .partial_cmp(&a.relative_change)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Criterion-table-style markdown report of a check run: every gated metric
+/// with its baseline, current value, and verdict.
+pub fn render_markdown(
+    history: &PerfHistory,
+    current: &BTreeMap<String, f64>,
+    regressions: &[Regression],
+    tolerance: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let regressed: std::collections::BTreeSet<&str> =
+        regressions.iter().map(|r| r.metric.as_str()).collect();
+    let mut out = String::from("# Performance history check\n\n");
+    let _ = writeln!(
+        out,
+        "Baseline: median of {} recorded run(s); tolerance ±{:.0}%.\n",
+        history.entries.len(),
+        tolerance * 100.0
+    );
+    let _ = writeln!(out, "| Metric | Baseline | Current | Change | Status |");
+    let _ = writeln!(out, "|---|---:|---:|---:|---|");
+    for (metric, &value) in current {
+        let dir = direction_of(metric);
+        if dir == Direction::Informational {
+            continue;
+        }
+        let Some(baseline) = history.baseline(metric) else {
+            let _ = writeln!(out, "| `{metric}` | — | {value:.3} | — | 🆕 new |");
+            continue;
+        };
+        let change = if baseline.abs() > f64::EPSILON {
+            (value - baseline) / baseline * 100.0
+        } else {
+            0.0
+        };
+        let status = if regressed.contains(metric.as_str()) {
+            "❌ regression"
+        } else {
+            "✅"
+        };
+        let _ = writeln!(
+            out,
+            "| `{metric}` | {baseline:.3} | {value:.3} | {change:+.1}% | {status} |"
+        );
+    }
+    if regressions.is_empty() {
+        out.push_str("\nNo regressions beyond tolerance.\n");
+    } else {
+        let _ = writeln!(out, "\n{} metric(s) regressed.", regressions.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    fn entry(label: &str, pairs: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            label: label.to_string(),
+            unix_seconds: 0,
+            metrics: metrics(pairs),
+        }
+    }
+
+    #[test]
+    fn direction_follows_suffix_convention() {
+        assert_eq!(
+            direction_of("model.single_param.engine_us"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("obs.disabled_span_ns"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("doctor.aggregate_kernel_mpe"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("model.single_param.speedup"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("doctor.epoch_coverage"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("doctor.kernels_validated"),
+            Direction::Informational
+        );
+    }
+
+    #[test]
+    fn flatten_walks_objects_and_named_arrays() {
+        let snap: serde_json::Value = serde_json::from_str(
+            r#"{
+                "comparisons": [
+                    {"name": "single_param", "engine_us": 49.0, "speedup": 5.4},
+                    {"name": "loocv", "engine_us": 1.5}
+                ],
+                "nested": {"inner_ms": 2.0},
+                "text": "ignored"
+            }"#,
+        )
+        .unwrap();
+        let m = flatten_snapshot("model", &snap);
+        assert_eq!(m["model.comparisons.single_param.engine_us"], 49.0);
+        assert_eq!(m["model.comparisons.single_param.speedup"], 5.4);
+        assert_eq!(m["model.comparisons.loocv.engine_us"], 1.5);
+        assert_eq!(m["model.nested.inner_ms"], 2.0);
+        assert!(!m.keys().any(|k| k.contains("text")));
+    }
+
+    #[test]
+    fn baseline_is_the_median_of_recorded_runs() {
+        let mut h = PerfHistory::default();
+        for v in [10.0, 12.0, 11.0] {
+            h.push(entry("r", &[("t_us", v)]));
+        }
+        assert_eq!(h.baseline("t_us"), Some(11.0));
+        assert_eq!(h.baseline("missing"), None);
+    }
+
+    #[test]
+    fn regression_detected_beyond_tolerance_in_the_worse_direction_only() {
+        let mut h = PerfHistory::default();
+        for v in [100.0, 102.0, 98.0] {
+            h.push(entry("r", &[("t_us", v), ("x.speedup", 5.0)]));
+        }
+        // 10% slower with 25% tolerance: fine.
+        let r = detect_regressions(&h, &metrics(&[("t_us", 110.0), ("x.speedup", 5.0)]), 0.25);
+        assert!(r.is_empty(), "{r:?}");
+        // 50% slower: regression.
+        let r = detect_regressions(&h, &metrics(&[("t_us", 150.0), ("x.speedup", 5.0)]), 0.25);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "t_us");
+        assert!((r[0].relative_change - 0.5).abs() < 1e-9);
+        // 50% *faster* is an improvement, not a regression.
+        let r = detect_regressions(&h, &metrics(&[("t_us", 50.0), ("x.speedup", 5.0)]), 0.25);
+        assert!(r.is_empty());
+        // A collapsed speedup regresses (higher is better).
+        let r = detect_regressions(&h, &metrics(&[("t_us", 100.0), ("x.speedup", 2.0)]), 0.25);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "x.speedup");
+    }
+
+    #[test]
+    fn informational_and_unknown_metrics_never_gate() {
+        let mut h = PerfHistory::default();
+        h.push(entry("r", &[("kernels_validated", 80.0)]));
+        let r = detect_regressions(
+            &h,
+            &metrics(&[("kernels_validated", 1.0), ("brand_new_us", 9.0)]),
+            0.1,
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn history_ages_out_old_entries() {
+        let mut h = PerfHistory::default();
+        for i in 0..(MAX_ENTRIES + 7) {
+            h.push(entry(&format!("r{i}"), &[("t_us", i as f64)]));
+        }
+        assert_eq!(h.entries.len(), MAX_ENTRIES);
+        assert_eq!(h.entries.first().unwrap().label, "r7");
+    }
+
+    #[test]
+    fn markdown_report_labels_regressions_and_new_metrics() {
+        let mut h = PerfHistory::default();
+        h.push(entry("seed", &[("t_us", 100.0)]));
+        let current = metrics(&[("t_us", 200.0), ("fresh_us", 1.0)]);
+        let regs = detect_regressions(&h, &current, 0.25);
+        let md = render_markdown(&h, &current, &regs, 0.25);
+        assert!(md.contains("| `t_us` | 100.000 | 200.000 | +100.0% | ❌ regression |"));
+        assert!(md.contains("| `fresh_us` | — | 1.000 | — | 🆕 new |"));
+        assert!(md.contains("1 metric(s) regressed."));
+    }
+
+    #[test]
+    fn history_roundtrips_through_json() {
+        let mut h = PerfHistory::default();
+        h.push(entry("seed", &[("t_us", 100.0)]));
+        let back = PerfHistory::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+}

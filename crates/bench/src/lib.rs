@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod history;
 pub mod inputs;
 
 pub use experiments::RunScale;

@@ -190,4 +190,71 @@ mod tests {
         assert!(text.contains("epoch ratio"));
         assert!(text.contains("common kernels"));
     }
+
+    /// A model set with application models but not a single kernel model.
+    fn kernel_free_set() -> ModelSet {
+        use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions};
+        let data = ExperimentData::univariate(
+            "ranks",
+            &[
+                (2.0, 10.0),
+                (4.0, 14.0),
+                (6.0, 18.0),
+                (8.0, 22.0),
+                (10.0, 26.0),
+            ],
+        );
+        let m = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        ModelSet {
+            metric: MetricKind::Time,
+            app: crate::modelset::AppModels {
+                epoch: m.clone(),
+                computation: m.clone(),
+                communication: m.clone(),
+                memory_ops: m,
+            },
+            kernels: Default::default(),
+            failed: Default::default(),
+        }
+    }
+
+    #[test]
+    fn empty_model_sets_compare_cleanly() {
+        let a = kernel_free_set();
+        let r = compare_model_sets(&a, &a, 64.0);
+        assert!(r.common.is_empty());
+        assert!(r.only_in_a.is_empty());
+        assert!(r.only_in_b.is_empty());
+        assert!((r.epoch_ratio - 1.0).abs() < 1e-12);
+        // Rendering a kernel-free comparison must not panic.
+        let text = r.render(5);
+        assert!(text.contains("0 common kernels"));
+    }
+
+    #[test]
+    fn asymmetric_empty_set_lists_all_kernels_as_exclusive() {
+        let full = models_on(SystemConfig::deep());
+        let empty = kernel_free_set();
+        let r = compare_model_sets(&full, &empty, 64.0);
+        assert!(r.common.is_empty());
+        assert_eq!(r.only_in_a.len(), full.kernels.len());
+        assert!(r.only_in_b.is_empty());
+        let r = compare_model_sets(&empty, &full, 64.0);
+        assert_eq!(r.only_in_b.len(), full.kernels.len());
+    }
+
+    #[test]
+    fn single_measurement_point_fails_modeling_gracefully() {
+        // One rank count is far below MIN_MEASUREMENT_POINTS: model building
+        // must report an error, not panic — and compare never sees the set.
+        let mut spec = ExperimentSpec::case_study(vec![8]);
+        spec.repetitions = 1;
+        spec.profiler.max_recorded_ranks = 1;
+        let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+        let res = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default());
+        assert!(
+            res.is_err(),
+            "single-point experiment must not produce models"
+        );
+    }
 }

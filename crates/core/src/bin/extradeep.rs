@@ -9,6 +9,15 @@ fn main() {
                 println!("{report}");
             }
         }
+        Err(extradeep::cli::CliError::QualityGate(report)) => {
+            // The gate is a controlled failure: show the full report on
+            // stdout (CI logs) and exit 1, distinct from hard errors (2).
+            if !quiet {
+                println!("{report}");
+            }
+            extradeep::obs::error!("model quality gate failed (--strict)");
+            std::process::exit(1);
+        }
         Err(e) => {
             extradeep::obs::error!("{e}");
             std::process::exit(2);

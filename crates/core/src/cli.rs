@@ -6,6 +6,7 @@
 //! rendered report — keeping every code path unit-testable.
 
 use crate::analysis::{find_cost_effective, rank_by_growth, Constraints, CostModel};
+use crate::doctor::{validate_at_scales, DoctorThresholds};
 use crate::modelset::{build_model_set, ModelSetOptions};
 use crate::questions;
 use crate::report::{fmt, pct, Table};
@@ -23,6 +24,9 @@ pub enum CliError {
     Io(std::io::Error),
     Trace(String),
     Modeling(String),
+    /// `--strict` quality gate tripped: models exceeded the doctor
+    /// thresholds. Carries the full report so CI logs show *what* failed.
+    QualityGate(String),
 }
 
 impl stdfmt::Display for CliError {
@@ -32,6 +36,9 @@ impl stdfmt::Display for CliError {
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Trace(e) => write!(f, "trace error: {e}"),
             CliError::Modeling(e) => write!(f, "modeling error: {e}"),
+            CliError::QualityGate(report) => {
+                write!(f, "{report}\nmodel quality gate failed (--strict)")
+            }
         }
     }
 }
@@ -57,6 +64,11 @@ USAGE:
   extradeep analyze  --in <file.json> [--probe RANKS] [--budget CORE_HOURS]
                      [--max-time SECONDS] [--candidates 2,4,...]
   extradeep pipeline [simulate options] [--probe RANKS] [--out <file.json>]
+                     [--holdout 16,32] [--no-doctor] [--strict]
+  extradeep doctor   [simulate options | --in <file.json>] [--holdout 16,32]
+                     [--metric time|visits|bytes] [--top N] [--strict]
+                     [--max-mpe PCT] [--min-coverage FRAC]
+                     [--json <report.json>] [--markdown <report.md>]
   extradeep import   --csv <trace.csv>... --out <file.json>
   extradeep summary  --in <file.json> [--top N]
   extradeep calltree --in <file.json> [--top N]
@@ -198,6 +210,81 @@ fn spec_from_args(args: &Args) -> Result<ExperimentSpec, CliError> {
     Ok(spec)
 }
 
+/// Doctor thresholds from `--max-mpe` / `--min-coverage`.
+fn thresholds_from_args(args: &Args) -> Result<DoctorThresholds, CliError> {
+    let mut t = DoctorThresholds::default();
+    if let Some(v) = args.value("--max-mpe") {
+        t.max_mpe_percent = v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --max-mpe '{v}'")))?;
+    }
+    if let Some(v) = args.value("--min-coverage") {
+        t.min_band_coverage = v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --min-coverage '{v}'")))?;
+    }
+    Ok(t)
+}
+
+/// Held-out rank counts from `--holdout` (default: the paper's first two
+/// evaluation scales beyond the DEEP modeling points).
+fn holdout_from_args(args: &Args) -> Result<Vec<u32>, CliError> {
+    match args.value("--holdout") {
+        Some(h) => parse_list(h),
+        None => Ok(vec![16, 32]),
+    }
+}
+
+/// `doctor`: fit models on the modeling-scale runs, re-simulate at held-out
+/// larger scales, and report per-model extrapolation error and 95%-band
+/// calibration. With `--strict`, flagged models fail the process (CI gate).
+fn cmd_doctor(args: &Args) -> Result<String, CliError> {
+    let metric = match args.value("--metric") {
+        Some(m) => parse_metric(m)?,
+        None => MetricKind::Time,
+    };
+    let top: usize = args
+        .value("--top")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(15);
+    let spec = spec_from_args(args)?;
+    let holdout = holdout_from_args(args)?;
+    let thresholds = thresholds_from_args(args)?;
+
+    // Modeling data: an existing profile file (--in) or a fresh simulation
+    // of the modeling-scale runs.
+    let profiles = match args.value("--in") {
+        Some(path) => load_profiles(path)?,
+        None => {
+            extradeep_obs::info!(
+                "doctor: simulating {} modeling scales",
+                spec.rank_counts.len()
+            );
+            spec.run()
+        }
+    };
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models = build_model_set(&agg, metric, &ModelSetOptions::default())
+        .map_err(|e| CliError::Modeling(e.to_string()))?;
+    let report = validate_at_scales(&models, &spec, &agg, &holdout, &thresholds);
+
+    let mut out = report.render(top);
+    if let Some(path) = args.value("--json") {
+        let body =
+            serde_json::to_string_pretty(&report).map_err(|e| CliError::Modeling(e.to_string()))?;
+        std::fs::write(path, body)?;
+        out.push_str(&format!("\nJSON report -> {path}\n"));
+    }
+    if let Some(path) = args.value("--markdown") {
+        std::fs::write(path, report.render_markdown())?;
+        out.push_str(&format!("Markdown report -> {path}\n"));
+    }
+    if args.flag("--strict") && !report.is_healthy() {
+        return Err(CliError::QualityGate(out));
+    }
+    Ok(out)
+}
+
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let out = args
         .value("--out")
@@ -269,6 +356,24 @@ fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
     ));
     if let Some(p) = keep {
         out.push_str(&format!("Profiles kept at {p}\n"));
+    }
+
+    // Doctor stage: validate the freshly built models at held-out scales.
+    if !args.flag("--no-doctor") {
+        let holdout = holdout_from_args(args)?;
+        let thresholds = thresholds_from_args(args)?;
+        extradeep_obs::info!("pipeline: doctor at held-out scales {holdout:?}");
+        let report = validate_at_scales(&models, &spec, &agg, &holdout, &thresholds);
+        out.push_str(&format!(
+            "Doctor: aggregate kernel MPE {:.2}% at scales {:?}, {} model(s) flagged\n",
+            report.aggregate_kernel_mpe,
+            report.holdout_scales,
+            report.num_flagged()
+        ));
+        if args.flag("--strict") && !report.is_healthy() {
+            out.push_str(&report.render(10));
+            return Err(CliError::QualityGate(out));
+        }
     }
     Ok(out)
 }
@@ -606,6 +711,7 @@ fn command_span(command: &str) -> &'static str {
         "export-chrome" => "core.export_chrome",
         "import" => "core.import",
         "pipeline" => "core.pipeline",
+        "doctor" => "core.doctor",
         _ => "core.command",
     }
 }
@@ -622,6 +728,7 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "export-chrome" => cmd_export_chrome(args),
         "import" => cmd_import(args),
         "pipeline" => cmd_pipeline(args),
+        "doctor" => cmd_doctor(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -818,6 +925,10 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("kernel models created"));
+        assert!(
+            out.contains("Doctor: aggregate kernel MPE"),
+            "missing doctor stage:\n{out}"
+        );
         assert!(out.contains("phase report"), "missing phase table:\n{out}");
 
         // The Chrome export contains spans from every pipeline layer.
@@ -836,6 +947,49 @@ mod tests {
         assert!(!exp.profiles[0].ranks[0].events.is_empty());
         std::fs::remove_file(chrome).ok();
         std::fs::remove_file(selftrace).ok();
+    }
+
+    #[test]
+    fn doctor_reports_and_writes_artifacts() {
+        let json = tmp("doctor_report.json");
+        let md = tmp("doctor_report.md");
+        let out = run(&argv(&format!(
+            "doctor --ranks 2,4,6,8,10 --reps 1 --holdout 12 --top 5 \
+             --json {json} --markdown {md}"
+        )))
+        .unwrap();
+        assert!(out.contains("Model-quality report"));
+        assert!(out.contains("kernel models validated"));
+
+        let body = std::fs::read_to_string(&json).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed["holdout_scales"][0], 12.0);
+        assert!(parsed["kernels"].as_array().unwrap().len() > 10);
+
+        let md_body = std::fs::read_to_string(&md).unwrap();
+        assert!(md_body.starts_with("# Model quality report"));
+        assert!(md_body.contains("| Kernel |"));
+        std::fs::remove_file(json).ok();
+        std::fs::remove_file(md).ok();
+    }
+
+    #[test]
+    fn doctor_strict_gate_trips_on_impossible_thresholds() {
+        let err = run(&argv(
+            "doctor --ranks 2,4,6,8,10 --reps 1 --holdout 12 --strict --max-mpe 0",
+        ));
+        match err {
+            Err(CliError::QualityGate(report)) => {
+                assert!(report.contains("FLAGGED"), "report:\n{report}");
+            }
+            other => panic!("expected QualityGate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doctor_rejects_bad_thresholds() {
+        let err = run(&argv("doctor --ranks 2,4 --max-mpe abc"));
+        assert!(matches!(err, Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! Extrapolation-validation harness — the "can I trust this model?" layer.
+//!
+//! The paper's headline result is prediction accuracy at *extrapolated*
+//! scale (§4, Table 3): models are fitted at a handful of cheap small-scale
+//! configurations and evaluated against held-out larger runs. This module
+//! closes that loop inside the pipeline: given a fitted [`ModelSet`], it
+//! re-runs the simulator at one or more held-out scales, evaluates every
+//! kernel and application model there, checks the empirical calibration of
+//! the 95% prediction band, and flags models whose error or miscalibration
+//! exceeds configurable thresholds.
+//!
+//! The result feeds three consumers: the `extradeep doctor` CLI subcommand
+//! (terminal table + JSON + markdown report), the `doctor` stage of
+//! `extradeep pipeline` (with `--strict` as a CI quality gate), and the
+//! `bench_doctor` accuracy-trajectory emitter.
+
+use crate::modelset::ModelSet;
+use crate::report::{fmt, Table};
+use extradeep_agg::{aggregate_experiment, AggregatedExperiment, AggregationOptions};
+use extradeep_model::measurement::median;
+use extradeep_model::{diagnose, ExperimentData, Model};
+use extradeep_sim::ExperimentSpec;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+
+/// Quality thresholds a model must meet at the held-out scales.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DoctorThresholds {
+    /// Maximum tolerated median percentage error at the held-out scales.
+    pub max_mpe_percent: f64,
+    /// Minimum tolerated empirical coverage of the 95% prediction band
+    /// (fraction of held-out repetition values inside the band). A
+    /// well-calibrated band sits near 0.95; below this floor the band's
+    /// confidence claim is considered broken.
+    pub min_band_coverage: f64,
+}
+
+impl Default for DoctorThresholds {
+    fn default() -> Self {
+        DoctorThresholds {
+            max_mpe_percent: 20.0,
+            min_band_coverage: 0.85,
+        }
+    }
+}
+
+/// Why a model was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QualityFlag {
+    /// Median percentage error at the held-out scales exceeds the threshold.
+    HighError,
+    /// The 95% band covered too few held-out repetition values.
+    Miscalibrated,
+}
+
+impl QualityFlag {
+    pub fn label(self) -> &'static str {
+        match self {
+            QualityFlag::HighError => "high-error",
+            QualityFlag::Miscalibrated => "miscalibrated",
+        }
+    }
+}
+
+/// Validation verdict for one model (a kernel or an application phase).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelValidation {
+    pub name: String,
+    /// The fitted function, rendered with parameter names.
+    pub function: String,
+    /// Median percentage error at the fit points ("model accuracy").
+    pub fit_mpe: f64,
+    /// Adjusted R² at the fit points.
+    pub adjusted_r_squared: f64,
+    /// Median percentage error at the held-out scales ("predictive power").
+    pub validation_mpe: f64,
+    /// Percentage error per held-out scale `(scale, percent_error)`.
+    pub per_scale_percent_error: Vec<(f64, f64)>,
+    /// Empirical 95%-band coverage over held-out repetitions, `[0, 1]`
+    /// (absent when the model carries no band).
+    pub band_coverage: Option<f64>,
+    pub flags: Vec<QualityFlag>,
+}
+
+impl ModelValidation {
+    pub fn is_flagged(&self) -> bool {
+        !self.flags.is_empty()
+    }
+
+    fn flag_cell(&self) -> String {
+        if self.flags.is_empty() {
+            "ok".to_string()
+        } else {
+            self.flags
+                .iter()
+                .map(|f| f.label())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+}
+
+/// Validates one model against its fit data and a held-out dataset.
+///
+/// This is the unit the whole harness builds on; it is public so tests and
+/// downstream tools can validate synthetic or externally measured data
+/// without running the simulator.
+pub fn validate_model(
+    name: &str,
+    model: &Model,
+    fit_data: &ExperimentData,
+    holdout_data: &ExperimentData,
+    thresholds: &DoctorThresholds,
+) -> ModelValidation {
+    let fit = diagnose(model, fit_data);
+    let holdout = diagnose(model, holdout_data);
+
+    let per_scale: Vec<(f64, f64)> = holdout
+        .points
+        .iter()
+        .map(|p| (p.coordinate[0], p.percent_error))
+        .collect();
+    let coverage = holdout.coverage();
+
+    let mut flags = Vec::new();
+    if !holdout.mpe.is_finite() || holdout.mpe > thresholds.max_mpe_percent {
+        flags.push(QualityFlag::HighError);
+    }
+    if let Some(cov) = coverage {
+        if cov < thresholds.min_band_coverage {
+            flags.push(QualityFlag::Miscalibrated);
+        }
+    }
+
+    ModelValidation {
+        name: name.to_string(),
+        function: model.formatted(),
+        fit_mpe: fit.mpe,
+        adjusted_r_squared: fit.adjusted_r_squared,
+        validation_mpe: holdout.mpe,
+        per_scale_percent_error: per_scale,
+        band_coverage: coverage,
+        flags,
+    }
+}
+
+/// The full doctor report: per-model verdicts plus aggregate error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoctorReport {
+    pub metric: String,
+    pub holdout_scales: Vec<f64>,
+    pub thresholds: DoctorThresholds,
+    /// Application models: epoch, computation, communication, memory ops.
+    pub app: Vec<ModelValidation>,
+    /// Kernel models, sorted worst-first by validation MPE.
+    pub kernels: Vec<ModelValidation>,
+    /// Kernels in the model set that never appeared at the held-out scales
+    /// and therefore could not be validated.
+    pub unvalidated_kernels: usize,
+    /// Median validation MPE over all kernel models — the aggregate number
+    /// the paper's Table 3 reports per benchmark.
+    pub aggregate_kernel_mpe: f64,
+    /// Median percentage error across kernels per held-out scale.
+    pub per_scale_aggregate_mpe: Vec<(f64, f64)>,
+}
+
+impl DoctorReport {
+    /// All flagged models (application and kernel), worst first.
+    pub fn flagged(&self) -> Vec<&ModelValidation> {
+        self.app
+            .iter()
+            .chain(&self.kernels)
+            .filter(|v| v.is_flagged())
+            .collect()
+    }
+
+    pub fn num_flagged(&self) -> usize {
+        self.flagged().len()
+    }
+
+    /// `true` when no model exceeded the thresholds.
+    pub fn is_healthy(&self) -> bool {
+        self.num_flagged() == 0
+    }
+
+    fn coverage_cell(v: &ModelValidation) -> String {
+        v.band_coverage
+            .map(|c| format!("{c:.2}"))
+            .unwrap_or_else(|| "-".to_string())
+    }
+
+    /// Terminal report: application table plus the `top` worst kernels.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Model-quality report ({}) — validated at held-out scales {:?}",
+            self.metric, self.holdout_scales
+        );
+        let _ = writeln!(
+            out,
+            "Thresholds: MPE <= {:.1}%, band coverage >= {:.2}",
+            self.thresholds.max_mpe_percent, self.thresholds.min_band_coverage
+        );
+        out.push('\n');
+
+        let mut t = Table::new(&[
+            "application model",
+            "fit MPE",
+            "val MPE",
+            "coverage",
+            "status",
+        ]);
+        for v in &self.app {
+            t.add_row(vec![
+                v.name.clone(),
+                fmt(v.fit_mpe, 2),
+                fmt(v.validation_mpe, 2),
+                Self::coverage_cell(v),
+                v.flag_cell(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let _ = writeln!(
+            out,
+            "{} kernel models validated ({} without held-out data), aggregate MPE {:.2}%",
+            self.kernels.len(),
+            self.unvalidated_kernels,
+            self.aggregate_kernel_mpe
+        );
+        for (scale, mpe) in &self.per_scale_aggregate_mpe {
+            let _ = writeln!(out, "  scale {scale:>6}: median kernel error {mpe:.2}%");
+        }
+        out.push('\n');
+
+        let mut t = Table::new(&["kernel", "fit MPE", "val MPE", "coverage", "status"]);
+        for v in self.kernels.iter().take(top) {
+            t.add_row(vec![
+                v.name.clone(),
+                fmt(v.fit_mpe, 2),
+                fmt(v.validation_mpe, 2),
+                Self::coverage_cell(v),
+                v.flag_cell(),
+            ]);
+        }
+        out.push_str(&t.render());
+
+        let flagged = self.num_flagged();
+        if flagged == 0 {
+            out.push_str("\nAll models within thresholds.\n");
+        } else {
+            let _ = writeln!(out, "\n{flagged} model(s) FLAGGED above thresholds:");
+            for v in self.flagged() {
+                let _ = writeln!(
+                    out,
+                    "  {} — val MPE {:.1}%, coverage {} [{}]",
+                    v.name,
+                    v.validation_mpe,
+                    Self::coverage_cell(v),
+                    v.flag_cell()
+                );
+            }
+        }
+        out
+    }
+
+    /// GitHub-flavored-markdown report (criterion-table style), suitable for
+    /// CI artifacts and committed quality dashboards.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Model quality report\n");
+        let _ = writeln!(
+            out,
+            "Metric: `{}` — validated at held-out scales `{:?}` \
+             (thresholds: MPE ≤ {:.1}%, coverage ≥ {:.2})\n",
+            self.metric,
+            self.holdout_scales,
+            self.thresholds.max_mpe_percent,
+            self.thresholds.min_band_coverage
+        );
+
+        let row = |out: &mut String, v: &ModelValidation| {
+            let status = if v.is_flagged() {
+                format!("⚠️ {}", v.flag_cell())
+            } else {
+                "✅".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "| `{}` | `{}` | {:.2}% | {:.2}% | {} | {} |",
+                v.name,
+                v.function,
+                v.fit_mpe,
+                v.validation_mpe,
+                Self::coverage_cell(v),
+                status
+            );
+        };
+
+        let _ = writeln!(out, "## Application models\n");
+        let _ = writeln!(
+            out,
+            "| Model | Function | Fit MPE | Validation MPE | Coverage | Status |"
+        );
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---|");
+        for v in &self.app {
+            row(&mut out, v);
+        }
+
+        let _ = writeln!(
+            out,
+            "\n## Kernel models (aggregate MPE {:.2}%, {} validated, {} flagged)\n",
+            self.aggregate_kernel_mpe,
+            self.kernels.len(),
+            self.kernels.iter().filter(|v| v.is_flagged()).count()
+        );
+        let _ = writeln!(
+            out,
+            "| Kernel | Function | Fit MPE | Validation MPE | Coverage | Status |"
+        );
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---|");
+        for v in &self.kernels {
+            row(&mut out, v);
+        }
+        out
+    }
+}
+
+/// Validates a model set against an already aggregated held-out experiment.
+///
+/// Split from [`validate_at_scales`] so callers that measured (or imported)
+/// the held-out runs themselves can reuse the verdict logic without touching
+/// the simulator.
+pub fn validate_against(
+    models: &ModelSet,
+    modeling_agg: &AggregatedExperiment,
+    holdout_agg: &AggregatedExperiment,
+    thresholds: &DoctorThresholds,
+) -> DoctorReport {
+    let _span = extradeep_obs::span("core.doctor.validate");
+    let metric = models.metric;
+
+    let app_categories = [
+        ("epoch", None, &models.app.epoch),
+        (
+            "computation",
+            Some(extradeep_agg::AppCategory::Computation),
+            &models.app.computation,
+        ),
+        (
+            "communication",
+            Some(extradeep_agg::AppCategory::Communication),
+            &models.app.communication,
+        ),
+        (
+            "memory ops",
+            Some(extradeep_agg::AppCategory::MemoryOps),
+            &models.app.memory_ops,
+        ),
+    ];
+    let app: Vec<ModelValidation> = app_categories
+        .iter()
+        .map(|(name, cat, model)| {
+            validate_model(
+                name,
+                model,
+                &modeling_agg.app_dataset(metric, *cat),
+                &holdout_agg.app_dataset(metric, *cat),
+                thresholds,
+            )
+        })
+        .collect();
+
+    let mut unvalidated = 0usize;
+    let kernel_inputs: Vec<_> = models
+        .kernels
+        .iter()
+        .filter_map(|(id, model)| {
+            let holdout = holdout_agg.kernel_dataset(id, metric);
+            if holdout.is_empty() {
+                unvalidated += 1;
+                None
+            } else {
+                Some((id, model, holdout))
+            }
+        })
+        .collect();
+    let mut kernels: Vec<ModelValidation> = kernel_inputs
+        .par_iter()
+        .map(|(id, model, holdout)| {
+            let _span = extradeep_obs::span("core.doctor.kernel");
+            validate_model(
+                &id.name,
+                model,
+                &modeling_agg.kernel_dataset(id, metric),
+                holdout,
+                thresholds,
+            )
+        })
+        .collect();
+
+    kernels.sort_by(|a, b| {
+        let fa = f64::from(u8::from(!a.is_flagged()));
+        let fb = f64::from(u8::from(!b.is_flagged()));
+        (fa, -a.validation_mpe)
+            .partial_cmp(&(fb, -b.validation_mpe))
+            .unwrap_or(Ordering::Equal)
+    });
+
+    let finite_mpes: Vec<f64> = kernels
+        .iter()
+        .map(|v| v.validation_mpe)
+        .filter(|m| m.is_finite())
+        .collect();
+    let aggregate_kernel_mpe = median(&finite_mpes);
+
+    let mut holdout_scales: Vec<f64> = kernels
+        .iter()
+        .chain(&app)
+        .flat_map(|v| v.per_scale_percent_error.iter().map(|&(s, _)| s))
+        .collect();
+    holdout_scales.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    holdout_scales.dedup();
+
+    let per_scale_aggregate_mpe: Vec<(f64, f64)> = holdout_scales
+        .iter()
+        .map(|&scale| {
+            let errs: Vec<f64> = kernels
+                .iter()
+                .flat_map(|v| {
+                    v.per_scale_percent_error
+                        .iter()
+                        .filter(move |&&(s, _)| (s - scale).abs() < 1e-9)
+                        .map(|&(_, e)| e)
+                })
+                .filter(|e| e.is_finite())
+                .collect();
+            (scale, median(&errs))
+        })
+        .collect();
+
+    let report = DoctorReport {
+        metric: metric.label().to_string(),
+        holdout_scales,
+        thresholds: *thresholds,
+        app,
+        kernels,
+        unvalidated_kernels: unvalidated,
+        aggregate_kernel_mpe,
+        per_scale_aggregate_mpe,
+    };
+    extradeep_obs::counter("doctor.kernels_flagged").add(report.num_flagged() as u64);
+    report
+}
+
+/// The full harness: re-runs the simulator of `spec` at the held-out
+/// `holdout_ranks` (fresh noise stream — the models must predict runs they
+/// have never seen), aggregates, and validates every model there.
+pub fn validate_at_scales(
+    models: &ModelSet,
+    spec: &ExperimentSpec,
+    modeling_agg: &AggregatedExperiment,
+    holdout_ranks: &[u32],
+    thresholds: &DoctorThresholds,
+) -> DoctorReport {
+    let _span = extradeep_obs::span("core.doctor.harness");
+    let mut holdout_spec = spec.clone();
+    holdout_spec.rank_counts = holdout_ranks.to_vec();
+    // Same perturbation the §4 experiment plans use: held-out runs must not
+    // share the modeling runs' noise stream.
+    holdout_spec.profiler.seed = spec.profiler.seed.wrapping_add(0x5EED_0E7A);
+    extradeep_obs::counter("doctor.validation_sims").add(holdout_ranks.len() as u64);
+    extradeep_obs::info!(
+        "doctor: validating {} kernel models at held-out scales {:?}",
+        models.kernels.len(),
+        holdout_ranks
+    );
+    let holdout_agg = aggregate_experiment(&holdout_spec.run(), &AggregationOptions::default());
+    validate_against(models, modeling_agg, &holdout_agg, thresholds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelset::{build_model_set, ModelSetOptions};
+    use extradeep_model::{model_single_parameter, ExperimentData, ModelerOptions};
+    use extradeep_sim::ProfilerOptions;
+    use extradeep_trace::MetricKind;
+
+    fn reps(base: f64) -> Vec<f64> {
+        vec![base * 0.99, base, base * 1.01]
+    }
+
+    #[test]
+    fn validate_model_passes_a_good_fit_and_flags_a_bad_one() {
+        let truth = |x: f64| 10.0 + 3.0 * x;
+        let fit_pts: Vec<(f64, Vec<f64>)> = [2.0, 4.0, 6.0, 8.0, 10.0]
+            .iter()
+            .map(|&x| (x, reps(truth(x))))
+            .collect();
+        let fit = ExperimentData::univariate_with_reps("p", &fit_pts);
+        let holdout = ExperimentData::univariate_with_reps("p", &[(64.0, reps(truth(64.0)))]);
+        let model = model_single_parameter(&fit, &ModelerOptions::default()).unwrap();
+        let v = validate_model("lin", &model, &fit, &holdout, &DoctorThresholds::default());
+        assert!(!v.is_flagged(), "flags: {:?}", v.flags);
+        assert!(v.validation_mpe < 5.0);
+
+        // A constant model of growing data misses badly at scale.
+        let flat = ExperimentData::univariate_with_reps(
+            "p",
+            &[
+                (2.0, reps(16.0)),
+                (4.0, reps(16.0)),
+                (6.0, reps(16.0)),
+                (8.0, reps(16.0)),
+                (10.0, reps(16.0)),
+            ],
+        );
+        let constant = model_single_parameter(&flat, &ModelerOptions::default()).unwrap();
+        let v = validate_model(
+            "const",
+            &constant,
+            &flat,
+            &holdout,
+            &DoctorThresholds::default(),
+        );
+        assert!(
+            v.flags.contains(&QualityFlag::HighError),
+            "flags: {:?}",
+            v.flags
+        );
+    }
+
+    #[test]
+    fn full_harness_on_simulated_preset() {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+        spec.repetitions = 2;
+        spec.profiler = ProfilerOptions {
+            max_recorded_ranks: 2,
+            ..Default::default()
+        };
+        let modeling_agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+        let models =
+            build_model_set(&modeling_agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+        let report = validate_at_scales(
+            &models,
+            &spec,
+            &modeling_agg,
+            &[16, 32],
+            &DoctorThresholds::default(),
+        );
+        assert_eq!(report.app.len(), 4);
+        assert!(!report.kernels.is_empty());
+        assert_eq!(report.holdout_scales, vec![16.0, 32.0]);
+        // The epoch model extrapolates within the paper's error band.
+        let epoch = &report.app[0];
+        assert_eq!(epoch.name, "epoch");
+        assert!(
+            epoch.validation_mpe < 30.0,
+            "epoch MPE {}",
+            epoch.validation_mpe
+        );
+        // Rendering works in all three formats.
+        let text = report.render(10);
+        assert!(text.contains("Model-quality report"));
+        let md = report.render_markdown();
+        assert!(md.contains("| Kernel |"));
+    }
+
+    #[test]
+    fn strict_thresholds_flag_everything() {
+        let truth = |x: f64| 10.0 + 3.0 * x;
+        let fit_pts: Vec<(f64, Vec<f64>)> = [2.0, 4.0, 6.0, 8.0, 10.0]
+            .iter()
+            .map(|&x| (x, reps(truth(x))))
+            .collect();
+        let fit = ExperimentData::univariate_with_reps("p", &fit_pts);
+        let holdout =
+            ExperimentData::univariate_with_reps("p", &[(64.0, reps(truth(64.0) * 1.10))]);
+        let model = model_single_parameter(&fit, &ModelerOptions::default()).unwrap();
+        let zero_tolerance = DoctorThresholds {
+            max_mpe_percent: 0.0,
+            min_band_coverage: 0.85,
+        };
+        let v = validate_model("lin", &model, &fit, &holdout, &zero_tolerance);
+        assert!(v.flags.contains(&QualityFlag::HighError));
+    }
+}

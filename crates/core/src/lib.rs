@@ -33,6 +33,7 @@
 
 pub mod analysis;
 pub mod cli;
+pub mod doctor;
 pub mod evaluate;
 pub mod experiment;
 pub mod modelset;
@@ -49,6 +50,10 @@ pub use extradeep_obs as obs;
 pub use analysis::{
     efficiency_model, efficiency_series, find_cost_effective, rank_by_growth, speedup_model,
     speedup_series, top_bottlenecks, Candidate, Constraints, CostModel, RankedKernel, SearchResult,
+};
+pub use doctor::{
+    validate_against, validate_at_scales, validate_model, DoctorReport, DoctorThresholds,
+    ModelValidation, QualityFlag,
 };
 pub use evaluate::{mpe, mpe_at_scale, point_errors, AccuracyReport, PointError};
 pub use experiment::{deep_point_sets, jureca_point_sets, ExperimentOutcome, ExperimentPlan};

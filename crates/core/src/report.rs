@@ -53,7 +53,7 @@ impl Table {
             out.push('\n');
         };
         write_row(&mut out, &self.header);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
@@ -120,5 +120,40 @@ mod tests {
         t.add_row(vec!["1".into()]);
         let r = t.render();
         assert!(r.lines().count() == 3);
+    }
+
+    #[test]
+    fn empty_table_renders_without_panic() {
+        // Zero columns used to underflow the separator-width arithmetic.
+        let t = Table::new(&[]);
+        let r = t.render();
+        assert_eq!(r.lines().count(), 2);
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn header_only_table_renders() {
+        let t = Table::new(&["x", "y"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('x') && lines[0].contains('y'));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn single_cell_table_renders() {
+        let mut t = Table::new(&["only"]);
+        t.add_row(vec!["v".into()]);
+        let r = t.render();
+        assert_eq!(r.lines().count(), 3);
+        assert!(r.starts_with("only"));
+    }
+
+    #[test]
+    fn empty_series_renders_title_and_header() {
+        let s = render_series("empty", "x", "y", &[]);
+        assert!(s.contains("== empty =="));
+        assert!(s.contains('x'));
     }
 }

@@ -1,0 +1,166 @@
+//! Integration tests of the extrapolation-validation harness on the
+//! simulated DEEP preset: the paper's §4 evaluation loop (model on the five
+//! cheap small-scale runs, judge at held-out larger scales) plus the
+//! mis-specification guard the doctor exists to provide.
+
+use extradeep::doctor::{validate_at_scales, validate_model, DoctorThresholds, QualityFlag};
+use extradeep::modelset::{build_model_set, ModelSetOptions};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_model::{
+    model_single_parameter, ExperimentData, Fraction, ModelerOptions, SearchSpace,
+};
+use extradeep_sim::ExperimentSpec;
+use extradeep_trace::MetricKind;
+
+fn deep_preset_report() -> extradeep::doctor::DoctorReport {
+    // The paper's five repetitions: enough held-out values per point for a
+    // meaningful empirical coverage estimate.
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.profiler.max_recorded_ranks = 4;
+    let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default()).unwrap();
+    validate_at_scales(
+        &models,
+        &spec,
+        &agg,
+        &[16, 32],
+        &DoctorThresholds::default(),
+    )
+}
+
+#[test]
+fn deep_preset_reports_per_kernel_mpe_at_held_out_scales() {
+    let report = deep_preset_report();
+
+    assert_eq!(report.holdout_scales, vec![16.0, 32.0]);
+    assert!(
+        report.kernels.len() > 30,
+        "only {} kernels",
+        report.kernels.len()
+    );
+    for k in &report.kernels {
+        assert!(
+            !k.validation_mpe.is_nan(),
+            "{} has NaN validation MPE",
+            k.name
+        );
+        // Every validated kernel carries one error entry per held-out scale.
+        assert_eq!(k.per_scale_percent_error.len(), 2, "{}", k.name);
+    }
+    // The aggregate matches the paper's Table 3 framing: a single MPE number
+    // per benchmark, small for the simulated case study.
+    assert!(
+        report.aggregate_kernel_mpe < 20.0,
+        "aggregate kernel MPE {}",
+        report.aggregate_kernel_mpe
+    );
+    assert_eq!(report.per_scale_aggregate_mpe.len(), 2);
+}
+
+#[test]
+fn deep_preset_epoch_model_extrapolates_calibrated() {
+    let report = deep_preset_report();
+    let epoch = &report.app[0];
+    assert_eq!(epoch.name, "epoch");
+    assert!(
+        epoch.validation_mpe < DoctorThresholds::default().max_mpe_percent,
+        "epoch validation MPE {}",
+        epoch.validation_mpe
+    );
+    // Empirical 95%-band coverage at the held-out scales.
+    let coverage = epoch.band_coverage.expect("epoch model carries a band");
+    assert!(
+        (0.85..=1.0).contains(&coverage),
+        "epoch band coverage {coverage}"
+    );
+}
+
+#[test]
+fn deep_preset_well_behaved_kernels_are_calibrated_and_unflagged() {
+    let report = deep_preset_report();
+    let unflagged: Vec<_> = report.kernels.iter().filter(|k| !k.is_flagged()).collect();
+    assert!(
+        unflagged.len() * 2 > report.kernels.len(),
+        "most kernels should pass: {} of {}",
+        unflagged.len(),
+        report.kernels.len()
+    );
+    // Well-behaved kernels: the 95% band holds at the held-out scales.
+    let mut coverages: Vec<f64> = unflagged.iter().filter_map(|k| k.band_coverage).collect();
+    coverages.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = coverages[coverages.len() / 2];
+    assert!(
+        (0.85..=1.0).contains(&median),
+        "median coverage of unflagged kernels {median}"
+    );
+}
+
+#[test]
+fn misspecified_model_is_flagged_and_correct_fit_is_not() {
+    // Ground truth follows the paper's epoch-time shape. A deliberately
+    // crippled search space forces a linear fit; the full PMNF search finds
+    // the right shape. Only the former must trip the doctor.
+    let truth = |x: f64| 158.58 + 0.58 * x.powf(2.0 / 3.0) * x.log2().powi(2);
+    let reps = |x: f64| {
+        let base = truth(x);
+        vec![base * 0.99, base * 0.995, base, base * 1.005, base * 1.01]
+    };
+    let fit_pts: Vec<(f64, Vec<f64>)> = [2.0, 4.0, 6.0, 8.0, 10.0]
+        .iter()
+        .map(|&x| (x, reps(x)))
+        .collect();
+    let fit_data = ExperimentData::univariate_with_reps("ranks", &fit_pts);
+    let holdout =
+        ExperimentData::univariate_with_reps("ranks", &[(48.0, reps(48.0)), (64.0, reps(64.0))]);
+
+    let mut linear_only = ModelerOptions::default();
+    linear_only.search_space = SearchSpace {
+        poly_exponents: vec![Fraction::whole(1)],
+        log_exponents: vec![0],
+        allow_negative_exponents: false,
+        max_terms: 1,
+    };
+    linear_only.growth_bound_margin = None;
+    let wrong = model_single_parameter(&fit_data, &linear_only).unwrap();
+    let right = model_single_parameter(&fit_data, &ModelerOptions::default()).unwrap();
+
+    let thresholds = DoctorThresholds::default();
+    let v_wrong = validate_model("epoch-linear", &wrong, &fit_data, &holdout, &thresholds);
+    let v_right = validate_model("epoch-pmnf", &right, &fit_data, &holdout, &thresholds);
+
+    assert!(
+        v_wrong.flags.contains(&QualityFlag::HighError),
+        "linear fit must be flagged, got {:?} (MPE {:.1}%)",
+        v_wrong.flags,
+        v_wrong.validation_mpe
+    );
+    assert!(
+        !v_right.is_flagged(),
+        "correct fit must pass, got {:?} (MPE {:.1}%, coverage {:?})",
+        v_right.flags,
+        v_right.validation_mpe,
+        v_right.band_coverage
+    );
+    assert!(v_wrong.validation_mpe > 3.0 * v_right.validation_mpe);
+}
+
+#[test]
+fn doctor_report_serializes_and_renders() {
+    let report = deep_preset_report();
+    let json = serde_json::to_string(&report).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(value["metric"], "time");
+    assert_eq!(value["holdout_scales"][1], 32.0);
+    assert_eq!(
+        value["kernels"].as_array().unwrap().len(),
+        report.kernels.len()
+    );
+    assert_eq!(value["thresholds"]["max_mpe_percent"], 20.0);
+
+    let text = report.render(10);
+    assert!(text.contains("Model-quality report"));
+    assert!(text.contains("aggregate MPE"));
+    let md = report.render_markdown();
+    assert!(md.contains("## Application models"));
+    assert!(md.contains("## Kernel models"));
+}

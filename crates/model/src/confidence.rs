@@ -12,22 +12,48 @@ use crate::measurement::Coordinate;
 use serde::{Deserialize, Serialize};
 
 /// Two-sided Student-t quantiles for 95% confidence, indexed by degrees of
-/// freedom 1..=30; larger df falls back to the normal quantile 1.96.
+/// freedom 1..=30.
 const T_975: [f64; 30] = [
     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
     2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
     2.052, 2.048, 2.045, 2.042,
 ];
 
+/// Anchor points `(df, t)` for 30 < df <= 100, linearly interpolated in
+/// between. Values from standard t tables.
+const T_975_ANCHORS: [(usize, f64); 8] = [
+    (30, 2.042),
+    (40, 2.021),
+    (50, 2.009),
+    (60, 2.000),
+    (70, 1.994),
+    (80, 1.990),
+    (90, 1.987),
+    (100, 1.984),
+];
+
 /// 97.5th percentile of the t distribution for `df` degrees of freedom.
+///
+/// Exact table values for df 1..=30, linear interpolation between tabulated
+/// anchors up to df = 100, and the normal quantile 1.96 beyond that. The
+/// result is monotonically non-increasing in `df`; `df = 0` (no residual
+/// degrees of freedom) yields an infinite quantile, i.e. an unbounded band.
 pub fn t_quantile_975(df: usize) -> f64 {
     if df == 0 {
-        f64::INFINITY
-    } else if df <= 30 {
-        T_975[df - 1]
-    } else {
-        1.96
+        return f64::INFINITY;
     }
+    if df <= 30 {
+        return T_975[df - 1];
+    }
+    if df > 100 {
+        return 1.96;
+    }
+    // Interpolate between the bracketing anchors.
+    let idx = T_975_ANCHORS.iter().position(|&(d, _)| df <= d).unwrap();
+    let (d1, t1) = T_975_ANCHORS[idx - 1];
+    let (d2, t2) = T_975_ANCHORS[idx];
+    let frac = (df - d1) as f64 / (d2 - d1) as f64;
+    t1 + frac * (t2 - t1)
 }
 
 /// Analytic confidence-interval machinery retained from a regression fit.
@@ -40,6 +66,17 @@ pub struct RegressionBand {
     sigma2: f64,
     /// Residual degrees of freedom `n - k`.
     df: usize,
+    /// Pooled *relative* within-point repetition variance (squared
+    /// coefficient of variation). The fit regresses on a per-point statistic
+    /// (median), so `sigma2` only captures how those statistics scatter
+    /// around the curve; a *new observation* additionally carries run-to-run
+    /// noise. Measured performance noise is multiplicative — spread grows
+    /// with the metric's magnitude — so the band stores the relative spread
+    /// and scales it by the predicted value, keeping the prediction interval
+    /// calibrated at extrapolated scales. Zero when the data had no
+    /// repetitions.
+    #[serde(default)]
+    rep_cv2: f64,
 }
 
 impl RegressionBand {
@@ -71,7 +108,22 @@ impl RegressionBand {
             xtx_inv,
             sigma2: rss / (n - k) as f64,
             df: n - k,
+            rep_cv2: 0.0,
         })
+    }
+
+    /// Attaches the pooled relative repetition variance (squared coefficient
+    /// of variation), widening the *prediction* interval (new observations
+    /// carry run-to-run noise) while leaving the mean-response confidence
+    /// interval untouched.
+    pub fn with_repetition_noise(mut self, rep_cv2: f64) -> Self {
+        self.rep_cv2 = rep_cv2.max(0.0);
+        self
+    }
+
+    /// The pooled relative repetition variance (CV²) carried by this band.
+    pub fn repetition_noise(&self) -> f64 {
+        self.rep_cv2
     }
 
     pub fn degrees_of_freedom(&self) -> usize {
@@ -85,6 +137,28 @@ impl RegressionBand {
     /// Standard error of the *mean response* at a point:
     /// `sqrt(s^2 * x0' (X'X)^{-1} x0)`.
     pub fn mean_std_error(&self, point: &[f64]) -> f64 {
+        (self.sigma2 * self.leverage(point)).sqrt()
+    }
+
+    /// Standard error of a *new observation* (prediction interval) at a
+    /// point with predicted value `predicted`:
+    /// `sqrt(s^2 + cv_rep^2 · predicted^2 + s^2 * x0' (X'X)^{-1} x0)` —
+    /// curve-scatter noise, run-to-run repetition noise (relative, scaled by
+    /// the prediction), and mean-response uncertainty.
+    pub fn prediction_std_error(&self, predicted: f64, point: &[f64]) -> f64 {
+        let se_mean = self.mean_std_error(point);
+        let rep_var = self.rep_cv2 * predicted * predicted;
+        (self.sigma2 + rep_var + se_mean * se_mean).sqrt()
+    }
+
+    /// Leverage `h = x0' (X'X)^{-1} x0` of a point under this fit's design.
+    ///
+    /// For a training point this is its diagonal entry of the hat matrix:
+    /// how strongly that measurement pulls the fit toward itself (the
+    /// leverages of the training points sum to the number of coefficients).
+    /// Evaluated at an extrapolation point it measures how far outside the
+    /// sampled design the prediction is.
+    pub fn leverage(&self, point: &[f64]) -> f64 {
         let x0 = self.shape.design_row(point);
         let k = x0.len();
         let mut quad = 0.0;
@@ -93,14 +167,7 @@ impl RegressionBand {
                 quad += x0[i] * self.xtx_inv[i][j] * x0[j];
             }
         }
-        (self.sigma2 * quad.max(0.0)).sqrt()
-    }
-
-    /// Standard error of a *new observation* (prediction interval):
-    /// `sqrt(s^2 * (1 + x0' (X'X)^{-1} x0))`.
-    pub fn prediction_std_error(&self, point: &[f64]) -> f64 {
-        let se_mean = self.mean_std_error(point);
-        (self.sigma2 + se_mean * se_mean).sqrt()
+        quad.max(0.0)
     }
 
     /// 95% confidence interval of the mean response at a point.
@@ -111,7 +178,7 @@ impl RegressionBand {
 
     /// 95% prediction interval for a new measurement at a point.
     pub fn prediction_interval(&self, predicted: f64, point: &[f64]) -> (f64, f64) {
-        let half = t_quantile_975(self.df) * self.prediction_std_error(point);
+        let half = t_quantile_975(self.df) * self.prediction_std_error(predicted, point);
         (predicted - half, predicted + half)
     }
 }
@@ -191,10 +258,70 @@ mod tests {
 
     #[test]
     fn t_quantiles_monotonically_decrease() {
-        assert!(t_quantile_975(1) > t_quantile_975(2));
-        assert!(t_quantile_975(5) > t_quantile_975(30));
-        assert_eq!(t_quantile_975(1000), 1.96);
+        for df in 1..250 {
+            assert!(
+                t_quantile_975(df) >= t_quantile_975(df + 1),
+                "t(df={}) = {} < t(df={}) = {}",
+                df,
+                t_quantile_975(df),
+                df + 1,
+                t_quantile_975(df + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn t_quantiles_pin_known_table_values() {
+        // df = 0: no residual degrees of freedom, unbounded band.
         assert!(t_quantile_975(0).is_infinite());
+        // df = 1: the heavy-tailed extreme of the table.
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-12);
+        assert!((t_quantile_975(2) - 4.303).abs() < 1e-12);
+        assert!((t_quantile_975(10) - 2.228).abs() < 1e-12);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-12);
+        // Tabulated anchors above 30.
+        assert!((t_quantile_975(40) - 2.021).abs() < 1e-12);
+        assert!((t_quantile_975(60) - 2.000).abs() < 1e-12);
+        assert!((t_quantile_975(100) - 1.984).abs() < 1e-12);
+        // Large-df fallback is the normal quantile.
+        assert_eq!(t_quantile_975(101), 1.96);
+        assert_eq!(t_quantile_975(1000), 1.96);
+    }
+
+    #[test]
+    fn t_quantiles_interpolate_between_anchors() {
+        // df = 35 is halfway between the df=30 and df=40 anchors.
+        let expected = 0.5 * (2.042 + 2.021);
+        assert!((t_quantile_975(35) - expected).abs() < 1e-12);
+        // df = 45 between 40 and 50.
+        let expected = 0.5 * (2.021 + 2.009);
+        assert!((t_quantile_975(45) - expected).abs() < 1e-12);
+        // Interpolated values stay inside the bracketing anchors.
+        for df in 31..100 {
+            let t = t_quantile_975(df);
+            assert!((1.984..2.042).contains(&t), "t({df}) = {t}");
+        }
+    }
+
+    #[test]
+    fn leverage_of_training_points_sums_to_num_coefficients() {
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let data = pts(&[
+            (2.0, 4.3),
+            (4.0, 7.6),
+            (8.0, 16.5),
+            (16.0, 31.2),
+            (32.0, 65.0),
+        ]);
+        let fitted = hypothesis::fit(&shape, &data).unwrap();
+        let band = RegressionBand::from_fit(&shape, &data, fitted.rss).unwrap();
+        let sum: f64 = data.iter().map(|(c, _)| band.leverage(c)).sum();
+        // Two coefficients: c0 + c1 * x.
+        assert!((sum - 2.0).abs() < 1e-9, "leverage sum {sum}");
+        // The design extremes carry more leverage than the interior.
+        assert!(band.leverage(&[32.0]) > band.leverage(&[8.0]));
+        // Leverage keeps growing outside the sampled range.
+        assert!(band.leverage(&[128.0]) > band.leverage(&[32.0]));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Per-model fit diagnostics: residuals, error summaries, adjusted R²,
+//! per-point leverage, and an empirical calibration check of the analytic
+//! 95% band.
+//!
+//! The modeler reports *how it selected* a hypothesis (SMAPE, CV-SMAPE); this
+//! module answers the operational question that comes after selection — *can
+//! this model be trusted?* It works on any dataset, so the same machinery
+//! serves the fit points (residual analysis) and held-out larger scales
+//! (extrapolation validation, paper §4's predictive power).
+
+use crate::confidence::RegressionBand;
+use crate::measurement::{ExperimentData, Measurement};
+use crate::metrics::{percentage_error, r_squared, smape};
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+
+/// Diagnostics of one measurement point under one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointDiagnostic {
+    pub coordinate: Vec<f64>,
+    pub predicted: f64,
+    /// The fitted statistic of the repetitions (median).
+    pub measured: f64,
+    /// `measured - predicted`.
+    pub residual: f64,
+    /// `|predicted - measured| / measured`, percent.
+    pub percent_error: f64,
+    /// Hat-matrix leverage of this coordinate under the fit's design
+    /// (absent when the model carries no band).
+    pub leverage: Option<f64>,
+}
+
+/// Empirical calibration of the 95% prediction band: how many individual
+/// repetition values actually fall inside it.
+///
+/// A well-calibrated band contains ~95% of new observations; substantially
+/// lower coverage means the band understates the real run-to-run spread and
+/// its confidence claim cannot be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BandCalibration {
+    /// Repetition values checked against the band.
+    pub total_values: usize,
+    /// Values that fell inside the 95% prediction interval.
+    pub inside: usize,
+}
+
+impl BandCalibration {
+    /// Fraction of values inside the band, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_values == 0 {
+            f64::NAN
+        } else {
+            self.inside as f64 / self.total_values as f64
+        }
+    }
+}
+
+/// Fit-quality summary of one model over one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitDiagnostics {
+    pub points: Vec<PointDiagnostic>,
+    /// Symmetric mean absolute percentage error, percent.
+    pub smape: f64,
+    /// Median percentage error, percent — the paper's headline measure.
+    pub mpe: f64,
+    /// Mean percentage error, percent.
+    pub mean_percent_error: f64,
+    /// R² of the model against this dataset's medians.
+    pub r_squared: f64,
+    /// R² penalized for model complexity:
+    /// `1 - (1 - R²)(n - 1)/(n - k)` for `k` fitted coefficients.
+    pub adjusted_r_squared: f64,
+    /// Number of fitted coefficients (constant + one per term).
+    pub num_coefficients: usize,
+    /// Empirical 95%-band calibration (absent without a band).
+    pub calibration: Option<BandCalibration>,
+}
+
+impl FitDiagnostics {
+    /// Largest absolute residual, with its coordinate.
+    pub fn worst_residual(&self) -> Option<&PointDiagnostic> {
+        self.points.iter().max_by(|a, b| {
+            a.residual
+                .abs()
+                .partial_cmp(&b.residual.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Empirical band coverage in `[0, 1]`, if a calibration was computed.
+    pub fn coverage(&self) -> Option<f64> {
+        self.calibration.map(|c| c.coverage())
+    }
+}
+
+/// Checks every repetition value of `data` against the model's 95%
+/// prediction band. `None` when the model carries no band (saturated or
+/// degenerate fit) or the data has no repetition values.
+pub fn band_calibration(model: &Model, data: &ExperimentData) -> Option<BandCalibration> {
+    let band: &RegressionBand = model.band.as_ref()?;
+    let mut total = 0usize;
+    let mut inside = 0usize;
+    for m in &data.measurements {
+        let predicted = model.predict(&m.coordinate);
+        let half = crate::confidence::t_quantile_975(band.degrees_of_freedom())
+            * band.prediction_std_error(predicted, &m.coordinate);
+        let (lo, hi) = (predicted - half, predicted + half);
+        for &v in &m.values {
+            if v.is_finite() {
+                total += 1;
+                if (lo..=hi).contains(&v) {
+                    inside += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    Some(BandCalibration {
+        total_values: total,
+        inside,
+    })
+}
+
+/// Per-point diagnostics of `model` against one measurement.
+fn diagnose_point(model: &Model, m: &Measurement) -> PointDiagnostic {
+    let predicted = model.predict(&m.coordinate);
+    let measured = m.median();
+    PointDiagnostic {
+        coordinate: m.coordinate.clone(),
+        predicted,
+        measured,
+        residual: measured - predicted,
+        percent_error: percentage_error(predicted, measured),
+        leverage: model.band.as_ref().map(|b| b.leverage(&m.coordinate)),
+    }
+}
+
+/// Full fit diagnostics of `model` over `data`.
+///
+/// `data` may be the fit's own training points (residual analysis, leverage)
+/// or a held-out dataset at larger scales (extrapolation validation). All
+/// error summaries compare predictions against the per-point median of the
+/// repetitions, matching the modeler's fitting statistic.
+pub fn diagnose(model: &Model, data: &ExperimentData) -> FitDiagnostics {
+    let _span = extradeep_obs::span("model.diagnose");
+    let points: Vec<PointDiagnostic> = data
+        .measurements
+        .iter()
+        .map(|m| diagnose_point(model, m))
+        .collect();
+
+    let predicted: Vec<f64> = points.iter().map(|p| p.predicted).collect();
+    let actual: Vec<f64> = points.iter().map(|p| p.measured).collect();
+    let mut errors: Vec<f64> = points.iter().map(|p| p.percent_error).collect();
+    let mpe = crate::measurement::median(&errors);
+    errors.retain(|e| e.is_finite());
+    let mean_pe = if errors.is_empty() {
+        f64::NAN
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+
+    let r2 = r_squared(&predicted, &actual);
+    let k = 1 + model.function.terms.len();
+    let n = points.len();
+    let adjusted = if n > k {
+        1.0 - (1.0 - r2) * (n as f64 - 1.0) / ((n - k) as f64)
+    } else {
+        f64::NAN
+    };
+
+    FitDiagnostics {
+        smape: smape(&predicted, &actual),
+        mpe,
+        mean_percent_error: mean_pe,
+        r_squared: r2,
+        adjusted_r_squared: adjusted,
+        num_coefficients: k,
+        calibration: band_calibration(model, data),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::Measurement;
+    use crate::modeler::{model_single_parameter, ModelerOptions};
+    use crate::search_space::SearchSpace;
+    use crate::Fraction;
+
+    /// Noisy repetitions around a deterministic base value.
+    fn reps(base: f64, spread: f64) -> Vec<f64> {
+        vec![
+            base * (1.0 - spread),
+            base * (1.0 - 0.4 * spread),
+            base,
+            base * (1.0 + 0.4 * spread),
+            base * (1.0 + spread),
+        ]
+    }
+
+    fn linear_data(spread: f64) -> ExperimentData {
+        ExperimentData::new(
+            vec!["p".into()],
+            [2.0, 4.0, 8.0, 16.0, 32.0]
+                .iter()
+                .map(|&x| Measurement::new(vec![x], reps(10.0 + 3.0 * x, spread)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_fit_diagnostics_are_clean() {
+        let data = ExperimentData::univariate(
+            "p",
+            &[
+                (2.0, 16.0),
+                (4.0, 22.0),
+                (8.0, 34.0),
+                (16.0, 58.0),
+                (32.0, 106.0),
+            ],
+        );
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let d = diagnose(&model, &data);
+        assert!(d.mpe < 1e-6, "mpe {}", d.mpe);
+        assert!(d.smape < 1e-6);
+        assert!(d.r_squared > 1.0 - 1e-9);
+        assert!(d.adjusted_r_squared > 1.0 - 1e-9);
+        assert_eq!(d.points.len(), 5);
+        for p in &d.points {
+            assert!(p.residual.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn leverages_reported_per_point_and_sum_to_k() {
+        let data = linear_data(0.02);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let d = diagnose(&model, &data);
+        let sum: f64 = d.points.iter().map(|p| p.leverage.unwrap()).sum();
+        assert!(
+            (sum - d.num_coefficients as f64).abs() < 1e-6,
+            "leverage sum {sum} vs k {}",
+            d.num_coefficients
+        );
+    }
+
+    #[test]
+    fn calibration_covers_most_repetitions_for_a_good_fit() {
+        let data = linear_data(0.03);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let cal = band_calibration(&model, &data).expect("band exists");
+        assert_eq!(cal.total_values, 25);
+        let cov = cal.coverage();
+        assert!((0.8..=1.0).contains(&cov), "coverage {cov}");
+    }
+
+    #[test]
+    fn misspecified_model_shows_large_holdout_error() {
+        // Ground truth follows the paper's epoch-time shape; force a linear
+        // hypothesis and validate at a held-out scale.
+        let truth = |x: f64| 158.58 + 0.58 * x.powf(2.0 / 3.0) * x.log2().powi(2);
+        let fit_pts: Vec<(f64, Vec<f64>)> = [2.0, 4.0, 6.0, 8.0, 10.0]
+            .iter()
+            .map(|&x| (x, reps(truth(x), 0.01)))
+            .collect();
+        let fit_data = ExperimentData::univariate_with_reps("p", &fit_pts);
+        let holdout = ExperimentData::univariate_with_reps(
+            "p",
+            &[
+                (48.0, reps(truth(48.0), 0.01)),
+                (64.0, reps(truth(64.0), 0.01)),
+            ],
+        );
+
+        let mut linear_only = ModelerOptions::default();
+        linear_only.search_space = SearchSpace {
+            poly_exponents: vec![Fraction::whole(1)],
+            log_exponents: vec![0],
+            allow_negative_exponents: false,
+            max_terms: 1,
+        };
+        linear_only.growth_bound_margin = None;
+        let wrong = model_single_parameter(&fit_data, &linear_only).unwrap();
+        let right = model_single_parameter(&fit_data, &ModelerOptions::default()).unwrap();
+
+        let wrong_holdout = diagnose(&wrong, &holdout);
+        let right_holdout = diagnose(&right, &holdout);
+        assert!(
+            wrong_holdout.mpe > 10.0,
+            "linear fit should miss at scale, mpe {}",
+            wrong_holdout.mpe
+        );
+        assert!(
+            right_holdout.mpe < 5.0,
+            "correct shape should extrapolate, mpe {}",
+            right_holdout.mpe
+        );
+        assert!(wrong_holdout.mpe > 3.0 * right_holdout.mpe);
+    }
+
+    #[test]
+    fn worst_residual_finds_the_outlier() {
+        let mut data = linear_data(0.0);
+        // Perturb one point hard.
+        data.measurements[2].values = vec![60.0];
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let d = diagnose(&model, &data);
+        let worst = d.worst_residual().unwrap();
+        assert_eq!(worst.coordinate, vec![8.0]);
+    }
+
+    #[test]
+    fn empty_dataset_yields_nan_summaries() {
+        let data = linear_data(0.0);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let empty = ExperimentData::new(vec!["p".into()], Vec::new());
+        let d = diagnose(&model, &empty);
+        assert!(d.points.is_empty());
+        assert!(d.mpe.is_nan());
+        assert!(d.smape.is_nan());
+        assert!(d.calibration.is_none());
+    }
+}

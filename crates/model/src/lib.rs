@@ -32,6 +32,7 @@
 //! ```
 
 pub mod confidence;
+pub mod diagnostics;
 pub mod engine;
 pub mod fraction;
 pub mod function;
@@ -48,6 +49,7 @@ pub mod segmentation;
 pub mod term;
 
 pub use confidence::{bootstrap_interval, RegressionBand};
+pub use diagnostics::{band_calibration, diagnose, BandCalibration, FitDiagnostics};
 pub use engine::SearchEngine;
 pub use fraction::Fraction;
 pub use function::{GrowthKey, PerformanceFunction};

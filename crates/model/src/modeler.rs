@@ -260,13 +260,39 @@ pub(crate) fn exponent_bounds(
     })
 }
 
+/// Pooled *relative* within-point repetition variance (squared coefficient
+/// of variation) of a dataset: the run-to-run noise a prediction band must
+/// add on top of the curve-fit residuals to be calibrated against individual
+/// observations. Relative because performance noise is multiplicative — the
+/// spread grows with the metric's magnitude, and the band re-scales it by
+/// the predicted value. Zero without repetitions.
+pub(crate) fn pooled_repetition_cv2(data: &ExperimentData) -> f64 {
+    let mut weighted_cv2 = 0.0;
+    let mut dof = 0usize;
+    for m in &data.measurements {
+        let n = m.values.len();
+        let center = m.median();
+        if n >= 2 && center.abs() > f64::EPSILON {
+            let cv = m.std_dev() / center.abs();
+            weighted_cv2 += cv * cv * (n - 1) as f64;
+            dof += n - 1;
+        }
+    }
+    if dof == 0 {
+        0.0
+    } else {
+        weighted_cv2 / dof as f64
+    }
+}
+
 /// Assembles the final [`Model`] from the winning hypothesis.
 pub(crate) fn finish_model(
     data: &ExperimentData,
     points: &[(Coordinate, f64)],
     winner: FittedHypothesis,
 ) -> Model {
-    let band = RegressionBand::from_fit(&winner.shape, points, winner.rss);
+    let band = RegressionBand::from_fit(&winner.shape, points, winner.rss)
+        .map(|b| b.with_repetition_noise(pooled_repetition_cv2(data)));
     Model {
         parameters: data.parameters.clone(),
         function: winner.function,
