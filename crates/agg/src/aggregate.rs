@@ -3,7 +3,7 @@
 //! medians.
 
 use crate::window::{attribute_events, usable_steps};
-use extradeep_model::measurement::median;
+use extradeep_model::measurement::{median, winsorized_mean, WINSOR_TRIM};
 use extradeep_trace::{ApiDomain, ConfigProfile, MetricKind, RankProfile, StepPhase};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -228,6 +228,16 @@ impl KernelConfigAggregate {
         let vals: Vec<f64> = self.reps.iter().map(f).collect();
         median(&vals)
     }
+
+    /// Winsorized mean over repetitions: extreme repetitions (a straggler
+    /// run, a clock-skewed rank that survived repair) are clamped to the
+    /// trimmed quantiles instead of discarded, so partial configurations
+    /// with few surviving repetitions keep every sample's vote while
+    /// staying robust to the tails.
+    pub fn winsorized_over_reps(&self, f: impl Fn(&KernelRepAggregate) -> f64) -> f64 {
+        let vals: Vec<f64> = self.reps.iter().map(f).collect();
+        winsorized_mean(&vals, WINSOR_TRIM)
+    }
 }
 
 #[cfg(test)]
@@ -379,5 +389,31 @@ mod tests {
             ],
         };
         assert_eq!(k.median_over_reps(|r| r.time.train), 2.0);
+    }
+
+    #[test]
+    fn winsorized_over_reps_tames_a_straggler_repetition() {
+        let rep = |train: f64| KernelRepAggregate {
+            time: PhaseValues {
+                train,
+                val: 0.0,
+                outside: 0.0,
+            },
+            ..Default::default()
+        };
+        let k = KernelConfigAggregate {
+            id: KernelId {
+                name: "k".into(),
+                domain: ApiDomain::CudaKernel,
+            },
+            // One straggler repetition 50x the rest.
+            reps: vec![rep(10.0), rep(11.0), rep(12.0), rep(500.0)],
+        };
+        // n = 4, trim 0.25 => k = 1: both extremes clamp to [11, 12].
+        let w = k.winsorized_over_reps(|r| r.time.train);
+        assert!((w - 11.5).abs() < 1e-9, "winsorized mean {w}");
+        // The straggler would have dragged a plain mean past 100.
+        let mean: f64 = k.reps.iter().map(|r| r.time.train).sum::<f64>() / 4.0;
+        assert!(mean > 100.0);
     }
 }

@@ -1,0 +1,74 @@
+//! Chaos CI driver: sweep fuzzed fault plans through the full pipeline and
+//! fail loudly on any panic or out-of-bound repaired fit.
+//!
+//! ```sh
+//! chaos --seeds 8                  # seeds 0..8
+//! chaos --seed-list 3,17,42        # explicit seeds
+//! chaos --seeds 8 --json report.json --markdown report.md
+//! ```
+//!
+//! Exit codes: 0 all cases passed, 1 a case failed (panic or MPE bound),
+//! 2 the harness itself could not run (bad flags, unwritable artifact,
+//! clean baseline unfittable).
+
+use extradeep::chaos::ChaosReport;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |key: &str| -> Option<&str> {
+        argv.iter()
+            .position(|a| a == key)
+            .and_then(|i| argv.get(i + 1))
+            .map(String::as_str)
+    };
+
+    let mut seeds: Vec<u64> = Vec::new();
+    if let Some(n) = value("--seeds") {
+        let n: u64 = n
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--seeds needs a count, got '{n}'")));
+        seeds.extend(0..n);
+    }
+    if let Some(list) = value("--seed-list") {
+        for part in list.split(',') {
+            let s = part
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad seed '{part}' in --seed-list")));
+            seeds.push(s);
+        }
+    }
+    if seeds.is_empty() {
+        seeds.extend(0..8);
+    }
+
+    let report = ChaosReport::run(&seeds)
+        .unwrap_or_else(|e| fail(&format!("clean baseline failed to fit: {e}")));
+
+    if let Some(path) = value("--json") {
+        let body = serde_json::to_string_pretty(&report)
+            .unwrap_or_else(|e| fail(&format!("cannot serialize report: {e}")));
+        std::fs::write(path, body).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    }
+    let markdown = report.render_markdown();
+    if let Some(path) = value("--markdown") {
+        std::fs::write(path, &markdown)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    }
+    println!("{markdown}");
+
+    if report.any_panicked() {
+        eprintln!("chaos: FAILED — a pipeline stage panicked");
+        std::process::exit(1);
+    }
+    if !report.passed() {
+        eprintln!("chaos: FAILED — repaired-input fit exceeded the MPE bound");
+        std::process::exit(1);
+    }
+    println!("chaos: all {} case(s) passed", report.cases.len());
+}

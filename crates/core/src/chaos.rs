@@ -1,0 +1,263 @@
+//! Chaos harness: fuzzed fault injection end-to-end through the pipeline.
+//!
+//! Each case takes a clean simulated experiment, corrupts it with a
+//! [`FaultPlan`] fuzzed from a seed, pushes the wreckage through
+//! validate → repair → aggregate → model, and scores the surviving fit
+//! against the simulator's noise-free analytic epoch-runtime oracle.
+//!
+//! A case passes when the pipeline (a) does not panic and (b) either fits a
+//! model whose MPE against the oracle stays within [`mpe_bound`] of the
+//! clean-input fit, or fails with a *typed* [`ModelingError`] because too
+//! little data survived. Anything else — a panic anywhere, or a silently
+//! wrecked model — is a defect in the corruption-tolerance story.
+
+use crate::modelset::{build_model_set, ModelSet, ModelSetOptions};
+use crate::questions;
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_model::ModelingError;
+use extradeep_sim::{ExperimentSpec, FaultPlan, FaultSummary};
+use extradeep_trace::{repair_experiment, ExperimentProfiles, MetricKind, RepairCounts};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scales the fitted epoch model is scored at: the five training scales
+/// plus one extrapolation point.
+pub const EVAL_RANKS: [u32; 6] = [2, 4, 6, 8, 10, 16];
+
+/// The experiment every chaos case corrupts: the paper's five cheap
+/// configurations, sized so a seed matrix stays fast while the median
+/// stages keep enough samples (4 recorded ranks, 3 repetitions) to outvote
+/// a straggler or clock-skewed rank that injection left behind — that
+/// statistical defense, not repair, is what absorbs undetectable faults.
+pub fn chaos_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 3;
+    spec.profiler.max_recorded_ranks = 4;
+    spec
+}
+
+/// Mean percentage error of the fitted epoch-runtime model against the
+/// simulator's analytic estimate, over [`EVAL_RANKS`].
+pub fn mpe_vs_oracle(spec: &ExperimentSpec, models: &ModelSet) -> f64 {
+    let mut sum = 0.0;
+    for &r in &EVAL_RANKS {
+        let oracle = spec.epoch_seconds_estimate(r);
+        let predicted = questions::q1_epoch_seconds(models, r as f64);
+        sum += ((predicted - oracle) / oracle).abs();
+    }
+    100.0 * sum / EVAL_RANKS.len() as f64
+}
+
+/// The pass bound for a repaired fit: twice the clean MPE, with a floor of
+/// clean + 2 percentage points. The floor matters because the clean fit can
+/// land arbitrarily close to the oracle (MPE near zero), where a pure ratio
+/// would declare an excellent 1% repaired fit a failure.
+pub fn mpe_bound(clean_mpe: f64) -> f64 {
+    (2.0 * clean_mpe).max(clean_mpe + 2.0)
+}
+
+/// The clean side of every comparison: one uncorrupted simulation and its
+/// fit, shared across the whole seed matrix.
+pub struct ChaosBaseline {
+    pub spec: ExperimentSpec,
+    pub profiles: ExperimentProfiles,
+    pub clean_mpe: f64,
+}
+
+/// Simulates and fits the clean experiment once.
+pub fn clean_baseline() -> Result<ChaosBaseline, ModelingError> {
+    let _span = extradeep_obs::span("core.chaos_baseline");
+    let spec = chaos_spec();
+    let profiles = spec.run();
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())?;
+    let clean_mpe = mpe_vs_oracle(&spec, &models);
+    Ok(ChaosBaseline {
+        spec,
+        profiles,
+        clean_mpe,
+    })
+}
+
+/// One chaos case's outcome, self-describing enough for a CI artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosCaseResult {
+    pub seed: u64,
+    pub plan: FaultPlan,
+    /// The pipeline panicked somewhere — always a failure.
+    pub panicked: bool,
+    pub faults: Option<FaultSummary>,
+    pub repair: Option<RepairCounts>,
+    pub clean_mpe: f64,
+    pub mpe_bound: f64,
+    /// MPE of the repaired-input fit, when modeling succeeded.
+    pub repaired_mpe: Option<f64>,
+    /// The typed modeling error, when too little data survived to fit.
+    pub modeling_error: Option<String>,
+    pub passed: bool,
+}
+
+/// Runs one fuzzed fault plan end-to-end against the shared baseline.
+pub fn run_chaos_case(baseline: &ChaosBaseline, seed: u64) -> ChaosCaseResult {
+    let _span = extradeep_obs::span("core.chaos_case");
+    let plan = FaultPlan::fuzz(seed);
+    let bound = mpe_bound(baseline.clean_mpe);
+    let mut result = ChaosCaseResult {
+        seed,
+        plan: plan.clone(),
+        panicked: false,
+        faults: None,
+        repair: None,
+        clean_mpe: baseline.clean_mpe,
+        mpe_bound: bound,
+        repaired_mpe: None,
+        modeling_error: None,
+        passed: false,
+    };
+
+    type CaseRun = (FaultSummary, RepairCounts, Result<ModelSet, ModelingError>);
+    let outcome: Result<CaseRun, _> = catch_unwind(AssertUnwindSafe(|| {
+        let mut profiles = baseline.profiles.clone();
+        let faults = plan.apply(&mut profiles);
+        // Byte-level corruption round-trips through the serializer the way
+        // the pipeline does with a file: if the corrupted text no longer
+        // parses, the in-memory (structurally faulted) copy carries on.
+        if plan.corrupt_json_bytes > 0 {
+            if let Ok(mut text) = extradeep_trace::json::to_json(&profiles) {
+                plan.corrupt_json(&mut text);
+                if let Ok(reparsed) = extradeep_trace::json::from_json(&text) {
+                    profiles = reparsed;
+                }
+            }
+        }
+        let repair = repair_experiment(&mut profiles);
+        let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+        let fit = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default());
+        (faults, repair.counts, fit)
+    }));
+
+    match outcome {
+        Err(_) => {
+            result.panicked = true;
+            extradeep_obs::error!("chaos: seed {seed} panicked");
+        }
+        Ok((faults, repair, fit)) => {
+            result.faults = Some(faults);
+            result.repair = Some(repair);
+            match fit {
+                Ok(models) => {
+                    let mpe = mpe_vs_oracle(&baseline.spec, &models);
+                    result.passed = mpe <= bound;
+                    result.repaired_mpe = Some(mpe);
+                }
+                Err(e) => {
+                    // Degrading to a typed error is an accepted outcome:
+                    // the contract is "model or explain", never "panic".
+                    result.modeling_error = Some(e.to_string());
+                    result.passed = true;
+                }
+            }
+        }
+    }
+    result
+}
+
+/// A whole seed matrix worth of cases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosReport {
+    pub clean_mpe: f64,
+    pub cases: Vec<ChaosCaseResult>,
+}
+
+impl ChaosReport {
+    /// Runs `seeds` against a fresh baseline.
+    pub fn run(seeds: &[u64]) -> Result<ChaosReport, ModelingError> {
+        let baseline = clean_baseline()?;
+        let cases = seeds
+            .iter()
+            .map(|&s| run_chaos_case(&baseline, s))
+            .collect();
+        Ok(ChaosReport {
+            clean_mpe: baseline.clean_mpe,
+            cases,
+        })
+    }
+
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(|c| c.passed)
+    }
+
+    pub fn any_panicked(&self) -> bool {
+        self.cases.iter().any(|c| c.panicked)
+    }
+
+    /// Markdown rendering for the CI artifact.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Chaos report\n\n");
+        out.push_str(&format!(
+            "Clean-input epoch-model MPE vs oracle: {:.2}% — {} case(s), {} passed\n\n",
+            self.clean_mpe,
+            self.cases.len(),
+            self.cases.iter().filter(|c| c.passed).count()
+        ));
+        out.push_str(
+            "| Seed | Faults | Quarantined | Reconstructed | Repaired MPE | Bound | Outcome |\n",
+        );
+        out.push_str("|---:|---:|---:|---:|---:|---:|---|\n");
+        for c in &self.cases {
+            let outcome = if c.panicked {
+                "💥 PANIC".to_string()
+            } else if let Some(e) = &c.modeling_error {
+                format!("typed error: {e}")
+            } else if c.passed {
+                "✅".to_string()
+            } else {
+                "❌ over bound".to_string()
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {:.2}% | {} |\n",
+                c.seed,
+                c.faults.map_or(0, |f| f.total()),
+                c.repair.map_or(0, |r| r.ranks_quarantined),
+                c.repair.map_or(0, |r| r.marks_reconstructed),
+                c.repaired_mpe
+                    .map_or_else(|| "—".to_string(), |m| format!("{m:.2}%")),
+                c.mpe_bound,
+                outcome
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_has_an_absolute_floor() {
+        assert!((mpe_bound(0.1) - 2.1).abs() < 1e-12);
+        assert!((mpe_bound(5.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_baseline_fits_the_oracle() {
+        let baseline = clean_baseline().unwrap();
+        assert!(
+            baseline.clean_mpe < 25.0,
+            "clean MPE {:.2}% — the oracle comparison itself is broken",
+            baseline.clean_mpe
+        );
+    }
+
+    #[test]
+    fn chaos_case_is_deterministic() {
+        let baseline = clean_baseline().unwrap();
+        let a = run_chaos_case(&baseline, 3);
+        let b = run_chaos_case(&baseline, 3);
+        assert_eq!(a.repaired_mpe, b.repaired_mpe);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.passed, b.passed);
+    }
+}

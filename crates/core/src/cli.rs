@@ -65,6 +65,7 @@ USAGE:
                      [--max-time SECONDS] [--candidates 2,4,...]
   extradeep pipeline [simulate options] [--probe RANKS] [--out <file.json>]
                      [--holdout 16,32] [--no-doctor] [--strict]
+                     [--inject-faults <spec>] [--repair-report <report.json>]
   extradeep doctor   [simulate options | --in <file.json>] [--holdout 16,32]
                      [--metric time|visits|bytes] [--top N] [--strict]
                      [--max-mpe PCT] [--min-coverage FRAC]
@@ -84,6 +85,13 @@ GLOBAL FLAGS (any command):
   --report-phases             append a per-phase wall-time table
   -q, --quiet                 errors only (also suppresses the stdout report)
   --verbose                   debug-level logging on stderr
+
+FAULT INJECTION (pipeline --inject-faults):
+  comma-separated key=value spec, e.g.
+    --inject-faults 'seed=7,drop-rank=0.25,truncate=0.3,corrupt-json=16'
+  keys: seed, drop-rank, truncate, drop-epoch-marks, drop-step-mark,
+        dup-step-mark, clock-skew-ns, straggler, straggler-factor,
+        zero-dur, shuffle-steps, corrupt-json
 
 Benchmarks: cifar10, cifar100, imagenet, imdb, speech_commands";
 
@@ -301,10 +309,44 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Validates every configuration of an experiment and surfaces the
+/// findings as leveled logs: one `warn!` summary per affected configuration
+/// (individual issues at `debug!` — a heavily corrupted profile can carry
+/// thousands). Returns the total issue count.
+fn warn_validation_issues(profiles: &ExperimentProfiles) -> usize {
+    let _span = extradeep_obs::span("core.validate_profiles");
+    let mut total = 0;
+    for p in &profiles.profiles {
+        let issues = extradeep_trace::validate_config(p);
+        if issues.is_empty() {
+            continue;
+        }
+        total += issues.len();
+        extradeep_obs::warn!(
+            "validation: {} rep {}: {} issue(s) across {} rank(s)",
+            p.config.id(),
+            p.repetition,
+            issues.len(),
+            p.ranks.len()
+        );
+        for issue in &issues {
+            extradeep_obs::debug!(
+                "validation: {} rep {}: {issue}",
+                p.config.id(),
+                p.repetition
+            );
+        }
+    }
+    total
+}
+
 /// `pipeline`: the whole workflow in one process — simulate, save, reload,
-/// aggregate, model, analyze. Exists chiefly as the self-profiling driver:
-/// one invocation under `--profile-self` touches every instrumented crate
-/// (sim, trace, agg, model, core).
+/// validate, repair, aggregate, model, analyze. Exists chiefly as the
+/// self-profiling driver: one invocation under `--profile-self` touches
+/// every instrumented crate (sim, trace, agg, model, core). With
+/// `--inject-faults <spec>` the emitted profiles are deterministically
+/// corrupted between simulation and reload, exercising the repair path the
+/// way a degraded real campaign would.
 fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
     let spec = spec_from_args(args)?;
     let keep = args.value("--out").map(str::to_string);
@@ -318,13 +360,67 @@ fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
         .value("--probe")
         .and_then(|p| p.parse().ok())
         .unwrap_or(64.0);
+    let fault_plan = args
+        .value("--inject-faults")
+        .map(extradeep_sim::FaultPlan::parse)
+        .transpose()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
 
     extradeep_obs::info!("pipeline: simulate -> {path}");
-    let profiles = spec.run();
-    json::save(&profiles, &path).map_err(|e| CliError::Trace(e.to_string()))?;
+    let mut profiles = spec.run();
+
+    let fault_summary = fault_plan.as_ref().map(|plan| {
+        let summary = plan.apply(&mut profiles);
+        extradeep_obs::warn!("fault injection: {summary}");
+        summary
+    });
+    // Save, applying byte-level corruption on the serialized form when the
+    // plan asks for it (the structural faults above happen pre-save).
+    match fault_plan.as_ref().filter(|p| p.corrupt_json_bytes > 0) {
+        Some(plan) => {
+            let mut body = json::to_json(&profiles).map_err(|e| CliError::Trace(e.to_string()))?;
+            let n = plan.corrupt_json(&mut body);
+            extradeep_obs::warn!("fault injection: corrupted {n} byte(s) of {path}");
+            std::fs::write(&path, body)?;
+        }
+        None => json::save(&profiles, &path).map_err(|e| CliError::Trace(e.to_string()))?,
+    }
     // Reload from disk so the (de)serialization stage is genuinely
-    // exercised, exactly as in the two-command workflow.
-    let profiles = load_profiles(&path)?;
+    // exercised, exactly as in the two-command workflow. When injected
+    // byte corruption makes the file unreadable, fall back to the
+    // in-memory profiles — the corruption experiment then continues with
+    // the structural faults only, instead of aborting the run.
+    let mut profiles = match load_profiles(&path) {
+        Ok(p) => p,
+        Err(e) if fault_plan.is_some() => {
+            extradeep_obs::warn!(
+                "pipeline: reload failed ({e}); continuing with in-memory profiles"
+            );
+            extradeep_obs::counter("pipeline.corrupt_reload_fallback").add(1);
+            profiles
+        }
+        Err(e) => return Err(e),
+    };
+
+    // Validation + repair on the main path: report what is wrong, fix or
+    // quarantine what can be, and carry on with the salvaged data.
+    let issues = warn_validation_issues(&profiles);
+    let repair = extradeep_trace::repair_experiment(&mut profiles);
+    if !repair.is_clean() {
+        extradeep_obs::warn!(
+            "repair: {} repair(s): {} rank(s) quarantined, {} epoch mark(s) reconstructed, {} config(s) dropped",
+            repair.counts.total_repairs(),
+            repair.counts.ranks_quarantined,
+            repair.counts.marks_reconstructed,
+            repair.counts.configs_dropped
+        );
+    }
+    if let Some(report_path) = args.value("--repair-report") {
+        let body =
+            serde_json::to_string_pretty(&repair).map_err(|e| CliError::Trace(e.to_string()))?;
+        std::fs::write(report_path, body)?;
+    }
+
     extradeep_obs::info!("pipeline: aggregate + model {} profiles", profiles.len());
     let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
     let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
@@ -339,6 +435,22 @@ fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
         profiles.len(),
         profiles.configs().len()
     ));
+    if let Some(summary) = fault_summary {
+        out.push_str(&format!("Faults injected: {summary}\n"));
+    }
+    if issues > 0 || !repair.is_clean() {
+        out.push_str(&format!(
+            "Repair: {issues} validation issue(s); {} repair(s), {} rank(s) quarantined, \
+             {} epoch mark(s) reconstructed, {} config(s) dropped\n",
+            repair.counts.total_repairs(),
+            repair.counts.ranks_quarantined,
+            repair.counts.marks_reconstructed,
+            repair.counts.configs_dropped
+        ));
+    }
+    if let Some(p) = args.value("--repair-report") {
+        out.push_str(&format!("Repair report -> {p}\n"));
+    }
     out.push_str(&format!("T_epoch(x1) = {}\n", models.app.epoch.formatted()));
     out.push_str(&format!(
         "{} kernel models created ({} unmodelable)\n",
@@ -614,7 +726,9 @@ fn cmd_export_chrome(args: &Args) -> Result<String, CliError> {
         .profiles
         .first()
         .ok_or_else(|| CliError::Trace("no profiles in input".to_string()))?;
-    std::fs::write(out, extradeep_trace::to_chrome_trace(first))?;
+    let body =
+        extradeep_trace::to_chrome_trace(first).map_err(|e| CliError::Trace(e.to_string()))?;
+    std::fs::write(out, body)?;
     Ok(format!(
         "Exported {} ({} ranks) -> {out} (open in ui.perfetto.dev)",
         first.config.id(),
@@ -634,8 +748,9 @@ fn cmd_import(args: &Args) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage("import requires --out".to_string()))?;
     let mut profiles = ExperimentProfiles::new();
     for path in csvs {
-        let text = std::fs::read_to_string(path)?;
-        let profile = import_csv(&text).map_err(|e| CliError::Trace(e.to_string()))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Trace(format!("cannot read {path}: {e}")))?;
+        let profile = import_csv(&text).map_err(|e| CliError::Trace(format!("{path}: {e}")))?;
         profiles.push(profile);
     }
     json::save(&profiles, out).map_err(|e| CliError::Trace(e.to_string()))?;

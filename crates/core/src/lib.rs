@@ -32,6 +32,7 @@
 //! ```
 
 pub mod analysis;
+pub mod chaos;
 pub mod cli;
 pub mod doctor;
 pub mod evaluate;
@@ -50,6 +51,9 @@ pub use extradeep_obs as obs;
 pub use analysis::{
     efficiency_model, efficiency_series, find_cost_effective, rank_by_growth, speedup_model,
     speedup_series, top_bottlenecks, Candidate, Constraints, CostModel, RankedKernel, SearchResult,
+};
+pub use chaos::{
+    clean_baseline, mpe_bound, run_chaos_case, ChaosBaseline, ChaosCaseResult, ChaosReport,
 };
 pub use doctor::{
     validate_against, validate_at_scales, validate_model, DoctorReport, DoctorThresholds,

@@ -19,7 +19,15 @@ pub enum AggregationStat {
     Mean,
     Minimum,
     Maximum,
+    /// Mean after clamping the lowest and highest [`WINSOR_TRIM`] fraction
+    /// of repetitions to the surviving extremes: robust to straggler ranks
+    /// and other outliers that survive repair, while using more of the data
+    /// than the median when repetitions are few.
+    WinsorizedMean,
 }
+
+/// The tail fraction clamped on each side by [`AggregationStat::WinsorizedMean`].
+pub const WINSOR_TRIM: f64 = 0.25;
 
 /// One measurement point: a coordinate plus the observed metric values of all
 /// repetitions at that coordinate.
@@ -64,12 +72,17 @@ impl Measurement {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
+    pub fn winsorized_mean(&self) -> f64 {
+        winsorized_mean(&self.values, WINSOR_TRIM)
+    }
+
     pub fn statistic(&self, stat: AggregationStat) -> f64 {
         match stat {
             AggregationStat::Median => self.median(),
             AggregationStat::Mean => self.mean(),
             AggregationStat::Minimum => self.minimum(),
             AggregationStat::Maximum => self.maximum(),
+            AggregationStat::WinsorizedMean => self.winsorized_mean(),
         }
     }
 
@@ -103,18 +116,39 @@ impl Measurement {
 }
 
 /// Median of a slice (interpolated for even lengths). NaN for empty input.
+///
+/// Non-finite values (NaN, ±∞) are ignored: a corrupted repetition must not
+/// poison — let alone panic — the statistic the whole pipeline rests on.
+/// When *no* finite value remains the result is NaN, which the modeler's
+/// input validation converts into a typed [`crate::ModelingError`].
 pub fn median(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]
     } else {
         0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
     }
+}
+
+/// Winsorized mean: values below the `trim` quantile (or above `1 - trim`)
+/// are clamped to the surviving extremes before averaging. Non-finite values
+/// are ignored; NaN for empty input. `trim` is clamped to `[0, 0.5)`.
+pub fn winsorized_mean(values: &[f64], trim: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let k = ((n as f64) * trim.clamp(0.0, 0.4999)).floor() as usize;
+    let lo = sorted[k];
+    let hi = sorted[n - 1 - k];
+    sorted.iter().map(|v| v.clamp(lo, hi)).sum::<f64>() / n as f64
 }
 
 /// The data a modeler consumes: named parameters and a list of measurement
@@ -191,6 +225,37 @@ mod tests {
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[7.0]), 7.0);
         assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn median_ignores_non_finite_values() {
+        assert_eq!(median(&[f64::NAN, 3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[f64::INFINITY, 5.0]), 5.0);
+        assert!(median(&[f64::NAN, f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn winsorized_mean_tames_outliers() {
+        // 25% trim on 8 values clamps the 2 extremes (k = 2).
+        let vals = [1.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 1000.0];
+        let w = winsorized_mean(&vals, 0.25);
+        assert_eq!(w, 10.0);
+        // Plain mean is dragged far away by the straggler.
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(mean > 100.0);
+        // Degenerate cases.
+        assert_eq!(winsorized_mean(&[7.0], 0.25), 7.0);
+        assert!(winsorized_mean(&[], 0.25).is_nan());
+        assert_eq!(winsorized_mean(&[f64::NAN, 4.0, 6.0], 0.0), 5.0);
+    }
+
+    #[test]
+    fn winsorized_stat_dispatch() {
+        let m = Measurement::new(vec![1.0], vec![10.0, 11.0, 12.0, 500.0]);
+        let w = m.statistic(AggregationStat::WinsorizedMean);
+        // n = 4, k = floor(4 · 0.25) = 1: both extremes clamp to [11, 12].
+        assert_eq!(w, (11.0 + 11.0 + 12.0 + 12.0) / 4.0);
+        assert!(w < m.mean());
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! Deterministic fault injection for profiles.
+//!
+//! Real profiling campaigns lose data: a rank's Nsight export is truncated
+//! by a wall-clock limit, NVTX marks are dropped under buffer pressure,
+//! node clocks drift, a straggling node inflates every duration, and files
+//! are corrupted in flight. The modeling pipeline must degrade gracefully
+//! under all of it, so this module can produce exactly those degradations —
+//! seeded and reproducible — from a clean simulated experiment.
+//!
+//! A [`FaultPlan`] is applied *after* simulation, mutating the emitted
+//! [`ExperimentProfiles`] (structural faults) and, separately, the
+//! serialized JSON (byte-level corruption). Every mutation is drawn from a
+//! [`Rng`] stream keyed by the plan seed and the profile's position, so the
+//! same plan corrupts the same experiment identically on every run.
+
+use crate::noise::Rng;
+use extradeep_trace::{EpochMark, ExperimentProfiles, RankProfile, StepMark};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A seeded, deterministic description of which faults to inject.
+///
+/// All `*_prob` fields are probabilities in `[0, 1]`; a zeroed plan is a
+/// no-op. Parse one from a CLI spec string with [`FaultPlan::parse`]:
+///
+/// ```
+/// use extradeep_sim::FaultPlan;
+/// let plan = FaultPlan::parse("seed=7,drop-rank=0.25,clock-skew-ns=5000").unwrap();
+/// assert_eq!(plan.seed, 7);
+/// assert!((plan.drop_rank_prob - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Base seed of every fault stream.
+    pub seed: u64,
+    /// Probability that a rank's profile is lost entirely.
+    pub drop_rank_prob: f64,
+    /// Probability that a rank's profile is truncated (a tail of its events
+    /// and marks is cut, as a killed profiler would leave it).
+    pub truncate_rank_prob: f64,
+    /// Probability that a rank loses *all* its epoch marks.
+    pub drop_epoch_marks_prob: f64,
+    /// Per-mark probability that a step mark is dropped.
+    pub drop_step_mark_prob: f64,
+    /// Per-mark probability that a step mark is duplicated (flushed twice).
+    pub duplicate_step_mark_prob: f64,
+    /// Maximum per-rank clock skew in nanoseconds; each rank is shifted by
+    /// a uniform offset in `[0, max]`.
+    pub clock_skew_max_ns: u64,
+    /// Probability that a rank is a straggler (all durations inflated).
+    pub straggler_prob: f64,
+    /// Duration inflation factor for straggler ranks.
+    pub straggler_factor: f64,
+    /// Per-event probability that a duration is zeroed (a unit bug or a
+    /// counter that wrapped negative and was clamped by the exporter).
+    pub zero_duration_prob: f64,
+    /// Probability that a rank's step marks are shuffled out of order.
+    pub shuffle_steps_prob: f64,
+    /// Number of bytes to corrupt in the serialized JSON (0 = none).
+    pub corrupt_json_bytes: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA_17,
+            drop_rank_prob: 0.0,
+            truncate_rank_prob: 0.0,
+            drop_epoch_marks_prob: 0.0,
+            drop_step_mark_prob: 0.0,
+            duplicate_step_mark_prob: 0.0,
+            clock_skew_max_ns: 0,
+            straggler_prob: 0.0,
+            straggler_factor: 3.0,
+            zero_duration_prob: 0.0,
+            shuffle_steps_prob: 0.0,
+            corrupt_json_bytes: 0,
+        }
+    }
+}
+
+/// A parse failure of a fault-plan spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// What a plan actually did to one experiment, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultSummary {
+    pub ranks_dropped: u32,
+    pub ranks_truncated: u32,
+    pub ranks_skewed: u32,
+    pub stragglers: u32,
+    pub ranks_shuffled: u32,
+    pub epoch_marks_dropped: u32,
+    pub step_marks_dropped: u32,
+    pub step_marks_duplicated: u32,
+    pub durations_zeroed: u32,
+    pub json_bytes_corrupted: u32,
+}
+
+impl FaultSummary {
+    /// Total number of injected faults.
+    pub fn total(&self) -> u64 {
+        self.ranks_dropped as u64
+            + self.ranks_truncated as u64
+            + self.ranks_skewed as u64
+            + self.stragglers as u64
+            + self.ranks_shuffled as u64
+            + self.epoch_marks_dropped as u64
+            + self.step_marks_dropped as u64
+            + self.step_marks_duplicated as u64
+            + self.durations_zeroed as u64
+            + self.json_bytes_corrupted as u64
+    }
+}
+
+impl fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults (ranks: {} dropped, {} truncated, {} skewed, {} stragglers, \
+             {} shuffled; marks: {} epoch dropped, {} step dropped, {} duplicated; \
+             {} durations zeroed; {} JSON bytes corrupted)",
+            self.total(),
+            self.ranks_dropped,
+            self.ranks_truncated,
+            self.ranks_skewed,
+            self.stragglers,
+            self.ranks_shuffled,
+            self.epoch_marks_dropped,
+            self.step_marks_dropped,
+            self.step_marks_duplicated,
+            self.durations_zeroed,
+            self.json_bytes_corrupted
+        )
+    }
+}
+
+fn parse_prob(key: &str, value: &str) -> Result<f64, FaultSpecError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| FaultSpecError(format!("'{key}' needs a number, got '{value}'")))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(FaultSpecError(format!(
+            "'{key}' must be a probability in [0, 1], got {v}"
+        )));
+    }
+    Ok(v)
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated `key=value` spec, e.g.
+    /// `seed=7,drop-rank=0.2,truncate=0.3,zero-dur=0.05,corrupt-json=16`.
+    ///
+    /// Recognized keys: `seed`, `drop-rank`, `truncate`, `drop-epoch-marks`,
+    /// `drop-step-mark`, `dup-step-mark`, `clock-skew-ns`, `straggler`,
+    /// `straggler-factor`, `zero-dur`, `shuffle-steps`, `corrupt-json`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError(format!("'{part}' is not key=value")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("invalid seed '{value}'")))?;
+                }
+                "drop-rank" => plan.drop_rank_prob = parse_prob(key, value)?,
+                "truncate" => plan.truncate_rank_prob = parse_prob(key, value)?,
+                "drop-epoch-marks" => plan.drop_epoch_marks_prob = parse_prob(key, value)?,
+                "drop-step-mark" => plan.drop_step_mark_prob = parse_prob(key, value)?,
+                "dup-step-mark" => plan.duplicate_step_mark_prob = parse_prob(key, value)?,
+                "clock-skew-ns" => {
+                    plan.clock_skew_max_ns = value
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("invalid clock-skew-ns '{value}'")))?;
+                }
+                "straggler" => plan.straggler_prob = parse_prob(key, value)?,
+                "straggler-factor" => {
+                    let v: f64 = value.parse().map_err(|_| {
+                        FaultSpecError(format!("invalid straggler-factor '{value}'"))
+                    })?;
+                    if v < 1.0 {
+                        return Err(FaultSpecError(format!(
+                            "straggler-factor must be >= 1, got {v}"
+                        )));
+                    }
+                    plan.straggler_factor = v;
+                }
+                "zero-dur" => plan.zero_duration_prob = parse_prob(key, value)?,
+                "shuffle-steps" => plan.shuffle_steps_prob = parse_prob(key, value)?,
+                "corrupt-json" => {
+                    plan.corrupt_json_bytes = value
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("invalid corrupt-json '{value}'")))?;
+                }
+                other => return Err(FaultSpecError(format!("unknown fault key '{other}'"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when applying this plan cannot change anything.
+    pub fn is_noop(&self) -> bool {
+        self.drop_rank_prob == 0.0
+            && self.truncate_rank_prob == 0.0
+            && self.drop_epoch_marks_prob == 0.0
+            && self.drop_step_mark_prob == 0.0
+            && self.duplicate_step_mark_prob == 0.0
+            && self.clock_skew_max_ns == 0
+            && self.straggler_prob == 0.0
+            && self.zero_duration_prob == 0.0
+            && self.shuffle_steps_prob == 0.0
+            && self.corrupt_json_bytes == 0
+    }
+
+    /// A moderately hostile plan fuzzed from a seed: every fault class gets
+    /// a chance to appear, with intensities drawn from the seed, bounded so
+    /// that *some* data always survives. The chaos harness sweeps this over
+    /// a seed matrix.
+    pub fn fuzz(seed: u64) -> FaultPlan {
+        let mut rng = Rng::stream(seed, &[0xF0_22]);
+        let pick = |rng: &mut Rng, max: f64| -> f64 {
+            // Half the draws disable the class entirely so plans differ in
+            // *which* faults they combine, not only in intensity.
+            if rng.next_f64() < 0.5 {
+                0.0
+            } else {
+                rng.next_f64() * max
+            }
+        };
+        FaultPlan {
+            seed,
+            drop_rank_prob: pick(&mut rng, 0.35),
+            truncate_rank_prob: pick(&mut rng, 0.35),
+            drop_epoch_marks_prob: pick(&mut rng, 0.5),
+            drop_step_mark_prob: pick(&mut rng, 0.15),
+            duplicate_step_mark_prob: pick(&mut rng, 0.2),
+            clock_skew_max_ns: if rng.next_f64() < 0.5 {
+                0
+            } else {
+                (rng.next_f64() * 1e7) as u64
+            },
+            straggler_prob: pick(&mut rng, 0.2),
+            // Fuzzed stragglers start at 2× so they clear the repair
+            // module's cross-rank detection ratio with margin; milder
+            // slowdowns blend into noise and are a different regime.
+            straggler_factor: 2.0 + rng.next_f64() * 2.5,
+            zero_duration_prob: pick(&mut rng, 0.05),
+            shuffle_steps_prob: pick(&mut rng, 0.5),
+            corrupt_json_bytes: if rng.next_f64() < 0.3 {
+                1 + (rng.next_f64() * 32.0) as u32
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Applies the structural faults to an experiment in place.
+    ///
+    /// Each configuration keeps at least one rank (a campaign that lost
+    /// *every* rank of *every* scale has nothing left to repair — the
+    /// interesting regime is partial loss). Determinism: streams are keyed
+    /// by `(profile index, rank id)`, not collection order.
+    pub fn apply(&self, experiment: &mut ExperimentProfiles) -> FaultSummary {
+        let _span = extradeep_obs::span("sim.inject_faults");
+        let mut summary = FaultSummary::default();
+        for (pi, profile) in experiment.profiles.iter_mut().enumerate() {
+            // Rank drops first, against the original rank list. The last
+            // remaining rank is never dropped: total loss of a configuration
+            // leaves nothing to repair, and the interesting regime for the
+            // downstream pipeline is partial loss.
+            let total = profile.ranks.len();
+            let mut keep: Vec<RankProfile> = Vec::with_capacity(total);
+            for (i, rank) in profile.ranks.drain(..).enumerate() {
+                let mut rng = Rng::stream(self.seed, &[pi as u64, rank.rank as u64, 0xD0]);
+                let must_keep = keep.is_empty() && i == total - 1;
+                if !must_keep && self.drop_rank_prob > 0.0 && rng.next_f64() < self.drop_rank_prob {
+                    summary.ranks_dropped += 1;
+                    continue;
+                }
+                keep.push(rank);
+            }
+            for rank in &mut keep {
+                let mut rng = Rng::stream(self.seed, &[pi as u64, rank.rank as u64, 0xFA]);
+                self.fault_rank(rank, &mut rng, &mut summary);
+            }
+            profile.ranks = keep;
+        }
+        extradeep_obs::counter("faults.injected").add(summary.total());
+        summary
+    }
+
+    fn fault_rank(&self, rank: &mut RankProfile, rng: &mut Rng, summary: &mut FaultSummary) {
+        // Truncation: keep a prefix of events and of marks, as a profiler
+        // killed mid-run would.
+        if self.truncate_rank_prob > 0.0 && rng.next_f64() < self.truncate_rank_prob {
+            let frac = 0.2 + 0.6 * rng.next_f64();
+            let cut_events = ((rank.events.len() as f64) * frac) as usize;
+            let cut_steps = ((rank.step_marks.len() as f64) * frac) as usize;
+            rank.events.truncate(cut_events);
+            rank.step_marks.truncate(cut_steps);
+            // A truncated export usually loses the trailing epoch mark too.
+            if !rank.epoch_marks.is_empty() {
+                let keep = rank.epoch_marks.len() - 1;
+                rank.epoch_marks.truncate(keep);
+            }
+            summary.ranks_truncated += 1;
+        }
+
+        if self.drop_epoch_marks_prob > 0.0 && rng.next_f64() < self.drop_epoch_marks_prob {
+            summary.epoch_marks_dropped += rank.epoch_marks.len() as u32;
+            rank.epoch_marks.clear();
+        }
+
+        if self.drop_step_mark_prob > 0.0 {
+            let before = rank.step_marks.len();
+            rank.step_marks
+                .retain(|_| rng.next_f64() >= self.drop_step_mark_prob);
+            summary.step_marks_dropped += (before - rank.step_marks.len()) as u32;
+        }
+
+        if self.duplicate_step_mark_prob > 0.0 {
+            let mut duplicated: Vec<StepMark> = Vec::new();
+            for &m in rank.step_marks.iter() {
+                if rng.next_f64() < self.duplicate_step_mark_prob {
+                    duplicated.push(m);
+                }
+            }
+            summary.step_marks_duplicated += duplicated.len() as u32;
+            rank.step_marks.extend(duplicated);
+        }
+
+        if self.shuffle_steps_prob > 0.0
+            && rank.step_marks.len() > 1
+            && rng.next_f64() < self.shuffle_steps_prob
+        {
+            // Fisher-Yates on the mark order (timestamps untouched).
+            for i in (1..rank.step_marks.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                rank.step_marks.swap(i, j);
+            }
+            summary.ranks_shuffled += 1;
+        }
+
+        if self.clock_skew_max_ns > 0 {
+            let skew = rng.next_u64() % (self.clock_skew_max_ns + 1);
+            if skew > 0 {
+                shift_rank(rank, skew);
+                summary.ranks_skewed += 1;
+            }
+        }
+
+        if self.straggler_prob > 0.0 && rng.next_f64() < self.straggler_prob {
+            let f = self.straggler_factor.max(1.0);
+            for e in &mut rank.events {
+                e.duration_ns = ((e.duration_ns as f64) * f) as u64;
+            }
+            for m in &mut rank.step_marks {
+                m.end_ns = m.start_ns + (((m.end_ns - m.start_ns) as f64) * f) as u64;
+            }
+            for m in &mut rank.epoch_marks {
+                m.end_ns = m.start_ns + (((m.end_ns - m.start_ns) as f64) * f) as u64;
+            }
+            summary.stragglers += 1;
+        }
+
+        if self.zero_duration_prob > 0.0 {
+            for e in &mut rank.events {
+                if e.duration_ns > 0 && rng.next_f64() < self.zero_duration_prob {
+                    e.duration_ns = 0;
+                    summary.durations_zeroed += 1;
+                }
+            }
+        }
+    }
+
+    /// Corrupts up to `corrupt_json_bytes` bytes of a serialized profile
+    /// in place (each replaced by `#`), returning how many were corrupted.
+    /// A `#` outside a string literal breaks the JSON grammar; one inside a
+    /// string merely mangles the value — both are realistic, and consumers
+    /// must handle "unreadable" and "readable but wrong" alike.
+    pub fn corrupt_json(&self, json: &mut String) -> u32 {
+        if self.corrupt_json_bytes == 0 || json.is_empty() {
+            return 0;
+        }
+        let mut rng = Rng::stream(self.seed, &[0x1A50_4A50]);
+        // SAFETY-free approach: operate on a byte vector and rebuild the
+        // string lossily; '#' is ASCII, so replacing any byte of a UTF-8
+        // stream with it can only invalidate the sequence it was part of,
+        // which from_utf8_lossy handles.
+        let mut bytes = std::mem::take(json).into_bytes();
+        let n = self.corrupt_json_bytes.min(bytes.len() as u32);
+        for _ in 0..n {
+            let pos = (rng.next_u64() % bytes.len() as u64) as usize;
+            bytes[pos] = b'#';
+        }
+        *json = String::from_utf8_lossy(&bytes).into_owned();
+        n
+    }
+}
+
+/// Shifts every timestamp of a rank forward by `skew` nanoseconds.
+fn shift_rank(rank: &mut RankProfile, skew: u64) {
+    for e in &mut rank.events {
+        e.start_ns = e.start_ns.saturating_add(skew);
+    }
+    for m in &mut rank.step_marks {
+        m.start_ns = m.start_ns.saturating_add(skew);
+        m.end_ns = m.end_ns.saturating_add(skew);
+    }
+    for m in &mut rank.epoch_marks {
+        m.start_ns = m.start_ns.saturating_add(skew);
+        m.end_ns = m.end_ns.saturating_add(skew);
+    }
+}
+
+/// Reconstructs an [`EpochMark`] span from step marks (exposed for tests
+/// that want the same span arithmetic the repair stage uses).
+pub fn epoch_span_of_steps(steps: &[StepMark], epoch: u32) -> Option<EpochMark> {
+    let mine: Vec<&StepMark> = steps.iter().filter(|s| s.epoch == epoch).collect();
+    let start = mine.iter().map(|s| s.start_ns).min()?;
+    let end = mine.iter().map(|s| s.end_ns).max()?;
+    Some(EpochMark::new(epoch, start, end.max(start)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentSpec;
+
+    fn experiment() -> ExperimentProfiles {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6]);
+        spec.repetitions = 1;
+        spec.profiler.max_recorded_ranks = 4;
+        spec.run()
+    }
+
+    #[test]
+    fn parse_roundtrip_of_all_keys() {
+        let plan = FaultPlan::parse(
+            "seed=9,drop-rank=0.1,truncate=0.2,drop-epoch-marks=0.3,drop-step-mark=0.05,\
+             dup-step-mark=0.04,clock-skew-ns=1000,straggler=0.1,straggler-factor=2.5,\
+             zero-dur=0.01,shuffle-steps=0.2,corrupt-json=8",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.clock_skew_max_ns, 1000);
+        assert_eq!(plan.corrupt_json_bytes, 8);
+        assert!((plan.straggler_factor - 2.5).abs() < 1e-12);
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("drop-rank").is_err());
+        assert!(FaultPlan::parse("drop-rank=2.0").is_err());
+        assert!(FaultPlan::parse("warp-drive=0.5").is_err());
+        assert!(FaultPlan::parse("straggler-factor=0.5").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_noop());
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let plan = FaultPlan::fuzz(42);
+        let mut a = experiment();
+        let mut b = experiment();
+        let sa = plan.apply(&mut a);
+        let sb = plan.apply(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn dropping_every_rank_keeps_one_survivor() {
+        let plan = FaultPlan {
+            drop_rank_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut exp = experiment();
+        plan.apply(&mut exp);
+        for p in &exp.profiles {
+            assert_eq!(p.ranks.len(), 1, "one rank must survive per config");
+        }
+    }
+
+    #[test]
+    fn clock_skew_shifts_whole_rank() {
+        let plan = FaultPlan {
+            clock_skew_max_ns: 1_000_000,
+            ..FaultPlan::default()
+        };
+        let mut exp = experiment();
+        let before = exp.clone();
+        let summary = plan.apply(&mut exp);
+        assert!(summary.ranks_skewed > 0);
+        // Shifts change start times but never durations.
+        for (pa, pb) in exp.profiles.iter().zip(&before.profiles) {
+            for (ra, rb) in pa.ranks.iter().zip(&pb.ranks) {
+                for (ea, eb) in ra.events.iter().zip(&rb.events) {
+                    assert_eq!(ea.duration_ns, eb.duration_ns);
+                    assert!(ea.start_ns >= eb.start_ns);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zeroed_durations_are_counted() {
+        let plan = FaultPlan {
+            zero_duration_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut exp = experiment();
+        let summary = plan.apply(&mut exp);
+        assert!(summary.durations_zeroed > 0);
+        assert!(exp
+            .profiles
+            .iter()
+            .flat_map(|p| &p.ranks)
+            .flat_map(|r| &r.events)
+            .all(|e| e.duration_ns == 0));
+    }
+
+    #[test]
+    fn json_corruption_is_never_lossless() {
+        let plan = FaultPlan {
+            corrupt_json_bytes: 16,
+            ..FaultPlan::default()
+        };
+        let exp = experiment();
+        let mut json = extradeep_trace::json::to_json(&exp).unwrap();
+        let n = plan.corrupt_json(&mut json);
+        assert_eq!(n, 16);
+        // A corrupted byte inside a string literal leaves the document
+        // parseable (with a mangled value); outside one it breaks the
+        // grammar. Either way the original must not survive intact.
+        match extradeep_trace::json::from_json(&json) {
+            Err(_) => {}
+            Ok(parsed) => assert_ne!(parsed, exp, "corruption must not be lossless"),
+        }
+    }
+
+    #[test]
+    fn fuzzed_plans_differ_by_seed_but_not_by_call() {
+        assert_eq!(FaultPlan::fuzz(1), FaultPlan::fuzz(1));
+        assert_ne!(FaultPlan::fuzz(1), FaultPlan::fuzz(2));
+    }
+
+    #[test]
+    fn epoch_span_reconstruction() {
+        use extradeep_trace::StepPhase;
+        let steps = vec![
+            StepMark::new(1, 0, StepPhase::Training, 100, 200),
+            StepMark::new(1, 1, StepPhase::Training, 250, 300),
+            StepMark::new(2, 0, StepPhase::Training, 400, 500),
+        ];
+        let span = epoch_span_of_steps(&steps, 1).unwrap();
+        assert_eq!((span.start_ns, span.end_ns), (100, 300));
+        assert!(epoch_span_of_steps(&steps, 7).is_none());
+    }
+}

@@ -25,6 +25,7 @@
 pub mod dataset;
 pub mod dnn;
 pub mod engine;
+pub mod faults;
 pub mod gpu;
 pub mod kernels;
 pub mod network;
@@ -38,6 +39,7 @@ pub mod workload;
 pub use dataset::{DatasetSpec, ScalingMode};
 pub use dnn::{Architecture, Layer, Shape};
 pub use engine::{JobPlans, PlannedKernel, StepPlan, TrainingJob};
+pub use faults::{FaultPlan, FaultSpecError, FaultSummary};
 pub use network::{collective_cost, Collective, CollectiveCost};
 pub use noise::{NoiseProfile, Rng};
 pub use profiler::{profile_job, ProfilerOptions, SamplingStrategy, PROFILING_OVERHEAD_FRACTION};

@@ -4,6 +4,7 @@
 //! enclosing slices — a practical way to eyeball a simulated or imported
 //! profile on a timeline.
 
+use crate::json::TraceIoError;
 use crate::profile::ConfigProfile;
 use serde::Serialize;
 
@@ -24,7 +25,7 @@ struct ChromeEvent<'a> {
 /// Layout: one process per MPI rank (`pid` = rank); `tid` 0 carries the
 /// epoch/step slices, `tid` 1 the kernel events. Timestamps are converted
 /// from nanoseconds to microseconds.
-pub fn to_chrome_trace(profile: &ConfigProfile) -> String {
+pub fn to_chrome_trace(profile: &ConfigProfile) -> Result<String, TraceIoError> {
     let mut events: Vec<ChromeEvent> = Vec::new();
     let mut step_names: Vec<String> = Vec::new();
     // Pre-render step names (borrowed by the serializer below).
@@ -70,7 +71,10 @@ pub fn to_chrome_trace(profile: &ConfigProfile) -> String {
             });
         }
     }
-    serde_json::to_string(&events).expect("chrome trace serialization is infallible")
+    // Serialization of these plain structs should not fail, but a panic
+    // deep in an export path is never the right failure mode — surface the
+    // typed error instead (non-finite floats are the one realistic cause).
+    Ok(serde_json::to_string(&events)?)
 }
 
 #[cfg(test)]
@@ -103,7 +107,7 @@ mod tests {
 
     #[test]
     fn emits_valid_json_array() {
-        let json = to_chrome_trace(&profile());
+        let json = to_chrome_trace(&profile()).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         let arr = parsed.as_array().unwrap();
         // 1 epoch + 1 step + 1 kernel.
@@ -113,7 +117,7 @@ mod tests {
 
     #[test]
     fn timestamps_are_microseconds() {
-        let json = to_chrome_trace(&profile());
+        let json = to_chrome_trace(&profile()).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         let kernel = parsed
             .as_array()
@@ -127,7 +131,7 @@ mod tests {
 
     #[test]
     fn marks_live_on_track_zero() {
-        let json = to_chrome_trace(&profile());
+        let json = to_chrome_trace(&profile()).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         let step = parsed
             .as_array()

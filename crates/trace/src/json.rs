@@ -8,7 +8,7 @@ use crate::profile::{ConfigProfile, ExperimentProfiles};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Current on-disk format version.
 pub const FORMAT_VERSION: u32 = 1;
@@ -24,7 +24,38 @@ struct VersionedExperiment {
 pub enum TraceIoError {
     Io(io::Error),
     Format(serde_json::Error),
-    UnsupportedVersion { found: u32, supported: u32 },
+    UnsupportedVersion {
+        found: u32,
+        supported: u32,
+    },
+    /// Any of the above, annotated with the file it occurred in — so an
+    /// error propagated out of a multi-file load still names the offender.
+    File {
+        path: PathBuf,
+        source: Box<TraceIoError>,
+    },
+}
+
+impl TraceIoError {
+    /// Wraps an error with the path of the file it came from (idempotent:
+    /// an error already carrying a path is returned unchanged).
+    pub fn in_file(self, path: impl Into<PathBuf>) -> TraceIoError {
+        match self {
+            TraceIoError::File { .. } => self,
+            other => TraceIoError::File {
+                path: path.into(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The file the error occurred in, when known.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            TraceIoError::File { path, .. } => Some(path),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -36,11 +67,21 @@ impl std::fmt::Display for TraceIoError {
                 f,
                 "unsupported trace format version {found} (supported: {supported})"
             ),
+            TraceIoError::File { path, source } => {
+                write!(f, "{} (file: {})", source, path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for TraceIoError {}
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::File { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for TraceIoError {
     fn from(e: io::Error) -> Self {
@@ -77,17 +118,22 @@ pub fn from_json(json: &str) -> Result<ExperimentProfiles, TraceIoError> {
     Ok(versioned.experiment)
 }
 
-/// Writes an experiment to a file.
+/// Writes an experiment to a file. Errors name the file.
 pub fn save(experiment: &ExperimentProfiles, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
     let _span = extradeep_obs::span("trace.save");
-    fs::write(path, to_json(experiment)?)?;
+    let path = path.as_ref();
+    fs::write(path, to_json(experiment).map_err(|e| e.in_file(path))?)
+        .map_err(|e| TraceIoError::from(e).in_file(path))?;
     Ok(())
 }
 
-/// Reads an experiment from a file.
+/// Reads an experiment from a file. Errors — unreadable file, malformed
+/// JSON, unsupported version — name the file.
 pub fn load(path: impl AsRef<Path>) -> Result<ExperimentProfiles, TraceIoError> {
     let _span = extradeep_obs::span("trace.load");
-    from_json(&fs::read_to_string(path)?)
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|e| TraceIoError::from(e).in_file(path))?;
+    from_json(&text).map_err(|e| e.in_file(path))
 }
 
 /// Serializes one configuration profile (for per-config export).
@@ -175,6 +221,43 @@ mod tests {
             from_json("{not json"),
             Err(TraceIoError::Format(_))
         ));
+    }
+
+    #[test]
+    fn load_error_names_the_file() {
+        let err = load("/nonexistent/extradeep-no-such-trace.json").unwrap_err();
+        assert_eq!(
+            err.path().unwrap(),
+            Path::new("/nonexistent/extradeep-no-such-trace.json")
+        );
+        assert!(err.to_string().contains("extradeep-no-such-trace.json"));
+        assert!(matches!(
+            err,
+            TraceIoError::File { ref source, .. } if matches!(**source, TraceIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_file_error_names_the_file() {
+        let dir = std::env::temp_dir().join("extradeep-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{definitely not a trace").unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.path().unwrap(), path.as_path());
+        assert!(matches!(
+            err,
+            TraceIoError::File { ref source, .. } if matches!(**source, TraceIoError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn in_file_is_idempotent() {
+        let err = TraceIoError::from(io::Error::other("boom"))
+            .in_file("a.json")
+            .in_file("b.json");
+        assert_eq!(err.path().unwrap(), Path::new("a.json"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod import;
 pub mod json;
 pub mod marks;
 pub mod profile;
+pub mod repair;
 pub mod summary;
 pub mod validate;
 
@@ -45,5 +46,9 @@ pub use event::{Event, MetricKind};
 pub use import::{export_csv, import_csv, ImportError};
 pub use marks::{EpochMark, StepMark, StepPhase};
 pub use profile::{ConfigProfile, ExperimentProfiles, RankProfile};
+pub use repair::{
+    repair_config, repair_experiment, QuarantineReason, RankRepair, RepairAction, RepairCounts,
+    RepairReport,
+};
 pub use summary::{kernel_summary, render_summary, KernelSummary};
 pub use validate::{validate_config, validate_rank, TraceIssue};

@@ -50,8 +50,12 @@ impl StepMark {
         }
     }
 
+    /// Saturating: deserialized marks can be inverted (serde bypasses the
+    /// constructor assertion), and an underflow panic here would take down
+    /// the whole pipeline on one bad mark. Validation/repair flag and fix
+    /// inverted marks; until then they read as zero-length.
     pub fn duration_ns(&self) -> u64 {
-        self.end_ns - self.start_ns
+        self.end_ns.saturating_sub(self.start_ns)
     }
 
     pub fn contains(&self, t_ns: u64) -> bool {
@@ -77,8 +81,9 @@ impl EpochMark {
         }
     }
 
+    /// Saturating, for the same reason as [`StepMark::duration_ns`].
     pub fn duration_ns(&self) -> u64 {
-        self.end_ns - self.start_ns
+        self.end_ns.saturating_sub(self.start_ns)
     }
 }
 

@@ -1,0 +1,919 @@
+//! Trace repair: salvage what validation flagged.
+//!
+//! [`crate::validate`] only *reports* problems; this module consumes a
+//! profile with those problems and produces the best usable trace it can,
+//! recording every intervention in a [`RepairReport`]. The philosophy is
+//! the one the paper's workflow needs: Extra-Deep models from a *handful*
+//! of small-scale profiles, so throwing away a whole measurement
+//! configuration because one rank was truncated wastes data the model
+//! cannot afford to lose — but silently fitting garbage is worse. Repair
+//! therefore fixes what is mechanically fixable (mark order, step
+//! numbering, missing epoch spans), quarantines what is not (ranks with no
+//! events, ranks that lost all marks while their siblings kept them), and
+//! reports everything.
+//!
+//! ```
+//! use extradeep_trace::{repair_config, ConfigProfile, MeasurementConfig, TrainingMeta};
+//! # let meta = TrainingMeta { batch_size: 1, train_samples: 1, val_samples: 0,
+//! #     data_parallel: 1, model_parallel: 1, cores_per_rank: 1 };
+//! let mut profile = ConfigProfile::new(MeasurementConfig::ranks(2), 0, meta);
+//! let report = repair_config(&mut profile);
+//! assert!(report.counts.marks_reconstructed == 0);
+//! ```
+
+use crate::marks::{EpochMark, StepMark, StepPhase};
+use crate::profile::{ConfigProfile, ExperimentProfiles, RankProfile};
+use crate::validate::validate_config;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Ratio over the fastest sibling's median training-step duration beyond
+/// which a rank is quarantined as a straggler. A slow node inflates every
+/// duration it reports by the same factor — invisible within the rank,
+/// obvious against its siblings, and poison for the rank median when few
+/// ranks are recorded.
+pub const STRAGGLER_RATIO: f64 = 1.5;
+
+/// One intervention performed on one rank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairAction {
+    /// Swapped `start_ns`/`end_ns` of inverted step marks.
+    FixedInvertedStepMarks { count: u32 },
+    /// Swapped `start_ns`/`end_ns` of inverted epoch marks.
+    FixedInvertedEpochMarks { count: u32 },
+    /// Removed step marks that duplicated an `(epoch, step, phase)` key.
+    RemovedDuplicateSteps { count: u32 },
+    /// Re-sorted step marks into start-time order.
+    ReorderedSteps,
+    /// Renumbered step indices sequentially within each epoch/phase.
+    RenumberedSteps { count: u32 },
+    /// Rebuilt epoch marks from the extent of their step marks.
+    ReconstructedEpochMarks { count: u32 },
+    /// Synthesized training step marks over step-sized intra-epoch gaps
+    /// left by dropped marks, re-attributing the orphaned events.
+    ReconstructedStepMarks { count: u32 },
+    /// Replaced zero-duration events with the rank's median duration for
+    /// the same kernel (1 ns when the kernel has no nonzero sample).
+    ClampedZeroDurations { count: u32 },
+    /// The rank was removed from the configuration.
+    Quarantined { reason: QuarantineReason },
+}
+
+/// Why a rank was quarantined rather than repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// No events: nothing to aggregate.
+    NoEvents,
+    /// No step or epoch marks while sibling ranks carry marks: its events
+    /// cannot be attributed to steps and would skew the rank median.
+    NoMarks,
+    /// Median step duration more than [`STRAGGLER_RATIO`] above the fastest
+    /// sibling's: a slow node inflated everything this rank reports.
+    Straggler,
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::NoEvents => write!(f, "no events"),
+            QuarantineReason::NoMarks => write!(f, "no marks while siblings have them"),
+            QuarantineReason::Straggler => {
+                write!(f, "straggler: durations inflated relative to siblings")
+            }
+        }
+    }
+}
+
+impl fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairAction::FixedInvertedStepMarks { count } => {
+                write!(f, "fixed {count} inverted step mark(s)")
+            }
+            RepairAction::FixedInvertedEpochMarks { count } => {
+                write!(f, "fixed {count} inverted epoch mark(s)")
+            }
+            RepairAction::RemovedDuplicateSteps { count } => {
+                write!(f, "removed {count} duplicate step mark(s)")
+            }
+            RepairAction::ReorderedSteps => write!(f, "reordered step marks"),
+            RepairAction::RenumberedSteps { count } => {
+                write!(f, "renumbered {count} step mark(s)")
+            }
+            RepairAction::ReconstructedEpochMarks { count } => {
+                write!(f, "reconstructed {count} epoch mark(s) from step marks")
+            }
+            RepairAction::ReconstructedStepMarks { count } => {
+                write!(
+                    f,
+                    "reconstructed {count} step mark(s) over dropped-mark gaps"
+                )
+            }
+            RepairAction::ClampedZeroDurations { count } => {
+                write!(f, "clamped {count} zero-duration event(s)")
+            }
+            RepairAction::Quarantined { reason } => write!(f, "quarantined: {reason}"),
+        }
+    }
+}
+
+/// Everything repair did to one rank of one configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankRepair {
+    /// Stable configuration id (`app.x4`) plus repetition index.
+    pub config: String,
+    pub repetition: u32,
+    pub rank: u32,
+    pub actions: Vec<RepairAction>,
+}
+
+/// Aggregate counters over a whole repair pass — mirrored into `obs`
+/// counters (`repair.ranks_quarantined`, `repair.marks_reconstructed`) so
+/// degradation is visible without parsing the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RepairCounts {
+    /// Validation issues found before repair ran.
+    pub issues_found: u32,
+    pub ranks_quarantined: u32,
+    /// Of the quarantined ranks, how many were stragglers.
+    pub stragglers_quarantined: u32,
+    /// Configurations dropped because *no* rank survived quarantine.
+    pub configs_dropped: u32,
+    pub marks_reconstructed: u32,
+    pub inverted_marks_fixed: u32,
+    pub duplicate_steps_removed: u32,
+    pub ranks_reordered: u32,
+    pub steps_renumbered: u32,
+    pub durations_clamped: u32,
+}
+
+impl RepairCounts {
+    fn merge(&mut self, other: &RepairCounts) {
+        self.issues_found += other.issues_found;
+        self.ranks_quarantined += other.ranks_quarantined;
+        self.stragglers_quarantined += other.stragglers_quarantined;
+        self.configs_dropped += other.configs_dropped;
+        self.marks_reconstructed += other.marks_reconstructed;
+        self.inverted_marks_fixed += other.inverted_marks_fixed;
+        self.duplicate_steps_removed += other.duplicate_steps_removed;
+        self.ranks_reordered += other.ranks_reordered;
+        self.steps_renumbered += other.steps_renumbered;
+        self.durations_clamped += other.durations_clamped;
+    }
+
+    /// Total number of interventions (excluding issue counting).
+    pub fn total_repairs(&self) -> u64 {
+        self.ranks_quarantined as u64
+            + self.configs_dropped as u64
+            + self.marks_reconstructed as u64
+            + self.inverted_marks_fixed as u64
+            + self.duplicate_steps_removed as u64
+            + self.ranks_reordered as u64
+            + self.steps_renumbered as u64
+            + self.durations_clamped as u64
+    }
+}
+
+/// The outcome of repairing an experiment (or one configuration).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RepairReport {
+    pub counts: RepairCounts,
+    /// Per-rank interventions; ranks repair left untouched do not appear.
+    pub ranks: Vec<RankRepair>,
+}
+
+impl RepairReport {
+    pub fn is_clean(&self) -> bool {
+        self.ranks.is_empty() && self.counts.total_repairs() == 0
+    }
+
+    fn merge(&mut self, other: RepairReport) {
+        self.counts.merge(&other.counts);
+        self.ranks.extend(other.ranks);
+    }
+}
+
+impl fmt::Display for RepairReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "repair: profile clean, nothing to do");
+        }
+        let c = &self.counts;
+        writeln!(
+            f,
+            "repair: {} issue(s) found, {} repair(s) across {} rank(s)",
+            c.issues_found,
+            c.total_repairs(),
+            self.ranks.len()
+        )?;
+        writeln!(
+            f,
+            "  quarantined {} rank(s) ({} straggler(s)), dropped {} config(s), reconstructed {} epoch mark(s)",
+            c.ranks_quarantined, c.stragglers_quarantined, c.configs_dropped, c.marks_reconstructed
+        )?;
+        for r in &self.ranks {
+            for a in &r.actions {
+                writeln!(
+                    f,
+                    "  {} rep {} rank {}: {}",
+                    r.config, r.repetition, r.rank, a
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Repairs one rank in place. Returns the actions taken (quarantine is
+/// decided by the caller, which sees all ranks of the configuration).
+fn repair_rank(rank: &mut RankProfile) -> (Vec<RepairAction>, RepairCounts) {
+    let mut actions = Vec::new();
+    let mut counts = RepairCounts::default();
+
+    // 1. Un-invert marks: swapped timestamps are the only reading under
+    //    which an inverted mark carries information.
+    let mut inverted_steps = 0u32;
+    for m in &mut rank.step_marks {
+        if m.end_ns < m.start_ns {
+            std::mem::swap(&mut m.start_ns, &mut m.end_ns);
+            inverted_steps += 1;
+        }
+    }
+    if inverted_steps > 0 {
+        actions.push(RepairAction::FixedInvertedStepMarks {
+            count: inverted_steps,
+        });
+        counts.inverted_marks_fixed += inverted_steps;
+    }
+    let mut inverted_epochs = 0u32;
+    for m in &mut rank.epoch_marks {
+        if m.end_ns < m.start_ns {
+            std::mem::swap(&mut m.start_ns, &mut m.end_ns);
+            inverted_epochs += 1;
+        }
+    }
+    if inverted_epochs > 0 {
+        actions.push(RepairAction::FixedInvertedEpochMarks {
+            count: inverted_epochs,
+        });
+        counts.inverted_marks_fixed += inverted_epochs;
+    }
+
+    // 2. Remove exact duplicate step marks (same key *and* same span — a
+    //    double flush). Same-key marks with different spans are kept and
+    //    renumbered below: they are distinct steps with wrong indices.
+    let before = rank.step_marks.len();
+    let mut seen = Vec::with_capacity(before);
+    rank.step_marks.retain(|m| {
+        if seen.contains(m) {
+            false
+        } else {
+            seen.push(*m);
+            true
+        }
+    });
+    let removed = (before - rank.step_marks.len()) as u32;
+    if removed > 0 {
+        actions.push(RepairAction::RemovedDuplicateSteps { count: removed });
+        counts.duplicate_steps_removed += removed;
+    }
+
+    // 3. Restore start-time order (aggregation windows assume it).
+    let was_ordered = rank
+        .step_marks
+        .windows(2)
+        .all(|w| w[0].start_ns <= w[1].start_ns);
+    if !was_ordered {
+        rank.step_marks.sort_by_key(|m| (m.start_ns, m.end_ns));
+        actions.push(RepairAction::ReorderedSteps);
+        counts.ranks_reordered += 1;
+    }
+
+    // 4. Reconstruct dropped step marks from intra-epoch gaps: surviving
+    //    steps tile their epoch nearly contiguously (only partially
+    //    overlapped async communication sits between them), so a hole of
+    //    roughly a step's width between two same-epoch training marks is
+    //    where a dropped mark's events fell out of attribution. A
+    //    synthesized mark over the gap brings them back and keeps the
+    //    per-epoch step count honest. Each synthesized mark borrows its
+    //    successor's index — the collision deliberately trips the renumber
+    //    pass below, which rewrites the whole epoch sequentially.
+    let mut synthesized = 0u32;
+    {
+        let mut durs: Vec<u64> = rank
+            .step_marks
+            .iter()
+            .filter(|m| m.phase == StepPhase::Training)
+            .map(|m| m.duration_ns())
+            .filter(|&d| d > 0)
+            .collect();
+        if !durs.is_empty() {
+            durs.sort_unstable();
+            let typical = durs[durs.len() / 2];
+            let mut added: Vec<StepMark> = Vec::new();
+            for w in rank.step_marks.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if a.epoch != b.epoch
+                    || a.phase != StepPhase::Training
+                    || b.phase != StepPhase::Training
+                    || b.start_ns <= a.end_ns
+                {
+                    continue;
+                }
+                let gap = b.start_ns - a.end_ns;
+                if (gap as f64) < 0.75 * typical as f64 {
+                    continue;
+                }
+                let n = ((gap as f64 / typical as f64).round() as u64).clamp(1, 64);
+                let width = gap / n;
+                for k in 0..n {
+                    let start = a.end_ns + k * width;
+                    let end = if k + 1 == n {
+                        b.start_ns
+                    } else {
+                        start + width
+                    };
+                    added.push(StepMark::new(
+                        a.epoch,
+                        b.step,
+                        StepPhase::Training,
+                        start,
+                        end,
+                    ));
+                }
+            }
+            if !added.is_empty() {
+                synthesized = added.len() as u32;
+                rank.step_marks.extend(added);
+                rank.step_marks.sort_by_key(|m| (m.start_ns, m.end_ns));
+            }
+        }
+    }
+    if synthesized > 0 {
+        actions.push(RepairAction::ReconstructedStepMarks { count: synthesized });
+        counts.marks_reconstructed += synthesized;
+    }
+
+    // 5. Renumber step indices sequentially per (epoch, phase) when the
+    //    recorded indices collide or regress in time order.
+    let mut renumbered = 0u32;
+    {
+        use std::collections::BTreeMap;
+        let mut next: BTreeMap<(u32, u8), u32> = BTreeMap::new();
+        let mut used: BTreeMap<(u32, u8), Vec<u32>> = BTreeMap::new();
+        for m in &rank.step_marks {
+            used.entry((m.epoch, m.phase as u8))
+                .or_default()
+                .push(m.step);
+        }
+        let needs_renumber: Vec<(u32, u8)> = used
+            .iter()
+            .filter(|(_, steps)| {
+                let mut s = (*steps).clone();
+                s.sort_unstable();
+                s.windows(2).any(|w| w[0] == w[1])
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for m in &mut rank.step_marks {
+            let key = (m.epoch, m.phase as u8);
+            if needs_renumber.contains(&key) {
+                let n = next.entry(key).or_insert(0);
+                if m.step != *n {
+                    m.step = *n;
+                    renumbered += 1;
+                }
+                *n += 1;
+            }
+        }
+    }
+    if renumbered > 0 {
+        actions.push(RepairAction::RenumberedSteps { count: renumbered });
+        counts.steps_renumbered += renumbered;
+    }
+
+    // 6. Reconstruct missing epoch marks from the extent of their steps:
+    //    the epoch callback brackets its steps, so the union of step spans
+    //    is a tight lower estimate of the epoch span.
+    let mut reconstructed = 0u32;
+    if !rank.step_marks.is_empty() {
+        let mut epochs: Vec<u32> = rank.step_marks.iter().map(|m| m.epoch).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        for epoch in epochs {
+            if rank.epoch_marks.iter().any(|e| e.epoch == epoch) {
+                continue;
+            }
+            let steps = rank.step_marks.iter().filter(|m| m.epoch == epoch);
+            let (mut start, mut end) = (u64::MAX, 0u64);
+            for m in steps {
+                start = start.min(m.start_ns);
+                end = end.max(m.end_ns);
+            }
+            if start <= end {
+                rank.epoch_marks.push(EpochMark::new(epoch, start, end));
+                reconstructed += 1;
+            }
+        }
+        if reconstructed > 0 {
+            rank.epoch_marks.sort_by_key(|e| (e.start_ns, e.epoch));
+            actions.push(RepairAction::ReconstructedEpochMarks {
+                count: reconstructed,
+            });
+            counts.marks_reconstructed += reconstructed;
+        }
+    }
+
+    // 7. Zero durations: an exporter artifact (rounding, a wrapped counter
+    //    clamped to zero) that hides real time. The kernel's other
+    //    executions on the same rank are the best estimate of what was
+    //    lost, so impute their median — clamping to 1 ns would keep the
+    //    visit countable but systematically bias total time low when many
+    //    events are affected. 1 ns remains the fallback for kernels with
+    //    no nonzero sample.
+    let mut clamped = 0u32;
+    if rank.events.iter().any(|e| e.duration_ns == 0) {
+        use std::collections::BTreeMap;
+        use std::sync::Arc;
+        let mut samples: BTreeMap<Arc<str>, Vec<u64>> = BTreeMap::new();
+        for e in &rank.events {
+            if e.duration_ns > 0 {
+                samples
+                    .entry(Arc::clone(&e.name))
+                    .or_default()
+                    .push(e.duration_ns);
+            }
+        }
+        let medians: BTreeMap<Arc<str>, u64> = samples
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_unstable();
+                let m = durs[durs.len() / 2];
+                (name, m)
+            })
+            .collect();
+        for e in &mut rank.events {
+            if e.duration_ns == 0 {
+                e.duration_ns = medians.get(&e.name).copied().unwrap_or(1);
+                clamped += 1;
+            }
+        }
+    }
+    if clamped > 0 {
+        actions.push(RepairAction::ClampedZeroDurations { count: clamped });
+        counts.durations_clamped += clamped;
+    }
+
+    (actions, counts)
+}
+
+/// A rank's duration scale for cross-rank straggler comparison: the median
+/// training-step-mark duration, falling back to the median epoch-mark
+/// duration for ranks without usable step marks. `None` when neither kind
+/// of mark carries a positive duration (such ranks cannot be judged).
+fn rank_duration_scale(rank: &RankProfile) -> Option<f64> {
+    let mut durs: Vec<u64> = rank
+        .step_marks
+        .iter()
+        .filter(|m| m.phase == StepPhase::Training)
+        .map(|m| m.duration_ns())
+        .filter(|&d| d > 0)
+        .collect();
+    if durs.is_empty() {
+        durs = rank
+            .epoch_marks
+            .iter()
+            .map(|m| m.duration_ns())
+            .filter(|&d| d > 0)
+            .collect();
+    }
+    if durs.is_empty() {
+        return None;
+    }
+    durs.sort_unstable();
+    Some(durs[durs.len() / 2] as f64)
+}
+
+/// Repairs one configuration profile in place, quarantining unrecoverable
+/// ranks. Quarantine never empties the configuration unless *no* rank has
+/// events at all (the caller drops such configurations).
+pub fn repair_config(profile: &mut ConfigProfile) -> RepairReport {
+    let _span = extradeep_obs::span("trace.repair");
+    let mut report = RepairReport {
+        counts: RepairCounts {
+            issues_found: validate_config(profile).len() as u32,
+            ..RepairCounts::default()
+        },
+        ranks: Vec::new(),
+    };
+
+    let config_id = profile.config.id();
+    let repetition = profile.repetition;
+
+    // Per-rank mechanical repairs first.
+    for rank in &mut profile.ranks {
+        let (actions, counts) = repair_rank(rank);
+        report.counts.merge(&counts);
+        if !actions.is_empty() {
+            report.ranks.push(RankRepair {
+                config: config_id.clone(),
+                repetition,
+                rank: rank.rank,
+                actions,
+            });
+        }
+    }
+
+    // Quarantine decisions need the whole configuration in view.
+    let any_marks = profile
+        .ranks
+        .iter()
+        .any(|r| !r.step_marks.is_empty() || !r.epoch_marks.is_empty());
+    let mut quarantined: Vec<(u32, QuarantineReason)> = Vec::new();
+    profile.ranks.retain(|r| {
+        let reason = if r.events.is_empty() {
+            Some(QuarantineReason::NoEvents)
+        } else if any_marks && r.step_marks.is_empty() && r.epoch_marks.is_empty() {
+            Some(QuarantineReason::NoMarks)
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => {
+                quarantined.push((r.rank, reason));
+                false
+            }
+            None => true,
+        }
+    });
+    // Straggler quarantine, on the survivors: a rank whose median step
+    // duration sits far above the *fastest* sibling's was inflated
+    // wholesale by a slow node. The fastest rank is the reference because
+    // a straggler can never be it, so at least one rank always survives
+    // this pass (and uniform slowness — every rank inflated alike — is
+    // indistinguishable from a slow run and intentionally left alone).
+    let scales: Vec<(u32, f64)> = profile
+        .ranks
+        .iter()
+        .filter_map(|r| rank_duration_scale(r).map(|s| (r.rank, s)))
+        .collect();
+    if scales.len() >= 2 {
+        let fastest = scales.iter().fold(f64::INFINITY, |a, &(_, s)| a.min(s));
+        let slow: Vec<u32> = scales
+            .iter()
+            .filter(|&&(_, s)| s > STRAGGLER_RATIO * fastest)
+            .map(|&(r, _)| r)
+            .collect();
+        profile.ranks.retain(|r| {
+            if slow.contains(&r.rank) {
+                quarantined.push((r.rank, QuarantineReason::Straggler));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    for (rank, reason) in quarantined {
+        report.counts.ranks_quarantined += 1;
+        if reason == QuarantineReason::Straggler {
+            report.counts.stragglers_quarantined += 1;
+        }
+        let entry = report
+            .ranks
+            .iter_mut()
+            .find(|e| e.rank == rank && e.config == config_id && e.repetition == repetition);
+        let action = RepairAction::Quarantined { reason };
+        match entry {
+            Some(e) => e.actions.push(action),
+            None => report.ranks.push(RankRepair {
+                config: config_id.clone(),
+                repetition,
+                rank,
+                actions: vec![action],
+            }),
+        }
+    }
+
+    extradeep_obs::counter("repair.ranks_quarantined").add(report.counts.ranks_quarantined as u64);
+    extradeep_obs::counter("repair.marks_reconstructed")
+        .add(report.counts.marks_reconstructed as u64);
+    report
+}
+
+/// Repairs every configuration of an experiment in place, dropping
+/// configurations that end up with no usable rank, and returns the merged
+/// report.
+pub fn repair_experiment(experiment: &mut ExperimentProfiles) -> RepairReport {
+    let _span = extradeep_obs::span("trace.repair_experiment");
+    let mut report = RepairReport::default();
+    experiment.profiles.retain_mut(|profile| {
+        report.merge(repair_config(profile));
+        if profile.ranks.is_empty() {
+            report.counts.configs_dropped += 1;
+            false
+        } else {
+            true
+        }
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::config::{MeasurementConfig, TrainingMeta};
+    use crate::domain::ApiDomain;
+    use crate::marks::StepPhase;
+    use crate::validate::validate_rank;
+
+    fn meta() -> TrainingMeta {
+        TrainingMeta {
+            batch_size: 1,
+            train_samples: 1,
+            val_samples: 0,
+            data_parallel: 1,
+            model_parallel: 1,
+            cores_per_rank: 1,
+        }
+    }
+
+    fn healthy_rank(rank: u32, epochs: u32, steps: u32) -> RankProfile {
+        paced_rank(rank, epochs, steps, 1_000)
+    }
+
+    fn paced_rank(rank: u32, epochs: u32, steps: u32, kernel_ns: u64) -> RankProfile {
+        let mut b = TraceBuilder::new(rank);
+        for e in 0..epochs {
+            b.begin_epoch(e);
+            for s in 0..steps {
+                b.begin_step(e, s, StepPhase::Training);
+                b.emit("k", ApiDomain::CudaKernel, kernel_ns);
+                b.end_step();
+            }
+            b.end_epoch();
+        }
+        b.finish()
+    }
+
+    fn config_of(ranks: Vec<RankProfile>) -> ConfigProfile {
+        let mut cp = ConfigProfile::new(MeasurementConfig::ranks(ranks.len() as u32), 0, meta());
+        cp.ranks = ranks;
+        cp
+    }
+
+    #[test]
+    fn clean_profile_needs_no_repair() {
+        let mut cp = config_of(vec![healthy_rank(0, 2, 3), healthy_rank(1, 2, 3)]);
+        let original = cp.clone();
+        let report = repair_config(&mut cp);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(cp, original);
+    }
+
+    #[test]
+    fn reconstructs_missing_epoch_marks_from_steps() {
+        let mut r = healthy_rank(0, 2, 3);
+        let expected: Vec<_> = r.epoch_marks.clone();
+        r.epoch_marks.clear();
+        let mut cp = config_of(vec![r]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.marks_reconstructed, 2);
+        let rebuilt = &cp.ranks[0].epoch_marks;
+        assert_eq!(rebuilt.len(), 2);
+        // Reconstruction is a (tight) sub-span of the true epoch span.
+        for (got, want) in rebuilt.iter().zip(&expected) {
+            assert_eq!(got.epoch, want.epoch);
+            assert!(got.start_ns >= want.start_ns);
+            assert!(got.end_ns <= want.end_ns);
+        }
+        // The repaired rank passes validation again.
+        assert!(validate_rank(&cp.ranks[0]).is_empty());
+    }
+
+    #[test]
+    fn reorders_and_renumbers_shuffled_duplicated_steps() {
+        let mut r = healthy_rank(0, 1, 4);
+        // Shuffle the marks and collide two step indices.
+        r.step_marks.swap(0, 3);
+        r.step_marks.swap(1, 2);
+        let colliding = r.step_marks[2].step;
+        r.step_marks[1].step = colliding;
+        let mut cp = config_of(vec![r]);
+        let report = repair_config(&mut cp);
+        assert!(report.counts.ranks_reordered >= 1);
+        assert!(report.counts.steps_renumbered >= 1);
+        let marks = &cp.ranks[0].step_marks;
+        assert!(marks.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        let steps: Vec<u32> = marks.iter().map(|m| m.step).collect();
+        assert_eq!(steps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reconstructs_dropped_step_marks_from_gaps() {
+        let mut r = healthy_rank(0, 1, 5);
+        r.step_marks.remove(2);
+        let mut cp = config_of(vec![r]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.marks_reconstructed, 1);
+        let marks = &cp.ranks[0].step_marks;
+        assert_eq!(marks.len(), 5);
+        let steps: Vec<u32> = marks.iter().map(|m| m.step).collect();
+        assert_eq!(steps, vec![0, 1, 2, 3, 4]);
+        // The synthesized mark spans exactly the hole the drop left.
+        assert_eq!(marks[2].start_ns, 2_000);
+        assert_eq!(marks[2].end_ns, 3_000);
+        assert!(validate_rank(&cp.ranks[0]).is_empty());
+    }
+
+    #[test]
+    fn small_interstep_gaps_are_left_alone() {
+        // Natural gaps (partially overlapped async communication) are well
+        // under a step's width and must not grow synthetic marks.
+        let mut b = TraceBuilder::new(0);
+        b.begin_epoch(0);
+        for s in 0..4 {
+            b.begin_step(0, s, StepPhase::Training);
+            b.emit("k", ApiDomain::CudaKernel, 1_000);
+            b.end_step();
+            b.advance(200);
+        }
+        b.end_epoch();
+        let mut cp = config_of(vec![b.finish()]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.marks_reconstructed, 0);
+        assert_eq!(cp.ranks[0].step_marks.len(), 4);
+    }
+
+    #[test]
+    fn removes_exact_duplicates() {
+        let mut r = healthy_rank(0, 1, 3);
+        let dup = r.step_marks[1];
+        r.step_marks.push(dup);
+        let mut cp = config_of(vec![r]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.duplicate_steps_removed, 1);
+        assert_eq!(cp.ranks[0].step_marks.len(), 3);
+    }
+
+    #[test]
+    fn fixes_inverted_marks() {
+        let mut r = healthy_rank(0, 1, 2);
+        let m = &mut r.step_marks[0];
+        std::mem::swap(&mut m.start_ns, &mut m.end_ns);
+        let e = &mut r.epoch_marks[0];
+        std::mem::swap(&mut e.start_ns, &mut e.end_ns);
+        let mut cp = config_of(vec![r]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.inverted_marks_fixed, 2);
+        assert!(cp.ranks[0]
+            .step_marks
+            .iter()
+            .all(|m| m.end_ns >= m.start_ns));
+        assert!(cp.ranks[0]
+            .epoch_marks
+            .iter()
+            .all(|m| m.end_ns >= m.start_ns));
+    }
+
+    #[test]
+    fn clamps_zero_durations() {
+        let mut r = healthy_rank(0, 1, 2);
+        r.events[0].duration_ns = 0;
+        let mut cp = config_of(vec![r]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.durations_clamped, 1);
+        assert!(cp.ranks[0].events.iter().all(|e| e.duration_ns > 0));
+    }
+
+    #[test]
+    fn quarantines_empty_rank_but_keeps_siblings() {
+        let mut cp = config_of(vec![
+            healthy_rank(0, 2, 3),
+            RankProfile::new(1),
+            healthy_rank(2, 2, 3),
+        ]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.ranks_quarantined, 1);
+        assert_eq!(cp.ranks.len(), 2);
+        assert!(cp.ranks.iter().all(|r| r.rank != 1));
+        let entry = report.ranks.iter().find(|e| e.rank == 1).unwrap();
+        assert!(entry.actions.contains(&RepairAction::Quarantined {
+            reason: QuarantineReason::NoEvents
+        }));
+    }
+
+    #[test]
+    fn quarantines_markless_rank_among_marked_siblings() {
+        let mut bare = healthy_rank(1, 2, 3);
+        bare.step_marks.clear();
+        bare.epoch_marks.clear();
+        let mut cp = config_of(vec![healthy_rank(0, 2, 3), bare]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.ranks_quarantined, 1);
+        assert_eq!(cp.ranks.len(), 1);
+    }
+
+    #[test]
+    fn quarantines_straggler_rank() {
+        let mut cp = config_of(vec![
+            healthy_rank(0, 2, 3),
+            healthy_rank(1, 2, 3),
+            paced_rank(2, 2, 3, 3_000),
+            healthy_rank(3, 2, 3),
+        ]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.ranks_quarantined, 1);
+        assert_eq!(report.counts.stragglers_quarantined, 1);
+        assert_eq!(cp.ranks.len(), 3);
+        assert!(cp.ranks.iter().all(|r| r.rank != 2));
+        let entry = report.ranks.iter().find(|e| e.rank == 2).unwrap();
+        assert!(entry.actions.contains(&RepairAction::Quarantined {
+            reason: QuarantineReason::Straggler
+        }));
+    }
+
+    #[test]
+    fn quarantines_straggler_in_a_pair() {
+        // With only two ranks a median vote cannot outvote the straggler —
+        // the ratio test against the fastest sibling still catches it.
+        let mut cp = config_of(vec![healthy_rank(0, 2, 3), paced_rank(1, 2, 3, 3_000)]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.stragglers_quarantined, 1);
+        assert_eq!(cp.ranks.len(), 1);
+        assert_eq!(cp.ranks[0].rank, 0);
+    }
+
+    #[test]
+    fn uniformly_slow_ranks_are_not_stragglers() {
+        // Every rank equally slow is just a slow run: nothing to quarantine.
+        let mut cp = config_of(vec![
+            paced_rank(0, 2, 3, 3_000),
+            paced_rank(1, 2, 3, 3_000),
+            paced_rank(2, 2, 3, 3_000),
+        ]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.stragglers_quarantined, 0);
+        assert_eq!(cp.ranks.len(), 3);
+    }
+
+    #[test]
+    fn lone_rank_is_never_a_straggler() {
+        let mut cp = config_of(vec![paced_rank(0, 2, 3, 9_000)]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.stragglers_quarantined, 0);
+        assert_eq!(cp.ranks.len(), 1);
+    }
+
+    #[test]
+    fn markless_ranks_survive_when_no_rank_has_marks() {
+        // A legitimately mark-free profile (events only) must not be wiped.
+        let mut a = RankProfile::new(0);
+        a.events
+            .push(crate::event::Event::new("k", ApiDomain::CudaKernel, 0, 100));
+        let mut b = RankProfile::new(1);
+        b.events
+            .push(crate::event::Event::new("k", ApiDomain::CudaKernel, 0, 120));
+        let mut cp = config_of(vec![a, b]);
+        let report = repair_config(&mut cp);
+        assert_eq!(report.counts.ranks_quarantined, 0);
+        assert_eq!(cp.ranks.len(), 2);
+    }
+
+    #[test]
+    fn drops_configs_with_no_surviving_rank() {
+        let mut exp = ExperimentProfiles::new();
+        exp.push(config_of(vec![healthy_rank(0, 2, 3)]));
+        exp.push(config_of(vec![RankProfile::new(0), RankProfile::new(1)]));
+        let report = repair_experiment(&mut exp);
+        assert_eq!(report.counts.configs_dropped, 1);
+        assert_eq!(report.counts.ranks_quarantined, 2);
+        assert_eq!(exp.len(), 1);
+    }
+
+    #[test]
+    fn report_displays_and_serializes() {
+        let mut cp = config_of(vec![healthy_rank(0, 2, 3), RankProfile::new(1)]);
+        let report = repair_config(&mut cp);
+        let text = report.to_string();
+        assert!(text.contains("quarantined"), "{text}");
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RepairReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn repair_then_validate_is_clean_for_shuffled_input() {
+        let mut r = healthy_rank(0, 2, 4);
+        r.step_marks.reverse();
+        r.epoch_marks.clear();
+        let mut cp = config_of(vec![r]);
+        repair_config(&mut cp);
+        assert!(
+            validate_config(&cp).is_empty(),
+            "{:?}",
+            validate_config(&cp)
+        );
+    }
+}

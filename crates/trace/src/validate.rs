@@ -24,6 +24,24 @@ pub enum TraceIssue {
     StepWithoutEpoch { rank: u32, epoch: u32 },
     /// The profile has no events at all.
     EmptyRank { rank: u32 },
+    /// A step mark ends before it starts (possible via deserialization,
+    /// which bypasses the constructor's ordering assertion).
+    InvertedStepMark { rank: u32, epoch: u32, step: u32 },
+    /// An epoch mark ends before it starts.
+    InvertedEpochMark { rank: u32, epoch: u32 },
+    /// The same `(epoch, step, phase)` step mark appears more than once.
+    DuplicateStepMark { rank: u32, epoch: u32, step: u32 },
+    /// A rank has step marks but no epoch marks while other ranks of the
+    /// same configuration carry epoch marks (cross-rank check).
+    MissingEpochMarks { rank: u32 },
+    /// A rank recorded a different number of epochs than the majority of
+    /// ranks in the same configuration (cross-rank check) — typical of a
+    /// truncated per-rank export.
+    EpochCountMismatch {
+        rank: u32,
+        expected: u32,
+        found: u32,
+    },
 }
 
 impl fmt::Display for TraceIssue {
@@ -45,6 +63,29 @@ impl fmt::Display for TraceIssue {
                 write!(f, "rank {rank}: step references unknown epoch {epoch}")
             }
             TraceIssue::EmptyRank { rank } => write!(f, "rank {rank}: no events"),
+            TraceIssue::InvertedStepMark { rank, epoch, step } => {
+                write!(f, "rank {rank}: step e{epoch}s{step} ends before it starts")
+            }
+            TraceIssue::InvertedEpochMark { rank, epoch } => {
+                write!(f, "rank {rank}: epoch {epoch} ends before it starts")
+            }
+            TraceIssue::DuplicateStepMark { rank, epoch, step } => {
+                write!(f, "rank {rank}: duplicate step mark e{epoch}s{step}")
+            }
+            TraceIssue::MissingEpochMarks { rank } => {
+                write!(
+                    f,
+                    "rank {rank}: no epoch marks while sibling ranks have them"
+                )
+            }
+            TraceIssue::EpochCountMismatch {
+                rank,
+                expected,
+                found,
+            } => write!(
+                f,
+                "rank {rank}: {found} epoch marks, siblings have {expected}"
+            ),
         }
     }
 }
@@ -56,6 +97,44 @@ pub fn validate_rank(profile: &RankProfile) -> Vec<TraceIssue> {
 
     if profile.events.is_empty() {
         issues.push(TraceIssue::EmptyRank { rank });
+    }
+
+    // Inverted marks can only arrive through deserialization (the
+    // constructors assert ordering), but a loaded trace is exactly the
+    // input validation exists for.
+    for s in &profile.step_marks {
+        if s.end_ns < s.start_ns {
+            issues.push(TraceIssue::InvertedStepMark {
+                rank,
+                epoch: s.epoch,
+                step: s.step,
+            });
+        }
+    }
+    for e in &profile.epoch_marks {
+        if e.end_ns < e.start_ns {
+            issues.push(TraceIssue::InvertedEpochMark {
+                rank,
+                epoch: e.epoch,
+            });
+        }
+    }
+
+    // Duplicated step marks (a profiler flushing a mark twice).
+    let mut keys: Vec<(u32, u32, crate::marks::StepPhase)> = profile
+        .step_marks
+        .iter()
+        .map(|s| (s.epoch, s.step, s.phase))
+        .collect();
+    keys.sort_unstable();
+    for w in keys.windows(2) {
+        if w[0] == w[1] {
+            issues.push(TraceIssue::DuplicateStepMark {
+                rank,
+                epoch: w[0].0,
+                step: w[0].1,
+            });
+        }
     }
 
     // Ordering and overlap of step marks.
@@ -105,9 +184,59 @@ pub fn validate_rank(profile: &RankProfile) -> Vec<TraceIssue> {
     issues
 }
 
-/// Validates all ranks of a configuration profile.
+/// Validates all ranks of a configuration profile, including cross-rank
+/// consistency: every recorded rank of one configuration ran the same
+/// schedule, so they must agree on the number of profiled epochs.
 pub fn validate_config(profile: &ConfigProfile) -> Vec<TraceIssue> {
-    profile.ranks.iter().flat_map(validate_rank).collect()
+    let mut issues: Vec<TraceIssue> = profile.ranks.iter().flat_map(validate_rank).collect();
+
+    // Majority epoch count across ranks that have any epoch marks.
+    let counts: Vec<u32> = profile
+        .ranks
+        .iter()
+        .map(|r| r.epoch_marks.len() as u32)
+        .filter(|&c| c > 0)
+        .collect();
+    if counts.is_empty() {
+        return issues;
+    }
+    let expected = majority(&counts);
+
+    for r in &profile.ranks {
+        let found = r.epoch_marks.len() as u32;
+        if found == 0 {
+            // Only a cross-rank problem: siblings carry epoch marks.
+            if !r.step_marks.is_empty() || !r.events.is_empty() {
+                issues.push(TraceIssue::MissingEpochMarks { rank: r.rank });
+            }
+        } else if found != expected {
+            issues.push(TraceIssue::EpochCountMismatch {
+                rank: r.rank,
+                expected,
+                found,
+            });
+        }
+    }
+    issues
+}
+
+/// The most common value; ties break toward the larger count (a truncated
+/// export loses epochs, it does not invent them).
+fn majority(counts: &[u32]) -> u32 {
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let mut best = sorted[0];
+    let mut best_n = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let j = sorted[i..].iter().take_while(|&&c| c == sorted[i]).count();
+        if j >= best_n {
+            best = sorted[i];
+            best_n = j;
+        }
+        i += j;
+    }
+    best
 }
 
 #[cfg(test)]
@@ -175,6 +304,123 @@ mod tests {
         assert!(issues
             .iter()
             .any(|i| matches!(i, TraceIssue::StepWithoutEpoch { epoch: 5, .. })));
+    }
+
+    #[test]
+    fn detects_inverted_and_duplicate_marks() {
+        // Inverted marks cannot be built via the constructors; splice the
+        // fields directly, as a malformed JSON load would.
+        let mut p = RankProfile::new(3);
+        let mut m = StepMark::new(0, 0, StepPhase::Training, 0, 100);
+        m.start_ns = 200;
+        m.end_ns = 100;
+        p.step_marks.push(m);
+        p.step_marks
+            .push(StepMark::new(0, 1, StepPhase::Training, 300, 400));
+        p.step_marks
+            .push(StepMark::new(0, 1, StepPhase::Training, 500, 600));
+        let mut e = crate::marks::EpochMark::new(0, 0, 100);
+        e.start_ns = 900;
+        e.end_ns = 100;
+        p.epoch_marks.push(e);
+        let issues = validate_rank(&p);
+        assert!(issues.contains(&TraceIssue::InvertedStepMark {
+            rank: 3,
+            epoch: 0,
+            step: 0
+        }));
+        assert!(issues.contains(&TraceIssue::InvertedEpochMark { rank: 3, epoch: 0 }));
+        assert!(issues.contains(&TraceIssue::DuplicateStepMark {
+            rank: 3,
+            epoch: 0,
+            step: 1
+        }));
+    }
+
+    /// Builds one well-formed rank with `epochs` epochs of one step each.
+    fn well_formed_rank(rank: u32, epochs: u32) -> RankProfile {
+        let mut b = TraceBuilder::new(rank);
+        for e in 0..epochs {
+            b.begin_epoch(e);
+            b.begin_step(e, 0, StepPhase::Training);
+            b.emit("k", ApiDomain::CudaKernel, 100);
+            b.end_step();
+            b.end_epoch();
+        }
+        b.finish()
+    }
+
+    fn config_of(ranks: Vec<RankProfile>) -> crate::profile::ConfigProfile {
+        let meta = crate::config::TrainingMeta {
+            batch_size: 1,
+            train_samples: 1,
+            val_samples: 0,
+            data_parallel: 1,
+            model_parallel: 1,
+            cores_per_rank: 1,
+        };
+        let mut cp = crate::profile::ConfigProfile::new(
+            crate::config::MeasurementConfig::ranks(ranks.len() as u32),
+            0,
+            meta,
+        );
+        cp.ranks = ranks;
+        cp
+    }
+
+    #[test]
+    fn cross_rank_epoch_count_mismatch_is_detected() {
+        // Three ranks with 2 epochs, one truncated rank with 1.
+        let cp = config_of(vec![
+            well_formed_rank(0, 2),
+            well_formed_rank(1, 2),
+            well_formed_rank(2, 2),
+            well_formed_rank(3, 1),
+        ]);
+        let issues = validate_config(&cp);
+        assert!(issues.contains(&TraceIssue::EpochCountMismatch {
+            rank: 3,
+            expected: 2,
+            found: 1
+        }));
+        // The majority ranks are not flagged.
+        assert!(!issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::EpochCountMismatch { rank, .. } if *rank != 3)));
+    }
+
+    #[test]
+    fn cross_rank_missing_epoch_marks_is_detected() {
+        let mut bare = well_formed_rank(2, 2);
+        bare.epoch_marks.clear();
+        let cp = config_of(vec![well_formed_rank(0, 2), well_formed_rank(1, 2), bare]);
+        let issues = validate_config(&cp);
+        assert!(issues.contains(&TraceIssue::MissingEpochMarks { rank: 2 }));
+    }
+
+    #[test]
+    fn one_empty_rank_among_many_is_flagged_but_siblings_are_clean() {
+        let cp = config_of(vec![
+            well_formed_rank(0, 2),
+            well_formed_rank(1, 2),
+            RankProfile::new(2),
+        ]);
+        let issues = validate_config(&cp);
+        assert!(issues.contains(&TraceIssue::EmptyRank { rank: 2 }));
+        // The empty rank has no marks at all, so it must not additionally
+        // be reported as a cross-rank mismatch; the healthy ranks must not
+        // be flagged either.
+        assert_eq!(issues.len(), 1, "{issues:?}");
+    }
+
+    #[test]
+    fn uniform_config_has_no_cross_rank_issues() {
+        let cp = config_of(vec![
+            well_formed_rank(0, 2),
+            well_formed_rank(1, 2),
+            well_formed_rank(2, 2),
+        ]);
+        assert!(validate_config(&cp).is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
     );
 
     // 4. Perfetto / chrome://tracing timeline export.
-    let chrome = to_chrome_trace(profile);
+    let chrome = to_chrome_trace(profile).expect("chrome export");
     let out = std::env::temp_dir().join("extradeep_timeline.json");
     std::fs::write(&out, &chrome).unwrap();
     println!(

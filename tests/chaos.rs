@@ -1,0 +1,96 @@
+//! Chaos integration test: fuzzed fault plans end-to-end through the full
+//! pipeline. For every seed, the pipeline must (a) never panic, (b) emit a
+//! repair report describing what it salvaged, and (c) either fit an
+//! epoch-runtime model within the chaos MPE bound of the clean-input fit or
+//! degrade to a typed `ModelingError` — never a silently wrecked model.
+
+use extradeep::chaos::{clean_baseline, run_chaos_case};
+use extradeep_sim::FaultPlan;
+use extradeep_trace::repair_experiment;
+
+/// The integration seed matrix: small (CI sweeps a larger one through the
+/// `chaos` binary) but covering structurally different fuzzed plans.
+const SEEDS: [u64; 6] = [0, 1, 2, 5, 11, 42];
+
+#[test]
+fn fuzzed_fault_plans_survive_the_pipeline() {
+    let baseline = clean_baseline().expect("clean baseline must fit");
+    assert!(
+        baseline.clean_mpe.is_finite(),
+        "clean MPE must be a real number"
+    );
+    for &seed in &SEEDS {
+        let case = run_chaos_case(&baseline, seed);
+        assert!(!case.panicked, "seed {seed}: pipeline panicked");
+        assert!(
+            case.repair.is_some(),
+            "seed {seed}: no repair report emitted"
+        );
+        match (case.repaired_mpe, &case.modeling_error) {
+            (Some(mpe), _) => assert!(
+                mpe <= case.mpe_bound,
+                "seed {seed}: repaired MPE {mpe:.2}% over bound {:.2}% \
+                 (clean {:.2}%, faults: {:?})",
+                case.mpe_bound,
+                case.clean_mpe,
+                case.faults
+            ),
+            (None, Some(_)) => {} // typed degradation: accepted
+            (None, None) => panic!("seed {seed}: neither a model nor a typed error"),
+        }
+    }
+}
+
+#[test]
+fn repair_makes_faulted_profiles_validate_clean() {
+    // Structural faults only (no rank loss): after repair, every
+    // configuration must pass validation again.
+    let baseline = clean_baseline().expect("clean baseline");
+    let plan = FaultPlan::parse(
+        "seed=7,shuffle-steps=1.0,dup-step-mark=0.3,drop-epoch-marks=0.4,zero-dur=0.02",
+    )
+    .unwrap();
+    let mut profiles = baseline.profiles.clone();
+    plan.apply(&mut profiles);
+    let report = repair_experiment(&mut profiles);
+    assert!(
+        report.counts.total_repairs() > 0,
+        "the plan should have forced some repairs"
+    );
+    for p in &profiles.profiles {
+        let issues = extradeep_trace::validate_config(p);
+        assert!(
+            issues.is_empty(),
+            "{} rep {} still invalid after repair: {issues:?}",
+            p.config.id(),
+            p.repetition
+        );
+    }
+}
+
+#[test]
+fn observability_counters_track_injection_and_repair() {
+    extradeep_obs::set_enabled(true);
+    extradeep_obs::drain();
+    let baseline = clean_baseline().expect("clean baseline");
+    let plan = FaultPlan::parse("seed=13,drop-rank=0.5,drop-epoch-marks=0.6").unwrap();
+    let mut profiles = baseline.profiles.clone();
+    let summary = plan.apply(&mut profiles);
+    assert!(summary.total() > 0, "plan must inject something");
+    let report = repair_experiment(&mut profiles);
+    assert!(report.counts.ranks_quarantined > 0 || report.counts.marks_reconstructed > 0);
+    let recording = extradeep_obs::drain();
+    extradeep_obs::set_enabled(false);
+    let counter = |name: &str| -> u64 {
+        recording
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    // `>=` not `==`: the obs registry is process-global and sibling tests
+    // in this binary run concurrently, injecting and repairing too.
+    assert!(counter("faults.injected") >= summary.total());
+    assert!(counter("repair.ranks_quarantined") >= report.counts.ranks_quarantined as u64);
+    assert!(counter("repair.marks_reconstructed") >= report.counts.marks_reconstructed as u64);
+}
