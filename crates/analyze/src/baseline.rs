@@ -1,0 +1,223 @@
+//! The ratchet baseline: existing debt is frozen per `(lint, file)`, new
+//! violations fail, and improvements invite a re-ratchet.
+//!
+//! Semantics: a violation is *new* — and fails CI — when the current count
+//! for its `(lint, file)` pair exceeds the committed baseline count. A file
+//! absent from the baseline has a baseline of zero, so new files start
+//! clean. Counts below the baseline are reported as improvements; running
+//! with `--update-baseline` rewrites the file so the ratchet only ever
+//! tightens.
+
+use crate::json::Json;
+use crate::lints::Violation;
+use std::collections::BTreeMap;
+
+/// Committed debt: `lint -> file -> count`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// One `(lint, file)` pair whose current count differs from the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    pub lint: String,
+    pub path: String,
+    pub baseline: u64,
+    pub current: u64,
+}
+
+/// Outcome of comparing a run against the baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Pairs over budget — these fail the run.
+    pub regressions: Vec<Delta>,
+    /// Pairs under budget — candidates for `--update-baseline`.
+    pub improvements: Vec<Delta>,
+}
+
+impl Baseline {
+    /// Builds a baseline freezing exactly the given violations.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for v in violations {
+            *counts
+                .entry(v.lint.to_string())
+                .or_default()
+                .entry(v.path.clone())
+                .or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Total frozen count for one lint.
+    pub fn lint_total(&self, lint: &str) -> u64 {
+        self.counts.get(lint).map(|m| m.values().sum()).unwrap_or(0)
+    }
+
+    /// Compares current violations against the ratchet.
+    pub fn compare(&self, violations: &[Violation]) -> Comparison {
+        let current = Baseline::from_violations(violations);
+        let mut cmp = Comparison::default();
+        // Every (lint, path) pair present on either side.
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for (lint, files) in self.counts.iter().chain(current.counts.iter()) {
+            for path in files.keys() {
+                pairs.push((lint, path));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        for (lint, path) in pairs {
+            let base = self.count(lint, path);
+            let now = current.count(lint, path);
+            let delta = Delta {
+                lint: lint.to_string(),
+                path: path.to_string(),
+                baseline: base,
+                current: now,
+            };
+            match now.cmp(&base) {
+                std::cmp::Ordering::Greater => cmp.regressions.push(delta),
+                std::cmp::Ordering::Less => cmp.improvements.push(delta),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        cmp
+    }
+
+    fn count(&self, lint: &str, path: &str) -> u64 {
+        self.counts
+            .get(lint)
+            .and_then(|m| m.get(path))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Renders the committed `analyze-baseline.json` document.
+    pub fn to_json(&self) -> String {
+        let counts = Json::Obj(
+            self.counts
+                .iter()
+                .map(|(lint, files)| {
+                    (
+                        lint.clone(),
+                        Json::Obj(
+                            files
+                                .iter()
+                                .filter(|(_, &n)| n > 0)
+                                .map(|(path, &n)| (path.clone(), Json::Num(n as f64)))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(BTreeMap::from([
+            ("version".to_string(), Json::Num(1.0)),
+            ("counts".to_string(), counts),
+        ]))
+        .render_pretty()
+    }
+
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text)?;
+        let obj = doc.as_obj().ok_or("baseline: top level is not an object")?;
+        match obj.get("version").and_then(Json::as_num) {
+            Some(v) if v == 1.0 => {}
+            other => return Err(format!("baseline: unsupported version {other:?}")),
+        }
+        let counts_obj = obj
+            .get("counts")
+            .and_then(Json::as_obj)
+            .ok_or("baseline: missing 'counts' object")?;
+        let mut counts = BTreeMap::new();
+        for (lint, files) in counts_obj {
+            let files_obj = files
+                .as_obj()
+                .ok_or_else(|| format!("baseline: counts[{lint}] is not an object"))?;
+            let mut per_file = BTreeMap::new();
+            for (path, n) in files_obj {
+                let n = n
+                    .as_num()
+                    .ok_or_else(|| format!("baseline: counts[{lint}][{path}] is not a number"))?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!(
+                        "baseline: counts[{lint}][{path}] = {n} is not a non-negative integer"
+                    ));
+                }
+                per_file.insert(path.clone(), n as u64);
+            }
+            counts.insert(lint.clone(), per_file);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viol(lint: &'static str, path: &str) -> Violation {
+        Violation {
+            lint,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let base = Baseline::from_violations(&[
+            viol("panic-on-data-path", "crates/model/src/a.rs"),
+            viol("panic-on-data-path", "crates/model/src/a.rs"),
+            viol("raw-duration-arith", "crates/sim/src/b.rs"),
+        ]);
+        let parsed = Baseline::from_json(&base.to_json()).unwrap();
+        assert_eq!(base, parsed);
+        assert_eq!(parsed.total(), 3);
+        assert_eq!(parsed.lint_total("panic-on-data-path"), 2);
+    }
+
+    #[test]
+    fn ratchet_flags_only_over_budget_pairs() {
+        let base = Baseline::from_violations(&[
+            viol("panic-on-data-path", "a.rs"),
+            viol("panic-on-data-path", "a.rs"),
+            viol("raw-duration-arith", "b.rs"),
+        ]);
+        // a.rs improves to 1; c.rs is brand-new debt.
+        let now = [
+            viol("panic-on-data-path", "a.rs"),
+            viol("panic-on-data-path", "c.rs"),
+            viol("raw-duration-arith", "b.rs"),
+        ];
+        let cmp = base.compare(&now);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].path, "c.rs");
+        assert_eq!(cmp.regressions[0].current, 1);
+        assert_eq!(cmp.regressions[0].baseline, 0);
+        assert_eq!(cmp.improvements.len(), 1);
+        assert_eq!(cmp.improvements[0].path, "a.rs");
+    }
+
+    #[test]
+    fn empty_baseline_means_everything_is_new() {
+        let cmp = Baseline::default().compare(&[viol("unseeded-rng", "x.rs")]);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.improvements.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(Baseline::from_json("[]").is_err());
+        assert!(Baseline::from_json(r#"{"version": 2, "counts": {}}"#).is_err());
+        assert!(Baseline::from_json(r#"{"version": 1, "counts": {"l": {"f": -1}}}"#).is_err());
+    }
+}

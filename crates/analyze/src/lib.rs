@@ -1,0 +1,393 @@
+//! `extradeep-analyze`: project-invariant static analysis for the Extra-Deep
+//! workspace.
+//!
+//! The engine parses every Rust file in the workspace (a hand-rolled lexical
+//! model — see [`source`] — rather than a full AST, so it runs with zero
+//! dependencies in offline builds), applies the lint catalog in [`lints`],
+//! honours inline `// analyze:allow(<lint>) <justification>` suppressions,
+//! and compares the surviving findings against the committed ratchet
+//! baseline ([`baseline`]): frozen debt passes, anything new fails CI.
+//!
+//! Violation and file counts are surfaced through the `extradeep-obs`
+//! counter layer so the self-profiling pipeline can track lint debt like any
+//! other metric.
+
+pub mod baseline;
+pub mod json;
+pub mod lints;
+pub mod source;
+
+use baseline::{Baseline, Comparison};
+use json::Json;
+use lints::Violation;
+use source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One suppressed finding with the directive that silenced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    pub violation: Violation,
+    pub justification: String,
+}
+
+/// A directive that silenced nothing — usually a typo'd lint name or code
+/// that was since fixed; reported so stale allows get cleaned up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedAllow {
+    pub path: String,
+    pub line: usize,
+    pub lint: String,
+}
+
+/// The outcome of analyzing a set of files.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisResult {
+    /// Findings that survived suppression, sorted by (path, line, lint).
+    pub violations: Vec<Violation>,
+    pub suppressed: Vec<Suppressed>,
+    pub unused_allows: Vec<UnusedAllow>,
+    pub files_scanned: usize,
+}
+
+impl AnalysisResult {
+    /// Per-lint counts of active violations.
+    pub fn counts_by_lint(&self) -> BTreeMap<&'static str, u64> {
+        let mut map: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for lint in lints::all_lints() {
+            map.insert(lint.name, 0);
+        }
+        for v in &self.violations {
+            *map.entry(v.lint).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Publishes scan statistics through the obs counter layer.
+    pub fn publish_counters(&self) {
+        extradeep_obs::counter("analyze.files_scanned").add(self.files_scanned as u64);
+        extradeep_obs::counter("analyze.violations").add(self.violations.len() as u64);
+        extradeep_obs::counter("analyze.suppressed").add(self.suppressed.len() as u64);
+        extradeep_obs::counter("analyze.unused_allows").add(self.unused_allows.len() as u64);
+        for v in &self.violations {
+            // Counter names must be 'static; match back onto the registry.
+            let name = match v.lint {
+                lints::PANIC_ON_DATA_PATH => "analyze.violations.panic_on_data_path",
+                lints::NAN_UNSAFE_ORDERING => "analyze.violations.nan_unsafe_ordering",
+                lints::NONDETERMINISTIC_ITERATION => {
+                    "analyze.violations.nondeterministic_iteration"
+                }
+                lints::UNSEEDED_RNG => "analyze.violations.unseeded_rng",
+                lints::RAW_DURATION_ARITH => "analyze.violations.raw_duration_arith",
+                _ => "analyze.violations.other",
+            };
+            extradeep_obs::counter(name).incr();
+        }
+    }
+}
+
+/// Analyzes one already-parsed file, applying suppressions.
+pub fn analyze_file(file: &SourceFile, result: &mut AnalysisResult) {
+    let _span = extradeep_obs::span("analyze.file");
+    result.files_scanned += 1;
+    let findings = lints::check_file(file);
+    // An allow is "used" once it silences at least one finding.
+    let mut used: Vec<(usize, &str)> = Vec::new();
+    for v in findings {
+        let line = &file.lines[v
+            .line
+            .checked_sub(1)
+            .unwrap_or_default()
+            .min(file.lines.len().saturating_sub(1))];
+        match line.allows.iter().find(|a| a.lint == v.lint) {
+            Some(allow) => {
+                used.push((allow.line, v.lint));
+                result.suppressed.push(Suppressed {
+                    justification: allow.justification.clone(),
+                    violation: v,
+                });
+            }
+            None => result.violations.push(v),
+        }
+    }
+    // Every allow lives on exactly one line (standalone directives are moved,
+    // not copied, onto the code line they cover), so a plain sweep finds the
+    // unused ones without double counting.
+    for line in &file.lines {
+        for allow in &line.allows {
+            if !used
+                .iter()
+                .any(|(l, n)| *l == allow.line && *n == allow.lint)
+            {
+                result.unused_allows.push(UnusedAllow {
+                    path: file.path.clone(),
+                    line: allow.line,
+                    lint: allow.lint.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Walks the workspace and analyzes every `.rs` file. Paths are reported
+/// relative to `root` with `/` separators; the walk order is sorted so the
+/// report is deterministic.
+pub fn analyze_tree(root: &Path) -> std::io::Result<AnalysisResult> {
+    let _span = extradeep_obs::span("analyze.tree");
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let mut result = AnalysisResult::default();
+    for rel in &files {
+        let source_text = std::fs::read_to_string(root.join(rel))?;
+        let file = SourceFile::from_source(&rel.replace('\\', "/"), &source_text);
+        analyze_file(&file, &mut result);
+    }
+    result
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    result
+        .unused_allows
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(result)
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the human-readable report.
+pub fn render_human(result: &AnalysisResult, comparison: &Comparison, verbose: bool) -> String {
+    let mut out = String::new();
+    for v in &result.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.path, v.line, v.lint, v.message, v.snippet
+        ));
+    }
+    if verbose {
+        for s in &result.suppressed {
+            let v = &s.violation;
+            out.push_str(&format!(
+                "{}:{}: [{}] suppressed: {}\n",
+                v.path,
+                v.line,
+                v.lint,
+                if s.justification.is_empty() {
+                    "(no justification)"
+                } else {
+                    &s.justification
+                }
+            ));
+        }
+    }
+    for u in &result.unused_allows {
+        out.push_str(&format!(
+            "{}:{}: unused `analyze:allow({})` — remove or fix the lint name\n",
+            u.path, u.line, u.lint
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} file(s) scanned, {} violation(s) ({} suppressed), {} unused allow(s)\n",
+        result.files_scanned,
+        result.violations.len(),
+        result.suppressed.len(),
+        result.unused_allows.len()
+    ));
+    for (lint, count) in result.counts_by_lint() {
+        out.push_str(&format!("  {lint}: {count}\n"));
+    }
+    if !comparison.regressions.is_empty() {
+        out.push_str("\nNEW violations over the ratchet baseline:\n");
+        for d in &comparison.regressions {
+            out.push_str(&format!(
+                "  {} in {}: {} (baseline {})\n",
+                d.lint, d.path, d.current, d.baseline
+            ));
+        }
+    }
+    if !comparison.improvements.is_empty() {
+        out.push_str("\nImprovements vs baseline (re-ratchet with --update-baseline):\n");
+        for d in &comparison.improvements {
+            out.push_str(&format!(
+                "  {} in {}: {} (baseline {})\n",
+                d.lint, d.path, d.current, d.baseline
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report.
+pub fn render_json(result: &AnalysisResult, comparison: &Comparison) -> String {
+    let violation_json = |v: &Violation| {
+        Json::Obj(BTreeMap::from([
+            ("lint".to_string(), Json::Str(v.lint.to_string())),
+            ("path".to_string(), Json::Str(v.path.clone())),
+            ("line".to_string(), Json::Num(v.line as f64)),
+            ("message".to_string(), Json::Str(v.message.clone())),
+        ]))
+    };
+    let counts = Json::Obj(
+        result
+            .counts_by_lint()
+            .into_iter()
+            .map(|(k, n)| (k.to_string(), Json::Num(n as f64)))
+            .collect(),
+    );
+    let regressions = Json::Arr(
+        comparison
+            .regressions
+            .iter()
+            .map(|d| {
+                Json::Obj(BTreeMap::from([
+                    ("lint".to_string(), Json::Str(d.lint.clone())),
+                    ("path".to_string(), Json::Str(d.path.clone())),
+                    ("baseline".to_string(), Json::Num(d.baseline as f64)),
+                    ("current".to_string(), Json::Num(d.current as f64)),
+                ]))
+            })
+            .collect(),
+    );
+    Json::Obj(BTreeMap::from([
+        (
+            "files_scanned".to_string(),
+            Json::Num(result.files_scanned as f64),
+        ),
+        (
+            "violations".to_string(),
+            Json::Arr(result.violations.iter().map(violation_json).collect()),
+        ),
+        ("counts".to_string(), counts),
+        (
+            "suppressed".to_string(),
+            Json::Num(result.suppressed.len() as f64),
+        ),
+        (
+            "unused_allows".to_string(),
+            Json::Num(result.unused_allows.len() as f64),
+        ),
+        ("new_violations".to_string(), regressions),
+        (
+            "ok".to_string(),
+            Json::Bool(comparison.regressions.is_empty()),
+        ),
+    ]))
+    .render_pretty()
+}
+
+/// Renders a perf-history snapshot (`bench/history.rs` conventions: flat
+/// records keyed by `name`; bare counts are informational metrics).
+pub fn render_bench_json(result: &AnalysisResult) -> String {
+    let mut records = vec![Json::Obj(BTreeMap::from([
+        (
+            "name".to_string(),
+            Json::Str("analyze_violations_total".to_string()),
+        ),
+        (
+            "value".to_string(),
+            Json::Num(result.violations.len() as f64),
+        ),
+    ]))];
+    for (lint, count) in result.counts_by_lint() {
+        records.push(Json::Obj(BTreeMap::from([
+            (
+                "name".to_string(),
+                Json::Str(format!("analyze_violations_{}", lint.replace('-', "_"))),
+            ),
+            ("value".to_string(), Json::Num(count as f64)),
+        ])));
+    }
+    Json::Arr(records).render_pretty()
+}
+
+/// Compares against a baseline, treating a missing baseline as empty (every
+/// violation is then new).
+pub fn compare_to_baseline(result: &AnalysisResult, baseline: Option<&Baseline>) -> Comparison {
+    static EMPTY: Baseline = Baseline {
+        counts: BTreeMap::new(),
+    };
+    baseline.unwrap_or(&EMPTY).compare(&result.violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_snippet(path: &str, src: &str) -> AnalysisResult {
+        let file = SourceFile::from_source(path, src);
+        let mut result = AnalysisResult::default();
+        analyze_file(&file, &mut result);
+        result
+    }
+
+    #[test]
+    fn allow_suppresses_and_records_justification() {
+        let r = analyze_snippet(
+            "crates/model/src/a.rs",
+            "fn f() { x.unwrap(); } // analyze:allow(panic-on-data-path) config parse at startup\n",
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].justification, "config parse at startup");
+        assert!(r.unused_allows.is_empty());
+    }
+
+    #[test]
+    fn allow_for_wrong_lint_does_not_suppress() {
+        let r = analyze_snippet(
+            "crates/model/src/a.rs",
+            "fn f() { x.unwrap(); } // analyze:allow(unseeded-rng) wrong name\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.unused_allows.len(), 1);
+        assert_eq!(r.unused_allows[0].lint, "unseeded-rng");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let r = analyze_snippet(
+            "crates/model/src/a.rs",
+            "// analyze:allow(panic-on-data-path): guarded by is_finite above\nfn f() { x.unwrap(); }\n",
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn counts_by_lint_covers_registry() {
+        let r = analyze_snippet("crates/core/src/a.rs", "fn ok() {}\n");
+        assert_eq!(r.counts_by_lint().len(), lints::all_lints().len());
+        assert!(r.counts_by_lint().values().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_flags_ok() {
+        let r = analyze_snippet("crates/model/src/a.rs", "fn f() { x.unwrap(); }\n");
+        let cmp = compare_to_baseline(&r, None);
+        let doc = Json::parse(&render_json(&r, &cmp)).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(obj.get("files_scanned").and_then(Json::as_num), Some(1.0));
+    }
+}

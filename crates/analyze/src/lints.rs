@@ -1,0 +1,438 @@
+//! The project lint catalog.
+//!
+//! Each lint encodes an invariant the pipeline already depends on:
+//!
+//! * `panic-on-data-path` — the trace-load / aggregate / model-fit crates
+//!   must surface typed errors, never panic, on data-dependent input
+//!   (the fault-injection harness of PR 4 feeds them arbitrary garbage).
+//! * `nan-unsafe-ordering` — `partial_cmp().unwrap()` panics on NaN and
+//!   `unwrap_or(Equal)` silently mis-sorts it; orderings on floats must use
+//!   `f64::total_cmp` or the NaN-ignoring statistics helpers.
+//! * `nondeterministic-iteration` — `HashMap`/`HashSet` iteration order is
+//!   randomized per process; anything that can reach a serialized artifact
+//!   or a report table must use `BTreeMap`/`BTreeSet` or sort explicitly.
+//! * `unseeded-rng` — all randomness must flow from the seeded splitmix64
+//!   streams in `sim::noise` so fault plans and simulations replay
+//!   identically; ambient-entropy constructors are banned.
+//! * `raw-duration-arith` — ad-hoc `* 1e9` / `* 1e-9` conversions between
+//!   `u64` nanoseconds and `f64` seconds drift apart one call site at a
+//!   time; conversions go through `trace::units`.
+
+use crate::source::SourceFile;
+
+/// Static metadata of one lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lint {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// One finding, before suppression/baseline filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub lint: &'static str,
+    pub path: String,
+    /// 1-based.
+    pub line: usize,
+    pub message: String,
+    pub snippet: String,
+}
+
+pub const PANIC_ON_DATA_PATH: &str = "panic-on-data-path";
+pub const NAN_UNSAFE_ORDERING: &str = "nan-unsafe-ordering";
+pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+pub const RAW_DURATION_ARITH: &str = "raw-duration-arith";
+
+/// The registry, in reporting order.
+pub fn all_lints() -> &'static [Lint] {
+    &[
+        Lint {
+            name: PANIC_ON_DATA_PATH,
+            summary: "unwrap/expect/panic! in non-test code of the trace/agg/model data path",
+        },
+        Lint {
+            name: NAN_UNSAFE_ORDERING,
+            summary: "partial_cmp with unwrap/unwrap_or on floats; use f64::total_cmp",
+        },
+        Lint {
+            name: NONDETERMINISTIC_ITERATION,
+            summary: "HashMap/HashSet in non-test code; use BTreeMap/BTreeSet or sort",
+        },
+        Lint {
+            name: UNSEEDED_RNG,
+            summary: "RNG from ambient entropy; use the seeded streams in sim::noise",
+        },
+        Lint {
+            name: RAW_DURATION_ARITH,
+            summary: "inline ns<->s conversion arithmetic; use trace::units helpers",
+        },
+    ]
+}
+
+/// Crates whose non-test code is a data path: they consume measurement data
+/// (possibly corrupted) and must fail with typed errors instead of panicking.
+const DATA_PATH_PREFIXES: &[&str] = &["crates/trace/src/", "crates/agg/src/", "crates/model/src/"];
+
+/// The one file allowed to spell out ns<->s conversion constants.
+const UNITS_FILE_SUFFIX: &str = "trace/src/units.rs";
+
+/// Runs every lint over one parsed file.
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    panic_on_data_path(file, &mut out);
+    nan_unsafe_ordering(file, &mut out);
+    nondeterministic_iteration(file, &mut out);
+    unseeded_rng(file, &mut out);
+    raw_duration_arith(file, &mut out);
+    out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    out
+}
+
+fn snippet(file: &SourceFile, line_idx: usize) -> String {
+    file.lines
+        .get(line_idx)
+        .map(|l| l.raw.trim().to_string())
+        .unwrap_or_default()
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    lint: &'static str,
+    file: &SourceFile,
+    line_idx: usize,
+    msg: String,
+) {
+    out.push(Violation {
+        lint,
+        path: file.path.clone(),
+        line: file.lines[line_idx].number,
+        message: msg,
+        snippet: snippet(file, line_idx),
+    });
+}
+
+/// `panic-on-data-path`: panicking constructs in non-test code of the
+/// trace/agg/model crates.
+fn panic_on_data_path(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !DATA_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    const PATTERNS: &[(&str, &str)] = &[
+        (".unwrap()", "unwrap() panics on the error/None case"),
+        (".expect(", "expect() panics on the error/None case"),
+        ("panic!(", "explicit panic"),
+        (
+            "unreachable!(",
+            "unreachable!() is a panic on surprising data",
+        ),
+        ("todo!(", "todo!() panics"),
+        ("unimplemented!(", "unimplemented!() panics"),
+        (
+            ".unwrap_unchecked(",
+            "unwrap_unchecked is UB on the None case",
+        ),
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for (pat, why) in PATTERNS {
+            if line.scrubbed.contains(pat) {
+                push(
+                    out,
+                    PANIC_ON_DATA_PATH,
+                    file,
+                    i,
+                    format!(
+                        "`{}` on a data path: {why}; return a typed error instead",
+                        pat.trim_matches(['.', '('])
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `nan-unsafe-ordering`: `partial_cmp` immediately unwrapped (panics on
+/// NaN) or defaulted (silently mis-sorts NaN). Patterns may span lines, so
+/// the scan runs over the flattened scrubbed text.
+fn nan_unsafe_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
+    let (text, offsets) = file.flat_scrubbed();
+    const UNWRAPS: &[&str] = &[
+        ".unwrap()",
+        ".unwrap_or(",
+        ".unwrap_or_else(",
+        ".unwrap_or_default()",
+        ".expect(",
+    ];
+    let mut start = 0;
+    while let Some(found) = text[start..].find("partial_cmp") {
+        let pos = start + found;
+        start = pos + "partial_cmp".len();
+        // Skip trait-impl definitions: `fn partial_cmp(...)`.
+        let mut lo = pos.saturating_sub(16);
+        while !text.is_char_boundary(lo) {
+            lo -= 1;
+        }
+        if text[lo..pos].trim_end().ends_with("fn") {
+            continue;
+        }
+        let line_idx = SourceFile::line_of_offset(&offsets, pos);
+        if file.lines[line_idx].in_test_code {
+            continue;
+        }
+        // The chained unwrap follows within the same expression; 200 chars
+        // comfortably covers rustfmt-wrapped chains.
+        let mut window_end = (pos + 200).min(text.len());
+        while !text.is_char_boundary(window_end) {
+            window_end += 1;
+        }
+        let window = &text[pos..window_end];
+        if let Some(hit) = UNWRAPS.iter().find(|u| window.contains(**u)) {
+            let verb = if hit.contains("unwrap_or") || hit.contains("expect(") {
+                "defaults NaN comparisons, silently mis-sorting them"
+            } else {
+                "panics the moment a NaN reaches the comparison"
+            };
+            push(
+                out,
+                NAN_UNSAFE_ORDERING,
+                file,
+                line_idx,
+                format!("`partial_cmp(){hit}` {verb}; use f64::total_cmp or a NaN-ignoring helper"),
+            );
+        }
+    }
+}
+
+/// `nondeterministic-iteration`: any HashMap/HashSet in non-test code. Even
+/// lookup-only maps are flagged — a later change can start iterating one
+/// into a serialized artifact without touching the declaration site, so
+/// justified uses must carry an explicit allow.
+fn nondeterministic_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
+    const PATTERNS: &[&str] = &["HashMap", "HashSet"];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for pat in PATTERNS {
+            // `FxHashMap` etc. still match on the suffix; a preceding ident
+            // char only happens for such aliases, so every match counts.
+            if line.scrubbed.contains(pat) {
+                push(
+                    out,
+                    NONDETERMINISTIC_ITERATION,
+                    file,
+                    i,
+                    format!(
+                        "`{pat}` iteration order is randomized per process; \
+                         use BTree{} or sort before anything ordered/serialized",
+                        &pat[4..]
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// `unseeded-rng`: randomness constructed from ambient entropy instead of
+/// the seeded splitmix64 streams (`sim::noise::Rng::new` / `Rng::stream`).
+fn unseeded_rng(file: &SourceFile, out: &mut Vec<Violation>) {
+    const PATTERNS: &[&str] = &[
+        "thread_rng(",
+        "from_entropy(",
+        "rand::random",
+        "OsRng",
+        "getrandom(",
+        "RandomState::new(",
+        "from_os_rng(",
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for pat in PATTERNS {
+            if line.scrubbed.contains(pat) {
+                push(
+                    out,
+                    UNSEEDED_RNG,
+                    file,
+                    i,
+                    format!(
+                        "`{}` draws ambient entropy and breaks fault-plan replay; \
+                         derive a seeded stream (sim::noise::Rng::stream) instead",
+                        pat.trim_matches('(')
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// `raw-duration-arith`: `* 1e9` / `* 1e-9` style ns<->s conversions outside
+/// `trace::units`. Only fires when the statement visibly handles durations
+/// (an identifier ending in `_ns`, or containing `secs`/`seconds`/
+/// `elapsed`/`nanos`), so bandwidth math like `bytes / (gbs * 1e9)` passes.
+fn raw_duration_arith(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.path.ends_with(UNITS_FILE_SUFFIX) {
+        return;
+    }
+    const LITERALS: &[&str] = &["1e9", "1e-9", "1e+9", "1_000_000_000"];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        let text = &line.scrubbed;
+        if !mentions_duration(text) {
+            continue;
+        }
+        let hit = LITERALS.iter().any(|lit| {
+            text.match_indices(lit).any(|(pos, _)| {
+                // Exclude longer numbers (e.g. `1e-99`) and non-arithmetic
+                // uses (comparisons like `< 1e-9` are tolerances, not
+                // conversions).
+                let after = text[pos + lit.len()..].chars().next();
+                if matches!(after, Some(c) if c.is_ascii_digit() || c == '.' || c == '_') {
+                    return false;
+                }
+                let before = text[..pos].trim_end().chars().last();
+                let following = text[pos + lit.len()..].trim_start().chars().next();
+                matches!(before, Some('*' | '/')) || matches!(following, Some('*' | '/'))
+            })
+        });
+        if hit {
+            push(
+                out,
+                RAW_DURATION_ARITH,
+                file,
+                i,
+                "inline ns<->s conversion; use trace::units (ns_to_secs / secs_to_ns / NANOS_PER_SEC)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn mentions_duration(text: &str) -> bool {
+    // Identifier-boundary-aware check for a `_ns`-suffixed name.
+    let bytes = text.as_bytes();
+    let has_ns_ident = text.match_indices("ns").any(|(pos, _)| {
+        let before_ok = pos >= 1 && bytes[pos - 1] == b'_';
+        let after = bytes.get(pos + 2);
+        let after_ok = !matches!(after, Some(c) if c.is_ascii_alphanumeric() || *c == b'_');
+        before_ok && after_ok
+    });
+    has_ns_ident
+        || text.contains("secs")
+        || text.contains("seconds")
+        || text.contains("elapsed")
+        || text.contains("nanos")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn hits(path: &str, src: &str, lint: &str) -> Vec<Violation> {
+        let file = SourceFile::from_source(path, src);
+        check_file(&file)
+            .into_iter()
+            .filter(|v| v.lint == lint)
+            .collect()
+    }
+
+    #[test]
+    fn panic_lint_scopes_to_data_path_crates() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            hits("crates/model/src/a.rs", src, PANIC_ON_DATA_PATH).len(),
+            1
+        );
+        assert_eq!(
+            hits("crates/agg/src/a.rs", src, PANIC_ON_DATA_PATH).len(),
+            1
+        );
+        assert!(hits("crates/sim/src/a.rs", src, PANIC_ON_DATA_PATH).is_empty());
+    }
+
+    #[test]
+    fn panic_lint_ignores_unwrap_or_and_tests() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_default(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { z.unwrap(); }\n}\n";
+        assert!(hits("crates/model/src/a.rs", src, PANIC_ON_DATA_PATH).is_empty());
+    }
+
+    #[test]
+    fn nan_lint_catches_unwrap_and_unwrap_or_even_wrapped() {
+        let src = "fn f() {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                       w.max_by(|a, b| {\n        a.x\n            .partial_cmp(&b.x)\n\
+                               .unwrap_or(std::cmp::Ordering::Equal)\n    });\n}\n";
+        let v = hits("crates/core/src/a.rs", src, NAN_UNSAFE_ORDERING);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 5);
+    }
+
+    #[test]
+    fn nan_lint_skips_trait_impls_and_total_cmp() {
+        let src =
+            "impl PartialOrd for X {\n    fn partial_cmp(&self, o: &X) -> Option<Ordering> {\n\
+                           Some(self.cmp(o))\n    }\n}\nfn g() { v.sort_by(f64::total_cmp); }\n";
+        assert!(hits("crates/core/src/a.rs", src, NAN_UNSAFE_ORDERING).is_empty());
+    }
+
+    #[test]
+    fn hash_lint_flags_maps_and_sets_outside_tests() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let s: HashSet<u32> = HashSet::new(); }\n";
+        let v = hits("crates/core/src/a.rs", src, NONDETERMINISTIC_ITERATION);
+        assert_eq!(v.len(), 2);
+        let src_test = "#[cfg(test)]\nmod tests {\n use std::collections::HashSet;\n}\n";
+        assert!(hits("crates/core/src/a.rs", src_test, NONDETERMINISTIC_ITERATION).is_empty());
+    }
+
+    #[test]
+    fn rng_lint_flags_ambient_entropy() {
+        let src = "fn f() { let mut r = rand::thread_rng(); }\n";
+        assert_eq!(hits("crates/sim/src/a.rs", src, UNSEEDED_RNG).len(), 1);
+        let seeded = "fn f() { let mut r = Rng::stream(seed, &[1]); }\n";
+        assert!(hits("crates/sim/src/a.rs", seeded, UNSEEDED_RNG).is_empty());
+    }
+
+    #[test]
+    fn duration_lint_fires_on_ns_conversions_only() {
+        let bad = "let secs = total_ns as f64 * 1e-9;\n";
+        assert_eq!(
+            hits("crates/trace/src/x.rs", bad, RAW_DURATION_ARITH).len(),
+            1
+        );
+        let bad2 = "let dur_ns = (row.seconds * mult * 1e9).round() as u64;\n";
+        assert_eq!(
+            hits("crates/sim/src/x.rs", bad2, RAW_DURATION_ARITH).len(),
+            1
+        );
+        // Bandwidth math and tolerances stay clean.
+        let bw = "let t = bytes as f64 / (beta_gbs * 1e9);\n";
+        assert!(hits("crates/sim/src/x.rs", bw, RAW_DURATION_ARITH).is_empty());
+        let tol = "assert!(delta_seconds.abs() < 1e-9);\n";
+        assert!(hits("crates/model/src/x.rs", tol, RAW_DURATION_ARITH).is_empty());
+        // The units module itself is exempt.
+        let units = "pub fn ns_to_secs(ns: u64) -> f64 { ns as f64 * 1e-9 }\n";
+        assert!(hits("crates/trace/src/units.rs", units, RAW_DURATION_ARITH).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_fire() {
+        let src = "let msg = \"call .unwrap() on a HashMap with thread_rng\";\n";
+        for lint in [PANIC_ON_DATA_PATH, NONDETERMINISTIC_ITERATION, UNSEEDED_RNG] {
+            assert!(
+                hits("crates/model/src/a.rs", src, lint).is_empty(),
+                "{lint}"
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! CLI for `extradeep-analyze`.
+//!
+//! ```text
+//! extradeep-analyze [--root DIR] [--baseline FILE] [--update-baseline]
+//!                   [--json] [--bench-json FILE] [--list-lints]
+//!                   [--verbose] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 — clean (no violations beyond the ratchet baseline);
+//! 1 — new violations; 2 — usage or I/O error.
+
+use extradeep_analyze::baseline::Baseline;
+use extradeep_analyze::{
+    analyze_tree, compare_to_baseline, lints, render_bench_json, render_human, render_json,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    json: bool,
+    bench_json: Option<PathBuf>,
+    list_lints: bool,
+    verbose: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        update_baseline: false,
+        json: false,
+        bench_json: None,
+        list_lints: false,
+        verbose: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root requires a directory")?,
+                ))
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline requires a file")?,
+                ))
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => opts.json = true,
+            "--bench-json" => {
+                opts.bench_json = Some(PathBuf::from(
+                    args.next().ok_or("--bench-json requires a file")?,
+                ))
+            }
+            "--list-lints" => opts.list_lints = true,
+            "--verbose" => opts.verbose = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "extradeep-analyze: project-invariant static analysis
+
+USAGE: extradeep-analyze [OPTIONS]
+
+OPTIONS:
+    --root DIR          workspace root (default: auto-detected from cwd)
+    --baseline FILE     ratchet baseline (default: ROOT/analyze-baseline.json)
+    --update-baseline   rewrite the baseline to current violation counts
+    --json              emit the machine-readable report on stdout
+    --bench-json FILE   write perf-history style lint-count metrics
+    --list-lints        print the lint catalog and exit
+    --verbose           also print suppressed findings
+    --quiet             suppress the human report (exit code only)";
+
+/// Finds the workspace root: the nearest ancestor of `start` containing a
+/// `Cargo.toml` with a `[workspace]` table.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    if opts.list_lints {
+        for lint in lints::all_lints() {
+            println!("{:28} {}", lint.name, lint.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root")?
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("analyze-baseline.json"));
+
+    let result = analyze_tree(&root).map_err(|e| format!("scan failed: {e}"))?;
+    result.publish_counters();
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Some(
+            Baseline::from_json(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+        ),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("{}: {e}", baseline_path.display())),
+    };
+
+    if opts.update_baseline {
+        let updated = Baseline::from_violations(&result.violations);
+        std::fs::write(&baseline_path, updated.to_json())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        if !opts.quiet {
+            eprintln!(
+                "wrote {} ({} frozen violation(s))",
+                baseline_path.display(),
+                updated.total()
+            );
+        }
+    }
+
+    let effective = if opts.update_baseline {
+        Some(Baseline::from_violations(&result.violations))
+    } else {
+        baseline
+    };
+    let comparison = compare_to_baseline(&result, effective.as_ref());
+
+    if let Some(path) = &opts.bench_json {
+        std::fs::write(path, render_bench_json(&result))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if opts.json {
+        print!("{}", render_json(&result, &comparison));
+    } else if !opts.quiet {
+        print!("{}", render_human(&result, &comparison, opts.verbose));
+    }
+
+    if comparison.regressions.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("extradeep-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Source-file model: comment/string scrubbing, test-region detection, and
+//! inline `// analyze:allow(<lint>) <justification>` suppression directives.
+//!
+//! The engine works on *scrubbed* text — string and char literals blanked,
+//! comments removed — so lint patterns can never match inside a literal or a
+//! doc comment. Scrubbing is a small cross-line state machine (Rust string
+//! literals, raw strings, and block comments all span lines).
+
+/// One inline suppression directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub lint: String,
+    pub justification: String,
+    /// Line carrying the directive comment (1-based).
+    pub line: usize,
+}
+
+/// One physical source line after scrubbing.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    pub raw: String,
+    /// String/char literals blanked, comments removed.
+    pub scrubbed: String,
+    /// Inside a `#[cfg(test)]` / `#[test]` region, or in a test-only file.
+    pub in_test_code: bool,
+    /// Directives that apply to findings on this line.
+    pub allows: Vec<Allow>,
+}
+
+/// A parsed source file ready for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub lines: Vec<Line>,
+}
+
+/// Marker that introduces a suppression inside a line comment.
+pub const ALLOW_MARKER: &str = "analyze:allow(";
+
+#[derive(Clone, Copy, PartialEq)]
+enum ScrubState {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Scrubs one physical line given the entry state; returns the scrubbed text,
+/// the exit state, and the text of any `//` line comment on the line.
+fn scrub_line(line: &str, mut state: ScrubState) -> (String, ScrubState, Option<String>) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut comment: Option<String> = None;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            ScrubState::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = ScrubState::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth > 1 {
+                        ScrubState::BlockComment(depth - 1)
+                    } else {
+                        ScrubState::Code
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            ScrubState::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = ScrubState::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            ScrubState::RawStr(hashes) => {
+                if c == '"' {
+                    let closes = (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        state = ScrubState::Code;
+                        out.push(' ');
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            ScrubState::Code => {
+                if c == '/' && next == Some('/') {
+                    // Line comment: capture its text for allow parsing.
+                    // Doc comments (`///`, `//!`) are prose, not directives —
+                    // they may *mention* the allow marker without meaning it.
+                    let is_doc = matches!(chars.get(i + 2), Some('/' | '!'));
+                    if !is_doc {
+                        comment = Some(chars[i + 2..].iter().collect());
+                    }
+                    break;
+                }
+                if c == '/' && next == Some('*') {
+                    state = ScrubState::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = ScrubState::Str;
+                    out.push(' ');
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte string starts: r", r#", br", b".
+                let prev_is_ident =
+                    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                if !prev_is_ident && (c == 'r' || c == 'b') {
+                    if let Some((raw_form, hashes, consumed)) = raw_string_open(&chars[i..]) {
+                        // `b"..."` is an ordinary (escaped) string; `r`-forms
+                        // are raw and close only on `"` + matching hashes.
+                        state = if raw_form {
+                            ScrubState::RawStr(hashes)
+                        } else {
+                            ScrubState::Str
+                        };
+                        out.push(' ');
+                        i += consumed;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        out.push(' ');
+                        i = j + 1;
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                        out.push(' ');
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime: keep the tick so code shape survives.
+                    out.push(c);
+                    i += 1;
+                    continue;
+                }
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, state, comment)
+}
+
+/// Detects `r"`, `r#"`, `br"`, `b"` etc. at the start of `chars`. Returns
+/// `(is_raw_form, hash_count, chars_consumed_through_opening_quote)`.
+fn raw_string_open(chars: &[char]) -> Option<(bool, u32, usize)> {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    let rawish = chars.get(i) == Some(&'r');
+    if rawish {
+        i += 1;
+    }
+    if i == 0 {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while chars.get(i + hashes as usize) == Some(&'#') {
+        hashes += 1;
+    }
+    let q = i + hashes as usize;
+    if chars.get(q) == Some(&'"') && (rawish || hashes == 0) {
+        Some((rawish, hashes, q + 1))
+    } else {
+        None
+    }
+}
+
+/// Parses `analyze:allow(name[, name...])[:] justification` from a comment.
+fn parse_allows(comment: &str, line: usize) -> Vec<Allow> {
+    let Some(start) = comment.find(ALLOW_MARKER) else {
+        return Vec::new();
+    };
+    let rest = &comment[start + ALLOW_MARKER.len()..];
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    let names = &rest[..close];
+    let justification = rest[close + 1..]
+        .trim_start_matches([':', ' ', '-'])
+        .trim()
+        .to_string();
+    names
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(|n| Allow {
+            lint: n.to_string(),
+            justification: justification.clone(),
+            line,
+        })
+        .collect()
+}
+
+impl SourceFile {
+    /// Parses a file from in-memory source. `path` should be
+    /// workspace-relative; test-only paths (`tests/`, `benches/`,
+    /// `examples/`) mark every line as test code.
+    pub fn from_source(path: &str, source: &str) -> SourceFile {
+        let test_file = is_test_path(path);
+        let mut state = ScrubState::Code;
+        let mut lines: Vec<Line> = Vec::new();
+        let mut pending_allows: Vec<Allow> = Vec::new();
+        for (idx, raw) in source.lines().enumerate() {
+            let (scrubbed, next_state, comment) = scrub_line(raw, state);
+            state = next_state;
+            let mut allows = comment
+                .as_deref()
+                .map(|c| parse_allows(c, idx + 1))
+                .unwrap_or_default();
+            let code_is_blank = scrubbed.trim().is_empty();
+            if code_is_blank && !allows.is_empty() {
+                // Standalone directive comment: applies to the next code line.
+                pending_allows.append(&mut allows);
+                lines.push(Line {
+                    number: idx + 1,
+                    raw: raw.to_string(),
+                    scrubbed,
+                    in_test_code: test_file,
+                    allows: Vec::new(),
+                });
+                continue;
+            }
+            if !code_is_blank && !pending_allows.is_empty() {
+                allows.extend(pending_allows.drain(..));
+            }
+            lines.push(Line {
+                number: idx + 1,
+                raw: raw.to_string(),
+                scrubbed,
+                in_test_code: test_file,
+                allows,
+            });
+        }
+        let mut file = SourceFile {
+            path: path.to_string(),
+            lines,
+        };
+        if !test_file {
+            mark_test_regions(&mut file);
+        }
+        file
+    }
+
+    /// Flattened scrubbed text with `\n` separators, plus the flat offset at
+    /// which each line starts — for lints whose patterns span lines.
+    pub fn flat_scrubbed(&self) -> (String, Vec<usize>) {
+        let mut text = String::new();
+        let mut offsets = Vec::with_capacity(self.lines.len());
+        for line in &self.lines {
+            offsets.push(text.len());
+            text.push_str(&line.scrubbed);
+            text.push('\n');
+        }
+        (text, offsets)
+    }
+
+    /// Maps a flat offset back to a 0-based line index.
+    pub fn line_of_offset(offsets: &[usize], offset: usize) -> usize {
+        match offsets.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+}
+
+fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|seg| {
+        seg == "tests" || seg == "benches" || seg == "examples" || seg == "proptest-regressions"
+    })
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items as test code by brace
+/// matching from the attribute to the item's closing brace.
+fn mark_test_regions(file: &mut SourceFile) {
+    let n = file.lines.len();
+    let mut i = 0;
+    while i < n {
+        let compact: String = file.lines[i]
+            .scrubbed
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        let is_marker = compact.contains("#[cfg(test)]")
+            || compact.contains("#[cfg(all(test")
+            || compact.contains("#[cfg(any(test")
+            || compact.contains("#[test]");
+        if !is_marker {
+            i += 1;
+            continue;
+        }
+        // Scan forward for the item's opening brace; a `;` first means a
+        // braceless item (e.g. `mod tests;`) — mark just these lines.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut end = i;
+        'scan: for (j, line) in file.lines.iter().enumerate().skip(i) {
+            for c in line.scrubbed.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        for line in &mut file.lines[i..=end] {
+            line.in_test_code = true;
+        }
+        i = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_scrubbed() {
+        let f = SourceFile::from_source(
+            "crates/x/src/lib.rs",
+            "let s = \"a.unwrap()\"; // .unwrap() in comment\nlet t = x.unwrap();\n",
+        );
+        assert!(!f.lines[0].scrubbed.contains("unwrap"));
+        assert!(f.lines[1].scrubbed.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let src = "let s = r#\"line one .unwrap()\nline two HashMap\"#;\nlet m = HashMap::new();\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(!f.lines[0].scrubbed.contains("unwrap"));
+        assert!(!f.lines[1].scrubbed.contains("HashMap"));
+        assert!(f.lines[2].scrubbed.contains("HashMap"));
+    }
+
+    #[test]
+    fn block_comments_nest_across_lines() {
+        let src = "/* outer /* inner */ still comment .unwrap() */ let a = 1;\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(!f.lines[0].scrubbed.contains("unwrap"));
+        assert!(f.lines[0].scrubbed.contains("let a = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        // The double-quote char literal must not open a string.
+        assert!(f.lines[0].scrubbed.contains('}'));
+        assert!(f.lines[0].scrubbed.contains("'a"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(!f.lines[0].in_test_code);
+        assert!(f.lines[1].in_test_code);
+        assert!(f.lines[3].in_test_code);
+        assert!(f.lines[4].in_test_code);
+        assert!(!f.lines[5].in_test_code);
+    }
+
+    #[test]
+    fn test_attribute_function_is_marked() {
+        let src = "fn prod() {}\n#[test]\nfn check() {\n    boom();\n}\nfn after() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(f.lines[2].in_test_code);
+        assert!(f.lines[3].in_test_code);
+        assert!(!f.lines[5].in_test_code);
+    }
+
+    #[test]
+    fn tests_directory_is_all_test_code() {
+        let f = SourceFile::from_source("tests/e2e.rs", "fn main() { x.unwrap(); }\n");
+        assert!(f.lines[0].in_test_code);
+    }
+
+    #[test]
+    fn allow_on_same_line_and_standalone() {
+        let src = "let a = x.unwrap(); // analyze:allow(panic-on-data-path) startup only\n\
+                   // analyze:allow(nan-unsafe-ordering): filtered finite above\n\
+                   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert_eq!(f.lines[0].allows.len(), 1);
+        assert_eq!(f.lines[0].allows[0].lint, "panic-on-data-path");
+        assert_eq!(f.lines[0].allows[0].justification, "startup only");
+        assert!(f.lines[1].allows.is_empty());
+        assert_eq!(f.lines[2].allows.len(), 1);
+        assert_eq!(f.lines[2].allows[0].lint, "nan-unsafe-ordering");
+    }
+
+    #[test]
+    fn doc_comments_do_not_declare_allows() {
+        let src = "/// Mentions analyze:allow(panic-on-data-path) in prose.\n\
+                   //! And so does analyze:allow(unseeded-rng) here.\nfn f() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(f.lines.iter().all(|l| l.allows.is_empty()));
+    }
+
+    #[test]
+    fn multi_lint_allow_shares_justification() {
+        let src = "let m = x; // analyze:allow(a-lint, b-lint) both fine here\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert_eq!(f.lines[0].allows.len(), 2);
+        assert_eq!(f.lines[0].allows[1].lint, "b-lint");
+        assert_eq!(f.lines[0].allows[1].justification, "both fine here");
+    }
+
+    #[test]
+    fn flat_offsets_map_back_to_lines() {
+        let f = SourceFile::from_source("crates/x/src/lib.rs", "abc\ndef\nghi\n");
+        let (text, offsets) = f.flat_scrubbed();
+        let pos = text.find("ghi").unwrap();
+        assert_eq!(SourceFile::line_of_offset(&offsets, pos), 2);
+    }
+}

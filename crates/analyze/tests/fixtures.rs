@@ -1,0 +1,175 @@
+//! Fixture-tree tests: every lint is exercised end-to-end through
+//! [`extradeep_analyze::analyze_tree`] on a real on-disk tree — one true
+//! positive and one allowlisted negative per lint — plus a ratchet
+//! round-trip through actual baseline files.
+
+use extradeep_analyze::baseline::Baseline;
+use extradeep_analyze::{analyze_tree, compare_to_baseline};
+use std::path::PathBuf;
+
+/// A throwaway workspace-shaped tree under the system temp dir.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!(
+            "extradeep-analyze-fixture-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, source: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, source).unwrap();
+    }
+
+    fn analyze(&self) -> extradeep_analyze::AnalysisResult {
+        analyze_tree(&self.root).unwrap()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+/// (lint, fixture path, violating line, allowlisted line)
+const CASES: &[(&str, &str, &str, &str)] = &[
+    (
+        "panic-on-data-path",
+        "crates/model/src/fix.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } // analyze:allow(panic-on-data-path) invariant: caller checked\n",
+    ),
+    (
+        "nan-unsafe-ordering",
+        "crates/core/src/fix.rs",
+        "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+        "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); } // analyze:allow(nan-unsafe-ordering) inputs validated finite\n",
+    ),
+    (
+        "nondeterministic-iteration",
+        "crates/core/src/fix.rs",
+        "use std::collections::HashMap;\n",
+        "use std::collections::HashMap; // analyze:allow(nondeterministic-iteration) lookup-only, never iterated\n",
+    ),
+    (
+        "unseeded-rng",
+        "crates/sim/src/fix.rs",
+        "fn f() { let _r = rand::thread_rng(); }\n",
+        "fn f() { let _r = rand::thread_rng(); } // analyze:allow(unseeded-rng) jitter only, not replayed\n",
+    ),
+    (
+        "raw-duration-arith",
+        "crates/sim/src/fix.rs",
+        "fn f(total_ns: u64) -> f64 { total_ns as f64 * 1e-9 }\n",
+        "fn f(total_ns: u64) -> f64 { total_ns as f64 * 1e-9 } // analyze:allow(raw-duration-arith) perf-critical inner loop\n",
+    ),
+];
+
+#[test]
+fn every_lint_has_a_true_positive_through_the_tree_walk() {
+    for (lint, path, bad, _) in CASES {
+        let fix = Fixture::new(&format!("tp-{lint}"));
+        fix.write(path, bad);
+        let result = fix.analyze();
+        assert_eq!(result.files_scanned, 1, "{lint}");
+        let hits: Vec<_> = result
+            .violations
+            .iter()
+            .filter(|v| v.lint == *lint)
+            .collect();
+        assert_eq!(hits.len(), 1, "{lint}: expected one finding in {path}");
+        assert_eq!(hits[0].path, *path, "{lint}");
+        assert_eq!(hits[0].line, 1, "{lint}: finding should carry the line");
+        assert!(result.unused_allows.is_empty(), "{lint}");
+    }
+}
+
+#[test]
+fn every_lint_has_an_allowlisted_negative() {
+    for (lint, path, _, allowed) in CASES {
+        let fix = Fixture::new(&format!("allow-{lint}"));
+        fix.write(path, allowed);
+        let result = fix.analyze();
+        assert!(
+            result.violations.iter().all(|v| v.lint != *lint),
+            "{lint}: allow directive must suppress the finding"
+        );
+        assert_eq!(
+            result
+                .suppressed
+                .iter()
+                .filter(|s| s.violation.lint == *lint)
+                .count(),
+            1,
+            "{lint}: suppression must be recorded, not dropped"
+        );
+        assert!(result.unused_allows.is_empty(), "{lint}: allow was used");
+    }
+}
+
+#[test]
+fn ratchet_round_trips_through_baseline_files() {
+    let fix = Fixture::new("ratchet");
+    fix.write(
+        "crates/model/src/debt.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let first = fix.analyze();
+    assert_eq!(first.violations.len(), 1);
+
+    // Freeze the debt, write it to disk, read it back: the frozen run passes.
+    let baseline_path = fix.root.join("analyze-baseline.json");
+    let frozen = Baseline::from_violations(&first.violations);
+    std::fs::write(&baseline_path, frozen.to_json()).unwrap();
+    let reloaded = Baseline::from_json(&std::fs::read_to_string(&baseline_path).unwrap()).unwrap();
+    assert_eq!(reloaded, frozen);
+    let cmp = compare_to_baseline(&first, Some(&reloaded));
+    assert!(cmp.regressions.is_empty(), "frozen debt must pass");
+    assert!(cmp.improvements.is_empty());
+
+    // New debt in another file is a regression even with old debt frozen.
+    fix.write(
+        "crates/agg/src/new_debt.rs",
+        "fn g() { panic!(\"data-dependent\"); }\n",
+    );
+    let second = fix.analyze();
+    let cmp = compare_to_baseline(&second, Some(&reloaded));
+    assert_eq!(cmp.regressions.len(), 1);
+    assert_eq!(cmp.regressions[0].path, "crates/agg/src/new_debt.rs");
+
+    // Fixing the original debt shows up as an improvement, never a failure.
+    fix.write("crates/model/src/debt.rs", "fn f() {}\n");
+    fix.write("crates/agg/src/new_debt.rs", "fn g() {}\n");
+    let third = fix.analyze();
+    let cmp = compare_to_baseline(&third, Some(&reloaded));
+    assert!(cmp.regressions.is_empty());
+    assert_eq!(cmp.improvements.len(), 1);
+    assert_eq!(cmp.improvements[0].current, 0);
+}
+
+#[test]
+fn tree_walk_skips_tests_and_target_directories() {
+    let fix = Fixture::new("skips");
+    // Integration-test trees are all-test code: no data-path findings.
+    fix.write(
+        "crates/model/tests/it.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    // Build artifacts are never scanned at all.
+    fix.write(
+        "target/debug/build/gen.rs",
+        "fn f() { let _ = std::collections::HashMap::<u32, u32>::new(); }\n",
+    );
+    let result = fix.analyze();
+    assert_eq!(result.files_scanned, 1);
+    assert!(result.violations.is_empty());
+}

@@ -1,0 +1,111 @@
+//! The analyzer run against the real workspace: the committed source must be
+//! clean, and the committed ratchet baseline must match reality.
+//!
+//! This is the same check CI's `analyze` job performs, expressed as a test so
+//! `cargo test` alone catches a reintroduced violation or a stale baseline.
+
+use extradeep_analyze::baseline::Baseline;
+use extradeep_analyze::{analyze_tree, compare_to_baseline, lints};
+use std::path::PathBuf;
+
+/// The workspace root: from `CARGO_MANIFEST_DIR` under cargo, otherwise the
+/// nearest ancestor of the current directory holding `analyze-baseline.json`.
+fn workspace_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        return PathBuf::from(dir).join("../..").canonicalize().unwrap();
+    }
+    let cwd = std::env::current_dir().unwrap();
+    cwd.ancestors()
+        .find(|d| d.join("analyze-baseline.json").is_file())
+        .expect("workspace root with analyze-baseline.json not found")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_passes_the_ratchet() {
+    let root = workspace_root();
+    let result = analyze_tree(&root).unwrap();
+    assert!(
+        result.files_scanned > 50,
+        "walk found the workspace sources"
+    );
+
+    let baseline_text = std::fs::read_to_string(root.join("analyze-baseline.json")).unwrap();
+    let baseline = Baseline::from_json(&baseline_text).unwrap();
+    let cmp = compare_to_baseline(&result, Some(&baseline));
+    assert!(
+        cmp.regressions.is_empty(),
+        "new violations over the committed baseline: {:?}",
+        cmp.regressions
+    );
+    assert!(
+        cmp.improvements.is_empty(),
+        "baseline is stale; re-run with --update-baseline: {:?}",
+        cmp.improvements
+    );
+}
+
+#[test]
+fn nan_and_determinism_lints_are_at_zero() {
+    // These two are hard invariants, not ratcheted debt: the committed
+    // baseline must not carry a single frozen count for either.
+    let root = workspace_root();
+    let result = analyze_tree(&root).unwrap();
+    let counts = result.counts_by_lint();
+    for lint in [
+        lints::NAN_UNSAFE_ORDERING,
+        lints::NONDETERMINISTIC_ITERATION,
+    ] {
+        assert_eq!(
+            counts.get(lint),
+            Some(&0),
+            "{lint} must stay at zero violations:\n{:#?}",
+            result
+                .violations
+                .iter()
+                .filter(|v| v.lint == lint)
+                .collect::<Vec<_>>()
+        );
+    }
+    let baseline_text = std::fs::read_to_string(root.join("analyze-baseline.json")).unwrap();
+    let baseline = Baseline::from_json(&baseline_text).unwrap();
+    assert_eq!(baseline.lint_total(lints::NAN_UNSAFE_ORDERING), 0);
+    assert_eq!(baseline.lint_total(lints::NONDETERMINISTIC_ITERATION), 0);
+}
+
+#[test]
+fn analyzer_passes_its_own_lints() {
+    let root = workspace_root();
+    let result = analyze_tree(&root.join("crates/analyze")).unwrap();
+    assert!(
+        result.violations.is_empty(),
+        "the lint engine must be clean under its own lints: {:?}",
+        result.violations
+    );
+    assert!(
+        result.unused_allows.is_empty(),
+        "stale allow directives in the analyzer: {:?}",
+        result.unused_allows
+    );
+}
+
+#[test]
+fn no_stale_allows_anywhere() {
+    let root = workspace_root();
+    let result = analyze_tree(&root).unwrap();
+    assert!(
+        result.unused_allows.is_empty(),
+        "allow directives that silence nothing: {:?}",
+        result.unused_allows
+    );
+    // Every live suppression must carry a justification.
+    for s in &result.suppressed {
+        assert!(
+            !s.justification.is_empty(),
+            "unjustified allow for {} at {}:{}",
+            s.violation.lint,
+            s.violation.path,
+            s.violation.line
+        );
+    }
+}

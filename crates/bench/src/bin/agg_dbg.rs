@@ -26,7 +26,7 @@ fn main() {
                 (k.id.name.clone(), f)
             })
             .collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
         let total: f64 = rows.iter().map(|r| r.1).sum();
         println!("total {total:.2}");
         for (n, f) in rows.iter().take(8) {

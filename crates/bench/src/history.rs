@@ -90,7 +90,7 @@ impl PerfHistory {
         if values.is_empty() {
             return None;
         }
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         let n = values.len();
         Some(if n % 2 == 1 {
             values[n / 2]
@@ -182,11 +182,7 @@ pub fn detect_regressions(
             });
         }
     }
-    out.sort_by(|a, b| {
-        b.relative_change
-            .partial_cmp(&a.relative_change)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    out.sort_by(|a, b| b.relative_change.total_cmp(&a.relative_change));
     out
 }
 

@@ -36,8 +36,7 @@ pub fn rank_by_growth(set: &ModelSet, probe_scale: f64) -> Vec<RankedKernel> {
             .cmp(&a.function.growth_key())
             .then_with(|| {
                 b.predict_at(probe_scale)
-                    .partial_cmp(&a.predict_at(probe_scale))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&a.predict_at(probe_scale))
             })
     });
     entries

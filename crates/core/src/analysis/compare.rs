@@ -84,8 +84,7 @@ pub fn compare_model_sets(a: &ModelSet, b: &ModelSet, probe_scale: f64) -> Compa
         y.ratio_at_probe
             .ln()
             .abs()
-            .partial_cmp(&x.ratio_at_probe.ln().abs())
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&x.ratio_at_probe.ln().abs())
     });
 
     let epoch_ratio = b.app.epoch.predict_at(probe_scale).max(1e-12)

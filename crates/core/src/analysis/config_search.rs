@@ -79,16 +79,12 @@ pub fn find_cost_effective(
         ScalingMode::Weak => evaluated
             .iter()
             .filter(|c| c.feasible)
-            .min_by(|a, b| a.ranks.partial_cmp(&b.ranks).unwrap())
+            .min_by(|a, b| a.ranks.total_cmp(&b.ranks))
             .copied(),
         ScalingMode::Strong => evaluated
             .iter()
             .filter(|c| c.feasible)
-            .max_by(|a, b| {
-                a.efficiency_percent
-                    .partial_cmp(&b.efficiency_percent)
-                    .unwrap()
-            })
+            .max_by(|a, b| a.efficiency_percent.total_cmp(&b.efficiency_percent))
             .copied(),
     };
 

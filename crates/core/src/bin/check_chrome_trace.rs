@@ -9,7 +9,7 @@
 //! Exits 0 when valid; prints the first problem and exits 1 otherwise. CI
 //! runs this against the self-profile of a small pipeline run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -42,8 +42,8 @@ fn main() -> ExitCode {
     };
 
     // Per-tid open-span stacks and last-seen timestamps.
-    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
-    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
     let mut seen_cats: Vec<String> = Vec::new();
     let mut durations = 0usize;
 

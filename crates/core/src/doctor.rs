@@ -22,7 +22,6 @@ use extradeep_model::{diagnose, ExperimentData, Model};
 use extradeep_sim::ExperimentSpec;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
 use std::fmt::Write as _;
 
 /// Quality thresholds a model must meet at the held-out scales.
@@ -406,9 +405,8 @@ pub fn validate_against(
     kernels.sort_by(|a, b| {
         let fa = f64::from(u8::from(!a.is_flagged()));
         let fb = f64::from(u8::from(!b.is_flagged()));
-        (fa, -a.validation_mpe)
-            .partial_cmp(&(fb, -b.validation_mpe))
-            .unwrap_or(Ordering::Equal)
+        fa.total_cmp(&fb)
+            .then_with(|| (-a.validation_mpe).total_cmp(&-b.validation_mpe))
     });
 
     let finite_mpes: Vec<f64> = kernels
@@ -423,7 +421,7 @@ pub fn validate_against(
         .chain(&app)
         .flat_map(|v| v.per_scale_percent_error.iter().map(|&(s, _)| s))
         .collect();
-    holdout_scales.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    holdout_scales.sort_by(f64::total_cmp);
     holdout_scales.dedup();
 
     let per_scale_aggregate_mpe: Vec<(f64, f64)> = holdout_scales

@@ -72,11 +72,9 @@ impl AccuracyReport {
 
     /// Error at the single largest evaluation coordinate.
     pub fn max_scale_error(&self) -> Option<&PointError> {
-        self.evaluation_errors.iter().max_by(|a, b| {
-            a.coordinate
-                .partial_cmp(&b.coordinate)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.evaluation_errors
+            .iter()
+            .max_by(|a, b| extradeep_model::cmp_coordinates(&a.coordinate, &b.coordinate))
     }
 }
 

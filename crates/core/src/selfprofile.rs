@@ -103,7 +103,7 @@ pub fn self_profile_config(snap: &Snapshot, work: f64, repetition: u32) -> Confi
     rank.epoch_marks
         .push(EpochMark::new(1, step_start, step_end));
 
-    profile.execution_seconds = (step_end - step_start) as f64 * 1e-9;
+    profile.execution_seconds = extradeep_trace::units::ns_to_secs(step_end - step_start);
     profile.ranks.push(rank);
     profile
 }

@@ -48,12 +48,18 @@ pub fn t_quantile_975(df: usize) -> f64 {
     if df > 100 {
         return 1.96;
     }
-    // Interpolate between the bracketing anchors.
-    let idx = T_975_ANCHORS.iter().position(|&(d, _)| df <= d).unwrap();
-    let (d1, t1) = T_975_ANCHORS[idx - 1];
-    let (d2, t2) = T_975_ANCHORS[idx];
-    let frac = (df - d1) as f64 / (d2 - d1) as f64;
-    t1 + frac * (t2 - t1)
+    // Interpolate between the bracketing anchors. 30 < df <= 100 here, so a
+    // bracketing window always exists; the fallthrough is unreachable but
+    // returns the asymptote instead of panicking.
+    for pair in T_975_ANCHORS.windows(2) {
+        let (d1, t1) = pair[0];
+        let (d2, t2) = pair[1];
+        if df <= d2 {
+            let frac = (df - d1) as f64 / (d2 - d1) as f64;
+            return t1 + frac * (t2 - t1);
+        }
+    }
+    1.96
 }
 
 /// Analytic confidence-interval machinery retained from a regression fit.
@@ -239,7 +245,7 @@ pub fn bootstrap_interval(
     if predictions.len() < 10 {
         return None;
     }
-    predictions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    predictions.sort_by(f64::total_cmp);
     let lo = predictions[(predictions.len() as f64 * 0.025) as usize];
     let hi = predictions[((predictions.len() as f64 * 0.975) as usize).min(predictions.len() - 1)];
     Some((lo, hi))
@@ -425,5 +431,34 @@ mod tests {
         let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
         let data = pts(&[(2.0, 4.0), (4.0, 8.0)]);
         assert!(RegressionBand::from_fit(&shape, &data, 0.0).is_none());
+    }
+
+    #[test]
+    fn bootstrap_survives_nan_repetitions() {
+        use crate::measurement::ExperimentData;
+        use crate::modeler::{model_single_parameter, ModelerOptions};
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&x| (x, 5.0 + 2.0 * x))
+            .collect();
+        let clean = ExperimentData::univariate("p", &pts);
+        let model = model_single_parameter(&clean, &ModelerOptions::default()).unwrap();
+        // Resampling data whose repetitions contain NaN must not panic; the
+        // poisoned resamples are skipped and the interval still computes from
+        // the clean ones (or the call returns None — either is NaN-safe).
+        let poisoned = ExperimentData::univariate_with_reps(
+            "p",
+            &[
+                (2.0, vec![9.0, f64::NAN]),
+                (4.0, vec![13.0, f64::NAN]),
+                (8.0, vec![21.0, 21.0]),
+                (16.0, vec![37.0, f64::NAN]),
+                (32.0, vec![69.0, 69.0]),
+            ],
+        );
+        let result = super::bootstrap_interval(&model, &poisoned, &[64.0], 200, 7);
+        if let Some((lo, hi)) = result {
+            assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        }
     }
 }

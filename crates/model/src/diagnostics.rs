@@ -79,12 +79,9 @@ pub struct FitDiagnostics {
 impl FitDiagnostics {
     /// Largest absolute residual, with its coordinate.
     pub fn worst_residual(&self) -> Option<&PointDiagnostic> {
-        self.points.iter().max_by(|a, b| {
-            a.residual
-                .abs()
-                .partial_cmp(&b.residual.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.points
+            .iter()
+            .max_by(|a, b| a.residual.abs().total_cmp(&b.residual.abs()))
     }
 
     /// Empirical band coverage in `[0, 1]`, if a calibration was computed.

@@ -37,7 +37,7 @@ use crate::modeler::{self, ModelerOptions, ModelingError};
 use crate::multi_param;
 use crate::search_space::TermShape;
 use crate::term::SimpleTerm;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A fold whose `1 − hᵢᵢ` is below this threshold would divide by ≈ 0 in the
 /// hat-matrix identity; such folds are refit exactly instead.
@@ -105,7 +105,7 @@ pub(crate) struct Workspace {
 /// appearing in the candidate shapes is evaluated exactly once per search.
 pub(crate) struct BasisCache {
     len: usize,
-    index: HashMap<(usize, TermShape), usize>,
+    index: BTreeMap<(usize, TermShape), usize>,
     columns: Vec<Vec<f64>>,
 }
 
@@ -113,7 +113,7 @@ impl BasisCache {
     pub(crate) fn build(shapes: &[HypothesisShape], points: &[(Coordinate, f64)]) -> Self {
         let mut cache = BasisCache {
             len: points.len(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             columns: Vec::new(),
         };
         for shape in shapes {
@@ -323,12 +323,8 @@ pub(crate) fn evaluate_shape_cached(
         return None;
     }
 
-    let far_index = (0..n).max_by(|&a, &b| {
-        points[a]
-            .0
-            .partial_cmp(&points[b].0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let far_index =
+        (0..n).max_by(|&a, &b| crate::modeler::cmp_coordinates(&points[a].0, &points[b].0));
     if options.reject_negative_predictions {
         if ws.fitted.iter().any(|&p| p < 0.0) {
             return None;
@@ -539,5 +535,38 @@ mod tests {
         assert_eq!(fast.big_o(), naive.big_o());
         let (a, b) = (fast.predict_at(64.0), naive.predict_at(64.0));
         assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn engine_rejects_nan_input_without_panicking() {
+        // The far-point max_by inside the fit loop orders coordinates with a
+        // NaN-total comparison; garbage input must fail typed, not panic.
+        let engine = SearchEngine::new(ModelerOptions::default());
+        for bad in [
+            &[
+                (2.0, 1.0),
+                (4.0, 2.0),
+                (8.0, f64::NAN),
+                (16.0, 4.0),
+                (32.0, 5.0),
+            ][..],
+            &[
+                (2.0, 1.0),
+                (f64::NAN, 2.0),
+                (8.0, 3.0),
+                (16.0, 4.0),
+                (32.0, 5.0),
+            ][..],
+            &[
+                (2.0, f64::INFINITY),
+                (4.0, 2.0),
+                (8.0, 3.0),
+                (16.0, 4.0),
+                (32.0, 5.0),
+            ][..],
+        ] {
+            let data = ExperimentData::univariate("p", bad);
+            assert!(engine.model(&data).is_err());
+        }
     }
 }

@@ -56,7 +56,9 @@ pub use function::{GrowthKey, PerformanceFunction};
 pub use hypothesis::{FittedHypothesis, HypothesisShape};
 pub use measurement::{AggregationStat, Coordinate, ExperimentData, Measurement};
 pub use model::Model;
-pub use modeler::{model_single_parameter, ModelerOptions, ModelingError, MIN_MEASUREMENT_POINTS};
+pub use modeler::{
+    cmp_coordinates, model_single_parameter, ModelerOptions, ModelingError, MIN_MEASUREMENT_POINTS,
+};
 pub use multi_param::model_multi_parameter;
 pub use reference::{model_multi_parameter_reference, model_single_parameter_reference};
 pub use search_space::{SearchSpace, TermShape};

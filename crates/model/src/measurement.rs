@@ -202,14 +202,16 @@ impl ExperimentData {
         self.measurements.is_empty()
     }
 
-    /// Distinct values of one parameter, sorted ascending.
+    /// Distinct values of one parameter, sorted ascending. Measurements with
+    /// too few coordinate components (corrupted input) are skipped rather
+    /// than panicking — validation reports them separately.
     pub fn parameter_values(&self, param: usize) -> Vec<f64> {
         let mut vals: Vec<f64> = self
             .measurements
             .iter()
-            .map(|m| m.coordinate[param])
+            .filter_map(|m| m.coordinate.get(param).copied())
             .collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(f64::total_cmp);
         vals.dedup();
         vals
     }
@@ -291,5 +293,28 @@ mod tests {
         assert_eq!(data.parameter_values(0), vec![2.0, 4.0, 8.0]);
         assert_eq!(data.num_parameters(), 1);
         assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn parameter_values_tolerate_nan_and_short_coordinates() {
+        // NaN coordinates sort to the end under the total order instead of
+        // panicking; out-of-range parameter indices and short coordinate
+        // vectors are skipped rather than indexing out of bounds.
+        let data = ExperimentData {
+            parameters: vec!["p".into(), "q".into()],
+            measurements: vec![
+                Measurement::new(vec![4.0, 1.0], vec![1.0]),
+                Measurement::new(vec![f64::NAN, 2.0], vec![1.0]),
+                Measurement::new(vec![2.0], vec![1.0]), // corrupted: missing q
+            ],
+        };
+        let p = data.parameter_values(0);
+        assert_eq!(p.len(), 3);
+        assert_eq!(&p[..2], &[2.0, 4.0]);
+        assert!(p[2].is_nan());
+        // The q column only exists on two rows; the short row is skipped.
+        assert_eq!(data.parameter_values(1), vec![1.0, 2.0]);
+        // A parameter index beyond every coordinate yields empty, not a panic.
+        assert!(data.parameter_values(9).is_empty());
     }
 }

@@ -132,8 +132,7 @@ pub(crate) fn select_winner(
     candidates.into_iter().min_by(|a, b| {
         let ka = score(a, use_cv) + tolerance * growth_penalty(a);
         let kb = score(b, use_cv) + tolerance * growth_penalty(b);
-        ka.partial_cmp(&kb)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        ka.total_cmp(&kb)
             .then_with(|| a.shape.num_coefficients().cmp(&b.shape.num_coefficients()))
     })
 }
@@ -181,7 +180,9 @@ fn empirical_loglog_slope(points: &[(Coordinate, f64)]) -> Option<f64> {
 
 /// Elementwise total order on coordinates, safe for any float input (the
 /// distinct-coordinate count below must never panic on exotic values).
-fn cmp_coordinates(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+/// Public because every coordinate ordering in the workspace should go
+/// through a NaN-total comparison rather than `partial_cmp().unwrap_or(..)`.
+pub fn cmp_coordinates(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
     for (x, y) in a.iter().zip(b) {
         let ord = x.total_cmp(y);
         if ord != std::cmp::Ordering::Equal {
@@ -519,5 +520,54 @@ mod tests {
         for &x in &xs() {
             assert!(model.predict_at(x) >= 0.0);
         }
+    }
+
+    #[test]
+    fn cmp_coordinates_totally_orders_nan() {
+        use std::cmp::Ordering;
+        let nan = f64::NAN;
+        // NaN sorts after every finite value; the comparison never panics.
+        assert_eq!(cmp_coordinates(&[1.0, nan], &[1.0, 2.0]), Ordering::Greater);
+        assert_eq!(cmp_coordinates(&[nan], &[nan]), Ordering::Equal);
+        assert_eq!(cmp_coordinates(&[1.0], &[1.0, 0.0]), Ordering::Less);
+        let mut coords = vec![vec![nan], vec![2.0], vec![1.0], vec![nan]];
+        coords.sort_by(|a, b| cmp_coordinates(a, b));
+        assert_eq!(coords[0], vec![1.0]);
+        assert_eq!(coords[1], vec![2.0]);
+        assert!(coords[2][0].is_nan() && coords[3][0].is_nan());
+    }
+
+    #[test]
+    fn nan_inputs_surface_typed_errors_not_panics() {
+        // NaN metric value.
+        let data = ExperimentData::univariate(
+            "p",
+            &[
+                (2.0, 1.0),
+                (4.0, f64::NAN),
+                (8.0, 3.0),
+                (16.0, 4.0),
+                (32.0, 5.0),
+            ],
+        );
+        assert!(matches!(
+            model_single_parameter(&data, &ModelerOptions::default()),
+            Err(ModelingError::InvalidData(_))
+        ));
+        // NaN coordinate.
+        let data = ExperimentData::univariate(
+            "p",
+            &[
+                (f64::NAN, 1.0),
+                (4.0, 2.0),
+                (8.0, 3.0),
+                (16.0, 4.0),
+                (32.0, 5.0),
+            ],
+        );
+        assert!(matches!(
+            model_single_parameter(&data, &ModelerOptions::default()),
+            Err(ModelingError::InvalidData(_))
+        ));
     }
 }

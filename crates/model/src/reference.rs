@@ -35,7 +35,7 @@ pub fn evaluate_shape_reference(
         if let Some(far) = points
             .iter()
             .map(|(c, _)| c.clone())
-            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| crate::modeler::cmp_coordinates(a, b))
         {
             for factor in [2.0, 8.0, 32.0] {
                 let probe: Vec<f64> = far.iter().map(|x| x * factor).collect();
@@ -47,7 +47,7 @@ pub fn evaluate_shape_reference(
     }
     if let Some(far) = points
         .iter()
-        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| crate::modeler::cmp_coordinates(&a.0, &b.0))
     {
         let value = fitted.function.evaluate(&far.0).abs().max(1e-30);
         let magnitude: f64 = fitted.function.constant.abs()
@@ -154,5 +154,30 @@ mod tests {
         assert_eq!(slow.big_o(), fast.big_o());
         let (a, b) = (fast.predict_at(128.0), slow.predict_at(128.0));
         assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn reference_path_rejects_nan_without_panicking() {
+        // The far-point scan and candidate comparisons use total orderings;
+        // NaN-bearing input must come back as a typed error, never a panic.
+        for bad in [
+            &[
+                (2.0, 1.0),
+                (4.0, f64::NAN),
+                (8.0, 3.0),
+                (16.0, 4.0),
+                (32.0, 5.0),
+            ][..],
+            &[
+                (f64::NAN, 1.0),
+                (4.0, 2.0),
+                (8.0, 3.0),
+                (16.0, 4.0),
+                (32.0, 5.0),
+            ][..],
+        ] {
+            let data = ExperimentData::univariate("p", bad);
+            assert!(model_single_parameter_reference(&data, &ModelerOptions::default()).is_err());
+        }
     }
 }

@@ -11,7 +11,7 @@ use crate::fraction::Fraction;
 use serde::{Deserialize, Serialize};
 
 /// The exponent pair of one single-parameter term factor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TermShape {
     pub exponent: Fraction,
     pub log_exponent: u32,

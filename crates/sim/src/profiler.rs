@@ -92,7 +92,7 @@ fn emit_plan(
         } else {
             1.0
         };
-        let dur_ns = (row.seconds * mult * 1e9).round().max(1.0) as u64;
+        let dur_ns = extradeep_trace::units::secs_to_ns(row.seconds * mult).max(1);
         // Byte counts are exact (not noisy).
         b.push_region(phase_region(&row.name, row.domain));
         b.emit_aggregated(row.name.clone(), row.domain, dur_ns, row.visits, row.bytes);
@@ -181,7 +181,7 @@ pub fn profile_job(job: &TrainingJob, options: &ProfilerOptions, repetition: u32
                         for row in &plans.async_comm.rows {
                             let mult =
                                 job.system.noise.multiplier(&mut rng, job.ranks) * run_factor;
-                            let dur = (row.seconds * mult * 1e9).round().max(1.0) as u64;
+                            let dur = extradeep_trace::units::secs_to_ns(row.seconds * mult).max(1);
                             b.emit_async(row.name.clone(), row.domain, start, dur);
                             b.advance(dur / 4); // partially overlapped
                         }
@@ -211,7 +211,7 @@ pub fn profile_job(job: &TrainingJob, options: &ProfilerOptions, repetition: u32
     // Execution time covered by the profile: the slowest recorded rank.
     let span_seconds = ranks
         .iter()
-        .map(|r| r.span_ns() as f64 * 1e-9)
+        .map(|r| extradeep_trace::units::ns_to_secs(r.span_ns()))
         .fold(0.0, f64::max);
     profile.execution_seconds = span_seconds;
     profile.profiling_seconds = span_seconds * PROFILING_OVERHEAD_FRACTION;

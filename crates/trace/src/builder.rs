@@ -126,6 +126,7 @@ impl TraceBuilder {
     }
 
     pub fn end_epoch(&mut self) {
+        // analyze:allow(panic-on-data-path): builder-misuse invariant like the begin_* asserts, not data-dependent
         let (epoch, start) = self.open_epoch.take().expect("no open epoch");
         self.profile
             .epoch_marks
@@ -138,6 +139,7 @@ impl TraceBuilder {
     }
 
     pub fn end_step(&mut self) {
+        // analyze:allow(panic-on-data-path): builder-misuse invariant like the begin_* asserts, not data-dependent
         let (epoch, step, phase, start) = self.open_step.take().expect("no open step");
         self.profile
             .step_marks

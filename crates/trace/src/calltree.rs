@@ -57,7 +57,7 @@ impl CallNode {
             self.total_visits
         ));
         let mut kernels: Vec<(&String, &(f64, u64))> = self.kernels.iter().collect();
-        kernels.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap());
+        kernels.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
         for (k, (sec, vis)) in kernels.into_iter().take(top_kernels) {
             let kindent = "  ".repeat(depth + 1);
             out.push_str(&format!(
@@ -73,7 +73,7 @@ impl CallNode {
 
 fn fold_rank(rank: &RankProfile, root: &mut CallNode) {
     for e in &rank.events {
-        let seconds = e.duration_ns as f64 * 1e-9;
+        let seconds = crate::units::ns_to_secs(e.duration_ns);
         let path_owned;
         let path: Vec<&str> = match &e.call_path {
             Some(p) => {

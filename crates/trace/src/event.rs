@@ -114,7 +114,7 @@ impl Event {
     /// row aggregates, bytes as the payload (0 when not applicable).
     pub fn metric_value(&self, metric: MetricKind) -> f64 {
         match metric {
-            MetricKind::Time => self.duration_ns as f64 * 1e-9,
+            MetricKind::Time => crate::units::ns_to_secs(self.duration_ns),
             MetricKind::Visits => self.visits as f64,
             MetricKind::Bytes => self.bytes.unwrap_or(0) as f64,
         }

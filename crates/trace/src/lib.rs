@@ -35,6 +35,7 @@ pub mod marks;
 pub mod profile;
 pub mod repair;
 pub mod summary;
+pub mod units;
 pub mod validate;
 
 pub use builder::TraceBuilder;

@@ -64,14 +64,14 @@ pub fn kernel_summary(profile: &ConfigProfile) -> Vec<KernelSummary> {
             name,
             domain,
             visits: acc.visits,
-            total_seconds: acc.total_ns * 1e-9,
-            mean_seconds: acc.total_ns * 1e-9 / acc.visits.max(1) as f64,
+            total_seconds: crate::units::ns_f64_to_secs(acc.total_ns),
+            mean_seconds: crate::units::ns_f64_to_secs(acc.total_ns) / acc.visits.max(1) as f64,
             min_seconds: if acc.min_row_ns.is_finite() {
-                acc.min_row_ns * 1e-9
+                crate::units::ns_f64_to_secs(acc.min_row_ns)
             } else {
                 0.0
             },
-            max_seconds: acc.max_row_ns * 1e-9,
+            max_seconds: crate::units::ns_f64_to_secs(acc.max_row_ns),
             total_bytes: acc.bytes,
             time_share_percent: if grand_total > 0.0 {
                 100.0 * acc.total_ns / grand_total
@@ -80,11 +80,7 @@ pub fn kernel_summary(profile: &ConfigProfile) -> Vec<KernelSummary> {
             },
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.total_seconds
-            .partial_cmp(&a.total_seconds)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    out.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
     out
 }
 

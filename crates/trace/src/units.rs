@@ -1,0 +1,57 @@
+//! The one place in the workspace allowed to spell out ns<->s conversion
+//! constants.
+//!
+//! Ad-hoc `* 1e9` / `* 1e-9` conversions drift apart one call site at a
+//! time (some round, some truncate, some clamp); the `raw-duration-arith`
+//! lint in `extradeep-analyze` routes every conversion through here.
+
+/// Nanoseconds per second, as `f64` for conversion arithmetic.
+pub const NANOS_PER_SEC: f64 = 1e9;
+
+/// Converts an integer nanosecond duration to seconds.
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / NANOS_PER_SEC
+}
+
+/// Converts an already-float nanosecond quantity (sums and means of
+/// durations) to seconds.
+pub fn ns_f64_to_secs(ns: f64) -> f64 {
+    ns / NANOS_PER_SEC
+}
+
+/// Converts seconds to integer nanoseconds, rounding to nearest. Negative
+/// and NaN inputs saturate to zero — durations cannot be negative.
+pub fn secs_to_ns(secs: f64) -> u64 {
+    (secs * NANOS_PER_SEC).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exact_nanosecond_counts() {
+        for ns in [0u64, 1, 999, 1_000_000_000, 123_456_789_012] {
+            assert_eq!(secs_to_ns(ns_to_secs(ns)), ns);
+        }
+    }
+
+    #[test]
+    fn secs_to_ns_rounds_to_nearest() {
+        assert_eq!(secs_to_ns(1.4e-9), 1);
+        assert_eq!(secs_to_ns(1.6e-9), 2);
+        assert_eq!(secs_to_ns(0.25), 250_000_000);
+    }
+
+    #[test]
+    fn pathological_inputs_saturate_to_zero() {
+        assert_eq!(secs_to_ns(-1.0), 0);
+        assert_eq!(secs_to_ns(f64::NAN), 0);
+        assert_eq!(secs_to_ns(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn float_ns_sums_convert() {
+        assert!((ns_f64_to_secs(2.5e9) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Double-run determinism: two identical `extradeep pipeline` invocations
+//! must produce byte-identical JSON artifacts.
+//!
+//! This is the enforcement test behind the `nondeterministic-iteration`
+//! lint: every map whose contents reach a serialized artifact is a BTreeMap
+//! (or explicitly sorted), and the simulator's noise is a seeded stream, so
+//! nothing about a run depends on process-level randomness like hash seeds.
+
+use extradeep::cli::run;
+
+fn argv(cmd: &str) -> Vec<String> {
+    cmd.split_whitespace().map(str::to_string).collect()
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "extradeep-determinism-{}-{name}",
+            std::process::id()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn read(path: &str) -> Vec<u8> {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    std::fs::remove_file(path).ok();
+    bytes
+}
+
+#[test]
+fn pipeline_profile_artifacts_are_byte_identical_across_runs() {
+    let (a, b) = (tmp("profiles-a.json"), tmp("profiles-b.json"));
+    for out in [&a, &b] {
+        run(&argv(&format!(
+            "pipeline --ranks 2,4,6,8 --reps 2 --benchmark cifar10 --out {out} --no-doctor"
+        )))
+        .expect("pipeline run succeeds");
+    }
+    let (bytes_a, bytes_b) = (read(&a), read(&b));
+    assert!(!bytes_a.is_empty() || bytes_b.is_empty());
+    assert_eq!(
+        bytes_a, bytes_b,
+        "two identical pipeline runs wrote different profile artifacts"
+    );
+}
+
+#[test]
+fn saved_model_artifacts_are_byte_identical_across_runs() {
+    // Simulate once, then model the same profile file twice: the model-set
+    // construction (BasisCache, kernel map iteration, serialization) must be
+    // deterministic given identical input bytes.
+    let profiles = tmp("profiles-model.json");
+    run(&argv(&format!(
+        "simulate --out {profiles} --ranks 2,4,6,8 --reps 2 --benchmark cifar10"
+    )))
+    .expect("simulate succeeds");
+
+    let (ma, mb) = (tmp("models-a.json"), tmp("models-b.json"));
+    for out in [&ma, &mb] {
+        run(&argv(&format!("model --in {profiles} --save-models {out}")))
+            .expect("model run succeeds");
+    }
+    std::fs::remove_file(&profiles).ok();
+    let (bytes_a, bytes_b) = (read(&ma), read(&mb));
+    assert_eq!(
+        bytes_a, bytes_b,
+        "two identical model runs wrote different model artifacts"
+    );
+}
