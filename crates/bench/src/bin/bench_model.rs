@@ -1,18 +1,28 @@
-//! Times the fast-path hypothesis search (closed-form LOO-CV, shared basis
-//! cache, workspace reuse) against the frozen reference implementation and
-//! records the speedups in `BENCH_model.json`.
+//! Times the batched search kernel against the previous fast engine and the
+//! frozen reference implementation, and records the three-way comparison in
+//! `BENCH_model.json`.
 //!
 //! Run with `cargo run --release -p extradeep-bench --bin bench_model`.
 //! An optional first non-flag argument overrides the output path;
 //! `--quick` cuts the batch/iteration counts for CI smoke runs where only
-//! regression *detection* matters, not publication-grade timings.
+//! regression *detection* matters, not publication-grade timings. Quick and
+//! full runs emit the *same* JSON schema (same keys); quick runs are flagged
+//! with `"quick": true` so downstream tooling can tell them apart.
+//!
+//! `BENCH_TABLES.md` is rendered from this file's output by the
+//! `bench_tables` binary — regenerate it after re-running this benchmark.
 
+use extradeep::modelset::{build_model_set, ModelSetOptions};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
 use extradeep_bench::inputs;
 use extradeep_model::hypothesis::{cross_validate, cross_validate_naive, HypothesisShape};
 use extradeep_model::{
-    model_multi_parameter, model_multi_parameter_reference, model_single_parameter,
-    model_single_parameter_reference, Fraction, ModelerOptions, TermShape,
+    model_multi_parameter, model_multi_parameter_engine, model_multi_parameter_reference,
+    model_single_parameter, model_single_parameter_engine, model_single_parameter_reference,
+    Fraction, ModelerOptions, TermShape,
 };
+use extradeep_sim::ExperimentSpec;
+use extradeep_trace::MetricKind;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -32,14 +42,47 @@ fn time_per_call<F: FnMut()>(batches: usize, iters: usize, mut f: F) -> f64 {
     best
 }
 
-fn comparison(name: &str, reference_s: f64, engine_s: f64, model: &str) -> serde_json::Value {
+/// One three-way comparison row. `speedup` keeps its historical meaning
+/// (reference vs engine) so the perf-history seed metrics stay comparable;
+/// `batched_speedup` is the additional factor the batched kernel adds over
+/// the engine, and `total_speedup` is reference vs batched.
+fn comparison(
+    name: &str,
+    reference_s: f64,
+    engine_s: f64,
+    batched_s: f64,
+    model: &str,
+) -> serde_json::Value {
     serde_json::json!({
         "name": name,
         "reference_us": reference_s * 1e6,
         "engine_us": engine_s * 1e6,
+        "batched_us": batched_s * 1e6,
         "speedup": reference_s / engine_s,
+        "batched_speedup": engine_s / batched_s,
+        "total_speedup": reference_s / batched_s,
         "model": model,
     })
+}
+
+/// Counts hypotheses evaluated by one batched single-param + one batched
+/// multi-param search, via the obs counters.
+fn hypotheses_per_run(
+    series: &extradeep_model::ExperimentData,
+    grid: &extradeep_model::ExperimentData,
+    options: &ModelerOptions,
+) -> u64 {
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    model_single_parameter(series, options).ok();
+    model_multi_parameter(grid, options).ok();
+    extradeep_obs::set_enabled(false);
+    let snap = extradeep_obs::drain();
+    snap.counters
+        .iter()
+        .filter(|c| &*c.name == "model.search.hypotheses")
+        .map(|c| c.value)
+        .sum()
 }
 
 fn main() {
@@ -55,12 +98,18 @@ fn main() {
 
     // --- single-parameter search: the per-kernel cost of the pipeline.
     let series = inputs::synthetic_series(8);
-    let fast = model_single_parameter(&series, &options).unwrap();
+    let batched = model_single_parameter(&series, &options).unwrap();
+    let engine = model_single_parameter_engine(&series, &options).unwrap();
     let slow = model_single_parameter_reference(&series, &options).unwrap();
     assert_eq!(
-        fast.function.to_string(),
+        batched.function.to_string(),
+        engine.function.to_string(),
+        "batched kernel and engine must select the same model"
+    );
+    assert_eq!(
+        engine.function.to_string(),
         slow.function.to_string(),
-        "fast path and reference must select the same model"
+        "engine and reference must select the same model"
     );
     let single_iters = if quick { 10 } else { 50 };
     let single_ref = time_per_call(batches, single_iters, || {
@@ -71,22 +120,36 @@ fn main() {
         .ok();
     });
     let single_eng = time_per_call(batches, single_iters, || {
+        black_box(model_single_parameter_engine(black_box(&series), &options)).ok();
+    });
+    let single_bat = time_per_call(batches, single_iters, || {
         black_box(model_single_parameter(black_box(&series), &options)).ok();
     });
 
     // --- multi-parameter search on the ranks x batch grid.
     let grid = inputs::synthetic_grid();
-    let fast_mp = model_multi_parameter(&grid, &options).unwrap();
+    let batched_mp = model_multi_parameter(&grid, &options).unwrap();
+    let engine_mp = model_multi_parameter_engine(&grid, &options).unwrap();
     let slow_mp = model_multi_parameter_reference(&grid, &options).unwrap();
+    assert_eq!(
+        batched_mp.function.to_string(),
+        engine_mp.function.to_string(),
+        "batched kernel and engine must select the same multi-param model"
+    );
     let multi_iters = if quick { 5 } else { 20 };
     let multi_ref = time_per_call(batches, multi_iters, || {
         black_box(model_multi_parameter_reference(black_box(&grid), &options)).ok();
     });
     let multi_eng = time_per_call(batches, multi_iters, || {
+        black_box(model_multi_parameter_engine(black_box(&grid), &options)).ok();
+    });
+    let multi_bat = time_per_call(batches, multi_iters, || {
         black_box(model_multi_parameter(black_box(&grid), &options)).ok();
     });
 
     // --- LOO-CV in isolation: closed-form vs naive n-refit, one hypothesis.
+    // (The batched kernel reuses the same closed-form fold, so this row has
+    // no separate batched column.)
     let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::new(2, 3), 2)]);
     let points: Vec<(Vec<f64>, f64)> = inputs::synthetic_series(20)
         .measurements
@@ -101,17 +164,61 @@ fn main() {
         black_box(cross_validate(&shape, black_box(&points)));
     });
 
+    // --- throughput: hypotheses/second through the batched kernel, and the
+    // end-to-end model-set fit (hundreds of kernels via `model_batch`).
+    let hyps = hypotheses_per_run(&series, &grid, &options);
+    let search_hyps_per_sec = hyps as f64 / (single_bat + multi_bat);
+
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 2;
+    spec.profiler.max_recorded_ranks = 2;
+    let agg = aggregate_experiment(&spec.run(), &AggregationOptions::default());
+    let set_batches = if quick { 1 } else { 3 };
+    let model_set_fit_s = time_per_call(set_batches, 1, || {
+        black_box(build_model_set(
+            black_box(&agg),
+            MetricKind::Time,
+            &ModelSetOptions::default(),
+        ))
+        .ok();
+    });
+
     let report = serde_json::json!({
-        "benchmark": "PMNF hypothesis search: fast path vs reference",
+        "benchmark": "PMNF hypothesis search: batched kernel vs engine vs reference",
         "search_space": "extra_p_default",
+        "quick": quick,
         "comparisons": [
-            comparison("single_param", single_ref, single_eng, &fast.function.to_string()),
-            comparison("multi_param", multi_ref, multi_eng, &fast_mp.function.to_string()),
-            comparison("loocv_one_hypothesis", cv_ref, cv_eng, "x^(2/3) * log2(x)^2, 20 points"),
+            comparison(
+                "single_param",
+                single_ref,
+                single_eng,
+                single_bat,
+                &batched.function.to_string(),
+            ),
+            comparison(
+                "multi_param",
+                multi_ref,
+                multi_eng,
+                multi_bat,
+                &batched_mp.function.to_string(),
+            ),
+            serde_json::json!({
+                "name": "loocv_one_hypothesis",
+                "reference_us": cv_ref * 1e6,
+                "engine_us": cv_eng * 1e6,
+                "speedup": cv_ref / cv_eng,
+                "model": "x^(2/3) * log2(x)^2, 20 points",
+            }),
         ],
+        "throughput": {
+            "search_hyps_per_sec": search_hyps_per_sec,
+            "model_set_fit_s": model_set_fit_s,
+        },
         "agreement": {
+            "single_param_batched_model": batched.function.to_string(),
             "single_param_reference_model": slow.function.to_string(),
-            "multi_param_engine_model": fast_mp.function.to_string(),
+            "multi_param_batched_model": batched_mp.function.to_string(),
+            "multi_param_engine_model": engine_mp.function.to_string(),
             "multi_param_reference_model": slow_mp.function.to_string(),
         },
     });

@@ -1,0 +1,74 @@
+//! Renders `BENCH_model.json` into the committed `BENCH_TABLES.md`.
+//!
+//! The render is deterministic (a pure function of the JSON report), so CI
+//! can verify the committed tables are in sync with the committed benchmark
+//! results without re-timing anything:
+//!
+//! ```text
+//! cargo run --release -p extradeep-bench --bin bench_tables            # rewrite
+//! cargo run --release -p extradeep-bench --bin bench_tables -- --check # verify
+//! ```
+//!
+//! Flags: `--check` compares the render against the existing file and exits
+//! non-zero on mismatch; `--in <path>` / `--out <path>` override the default
+//! `BENCH_model.json` / `BENCH_TABLES.md` locations.
+
+use extradeep_bench::tables::render_model_tables;
+use std::process::ExitCode;
+
+fn value_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let in_path = value_after(&args, "--in").unwrap_or_else(|| "BENCH_model.json".to_string());
+    let out_path = value_after(&args, "--out").unwrap_or_else(|| "BENCH_TABLES.md".to_string());
+
+    let raw = match std::fs::read_to_string(&in_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_tables: cannot read {in_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: serde_json::Value = match serde_json::from_str(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_tables: {in_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = render_model_tables(&report);
+
+    if check {
+        match std::fs::read_to_string(&out_path) {
+            Ok(existing) if existing == rendered => {
+                println!("{out_path} is up to date with {in_path}");
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "bench_tables: {out_path} is stale — regenerate with \
+                     `cargo run --release -p extradeep-bench --bin bench_tables`"
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("bench_tables: cannot read {out_path}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        if let Err(e) = std::fs::write(&out_path, &rendered) {
+            eprintln!("bench_tables: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out_path}");
+        ExitCode::SUCCESS
+    }
+}

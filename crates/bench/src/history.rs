@@ -26,12 +26,13 @@ pub enum Direction {
 }
 
 /// Classifies a metric name by suffix convention: `*_us`/`*_ns`/`*_ms`/
-/// `*_s`/`*_percent`/`*_mpe` are costs (lower is better), `*speedup*` and
-/// `*coverage*` are scores (higher is better), anything else is tracked but
-/// not gated.
+/// `*_s`/`*_percent`/`*_mpe` are costs (lower is better), `*speedup*`,
+/// `*coverage*`, and throughput suffixes (`*_per_sec`, e.g.
+/// `*_hyps_per_sec`) are scores (higher is better), anything else is
+/// tracked but not gated.
 pub fn direction_of(metric: &str) -> Direction {
     let lower = ["_us", "_ns", "_ms", "_s", "_percent", "_mpe", "_seconds"];
-    if metric.contains("speedup") || metric.contains("coverage") {
+    if metric.contains("speedup") || metric.contains("coverage") || metric.ends_with("_per_sec") {
         Direction::HigherIsBetter
     } else if lower.iter().any(|suf| metric.ends_with(suf)) {
         Direction::LowerIsBetter
@@ -280,6 +281,44 @@ mod tests {
             direction_of("doctor.kernels_validated"),
             Direction::Informational
         );
+        assert_eq!(
+            direction_of("model.throughput.search_hyps_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("model.throughput.model_set_fit_s"),
+            Direction::LowerIsBetter
+        );
+    }
+
+    #[test]
+    fn every_committed_history_metric_has_a_pinned_direction() {
+        // Every metric name recorded in the committed BENCH_history.json must
+        // classify to the direction its suffix advertises — a rename that
+        // silently turns a gated cost into an informational metric (or flips
+        // its polarity) is caught here, not in a perf regression postmortem.
+        let raw = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_history.json"
+        ))
+        .expect("read committed BENCH_history.json");
+        let hist: PerfHistory = serde_json::from_str(&raw).expect("parse BENCH_history.json");
+        assert!(
+            !hist.entries.is_empty(),
+            "history has at least the seed run"
+        );
+        for entry in &hist.entries {
+            for name in entry.metrics.keys() {
+                let expected = if name.ends_with("speedup") || name.ends_with("_per_sec") {
+                    Direction::HigherIsBetter
+                } else if name.ends_with("_us") || name.ends_with("_s") {
+                    Direction::LowerIsBetter
+                } else {
+                    panic!("unpinned metric suffix in BENCH_history.json: {name}");
+                };
+                assert_eq!(direction_of(name), expected, "direction drifted for {name}");
+            }
+        }
     }
 
     #[test]

@@ -9,5 +9,6 @@ pub mod ablations;
 pub mod experiments;
 pub mod history;
 pub mod inputs;
+pub mod tables;
 
 pub use experiments::RunScale;

@@ -1,0 +1,194 @@
+//! Deterministic markdown rendering of `BENCH_model.json` into
+//! `BENCH_TABLES.md` — the committed three-way comparison tables (reference
+//! vs engine vs batched kernel).
+//!
+//! The render is a pure function of the JSON report: given the same
+//! `BENCH_model.json`, the output is byte-identical on every machine, which
+//! is what lets CI gate on staleness (`bench_tables --check`) without
+//! re-timing anything.
+
+use serde_json::Value;
+use std::fmt::Write;
+
+/// Formats a microsecond value with fixed precision, or a dash when the
+/// column does not apply to the row (e.g. no batched LOO-CV variant).
+fn us(v: Option<&Value>) -> String {
+    match v.and_then(Value::as_f64) {
+        Some(x) => format!("{x:.3}"),
+        None => "—".to_string(),
+    }
+}
+
+/// Formats a speedup factor, or a dash when absent.
+fn x(v: Option<&Value>) -> String {
+    match v.and_then(Value::as_f64) {
+        Some(x) => format!("{x:.2}×"),
+        None => "—".to_string(),
+    }
+}
+
+fn str_of(v: Option<&Value>) -> String {
+    v.and_then(Value::as_str).unwrap_or("—").to_string()
+}
+
+/// Renders the committed comparison tables from a `BENCH_model.json` value.
+pub fn render_model_tables(report: &Value) -> String {
+    let mut out = String::new();
+    out.push_str("# Model-search benchmark tables\n\n");
+    out.push_str(
+        "Rendered from the committed `BENCH_model.json` by\n\
+         `cargo run --release -p extradeep-bench --bin bench_tables`.\n\
+         Do not edit by hand — regenerate after re-running `bench_model`\n\
+         (see README, \"Regenerating the benchmark tables\").\n\n",
+    );
+    if let Some(b) = report.get("benchmark").and_then(Value::as_str) {
+        let _ = writeln!(out, "Benchmark: {b}.");
+    }
+    if let Some(s) = report.get("search_space").and_then(Value::as_str) {
+        let _ = writeln!(out, "Search space: `{s}`.");
+    }
+    if report.get("quick").and_then(Value::as_bool) == Some(true) {
+        out.push_str("Timings from a `--quick` run (CI smoke mode).\n");
+    }
+    out.push('\n');
+
+    out.push_str("## Search-path comparison (per call)\n\n");
+    out.push_str(
+        "| shape | reference [µs] | engine [µs] | batched [µs] | \
+         engine speedup | batched vs engine | total |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+    let empty = Vec::new();
+    let comparisons = report
+        .get("comparisons")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    for c in comparisons {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            str_of(c.get("name")),
+            us(c.get("reference_us")),
+            us(c.get("engine_us")),
+            us(c.get("batched_us")),
+            x(c.get("speedup")),
+            x(c.get("batched_speedup")),
+            x(c.get("total_speedup")),
+        );
+    }
+    out.push('\n');
+
+    if let Some(t) = report.get("throughput") {
+        out.push_str("## Throughput\n\n");
+        out.push_str("| metric | value |\n|---|---:|\n");
+        if let Some(h) = t.get("search_hyps_per_sec").and_then(Value::as_f64) {
+            let _ = writeln!(out, "| hypotheses / second (batched search) | {h:.0} |");
+        }
+        if let Some(s) = t.get("model_set_fit_s").and_then(Value::as_f64) {
+            let _ = writeln!(out, "| end-to-end model-set fit [s] | {s:.3} |");
+        }
+        out.push('\n');
+    }
+
+    if let Some(a) = report.get("agreement").and_then(Value::as_object) {
+        out.push_str("## Selected-model agreement\n\n");
+        out.push_str(
+            "All three implementations must select the same model; the \
+             benchmark binary asserts this before timing.\n\n",
+        );
+        out.push_str("| path | selected model |\n|---|---|\n");
+        // serde_json::Map preserves insertion order by default, which would
+        // make the render depend on how the report was written; sort the
+        // keys so the table is a pure function of the *content*.
+        let mut keys: Vec<&String> = a.keys().collect();
+        keys.sort();
+        for k in keys {
+            let _ = writeln!(out, "| {} | `{}` |", k, str_of(a.get(k.as_str())));
+        }
+        out.push('\n');
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        serde_json::json!({
+            "benchmark": "bench",
+            "search_space": "extra_p_default",
+            "quick": false,
+            "comparisons": [
+                {
+                    "name": "single_param",
+                    "reference_us": 266.018,
+                    "engine_us": 48.998,
+                    "batched_us": 12.5,
+                    "speedup": 5.43,
+                    "batched_speedup": 3.92,
+                    "total_speedup": 21.28,
+                    "model": "m",
+                },
+                {
+                    "name": "loocv_one_hypothesis",
+                    "reference_us": 46.273,
+                    "engine_us": 1.503,
+                    "speedup": 30.78,
+                    "model": "m",
+                },
+            ],
+            "throughput": {"search_hyps_per_sec": 1234567.0, "model_set_fit_s": 0.41},
+            "agreement": {"b_model": "f", "a_model": "f"},
+        })
+    }
+
+    #[test]
+    fn renders_all_sections_and_is_deterministic() {
+        let v = sample();
+        let md = render_model_tables(&v);
+        assert_eq!(md, render_model_tables(&v), "render must be pure");
+        assert!(md.contains("| single_param | 266.018 | 48.998 | 12.500"));
+        assert!(md.contains("3.92×"));
+        assert!(md.contains("| hypotheses / second (batched search) | 1234567 |"));
+        assert!(md.contains("end-to-end model-set fit [s] | 0.410"));
+    }
+
+    #[test]
+    fn missing_batched_columns_render_as_dashes() {
+        let md = render_model_tables(&sample());
+        let loocv = md
+            .lines()
+            .find(|l| l.contains("loocv_one_hypothesis"))
+            .unwrap();
+        assert!(loocv.contains("—"), "absent columns dash out: {loocv}");
+    }
+
+    #[test]
+    fn committed_tables_are_in_sync_with_committed_results() {
+        // Same gate as `bench_tables --check`, but reachable from plain
+        // `cargo test`: the committed BENCH_TABLES.md must be exactly what
+        // the renderer produces from the committed BENCH_model.json.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let raw = std::fs::read_to_string(format!("{root}/BENCH_model.json"))
+            .expect("read committed BENCH_model.json");
+        let report: Value = serde_json::from_str(&raw).expect("parse BENCH_model.json");
+        let committed = std::fs::read_to_string(format!("{root}/BENCH_TABLES.md"))
+            .expect("read committed BENCH_TABLES.md");
+        assert_eq!(
+            render_model_tables(&report),
+            committed,
+            "BENCH_TABLES.md is stale — regenerate with \
+             `cargo run --release -p extradeep-bench --bin bench_tables`"
+        );
+    }
+
+    #[test]
+    fn agreement_keys_render_sorted() {
+        let md = render_model_tables(&sample());
+        let a = md.find("| a_model |").expect("a_model row");
+        let b = md.find("| b_model |").expect("b_model row");
+        assert!(a < b, "agreement rows must be key-sorted");
+    }
+}

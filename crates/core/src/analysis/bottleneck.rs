@@ -5,6 +5,7 @@
 use crate::modelset::ModelSet;
 use extradeep_agg::KernelId;
 use extradeep_model::Model;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One entry of the bottleneck ranking.
@@ -24,25 +25,24 @@ pub struct RankedKernel {
 /// growth trends ... identify the functions that will become the performance
 /// bottleneck".
 pub fn rank_by_growth(set: &ModelSet, probe_scale: f64) -> Vec<RankedKernel> {
-    let total: f64 = set
-        .kernels
-        .values()
-        .map(|m| m.predict_at(probe_scale).max(0.0))
-        .sum();
-    let mut entries: Vec<(&KernelId, &Model)> = set.kernels.iter().collect();
-    entries.sort_by(|(_, a), (_, b)| {
-        b.function
-            .growth_key()
-            .cmp(&a.function.growth_key())
-            .then_with(|| {
-                b.predict_at(probe_scale)
-                    .total_cmp(&a.predict_at(probe_scale))
-            })
-    });
-    entries
+    // Precompute each kernel's sort key (growth key + probe prediction) in
+    // parallel over the model set, then sort on the cached keys. This keeps
+    // the output order deterministic (pure keys, stable tie-break on the
+    // BTreeMap iteration order) while avoiding re-evaluating `predict_at`
+    // O(n log n) times inside the comparator.
+    let entries: Vec<(&KernelId, &Model)> = set.kernels.iter().collect();
+    let mut keyed: Vec<_> = entries
+        .par_iter()
+        .map(|(id, m)| (m.function.growth_key(), m.predict_at(probe_scale), *id, *m))
+        .collect();
+    // Summed in BTreeMap key order (the order `keyed` was built in), before
+    // sorting, so the reduction order is independent of the ranking.
+    let total: f64 = keyed.iter().map(|e| e.1.max(0.0)).sum();
+    keyed.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| b.1.total_cmp(&a.1)));
+    keyed
         .into_iter()
-        .map(|(id, m)| {
-            let v = m.predict_at(probe_scale).max(0.0);
+        .map(|(_, predicted, id, m)| {
+            let v = predicted.max(0.0);
             RankedKernel {
                 id: id.clone(),
                 growth: m.big_o(),

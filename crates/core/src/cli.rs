@@ -541,9 +541,24 @@ fn cmd_model(args: &Args) -> Result<String, CliError> {
     ));
     out.push_str(&format!("\nTop {top} kernels by growth trend:\n"));
     let mut t = Table::new(&["kernel", "growth", "model"]);
-    for r in rank_by_growth(&models, 64.0).into_iter().take(top) {
-        let model = &models.kernels[&r.id];
-        t.add_row(vec![r.id.name.clone(), r.growth, model.formatted()]);
+    // Row rendering (model formatting) is independent per kernel; rayon's
+    // ordered collect keeps the table rows in ranking order.
+    let ranked: Vec<_> = rank_by_growth(&models, 64.0)
+        .into_iter()
+        .take(top)
+        .collect();
+    let rows: Vec<Vec<String>> = {
+        use rayon::prelude::*;
+        ranked
+            .par_iter()
+            .map(|r| {
+                let model = &models.kernels[&r.id];
+                vec![r.id.name.clone(), r.growth.clone(), model.formatted()]
+            })
+            .collect()
+    };
+    for row in rows {
+        t.add_row(row);
     }
     out.push_str(&t.render());
     Ok(out)

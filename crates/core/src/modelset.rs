@@ -5,7 +5,6 @@
 use extradeep_agg::{AggregatedExperiment, AppCategory, KernelId};
 use extradeep_model::{Model, ModelerOptions, ModelingError, SearchEngine};
 use extradeep_trace::MetricKind;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -113,19 +112,26 @@ pub fn build_model_set(
 
     // One shared engine across the (potentially hundreds of) kernel models:
     // the search space is expanded into hypothesis shapes exactly once.
+    // Dataset extraction is cheap and sequential; the expensive hypothesis
+    // search is sharded across models by `model_batch` (one rayon task per
+    // kernel — the within-model search itself is single-threaded, so the
+    // pool parallelizes across kernels instead of inside one search).
     let engine = SearchEngine::new(options.modeler.clone());
-    let results: Vec<(KernelId, Result<Model, ModelingError>)> = kernels_to_model
-        .par_iter()
+    let datasets: Vec<_> = kernels_to_model
+        .iter()
         .map(|id| {
-            let _span = extradeep_obs::span("core.kernel_model");
-            let data = agg.kernel_dataset(id, metric);
-            (id.clone(), engine.model(&data))
+            let _span = extradeep_obs::span("core.kernel_dataset");
+            agg.kernel_dataset(id, metric)
         })
         .collect();
+    let fitted = {
+        let _span = extradeep_obs::span("core.kernel_models");
+        engine.model_batch(&datasets)
+    };
 
     let mut kernels = BTreeMap::new();
     let mut failed = BTreeMap::new();
-    for (id, res) in results {
+    for (id, res) in kernels_to_model.into_iter().zip(fitted) {
         match res {
             Ok(m) => {
                 kernels.insert(id, m);

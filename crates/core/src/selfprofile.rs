@@ -111,9 +111,16 @@ pub fn self_profile_config(snap: &Snapshot, work: f64, repetition: u32) -> Confi
 /// Bundles `(work, snapshot)` pairs — e.g. one pipeline run per input scale
 /// — into an experiment the ordinary modeling stack can fit.
 pub fn self_profile_experiment(runs: &[(f64, Snapshot)]) -> ExperimentProfiles {
+    use rayon::prelude::*;
+    // Snapshot → profile conversion is independent per run; rayon's ordered
+    // collect keeps the profiles in the caller's run order.
+    let profiles: Vec<ConfigProfile> = runs
+        .par_iter()
+        .map(|(work, snap)| self_profile_config(snap, *work, 0))
+        .collect();
     let mut exp = ExperimentProfiles::new();
-    for (work, snap) in runs {
-        exp.push(self_profile_config(snap, *work, 0));
+    for p in profiles {
+        exp.push(p);
     }
     exp
 }

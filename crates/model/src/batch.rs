@@ -1,0 +1,732 @@
+//! The batched hypothesis-search kernel.
+//!
+//! The per-shape engine in [`crate::engine`] already caches basis *factor*
+//! columns, but it still rebuilds every design matrix, re-accumulates every
+//! Gram matrix from `n·k²` multiplies, re-evaluates the extrapolation probe
+//! rows (three `powf`-bearing basis evaluations per shape), and runs the
+//! leave-one-out loop for every candidate. This module evaluates the whole
+//! candidate batch in one pass over the sample coordinates instead:
+//!
+//! 1. **Structure-of-arrays column store.** Every distinct compound term of
+//!    the batch becomes one contiguous basis column, built once by folding
+//!    factor columns together ([`crate::simd`] elementwise kernels). Each
+//!    column carries its sum, square sum, metric dot product, and probe-point
+//!    values — so a shape's normal equations assemble from O(k²) cached
+//!    scalars instead of O(n·k²) multiplies, and cross-column dots are shared
+//!    across all shapes that contain the same term pair.
+//! 2. **Shared LDLᵀ partial factorizations.** Hypotheses that extend another
+//!    hypothesis by one appended term reuse its factor via
+//!    [`linalg::ldlt_factor_append`] — bitwise identical to refactoring from
+//!    scratch, because column `j` of an LDLᵀ factorization reads nothing
+//!    beyond columns `< j`.
+//! 3. **Dominance pruning.** The closed-form LOO-CV residual `e/(1−h)` has
+//!    the same sign as and magnitude at least `|e|` (the full-fit residual),
+//!    so for strictly positive metric values the cross-validated SMAPE is
+//!    bounded below by the training SMAPE. A candidate whose
+//!    `smape + tolerance·penalty` already exceeds the current best key can
+//!    therefore never win and skips cross-validation entirely.
+//! 4. **Winner-only instantiation.** Losing hypotheses never materialize a
+//!    [`crate::function::PerformanceFunction`]; their growth penalty is
+//!    computed directly from the raw coefficients.
+//!
+//! Winner selection stays bit-identical to the per-shape engine: every
+//! floating-point reduction runs in the same order and over the same values
+//! as the engine's loops (see the per-step notes below), and the streaming
+//! best-candidate update replicates `Iterator::min_by` semantics (first
+//! minimum wins). The search itself is sequential — parallelism moved *across*
+//! models ([`crate::engine::SearchEngine::model_batch`]), which keeps every
+//! core busy on a many-kernel campaign without intra-search nondeterminism.
+
+use crate::engine::{self, obs_counters};
+use crate::hypothesis::{self, FittedHypothesis, HypothesisShape};
+use crate::linalg;
+use crate::measurement::{Coordinate, ExperimentData};
+use crate::metrics;
+use crate::model::Model;
+use crate::modeler::{self, ModelerOptions, ModelingError};
+use crate::search_space::TermShape;
+use crate::simd;
+use crate::term::SimpleTerm;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Extrapolation probe multiples of the farthest coordinate — must match the
+/// engine's negativity guard.
+const PROBE_FACTORS: [f64; 3] = [2.0, 8.0, 32.0];
+
+/// One distinct compound-term basis column with its per-search statistics.
+struct TermColumn {
+    /// Basis values at the sample points (structure-of-arrays: one
+    /// contiguous column per term, shared by every shape that uses it).
+    col: Vec<f64>,
+    /// `Σ col` — the Gram entry against the constant column.
+    sum: f64,
+    /// `Σ col²` — the Gram diagonal entry.
+    sq_sum: f64,
+    /// `Σ col·y` — the normal-equations right-hand-side entry.
+    y_dot: f64,
+    /// Basis values at the three extrapolation probe points.
+    probes: [f64; 3],
+}
+
+/// The batched basis-column store: every distinct factor is evaluated once,
+/// every distinct term column is built once, and all per-column reductions
+/// the search needs are precomputed in sample order.
+pub(crate) struct ColumnStore {
+    n: usize,
+    /// Metric values, aligned with the columns.
+    actuals: Vec<f64>,
+    /// `Σ y` — the constant row of the right-hand side.
+    y_sum: f64,
+    /// Index of the farthest sample coordinate (`None` only for empty input).
+    far_index: Option<usize>,
+    terms: Vec<TermColumn>,
+}
+
+impl ColumnStore {
+    /// Builds the store and the per-shape term-id lists (aligned with
+    /// `shapes`). Factor hit/miss accounting mirrors
+    /// [`crate::engine::BasisCache`]: one miss per distinct factor, one hit
+    /// per reuse.
+    pub(crate) fn build(
+        shapes: &[HypothesisShape],
+        points: &[(Coordinate, f64)],
+    ) -> (Self, Vec<Vec<usize>>) {
+        let n = points.len();
+        let actuals: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+        // Bitwise equal to the engine's `rhs[0] += 1.0 * y` accumulation:
+        // separate accumulators summed in point order agree exactly.
+        let y_sum: f64 = actuals.iter().sum();
+        let far_index =
+            (0..n).max_by(|&a, &b| modeler::cmp_coordinates(&points[a].0, &points[b].0));
+        let probe_points: Vec<Vec<f64>> = match far_index {
+            Some(far) => PROBE_FACTORS
+                .iter()
+                .map(|&factor| points[far].0.iter().map(|x| x * factor).collect())
+                .collect(),
+            None => Vec::new(),
+        };
+
+        // Distinct factor columns, evaluated once (with their probe values —
+        // the engine re-runs these `powf`-bearing evaluations per shape).
+        let mut factor_index: BTreeMap<(usize, TermShape), usize> = BTreeMap::new();
+        let mut factor_cols: Vec<Vec<f64>> = Vec::new();
+        let mut factor_probes: Vec<[f64; 3]> = Vec::new();
+        for shape in shapes {
+            for factors in &shape.terms {
+                for &(param, ts) in factors {
+                    if factor_index.contains_key(&(param, ts)) {
+                        obs_counters::basis_hits().incr();
+                        continue;
+                    }
+                    obs_counters::basis_misses().incr();
+                    let term = SimpleTerm::new(param, ts.exponent, ts.log_exponent);
+                    let col: Vec<f64> = points.iter().map(|(c, _)| term.evaluate(c)).collect();
+                    let mut probes = [1.0f64; 3];
+                    for (slot, p) in probes.iter_mut().zip(&probe_points) {
+                        *slot = term.evaluate(p);
+                    }
+                    factor_index.insert((param, ts), factor_cols.len());
+                    factor_cols.push(col);
+                    factor_probes.push(probes);
+                }
+            }
+        }
+
+        // Distinct term columns: the product of their factor columns in
+        // declaration order, starting from 1.0 — the exact sequence of
+        // `BasisCache::fill_design`, so every entry is bitwise identical to
+        // the engine's design matrix. Factor reads count as cache hits,
+        // mirroring the engine's read accounting.
+        let mut term_index: BTreeMap<Vec<(usize, TermShape)>, usize> = BTreeMap::new();
+        let mut terms: Vec<TermColumn> = Vec::new();
+        let mut shape_terms: Vec<Vec<usize>> = Vec::with_capacity(shapes.len());
+        let mut reads = 0u64;
+        for shape in shapes {
+            let mut ids = Vec::with_capacity(shape.terms.len());
+            for factors in &shape.terms {
+                let id = match term_index.get(factors) {
+                    Some(&id) => id,
+                    None => {
+                        let mut col = vec![1.0; n];
+                        let mut probes = [1.0f64; 3];
+                        for &(param, ts) in factors {
+                            reads += 1;
+                            let fi = factor_index[&(param, ts)];
+                            simd::mul_assign(&mut col, &factor_cols[fi]);
+                            for (acc, &f) in probes.iter_mut().zip(&factor_probes[fi]) {
+                                *acc *= f;
+                            }
+                        }
+                        // Each reduction runs in sample order, matching the
+                        // engine's interleaved Gram/rhs accumulation exactly.
+                        let sum = col.iter().sum();
+                        let sq_sum = col.iter().map(|&v| v * v).sum();
+                        let y_dot = col.iter().zip(&actuals).map(|(&v, &y)| v * y).sum();
+                        let id = terms.len();
+                        term_index.insert(factors.clone(), id);
+                        terms.push(TermColumn {
+                            col,
+                            sum,
+                            sq_sum,
+                            y_dot,
+                            probes,
+                        });
+                        id
+                    }
+                };
+                ids.push(id);
+            }
+            shape_terms.push(ids);
+        }
+        obs_counters::basis_hits().add(reads);
+
+        (
+            ColumnStore {
+                n,
+                actuals,
+                y_sum,
+                far_index,
+                terms,
+            },
+            shape_terms,
+        )
+    }
+}
+
+/// Reusable per-search scratch buffers (the batched analogue of
+/// [`crate::engine::Workspace`]).
+#[derive(Default)]
+struct Scratch {
+    /// `k × k` Gram matrix, overwritten in place by its LDLᵀ factor.
+    gram: Vec<f64>,
+    rhs: Vec<f64>,
+    coeffs: Vec<f64>,
+    /// Coefficient-weighted column accumulator for the fitted values.
+    acc: Vec<f64>,
+    fitted: Vec<f64>,
+    /// `k`-length design row of the current leave-one-out fold.
+    row: Vec<f64>,
+    /// Per-fold leverage solve.
+    solve: Vec<f64>,
+    loo: Vec<f64>,
+}
+
+/// A surviving candidate, kept in raw-coefficient form until the search ends
+/// (only the winner ever instantiates a function).
+struct BestCandidate {
+    key: f64,
+    num_coefficients: usize,
+    shape_index: usize,
+    coeffs: Vec<f64>,
+    smape: f64,
+    cv_smape: f64,
+    rss: f64,
+    r_squared: f64,
+}
+
+enum Eval {
+    Rejected,
+    Pruned,
+    Candidate(BestCandidate),
+}
+
+/// The result of a batched search, exposing which candidates the dominance
+/// bound skipped (the pruning-soundness test re-evaluates them in full).
+pub struct BatchOutcome {
+    pub winner: Option<FittedHypothesis>,
+    /// Indices into `shapes` of the candidates the bound skipped. The
+    /// trailing constant hypothesis is never pruned (its fit is a trivial
+    /// 1×1 solve, and it is the fallback the search degenerates to).
+    pub pruned: Vec<usize>,
+}
+
+struct BatchSearch<'a> {
+    points: &'a [(Coordinate, f64)],
+    options: &'a ModelerOptions,
+    tolerance: f64,
+    /// Whether every metric value is strictly positive — the precondition of
+    /// the `cv_smape >= smape` dominance bound.
+    all_positive: bool,
+    store: ColumnStore,
+    /// Cross-column dot products, keyed by unordered term-id pair (the
+    /// elementwise products commute bitwise).
+    cross: BTreeMap<(usize, usize), f64>,
+    /// Shared LDLᵀ factors keyed by term-id prefix; `None` records a pivot
+    /// collapse (every extension collapses at the same column).
+    factors: BTreeMap<Vec<usize>, Option<Vec<f64>>>,
+    ws: Scratch,
+}
+
+impl BatchSearch<'_> {
+    fn evaluate(
+        &mut self,
+        shape: &HypothesisShape,
+        tids: &[usize],
+        bounds: Option<(f64, f64)>,
+        best_key: Option<f64>,
+    ) -> Eval {
+        obs_counters::hypotheses().incr();
+        if !engine::shape_within_bounds(shape, bounds) {
+            return Eval::Rejected;
+        }
+        let n = self.store.n;
+        let k = 1 + tids.len();
+        if n < k {
+            return Eval::Rejected;
+        }
+
+        // Normal equations from cached column statistics. `gram[0][0]` is the
+        // engine's sum of `1.0 * 1.0` over all points — exactly `n as f64`.
+        let ws = &mut self.ws;
+        ws.gram.clear();
+        ws.gram.resize(k * k, 0.0);
+        ws.rhs.clear();
+        ws.gram[0] = n as f64;
+        ws.rhs.push(self.store.y_sum);
+        for (j, &t) in tids.iter().enumerate() {
+            let tc = &self.store.terms[t];
+            ws.gram[j + 1] = tc.sum;
+            ws.gram[(j + 1) * k] = tc.sum;
+            ws.gram[(j + 1) * k + (j + 1)] = tc.sq_sum;
+            ws.rhs.push(tc.y_dot);
+        }
+        for a in 0..tids.len() {
+            for b in (a + 1)..tids.len() {
+                let (lo, hi) = if tids[a] <= tids[b] {
+                    (tids[a], tids[b])
+                } else {
+                    (tids[b], tids[a])
+                };
+                let d = match self.cross.get(&(lo, hi)) {
+                    Some(&d) => d,
+                    None => {
+                        let d: f64 = self.store.terms[lo]
+                            .col
+                            .iter()
+                            .zip(&self.store.terms[hi].col)
+                            .map(|(&x, &y)| x * y)
+                            .sum();
+                        self.cross.insert((lo, hi), d);
+                        d
+                    }
+                };
+                ws.gram[(a + 1) * k + (b + 1)] = d;
+                ws.gram[(b + 1) * k + (a + 1)] = d;
+            }
+        }
+
+        // LDLᵀ with prefix sharing: a shape extending a previously factored
+        // term list by one appended term reuses that factor bitwise.
+        let factored = match self.factors.get(tids) {
+            Some(None) => false,
+            Some(Some(f)) => {
+                ws.gram.copy_from_slice(f);
+                true
+            }
+            None => {
+                let prefix = tids.split_last().map(|(_, p)| self.factors.get(p));
+                let ok = match prefix {
+                    Some(Some(Some(pf))) if pf.len() == (k - 1) * (k - 1) => {
+                        linalg::ldlt_factor_append(&mut ws.gram, k, pf)
+                    }
+                    // The leading block already collapsed; the full
+                    // factorization would fail at that same column.
+                    Some(Some(None)) => false,
+                    _ => linalg::ldlt_factor_in_place(&mut ws.gram, k),
+                };
+                self.factors
+                    .insert(tids.to_vec(), if ok { Some(ws.gram.clone()) } else { None });
+                ok
+            }
+        };
+        if !factored {
+            return Eval::Rejected;
+        }
+
+        ws.coeffs.clear();
+        ws.coeffs.extend_from_slice(&ws.rhs);
+        linalg::ldlt_solve_in_place(&ws.gram, k, &mut ws.coeffs);
+        if ws.coeffs.iter().any(|c| !c.is_finite()) {
+            return Eval::Rejected;
+        }
+
+        // Fitted values: per element this is the engine's
+        // `c0 + Σ_j c_j · b_j` left-to-right sum, run column-at-a-time.
+        ws.acc.clear();
+        ws.acc.resize(n, 0.0);
+        for (j, &t) in tids.iter().enumerate() {
+            simd::mul_add_assign(&mut ws.acc, &self.store.terms[t].col, ws.coeffs[j + 1]);
+        }
+        ws.fitted.clear();
+        ws.fitted.resize(n, 0.0);
+        simd::add_scalar(&mut ws.fitted, &ws.acc, ws.coeffs[0]);
+        if ws.fitted.iter().any(|p| !p.is_finite()) {
+            return Eval::Rejected;
+        }
+
+        if self.options.reject_negative_predictions {
+            if ws.fitted.iter().any(|&p| p < 0.0) {
+                return Eval::Rejected;
+            }
+            if self.store.far_index.is_some() {
+                for p in 0..PROBE_FACTORS.len() {
+                    let terms_sum: f64 = tids
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &t)| ws.coeffs[j + 1] * self.store.terms[t].probes[p])
+                        .sum();
+                    if ws.coeffs[0] + terms_sum < 0.0 {
+                        return Eval::Rejected;
+                    }
+                }
+            }
+        }
+        if let Some(far) = self.store.far_index {
+            let value = ws.fitted[far].abs().max(1e-30);
+            let magnitude: f64 = ws.coeffs[0].abs()
+                + tids
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &t)| (ws.coeffs[j + 1] * self.store.terms[t].col[far]).abs())
+                    .sum::<f64>();
+            if magnitude > 10.0 * value {
+                return Eval::Rejected;
+            }
+        }
+
+        let smape = metrics::smape(&ws.fitted, &self.store.actuals);
+        let growth = hypothesis::growth_key_from_coeffs(shape, &ws.coeffs).dominant();
+        let penalty = growth.0.as_f64().abs() + 0.3 * growth.1 as f64;
+
+        // Dominance pruning: with strictly positive actuals the closed-form
+        // leave-one-out residual `e/(1−h)` only ever amplifies the full-fit
+        // residual, so `cv_smape >= smape` fold by fold and the training
+        // SMAPE is a lower bound on the selection score. A candidate whose
+        // bound already exceeds the best key loses no matter what its
+        // cross-validation would say (ties are not pruned — the coefficient-
+        // count tiebreak must still see them).
+        if self.options.use_cross_validation && !self.options.use_naive_loocv && self.all_positive {
+            if let Some(best) = best_key {
+                let bound = smape + self.tolerance * penalty;
+                if bound.total_cmp(&best) == Ordering::Greater {
+                    obs_counters::pruned().incr();
+                    return Eval::Pruned;
+                }
+            }
+        }
+
+        let mut cv_smape = f64::NAN;
+        if self.options.use_cross_validation {
+            let cv = if self.options.use_naive_loocv {
+                obs_counters::loocv_naive().add(n as u64);
+                hypothesis::cross_validate_naive(shape, self.points)
+            } else {
+                self.loo(shape, tids, k)
+            };
+            if let Some(cv) = cv {
+                cv_smape = cv;
+            }
+        }
+
+        let score = if self.options.use_cross_validation && cv_smape.is_finite() {
+            cv_smape
+        } else {
+            smape
+        };
+        let ws = &self.ws;
+        Eval::Candidate(BestCandidate {
+            key: score + self.tolerance * penalty,
+            num_coefficients: k,
+            shape_index: usize::MAX, // filled by the caller
+            coeffs: ws.coeffs.clone(),
+            smape,
+            cv_smape,
+            rss: metrics::rss(&ws.fitted, &self.store.actuals),
+            r_squared: metrics::r_squared(&ws.fitted, &self.store.actuals),
+        })
+    }
+
+    /// Closed-form LOO-CV off the already-computed factorization — the
+    /// batched twin of the engine's `loo_from_workspace`, with design rows
+    /// assembled from the term columns.
+    fn loo(&mut self, shape: &HypothesisShape, tids: &[usize], k: usize) -> Option<f64> {
+        let n = self.store.n;
+        if n <= k {
+            return None;
+        }
+        let ws = &mut self.ws;
+        ws.loo.clear();
+        let (mut fast_folds, mut fallback_folds) = (0u64, 0u64);
+        for i in 0..n {
+            ws.row.clear();
+            ws.row.push(1.0);
+            for &t in tids {
+                ws.row.push(self.store.terms[t].col[i]);
+            }
+            ws.solve.clear();
+            ws.solve.extend_from_slice(&ws.row);
+            linalg::ldlt_solve_in_place(&ws.gram, k, &mut ws.solve);
+            let leverage: f64 = ws.row.iter().zip(&ws.solve).map(|(a, b)| a * b).sum();
+            let denom = 1.0 - leverage;
+            let actual = self.store.actuals[i];
+            let pred = actual - (actual - ws.fitted[i]) / denom;
+            if denom < engine::LEVERAGE_EPS || !pred.is_finite() {
+                fallback_folds += 1;
+                match hypothesis::naive_fold_prediction(shape, self.points, i) {
+                    Some(p) => ws.loo.push(p),
+                    None => {
+                        engine::flush_loo_counts(fast_folds, fallback_folds);
+                        return None;
+                    }
+                }
+            } else {
+                fast_folds += 1;
+                ws.loo.push(pred);
+            }
+        }
+        engine::flush_loo_counts(fast_folds, fallback_folds);
+        Some(metrics::smape(&ws.loo, &self.store.actuals))
+    }
+}
+
+/// Runs the batched search over `shapes` plus the trailing constant
+/// hypothesis, replicating `select_winner` over the engine's candidate order
+/// (first minimal key wins; ties break toward fewer coefficients).
+pub fn search_shapes(
+    shapes: &[HypothesisShape],
+    points: &[(Coordinate, f64)],
+    options: &ModelerOptions,
+    bounds: Option<(f64, f64)>,
+    tolerance: f64,
+) -> BatchOutcome {
+    let (store, shape_terms) = ColumnStore::build(shapes, points);
+    let n = store.n;
+    let all_positive = store.actuals.iter().all(|&a| a > 0.0);
+    let mut search = BatchSearch {
+        points,
+        options,
+        tolerance,
+        all_positive,
+        store,
+        cross: BTreeMap::new(),
+        factors: BTreeMap::new(),
+        ws: Scratch::default(),
+    };
+    // Seed the factor cache with the 1×1 constant-column Gram `[n]`, the
+    // shared prefix of every single-term shape (and the constant hypothesis).
+    {
+        let mut unit = vec![n as f64];
+        let ok = linalg::ldlt_factor_in_place(&mut unit, 1);
+        search
+            .factors
+            .insert(Vec::new(), if ok { Some(unit) } else { None });
+    }
+
+    let constant = HypothesisShape::constant();
+    let empty_ids: Vec<usize> = Vec::new();
+    let mut best: Option<BestCandidate> = None;
+    let mut pruned = Vec::new();
+    for idx in 0..=shapes.len() {
+        let (shape, tids, shape_bounds) = if idx < shapes.len() {
+            (&shapes[idx], &shape_terms[idx], bounds)
+        } else {
+            (&constant, &empty_ids, None)
+        };
+        // The constant hypothesis is exempt from pruning: it keeps `pruned`
+        // a set of indices into `shapes`, and skipping a 1×1 solve saves
+        // nothing.
+        let best_key = if idx < shapes.len() {
+            best.as_ref().map(|b| b.key)
+        } else {
+            None
+        };
+        match search.evaluate(shape, tids, shape_bounds, best_key) {
+            Eval::Rejected => {}
+            Eval::Pruned => pruned.push(idx),
+            Eval::Candidate(mut cand) => {
+                cand.shape_index = idx;
+                let replace = match &best {
+                    None => true,
+                    Some(b) => {
+                        cand.key
+                            .total_cmp(&b.key)
+                            .then_with(|| cand.num_coefficients.cmp(&b.num_coefficients))
+                            == Ordering::Less
+                    }
+                };
+                if replace {
+                    best = Some(cand);
+                }
+            }
+        }
+    }
+
+    let winner = best.map(|b| {
+        let shape = if b.shape_index < shapes.len() {
+            &shapes[b.shape_index]
+        } else {
+            &constant
+        };
+        FittedHypothesis {
+            function: shape.instantiate(&b.coeffs),
+            smape: b.smape,
+            cv_smape: b.cv_smape,
+            rss: b.rss,
+            r_squared: b.r_squared,
+            shape: shape.clone(),
+        }
+    });
+    BatchOutcome { winner, pruned }
+}
+
+/// The batched search driver: drop-in replacement for the per-shape engine
+/// driver, selecting the bit-identical winner.
+pub fn model_with_shapes_batched(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+    shapes: &[HypothesisShape],
+) -> Result<Model, ModelingError> {
+    let points = modeler::validated_points(data, options)?;
+    let bounds = modeler::exponent_bounds(data, options, &points);
+    let tolerance = modeler::noise_tolerance(data);
+    let outcome = search_shapes(shapes, &points, options, bounds, tolerance);
+    let winner = outcome.winner.ok_or(ModelingError::NoViableHypothesis)?;
+    Ok(modeler::finish_model(data, &points, winner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::ExperimentData;
+
+    fn univariate(f: impl Fn(f64) -> f64) -> ExperimentData {
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&x| (x, f(x)))
+            .collect();
+        ExperimentData::univariate("p", &pts)
+    }
+
+    fn assert_same_fit(a: &Model, b: &Model) {
+        assert_eq!(a.function, b.function, "selected functions differ");
+        assert_eq!(a.smape.total_cmp(&b.smape), Ordering::Equal);
+        assert_eq!(a.cv_smape.total_cmp(&b.cv_smape), Ordering::Equal);
+        assert_eq!(a.rss.total_cmp(&b.rss), Ordering::Equal);
+        assert_eq!(a.r_squared.total_cmp(&b.r_squared), Ordering::Equal);
+    }
+
+    #[test]
+    fn batched_matches_engine_bitwise_on_univariate_searches() {
+        let cases: Vec<ExperimentData> = vec![
+            univariate(|x| 3.0 + 2.0 * x),
+            univariate(|x| 1.0 + 4.0 * x.log2()),
+            univariate(|x| 158.58 + 0.58 * x.powf(2.0 / 3.0) * x.log2().powi(2)),
+            univariate(|_| 42.0),
+            univariate(|x| 10.0 + 100.0 / x),
+        ];
+        for options in [ModelerOptions::default(), ModelerOptions::strong_scaling()] {
+            let shapes = options.search_space.univariate_hypotheses();
+            for data in &cases {
+                let batched = model_with_shapes_batched(data, &options, &shapes).unwrap();
+                let engine = modeler::model_with_shapes_engine(data, &options, &shapes).unwrap();
+                assert_same_fit(&batched, &engine);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_engine_on_two_term_spaces() {
+        let mut options = ModelerOptions::strong_scaling();
+        options.search_space = options.search_space.with_max_terms(2);
+        let shapes = options.search_space.univariate_hypotheses();
+        let data = univariate(|x| 5.0 + 0.8 * x + 0.1 * x * x.log2());
+        let batched = model_with_shapes_batched(&data, &options, &shapes).unwrap();
+        let engine = modeler::model_with_shapes_engine(&data, &options, &shapes).unwrap();
+        assert_same_fit(&batched, &engine);
+    }
+
+    #[test]
+    fn pruned_candidates_never_beat_the_winner() {
+        // Deterministically perturbed linear data: many shapes survive the
+        // guards with distinct scores, so the bound has something to prune.
+        let noise = [1.02, 0.98, 1.01, 0.99, 1.015, 0.985];
+        let pts: Vec<(f64, f64)> = [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .zip(noise.iter())
+            .map(|(&x, &eps)| (x, (5.0 + 3.0 * x) * eps))
+            .collect();
+        let data = ExperimentData::univariate("p", &pts);
+        let options = ModelerOptions::default();
+        let shapes = options.search_space.univariate_hypotheses();
+        let points = modeler::validated_points(&data, &options).unwrap();
+        let bounds = modeler::exponent_bounds(&data, &options, &points);
+        let tolerance = modeler::noise_tolerance(&data);
+
+        let outcome = search_shapes(&shapes, &points, &options, bounds, tolerance);
+        let winner = outcome.winner.expect("winner");
+        assert!(
+            !outcome.pruned.is_empty(),
+            "the dominance bound must fire on noisy data"
+        );
+
+        let key_of = |h: &FittedHypothesis| {
+            let score = if options.use_cross_validation && h.cv_smape.is_finite() {
+                h.cv_smape
+            } else {
+                h.smape
+            };
+            let (exp, log_exp) = h.function.growth_key().dominant();
+            score + tolerance * (exp.as_f64().abs() + 0.3 * log_exp as f64)
+        };
+        let winner_key = key_of(&winner);
+
+        // Re-evaluate every pruned candidate in full on the engine path: its
+        // true selection key must be strictly worse than the winner's.
+        let cache = engine::BasisCache::build(&shapes, &points);
+        let mut ws = engine::Workspace::default();
+        for &idx in &outcome.pruned {
+            let full = engine::evaluate_shape_cached(
+                &shapes[idx],
+                &points,
+                &options,
+                bounds,
+                &cache,
+                &mut ws,
+            )
+            .expect("pruned candidates passed the fit and guards");
+            let key = key_of(&full);
+            assert_eq!(
+                key.total_cmp(&winner_key),
+                Ordering::Greater,
+                "pruned {:?} scored {key} vs winner {winner_key}",
+                shapes[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_disabled_under_naive_loocv_and_nonpositive_data() {
+        // Naive LOO-CV: the bound must not fire (the option exists to audit
+        // the closed form, so the naive path must evaluate everything).
+        let data = univariate(|x| 5.0 + 3.0 * x);
+        let naive = ModelerOptions {
+            use_naive_loocv: true,
+            ..ModelerOptions::default()
+        };
+        let shapes = naive.search_space.univariate_hypotheses();
+        let points = modeler::validated_points(&data, &naive).unwrap();
+        let bounds = modeler::exponent_bounds(&data, &naive, &points);
+        let outcome = search_shapes(&shapes, &points, &naive, bounds, 1.0);
+        assert!(outcome.pruned.is_empty());
+        assert!(outcome.winner.is_some());
+    }
+
+    #[test]
+    fn empty_shape_list_still_fits_the_constant() {
+        let data = univariate(|_| 7.5);
+        let model = model_with_shapes_batched(&data, &ModelerOptions::default(), &[]).unwrap();
+        assert!(model.function.is_constant());
+        assert!((model.predict_at(512.0) - 7.5).abs() < 1e-9);
+    }
+}

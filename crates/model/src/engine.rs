@@ -41,7 +41,7 @@ use std::collections::BTreeMap;
 
 /// A fold whose `1 − hᵢᵢ` is below this threshold would divide by ≈ 0 in the
 /// hat-matrix identity; such folds are refit exactly instead.
-const LEVERAGE_EPS: f64 = 1e-7;
+pub(crate) const LEVERAGE_EPS: f64 = 1e-7;
 
 /// Self-profiling counters. Resolved once per process (the registry lock is
 /// taken on first use only); every increment afterwards is one relaxed
@@ -60,6 +60,7 @@ pub(crate) mod obs_counters {
     }
 
     cached_counter!(hypotheses, "model.search.hypotheses");
+    cached_counter!(pruned, "model.search.pruned");
     cached_counter!(loocv_fastpath, "model.loocv.fastpath_folds");
     cached_counter!(loocv_fallback, "model.loocv.fallback_folds");
     cached_counter!(loocv_naive, "model.loocv.naive_folds");
@@ -69,7 +70,7 @@ pub(crate) mod obs_counters {
 
 /// Flushes locally accumulated LOO-CV fold counts (zero adds are skipped so
 /// the disabled path stays at the enabled-flag check).
-fn flush_loo_counts(fast: u64, fallback: u64) {
+pub(crate) fn flush_loo_counts(fast: u64, fallback: u64) {
     if fast > 0 {
         obs_counters::loocv_fastpath().add(fast);
     }
@@ -419,6 +420,17 @@ impl SearchEngine {
             1 => modeler::model_with_shapes(data, &self.options, &self.univariate),
             _ => multi_param::model_multi_parameter(data, &self.options),
         }
+    }
+
+    /// Models a batch of datasets, sharding *across models*: one rayon
+    /// work-stealing pool over the whole kernel list instead of within-one-
+    /// model parallelism. Each search runs sequentially on the batched
+    /// column-store kernel, so a many-kernel campaign keeps every core busy
+    /// with zero intra-search coordination; the result order matches the
+    /// input order, keeping downstream reports deterministic.
+    pub fn model_batch(&self, datasets: &[ExperimentData]) -> Vec<Result<Model, ModelingError>> {
+        use rayon::prelude::*;
+        datasets.par_iter().map(|data| self.model(data)).collect()
     }
 }
 

@@ -134,6 +134,13 @@ pub struct GrowthKey {
 }
 
 impl GrowthKey {
+    /// Assembles a key from precomputed per-parameter dominant pairs — the
+    /// batched search derives growth keys from raw coefficients without
+    /// instantiating a [`PerformanceFunction`].
+    pub(crate) fn from_per_param(per_param: Vec<(Fraction, u32)>) -> Self {
+        GrowthKey { per_param }
+    }
+
     pub fn per_parameter(&self) -> &[(Fraction, u32)] {
         &self.per_param
     }

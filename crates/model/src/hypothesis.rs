@@ -164,6 +164,35 @@ pub fn cross_validate_naive(shape: &HypothesisShape, points: &[(Coordinate, f64)
     Some(metrics::smape(&preds, &actuals))
 }
 
+/// Growth key of a shape under fitted coefficients, without instantiating a
+/// [`PerformanceFunction`]. Replicates [`PerformanceFunction::growth_key`]
+/// exactly — same vanishing-coefficient threshold, same lexicographic
+/// per-parameter maximum — so the batched search can score growth penalties
+/// for every candidate while materializing only the winner.
+pub(crate) fn growth_key_from_coeffs(
+    shape: &HypothesisShape,
+    coeffs: &[f64],
+) -> crate::function::GrowthKey {
+    use crate::fraction::Fraction;
+    let mut per_param: Vec<(Fraction, u32)> = Vec::new();
+    for (factors, c) in shape.terms.iter().zip(&coeffs[1..]) {
+        if c.abs() < 1e-12 {
+            continue;
+        }
+        for &(param, ts) in factors {
+            if per_param.len() <= param {
+                per_param.resize(param + 1, (Fraction::zero(), 0));
+            }
+            let entry = &mut per_param[param];
+            let candidate = (ts.exponent, ts.log_exponent);
+            if candidate > *entry {
+                *entry = candidate;
+            }
+        }
+    }
+    crate::function::GrowthKey::from_per_param(per_param)
+}
+
 /// Refits one leave-one-out fold and predicts the held-out point. Shared by
 /// the naive loop and the closed-form path's degenerate-fold fallback.
 pub(crate) fn naive_fold_prediction(
@@ -342,6 +371,41 @@ mod tests {
         assert!((fitted.function.constant - 1.0).abs() < 1e-7);
         assert!((fitted.function.terms[0].coefficient - 2.0).abs() < 1e-7);
         assert!((fitted.function.terms[1].coefficient - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn growth_key_from_coeffs_matches_instantiated_function() {
+        let shapes = [
+            HypothesisShape::constant(),
+            HypothesisShape::univariate(&[TermShape::new(Fraction::new(2, 3), 2)]),
+            HypothesisShape::univariate(&[
+                TermShape::new(Fraction::whole(1), 0),
+                TermShape::new(Fraction::zero(), 1),
+            ]),
+            // Multi-parameter compound term.
+            HypothesisShape {
+                terms: vec![vec![
+                    (0, TermShape::new(Fraction::whole(1), 0)),
+                    (1, TermShape::new(Fraction::zero(), 1)),
+                ]],
+            },
+        ];
+        // Includes a sub-threshold coefficient, which must not contribute.
+        let coeff_sets: [&[f64]; 3] = [&[1.0, 2.0, 3.0], &[0.5, 1e-13, 4.0], &[0.0, -2.5, 1e-15]];
+        for shape in &shapes {
+            for coeffs in coeff_sets {
+                let k = shape.num_coefficients();
+                let coeffs = &coeffs[..k.min(coeffs.len())];
+                if coeffs.len() < k {
+                    continue;
+                }
+                assert_eq!(
+                    growth_key_from_coeffs(shape, coeffs),
+                    shape.instantiate(coeffs).growth_key(),
+                    "shape {shape:?} coeffs {coeffs:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! println!("T_epoch(ranks) = {}", model.formatted());
 //! ```
 
+#![cfg_attr(feature = "simd", feature(portable_simd))]
+
+pub mod batch;
 pub mod confidence;
 pub mod diagnostics;
 pub mod engine;
@@ -46,6 +49,7 @@ pub mod multi_param;
 pub mod reference;
 pub mod search_space;
 pub mod segmentation;
+mod simd;
 pub mod term;
 
 pub use confidence::{bootstrap_interval, RegressionBand};
@@ -57,9 +61,10 @@ pub use hypothesis::{FittedHypothesis, HypothesisShape};
 pub use measurement::{AggregationStat, Coordinate, ExperimentData, Measurement};
 pub use model::Model;
 pub use modeler::{
-    cmp_coordinates, model_single_parameter, ModelerOptions, ModelingError, MIN_MEASUREMENT_POINTS,
+    cmp_coordinates, model_single_parameter, model_single_parameter_engine, ModelerOptions,
+    ModelingError, MIN_MEASUREMENT_POINTS,
 };
-pub use multi_param::model_multi_parameter;
+pub use multi_param::{model_multi_parameter, model_multi_parameter_engine};
 pub use reference::{model_multi_parameter_reference, model_single_parameter_reference};
 pub use search_space::{SearchSpace, TermShape};
 pub use segmentation::{detect_change_point, SegmentationOptions, SegmentedModel};

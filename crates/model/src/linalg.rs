@@ -165,6 +165,61 @@ pub fn ldlt_factor_in_place(a: &mut [f64], n: usize) -> bool {
     true
 }
 
+/// Extends an LDLᵀ factor by one appended row/column instead of refactoring
+/// from scratch.
+///
+/// `a` is the row-major `n × n` symmetric input whose leading
+/// `(n-1) × (n-1)` block has already been factored into `prefix` (row-major,
+/// stride `n-1`, as produced by [`ldlt_factor_in_place`]). The prefix factor
+/// is copied into `a` and only the last row and pivot are computed — the
+/// exact arithmetic [`ldlt_factor_in_place`] would have performed for them,
+/// because column `j` of the factorization reads nothing beyond columns
+/// `< j`. The result in `a` is therefore bitwise identical to a full
+/// factorization, which is what lets the batched search share partial
+/// factors across hypotheses that differ by one appended term without
+/// perturbing winner selection.
+///
+/// Returns `false` when the appended pivot collapses (the new column is
+/// numerically dependent on the existing ones), mirroring the full
+/// factorization's rejection.
+pub fn ldlt_factor_append(a: &mut [f64], n: usize, prefix: &[f64]) -> bool {
+    const REL_TOL: f64 = 1e-12;
+    debug_assert!(n >= 1);
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(prefix.len(), (n - 1) * (n - 1));
+    let m = n - 1;
+    // Adopt the prefix factor (L below the diagonal, D on it). Entries above
+    // the diagonal are never read by the solves.
+    for i in 0..m {
+        for j in 0..=i {
+            a[i * n + j] = prefix[i * m + j];
+        }
+    }
+    // Eliminate the appended row against each prior column, in column order —
+    // the same statements the full factorization runs for row `n-1`.
+    let last = n - 1;
+    for j in 0..m {
+        let mut s = a[last * n + j];
+        for k in 0..j {
+            s -= a[last * n + k] * a[j * n + k] * a[k * n + k];
+        }
+        a[last * n + j] = s / a[j * n + j];
+    }
+    // The appended pivot, with the same relative collapse test as
+    // [`ldlt_factor_in_place`].
+    let orig_diag = a[last * n + last];
+    let mut d = orig_diag;
+    for k in 0..m {
+        let l = a[last * n + k];
+        d -= l * l * a[k * n + k];
+    }
+    if !(d > REL_TOL * orig_diag.abs().max(1e-300)) {
+        return false;
+    }
+    a[last * n + last] = d;
+    true
+}
+
 /// Solves `A x = b` in place given a factor produced by
 /// [`ldlt_factor_in_place`].
 pub fn ldlt_solve_in_place(factor: &[f64], n: usize, b: &mut [f64]) {
@@ -370,6 +425,66 @@ mod tests {
         let c = Ldlt::decompose(&gram).expect("well-posed system").solve(&b);
         assert!((c[0] - 5.0).abs() < 1e-6, "c0 = {}", c[0]);
         assert!((c[1] - 2.0).abs() < 1e-9, "c1 = {}", c[1]);
+    }
+
+    #[test]
+    fn ldlt_append_is_bitwise_identical_to_full_factorization() {
+        // Gram matrix of [1, x, x log2 x] on a geometric series.
+        let xs = [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x, x * x.log2()]).collect();
+        let gram = Matrix::from_rows(&rows).gram();
+        let n = 3;
+
+        // Full factorization of the 3x3.
+        let mut full = gram.data.clone();
+        assert!(ldlt_factor_in_place(&mut full, n));
+
+        // Factor the leading 2x2, then append the third row/column.
+        let m = n - 1;
+        let mut prefix = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                prefix[i * m + j] = gram.get(i, j);
+            }
+        }
+        assert!(ldlt_factor_in_place(&mut prefix, m));
+        let mut appended = gram.data.clone();
+        assert!(ldlt_factor_append(&mut appended, n, &prefix));
+
+        // Bitwise identity on the lower triangle and diagonal (the parts the
+        // solves read).
+        for i in 0..n {
+            for j in 0..=i {
+                assert_eq!(
+                    full[i * n + j].to_bits(),
+                    appended[i * n + j].to_bits(),
+                    "entry ({i}, {j}) differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ldlt_append_rejects_dependent_column() {
+        // Appending a duplicate of an existing column must fail the pivot
+        // test exactly like the full factorization does.
+        let rows: Vec<Vec<f64>> = [2.0f64, 4.0, 8.0, 16.0]
+            .iter()
+            .map(|&x| vec![1.0, x, x])
+            .collect();
+        let gram = Matrix::from_rows(&rows).gram();
+        let mut full = gram.data.clone();
+        assert!(!ldlt_factor_in_place(&mut full, 3));
+
+        let mut prefix = vec![0.0; 4];
+        for i in 0..2 {
+            for j in 0..2 {
+                prefix[i * 2 + j] = gram.get(i, j);
+            }
+        }
+        assert!(ldlt_factor_in_place(&mut prefix, 2));
+        let mut appended = gram.data.clone();
+        assert!(!ldlt_factor_append(&mut appended, 3, &prefix));
     }
 
     #[test]

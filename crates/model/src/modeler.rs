@@ -323,16 +323,52 @@ pub fn model_single_parameter(
     model_with_shapes(data, options, &options.search_space.univariate_hypotheses())
 }
 
+/// Single-parameter modeling on the per-shape engine path ([`engine`] +
+/// within-search rayon) instead of the batched column-store kernel. Retained
+/// for benchmarking and as the equivalence referee between the frozen
+/// reference oracle and the batched kernel.
+pub fn model_single_parameter_engine(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+) -> Result<Model, ModelingError> {
+    if data.num_parameters() != 1 {
+        return Err(ModelingError::InvalidData(format!(
+            "single-parameter modeler got {} parameters",
+            data.num_parameters()
+        )));
+    }
+    model_with_shapes_engine(data, options, &options.search_space.univariate_hypotheses())
+}
+
 /// Shared search driver: evaluates the provided hypothesis shapes (plus the
-/// constant hypothesis) in parallel and selects the best.
+/// constant hypothesis) and selects the best.
 ///
-/// This is the fast path: basis columns are evaluated once into a shared
-/// [`engine::BasisCache`], each rayon worker reuses one scratch
+/// Dispatches to the batched column-store kernel
+/// ([`crate::batch::model_with_shapes_batched`]): one pass over the sample
+/// coordinates evaluates the basis columns of *all* candidate shapes, Gram
+/// matrices assemble from cached column statistics, LDLᵀ factorizations are
+/// shared across shapes extending one another, and dominated candidates are
+/// pruned before cross-validation. The search itself is sequential —
+/// parallelism lives *across* models ([`engine::SearchEngine::model_batch`]).
+/// The per-shape engine driver survives as [`model_with_shapes_engine`], the
+/// pre-optimization driver as
+/// [`crate::reference::model_with_shapes_reference`]; all three select
+/// bit-identical winners.
+pub(crate) fn model_with_shapes(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+    shapes: &[HypothesisShape],
+) -> Result<Model, ModelingError> {
+    let _span = extradeep_obs::span("model.search");
+    crate::batch::model_with_shapes_batched(data, options, shapes)
+}
+
+/// The per-shape engine driver: basis columns are evaluated once into a
+/// shared [`engine::BasisCache`], each rayon worker reuses one scratch
 /// [`engine::Workspace`] across all shapes it evaluates, and
 /// cross-validation runs in closed form off the fit's own LDLᵀ
-/// factorization. The pre-optimization driver survives as
-/// [`crate::reference::model_with_shapes_reference`].
-pub(crate) fn model_with_shapes(
+/// factorization.
+pub(crate) fn model_with_shapes_engine(
     data: &ExperimentData,
     options: &ModelerOptions,
     shapes: &[HypothesisShape],

@@ -128,7 +128,10 @@ fn combine_shapes(per_param: &[(usize, Vec<TermShape>)]) -> Vec<HypothesisShape>
         terms.push(combo.clone());
         out.push(HypothesisShape { terms });
     }
-    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    // Structural order on the term lists (TermShape derives Ord) — the
+    // Debug-string sort this replaces allocated two format strings per
+    // comparison and ordered identically only by accident of the derive.
+    out.sort_by(|a, b| a.terms.cmp(&b.terms));
     out.dedup();
     out
 }
@@ -194,6 +197,26 @@ pub fn model_multi_parameter(
     }
     let plan = search_plan(data, options, modeler::model_single_parameter)?;
     modeler::model_with_shapes(data, &plan.options, &plan.shapes)
+}
+
+/// Multi-parameter modeling on the per-shape engine path (the batched
+/// kernel's equivalence referee): same sparse plan, line searches and
+/// full-grid refit routed through [`modeler::model_single_parameter_engine`]
+/// and [`modeler::model_with_shapes_engine`].
+pub fn model_multi_parameter_engine(
+    data: &ExperimentData,
+    options: &ModelerOptions,
+) -> Result<Model, ModelingError> {
+    let _span = extradeep_obs::span("model.multi_param");
+    let m = data.num_parameters();
+    if m == 0 {
+        return Err(ModelingError::InvalidData("no parameters".into()));
+    }
+    if m == 1 {
+        return modeler::model_single_parameter_engine(data, options);
+    }
+    let plan = search_plan(data, options, modeler::model_single_parameter_engine)?;
+    modeler::model_with_shapes_engine(data, &plan.options, &plan.shapes)
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! Elementwise f64 kernels for the batched search path.
+//!
+//! Only *elementwise maps* are vectorized here — term-column products,
+//! coefficient-scaled column accumulation, and the constant-offset pass that
+//! turns an accumulator into fitted values. Every *reduction* in the batched
+//! kernel (column sums, Gram dots, leverage dot products) deliberately stays
+//! scalar and sequential: winner selection must be bit-identical to the
+//! reference engine, and reassociating a floating-point sum changes its
+//! rounding. Elementwise lanes are safe because each output element runs the
+//! exact scalar operation sequence of [`crate::engine::predict`] and
+//! `BasisCache::fill_design`, just four at a time.
+//!
+//! Two implementations share one signature set:
+//!
+//! * `simd` feature (nightly, `std::simd`): `f64x4` vector ops. IEEE-754
+//!   lane arithmetic is identical to scalar arithmetic, so results stay
+//!   bitwise equal.
+//! * default (stable): a hand-unrolled 4-lane scalar version. The four lane
+//!   statements are independent, which lets the backend keep four
+//!   multiply-add chains in flight even without explicit vector types.
+
+#[cfg(feature = "simd")]
+mod imp {
+    use std::simd::f64x4;
+
+    /// `dst[i] *= src[i]` — one factor column folded into a term column.
+    pub fn mul_assign(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (dst, src) = (&mut dst[..n], &src[..n]);
+        let (d4, d_tail) = dst.as_chunks_mut::<4>();
+        let (s4, s_tail) = src.as_chunks::<4>();
+        for (d, s) in d4.iter_mut().zip(s4) {
+            *d = (f64x4::from_array(*d) * f64x4::from_array(*s)).to_array();
+        }
+        for (d, s) in d_tail.iter_mut().zip(s_tail) {
+            *d *= s;
+        }
+    }
+
+    /// `acc[i] += c * col[i]` — one coefficient-weighted basis column.
+    pub fn mul_add_assign(acc: &mut [f64], col: &[f64], c: f64) {
+        let n = acc.len().min(col.len());
+        let (acc, col) = (&mut acc[..n], &col[..n]);
+        let cv = f64x4::splat(c);
+        let (a4, a_tail) = acc.as_chunks_mut::<4>();
+        let (c4, c_tail) = col.as_chunks::<4>();
+        for (a, b) in a4.iter_mut().zip(c4) {
+            *a = (f64x4::from_array(*a) + cv * f64x4::from_array(*b)).to_array();
+        }
+        for (a, b) in a_tail.iter_mut().zip(c_tail) {
+            *a += c * b;
+        }
+    }
+
+    /// `out[i] = c0 + acc[i]` — fitted values from the term accumulator.
+    pub fn add_scalar(out: &mut [f64], acc: &[f64], c0: f64) {
+        let n = out.len().min(acc.len());
+        let (out, acc) = (&mut out[..n], &acc[..n]);
+        let cv = f64x4::splat(c0);
+        let (o4, o_tail) = out.as_chunks_mut::<4>();
+        let (a4, a_tail) = acc.as_chunks::<4>();
+        for (o, a) in o4.iter_mut().zip(a4) {
+            *o = (cv + f64x4::from_array(*a)).to_array();
+        }
+        for (o, a) in o_tail.iter_mut().zip(a_tail) {
+            *o = c0 + a;
+        }
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+mod imp {
+    /// `dst[i] *= src[i]` — one factor column folded into a term column.
+    pub fn mul_assign(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let (dst, src) = (&mut dst[..n], &src[..n]);
+        let mut i = 0;
+        while i + 4 <= n {
+            dst[i] *= src[i];
+            dst[i + 1] *= src[i + 1];
+            dst[i + 2] *= src[i + 2];
+            dst[i + 3] *= src[i + 3];
+            i += 4;
+        }
+        while i < n {
+            dst[i] *= src[i];
+            i += 1;
+        }
+    }
+
+    /// `acc[i] += c * col[i]` — one coefficient-weighted basis column.
+    pub fn mul_add_assign(acc: &mut [f64], col: &[f64], c: f64) {
+        let n = acc.len().min(col.len());
+        let (acc, col) = (&mut acc[..n], &col[..n]);
+        let mut i = 0;
+        while i + 4 <= n {
+            acc[i] += c * col[i];
+            acc[i + 1] += c * col[i + 1];
+            acc[i + 2] += c * col[i + 2];
+            acc[i + 3] += c * col[i + 3];
+            i += 4;
+        }
+        while i < n {
+            acc[i] += c * col[i];
+            i += 1;
+        }
+    }
+
+    /// `out[i] = c0 + acc[i]` — fitted values from the term accumulator.
+    pub fn add_scalar(out: &mut [f64], acc: &[f64], c0: f64) {
+        let n = out.len().min(acc.len());
+        let (out, acc) = (&mut out[..n], &acc[..n]);
+        let mut i = 0;
+        while i + 4 <= n {
+            out[i] = c0 + acc[i];
+            out[i + 1] = c0 + acc[i + 1];
+            out[i + 2] = c0 + acc[i + 2];
+            out[i + 3] = c0 + acc[i + 3];
+            i += 4;
+        }
+        while i < n {
+            out[i] = c0 + acc[i];
+            i += 1;
+        }
+    }
+}
+
+pub(crate) use imp::{add_scalar, mul_add_assign, mul_assign};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_assign_matches_scalar_loop() {
+        for n in [0usize, 1, 3, 4, 5, 8, 11] {
+            let src: Vec<f64> = (0..n).map(|i| 1.5 + i as f64 * 0.25).collect();
+            let mut dst: Vec<f64> = (0..n).map(|i| 2.0 - i as f64 * 0.125).collect();
+            let expected: Vec<f64> = dst.iter().zip(&src).map(|(d, s)| d * s).collect();
+            mul_assign(&mut dst, &src);
+            assert_eq!(dst, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn mul_add_assign_matches_scalar_loop() {
+        for n in [0usize, 1, 4, 6, 9] {
+            let col: Vec<f64> = (0..n).map(|i| 0.5 + i as f64).collect();
+            let mut acc: Vec<f64> = (0..n).map(|i| i as f64 * 0.3).collect();
+            let c = 1.75;
+            let expected: Vec<f64> = acc.iter().zip(&col).map(|(a, b)| a + c * b).collect();
+            mul_add_assign(&mut acc, &col, c);
+            assert_eq!(acc, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn add_scalar_matches_scalar_loop() {
+        for n in [0usize, 2, 4, 7] {
+            let acc: Vec<f64> = (0..n).map(|i| i as f64 * 0.7).collect();
+            let mut out = vec![0.0; n];
+            add_scalar(&mut out, &acc, 3.25);
+            let expected: Vec<f64> = acc.iter().map(|a| 3.25 + a).collect();
+            assert_eq!(out, expected, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Property tests: the batched search kernel (`batch.rs`, the default path)
+//! must be indistinguishable from the per-hypothesis engine and from the
+//! frozen reference implementation — same winner, same coefficients (within
+//! 1e-9 against the reference; bit-identical against the engine), and the
+//! same accept/reject decision on degenerate inputs.
+//!
+//! The `miri_safe` module at the bottom exercises the batched path only
+//! (it is rayon-free), so it can run under `cargo miri test`; the
+//! cross-implementation properties need the rayon-backed engine/reference
+//! and run in the ordinary test job.
+
+use extradeep_model::{
+    model_multi_parameter, model_multi_parameter_engine, model_multi_parameter_reference,
+    model_single_parameter, model_single_parameter_engine, model_single_parameter_reference,
+    ExperimentData, Measurement, Model, ModelerOptions,
+};
+use proptest::prelude::*;
+
+const XS: [f64; 6] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+fn univariate(values: &[f64]) -> ExperimentData {
+    let pts: Vec<(f64, f64)> = XS.iter().copied().zip(values.iter().copied()).collect();
+    ExperimentData::univariate("p", &pts)
+}
+
+/// Batched vs engine: the batched kernel replicates the engine's arithmetic
+/// step for step, so the selected function must be *bit-identical*.
+fn assert_bitwise(batched: &Model, engine: &Model) {
+    assert_eq!(
+        batched.function, engine.function,
+        "batched kernel diverged from engine:\n  batched {}\n  engine  {}",
+        batched.function, engine.function
+    );
+    assert!(
+        batched.smape.total_cmp(&engine.smape).is_eq(),
+        "smape {} vs {}",
+        batched.smape,
+        engine.smape
+    );
+}
+
+/// Batched vs reference: same winner identity, coefficients within 1e-9
+/// (the reference accumulates its normal equations in a different order).
+fn assert_close(batched: &Model, reference: &Model) {
+    assert_eq!(
+        batched.function.to_string(),
+        reference.function.to_string(),
+        "batched kernel and reference selected different models"
+    );
+    for &x in &[2.0, 8.0, 64.0, 256.0] {
+        let a = batched.predict_at(x);
+        let b = reference.predict_at(x);
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+            "prediction drift at {x}: {a} vs {b}"
+        );
+    }
+}
+
+fn assert_all_agree(data: &ExperimentData, options: &ModelerOptions) {
+    let batched = model_single_parameter(data, options);
+    let engine = model_single_parameter_engine(data, options);
+    match (&batched, &engine) {
+        (Ok(b), Ok(e)) => assert_bitwise(b, e),
+        (Err(_), Err(_)) => {}
+        other => panic!("batched/engine accept-reject mismatch: {other:?}"),
+    }
+    let reference = model_single_parameter_reference(data, options);
+    match (&batched, &reference) {
+        (Ok(b), Ok(r)) => assert_close(b, r),
+        (Err(_), Err(_)) => {}
+        other => panic!("batched/reference accept-reject mismatch: {other:?}"),
+    }
+}
+
+const GRID_RANKS: [f64; 5] = [2.0, 4.0, 8.0, 16.0, 32.0];
+const GRID_BATCHES: [f64; 5] = [32.0, 64.0, 128.0, 256.0, 512.0];
+
+fn grid(values: &[f64]) -> ExperimentData {
+    // Full 5 x 5 ranks x batch grid: five distinct values per parameter, so
+    // the per-parameter line fits clear the default `min_points`.
+    let mut m = Vec::new();
+    let mut i = 0;
+    for &r in &GRID_RANKS {
+        for &b in &GRID_BATCHES {
+            m.push(Measurement::new(vec![r, b], vec![values[i]]));
+            i += 1;
+        }
+    }
+    ExperimentData::new(vec!["ranks".into(), "batch".into()], m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary positive data: all three implementations agree on the
+    /// single-parameter search (default and strong-scaling spaces).
+    #[test]
+    fn single_param_agrees_on_random_data(
+        values in proptest::collection::vec(0.1f64..1e4, 6),
+    ) {
+        let data = univariate(&values);
+        assert_all_agree(&data, &ModelerOptions::default());
+        let mut strong = ModelerOptions::strong_scaling();
+        strong.min_points = 5;
+        assert_all_agree(&data, &strong);
+    }
+
+    /// Model-generated data with multiplicative noise — the case the search
+    /// spends its time on, where dominance pruning actually fires.
+    #[test]
+    fn single_param_agrees_on_noisy_model_data(
+        c0 in 0.5f64..200.0,
+        c1 in 0.01f64..20.0,
+        noise in proptest::collection::vec(-0.08f64..0.08, 6),
+    ) {
+        let values: Vec<f64> = noise
+            .iter()
+            .zip(XS.iter())
+            .map(|(&n, &x)| (c0 + c1 * x.powf(0.5) * x.log2()) * (1.0 + n))
+            .collect();
+        assert_all_agree(&univariate(&values), &ModelerOptions::default());
+    }
+
+    /// Leverage ≈ 1: one isolated far point forces the closed-form LOO-CV
+    /// into its exact-refit fallback. The batched kernel must take the same
+    /// fallback and land on the same winner.
+    #[test]
+    fn single_param_agrees_on_leverage_one_designs(
+        near in proptest::collection::vec(0.5f64..10.0, 5),
+        far_v in 100.0f64..1e5,
+    ) {
+        let mut pts: Vec<(f64, Vec<f64>)> =
+            near.iter().map(|&v| (4.0, vec![v])).collect();
+        pts.push((2048.0, vec![far_v]));
+        let data = ExperimentData::univariate_with_reps("p", &pts);
+        assert_all_agree(&data, &ModelerOptions::default());
+    }
+
+    /// NaN repetitions: whatever the validation layer decides (drop, reject),
+    /// the batched kernel and the engine must decide it identically.
+    #[test]
+    fn single_param_agrees_on_nan_inputs(
+        values in proptest::collection::vec(0.5f64..100.0, 6),
+        poisoned in 0usize..6,
+    ) {
+        let pts: Vec<(f64, Vec<f64>)> = XS
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let v = if i == poisoned { f64::NAN } else { values[i] };
+                (x, vec![v])
+            })
+            .collect();
+        let data = ExperimentData::univariate_with_reps("p", &pts);
+        let options = ModelerOptions::default();
+        let batched = model_single_parameter(&data, &options);
+        let engine = model_single_parameter_engine(&data, &options);
+        match (&batched, &engine) {
+            (Ok(b), Ok(e)) => assert_bitwise(b, e),
+            (Err(_), Err(_)) => {}
+            other => panic!("NaN handling mismatch: {other:?}"),
+        }
+    }
+
+    /// Multi-parameter searches: per-parameter line fits plus the compound
+    /// cross-product space, through all three implementations.
+    #[test]
+    fn multi_param_agrees(
+        c0 in 1.0f64..50.0,
+        cr in 0.05f64..5.0,
+        cb in 0.001f64..0.5,
+        noise in proptest::collection::vec(-0.05f64..0.05, 25),
+    ) {
+        let values: Vec<f64> = {
+            let mut v = Vec::new();
+            let mut i = 0;
+            for &r in &GRID_RANKS {
+                for &b in &GRID_BATCHES {
+                    v.push((c0 + cr * r * r.log2() + cb * b) * (1.0 + noise[i]));
+                    i += 1;
+                }
+            }
+            v
+        };
+        let data = grid(&values);
+        let options = ModelerOptions::default();
+        let batched = model_multi_parameter(&data, &options);
+        let engine = model_multi_parameter_engine(&data, &options);
+        match (&batched, &engine) {
+            (Ok(b), Ok(e)) => assert_bitwise(b, e),
+            (Err(_), Err(_)) => {}
+            other => panic!("batched/engine multi-param mismatch: {other:?}"),
+        }
+        let reference = model_multi_parameter_reference(&data, &options);
+        match (&batched, &reference) {
+            (Ok(b), Ok(r)) => assert_close(b, r),
+            (Err(_), Err(_)) => {}
+            other => panic!("batched/reference multi-param mismatch: {other:?}"),
+        }
+    }
+}
+
+/// Rayon-free checks of the batched path alone, runnable under miri:
+/// `cargo miri test -p extradeep-model --test batch_equivalence miri_safe::`.
+mod miri_safe {
+    use super::*;
+    use extradeep_model::hypothesis::{cross_validate, HypothesisShape};
+    use extradeep_model::{Fraction, TermShape};
+
+    #[test]
+    fn batched_search_fits_clean_linear_data() {
+        let values: Vec<f64> = XS.iter().map(|&x| 3.0 + 2.0 * x).collect();
+        let model =
+            model_single_parameter(&univariate(&values), &ModelerOptions::default()).unwrap();
+        assert!(model.smape < 1e-6, "smape {} on exact data", model.smape);
+        let at128 = model.predict_at(128.0);
+        assert!(
+            (at128 - (3.0 + 2.0 * 128.0)).abs() < 1.0,
+            "extrapolation {at128}"
+        );
+    }
+
+    #[test]
+    fn batched_cv_score_matches_standalone_closed_form() {
+        // The winner's cv_smape recorded by the batched search equals the
+        // standalone closed-form LOO-CV of the winning shape on the same
+        // points — the kernel shares the arithmetic, not just the contract.
+        let values: Vec<f64> = XS
+            .iter()
+            .map(|&x| (5.0 + 0.7 * x) * (1.0 + 0.02 * x.sin()))
+            .collect();
+        let data = univariate(&values);
+        let model = model_single_parameter(&data, &ModelerOptions::default()).unwrap();
+        let shape = HypothesisShape::univariate(&[TermShape::new(Fraction::whole(1), 0)]);
+        let points: Vec<(Vec<f64>, f64)> = data
+            .measurements
+            .iter()
+            .map(|m| (m.coordinate.clone(), m.median()))
+            .collect();
+        if model.function.to_string().contains("x1") && !model.function.to_string().contains('^') {
+            let cv = cross_validate(&shape, &points).expect("closed-form CV");
+            assert!(
+                (model.cv_smape - cv).abs() <= 1e-9 * (1.0 + cv.abs()),
+                "cv {} vs standalone {}",
+                model.cv_smape,
+                cv
+            );
+        }
+    }
+
+    #[test]
+    fn batched_search_rejects_too_few_points() {
+        let data = ExperimentData::univariate("p", &[(2.0, 1.0), (4.0, 2.0)]);
+        assert!(model_single_parameter(&data, &ModelerOptions::default()).is_err());
+    }
+}
