@@ -1,18 +1,21 @@
 //! Measures the cost of the self-profiling layer on the full pipeline
 //! (simulate → aggregate → model) and records the result in
-//! `BENCH_obs.json`: wall time with instrumentation disabled vs enabled,
-//! the disabled per-span cost, and the phase/counter breakdown of one
+//! `BENCH_obs.json`: wall time with instrumentation disabled, enabled, and
+//! enabled *with the flight-recorder journal streaming telemetry*, the
+//! disabled per-span cost, and the phase/counter breakdown of one
 //! instrumented run.
 //!
 //! Run with `cargo run --release -p extradeep-bench --bin bench_obs`.
-//! An optional first argument overrides the output path.
+//! `--quick` trims the batch count for CI; an optional positional argument
+//! overrides the output path. The perf-history ratchet ingests the timing
+//! metrics (`*_ms`, `*_ns`) under the `obs` prefix.
 
 use extradeep::{build_model_set, ModelSetOptions};
 use extradeep_agg::{aggregate_experiment, AggregationOptions};
 use extradeep_sim::ExperimentSpec;
 use extradeep_trace::MetricKind;
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn pipeline_once() {
     let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
@@ -50,17 +53,37 @@ fn disabled_span_ns() -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let mut quick = false;
+    let mut out_path = "BENCH_obs.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let batches = if quick { 2 } else { 5 };
 
     extradeep_obs::set_enabled(false);
     extradeep_obs::drain();
-    let disabled_s = time_pipeline(5);
+    let disabled_s = time_pipeline(batches);
 
     extradeep_obs::set_enabled(true);
     extradeep_obs::drain();
-    let enabled_s = time_pipeline(5);
+    let enabled_s = time_pipeline(batches);
+
+    // Third pass: journal + background sampler streaming JSON-Lines
+    // telemetry to a null sink — the full live-telemetry tax.
+    let handle = extradeep_obs::sampler::start(
+        std::io::sink(),
+        extradeep_obs::SamplerConfig {
+            interval: Duration::from_millis(100),
+            ..Default::default()
+        },
+    )
+    .expect("start telemetry sampler");
+    let journal_s = time_pipeline(batches);
+    let telemetry = handle.stop();
 
     // One more instrumented run for the reported breakdown.
     pipeline_once();
@@ -69,8 +92,9 @@ fn main() {
 
     let span_ns = disabled_span_ns();
     let overhead_percent = (enabled_s / disabled_s - 1.0) * 100.0;
+    let journal_overhead_percent = (journal_s / disabled_s - 1.0) * 100.0;
 
-    let mut names: Vec<&str> = snap.spans.iter().map(|s| s.name).collect();
+    let mut names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_ref()).collect();
     names.sort_unstable();
     names.dedup();
     let phases: Vec<serde_json::Value> = names
@@ -86,17 +110,25 @@ fn main() {
     let counters: serde_json::Map<String, serde_json::Value> = snap
         .counters
         .iter()
-        .map(|c| (c.name.to_string(), serde_json::json!(c.value)))
+        .map(|c| (c.name.clone(), serde_json::json!(c.value)))
         .collect();
 
     let report = serde_json::json!({
         "benchmark": "self-profiling overhead on the full pipeline",
         "pipeline": "simulate(5 configs) -> aggregate -> model_set(Time)",
+        "quick": quick,
         "disabled_ms": disabled_s * 1e3,
         "enabled_ms": enabled_s * 1e3,
+        "journal_ms": journal_s * 1e3,
         "overhead_percent": overhead_percent,
+        "journal_overhead_percent": journal_overhead_percent,
         "disabled_span_ns": span_ns,
         "spans_recorded": snap.spans.len(),
+        "telemetry": {
+            "records": telemetry.records_written,
+            "snapshots": telemetry.snapshots_emitted,
+            "journal_dropped": telemetry.journal_dropped,
+        },
         "phases": phases,
         "counters": counters,
     });

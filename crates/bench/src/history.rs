@@ -311,7 +311,11 @@ mod tests {
             for name in entry.metrics.keys() {
                 let expected = if name.ends_with("speedup") || name.ends_with("_per_sec") {
                     Direction::HigherIsBetter
-                } else if name.ends_with("_us") || name.ends_with("_s") {
+                } else if name.ends_with("_us")
+                    || name.ends_with("_ns")
+                    || name.ends_with("_ms")
+                    || name.ends_with("_s")
+                {
                     Direction::LowerIsBetter
                 } else {
                     panic!("unpinned metric suffix in BENCH_history.json: {name}");

@@ -75,6 +75,7 @@ USAGE:
   extradeep calltree --in <file.json> [--top N]
   extradeep compare  --a <file.json> --b <file.json> [--probe RANKS] [--top N]
   extradeep export-chrome --in <file.json> --out <trace.json>
+  extradeep tail     <telemetry.jsonl> [--prometheus]
 
 GLOBAL FLAGS (any command):
   --profile-self <out.json>   record the pipeline's own spans/counters and
@@ -83,6 +84,12 @@ GLOBAL FLAGS (any command):
   --self-trace <out.json>     re-emit the recorded spans as an extradeep
                               trace so the modeler can model the pipeline
   --report-phases             append a per-phase wall-time table
+  --telemetry <out.jsonl>     stream live JSON-Lines telemetry (span edges,
+                              counters, RSS/CPU samples, periodic snapshots)
+                              while the command runs; render with
+                              `extradeep tail <out.jsonl>`
+  --telemetry-interval-ms N   sampling/flush interval (default 500)
+  --span-budget-ms N          watchdog: warn when a span stays open past N ms
   -q, --quiet                 errors only (also suppresses the stdout report)
   --verbose                   debug-level logging on stderr
 
@@ -772,6 +779,21 @@ fn cmd_import(args: &Args) -> Result<String, CliError> {
     Ok(format!("Imported {} profiles -> {}", profiles.len(), out))
 }
 
+fn cmd_tail(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .items
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("tail needs a telemetry file".to_string()))?;
+    let text = std::fs::read_to_string(path)?;
+    let stream = crate::tail::parse_stream(&text);
+    if args.flag("--prometheus") {
+        Ok(extradeep_obs::prometheus_text(&stream.to_snapshot()))
+    } else {
+        Ok(stream.render())
+    }
+}
+
 /// Global flags shared by every command, stripped from the argument list
 /// before command dispatch.
 #[derive(Debug, Default)]
@@ -782,13 +804,32 @@ struct GlobalFlags {
     self_trace: Option<String>,
     /// Append the per-phase wall-time table to the report.
     report_phases: bool,
+    /// Stream JSON-Lines telemetry to this file while the command runs.
+    telemetry: Option<String>,
+    /// Sampler interval in milliseconds (raw; parsed in [`run`]).
+    telemetry_interval_ms: Option<String>,
+    /// Watchdog span budget in milliseconds (raw; parsed in [`run`]).
+    span_budget_ms: Option<String>,
     quiet: bool,
     verbose: bool,
 }
 
 impl GlobalFlags {
     fn profiling(&self) -> bool {
-        self.profile_self.is_some() || self.self_trace.is_some() || self.report_phases
+        self.profile_self.is_some()
+            || self.self_trace.is_some()
+            || self.report_phases
+            || self.telemetry.is_some()
+    }
+}
+
+fn parse_ms(raw: &Option<String>, flag: &str) -> Result<Option<u64>, CliError> {
+    match raw {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("{flag} expects milliseconds, got '{s}'"))),
     }
 }
 
@@ -798,12 +839,17 @@ fn extract_global_flags(argv: &[String]) -> (Vec<String>, GlobalFlags) {
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "--profile-self" | "--self-trace" if i + 1 < argv.len() => {
+            "--profile-self" | "--self-trace" | "--telemetry" | "--telemetry-interval-ms"
+            | "--span-budget-ms"
+                if i + 1 < argv.len() =>
+            {
                 let value = Some(argv[i + 1].clone());
-                if argv[i] == "--profile-self" {
-                    flags.profile_self = value;
-                } else {
-                    flags.self_trace = value;
+                match argv[i].as_str() {
+                    "--profile-self" => flags.profile_self = value,
+                    "--self-trace" => flags.self_trace = value,
+                    "--telemetry" => flags.telemetry = value,
+                    "--telemetry-interval-ms" => flags.telemetry_interval_ms = value,
+                    _ => flags.span_budget_ms = value,
                 }
                 i += 2;
             }
@@ -842,6 +888,7 @@ fn command_span(command: &str) -> &'static str {
         "import" => "core.import",
         "pipeline" => "core.pipeline",
         "doctor" => "core.doctor",
+        "tail" => "core.tail",
         _ => "core.command",
     }
 }
@@ -859,6 +906,7 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "import" => cmd_import(args),
         "pipeline" => cmd_pipeline(args),
         "doctor" => cmd_doctor(args),
+        "tail" => cmd_tail(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -884,10 +932,29 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     if flags.profiling() {
         extradeep_obs::set_enabled(true);
     }
+    // Live telemetry: a background sampler drains the journal to a
+    // JSON-Lines file every interval while the command runs.
+    let mut sampler = None;
+    if let Some(path) = &flags.telemetry {
+        let interval = parse_ms(&flags.telemetry_interval_ms, "--telemetry-interval-ms")?
+            .unwrap_or(500)
+            .max(1);
+        let budget = parse_ms(&flags.span_budget_ms, "--span-budget-ms")?;
+        let sink = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let cfg = extradeep_obs::SamplerConfig {
+            interval: std::time::Duration::from_millis(interval),
+            span_budget: budget.map(std::time::Duration::from_millis),
+            ..Default::default()
+        };
+        sampler = Some(extradeep_obs::sampler::start(sink, cfg)?);
+    }
     let result = {
         let _span = extradeep_obs::span(command_span(command));
         dispatch(command, &args)
     };
+    // Stop after the command span has closed so its end event reaches the
+    // stream in the sampler's final tick.
+    let telemetry_report = sampler.map(extradeep_obs::SamplerHandle::stop);
     if !flags.profiling() {
         return result;
     }
@@ -895,8 +962,21 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     extradeep_obs::set_enabled(false);
     let snap = extradeep_obs::drain();
     let mut report = result?;
+    if let (Some(path), Some(tr)) = (&flags.telemetry, &telemetry_report) {
+        report.push_str(&format!(
+            "\nTelemetry -> {path} ({} records, {} snapshots, {} stall(s), {} journal event(s) dropped)\n",
+            tr.records_written, tr.snapshots_emitted, tr.stalls, tr.journal_dropped
+        ));
+    }
     if let Some(path) = &flags.profile_self {
-        std::fs::write(path, extradeep_obs::chrome_trace_json(&snap))?;
+        let series = telemetry_report
+            .as_ref()
+            .map(|tr| tr.counter_series.as_slice())
+            .unwrap_or(&[]);
+        std::fs::write(
+            path,
+            extradeep_obs::chrome_trace_json_with_counters(&snap, series),
+        )?;
         report.push_str(&format!("\nSelf-profile (Chrome trace) -> {path}\n"));
     }
     if let Some(path) = &flags.self_trace {

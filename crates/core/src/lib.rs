@@ -42,6 +42,7 @@ pub mod persist;
 pub mod questions;
 pub mod report;
 pub mod selfprofile;
+pub mod tail;
 
 /// The self-profiling runtime, re-exported so binaries and downstream users
 /// reach spans, counters, and the `error!`/`warn!`/`info!`/`debug!` macros
@@ -64,6 +65,7 @@ pub use experiment::{deep_point_sets, jureca_point_sets, ExperimentOutcome, Expe
 pub use modelset::{build_app_models, build_model_set, AppModels, ModelSet, ModelSetOptions};
 pub use persist::{load_models, models_from_json, models_to_json, save_models, PersistError};
 pub use selfprofile::{self_profile_config, self_profile_experiment, SELF_PARAMETER};
+pub use tail::{parse_stream, TelemetryStream};
 
 /// Common imports for downstream users.
 pub mod prelude {

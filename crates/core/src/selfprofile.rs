@@ -66,7 +66,7 @@ pub fn self_profile_config(snap: &Snapshot, work: f64, repetition: u32) -> Confi
     let mut rank = RankProfile::new(0);
     for s in &snap.spans {
         rank.events.push(Event::new(
-            s.name,
+            s.name.as_ref(),
             ApiDomain::Nvtx,
             shift(s.start_ns),
             s.dur_ns.max(1),
@@ -86,7 +86,7 @@ pub fn self_profile_config(snap: &Snapshot, work: f64, repetition: u32) -> Confi
         // `visits` carries the counter reading; `with_visits` clamps to ≥ 1,
         // which is fine here since zero counters are skipped above.
         rank.events
-            .push(Event::new(c.name, ApiDomain::Nvtx, content_end, 1).with_visits(c.value));
+            .push(Event::new(c.name.as_str(), ApiDomain::Nvtx, content_end, 1).with_visits(c.value));
     }
     let step_end = content_end + PAD_NS;
 
@@ -140,7 +140,7 @@ mod tests {
 
     fn span(name: &'static str, start: u64, dur: u64) -> SpanRecord {
         SpanRecord {
-            name,
+            name: name.into(),
             start_ns: start,
             dur_ns: dur,
             tid: 0,
@@ -181,11 +181,11 @@ mod tests {
                 vec![span("model.search", 0, 100)],
                 vec![
                     CounterValue {
-                        name: "model.search.hypotheses",
+                        name: "model.search.hypotheses".to_string(),
                         value: 61,
                     },
                     CounterValue {
-                        name: "model.loocv.fallback_folds",
+                        name: "model.loocv.fallback_folds".to_string(),
                         value: 0,
                     },
                 ],

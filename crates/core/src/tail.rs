@@ -1,0 +1,883 @@
+//! `extradeep tail`: parse and render a telemetry stream.
+//!
+//! The sampler in `extradeep-obs` writes JSON-Lines telemetry (see
+//! `extradeep_obs::export` for the schema); this module reads such a stream
+//! — recorded, or still being written, since the sampler flushes every
+//! interval — and renders it for a terminal: a phase timeline of top-level
+//! spans, a counter rate table, and RSS/CPU sparklines from the resource
+//! samples.
+//!
+//! Parsing is hand-rolled (a ~150-line recursive-descent JSON reader) so
+//! the tail path has the same zero-dependency property as the emitting
+//! side: it works in stripped-down environments where serde is unavailable,
+//! and it is guaranteed to accept exactly what `TelemetryWriter` produces.
+//! Malformed or truncated lines (a live stream can end mid-record) are
+//! counted, never fatal; unknown record types are skipped, keeping the
+//! reader forward-compatible with schema additions.
+
+use extradeep_obs::{CounterValue, HistogramSummary, ResourceSample, Snapshot, SpanRecord};
+use extradeep_trace::units::ns_to_secs;
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+// --- Minimal JSON value parser ------------------------------------------
+
+/// A parsed JSON value. Objects keep insertion order in a `Vec` — the
+/// telemetry reader only ever looks keys up linearly, and avoiding a hash
+/// map keeps iteration deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Json::as_u64)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced pos itself
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    if let Some(ch) = text.chars().next() {
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        let v = u32::from_str_radix(digits, 16).map_err(|e| e.to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// Called with `pos` on the `u`; leaves `pos` after the escape.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        self.pos += 1; // past 'u'
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair: expect "\uXXXX" low half.
+            if self.bytes.get(self.pos) == Some(&b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                return char::from_u32(cp).ok_or_else(|| "bad surrogate pair".to_string());
+            }
+            return Err("lone high surrogate".to_string());
+        }
+        char::from_u32(hi).ok_or_else(|| "bad \\u escape".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        token
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{token}'"))
+    }
+}
+
+// --- Telemetry stream model ---------------------------------------------
+
+/// The `meta` header record.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Meta {
+    pub version: u64,
+    pub pid: u64,
+    pub interval_ms: u64,
+    pub journal_capacity: u64,
+    pub budget_ms: Option<u64>,
+}
+
+/// One periodic `snapshot` record (cumulative counters/histograms,
+/// per-interval span aggregates).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotRec {
+    pub seq: u64,
+    pub t_ns: u64,
+    pub journal_dropped: u64,
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSummary>,
+    /// `(name, count, total_ns)` for spans finished in this interval.
+    pub spans: Vec<(String, u64, u64)>,
+}
+
+/// One `stall` record from the watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallRec {
+    pub name: String,
+    pub tid: u64,
+    pub t_ns: u64,
+    pub active_ns: u64,
+    pub budget_ns: u64,
+}
+
+/// One `log` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRec {
+    pub level: String,
+    pub message: String,
+    pub t_ns: u64,
+}
+
+/// Everything read out of one telemetry stream.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryStream {
+    pub meta: Option<Meta>,
+    /// Spans reconstructed from `span`/`end` records, in arrival order.
+    pub spans: Vec<SpanRecord>,
+    /// Spans that began but never ended in the stream (still running, or
+    /// the stream was cut): `(name, tid, depth, begin t_ns)`.
+    pub unclosed: Vec<(String, u64, u32, u64)>,
+    pub samples: Vec<ResourceSample>,
+    pub snapshots: Vec<SnapshotRec>,
+    pub stalls: Vec<StallRec>,
+    pub logs: Vec<LogRec>,
+    /// Total counter deltas seen in `counter` records, by name.
+    pub counter_deltas: BTreeMap<String, u64>,
+    /// Lines that failed to parse (truncated tail of a live file, noise).
+    pub malformed_lines: usize,
+    /// Records with an unknown `type` (schema from a newer writer).
+    pub unknown_records: usize,
+    /// Total lines consumed.
+    pub lines: usize,
+}
+
+fn histogram_from_json(v: &Json) -> Option<HistogramSummary> {
+    let mut h = HistogramSummary::empty(v.get("name")?.as_str()?);
+    h.count = v.u64_field("count")?;
+    h.sum = v.u64_field("sum")?;
+    h.max = v.u64_field("max")?;
+    h.p50 = v.u64_field("p50")?;
+    h.p95 = v.u64_field("p95")?;
+    for b in v.get("buckets")?.as_arr()? {
+        let pair = b.as_arr()?;
+        if pair.len() == 2 {
+            h.buckets
+                .push((pair[0].as_u64()? as u32, pair[1].as_u64()?));
+        }
+    }
+    Some(h)
+}
+
+fn snapshot_rec_from_json(v: &Json) -> Option<SnapshotRec> {
+    let mut rec = SnapshotRec {
+        seq: v.u64_field("seq")?,
+        t_ns: v.u64_field("t_ns")?,
+        journal_dropped: v.u64_field("journal_dropped").unwrap_or(0),
+        ..SnapshotRec::default()
+    };
+    if let Some(Json::Obj(fields)) = v.get("counters") {
+        for (name, value) in fields {
+            rec.counters.push((name.clone(), value.as_u64()?));
+        }
+    }
+    if let Some(hists) = v.get("histograms").and_then(Json::as_arr) {
+        for h in hists {
+            rec.histograms.push(histogram_from_json(h)?);
+        }
+    }
+    if let Some(spans) = v.get("spans").and_then(Json::as_arr) {
+        for s in spans {
+            rec.spans.push((
+                s.get("name")?.as_str()?.to_string(),
+                s.u64_field("count")?,
+                s.u64_field("total_ns")?,
+            ));
+        }
+    }
+    Some(rec)
+}
+
+/// Parses a whole telemetry stream. Never fails: a malformed line (e.g. the
+/// cut-off last line of a live file) increments `malformed_lines` and is
+/// skipped.
+pub fn parse_stream(text: &str) -> TelemetryStream {
+    let mut out = TelemetryStream::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.lines += 1;
+        let Ok(v) = Json::parse(line) else {
+            out.malformed_lines += 1;
+            continue;
+        };
+        let parsed = match v.get("type").and_then(Json::as_str) {
+            Some("meta") => (|| {
+                out.meta = Some(Meta {
+                    version: v.u64_field("version")?,
+                    pid: v.u64_field("pid")?,
+                    interval_ms: v.u64_field("interval_ms")?,
+                    journal_capacity: v.u64_field("journal_capacity")?,
+                    budget_ms: v.u64_field("budget_ms"),
+                });
+                Some(())
+            })(),
+            Some("span") => (|| {
+                let name = v.get("name")?.as_str()?.to_string();
+                let tid = v.u64_field("tid")?;
+                let depth = v.u64_field("depth")? as u32;
+                let t_ns = v.u64_field("t_ns")?;
+                match v.get("event")?.as_str()? {
+                    "begin" => out.unclosed.push((name, tid, depth, t_ns)),
+                    "end" => {
+                        let dur_ns = v.u64_field("dur_ns")?;
+                        // Close the matching begin, if it is in the stream.
+                        if let Some(i) = out
+                            .unclosed
+                            .iter()
+                            .rposition(|(n, t, d, _)| *n == name && *t == tid && *d == depth)
+                        {
+                            out.unclosed.remove(i);
+                        }
+                        out.spans.push(SpanRecord {
+                            name: Cow::Owned(name),
+                            start_ns: t_ns.saturating_sub(dur_ns),
+                            dur_ns,
+                            tid,
+                            depth,
+                        });
+                    }
+                    _ => return None,
+                }
+                Some(())
+            })(),
+            Some("counter") => (|| {
+                let name = v.get("name")?.as_str()?.to_string();
+                let delta = v.u64_field("delta")?;
+                *out.counter_deltas.entry(name).or_insert(0) += delta;
+                Some(())
+            })(),
+            Some("log") => (|| {
+                out.logs.push(LogRec {
+                    level: v.get("level")?.as_str()?.to_string(),
+                    message: v.get("message")?.as_str()?.to_string(),
+                    t_ns: v.u64_field("t_ns")?,
+                });
+                Some(())
+            })(),
+            Some("sample") => (|| {
+                out.samples.push(ResourceSample {
+                    t_ns: v.u64_field("t_ns")?,
+                    rss_bytes: v.u64_field("rss_bytes")?,
+                    cpu_user_ns: v.u64_field("cpu_user_ns")?,
+                    cpu_system_ns: v.u64_field("cpu_system_ns")?,
+                    threads: v.u64_field("threads")?,
+                });
+                Some(())
+            })(),
+            Some("snapshot") => snapshot_rec_from_json(&v).map(|rec| {
+                out.snapshots.push(rec);
+            }),
+            Some("stall") => (|| {
+                out.stalls.push(StallRec {
+                    name: v.get("name")?.as_str()?.to_string(),
+                    tid: v.u64_field("tid")?,
+                    t_ns: v.u64_field("t_ns")?,
+                    active_ns: v.u64_field("active_ns")?,
+                    budget_ns: v.u64_field("budget_ns")?,
+                });
+                Some(())
+            })(),
+            Some(_) => {
+                out.unknown_records += 1;
+                Some(())
+            }
+            None => None,
+        };
+        if parsed.is_none() {
+            out.malformed_lines += 1;
+        }
+    }
+    out
+}
+
+impl TelemetryStream {
+    /// Reconstructs a cumulative [`Snapshot`] from the stream: every span
+    /// closed in the stream (exact timestamps from the journal events) plus
+    /// the cumulative counters/histograms of the *last* periodic snapshot.
+    /// For a stream recorded by the sampler this reproduces what
+    /// `extradeep_obs::drain()` would have returned in the emitting process.
+    pub fn to_snapshot(&self) -> Snapshot {
+        let mut spans = self.spans.clone();
+        spans.sort_by_key(|s| (s.tid, s.start_ns, s.depth, s.end_ns()));
+        let (counters, histograms, captured_ns) = match self.snapshots.last() {
+            Some(last) => (
+                last.counters
+                    .iter()
+                    .map(|(name, value)| CounterValue {
+                        name: name.clone(),
+                        value: *value,
+                    })
+                    .collect(),
+                last.histograms.clone(),
+                last.t_ns,
+            ),
+            None => (
+                Vec::new(),
+                Vec::new(),
+                spans.iter().map(SpanRecord::end_ns).max().unwrap_or(0),
+            ),
+        };
+        Snapshot {
+            spans,
+            counters,
+            histograms,
+            captured_ns,
+        }
+    }
+
+    /// Stream duration: first to last record timestamp, in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut feed = |t: u64| {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        };
+        for s in &self.spans {
+            feed(s.start_ns);
+            feed(s.end_ns());
+        }
+        for s in &self.samples {
+            feed(s.t_ns);
+        }
+        for s in &self.snapshots {
+            feed(s.t_ns);
+        }
+        if hi >= lo {
+            hi - lo
+        } else {
+            0
+        }
+    }
+
+    /// Renders the terminal report: header, phase timeline, counter rates,
+    /// resource sparklines, stalls.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.meta {
+            Some(m) => out.push_str(&format!(
+                "Telemetry stream: pid {}, interval {} ms, journal capacity {}{}\n",
+                m.pid,
+                m.interval_ms,
+                m.journal_capacity,
+                match m.budget_ms {
+                    Some(b) => format!(", span budget {b} ms"),
+                    None => String::new(),
+                }
+            )),
+            None => out.push_str("Telemetry stream: (no meta record)\n"),
+        }
+        let dur_s = ns_to_secs(self.duration_ns());
+        let dropped = self.snapshots.last().map(|s| s.journal_dropped).unwrap_or(0);
+        out.push_str(&format!(
+            "{} records over {:.2} s: {} snapshots, {} samples, {} spans closed ({} open), {} journal event(s) dropped\n",
+            self.lines,
+            dur_s,
+            self.snapshots.len(),
+            self.samples.len(),
+            self.spans.len(),
+            self.unclosed.len(),
+            dropped,
+        ));
+        if self.malformed_lines > 0 || self.unknown_records > 0 {
+            out.push_str(&format!(
+                "({} malformed line(s) skipped, {} unknown record type(s))\n",
+                self.malformed_lines, self.unknown_records
+            ));
+        }
+
+        self.render_timeline(&mut out);
+        self.render_rates(&mut out, dur_s);
+        self.render_resources(&mut out);
+
+        if !self.stalls.is_empty() {
+            out.push_str(&format!("\nWatchdog stalls ({}):\n", self.stalls.len()));
+            for s in &self.stalls {
+                out.push_str(&format!(
+                    "  {}: open {:.3} s (budget {:.3} s) on tid {}\n",
+                    s.name,
+                    ns_to_secs(s.active_ns),
+                    ns_to_secs(s.budget_ns),
+                    s.tid
+                ));
+            }
+        }
+        let (errors, warns) = self.logs.iter().fold((0usize, 0usize), |(e, w), l| {
+            match l.level.as_str() {
+                "error" => (e + 1, w),
+                "warn" => (e, w + 1),
+                _ => (e, w),
+            }
+        });
+        if errors + warns > 0 {
+            out.push_str(&format!("\nLogs: {errors} error(s), {warns} warning(s)\n"));
+        }
+        out
+    }
+
+    fn render_timeline(&self, out: &mut String) {
+        // Top-level phases: depth-0 spans in chronological order.
+        let mut phases: Vec<&SpanRecord> = self.spans.iter().filter(|s| s.depth == 0).collect();
+        phases.sort_by_key(|s| (s.start_ns, s.tid));
+        if phases.is_empty() {
+            return;
+        }
+        let t0 = phases.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let t1 = phases.iter().map(|s| s.end_ns()).max().unwrap_or(t0);
+        let total = (t1 - t0).max(1);
+        const WIDTH: usize = 32;
+        out.push_str("\nPhase timeline (top-level spans):\n");
+        let name_w = phases
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for s in phases {
+            let lo = ((s.start_ns - t0) as u128 * WIDTH as u128 / total as u128) as usize;
+            let hi = ((s.end_ns() - t0) as u128 * WIDTH as u128 / total as u128) as usize;
+            let hi = hi.clamp(lo + 1, WIDTH);
+            let mut bar = String::with_capacity(WIDTH);
+            for i in 0..WIDTH {
+                bar.push(if (lo..hi).contains(&i) { '#' } else { '.' });
+            }
+            out.push_str(&format!(
+                "  {:<name_w$} [{bar}] {:>9.3} ms @ {:.3} s\n",
+                s.name,
+                s.dur_ns as f64 / 1e6,
+                ns_to_secs(s.start_ns - t0),
+            ));
+        }
+    }
+
+    fn render_rates(&self, out: &mut String, dur_s: f64) {
+        // Totals from the last snapshot (cumulative) are authoritative;
+        // counter deltas fill in anything never snapshotted.
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for (name, delta) in &self.counter_deltas {
+            totals.insert(name, *delta);
+        }
+        if let Some(last) = self.snapshots.last() {
+            for (name, value) in &last.counters {
+                totals.insert(name, *value);
+            }
+        }
+        totals.retain(|_, v| *v > 0);
+        if totals.is_empty() {
+            return;
+        }
+        out.push_str("\nCounters:\n");
+        let name_w = totals.keys().map(|n| n.len()).max().unwrap_or(8).max(8);
+        out.push_str(&format!(
+            "  {:<name_w$} {:>12} {:>14}\n",
+            "counter", "total", "per second"
+        ));
+        for (name, total) in &totals {
+            let rate = if dur_s > 0.0 {
+                format!("{:.1}", *total as f64 / dur_s)
+            } else {
+                "-".to_string()
+            };
+            out.push_str(&format!("  {name:<name_w$} {total:>12} {rate:>14}\n"));
+        }
+    }
+
+    fn render_resources(&self, out: &mut String) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let rss: Vec<f64> = self.samples.iter().map(|s| s.rss_bytes as f64).collect();
+        let rss_max = rss.iter().fold(0.0f64, |a, &b| a.max(b));
+        out.push_str("\nResources:\n");
+        out.push_str(&format!(
+            "  RSS     {} peak {:.1} MiB\n",
+            sparkline(&rss),
+            rss_max / (1024.0 * 1024.0)
+        ));
+        // CPU utilization per interval: Δ(user+sys) / Δwall.
+        let mut util = Vec::new();
+        for w in self.samples.windows(2) {
+            let cpu0 = w[0].cpu_user_ns + w[0].cpu_system_ns;
+            let cpu1 = w[1].cpu_user_ns + w[1].cpu_system_ns;
+            let wall = w[1].t_ns.saturating_sub(w[0].t_ns);
+            if wall > 0 {
+                util.push((cpu1.saturating_sub(cpu0)) as f64 / wall as f64 * 100.0);
+            }
+        }
+        if !util.is_empty() {
+            let avg = util.iter().sum::<f64>() / util.len() as f64;
+            out.push_str(&format!(
+                "  CPU     {} avg {:.0}%\n",
+                sparkline(&util),
+                avg
+            ));
+        }
+        if let Some(last) = self.samples.last() {
+            out.push_str(&format!("  Threads {}\n", last.threads));
+        }
+    }
+}
+
+/// Renders values as a Unicode sparkline (resampled to ≤ 48 cells).
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    const MAX_CELLS: usize = 48;
+    if values.is_empty() {
+        return String::new();
+    }
+    // Resample by averaging fixed-size chunks.
+    let chunk = values.len().div_ceil(MAX_CELLS);
+    let cells: Vec<f64> = values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let lo = cells.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let hi = cells.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let span = hi - lo;
+    cells
+        .iter()
+        .map(|&v| {
+            let idx = if span > 0.0 {
+                (((v - lo) / span) * (LEVELS.len() - 1) as f64).round() as usize
+            } else {
+                LEVELS.len() / 2
+            };
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_scalars_and_nesting() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-3.5e2").unwrap(), Json::Num(-350.0));
+        assert_eq!(
+            Json::parse("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".to_string())
+        );
+        let v = Json::parse("{\"a\":[1,2,{\"b\":\"c\"}],\"d\":{}}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("c")
+        );
+    }
+
+    #[test]
+    fn json_parser_handles_surrogate_pairs_and_unicode() {
+        assert_eq!(
+            Json::parse("\"\\uD83D\\uDE00\"").unwrap(),
+            Json::Str("😀".to_string())
+        );
+        assert_eq!(
+            Json::parse("\"naïve → ünïcode\"").unwrap(),
+            Json::Str("naïve → ünïcode".to_string())
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(Json::parse("{not json").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{}extra").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    fn demo_stream() -> String {
+        [
+            r#"{"type":"meta","version":1,"pid":77,"interval_ms":100,"journal_capacity":4096,"budget_ms":500}"#,
+            r#"{"type":"span","event":"begin","name":"core.pipeline","tid":0,"depth":0,"t_ns":1000}"#,
+            r#"{"type":"span","event":"begin","name":"sim.run","tid":0,"depth":1,"t_ns":2000}"#,
+            r#"{"type":"counter","name":"model.search.hypotheses","delta":40,"t_ns":2500}"#,
+            r#"{"type":"span","event":"end","name":"sim.run","tid":0,"depth":1,"t_ns":500000,"dur_ns":498000}"#,
+            r#"{"type":"sample","t_ns":600000,"rss_bytes":1048576,"cpu_user_ns":10000000,"cpu_system_ns":0,"threads":3}"#,
+            r#"{"type":"snapshot","seq":0,"t_ns":700000,"journal_dropped":0,"counters":{"model.search.hypotheses":40},"histograms":[],"spans":[{"name":"sim.run","count":1,"total_ns":498000}]}"#,
+            r#"{"type":"log","level":"warn","message":"something odd","t_ns":710000}"#,
+            r#"{"type":"stall","name":"core.pipeline","tid":0,"t_ns":800000,"active_ns":799000,"budget_ns":500000}"#,
+            r#"{"type":"span","event":"end","name":"core.pipeline","tid":0,"depth":0,"t_ns":900000,"dur_ns":899000}"#,
+            r#"{"type":"sample","t_ns":900000,"rss_bytes":2097152,"cpu_user_ns":20000000,"cpu_system_ns":10000000,"threads":3}"#,
+            r#"{"type":"snapshot","seq":1,"t_ns":950000,"journal_dropped":0,"counters":{"model.search.hypotheses":40},"histograms":[],"spans":[{"name":"core.pipeline","count":1,"total_ns":899000}]}"#,
+            r#"{"type":"future-record","anything":true}"#,
+            r#"{"type":"snapsho"#, // truncated live tail
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn parse_stream_reads_all_record_types() {
+        let s = parse_stream(&demo_stream());
+        let meta = s.meta.clone().unwrap();
+        assert_eq!(meta.pid, 77);
+        assert_eq!(meta.budget_ms, Some(500));
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.unclosed.len(), 0);
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.snapshots.len(), 2);
+        assert_eq!(s.stalls.len(), 1);
+        assert_eq!(s.logs.len(), 1);
+        assert_eq!(s.counter_deltas["model.search.hypotheses"], 40);
+        assert_eq!(s.unknown_records, 1);
+        assert_eq!(s.malformed_lines, 1);
+    }
+
+    #[test]
+    fn to_snapshot_rebuilds_spans_and_counters() {
+        let snap = parse_stream(&demo_stream()).to_snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let sim = snap.spans.iter().find(|s| s.name == "sim.run").unwrap();
+        assert_eq!(sim.start_ns, 2000);
+        assert_eq!(sim.dur_ns, 498_000);
+        assert_eq!(sim.depth, 1);
+        assert_eq!(snap.counter("model.search.hypotheses"), Some(40));
+        assert_eq!(snap.captured_ns, 950_000);
+    }
+
+    #[test]
+    fn render_covers_timeline_rates_resources_and_stalls() {
+        let text = parse_stream(&demo_stream()).render();
+        assert!(text.contains("pid 77"), "{text}");
+        assert!(text.contains("Phase timeline"), "{text}");
+        assert!(text.contains("core.pipeline"), "{text}");
+        assert!(text.contains("Counters:"), "{text}");
+        assert!(text.contains("model.search.hypotheses"), "{text}");
+        assert!(text.contains("RSS"), "{text}");
+        assert!(text.contains("CPU"), "{text}");
+        assert!(text.contains("Watchdog stalls (1)"), "{text}");
+        assert!(text.contains("1 warning(s)"), "{text}");
+        assert!(text.contains("malformed"), "{text}");
+    }
+
+    #[test]
+    fn begin_without_end_is_reported_open() {
+        let s = parse_stream(
+            r#"{"type":"span","event":"begin","name":"core.hung","tid":0,"depth":0,"t_ns":10}"#,
+        );
+        assert_eq!(s.unclosed.len(), 1);
+        assert_eq!(s.spans.len(), 0);
+        let text = s.render();
+        assert!(text.contains("(1 open)"), "{text}");
+    }
+
+    #[test]
+    fn sparkline_is_monotone_and_bounded() {
+        assert_eq!(sparkline(&[]), "");
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+        // Constant input renders mid-level cells, and long input resamples.
+        assert!(sparkline(&[5.0; 3]).chars().all(|c| c == '▅'));
+        assert!(sparkline(&vec![1.0; 500]).chars().count() <= 48);
+    }
+
+    #[test]
+    fn empty_stream_parses_and_renders() {
+        let s = parse_stream("");
+        assert_eq!(s.lines, 0);
+        let text = s.render();
+        assert!(text.contains("no meta record"), "{text}");
+        assert!(s.to_snapshot().spans.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Round-trip tests for the telemetry stream: whatever
+//! `extradeep_obs::TelemetryWriter` emits, the `extradeep tail` parser must
+//! read back into an equivalent snapshot — identical phase report, counters,
+//! and histograms — and the CLI must drive the whole loop end to end.
+
+use extradeep::obs::{
+    phase_report, CounterValue, HistogramSummary, JournalEvent, Snapshot, SpanRecord,
+    TelemetryWriter,
+};
+use extradeep::tail::parse_stream;
+use std::sync::Mutex;
+
+/// CLI runs flip global obs state; serialize them within this binary.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("extradeep-telemetry-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+/// A snapshot with every field populated, in the sort order the registry
+/// produces.
+fn sample_snapshot() -> Snapshot {
+    Snapshot {
+        spans: vec![
+            SpanRecord {
+                name: "core.pipeline".into(),
+                start_ns: 1_000,
+                dur_ns: 900_000,
+                tid: 0,
+                depth: 0,
+            },
+            SpanRecord {
+                name: "sim.run".into(),
+                start_ns: 2_000,
+                dur_ns: 498_000,
+                tid: 0,
+                depth: 1,
+            },
+            SpanRecord {
+                name: "model.search".into(),
+                start_ns: 600_000,
+                dur_ns: 250_000,
+                tid: 1,
+                depth: 0,
+            },
+        ],
+        counters: vec![
+            CounterValue {
+                name: "model.search.hypotheses".to_string(),
+                value: 40,
+            },
+            CounterValue {
+                name: "sim.steps".to_string(),
+                value: 7,
+            },
+        ],
+        histograms: vec![HistogramSummary::from_samples(
+            "model.fit_ns",
+            &[44, 10_000, 1_000_000],
+        )],
+        captured_ns: 950_000,
+    }
+}
+
+/// Serializes the snapshot the way the sampler does — journal span edges
+/// plus one periodic snapshot record — and returns the stream text.
+fn write_stream(snap: &Snapshot) -> String {
+    let mut buf = Vec::new();
+    {
+        let mut w = TelemetryWriter::new(&mut buf);
+        w.write_meta(100, 4096, Some(250)).unwrap();
+        for s in &snap.spans {
+            // The journal names are `&'static str`; the test snapshot uses
+            // borrowed literals, so leak-free static access is fine here.
+            let name: &'static str = match s.name.as_ref() {
+                "core.pipeline" => "core.pipeline",
+                "sim.run" => "sim.run",
+                _ => "model.search",
+            };
+            w.write_event(&JournalEvent::SpanBegin {
+                name,
+                tid: s.tid,
+                depth: s.depth,
+                t_ns: s.start_ns,
+            })
+            .unwrap();
+            w.write_event(&JournalEvent::SpanEnd {
+                name,
+                tid: s.tid,
+                depth: s.depth,
+                t_ns: s.end_ns(),
+                dur_ns: s.dur_ns,
+            })
+            .unwrap();
+        }
+        w.write_snapshot(0, snap, &snap.spans, 0).unwrap();
+        w.flush().unwrap();
+    }
+    String::from_utf8(buf).unwrap()
+}
+
+#[test]
+fn stream_round_trips_to_identical_phase_report() {
+    let snap = sample_snapshot();
+    let stream = parse_stream(&write_stream(&snap));
+    assert_eq!(stream.malformed_lines, 0, "writer output must parse clean");
+    assert_eq!(stream.unknown_records, 0);
+
+    let back = stream.to_snapshot();
+    assert_eq!(back.spans, snap.spans);
+    assert_eq!(back.counters, snap.counters);
+    assert_eq!(back.histograms, snap.histograms);
+    assert_eq!(back.captured_ns, snap.captured_ns);
+    assert_eq!(
+        phase_report(&back),
+        phase_report(&snap),
+        "reconstructed snapshot must render the identical report"
+    );
+}
+
+#[test]
+fn stream_survives_truncation_of_the_final_line() {
+    // A live reader can catch the file mid-write: cutting the last record
+    // anywhere must cost exactly that record, nothing else.
+    let text = write_stream(&sample_snapshot());
+    let cut = text.len() - 17;
+    let stream = parse_stream(&text[..cut]);
+    assert_eq!(stream.malformed_lines, 1);
+    // All span events preceded the snapshot record, so spans survive.
+    assert_eq!(stream.spans.len(), 3);
+    assert!(stream.snapshots.is_empty());
+    // Reconstruction falls back to span-derived capture time.
+    assert_eq!(stream.to_snapshot().captured_ns, 901_000);
+}
+
+#[test]
+fn cli_telemetry_flag_streams_and_tail_renders_it() {
+    let _l = LOCK.lock().unwrap();
+    let path = tmp("doctor_telemetry.jsonl");
+    let out = extradeep::cli::run(&argv(&format!(
+        "--telemetry {path} --telemetry-interval-ms 20 doctor --ranks 2,4,6,8,10"
+    )))
+    .expect("doctor with telemetry succeeds");
+    assert!(out.contains("Telemetry ->"), "{out}");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stream = parse_stream(&text);
+    assert_eq!(stream.malformed_lines, 0, "live stream must parse clean");
+    let meta = stream.meta.clone().expect("meta header present");
+    assert_eq!(meta.interval_ms, 20);
+    assert!(!stream.snapshots.is_empty(), "at least the final snapshot");
+    assert!(!stream.samples.is_empty(), "resource samples present");
+    assert!(
+        stream.spans.iter().any(|s| s.name == "core.doctor"),
+        "command span must reach the stream"
+    );
+
+    let rendered = extradeep::cli::run(&argv(&format!("tail {path}"))).unwrap();
+    assert!(rendered.contains("Telemetry stream"), "{rendered}");
+    assert!(rendered.contains("core.doctor"), "{rendered}");
+    assert!(rendered.contains("snapshots"), "{rendered}");
+}
+
+#[test]
+fn cli_tail_prometheus_mode_renders_exposition_text() {
+    let _l = LOCK.lock().unwrap();
+    let path = tmp("prom_stream.jsonl");
+    std::fs::write(&path, write_stream(&sample_snapshot())).unwrap();
+    let out = extradeep::cli::run(&argv(&format!("tail {path} --prometheus"))).unwrap();
+    assert!(out.contains("extradeep_model_search_hypotheses_total 40"), "{out}");
+    assert!(out.contains("_bucket"), "{out}");
+    assert!(out.contains("le=\"+Inf\""), "{out}");
+}
+
+#[test]
+fn cli_tail_without_a_file_is_a_usage_error() {
+    let _l = LOCK.lock().unwrap();
+    assert!(matches!(
+        extradeep::cli::run(&argv("tail")),
+        Err(extradeep::cli::CliError::Usage(_))
+    ));
+}
+
+#[test]
+fn cli_rejects_malformed_interval() {
+    let _l = LOCK.lock().unwrap();
+    let path = tmp("never_written.jsonl");
+    assert!(matches!(
+        extradeep::cli::run(&argv(&format!(
+            "--telemetry {path} --telemetry-interval-ms soon help"
+        ))),
+        Err(extradeep::cli::CliError::Usage(_))
+    ));
+}

@@ -15,6 +15,17 @@ use crate::registry::Snapshot;
 use crate::span::SpanRecord;
 use std::fmt::Write as _;
 
+/// One point of a counter time series for the trace: the counter's
+/// cumulative value at `t_ns`. Produced by the telemetry sampler from
+/// journaled deltas; each sample becomes a `C` event, so the counter renders
+/// as a stepped curve over the run instead of a single end-of-run value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    pub name: String,
+    pub t_ns: u64,
+    pub value: u64,
+}
+
 /// Serializes a [`Snapshot`] as a Chrome trace-event JSON array.
 ///
 /// Guarantees, per thread id:
@@ -26,7 +37,15 @@ use std::fmt::Write as _;
 /// (see [`crate::span`]); the export is a linear sweep that replays that
 /// stack from `(start, depth, end)`-sorted records.
 pub fn chrome_trace_json(snap: &Snapshot) -> String {
-    let mut out = String::with_capacity(snap.spans.len() * 96 + 1024);
+    chrome_trace_json_with_counters(snap, &[])
+}
+
+/// [`chrome_trace_json`] plus counter time series: each [`CounterSample`]
+/// becomes a `C` event at its own timestamp, giving Perfetto a stepped
+/// counter track over the run. The snapshot's final counter/histogram
+/// readings are still emitted at `captured_ns` as the closing points.
+pub fn chrome_trace_json_with_counters(snap: &Snapshot, series: &[CounterSample]) -> String {
+    let mut out = String::with_capacity(snap.spans.len() * 96 + series.len() * 80 + 1024);
     out.push('[');
     let mut first = true;
 
@@ -67,12 +86,20 @@ pub fn chrome_trace_json(snap: &Snapshot) -> String {
         }
     }
 
+    // Counter time series from the journal, grouped by name with
+    // timestamps ascending per counter track.
+    let mut ordered: Vec<&CounterSample> = series.iter().collect();
+    ordered.sort_by(|a, b| (a.name.as_str(), a.t_ns).cmp(&(b.name.as_str(), b.t_ns)));
+    for c in ordered {
+        counter_event(&mut out, &mut first, &c.name, c.t_ns, c.value);
+    }
+
     // Counter samples at capture time.
     for c in &snap.counters {
-        counter_event(&mut out, &mut first, c.name, snap.captured_ns, c.value);
+        counter_event(&mut out, &mut first, &c.name, snap.captured_ns, c.value);
     }
     for h in &snap.histograms {
-        counter_event(&mut out, &mut first, h.name, snap.captured_ns, h.count);
+        counter_event(&mut out, &mut first, &h.name, snap.captured_ns, h.count);
     }
 
     out.push(']');
@@ -120,7 +147,7 @@ fn meta_event(
 fn duration_event(out: &mut String, first: &mut bool, ph: &str, rec: &SpanRecord, ts_ns: u64) {
     sep(out, first);
     let _ = write!(out, "{{\"name\":");
-    write_json_string(out, rec.name);
+    write_json_string(out, &rec.name);
     let _ = write!(out, ",\"cat\":");
     write_json_string(out, rec.category());
     let _ = write!(
@@ -141,8 +168,9 @@ fn counter_event(out: &mut String, first: &mut bool, name: &str, ts_ns: u64, val
     let _ = write!(out, ",\"args\":{{\"value\":{value}}}}}");
 }
 
-/// Writes `s` as a JSON string literal (quotes included).
-fn write_json_string(out: &mut String, s: &str) {
+/// Writes `s` as a JSON string literal (quotes included). Shared with the
+/// telemetry exporter, which has the same no-serde constraint.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -167,7 +195,7 @@ mod tests {
 
     fn rec(name: &'static str, start: u64, dur: u64, tid: u64, depth: u32) -> SpanRecord {
         SpanRecord {
-            name,
+            name: name.into(),
             start_ns: start,
             dur_ns: dur,
             tid,
@@ -209,7 +237,7 @@ mod tests {
     fn counters_become_c_events() {
         let snap = Snapshot {
             counters: vec![CounterValue {
-                name: "model.search.hypotheses",
+                name: "model.search.hypotheses".to_string(),
                 value: 42,
             }],
             captured_ns: 5000,
@@ -218,6 +246,34 @@ mod tests {
         let json = chrome_trace_json(&snap);
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"value\":42"));
+    }
+
+    #[test]
+    fn counter_series_emit_ascending_c_events_per_track() {
+        let series = vec![
+            CounterSample {
+                name: "model.hyp".to_string(),
+                t_ns: 9_000,
+                value: 80,
+            },
+            CounterSample {
+                name: "model.hyp".to_string(),
+                t_ns: 3_000,
+                value: 30,
+            },
+            CounterSample {
+                name: "agg.events".to_string(),
+                t_ns: 5_000,
+                value: 12,
+            },
+        ];
+        let json = chrome_trace_json_with_counters(&Snapshot::default(), &series);
+        let c_lines: Vec<&str> = json.lines().filter(|l| l.contains("\"ph\":\"C\"")).collect();
+        assert_eq!(c_lines.len(), 3);
+        // Sorted by (name, t_ns): agg first, then model.hyp at 3µs, 9µs.
+        assert!(c_lines[0].contains("agg.events"));
+        assert!(c_lines[1].contains("\"ts\":3000.000") && c_lines[1].contains("\"value\":30"));
+        assert!(c_lines[2].contains("\"ts\":9000.000") && c_lines[2].contains("\"value\":80"));
     }
 
     #[test]

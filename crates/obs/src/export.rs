@@ -1,0 +1,489 @@
+//! Telemetry exporters: JSON-Lines stream records and Prometheus text
+//! exposition.
+//!
+//! Both are hand-rolled string emitters — the obs runtime stays serde-free
+//! (consumers parse with whatever they like; the `extradeep tail` command
+//! uses serde_json on the other side of the file).
+//!
+//! ## JSON-Lines schema
+//!
+//! One object per line, discriminated by `"type"`:
+//!
+//! | type       | fields                                                               |
+//! |------------|----------------------------------------------------------------------|
+//! | `meta`     | `version, pid, interval_ms, journal_capacity[, budget_ms]`          |
+//! | `span`     | `event` (`"begin"`/`"end"`), `name, tid, depth, t_ns[, dur_ns]`     |
+//! | `counter`  | `name, delta, t_ns`                                                  |
+//! | `log`      | `level, message, t_ns`                                               |
+//! | `sample`   | `t_ns, rss_bytes, cpu_user_ns, cpu_system_ns, threads`              |
+//! | `snapshot` | `seq, t_ns, journal_dropped, counters{}, histograms[], spans[]`     |
+//! | `stall`    | `name, tid, t_ns, active_ns, budget_ns`                              |
+//!
+//! `snapshot.counters`/`histograms` are **cumulative** readings (so any
+//! single snapshot line is a complete state, and consecutive ones diff into
+//! rates); `snapshot.spans` aggregates only the spans that *finished since
+//! the previous snapshot* (so summing them over all lines never
+//! double-counts). Unknown record types must be skipped by consumers — the
+//! schema is append-only.
+
+use crate::chrome::write_json_string;
+use crate::journal::JournalEvent;
+use crate::metrics::{bucket_upper, HistogramSummary};
+use crate::registry::Snapshot;
+use crate::sampler::ResourceSample;
+use crate::span::SpanRecord;
+use crate::watchdog::Stall;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+
+/// Schema version stamped into the `meta` record.
+pub const TELEMETRY_VERSION: u32 = 1;
+
+/// Serializes a full [`Snapshot`] as one JSON object (not a stream record):
+/// every span with its exact timestamps, plus cumulative counters and
+/// histograms with their sparse log₂ buckets. Lossless — `extradeep tail`
+/// parses this back into an identical `Snapshot`.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(snap.spans.len() * 96 + 512);
+    out.push_str("{\"captured_ns\":");
+    let _ = write!(out, "{}", snap.captured_ns);
+    out.push_str(",\"spans\":[");
+    for (i, s) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_span_object(&mut out, s);
+    }
+    out.push_str("],\"counters\":{");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&mut out, &c.name);
+        let _ = write!(out, ":{}", c.value);
+    }
+    out.push_str("},\"histograms\":[");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_histogram_object(&mut out, h);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_span_object(out: &mut String, s: &SpanRecord) {
+    out.push_str("{\"name\":");
+    write_json_string(out, &s.name);
+    let _ = write!(
+        out,
+        ",\"start_ns\":{},\"dur_ns\":{},\"tid\":{},\"depth\":{}}}",
+        s.start_ns, s.dur_ns, s.tid, s.depth
+    );
+}
+
+fn write_histogram_object(out: &mut String, h: &HistogramSummary) {
+    out.push_str("{\"name\":");
+    write_json_string(out, &h.name);
+    let _ = write!(
+        out,
+        ",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"buckets\":[",
+        h.count, h.sum, h.max, h.p50, h.p95
+    );
+    for (i, &(idx, c)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{idx},{c}]");
+    }
+    out.push_str("]}");
+}
+
+/// Streams telemetry records as JSON Lines into any [`io::Write`] sink.
+/// The sampler owns one of these; `flush` is called once per tick so a
+/// `tail -f`-style reader (or `extradeep tail --follow`) sees records with
+/// at most one interval of latency.
+pub struct TelemetryWriter<W: io::Write> {
+    sink: W,
+    records_written: u64,
+}
+
+impl<W: io::Write> TelemetryWriter<W> {
+    pub fn new(sink: W) -> Self {
+        TelemetryWriter {
+            sink,
+            records_written: 0,
+        }
+    }
+
+    /// Records written so far (diagnostics).
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// The stream header: schema version, process id, and sampler config.
+    pub fn write_meta(
+        &mut self,
+        interval_ms: u64,
+        journal_capacity: usize,
+        budget_ms: Option<u64>,
+    ) -> io::Result<()> {
+        let mut line = String::with_capacity(128);
+        let _ = write!(
+            line,
+            "{{\"type\":\"meta\",\"version\":{TELEMETRY_VERSION},\"pid\":{},\"interval_ms\":{interval_ms},\"journal_capacity\":{journal_capacity}",
+            std::process::id()
+        );
+        if let Some(b) = budget_ms {
+            let _ = write!(line, ",\"budget_ms\":{b}");
+        }
+        line.push('}');
+        self.write_line(&line)
+    }
+
+    /// One journaled event (span edge, counter delta, or log line).
+    pub fn write_event(&mut self, ev: &JournalEvent) -> io::Result<()> {
+        let mut line = String::with_capacity(128);
+        match ev {
+            JournalEvent::SpanBegin {
+                name,
+                tid,
+                depth,
+                t_ns,
+            } => {
+                line.push_str("{\"type\":\"span\",\"event\":\"begin\",\"name\":");
+                write_json_string(&mut line, name);
+                let _ = write!(line, ",\"tid\":{tid},\"depth\":{depth},\"t_ns\":{t_ns}}}");
+            }
+            JournalEvent::SpanEnd {
+                name,
+                tid,
+                depth,
+                t_ns,
+                dur_ns,
+            } => {
+                line.push_str("{\"type\":\"span\",\"event\":\"end\",\"name\":");
+                write_json_string(&mut line, name);
+                let _ = write!(
+                    line,
+                    ",\"tid\":{tid},\"depth\":{depth},\"t_ns\":{t_ns},\"dur_ns\":{dur_ns}}}"
+                );
+            }
+            JournalEvent::CounterAdd { name, delta, t_ns } => {
+                line.push_str("{\"type\":\"counter\",\"name\":");
+                write_json_string(&mut line, name);
+                let _ = write!(line, ",\"delta\":{delta},\"t_ns\":{t_ns}}}");
+            }
+            JournalEvent::Log {
+                level,
+                message,
+                t_ns,
+            } => {
+                let _ = write!(line, "{{\"type\":\"log\",\"level\":\"{}\"", level.tag());
+                line.push_str(",\"message\":");
+                write_json_string(&mut line, message);
+                let _ = write!(line, ",\"t_ns\":{t_ns}}}");
+            }
+        }
+        self.write_line(&line)
+    }
+
+    /// One resource reading from `/proc/self`.
+    pub fn write_sample(&mut self, s: &ResourceSample) -> io::Result<()> {
+        let mut line = String::with_capacity(128);
+        let _ = write!(
+            line,
+            "{{\"type\":\"sample\",\"t_ns\":{},\"rss_bytes\":{},\"cpu_user_ns\":{},\"cpu_system_ns\":{},\"threads\":{}}}",
+            s.t_ns, s.rss_bytes, s.cpu_user_ns, s.cpu_system_ns, s.threads
+        );
+        self.write_line(&line)
+    }
+
+    /// One periodic snapshot: cumulative counters and histograms from
+    /// `snap`, plus per-interval aggregates of `new_spans` (the spans that
+    /// finished since the previous snapshot).
+    pub fn write_snapshot(
+        &mut self,
+        seq: u64,
+        snap: &Snapshot,
+        new_spans: &[SpanRecord],
+        journal_dropped: u64,
+    ) -> io::Result<()> {
+        let mut line = String::with_capacity(512);
+        let _ = write!(
+            line,
+            "{{\"type\":\"snapshot\",\"seq\":{seq},\"t_ns\":{},\"journal_dropped\":{journal_dropped}",
+            snap.captured_ns
+        );
+        line.push_str(",\"counters\":{");
+        for (i, c) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write_json_string(&mut line, &c.name);
+            let _ = write!(line, ":{}", c.value);
+        }
+        line.push_str("},\"histograms\":[");
+        for (i, h) in snap.histograms.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write_histogram_object(&mut line, h);
+        }
+        line.push_str("],\"spans\":[");
+        let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for s in new_spans {
+            let e = agg.entry(&s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        for (i, (name, (count, total_ns))) in agg.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str("{\"name\":");
+            write_json_string(&mut line, name);
+            let _ = write!(line, ",\"count\":{count},\"total_ns\":{total_ns}}}");
+        }
+        line.push_str("]}");
+        self.write_line(&line)
+    }
+
+    /// One watchdog stall flag.
+    pub fn write_stall(&mut self, stall: &Stall) -> io::Result<()> {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"type\":\"stall\",\"name\":");
+        write_json_string(&mut line, stall.name);
+        let _ = write!(
+            line,
+            ",\"tid\":{},\"t_ns\":{},\"active_ns\":{},\"budget_ns\":{}}}",
+            stall.tid, stall.t_ns, stall.active_ns, stall.budget_ns
+        );
+        self.write_line(&line)
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+/// Renders a [`Snapshot`] in the Prometheus text exposition format
+/// (version 0.0.4): counters as `_total` counters, log₂ histograms as
+/// native histograms with cumulative `le` buckets on the fixed power-of-two
+/// grid, and per-name span aggregates as two labeled families.
+///
+/// Because the bucket grid is fixed by construction (bit length of the
+/// sample), expositions from different processes scrape-merge correctly —
+/// the same property [`HistogramSummary::merge`] relies on.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+
+    for c in &snap.counters {
+        let m = metric_name(&c.name);
+        let _ = writeln!(out, "# TYPE {m}_total counter");
+        let _ = writeln!(out, "{m}_total {}", c.value);
+    }
+
+    for h in &snap.histograms {
+        let m = metric_name(&h.name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cum = 0u64;
+        for &(idx, c) in &h.buckets {
+            cum += c;
+            let _ = writeln!(
+                out,
+                "{m}_bucket{{le=\"{}\"}} {cum}",
+                bucket_upper(idx as usize)
+            );
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{m}_sum {}", h.sum);
+        let _ = writeln!(out, "{m}_count {}", h.count);
+    }
+
+    // Span aggregates: count and total time per span name.
+    let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for s in &snap.spans {
+        let e = agg.entry(&s.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.dur_ns;
+    }
+    if !agg.is_empty() {
+        let _ = writeln!(out, "# TYPE extradeep_span_count gauge");
+        let _ = writeln!(out, "# TYPE extradeep_span_total_ns gauge");
+        for (name, (count, total_ns)) in &agg {
+            let label = label_escape(name);
+            let _ = writeln!(out, "extradeep_span_count{{span=\"{label}\"}} {count}");
+            let _ = writeln!(out, "extradeep_span_total_ns{{span=\"{label}\"}} {total_ns}");
+        }
+    }
+    out
+}
+
+/// `model.search.hypotheses` → `extradeep_model_search_hypotheses`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("extradeep_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Level;
+    use crate::metrics::CounterValue;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanRecord {
+                    name: "sim.replay".into(),
+                    start_ns: 100,
+                    dur_ns: 900,
+                    tid: 0,
+                    depth: 0,
+                },
+                SpanRecord {
+                    name: "sim.replay".into(),
+                    start_ns: 2_000,
+                    dur_ns: 500,
+                    tid: 1,
+                    depth: 0,
+                },
+            ],
+            counters: vec![CounterValue {
+                name: "model.search.hypotheses".to_string(),
+                value: 42,
+            }],
+            histograms: vec![HistogramSummary::from_samples("agg.latency", &[3, 9, 300])],
+            captured_ns: 5_000,
+        }
+    }
+
+    #[test]
+    fn stream_records_are_one_valid_json_object_per_line() {
+        let mut w = TelemetryWriter::new(Vec::new());
+        w.write_meta(250, 4096, Some(1_000)).unwrap();
+        w.write_event(&JournalEvent::SpanBegin {
+            name: "sim.replay",
+            tid: 0,
+            depth: 0,
+            t_ns: 100,
+        })
+        .unwrap();
+        w.write_event(&JournalEvent::SpanEnd {
+            name: "sim.replay",
+            tid: 0,
+            depth: 0,
+            t_ns: 1_000,
+            dur_ns: 900,
+        })
+        .unwrap();
+        w.write_event(&JournalEvent::CounterAdd {
+            name: "model.search.hypotheses",
+            delta: 7,
+            t_ns: 500,
+        })
+        .unwrap();
+        w.write_event(&JournalEvent::Log {
+            level: Level::Warn,
+            message: "a \"quoted\" message\nwith newline".to_string(),
+            t_ns: 600,
+        })
+        .unwrap();
+        w.write_sample(&ResourceSample {
+            t_ns: 700,
+            rss_bytes: 1 << 20,
+            cpu_user_ns: 5_000_000,
+            cpu_system_ns: 1_000_000,
+            threads: 4,
+        })
+        .unwrap();
+        let snap = sample_snapshot();
+        w.write_snapshot(0, &snap, &snap.spans, 3).unwrap();
+        w.write_stall(&Stall {
+            name: "model.search",
+            tid: 2,
+            t_ns: 9_000,
+            active_ns: 8_000,
+            budget_ns: 1_000,
+        })
+        .unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.records_written(), 8);
+
+        let text = String::from_utf8(w.sink).unwrap();
+        let mut types = Vec::new();
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("each line parses");
+            types.push(v["type"].as_str().unwrap().to_string());
+        }
+        assert_eq!(
+            types,
+            ["meta", "span", "span", "counter", "log", "sample", "snapshot", "stall"]
+        );
+        // Spot-check structure of the snapshot record.
+        let snap_line: serde_json::Value = serde_json::from_str(
+            text.lines().find(|l| l.contains("\"type\":\"snapshot\"")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(snap_line["counters"]["model.search.hypotheses"], 42);
+        assert_eq!(snap_line["journal_dropped"], 3);
+        assert_eq!(snap_line["spans"][0]["name"], "sim.replay");
+        assert_eq!(snap_line["spans"][0]["count"], 2);
+        assert_eq!(snap_line["spans"][0]["total_ns"], 1_400);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_lossless_shaped() {
+        let snap = sample_snapshot();
+        let v: serde_json::Value = serde_json::from_str(&snapshot_json(&snap)).unwrap();
+        assert_eq!(v["captured_ns"], 5_000);
+        assert_eq!(v["spans"].as_array().unwrap().len(), 2);
+        assert_eq!(v["spans"][0]["start_ns"], 100);
+        assert_eq!(v["counters"]["model.search.hypotheses"], 42);
+        let h = &v["histograms"][0];
+        assert_eq!(h["name"], "agg.latency");
+        assert_eq!(h["count"], 3);
+        assert!(h["buckets"].as_array().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE extradeep_model_search_hypotheses_total counter"));
+        assert!(text.contains("extradeep_model_search_hypotheses_total 42"));
+        assert!(text.contains("# TYPE extradeep_agg_latency histogram"));
+        assert!(text.contains("extradeep_agg_latency_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("extradeep_agg_latency_sum 312"));
+        assert!(text.contains("extradeep_span_count{span=\"sim.replay\"} 2"));
+        assert!(text.contains("extradeep_span_total_ns{span=\"sim.replay\"} 1400"));
+        // Buckets are cumulative: the last finite bucket equals the count.
+        let last_finite = text
+            .lines()
+            .filter(|l| l.starts_with("extradeep_agg_latency_bucket{le=\"") && !l.contains("+Inf"))
+            .next_back()
+            .unwrap();
+        assert!(last_finite.ends_with(" 3"), "{last_finite}");
+    }
+}

@@ -1,0 +1,308 @@
+//! The flight recorder: a lock-free bounded ring buffer journaling span
+//! begin/end edges, counter deltas, and log lines as they happen.
+//!
+//! Where [`crate::Snapshot`] answers "what did the run cost in total", the
+//! journal answers "what is the process doing *right now*": the background
+//! [`crate::sampler`] drains it every tick and streams the events to the
+//! telemetry sink, and the [`crate::watchdog`] replays them to spot spans
+//! that have been open longer than their budget.
+//!
+//! The buffer is a fixed-capacity Vyukov-style MPMC queue: producers are the
+//! instrumented hot paths (any thread), the consumer is the sampler thread.
+//! A full buffer **drops the new event and counts the drop** — backpressure
+//! must never block or grow memory on the recording side. Consumers can see
+//! the drop count ([`Journal::dropped`]) and treat the stream as lossy.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::log::Level;
+
+/// One journaled occurrence. Span and counter names are the `&'static str`
+/// the instrumentation sites were compiled with; log messages are formatted
+/// at record time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// A span opened (`t_ns` = start).
+    SpanBegin {
+        name: &'static str,
+        tid: u64,
+        depth: u32,
+        t_ns: u64,
+    },
+    /// A span closed (`t_ns` = end; `start = t_ns - dur_ns`).
+    SpanEnd {
+        name: &'static str,
+        tid: u64,
+        depth: u32,
+        t_ns: u64,
+        dur_ns: u64,
+    },
+    /// A counter moved by `delta`.
+    CounterAdd {
+        name: &'static str,
+        delta: u64,
+        t_ns: u64,
+    },
+    /// A log line passed the level filter.
+    Log {
+        level: Level,
+        message: String,
+        t_ns: u64,
+    },
+}
+
+impl JournalEvent {
+    /// The event's timestamp, nanoseconds since the trace epoch.
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            JournalEvent::SpanBegin { t_ns, .. }
+            | JournalEvent::SpanEnd { t_ns, .. }
+            | JournalEvent::CounterAdd { t_ns, .. }
+            | JournalEvent::Log { t_ns, .. } => *t_ns,
+        }
+    }
+}
+
+/// One queue cell: a sequence number lamping the cell's state plus the
+/// (possibly uninitialized) payload. `seq == pos` means writable for the
+/// producer claiming `pos`; `seq == pos + 1` means readable for the consumer
+/// claiming `pos`.
+struct Slot {
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<JournalEvent>>,
+}
+
+// The sequence-number protocol guarantees exclusive access to `value`
+// between the `Acquire` load that observes the slot ready and the `Release`
+// store that hands it over, so sharing slots across threads is sound.
+unsafe impl Sync for Slot {}
+
+/// A bounded, lock-free MPMC event queue with drop counting.
+pub struct Journal {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Next position a consumer will read.
+    head: AtomicU64,
+    /// Next position a producer will claim.
+    tail: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// Creates a journal holding up to `capacity` events (rounded up to a
+    /// power of two, minimum 64).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(64).next_power_of_two() as u64;
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Journal {
+            slots,
+            mask: cap - 1,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues one event; on a full buffer the event is discarded and the
+    /// drop counter incremented. Never blocks.
+    pub fn push(&self, ev: JournalEvent) -> bool {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.wrapping_sub(pos) as i64 {
+                0 => {
+                    if self
+                        .tail
+                        .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        // We own the slot until the Release store below.
+                        unsafe { (*slot.value.get()).write(ev) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return true;
+                    }
+                    // Lost the race; reload and retry.
+                    pos = self.tail.load(Ordering::Relaxed);
+                }
+                d if d < 0 => {
+                    // The slot still holds an unconsumed event from the
+                    // previous lap: the queue is full.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                _ => pos = self.tail.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Dequeues one event, or `None` when empty.
+    pub fn pop(&self) -> Option<JournalEvent> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.wrapping_sub(pos + 1) as i64 {
+                0 => {
+                    if self
+                        .head
+                        .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        let ev = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(ev);
+                    }
+                    pos = self.head.load(Ordering::Relaxed);
+                }
+                d if d < 0 => return None, // empty
+                _ => pos = self.head.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Dequeues up to `max` events in arrival order.
+    pub fn pop_batch(&self, max: usize) -> Vec<JournalEvent> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.pop() {
+                Some(ev) => out.push(ev),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Unconsumed events own heap payloads (log messages); drain them.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn counter(delta: u64) -> JournalEvent {
+        JournalEvent::CounterAdd {
+            name: "t.c",
+            delta,
+            t_ns: delta,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity_rounding() {
+        let j = Journal::with_capacity(100);
+        assert_eq!(j.capacity(), 128);
+        for i in 0..5 {
+            assert!(j.push(counter(i)));
+        }
+        let got = j.pop_batch(16);
+        assert_eq!(got.len(), 5);
+        for (i, ev) in got.iter().enumerate() {
+            assert_eq!(*ev, counter(i as u64));
+        }
+        assert_eq!(j.pop(), None);
+    }
+
+    #[test]
+    fn full_buffer_drops_and_counts() {
+        let j = Journal::with_capacity(64);
+        for i in 0..64 {
+            assert!(j.push(counter(i)));
+        }
+        assert!(!j.push(counter(99)));
+        assert!(!j.push(counter(100)));
+        assert_eq!(j.dropped(), 2);
+        // Draining frees slots again.
+        assert_eq!(j.pop_batch(64).len(), 64);
+        assert!(j.push(counter(7)));
+        assert_eq!(j.pop(), Some(counter(7)));
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let j = Journal::with_capacity(64);
+        for lap in 0..10u64 {
+            for i in 0..64 {
+                assert!(j.push(counter(lap * 64 + i)));
+            }
+            let got = j.pop_batch(64);
+            assert_eq!(got.first(), Some(&counter(lap * 64)));
+            assert_eq!(got.len(), 64);
+        }
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_within_capacity() {
+        let j = Arc::new(Journal::with_capacity(4096));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let j = Arc::clone(&j);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..512 {
+                    j.push(counter(t * 10_000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = j.pop_batch(usize::MAX);
+        assert_eq!(got.len(), 4 * 512);
+        assert_eq!(j.dropped(), 0);
+        // Per-producer subsequences keep their order.
+        for t in 0..4u64 {
+            let mine: Vec<u64> = got
+                .iter()
+                .filter_map(|ev| match ev {
+                    JournalEvent::CounterAdd { delta, .. }
+                        if (t * 10_000..t * 10_000 + 512).contains(delta) =>
+                    {
+                        Some(*delta)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(mine.len(), 512);
+            assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn drop_frees_unconsumed_heap_payloads() {
+        let j = Journal::with_capacity(64);
+        for _ in 0..10 {
+            j.push(JournalEvent::Log {
+                level: Level::Info,
+                message: "heap-allocated message".to_string(),
+                t_ns: 0,
+            });
+        }
+        drop(j); // leak-checked under the sanitizer jobs
+    }
+}

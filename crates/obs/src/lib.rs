@@ -27,10 +27,26 @@
 //! - [`snapshot`] / [`drain`] / [`reset`] — collect recorded data; `drain`
 //!   clears span buffers and zeroes counters/histograms for the next run.
 //! - [`chrome_trace_json`] — Chrome trace-event JSON (`chrome://tracing`,
-//!   [Perfetto](https://ui.perfetto.dev)) with matched B/E pairs per thread.
+//!   [Perfetto](https://ui.perfetto.dev)) with matched B/E pairs per thread;
+//!   [`chrome_trace_json_with_counters`] adds counter time series.
 //! - [`phase_report`] — a human-readable per-phase table.
 //! - [`log`] — leveled stderr logging (`error!`/`warn!`/`info!`/`debug!`),
 //!   independent of the span machinery.
+//!
+//! ## Live telemetry
+//!
+//! Beyond the end-of-run snapshot, the crate can stream while running:
+//!
+//! - [`journal`] — a lock-free bounded flight recorder; with
+//!   [`enable_journal`] every span edge, counter delta, and log line is also
+//!   queued as a [`journal::JournalEvent`] (drops counted, never blocks).
+//! - [`sampler`] — a background thread draining the journal every interval,
+//!   sampling RSS/CPU/threads from `/proc/self`, and writing JSON-Lines
+//!   telemetry records through [`export::TelemetryWriter`].
+//! - [`watchdog`] — flags spans open past a budget (`warn!` +
+//!   `obs.watchdog.stalls`) while the process is still running.
+//! - [`export::prometheus_text`] — Prometheus text exposition of a
+//!   snapshot, with merge-safe log₂ histogram buckets.
 //!
 //! ## Example
 //!
@@ -54,20 +70,29 @@
 //! pipeline stages.
 
 pub mod chrome;
+pub mod export;
+pub mod journal;
 pub mod log;
 pub mod metrics;
 mod registry;
 pub mod report;
+pub mod sampler;
 mod span;
+pub mod watchdog;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters, CounterSample};
+pub use export::{prometheus_text, snapshot_json, TelemetryWriter};
+pub use journal::JournalEvent;
 pub use metrics::{Counter, CounterValue, Histogram, HistogramSummary};
 pub use registry::{
-    counter, disable, drain, enable, histogram, is_enabled, now_ns, reset, set_enabled, snapshot,
-    Snapshot,
+    counter, disable, disable_journal, drain, enable, enable_journal, histogram, is_enabled,
+    journal_drain, journal_dropped, journal_enabled, now_ns, reset, set_enabled, snapshot,
+    take_new_spans, Snapshot,
 };
 pub use report::phase_report;
+pub use sampler::{sample_resources, ResourceSample, SamplerConfig, SamplerHandle, SamplerReport};
 pub use span::{span, SpanGuard, SpanRecord};
+pub use watchdog::{Stall, Watchdog};
 
 /// Unit tests flip the global enabled flag; they serialize on this lock so
 /// the parallel test harness cannot interleave enable/drain cycles.

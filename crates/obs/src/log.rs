@@ -24,7 +24,9 @@ pub enum Level {
 }
 
 impl Level {
-    fn tag(self) -> &'static str {
+    /// The lowercase wire/display tag (`"error"`, `"warn"`, …) — also the
+    /// `level` field of telemetry `log` records.
+    pub fn tag(self) -> &'static str {
         match self {
             Level::Error => "error",
             Level::Warn => "warn",
@@ -59,9 +61,29 @@ pub fn enabled(level: Level) -> bool {
     (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
 }
 
-/// Emits one formatted line to stderr. Prefer the macros.
+/// Parses a tag produced by [`Level::tag`] back into a level (telemetry
+/// stream ingestion).
+pub fn parse_level(tag: &str) -> Option<Level> {
+    match tag {
+        "error" => Some(Level::Error),
+        "warn" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// Emits one formatted line to stderr (and, when the flight recorder is on,
+/// journals the message). Prefer the macros.
 pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
     if enabled(level) {
+        if crate::registry::journal_enabled() {
+            crate::registry::journal_push(crate::journal::JournalEvent::Log {
+                level,
+                message: args.to_string(),
+                t_ns: crate::registry::now_ns(),
+            });
+        }
         eprintln!("[{}] {}", level.tag(), args);
     }
 }

@@ -4,6 +4,13 @@
 //! the global enabled check). Hot loops should accumulate locally and call
 //! [`Counter::add`] once per batch — the model search does this for its
 //! per-fold LOO-CV counters.
+//!
+//! Snapshot-time readings ([`CounterValue`], [`HistogramSummary`]) carry
+//! owned names and, for histograms, the sparse log₂ bucket vector, so they
+//! can be serialized into the telemetry stream, parsed back in another
+//! process, and **merged**: [`HistogramSummary::merge`] sums buckets and
+//! recomputes the quantiles, which is what makes per-interval snapshots and
+//! per-process exports composable into fleet-level totals.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -17,7 +24,7 @@ pub struct Counter {
 /// One counter reading inside a [`crate::Snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterValue {
-    pub name: &'static str,
+    pub name: String,
     pub value: u64,
 }
 
@@ -34,6 +41,13 @@ impl Counter {
     }
 
     /// Adds `n`; a no-op (one atomic load) while recording is disabled.
+    ///
+    /// Deliberately never touches the flight-recorder journal: counters are
+    /// incremented from the hottest loops (per hypothesis, per LOO-CV fold),
+    /// and per-increment journaling both swamps the ring and taxes the
+    /// workload. The sampler instead reads the cumulative values each tick
+    /// ([`crate::registry::counter_values`]) and emits one coalesced delta
+    /// record per changed counter per interval.
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::registry::is_enabled() {
@@ -74,9 +88,14 @@ pub struct Histogram {
 }
 
 /// Point-in-time summary of a [`Histogram`].
+///
+/// Carries the sparse bucket counts, so summaries from different snapshots
+/// (or different processes, via the telemetry stream) can be merged without
+/// access to the live histogram; quantiles are recomputed from the merged
+/// buckets and stay within one log₂ bucket of the true value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSummary {
-    pub name: &'static str,
+    pub name: String,
     pub count: u64,
     pub sum: u64,
     pub max: u64,
@@ -84,20 +103,96 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// 95th percentile (upper bucket bound).
     pub p95: u64,
+    /// Sparse log₂ buckets as `(bit-length index, count)`, ascending index,
+    /// zero counts omitted.
+    pub buckets: Vec<(u32, u64)>,
 }
 
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
-/// Upper bound of a bucket: the largest value whose bit length is `i`.
-fn bucket_upper(i: usize) -> u64 {
+/// Upper bound of a log₂ bucket: the largest value whose bit length is `i`.
+/// These boundaries are fixed by construction, which is what makes bucket
+/// vectors from different processes line up for merging.
+pub fn bucket_upper(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= 64 {
         u64::MAX
     } else {
         (1u64 << i) - 1
+    }
+}
+
+impl HistogramSummary {
+    /// An empty summary (identity element for [`merge`](Self::merge)).
+    pub fn empty(name: impl Into<String>) -> Self {
+        HistogramSummary {
+            name: name.into(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            p50: 0,
+            p95: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Builds a summary directly from raw samples (test and ingestion
+    /// convenience; the live path records into [`Histogram`] atomics).
+    pub fn from_samples(name: impl Into<String>, samples: &[u64]) -> Self {
+        let mut s = Self::empty(name);
+        for &v in samples {
+            s.count += 1;
+            s.sum = s.sum.saturating_add(v);
+            s.max = s.max.max(v);
+            let idx = bucket_index(v) as u32;
+            match s.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => s.buckets[pos].1 += 1,
+                Err(pos) => s.buckets.insert(pos, (idx, 1)),
+            }
+        }
+        s.recompute_quantiles();
+        s
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) from the bucket counts: the upper
+    /// bound of the containing bucket, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another summary into this one: bucket-wise sums, then
+    /// recomputed quantiles. Merging is associative and commutative, so
+    /// per-interval snapshots and per-process exports roll up in any order.
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for &(i, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&i, |&(j, _)| j) {
+                Ok(pos) => self.buckets[pos].1 += c,
+                Err(pos) => self.buckets.insert(pos, (i, c)),
+            }
+        }
+        self.recompute_quantiles();
+    }
+
+    fn recompute_quantiles(&mut self) {
+        self.p50 = self.quantile(0.50);
+        self.p95 = self.quantile(0.95);
     }
 }
 
@@ -128,6 +223,21 @@ impl Histogram {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds a (possibly remote) summary into this live histogram:
+    /// bucket-wise atomic adds. Unlike [`record`](Self::record) this is not
+    /// gated on the enabled flag — it is an ingestion path (e.g. replaying a
+    /// telemetry stream into a live registry), not instrumentation.
+    pub fn absorb(&self, s: &HistogramSummary) {
+        self.count.fetch_add(s.count, Ordering::Relaxed);
+        self.sum.fetch_add(s.sum, Ordering::Relaxed);
+        self.max.fetch_max(s.max, Ordering::Relaxed);
+        for &(i, c) in &s.buckets {
+            if let Some(b) = self.buckets.get(i as usize) {
+                b.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
     /// containing it; 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -147,14 +257,18 @@ impl Histogram {
     }
 
     pub fn summary(&self) -> HistogramSummary {
-        HistogramSummary {
-            name: self.name,
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
+        let mut s = HistogramSummary::empty(self.name);
+        s.count = self.count.load(Ordering::Relaxed);
+        s.sum = self.sum.load(Ordering::Relaxed);
+        s.max = self.max.load(Ordering::Relaxed);
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                s.buckets.push((i as u32, c));
+            }
         }
+        s.recompute_quantiles();
+        s
     }
 
     pub(crate) fn reset(&self) {
@@ -209,6 +323,48 @@ mod tests {
         assert!(s.p50 >= 10 && s.p50 <= 15, "p50 = {}", s.p50);
         // p95 lands in the top bucket, clamped to the observed max.
         assert!(s.p95 >= 10_000 && s.p95 <= 16_383, "p95 = {}", s.p95);
+        // The sparse buckets account for every sample.
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn summary_from_samples_matches_live_recording() {
+        let _l = TEST_LOCK.lock();
+        let samples = [0u64, 1, 5, 9, 31, 700, 700, 4096];
+        let h = Histogram::new("test.eq");
+        crate::registry::set_enabled(true);
+        for &v in &samples {
+            h.record(v);
+        }
+        crate::registry::set_enabled(false);
+        let live = h.summary();
+        let direct = HistogramSummary::from_samples("test.eq", &samples);
+        assert_eq!(live, direct);
+    }
+
+    #[test]
+    fn merged_summaries_equal_concatenated_recording() {
+        let a = HistogramSummary::from_samples("m", &[1, 2, 3, 900]);
+        let b = HistogramSummary::from_samples("m", &[0, 64, 900, 40_000]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let together = HistogramSummary::from_samples("m", &[1, 2, 3, 900, 0, 64, 900, 40_000]);
+        assert_eq!(merged, together);
+    }
+
+    #[test]
+    fn absorb_folds_a_summary_into_a_live_histogram() {
+        let _l = TEST_LOCK.lock();
+        let h = Histogram::new("test.absorb");
+        crate::registry::set_enabled(true);
+        h.record(4);
+        crate::registry::set_enabled(false);
+        let remote = HistogramSummary::from_samples("remote", &[100, 200]);
+        h.absorb(&remote);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 304);
+        assert_eq!(s.max, 200);
     }
 
     #[test]
@@ -239,5 +395,6 @@ mod tests {
     fn empty_histogram_quantile_is_zero() {
         let h = Histogram::new("test.empty");
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(HistogramSummary::empty("e").quantile(0.5), 0);
     }
 }

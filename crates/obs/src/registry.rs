@@ -1,14 +1,16 @@
 //! The global registry: the enabled flag, the monotonic clock, per-thread
-//! span buffers, and the named counter/histogram tables.
+//! span buffers, the named counter/histogram tables, and the optional
+//! flight-recorder journal.
 //!
 //! Everything lives in statics so instrumentation sites need no handle
 //! threading. The hot paths touch only the enabled flag (one relaxed atomic
 //! load) plus, when enabled, a thread-local buffer; the `parking_lot`
 //! mutexes here are contended only during collection.
 
+use crate::journal::{Journal, JournalEvent};
 use crate::metrics::{Counter, CounterValue, Histogram, HistogramSummary};
 use crate::span::SpanRecord;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -52,6 +54,64 @@ pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
+// --- Flight-recorder journal -------------------------------------------
+
+static JOURNAL_ENABLED: AtomicBool = AtomicBool::new(false);
+static JOURNAL: RwLock<Option<Arc<Journal>>> = RwLock::new(None);
+
+/// Whether the flight recorder is capturing events. One relaxed atomic load;
+/// instrumentation checks this *after* the main enabled flag, so the
+/// journal-off case adds nothing to a disabled site and one load to an
+/// enabled one.
+#[inline(always)]
+pub fn journal_enabled() -> bool {
+    JOURNAL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a journal with (at least) the given capacity and starts
+/// flight-recording span edges, counter deltas, and log events. Replaces any
+/// previous journal (its unconsumed events are dropped).
+pub fn enable_journal(capacity: usize) {
+    let j = Arc::new(Journal::with_capacity(capacity));
+    *JOURNAL.write() = Some(j);
+    JOURNAL_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops flight-recording and discards the journal with any unconsumed
+/// events. Returns the total number of events dropped under backpressure
+/// over the journal's lifetime.
+pub fn disable_journal() -> u64 {
+    JOURNAL_ENABLED.store(false, Ordering::SeqCst);
+    let taken = JOURNAL.write().take();
+    taken.map(|j| j.dropped()).unwrap_or(0)
+}
+
+/// Enqueues an event on the installed journal (no-op when none). Never
+/// blocks: a full journal counts a drop instead.
+#[inline]
+pub(crate) fn journal_push(ev: JournalEvent) {
+    if let Some(j) = JOURNAL.read().as_deref() {
+        j.push(ev);
+    }
+}
+
+/// Dequeues up to `max` journaled events in arrival order (the sampler's
+/// per-tick drain). Empty when no journal is installed.
+pub fn journal_drain(max: usize) -> Vec<JournalEvent> {
+    match JOURNAL.read().as_deref() {
+        Some(j) => j.pop_batch(max),
+        None => Vec::new(),
+    }
+}
+
+/// Events dropped so far because the journal was full (0 when none is
+/// installed).
+pub fn journal_dropped() -> u64 {
+    JOURNAL.read().as_deref().map(Journal::dropped).unwrap_or(0)
+}
+
+// --- Span / counter / histogram registry -------------------------------
+
 /// One thread's finished-span buffer. The owning thread pushes; collection
 /// locks briefly from outside.
 pub(crate) struct ThreadBuffer {
@@ -63,6 +123,11 @@ struct Registry {
     threads: Mutex<Vec<Arc<ThreadBuffer>>>,
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    /// Finished spans already handed out by [`take_new_spans`] (the
+    /// sampler's per-tick emission) but still owed to the final cumulative
+    /// [`snapshot`]/[`drain`]. Keeping them here is what lets a periodic
+    /// consumer and the end-of-run report coexist without double-counting.
+    archived: Mutex<Vec<SpanRecord>>,
     next_tid: AtomicU64,
 }
 
@@ -70,6 +135,7 @@ static REGISTRY: Registry = Registry {
     threads: Mutex::new(Vec::new()),
     counters: Mutex::new(BTreeMap::new()),
     histograms: Mutex::new(BTreeMap::new()),
+    archived: Mutex::new(Vec::new()),
     next_tid: AtomicU64::new(0),
 };
 
@@ -93,11 +159,39 @@ pub fn counter(name: &'static str) -> &'static Counter {
         .or_insert_with(|| Box::leak(Box::new(Counter::new(name))))
 }
 
+/// Reads every registered counter's cumulative value. Cheap (one registry
+/// lock plus relaxed loads) — this is how the sampler turns hot-path
+/// counters into per-tick telemetry deltas without any journal traffic on
+/// the increment path.
+pub fn counter_values() -> Vec<(&'static str, u64)> {
+    REGISTRY
+        .counters
+        .lock()
+        .iter()
+        .map(|(name, c)| (*name, c.get()))
+        .collect()
+}
+
 /// Returns the named histogram, creating and registering it on first use.
 pub fn histogram(name: &'static str) -> &'static Histogram {
     let mut map = REGISTRY.histograms.lock();
     map.entry(name)
         .or_insert_with(|| Box::leak(Box::new(Histogram::new(name))))
+}
+
+/// Moves the spans that finished since the last call out of the per-thread
+/// buffers, returning them sorted. The moved spans are retained internally
+/// so the cumulative [`snapshot`]/[`drain`] still reports them exactly once;
+/// a span that is still open (guard alive) is simply not finished yet and
+/// will appear in a later call.
+pub fn take_new_spans() -> Vec<SpanRecord> {
+    let mut fresh = Vec::new();
+    for buf in REGISTRY.threads.lock().iter() {
+        fresh.append(&mut buf.records.lock());
+    }
+    fresh.sort_by_key(|s| (s.tid, s.start_ns, s.depth, s.end_ns()));
+    REGISTRY.archived.lock().extend(fresh.iter().cloned());
+    fresh
 }
 
 /// Everything recorded so far: finished spans plus current counter and
@@ -136,10 +230,43 @@ impl Snapshot {
             .find(|c| c.name == name)
             .map(|c| c.value)
     }
+
+    /// Merges another snapshot into this one: spans are concatenated (and
+    /// re-sorted), counters with the same name are summed, histograms with
+    /// the same name are bucket-merged. This is how per-interval telemetry
+    /// snapshots — or snapshots from different processes — roll up into one
+    /// cumulative view; merging is associative and order-insensitive for
+    /// counters and histograms.
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.spans.extend(other.spans.iter().cloned());
+        self.spans
+            .sort_by_key(|s| (s.tid, s.start_ns, s.depth, s.end_ns()));
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|mine| mine.name == c.name) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => mine.merge(h),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        self.captured_ns = self.captured_ns.max(other.captured_ns);
+    }
 }
 
 fn collect(take: bool) -> Snapshot {
-    let mut spans = Vec::new();
+    // Spans already archived by a periodic `take_new_spans` consumer come
+    // first; `drain` hands them over for good, `snapshot` only copies.
+    let mut spans = if take {
+        std::mem::take(&mut *REGISTRY.archived.lock())
+    } else {
+        REGISTRY.archived.lock().clone()
+    };
     for buf in REGISTRY.threads.lock().iter() {
         let mut records = buf.records.lock();
         if take {
@@ -154,7 +281,7 @@ fn collect(take: bool) -> Snapshot {
         .lock()
         .values()
         .map(|c| CounterValue {
-            name: c.name(),
+            name: c.name().to_string(),
             value: if take { c.take() } else { c.get() },
         })
         .collect();
@@ -227,5 +354,71 @@ mod tests {
         let a = histogram("registry.test.histogram") as *const Histogram;
         let b = histogram("registry.test.histogram") as *const Histogram;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_histograms() {
+        let mut a = Snapshot {
+            counters: vec![
+                CounterValue {
+                    name: "x".to_string(),
+                    value: 2,
+                },
+                CounterValue {
+                    name: "y".to_string(),
+                    value: 1,
+                },
+            ],
+            histograms: vec![HistogramSummary::from_samples("h", &[1, 10])],
+            captured_ns: 5,
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            counters: vec![
+                CounterValue {
+                    name: "x".to_string(),
+                    value: 3,
+                },
+                CounterValue {
+                    name: "z".to_string(),
+                    value: 9,
+                },
+            ],
+            histograms: vec![HistogramSummary::from_samples("h", &[100])],
+            captured_ns: 9,
+            ..Snapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("x"), Some(5));
+        assert_eq!(a.counter("y"), Some(1));
+        assert_eq!(a.counter("z"), Some(9));
+        assert_eq!(a.captured_ns, 9);
+        let h = &a.histograms[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, 100);
+        assert_eq!(
+            *h,
+            HistogramSummary::from_samples("h", &[1, 10, 100]),
+            "merge must equal recording the concatenated stream"
+        );
+    }
+
+    #[test]
+    fn journal_enable_disable_round_trip() {
+        let _l = crate::testutil::LOCK.lock();
+        assert!(!journal_enabled());
+        assert!(journal_drain(16).is_empty());
+        enable_journal(128);
+        assert!(journal_enabled());
+        journal_push(JournalEvent::CounterAdd {
+            name: "t.j",
+            delta: 1,
+            t_ns: 0,
+        });
+        let got = journal_drain(16);
+        assert_eq!(got.len(), 1);
+        assert_eq!(journal_dropped(), 0);
+        assert_eq!(disable_journal(), 0);
+        assert!(!journal_enabled());
     }
 }

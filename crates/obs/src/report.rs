@@ -11,9 +11,9 @@ use std::fmt::Write as _;
 
 /// Renders a per-phase wall-time table plus counters and histograms.
 pub fn phase_report(snap: &Snapshot) -> String {
-    let mut by_name: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
     for s in &snap.spans {
-        by_name.entry(s.name).or_default().push(s.dur_ns);
+        by_name.entry(s.name.as_ref()).or_default().push(s.dur_ns);
     }
 
     let mut out = String::new();
@@ -34,7 +34,7 @@ pub fn phase_report(snap: &Snapshot) -> String {
             "span", "count", "total ms", "mean ms", "p50 ms", "p95 ms", "max ms"
         );
         // Sort by total time descending so the expensive phases lead.
-        let mut rows: Vec<(&'static str, Vec<u64>)> = by_name.into_iter().collect();
+        let mut rows: Vec<(&str, Vec<u64>)> = by_name.into_iter().collect();
         rows.sort_by_key(|(_, durs)| std::cmp::Reverse(durs.iter().sum::<u64>()));
         for (name, mut durs) in rows {
             durs.sort_unstable();
@@ -128,14 +128,14 @@ mod tests {
         let snap = Snapshot {
             spans: vec![
                 SpanRecord {
-                    name: "a.cheap",
+                    name: "a.cheap".into(),
                     start_ns: 0,
                     dur_ns: 1_000_000,
                     tid: 0,
                     depth: 0,
                 },
                 SpanRecord {
-                    name: "b.dear",
+                    name: "b.dear".into(),
                     start_ns: 0,
                     dur_ns: 9_000_000,
                     tid: 0,

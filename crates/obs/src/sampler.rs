@@ -1,0 +1,430 @@
+//! The background telemetry sampler.
+//!
+//! One thread, started with [`start`], that every `interval`:
+//!
+//! 1. drains the flight-recorder journal and streams each event to the
+//!    telemetry sink (span edges, log lines), then reads the cumulative
+//!    counters and writes one coalesced delta record per changed counter —
+//!    increments themselves never touch the journal;
+//! 2. feeds the events through the [`crate::watchdog`] and flags spans that
+//!    have been open past their budget;
+//! 3. reads RSS / CPU time / thread count from `/proc/self`;
+//! 4. moves newly finished spans out of the registry
+//!    ([`crate::registry::take_new_spans`] — the cumulative end-of-run
+//!    snapshot still includes them) and writes a periodic `snapshot` record
+//!    with cumulative counters/histograms;
+//! 5. flushes, so a follower on the file sees at most one interval of lag.
+//!
+//! The sampler is the journal's only consumer; instrumented threads never
+//! block on it (a full journal drops events and counts the drops). On
+//! [`SamplerHandle::stop`] the thread runs one final tick so nothing
+//! recorded before the stop is lost, then the journal is torn down.
+
+use crate::chrome::CounterSample;
+use crate::export::TelemetryWriter;
+use crate::journal::JournalEvent;
+use crate::registry;
+use crate::watchdog::Watchdog;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One `/proc/self` reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceSample {
+    /// Capture time, nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// Resident set size in bytes (`VmRSS`).
+    pub rss_bytes: u64,
+    /// Cumulative user-mode CPU time, nanoseconds (`utime`).
+    pub cpu_user_ns: u64,
+    /// Cumulative kernel-mode CPU time, nanoseconds (`stime`).
+    pub cpu_system_ns: u64,
+    /// Current thread count.
+    pub threads: u64,
+}
+
+/// Reads the current process's RSS, CPU time, and thread count. On
+/// non-Linux targets everything but the timestamp is zero — the telemetry
+/// stream stays well-formed, just without resource data.
+pub fn sample_resources() -> ResourceSample {
+    let mut s = ResourceSample {
+        t_ns: registry::now_ns(),
+        ..ResourceSample::default()
+    };
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmRSS:") {
+                    s.rss_bytes = parse_kb(rest).unwrap_or(0) * 1024;
+                } else if let Some(rest) = line.strip_prefix("Threads:") {
+                    s.threads = rest.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
+            // Fields 14/15 (utime, stime) counted from 1; the comm field can
+            // contain spaces, so index from after the closing paren.
+            if let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                // After ')' the next field is state (offset 0), so utime and
+                // stime land at offsets 11 and 12.
+                let ticks = |i: usize| fields.get(i).and_then(|f| f.parse::<u64>().ok());
+                // USER_HZ is 100 on every Linux ABI we target.
+                const NS_PER_TICK: u64 = 10_000_000;
+                s.cpu_user_ns = ticks(11).unwrap_or(0) * NS_PER_TICK;
+                s.cpu_system_ns = ticks(12).unwrap_or(0) * NS_PER_TICK;
+            }
+        }
+    }
+    s
+}
+
+#[cfg(target_os = "linux")]
+fn parse_kb(rest: &str) -> Option<u64> {
+    rest.trim().strip_suffix("kB")?.trim().parse().ok()
+}
+
+/// Sampler configuration. `Default`: 500 ms interval, 64 Ki-event journal,
+/// no span budget (watchdog off).
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Tick interval.
+    pub interval: Duration,
+    /// Flight-recorder capacity in events (rounded up to a power of two).
+    pub journal_capacity: usize,
+    /// Span budget for the watchdog; `None` disables stall detection.
+    pub span_budget: Option<Duration>,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            interval: Duration::from_millis(500),
+            journal_capacity: 64 * 1024,
+            span_budget: None,
+        }
+    }
+}
+
+/// What the sampler did over its lifetime, returned by
+/// [`SamplerHandle::stop`].
+#[derive(Debug, Clone, Default)]
+pub struct SamplerReport {
+    /// Ticks executed (including the final stop tick).
+    pub ticks: u64,
+    /// Periodic `snapshot` records written.
+    pub snapshots_emitted: u64,
+    /// Watchdog stalls flagged.
+    pub stalls: u64,
+    /// Journal events lost to backpressure.
+    pub journal_dropped: u64,
+    /// Telemetry records written to the sink.
+    pub records_written: u64,
+    /// Write errors swallowed (telemetry is best-effort; the pipeline never
+    /// fails because its telemetry sink did).
+    pub io_errors: u64,
+    /// Cumulative counter time series reconstructed from journal deltas —
+    /// feed to [`crate::chrome::chrome_trace_json_with_counters`].
+    pub counter_series: Vec<CounterSample>,
+}
+
+struct Shared {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Handle to a running sampler; stop it with [`stop`](Self::stop).
+pub struct SamplerHandle {
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<SamplerReport>,
+}
+
+impl SamplerHandle {
+    /// Signals the sampler, waits for its final tick, tears down the
+    /// journal, and returns the lifetime report.
+    pub fn stop(self) -> SamplerReport {
+        {
+            let mut stop = self.shared.stop.lock();
+            *stop = true;
+            self.shared.cv.notify_all();
+        }
+        let report = self.thread.join().unwrap_or_default();
+        registry::disable_journal();
+        report
+    }
+}
+
+/// Keep the chrome counter series bounded: a pathological tick rate must
+/// not grow memory without limit. Drops beyond the cap are logged once.
+const SERIES_CAP: usize = 100_000;
+
+/// Installs the flight-recorder journal and starts the sampler thread
+/// writing telemetry records to `sink`. The `meta` header is written (and
+/// flushed) before this returns, so an immediately attached follower
+/// identifies the stream. Recording ([`registry::set_enabled`]) is managed
+/// by the caller — the sampler only consumes.
+pub fn start<W: io::Write + Send + 'static>(
+    sink: W,
+    cfg: SamplerConfig,
+) -> io::Result<SamplerHandle> {
+    registry::enable_journal(cfg.journal_capacity);
+    let mut writer = TelemetryWriter::new(sink);
+    writer.write_meta(
+        cfg.interval.as_millis() as u64,
+        cfg.journal_capacity,
+        cfg.span_budget.map(|b| b.as_millis() as u64),
+    )?;
+    writer.flush()?;
+    let shared = Arc::new(Shared {
+        stop: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let thread_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("extradeep-telemetry".to_string())
+        .spawn(move || run(writer, cfg, thread_shared))?;
+    Ok(SamplerHandle { shared, thread })
+}
+
+fn run<W: io::Write>(
+    mut writer: TelemetryWriter<W>,
+    cfg: SamplerConfig,
+    shared: Arc<Shared>,
+) -> SamplerReport {
+    let mut report = SamplerReport::default();
+    let mut watchdog = cfg
+        .span_budget
+        .map(|b| Watchdog::new(b.as_nanos() as u64));
+    let stalls_counter = registry::counter("obs.watchdog.stalls");
+    let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut last_dropped = 0u64;
+    let mut series_overflow_logged = false;
+    loop {
+        let stopping = {
+            let mut stop = shared.stop.lock();
+            if !*stop {
+                shared.cv.wait_for(&mut stop, cfg.interval);
+            }
+            *stop
+        };
+
+        let io_err = |r: io::Result<()>, n: &mut u64| {
+            if r.is_err() {
+                *n += 1;
+            }
+        };
+
+        // 1. Drain the journal (span edges, log lines): stream each event
+        //    and feed the watchdog.
+        let events = registry::journal_drain(usize::MAX);
+        for ev in &events {
+            if let Some(w) = watchdog.as_mut() {
+                w.observe(ev);
+            }
+            io_err(writer.write_event(ev), &mut report.io_errors);
+        }
+
+        // 1b. Coalesce counter activity into one delta record per changed
+        //     counter per tick. The increment path never journals (it would
+        //     swamp the ring from the model-search hot loops); the tick
+        //     reads the cumulative atomics instead.
+        let now = registry::now_ns();
+        for (name, value) in registry::counter_values() {
+            let last = totals.entry(name).or_insert(0);
+            // A drain() between ticks resets counters; treat the re-grown
+            // value as the whole delta rather than underflowing.
+            let delta = if value >= *last { value - *last } else { value };
+            *last = value;
+            if delta == 0 {
+                continue;
+            }
+            io_err(
+                writer.write_event(&JournalEvent::CounterAdd {
+                    name,
+                    delta,
+                    t_ns: now,
+                }),
+                &mut report.io_errors,
+            );
+            if report.counter_series.len() < SERIES_CAP {
+                report.counter_series.push(CounterSample {
+                    name: name.to_string(),
+                    t_ns: now,
+                    value,
+                });
+            } else if !series_overflow_logged {
+                series_overflow_logged = true;
+                crate::warn!("telemetry: counter series capped at {SERIES_CAP} samples");
+            }
+        }
+
+        // 2. Journal drops invalidate the open-span picture.
+        let dropped = registry::journal_dropped();
+        if dropped > last_dropped {
+            last_dropped = dropped;
+            if let Some(w) = watchdog.as_mut() {
+                w.clear();
+            }
+        }
+
+        // 3. Resources.
+        let sample = sample_resources();
+        io_err(writer.write_sample(&sample), &mut report.io_errors);
+
+        // 4. Watchdog: flag budget overruns.
+        if let Some(w) = watchdog.as_mut() {
+            for stall in w.check(now) {
+                crate::warn!(
+                    "watchdog: span '{}' open for {:.3} s exceeds budget {:.3} s (tid {})",
+                    stall.name,
+                    Duration::from_nanos(stall.active_ns).as_secs_f64(),
+                    Duration::from_nanos(stall.budget_ns).as_secs_f64(),
+                    stall.tid
+                );
+                stalls_counter.incr();
+                io_err(writer.write_stall(&stall), &mut report.io_errors);
+                report.stalls += 1;
+            }
+        }
+
+        // 5. Periodic snapshot: per-tick span aggregates + cumulative
+        //    counters/histograms.
+        let new_spans = registry::take_new_spans();
+        let snap = registry::snapshot();
+        io_err(
+            writer.write_snapshot(report.snapshots_emitted, &snap, &new_spans, dropped),
+            &mut report.io_errors,
+        );
+        report.snapshots_emitted += 1;
+        io_err(writer.flush(), &mut report.io_errors);
+        report.ticks += 1;
+
+        if stopping {
+            break;
+        }
+    }
+    report.journal_dropped = registry::journal_dropped();
+    report.records_written = writer.records_written();
+    let _ = writer.flush();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+    use crate::testutil::LOCK as TEST_LOCK;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn resource_sample_reads_proc_on_linux() {
+        let s = sample_resources();
+        #[cfg(target_os = "linux")]
+        {
+            assert!(s.rss_bytes > 0, "VmRSS should be nonzero: {s:?}");
+            assert!(s.threads >= 1, "at least this thread: {s:?}");
+        }
+        let later = sample_resources();
+        assert!(later.t_ns >= s.t_ns);
+    }
+
+    #[test]
+    fn sampler_emits_snapshots_and_samples() {
+        let _l = TEST_LOCK.lock();
+        crate::registry::reset();
+        let sink = SharedBuf::default();
+        let handle = start(
+            sink.clone(),
+            SamplerConfig {
+                interval: Duration::from_millis(10),
+                ..SamplerConfig::default()
+            },
+        )
+        .unwrap();
+        crate::registry::set_enabled(true);
+        for _ in 0..3 {
+            let _g = span("test.sampled");
+            crate::registry::counter("test.sampler.count").add(5);
+            std::thread::sleep(Duration::from_millis(12));
+        }
+        crate::registry::set_enabled(false);
+        let report = handle.stop();
+        crate::registry::reset();
+
+        assert!(report.ticks >= 2, "expected >= 2 ticks: {report:?}");
+        assert!(report.snapshots_emitted >= 2);
+        assert_eq!(report.io_errors, 0);
+        assert!(
+            report
+                .counter_series
+                .iter()
+                .any(|c| c.name == "test.sampler.count" && c.value > 0),
+            "counter series missing: {:?}",
+            report.counter_series
+        );
+        let text = sink.text();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"type\":\"meta\""), "{first}");
+        let snapshots = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"snapshot\""))
+            .count();
+        assert!(snapshots >= 2, "{text}");
+        assert!(text.contains("\"type\":\"sample\""));
+        assert!(text.contains("\"type\":\"span\""));
+        assert!(text.contains("\"event\":\"end\""));
+    }
+
+    #[test]
+    fn watchdog_fires_on_budget_exceeding_span() {
+        let _l = TEST_LOCK.lock();
+        crate::registry::reset();
+        let sink = SharedBuf::default();
+        let handle = start(
+            sink.clone(),
+            SamplerConfig {
+                interval: Duration::from_millis(5),
+                span_budget: Some(Duration::from_millis(10)),
+                ..SamplerConfig::default()
+            },
+        )
+        .unwrap();
+        crate::registry::set_enabled(true);
+        {
+            let _g = span("test.stalled.phase");
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        crate::registry::set_enabled(false);
+        let report = handle.stop();
+        crate::registry::reset();
+
+        assert!(report.stalls >= 1, "watchdog should flag the stall: {report:?}");
+        let text = sink.text();
+        assert!(
+            text.contains("\"type\":\"stall\"") && text.contains("test.stalled.phase"),
+            "{text}"
+        );
+    }
+}

@@ -7,15 +7,22 @@
 //! entries on the *same* thread — stack discipline per OS thread is exactly
 //! what the Chrome trace B/E event model requires.
 
+use crate::journal::JournalEvent;
 use crate::registry::{self, ThreadBuffer};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::sync::Arc;
 
 /// One finished span.
+///
+/// Live instrumentation always produces borrowed `&'static` names (the hot
+/// path never allocates for a span); the owned variant exists so spans
+/// parsed back from a telemetry stream can be reconstituted into a
+/// [`crate::Snapshot`] in another process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
-    /// Static span name, by convention `<crate>.<phase>[.<detail>]`.
-    pub name: &'static str,
+    /// Span name, by convention `<crate>.<phase>[.<detail>]`.
+    pub name: Cow<'static, str>,
     /// Start, nanoseconds since the trace epoch.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -33,10 +40,10 @@ impl SpanRecord {
 
     /// The span's category: the name segment before the first `.` — the
     /// crate/stage it belongs to (`sim`, `trace`, `agg`, `model`, `core`).
-    pub fn category(&self) -> &'static str {
+    pub fn category(&self) -> &str {
         match self.name.split_once('.') {
             Some((cat, _)) => cat,
-            None => self.name,
+            None => &self.name,
         }
     }
 }
@@ -84,7 +91,16 @@ pub fn span(name: &'static str) -> SpanGuard {
             buf: registry::register_thread(),
             depth: 0,
         });
+        let depth = local.depth;
         local.depth += 1;
+        if registry::journal_enabled() {
+            registry::journal_push(JournalEvent::SpanBegin {
+                name,
+                tid: local.buf.tid,
+                depth,
+                t_ns: start_ns,
+            });
+        }
     });
     SpanGuard {
         active: Some(ActiveSpan { name, start_ns }),
@@ -105,13 +121,23 @@ impl Drop for SpanGuard {
             // runs on the opening thread.)
             if let Some(local) = slot.as_mut() {
                 local.depth = local.depth.saturating_sub(1);
+                let dur_ns = end_ns.saturating_sub(active.start_ns);
                 local.buf.records.lock().push(SpanRecord {
-                    name: active.name,
+                    name: Cow::Borrowed(active.name),
                     start_ns: active.start_ns,
-                    dur_ns: end_ns.saturating_sub(active.start_ns),
+                    dur_ns,
                     tid: local.buf.tid,
                     depth: local.depth,
                 });
+                if registry::journal_enabled() {
+                    registry::journal_push(JournalEvent::SpanEnd {
+                        name: active.name,
+                        tid: local.buf.tid,
+                        depth: local.depth,
+                        t_ns: end_ns,
+                        dur_ns,
+                    });
+                }
             }
         });
     }
@@ -188,14 +214,51 @@ mod tests {
     #[test]
     fn category_is_prefix_before_dot() {
         let r = SpanRecord {
-            name: "model.search.inner",
+            name: "model.search.inner".into(),
             start_ns: 0,
             dur_ns: 1,
             tid: 0,
             depth: 0,
         };
         assert_eq!(r.category(), "model");
-        let bare = SpanRecord { name: "flat", ..r };
+        let bare = SpanRecord {
+            name: "flat".into(),
+            ..r
+        };
         assert_eq!(bare.category(), "flat");
+    }
+
+    #[test]
+    fn journal_records_span_edges_in_order() {
+        let _l = TEST_LOCK.lock();
+        registry::reset();
+        registry::enable_journal(256);
+        registry::set_enabled(true);
+        {
+            let _outer = span("test.jouter");
+            let _inner = span("test.jinner");
+        }
+        registry::set_enabled(false);
+        let events = registry::journal_drain(usize::MAX);
+        registry::disable_journal();
+        registry::reset();
+        let kinds: Vec<String> = events
+            .iter()
+            .map(|ev| match ev {
+                JournalEvent::SpanBegin { name, .. } => format!("B:{name}"),
+                JournalEvent::SpanEnd { name, .. } => format!("E:{name}"),
+                other => format!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["B:test.jouter", "B:test.jinner", "E:test.jinner", "E:test.jouter"]
+        );
+        // End events carry a duration consistent with their timestamps.
+        for ev in &events {
+            if let JournalEvent::SpanEnd { t_ns, dur_ns, .. } = ev {
+                assert!(*t_ns >= *dur_ns);
+            }
+        }
     }
 }

@@ -1,0 +1,189 @@
+//! Stall watchdog: flags spans that stay open past a budget.
+//!
+//! The watchdog replays the flight-recorder journal's span begin/end edges
+//! to track which spans are currently open on each thread, and on every
+//! sampler tick flags open spans whose active time exceeds the budget. A
+//! hung simulation or model-search phase therefore produces a `warn!` line,
+//! a `stall` telemetry record, and an `obs.watchdog.stalls` counter bump
+//! while it is *still running* — instead of a silent hang with nothing in
+//! the end-of-run report.
+//!
+//! Each span instance is flagged at most once; the journal is lossy under
+//! backpressure, so after observed drops the open-span table is cleared
+//! (ghost entries whose end edge was dropped would otherwise stall forever).
+
+use crate::journal::JournalEvent;
+use std::collections::BTreeMap;
+
+/// One flagged stall: `name` has been open `active_ns` on thread `tid` at
+/// check time `t_ns`, exceeding `budget_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stall {
+    pub name: &'static str,
+    pub tid: u64,
+    pub t_ns: u64,
+    pub active_ns: u64,
+    pub budget_ns: u64,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    start_ns: u64,
+    flagged: bool,
+}
+
+/// Tracks open spans from journal events and reports budget overruns.
+pub struct Watchdog {
+    budget_ns: u64,
+    /// Open spans keyed by `(tid, depth)` — the per-thread stack discipline
+    /// makes that pair unique among simultaneously open spans.
+    open: BTreeMap<(u64, u32), OpenSpan>,
+}
+
+impl Watchdog {
+    pub fn new(budget_ns: u64) -> Self {
+        Watchdog {
+            budget_ns,
+            open: BTreeMap::new(),
+        }
+    }
+
+    pub fn budget_ns(&self) -> u64 {
+        self.budget_ns
+    }
+
+    /// Number of spans currently believed open.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feeds one journal event through the open-span tracker. Counter and
+    /// log events are ignored.
+    pub fn observe(&mut self, ev: &JournalEvent) {
+        match *ev {
+            JournalEvent::SpanBegin {
+                name,
+                tid,
+                depth,
+                t_ns,
+            } => {
+                self.open.insert(
+                    (tid, depth),
+                    OpenSpan {
+                        name,
+                        start_ns: t_ns,
+                        flagged: false,
+                    },
+                );
+            }
+            JournalEvent::SpanEnd { tid, depth, .. } => {
+                self.open.remove(&(tid, depth));
+            }
+            JournalEvent::CounterAdd { .. } | JournalEvent::Log { .. } => {}
+        }
+    }
+
+    /// Flags every open span whose active time at `now_ns` exceeds the
+    /// budget and has not been flagged before. Call once per sampler tick.
+    pub fn check(&mut self, now_ns: u64) -> Vec<Stall> {
+        let mut stalls = Vec::new();
+        for (&(tid, _), span) in self.open.iter_mut() {
+            let active_ns = now_ns.saturating_sub(span.start_ns);
+            if !span.flagged && active_ns > self.budget_ns {
+                span.flagged = true;
+                stalls.push(Stall {
+                    name: span.name,
+                    tid,
+                    t_ns: now_ns,
+                    active_ns,
+                    budget_ns: self.budget_ns,
+                });
+            }
+        }
+        stalls
+    }
+
+    /// Forgets all open spans. Called after the journal reports drops: a
+    /// dropped end edge would leave a ghost entry that stalls forever.
+    pub fn clear(&mut self) {
+        self.open.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(name: &'static str, tid: u64, depth: u32, t_ns: u64) -> JournalEvent {
+        JournalEvent::SpanBegin {
+            name,
+            tid,
+            depth,
+            t_ns,
+        }
+    }
+
+    fn end(name: &'static str, tid: u64, depth: u32, t_ns: u64, dur_ns: u64) -> JournalEvent {
+        JournalEvent::SpanEnd {
+            name,
+            tid,
+            depth,
+            t_ns,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn closed_spans_never_stall() {
+        let mut w = Watchdog::new(1_000);
+        w.observe(&begin("sim.run", 0, 0, 0));
+        w.observe(&end("sim.run", 0, 0, 500, 500));
+        assert!(w.check(10_000).is_empty());
+        assert_eq!(w.open_count(), 0);
+    }
+
+    #[test]
+    fn overbudget_open_span_is_flagged_exactly_once() {
+        let mut w = Watchdog::new(1_000);
+        w.observe(&begin("model.search", 3, 0, 100));
+        assert!(w.check(900).is_empty(), "within budget");
+        let stalls = w.check(2_000);
+        assert_eq!(
+            stalls,
+            vec![Stall {
+                name: "model.search",
+                tid: 3,
+                t_ns: 2_000,
+                active_ns: 1_900,
+                budget_ns: 1_000,
+            }]
+        );
+        // Still open and still over budget, but already flagged.
+        assert!(w.check(5_000).is_empty());
+        // A fresh instance of the same span can stall again.
+        w.observe(&end("model.search", 3, 0, 5_500, 5_400));
+        w.observe(&begin("model.search", 3, 0, 6_000));
+        assert_eq!(w.check(10_000).len(), 1);
+    }
+
+    #[test]
+    fn nested_spans_stall_independently() {
+        let mut w = Watchdog::new(1_000);
+        w.observe(&begin("core.pipeline", 0, 0, 0));
+        w.observe(&begin("sim.replay", 0, 1, 200));
+        let stalls = w.check(3_000);
+        assert_eq!(stalls.len(), 2);
+        // Child end clears only the child.
+        w.observe(&end("sim.replay", 0, 1, 3_500, 3_300));
+        assert_eq!(w.open_count(), 1);
+    }
+
+    #[test]
+    fn clear_drops_ghosts_after_journal_loss() {
+        let mut w = Watchdog::new(1_000);
+        w.observe(&begin("agg.join", 1, 0, 0));
+        w.clear();
+        assert_eq!(w.open_count(), 0);
+        assert!(w.check(1_000_000).is_empty());
+    }
+}

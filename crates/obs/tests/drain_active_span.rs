@@ -1,0 +1,100 @@
+//! Regression tests for the interaction between the sampler's periodic
+//! `take_new_spans` and the end-of-run `snapshot`/`drain`: a span guard held
+//! open across snapshot cycles must be neither lost nor double-counted, and
+//! spans already handed to a periodic consumer must still appear exactly
+//! once in the final cumulative drain.
+
+use std::sync::Mutex;
+
+/// Tests in this binary flip the global enabled flag; serialize them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn names_of(spans: &[extradeep_obs::SpanRecord]) -> Vec<&str> {
+    let mut names: Vec<&str> = spans.iter().map(|s| s.name.as_ref()).collect();
+    names.sort_unstable();
+    names
+}
+
+#[test]
+fn guard_held_across_two_snapshot_cycles_is_counted_exactly_once() {
+    let _l = LOCK.lock().unwrap();
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+
+    let held = extradeep_obs::span("dtest.held");
+    {
+        let _a = extradeep_obs::span("dtest.tick1");
+    }
+    // First sampler tick: only the finished span moves out; the held guard
+    // is simply not finished yet.
+    let batch1 = extradeep_obs::take_new_spans();
+    assert_eq!(names_of(&batch1), ["dtest.tick1"]);
+
+    // A cumulative snapshot between ticks must still see the archived span.
+    let mid = extradeep_obs::snapshot();
+    assert_eq!(mid.count("dtest.tick1"), 1);
+    assert_eq!(mid.count("dtest.held"), 0, "open span must not be emitted");
+
+    {
+        let _b = extradeep_obs::span("dtest.tick2");
+    }
+    // Second tick: only what finished since the first tick.
+    let batch2 = extradeep_obs::take_new_spans();
+    assert_eq!(names_of(&batch2), ["dtest.tick2"]);
+
+    drop(held);
+    extradeep_obs::set_enabled(false);
+    let fin = extradeep_obs::drain();
+
+    // The final drain reports everything exactly once: both archived spans
+    // plus the one that closed after the last tick.
+    assert_eq!(fin.count("dtest.tick1"), 1);
+    assert_eq!(fin.count("dtest.tick2"), 1);
+    assert_eq!(fin.count("dtest.held"), 1);
+    assert_eq!(fin.spans.len(), 3);
+
+    // And drain hands the archive over for good: nothing left behind.
+    let empty = extradeep_obs::snapshot();
+    assert_eq!(empty.spans.len(), 0);
+}
+
+#[test]
+fn periodic_batches_and_final_drain_partition_the_spans() {
+    let _l = LOCK.lock().unwrap();
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+
+    let mut taken = Vec::new();
+    for round in 0..3 {
+        for _ in 0..=round {
+            let _s = extradeep_obs::span("dtest.work");
+        }
+        taken.extend(extradeep_obs::take_new_spans());
+    }
+    let open = extradeep_obs::span("dtest.late");
+    drop(open);
+    extradeep_obs::set_enabled(false);
+    let fin = extradeep_obs::drain();
+
+    // 1+2+3 spans were handed out incrementally; the drain still carries all
+    // of them plus the late one — once each.
+    assert_eq!(taken.len(), 6);
+    assert_eq!(fin.count("dtest.work"), 6);
+    assert_eq!(fin.count("dtest.late"), 1);
+}
+
+#[test]
+fn snapshot_between_ticks_does_not_consume_the_archive() {
+    let _l = LOCK.lock().unwrap();
+    extradeep_obs::reset();
+    extradeep_obs::set_enabled(true);
+    {
+        let _s = extradeep_obs::span("dtest.one");
+    }
+    let _ = extradeep_obs::take_new_spans();
+    // Two copying snapshots in a row see the archived span both times.
+    assert_eq!(extradeep_obs::snapshot().count("dtest.one"), 1);
+    assert_eq!(extradeep_obs::snapshot().count("dtest.one"), 1);
+    extradeep_obs::set_enabled(false);
+    assert_eq!(extradeep_obs::drain().count("dtest.one"), 1);
+}

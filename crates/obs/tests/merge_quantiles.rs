@@ -1,0 +1,98 @@
+//! Property tests for histogram merging: merging per-process (or
+//! per-interval) summaries must behave exactly as if the concatenated sample
+//! stream had been recorded into one histogram, and the merged quantiles may
+//! differ from the exact order statistics only by the log₂ bucket
+//! resolution.
+
+use extradeep_obs::metrics::bucket_upper;
+use extradeep_obs::HistogramSummary;
+use proptest::prelude::*;
+
+/// The log₂ bucket a value lands in: 0 for zero, bit length otherwise
+/// (mirrors the recording path in `extradeep_obs::metrics`).
+fn bucket_index(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
+/// Exact order statistic at quantile `q` (the definition the phase report
+/// uses): the value at rank `ceil(q·n)`, clamped to rank ≥ 1.
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Spread across many buckets: zeros, small, mid, and huge values.
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..16,
+            16u64..65_536,
+            65_536u64..=1 << 40,
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    /// Strong form: bucket-wise merge is indistinguishable from recording
+    /// the concatenated stream into a single histogram.
+    #[test]
+    fn merge_equals_concatenated_recording(a in samples(), b in samples()) {
+        let mut merged = HistogramSummary::from_samples("h", &a);
+        merged.merge(&HistogramSummary::from_samples("h", &b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, HistogramSummary::from_samples("h", &all));
+    }
+
+    /// Merge order cannot matter (cross-process roll-up has no natural
+    /// order).
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in samples(), b in samples(), c in samples()
+    ) {
+        let h = |s: &[u64]| HistogramSummary::from_samples("h", s);
+        let mut ab_c = h(&a);
+        ab_c.merge(&h(&b));
+        ab_c.merge(&h(&c));
+        let mut a_bc = h(&b);
+        a_bc.merge(&h(&c));
+        let mut left = h(&a);
+        left.merge(&a_bc);
+        prop_assert_eq!(&ab_c, &left);
+        let mut ba = h(&b);
+        ba.merge(&h(&a));
+        ba.merge(&h(&c));
+        prop_assert_eq!(&ab_c, &ba);
+    }
+
+    /// The merged p50/p95 agree with the exact order statistics of the
+    /// concatenated stream up to one bucket boundary: the reported quantile
+    /// is at least the exact value and at most the upper bound of the exact
+    /// value's bucket (clamped to the observed max).
+    #[test]
+    fn merged_quantiles_within_one_bucket_of_exact(
+        a in samples(), b in samples()
+    ) {
+        prop_assume!(!a.is_empty() || !b.is_empty());
+        let mut merged = HistogramSummary::from_samples("h", &a);
+        merged.merge(&HistogramSummary::from_samples("h", &b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        for (q, got) in [(0.50, merged.p50), (0.95, merged.p95)] {
+            let exact = exact_quantile(&all, q);
+            let upper = bucket_upper(bucket_index(exact)).min(merged.max);
+            prop_assert!(
+                got >= exact && got <= upper,
+                "q={q}: exact {exact} <= reported {got} <= bucket upper {upper} violated"
+            );
+        }
+    }
+}
