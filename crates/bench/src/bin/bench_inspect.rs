@@ -1,0 +1,84 @@
+//! Measures the workload-observatory path (`extradeep inspect`) on the
+//! case-study experiment and records the result in `BENCH_inspect.json`:
+//! per-config timeline analysis time, metric-trend fitting time, and the
+//! end-to-end inspection time, with best-of-batches timing.
+//!
+//! Run with `cargo run --release -p extradeep-bench --bin bench_inspect`.
+//! `--quick` trims the batch count for CI; an optional positional argument
+//! overrides the output path. The perf-history ratchet ingests the timing
+//! metrics (`*_ms`) under the `inspect` prefix.
+
+use extradeep::inspect::{inspect_experiment, InspectOptions};
+use extradeep_sim::ExperimentSpec;
+use extradeep_trace::{analyze_config, ExperimentProfiles};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn fixture() -> ExperimentProfiles {
+    let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+    spec.repetitions = 2;
+    spec.profiler.max_recorded_ranks = 4;
+    spec.run()
+}
+
+/// Best-of-batches wall time of `f`, in seconds.
+fn best_of<T>(batches: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_inspect.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let batches = if quick { 2 } else { 5 };
+
+    let profiles = fixture();
+    let opts = InspectOptions::default();
+
+    // Timeline analysis alone: every per-rank interval merge, step stat,
+    // and critical-path tiling, with no model fitting.
+    let timeline_s = best_of(batches, || {
+        profiles
+            .profiles
+            .iter()
+            .map(|p| analyze_config(p).critical_path_seconds)
+            .sum::<f64>()
+    });
+
+    // End-to-end inspection (timeline + condensation + PMNF trend fits).
+    let inspect_s = best_of(batches, || inspect_experiment(&profiles, &opts));
+    let fit_s = (inspect_s - timeline_s).max(0.0);
+
+    let report = inspect_experiment(&profiles, &opts);
+    let render_s = best_of(batches, || report.render(opts.top).len());
+
+    let body = serde_json::json!({
+        "benchmark": "workload observatory on the case-study experiment",
+        "pipeline": "simulate(5 configs x 2 reps) -> inspect(timeline + trends)",
+        "quick": quick,
+        "timeline_ms": timeline_s * 1e3,
+        "inspect_ms": inspect_s * 1e3,
+        "fit_ms": fit_s * 1e3,
+        "render_ms": render_s * 1e3,
+        "configs": report.configs.len(),
+        "trends": report.trends.len(),
+        "flagged_ranks": report.flagged_ranks,
+    });
+    let pretty = serde_json::to_string_pretty(&body).expect("serialize report");
+    std::fs::write(&out_path, format!("{pretty}\n")).expect("write BENCH_inspect.json");
+    println!("{pretty}");
+    println!("wrote {out_path}");
+}

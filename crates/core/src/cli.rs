@@ -75,7 +75,12 @@ USAGE:
   extradeep calltree --in <file.json> [--top N]
   extradeep compare  --a <file.json> --b <file.json> [--probe RANKS] [--top N]
   extradeep export-chrome --in <file.json> --out <trace.json>
-  extradeep tail     <telemetry.jsonl> [--prometheus]
+  extradeep inspect  [simulate options | --in <file.json>] [--top N]
+                     [--predict RANKS] [--inject-faults <spec>]
+                     [--json <report.json>] [--markdown <report.md>]
+                     [--chrome <trace.json>]
+  extradeep tail     <telemetry.jsonl> [--prometheus] [--follow]
+                     [--poll-ms N] [--idle-timeout-ms N]
 
 GLOBAL FLAGS (any command):
   --profile-self <out.json>   record the pipeline's own spans/counters and
@@ -93,12 +98,12 @@ GLOBAL FLAGS (any command):
   -q, --quiet                 errors only (also suppresses the stdout report)
   --verbose                   debug-level logging on stderr
 
-FAULT INJECTION (pipeline --inject-faults):
+FAULT INJECTION (pipeline/inspect --inject-faults):
   comma-separated key=value spec, e.g.
     --inject-faults 'seed=7,drop-rank=0.25,truncate=0.3,corrupt-json=16'
   keys: seed, drop-rank, truncate, drop-epoch-marks, drop-step-mark,
-        dup-step-mark, clock-skew-ns, straggler, straggler-factor,
-        zero-dur, shuffle-steps, corrupt-json
+        dup-step-mark, clock-skew-ns, straggler, straggler-rank,
+        straggler-factor, zero-dur, shuffle-steps, corrupt-json
 
 Benchmarks: cifar10, cifar100, imagenet, imdb, speech_commands";
 
@@ -284,6 +289,12 @@ fn cmd_doctor(args: &Args) -> Result<String, CliError> {
     let report = validate_at_scales(&models, &spec, &agg, &holdout, &thresholds);
 
     let mut out = report.render(top);
+    // Workload health line: the observatory's one-line verdict on the same
+    // modeling-scale profiles (imbalance, idle, overlap, stragglers), so a
+    // doctor run also flags a sick *workload*, not just a sick model.
+    let inspection =
+        crate::inspect::inspect_experiment(&profiles, &crate::inspect::InspectOptions::default());
+    out.push_str(&format!("{}\n", inspection.health_line()));
     if let Some(path) = args.value("--json") {
         let body =
             serde_json::to_string_pretty(&report).map_err(|e| CliError::Modeling(e.to_string()))?;
@@ -779,14 +790,111 @@ fn cmd_import(args: &Args) -> Result<String, CliError> {
     Ok(format!("Imported {} profiles -> {}", profiles.len(), out))
 }
 
+/// `inspect`: the workload observatory — per-rank compute/communication/
+/// idle breakdown, load-imbalance and straggler attribution, comm/compute
+/// overlap, and the cross-rank critical path per configuration, with PMNF
+/// growth models of those health metrics over scale.
+fn cmd_inspect(args: &Args) -> Result<String, CliError> {
+    let mut opts = crate::inspect::InspectOptions::default();
+    if let Some(t) = args.value("--top") {
+        opts.top = t
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --top '{t}'")))?;
+    }
+    if let Some(p) = args.value("--predict") {
+        opts.predict_at = Some(
+            p.parse()
+                .map_err(|_| CliError::Usage(format!("invalid --predict '{p}'")))?,
+        );
+    }
+    let fault_plan = args
+        .value("--inject-faults")
+        .map(extradeep_sim::FaultPlan::parse)
+        .transpose()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let mut profiles = match args.value("--in") {
+        Some(path) => load_profiles(path)?,
+        None => {
+            let spec = spec_from_args(args)?;
+            extradeep_obs::info!("inspect: simulating {} scales", spec.rank_counts.len());
+            spec.run()
+        }
+    };
+    let mut injected = Vec::new();
+    if let Some(plan) = &fault_plan {
+        let (summary, log) = plan.apply_detailed(&mut profiles);
+        extradeep_obs::warn!("fault injection: {summary}");
+        injected = log.straggler_ranks();
+    }
+    let mut report = crate::inspect::inspect_experiment(&profiles, &opts);
+    report.injected_straggler_ranks = injected;
+
+    let mut out = report.render(opts.top);
+    if let Some(path) = args.value("--json") {
+        let body =
+            serde_json::to_string_pretty(&report).map_err(|e| CliError::Modeling(e.to_string()))?;
+        std::fs::write(path, body)?;
+        out.push_str(&format!("\nJSON report -> {path}\n"));
+    }
+    if let Some(path) = args.value("--markdown") {
+        std::fs::write(path, report.render_markdown())?;
+        out.push_str(&format!("Markdown report -> {path}\n"));
+    }
+    if let Some(path) = args.value("--chrome") {
+        // Annotated Chrome trace of the most skewed configuration's first
+        // repetition: straggler instants plus critical-path flow arrows.
+        if let Some(worst) = report.worst_config() {
+            let profile = profiles
+                .profiles
+                .iter()
+                .find(|p| p.config.id() == worst.config_id);
+            if let Some(profile) = profile {
+                let analysis = extradeep_trace::analyze_config(profile);
+                let ann = extradeep_trace::annotations(profile, &analysis);
+                let body = extradeep_trace::to_chrome_trace_annotated(profile, &ann)
+                    .map_err(|e| CliError::Trace(e.to_string()))?;
+                std::fs::write(path, body)?;
+                out.push_str(&format!(
+                    "Annotated Chrome trace ({}) -> {path}\n",
+                    worst.config_id
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_tail(args: &Args) -> Result<String, CliError> {
     let path = args
         .items
         .iter()
         .find(|a| !a.starts_with("--"))
         .ok_or_else(|| CliError::Usage("tail needs a telemetry file".to_string()))?;
-    let text = std::fs::read_to_string(path)?;
-    let stream = crate::tail::parse_stream(&text);
+    let stream = if args.flag("--follow") {
+        let mut opts = crate::tail::FollowOptions::default();
+        if let Some(ms) = args.value("--poll-ms") {
+            opts.poll_ms = ms
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid --poll-ms '{ms}'")))?;
+        }
+        if let Some(ms) = args.value("--idle-timeout-ms") {
+            opts.idle_timeout_ms = ms
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid --idle-timeout-ms '{ms}'")))?;
+        }
+        crate::tail::follow_stream(std::path::Path::new(path), &opts, |s| {
+            extradeep_obs::info!(
+                "tail: {} record(s), {} snapshot(s), {} span(s) closed",
+                s.lines,
+                s.snapshots.len(),
+                s.spans.len()
+            );
+        })?
+    } else {
+        let text = std::fs::read_to_string(path)?;
+        crate::tail::parse_stream(&text)
+    };
     if args.flag("--prometheus") {
         Ok(extradeep_obs::prometheus_text(&stream.to_snapshot()))
     } else {
@@ -839,7 +947,10 @@ fn extract_global_flags(argv: &[String]) -> (Vec<String>, GlobalFlags) {
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "--profile-self" | "--self-trace" | "--telemetry" | "--telemetry-interval-ms"
+            "--profile-self"
+            | "--self-trace"
+            | "--telemetry"
+            | "--telemetry-interval-ms"
             | "--span-budget-ms"
                 if i + 1 < argv.len() =>
             {
@@ -888,6 +999,7 @@ fn command_span(command: &str) -> &'static str {
         "import" => "core.import",
         "pipeline" => "core.pipeline",
         "doctor" => "core.doctor",
+        "inspect" => "core.inspect",
         "tail" => "core.tail",
         _ => "core.command",
     }
@@ -906,6 +1018,7 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "import" => cmd_import(args),
         "pipeline" => cmd_pipeline(args),
         "doctor" => cmd_doctor(args),
+        "inspect" => cmd_inspect(args),
         "tail" => cmd_tail(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -1237,5 +1350,39 @@ mod tests {
             std::fs::remove_file(p).ok();
         }
         std::fs::remove_file(out_json).ok();
+    }
+
+    #[test]
+    fn inspect_reports_breakdown_and_trends() {
+        let out = run(&argv("inspect --ranks 2,4,6 --reps 1")).unwrap();
+        assert!(out.contains("== Workload observatory =="));
+        assert!(out.contains("Metric growth models"));
+        assert!(out.contains("No straggler candidates flagged."));
+        assert!(out.contains("Per-configuration breakdown"));
+    }
+
+    #[test]
+    fn inspect_names_injected_straggler_and_writes_markdown() {
+        let md = tmp("inspect_report.md");
+        let out = run(&argv(&format!(
+            "inspect --ranks 4,6 --reps 1 \
+             --inject-faults straggler-rank=1,straggler-factor=3 --markdown {md}"
+        )))
+        .unwrap();
+        assert!(out.contains("Straggler candidates flagged: [1]"), "{out}");
+        assert!(out.contains("Injected straggler rank(s): [1]"), "{out}");
+
+        let rendered = std::fs::read_to_string(&md).unwrap();
+        assert!(rendered.contains("# Workload observatory"));
+        assert!(rendered.contains("r1"));
+        std::fs::remove_file(md).ok();
+    }
+
+    #[test]
+    fn inspect_rejects_bad_predict_list() {
+        assert!(matches!(
+            run(&argv("inspect --ranks 2,4 --reps 1 --predict lots")),
+            Err(CliError::Usage(_))
+        ));
     }
 }

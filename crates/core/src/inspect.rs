@@ -1,0 +1,547 @@
+//! The workload observatory: cross-scale imbalance, overlap, and
+//! critical-path analysis of an experiment's traces.
+//!
+//! `trace::timeline` analyzes one configuration profile at a time; this
+//! module runs it over every `(configuration, repetition)` of an
+//! [`ExperimentProfiles`], condenses the per-repetition analyses into
+//! per-configuration medians, and then closes the loop with the paper:
+//! it fits PMNF growth models to the derived health metrics across rank
+//! counts (reusing [`SearchEngine`]), so `extradeep inspect` can answer
+//! not just "is this run imbalanced?" but "does the imbalance *grow* with
+//! scale?" — the question that separates a noisy node from a scalability
+//! bug.
+
+use crate::report::{fmt, pct, Table};
+use extradeep_model::{ModelerOptions, SearchEngine};
+use extradeep_trace::{
+    analyze_config, ExperimentProfiles, KernelImbalance, TimelineAnalysis, SKEW_NOTE_THRESHOLD,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Observatory options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InspectOptions {
+    /// Rows shown in the per-kernel imbalance table.
+    pub top: usize,
+    /// Scale at which metric trends are extrapolated (defaults to 4x the
+    /// largest measured scale).
+    pub predict_at: Option<f64>,
+}
+
+impl Default for InspectOptions {
+    fn default() -> Self {
+        InspectOptions {
+            top: 5,
+            predict_at: None,
+        }
+    }
+}
+
+/// Condensed observatory result for one measurement configuration:
+/// medians across its repetitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigInspection {
+    pub config_id: String,
+    /// First configuration coordinate (the rank count).
+    pub scale: f64,
+    pub repetitions: usize,
+    pub recorded_ranks: usize,
+    pub compute_fraction: f64,
+    pub comm_fraction: f64,
+    pub memory_fraction: f64,
+    pub idle_fraction: f64,
+    pub overlap_fraction: f64,
+    /// Median (across reps) of the median per-step skew.
+    pub step_skew: f64,
+    pub max_step_skew: f64,
+    pub critical_path_seconds: f64,
+    pub critical_path_inflation: f64,
+    pub max_span_seconds: f64,
+    /// Rank with the largest accumulated step excess (summed over reps),
+    /// with that total — the configuration's straggler candidate.
+    pub top_rank: Option<u32>,
+    pub top_rank_excess_seconds: f64,
+    /// Worst kernels by cross-rank excess (from the first repetition).
+    pub top_kernels: Vec<KernelImbalance>,
+}
+
+/// A PMNF growth model fitted to one observatory metric across scales.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricTrend {
+    pub metric: String,
+    /// Human-readable fitted function, or the reason no model exists.
+    pub function: String,
+    pub big_o: Option<String>,
+    /// `(scale, median value)` per configuration, ascending by scale.
+    pub per_config: Vec<(f64, f64)>,
+    /// `(scale, predicted value)` at the extrapolation point.
+    pub prediction: Option<(f64, f64)>,
+    /// Whether the fitted model keeps growing past the measured range
+    /// (>5% increase from the largest measured scale to the prediction
+    /// point) — the "does imbalance grow with rank count?" verdict.
+    pub growing: bool,
+}
+
+/// The full observatory report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InspectionReport {
+    pub configs: Vec<ConfigInspection>,
+    pub trends: Vec<MetricTrend>,
+    /// Ranks flagged as straggler candidates: top imbalance contributor of
+    /// a configuration whose worst step skew clears the overlay threshold.
+    pub flagged_ranks: Vec<u32>,
+    /// Filled by the CLI when `--inject-faults` targeted specific ranks,
+    /// so artifacts carry injected-vs-flagged side by side (the CI smoke
+    /// job asserts they agree).
+    pub injected_straggler_ranks: Vec<u32>,
+}
+
+fn median_of(mut values: Vec<f64>) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+/// The metrics the observatory fits growth models to, with extractors.
+const METRICS: &[(&str, fn(&TimelineAnalysis) -> f64)] = &[
+    ("step_skew", |a| a.step_skew),
+    ("max_step_skew", |a| a.max_step_skew),
+    ("overlap_fraction", |a| a.overlap_fraction),
+    ("comm_fraction", |a| a.comm_fraction),
+    ("idle_fraction", |a| a.idle_fraction),
+    ("critical_path_s", |a| a.critical_path_seconds),
+    ("cp_inflation", |a| a.critical_path_inflation()),
+];
+
+/// The observatory's modeler: the app-model search options (strong-scaling
+/// search space, at most two terms) work for derived metric series too.
+fn trend_modeler() -> ModelerOptions {
+    let mut opts = ModelerOptions::strong_scaling();
+    opts.search_space = opts.search_space.with_max_terms(2);
+    opts
+}
+
+fn condense(
+    config_id: String,
+    scale: f64,
+    analyses: &[TimelineAnalysis],
+    top: usize,
+) -> ConfigInspection {
+    let med = |f: fn(&TimelineAnalysis) -> f64| median_of(analyses.iter().map(f).collect());
+    // Straggler candidate: the rank with the largest step excess summed
+    // over repetitions (robust against a single noisy rep).
+    let mut excess: BTreeMap<u32, f64> = BTreeMap::new();
+    for a in analyses {
+        for r in &a.rank_excess {
+            *excess.entry(r.rank).or_insert(0.0) += r.excess_seconds;
+        }
+    }
+    let top_entry = excess
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&r, &e)| (r, e));
+    let top_kernels = analyses
+        .first()
+        .map(|a| a.kernels.iter().take(top).cloned().collect())
+        .unwrap_or_default();
+    ConfigInspection {
+        config_id,
+        scale,
+        repetitions: analyses.len(),
+        recorded_ranks: analyses.first().map(|a| a.ranks.len()).unwrap_or(0),
+        compute_fraction: med(|a| a.compute_fraction),
+        comm_fraction: med(|a| a.comm_fraction),
+        memory_fraction: med(|a| a.memory_fraction),
+        idle_fraction: med(|a| a.idle_fraction),
+        overlap_fraction: med(|a| a.overlap_fraction),
+        step_skew: med(|a| a.step_skew),
+        max_step_skew: med(|a| a.max_step_skew),
+        critical_path_seconds: med(|a| a.critical_path_seconds),
+        critical_path_inflation: med(|a| a.critical_path_inflation()),
+        max_span_seconds: med(|a| a.max_span_seconds),
+        top_rank: top_entry.map(|(r, _)| r),
+        top_rank_excess_seconds: top_entry.map(|(_, e)| e).unwrap_or(0.0),
+        top_kernels,
+    }
+}
+
+/// Runs the observatory over an experiment: per-config timeline analyses,
+/// condensed medians, straggler flags, and cross-scale metric trends.
+pub fn inspect_experiment(
+    profiles: &ExperimentProfiles,
+    options: &InspectOptions,
+) -> InspectionReport {
+    let _span = extradeep_obs::span("core.inspect_experiment");
+    // Analyses grouped by configuration, keyed by id (scales can repeat
+    // across parameterizations; ids cannot).
+    let mut by_config: BTreeMap<String, (f64, Vec<TimelineAnalysis>)> = BTreeMap::new();
+    let mut total_ranks = 0u64;
+    for p in &profiles.profiles {
+        let a = analyze_config(p);
+        total_ranks += a.ranks.len() as u64;
+        by_config
+            .entry(p.config.id())
+            .or_insert_with(|| (a.scale, Vec::new()))
+            .1
+            .push(a);
+    }
+    extradeep_obs::counter("inspect.configs").add(by_config.len() as u64);
+    extradeep_obs::counter("inspect.ranks").add(total_ranks);
+
+    let mut configs: Vec<ConfigInspection> = by_config
+        .iter()
+        .map(|(id, (scale, analyses))| condense(id.clone(), *scale, analyses, options.top))
+        .collect();
+    configs.sort_by(|a, b| {
+        a.scale
+            .total_cmp(&b.scale)
+            .then(a.config_id.cmp(&b.config_id))
+    });
+
+    let mut flagged: Vec<u32> = configs
+        .iter()
+        .filter(|c| c.max_step_skew >= SKEW_NOTE_THRESHOLD)
+        .filter_map(|c| c.top_rank)
+        .collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+
+    // --- Metric trends across scales. ---
+    let scales: Vec<f64> = configs.iter().map(|c| c.scale).collect();
+    let max_scale = scales.iter().copied().fold(0.0, f64::max);
+    let predict_at = options.predict_at.unwrap_or(max_scale * 4.0);
+    let engine = SearchEngine::new(trend_modeler());
+    let trends = {
+        let _span = extradeep_obs::span("core.inspect_trends");
+        METRICS
+            .iter()
+            .map(|&(name, extract)| {
+                let points: Vec<(f64, Vec<f64>)> = by_config
+                    .values()
+                    .map(|(scale, analyses)| (*scale, analyses.iter().map(extract).collect()))
+                    .collect();
+                let per_config: Vec<(f64, f64)> = configs
+                    .iter()
+                    .map(|c| {
+                        let (_, analyses) = &by_config[&c.config_id];
+                        (c.scale, median_of(analyses.iter().map(extract).collect()))
+                    })
+                    .collect();
+                match engine.model_series("ranks", &points) {
+                    Ok(model) => {
+                        let at_max = model.predict_at(max_scale);
+                        let predicted = model.predict_at(predict_at);
+                        MetricTrend {
+                            metric: name.to_string(),
+                            function: model.formatted(),
+                            big_o: Some(model.big_o()),
+                            per_config,
+                            prediction: Some((predict_at, predicted)),
+                            growing: predicted > at_max * 1.05 + 1e-12,
+                        }
+                    }
+                    Err(e) => MetricTrend {
+                        metric: name.to_string(),
+                        function: format!("unmodelable ({e})"),
+                        big_o: None,
+                        per_config,
+                        prediction: None,
+                        growing: false,
+                    },
+                }
+            })
+            .collect()
+    };
+
+    InspectionReport {
+        configs,
+        trends,
+        flagged_ranks: flagged,
+        injected_straggler_ranks: Vec::new(),
+    }
+}
+
+impl InspectionReport {
+    /// The worst configuration by maximum step skew (for trace overlays).
+    pub fn worst_config(&self) -> Option<&ConfigInspection> {
+        self.configs
+            .iter()
+            .max_by(|a, b| a.max_step_skew.total_cmp(&b.max_step_skew))
+    }
+
+    /// One-line workload-health summary (the doctor report hook).
+    pub fn health_line(&self) -> String {
+        let skew = median_of(self.configs.iter().map(|c| c.step_skew).collect());
+        let idle = median_of(self.configs.iter().map(|c| c.idle_fraction).collect());
+        let overlap = median_of(self.configs.iter().map(|c| c.overlap_fraction).collect());
+        let stragglers = if self.flagged_ranks.is_empty() {
+            "no straggler".to_string()
+        } else {
+            format!("straggler rank(s) {:?}", self.flagged_ranks)
+        };
+        format!(
+            "Workload: median step skew {skew:.2}x, idle {}, comm overlap {}, {stragglers}",
+            pct(idle * 100.0),
+            pct(overlap * 100.0)
+        )
+    }
+
+    /// Renders the terminal report.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str("== Workload observatory ==\n\n");
+        out.push_str("Per-configuration breakdown (medians across repetitions):\n");
+        let mut t = Table::new(&[
+            "config",
+            "ranks",
+            "comm %",
+            "idle %",
+            "overlap %",
+            "step skew",
+            "max skew",
+            "crit path [s]",
+            "cp infl",
+            "straggler",
+        ]);
+        for c in &self.configs {
+            t.add_row(vec![
+                c.config_id.clone(),
+                fmt(c.scale, 0),
+                pct(c.comm_fraction * 100.0),
+                pct(c.idle_fraction * 100.0),
+                pct(c.overlap_fraction * 100.0),
+                format!("{:.2}x", c.step_skew),
+                format!("{:.2}x", c.max_step_skew),
+                fmt(c.critical_path_seconds, 3),
+                format!("{:.2}x", c.critical_path_inflation),
+                c.top_rank
+                    .map(|r| format!("r{r}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+        out.push_str(&t.render());
+
+        out.push_str("\nMetric growth models (PMNF over rank count):\n");
+        let mut t = Table::new(&["metric", "model", "growth", "predicted", "growing?"]);
+        for tr in &self.trends {
+            t.add_row(vec![
+                tr.metric.clone(),
+                tr.function.clone(),
+                tr.big_o.clone().unwrap_or_else(|| "-".to_string()),
+                tr.prediction
+                    .map(|(at, v)| format!("{v:.3} @ {at:.0}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                if tr.growing { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+
+        if let Some(worst) = self.worst_config() {
+            if !worst.top_kernels.is_empty() {
+                out.push_str(&format!(
+                    "\nWorst kernels by cross-rank excess ({}):\n",
+                    worst.config_id
+                ));
+                let mut t = Table::new(&["kernel", "median [s]", "max [s]", "skew", "rank"]);
+                for k in worst.top_kernels.iter().take(top) {
+                    t.add_row(vec![
+                        k.name.clone(),
+                        fmt(k.median_seconds, 4),
+                        fmt(k.max_seconds, 4),
+                        format!("{:.2}x", k.skew),
+                        format!("r{}", k.slowest_rank),
+                    ]);
+                }
+                out.push_str(&t.render());
+            }
+        }
+
+        out.push('\n');
+        if !self.injected_straggler_ranks.is_empty() {
+            out.push_str(&format!(
+                "Injected straggler rank(s): {:?}\n",
+                self.injected_straggler_ranks
+            ));
+        }
+        if self.flagged_ranks.is_empty() {
+            out.push_str("No straggler candidates flagged.\n");
+        } else {
+            out.push_str(&format!(
+                "Straggler candidates flagged: {:?}\n",
+                self.flagged_ranks
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as Markdown (the `--markdown` artifact).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Workload observatory\n\n");
+        out.push_str("## Per-configuration breakdown\n\n");
+        out.push_str(
+            "| Config | Ranks | Comm % | Idle % | Overlap % | Step skew | Max skew | \
+             Critical path [s] | CP inflation | Straggler |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+        for c in &self.configs {
+            out.push_str(&format!(
+                "| {} | {:.0} | {} | {} | {} | {:.2}x | {:.2}x | {:.3} | {:.2}x | {} |\n",
+                c.config_id,
+                c.scale,
+                pct(c.comm_fraction * 100.0),
+                pct(c.idle_fraction * 100.0),
+                pct(c.overlap_fraction * 100.0),
+                c.step_skew,
+                c.max_step_skew,
+                c.critical_path_seconds,
+                c.critical_path_inflation,
+                c.top_rank
+                    .map(|r| format!("r{r}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ));
+        }
+        out.push_str("\n## Metric growth models\n\n");
+        out.push_str("| Metric | Model | Growth | Predicted | Growing? |\n|---|---|---|---|---|\n");
+        for tr in &self.trends {
+            out.push_str(&format!(
+                "| {} | `{}` | {} | {} | {} |\n",
+                tr.metric,
+                tr.function,
+                tr.big_o.as_deref().unwrap_or("-"),
+                tr.prediction
+                    .map(|(at, v)| format!("{v:.3} @ {at:.0}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                if tr.growing { "yes" } else { "no" },
+            ));
+        }
+        out.push('\n');
+        if !self.injected_straggler_ranks.is_empty() {
+            out.push_str(&format!(
+                "Injected straggler rank(s): {:?}\n\n",
+                self.injected_straggler_ranks
+            ));
+        }
+        if self.flagged_ranks.is_empty() {
+            out.push_str("No straggler candidates flagged.\n");
+        } else {
+            out.push_str(&format!(
+                "Straggler candidates flagged: {:?}\n",
+                self.flagged_ranks
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extradeep_sim::ExperimentSpec;
+
+    fn experiment(reps: u32) -> ExperimentProfiles {
+        let mut spec = ExperimentSpec::case_study(vec![2, 4, 6, 8, 10]);
+        spec.repetitions = reps;
+        spec.profiler.max_recorded_ranks = 4;
+        spec.run()
+    }
+
+    #[test]
+    fn inspects_every_configuration_and_fits_trends() {
+        let report = inspect_experiment(&experiment(2), &InspectOptions::default());
+        assert_eq!(report.configs.len(), 5);
+        assert!(report.configs.windows(2).all(|w| w[0].scale <= w[1].scale));
+        for c in &report.configs {
+            assert_eq!(c.repetitions, 2);
+            assert!(c.comm_fraction > 0.0, "{}: no communication", c.config_id);
+            assert!(c.step_skew >= 1.0);
+            assert!(c.critical_path_seconds > 0.0);
+            assert!(!c.top_kernels.is_empty());
+        }
+        assert_eq!(report.trends.len(), METRICS.len());
+        // Communication share grows with scale in the weak-scaling case
+        // study, and five scales are enough to model it.
+        let comm = report
+            .trends
+            .iter()
+            .find(|t| t.metric == "comm_fraction")
+            .unwrap();
+        assert!(
+            comm.big_o.is_some(),
+            "comm trend unmodelable: {}",
+            comm.function
+        );
+        assert_eq!(comm.per_config.len(), 5);
+    }
+
+    #[test]
+    fn clean_runs_flag_no_stragglers_and_render() {
+        let report = inspect_experiment(&experiment(1), &InspectOptions::default());
+        // BSP with the default noise profile stays well under the 1.2x
+        // overlay threshold at these scales.
+        assert!(
+            report.flagged_ranks.is_empty(),
+            "{:?}",
+            report.flagged_ranks
+        );
+        let text = report.render(5);
+        assert!(text.contains("Workload observatory"));
+        assert!(text.contains("step skew"));
+        assert!(text.contains("No straggler candidates"));
+        let md = report.render_markdown();
+        assert!(md.starts_with("# Workload observatory"));
+        assert!(md.contains("| Metric | Model |"));
+        assert!(report.health_line().contains("median step skew"));
+    }
+
+    #[test]
+    fn injected_straggler_is_flagged_and_attributed() {
+        let mut profiles = experiment(1);
+        let plan = extradeep_sim::FaultPlan {
+            straggler_rank: Some(1),
+            straggler_factor: 3.0,
+            ..Default::default()
+        };
+        let (_, log) = plan.apply_detailed(&mut profiles);
+        let mut report = inspect_experiment(&profiles, &InspectOptions::default());
+        report.injected_straggler_ranks = log.straggler_ranks();
+        assert_eq!(report.injected_straggler_ranks, vec![1]);
+        assert_eq!(report.flagged_ranks, vec![1], "straggler not attributed");
+        for c in &report.configs {
+            assert_eq!(c.top_rank, Some(1), "{}", c.config_id);
+            // With two ranks the median is the midpoint of fast and slow, so
+            // a 3x straggler caps the skew at 1.5; three or more recorded
+            // ranks keep the median at the fast side and the skew near 3x.
+            let floor = if c.scale > 2.0 { 2.0 } else { 1.4 };
+            assert!(
+                c.max_step_skew > floor,
+                "{}: skew {}",
+                c.config_id,
+                c.max_step_skew
+            );
+        }
+        let text = report.render(5);
+        assert!(text.contains("Straggler candidates flagged: [1]"));
+        assert!(text.contains("Injected straggler rank(s): [1]"));
+    }
+
+    #[test]
+    fn empty_experiment_degrades_gracefully() {
+        let report = inspect_experiment(&ExperimentProfiles::new(), &InspectOptions::default());
+        assert!(report.configs.is_empty());
+        assert!(report.flagged_ranks.is_empty());
+        assert!(report.worst_config().is_none());
+        // Trends exist but are unmodelable on zero points.
+        assert!(report.trends.iter().all(|t| t.big_o.is_none()));
+        let _ = report.render(5);
+        let _ = report.render_markdown();
+    }
+}

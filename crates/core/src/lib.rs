@@ -37,6 +37,7 @@ pub mod cli;
 pub mod doctor;
 pub mod evaluate;
 pub mod experiment;
+pub mod inspect;
 pub mod modelset;
 pub mod persist;
 pub mod questions;
@@ -62,10 +63,13 @@ pub use doctor::{
 };
 pub use evaluate::{mpe, mpe_at_scale, point_errors, AccuracyReport, PointError};
 pub use experiment::{deep_point_sets, jureca_point_sets, ExperimentOutcome, ExperimentPlan};
+pub use inspect::{
+    inspect_experiment, ConfigInspection, InspectOptions, InspectionReport, MetricTrend,
+};
 pub use modelset::{build_app_models, build_model_set, AppModels, ModelSet, ModelSetOptions};
 pub use persist::{load_models, models_from_json, models_to_json, save_models, PersistError};
 pub use selfprofile::{self_profile_config, self_profile_experiment, SELF_PARAMETER};
-pub use tail::{parse_stream, TelemetryStream};
+pub use tail::{follow_stream, parse_stream, FollowOptions, TelemetryStream};
 
 /// Common imports for downstream users.
 pub mod prelude {

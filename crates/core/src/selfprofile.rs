@@ -85,8 +85,9 @@ pub fn self_profile_config(snap: &Snapshot, work: f64, repetition: u32) -> Confi
         }
         // `visits` carries the counter reading; `with_visits` clamps to ≥ 1,
         // which is fine here since zero counters are skipped above.
-        rank.events
-            .push(Event::new(c.name.as_str(), ApiDomain::Nvtx, content_end, 1).with_visits(c.value));
+        rank.events.push(
+            Event::new(c.name.as_str(), ApiDomain::Nvtx, content_end, 1).with_visits(c.value),
+        );
     }
     let step_end = content_end + PAD_NS;
 

@@ -101,10 +101,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
         }
     }
 
@@ -243,7 +240,8 @@ impl<'a> Parser<'a> {
         let hi = self.hex4()?;
         if (0xD800..0xDC00).contains(&hi) {
             // Surrogate pair: expect "\uXXXX" low half.
-            if self.bytes.get(self.pos) == Some(&b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u')
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
             {
                 self.pos += 2;
                 let lo = self.hex4()?;
@@ -386,13 +384,26 @@ fn snapshot_rec_from_json(v: &Json) -> Option<SnapshotRec> {
 pub fn parse_stream(text: &str) -> TelemetryStream {
     let mut out = TelemetryStream::default();
     for line in text.lines() {
+        out.ingest_line(line);
+    }
+    out
+}
+
+impl TelemetryStream {
+    /// Feeds one line into the stream. This is the incremental core behind
+    /// [`parse_stream`] and the live [`follow_stream`] path: a follower holds
+    /// back the partial trailing line of a growing file and only ingests
+    /// complete lines, so truncation noise shows up as `malformed_lines`
+    /// exactly once (at end of stream) instead of once per poll.
+    pub fn ingest_line(&mut self, line: &str) {
+        let out = self;
         if line.trim().is_empty() {
-            continue;
+            return;
         }
         out.lines += 1;
         let Ok(v) = Json::parse(line) else {
             out.malformed_lines += 1;
-            continue;
+            return;
         };
         let parsed = match v.get("type").and_then(Json::as_str) {
             Some("meta") => (|| {
@@ -481,7 +492,91 @@ pub fn parse_stream(text: &str) -> TelemetryStream {
             out.malformed_lines += 1;
         }
     }
-    out
+}
+
+// --- Live follow mode ----------------------------------------------------
+
+/// Polling parameters for [`follow_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowOptions {
+    /// How often to re-stat the file for growth, in milliseconds.
+    pub poll_ms: u64,
+    /// Stop once the file has not grown for this long, in milliseconds. The
+    /// sampler flushes every interval, so any live run keeps the file
+    /// growing; a quiet file means the run is over (or hung — either way
+    /// there is nothing more to stream).
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for FollowOptions {
+    fn default() -> Self {
+        Self {
+            poll_ms: 200,
+            idle_timeout_ms: 2000,
+        }
+    }
+}
+
+/// Follows a telemetry file that may still be written to: polls for growth,
+/// ingests complete lines as they appear, and returns once the file stays
+/// idle for `idle_timeout_ms`. A file that shrinks (rotation, truncation)
+/// resets the stream and re-reads from the start. A partial trailing line is
+/// buffered across polls and only force-ingested at the very end, so a
+/// record split across two flushes is parsed whole.
+///
+/// `on_batch` is invoked with the stream after every poll that made
+/// progress — the CLI uses it for a live one-line status.
+pub fn follow_stream(
+    path: &std::path::Path,
+    opts: &FollowOptions,
+    mut on_batch: impl FnMut(&TelemetryStream),
+) -> std::io::Result<TelemetryStream> {
+    use std::io::{Read, Seek, SeekFrom};
+
+    let mut stream = TelemetryStream::default();
+    let mut offset: u64 = 0;
+    let mut pending = String::new();
+    let mut last_growth = std::time::Instant::now();
+    let idle = std::time::Duration::from_millis(opts.idle_timeout_ms);
+    loop {
+        let len = match std::fs::metadata(path) {
+            Ok(m) => m.len(),
+            // The file may not exist yet (follower started before the run);
+            // treat as empty and keep polling until the idle timeout.
+            Err(_) => 0,
+        };
+        if len < offset {
+            // Truncated or rotated underneath us: start over.
+            offset = 0;
+            pending.clear();
+            stream = TelemetryStream::default();
+        }
+        if len > offset {
+            let mut file = std::fs::File::open(path)?;
+            file.seek(SeekFrom::Start(offset))?;
+            let mut buf = Vec::new();
+            file.read_to_end(&mut buf)?;
+            offset += buf.len() as u64;
+            pending.push_str(&String::from_utf8_lossy(&buf));
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                stream.ingest_line(line.trim_end_matches(['\n', '\r']));
+            }
+            last_growth = std::time::Instant::now();
+            on_batch(&stream);
+        } else if last_growth.elapsed() >= idle {
+            break;
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(opts.poll_ms.max(1)));
+        }
+    }
+    if !pending.trim().is_empty() {
+        // The writer stopped mid-line; ingest the fragment so it is counted
+        // (usually as one malformed line), matching parse_stream on the same
+        // final bytes.
+        stream.ingest_line(pending.trim_end_matches(['\n', '\r']));
+    }
+    Ok(stream)
 }
 
 impl TelemetryStream {
@@ -562,7 +657,11 @@ impl TelemetryStream {
             None => out.push_str("Telemetry stream: (no meta record)\n"),
         }
         let dur_s = ns_to_secs(self.duration_ns());
-        let dropped = self.snapshots.last().map(|s| s.journal_dropped).unwrap_or(0);
+        let dropped = self
+            .snapshots
+            .last()
+            .map(|s| s.journal_dropped)
+            .unwrap_or(0);
         out.push_str(&format!(
             "{} records over {:.2} s: {} snapshots, {} samples, {} spans closed ({} open), {} journal event(s) dropped\n",
             self.lines,
@@ -596,13 +695,14 @@ impl TelemetryStream {
                 ));
             }
         }
-        let (errors, warns) = self.logs.iter().fold((0usize, 0usize), |(e, w), l| {
-            match l.level.as_str() {
-                "error" => (e + 1, w),
-                "warn" => (e, w + 1),
-                _ => (e, w),
-            }
-        });
+        let (errors, warns) =
+            self.logs
+                .iter()
+                .fold((0usize, 0usize), |(e, w), l| match l.level.as_str() {
+                    "error" => (e + 1, w),
+                    "warn" => (e, w + 1),
+                    _ => (e, w),
+                });
         if errors + warns > 0 {
             out.push_str(&format!("\nLogs: {errors} error(s), {warns} warning(s)\n"));
         }
@@ -700,11 +800,7 @@ impl TelemetryStream {
         }
         if !util.is_empty() {
             let avg = util.iter().sum::<f64>() / util.len() as f64;
-            out.push_str(&format!(
-                "  CPU     {} avg {:.0}%\n",
-                sparkline(&util),
-                avg
-            ));
+            out.push_str(&format!("  CPU     {} avg {:.0}%\n", sparkline(&util), avg));
         }
         if let Some(last) = self.samples.last() {
             out.push_str(&format!("  Threads {}\n", last.threads));
@@ -870,6 +966,107 @@ mod tests {
         // Constant input renders mid-level cells, and long input resamples.
         assert!(sparkline(&[5.0; 3]).chars().all(|c| c == '▅'));
         assert!(sparkline(&vec![1.0; 500]).chars().count() <= 48);
+    }
+
+    #[test]
+    fn follow_reads_a_growing_file_including_split_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "extradeep-tail-follow-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let full = demo_stream();
+        let writer = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                use std::io::Write;
+                // Append in chunks that deliberately split a record across
+                // two flushes, like a sampler flush racing the reader.
+                let bytes = full.as_bytes();
+                let cuts = [bytes.len() / 3, bytes.len() / 3 + 40, 2 * bytes.len() / 3];
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap();
+                let mut done = 0;
+                for cut in cuts.into_iter().chain([bytes.len()]) {
+                    file.write_all(&bytes[done..cut]).unwrap();
+                    file.flush().unwrap();
+                    done = cut;
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+            })
+        };
+        let opts = FollowOptions {
+            poll_ms: 5,
+            idle_timeout_ms: 400,
+        };
+        let mut batches = 0;
+        let live = follow_stream(&path, &opts, |_| batches += 1).unwrap();
+        writer.join().unwrap();
+        let whole = parse_stream(&demo_stream());
+        assert!(batches >= 2, "saw only {batches} growth batches");
+        assert_eq!(live.lines, whole.lines);
+        assert_eq!(live.spans.len(), whole.spans.len());
+        assert_eq!(live.snapshots.len(), whole.snapshots.len());
+        assert_eq!(live.malformed_lines, whole.malformed_lines);
+        assert_eq!(live.counter_deltas, whole.counter_deltas);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn follow_restarts_after_truncation() {
+        let path = std::env::temp_dir().join(format!(
+            "extradeep-tail-trunc-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, demo_stream()).unwrap();
+        let writer = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                // Rotate: replace the long stream with a two-line one.
+                std::fs::write(
+                    &path,
+                    concat!(
+                        r#"{"type":"meta","version":1,"pid":9,"interval_ms":50,"journal_capacity":64}"#,
+                        "\n",
+                        r#"{"type":"counter","name":"x","delta":7,"t_ns":10}"#,
+                        "\n"
+                    ),
+                )
+                .unwrap();
+            })
+        };
+        let opts = FollowOptions {
+            poll_ms: 5,
+            idle_timeout_ms: 300,
+        };
+        let live = follow_stream(&path, &opts, |_| {}).unwrap();
+        writer.join().unwrap();
+        assert_eq!(live.meta.as_ref().unwrap().pid, 9);
+        assert_eq!(live.lines, 2);
+        assert_eq!(live.counter_deltas["x"], 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn follow_on_missing_file_times_out_empty() {
+        let path = std::env::temp_dir().join(format!(
+            "extradeep-tail-missing-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let opts = FollowOptions {
+            poll_ms: 5,
+            idle_timeout_ms: 50,
+        };
+        let live = follow_stream(&path, &opts, |_| {}).unwrap();
+        assert_eq!(live.lines, 0);
+        assert!(live.meta.is_none());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Acceptance tests for the workload observatory (`extradeep inspect`):
+//!
+//! 1. On noise-free traces, the timeline analysis must agree with the
+//!    simulator's *analytic* activity oracle — critical path and overlap
+//!    within 5% (in practice they match to floating-point precision,
+//!    because the quiet profiler replays the same schedule the oracle
+//!    integrates).
+//! 2. With a targeted straggler injected on a known rank, the inspection
+//!    must name that rank as the top imbalance contributor, and its
+//!    per-step skew must exceed the clean-run value by at least 1.5x.
+
+use extradeep::inspect::{inspect_experiment, InspectOptions};
+use extradeep_sim::{
+    activity_estimate, Benchmark, ExperimentSpec, FaultPlan, NoiseProfile, ParallelStrategy,
+    ScalingMode, SyncMode, SystemConfig, TrainingJob,
+};
+use extradeep_trace::analyze_config;
+
+fn quiet_spec(sync: SyncMode, ranks: Vec<u32>) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::case_study(ranks);
+    spec.system.noise = NoiseProfile::quiet();
+    spec.sync = sync;
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 4;
+    spec
+}
+
+fn job_for(spec: &ExperimentSpec, ranks: u32) -> TrainingJob {
+    TrainingJob {
+        system: spec.system.clone(),
+        benchmark: spec.benchmark.clone(),
+        strategy: spec.strategy,
+        scaling: spec.scaling,
+        sync: spec.sync,
+        ranks,
+    }
+}
+
+/// `|measured - truth|` must stay within 5% of the truth (absolute floor
+/// for quantities whose true value is zero, e.g. BSP overlap).
+fn assert_within_5pct(measured: f64, truth: f64, what: &str) {
+    let tol = (truth.abs() * 0.05).max(1e-9);
+    assert!(
+        (measured - truth).abs() <= tol,
+        "{what}: measured {measured} vs analytic {truth} (tolerance {tol})"
+    );
+}
+
+#[test]
+fn clean_traces_match_analytic_critical_path_and_overlap() {
+    for sync in [SyncMode::Bsp, SyncMode::Asp] {
+        let spec = quiet_spec(sync, vec![2, 4, 8]);
+        let profiles = spec.run();
+        assert_eq!(profiles.len(), 3);
+        for profile in &profiles.profiles {
+            let ranks = profile.config.parameters[0].1 as u32;
+            let truth = activity_estimate(&job_for(&spec, ranks), &spec.profiler);
+            let analysis = analyze_config(profile);
+            assert_within_5pct(
+                analysis.critical_path_seconds,
+                truth.critical_path_seconds,
+                &format!("{sync:?} x{ranks} critical path"),
+            );
+            assert_within_5pct(
+                analysis.overlap_fraction,
+                truth.overlap_fraction,
+                &format!("{sync:?} x{ranks} overlap fraction"),
+            );
+            assert_within_5pct(
+                analysis.idle_fraction * analysis.max_span_seconds,
+                truth.idle_seconds,
+                &format!("{sync:?} x{ranks} idle seconds"),
+            );
+        }
+        // ASP actually hides communication behind compute; BSP does not.
+        let report = inspect_experiment(&profiles, &InspectOptions::default());
+        let overlap = report
+            .trends
+            .iter()
+            .find(|t| t.metric == "overlap_fraction")
+            .unwrap();
+        let mean: f64 = overlap.per_config.iter().map(|(_, v)| v).sum::<f64>()
+            / overlap.per_config.len() as f64;
+        match sync {
+            SyncMode::Asp => assert!(mean > 0.01, "ASP should overlap: {mean}"),
+            SyncMode::Bsp => assert!(mean.abs() < 1e-9, "BSP must not overlap: {mean}"),
+        }
+    }
+}
+
+#[test]
+fn injected_straggler_is_named_and_inflates_step_skew() {
+    let mut spec = ExperimentSpec::case_study(vec![4, 6, 8]);
+    spec.repetitions = 1;
+    spec.profiler.max_recorded_ranks = 4;
+    let clean = spec.run();
+    let mut struck = clean.clone();
+    let plan = FaultPlan {
+        straggler_rank: Some(1),
+        straggler_factor: 3.0,
+        ..Default::default()
+    };
+    let (_, log) = plan.apply_detailed(&mut struck);
+    assert_eq!(log.straggler_ranks(), vec![1]);
+
+    let clean_report = inspect_experiment(&clean, &InspectOptions::default());
+    let mut report = inspect_experiment(&struck, &InspectOptions::default());
+    report.injected_straggler_ranks = log.straggler_ranks();
+
+    assert_eq!(report.flagged_ranks, vec![1], "straggler not attributed");
+    for (c, base) in report.configs.iter().zip(&clean_report.configs) {
+        assert_eq!(c.config_id, base.config_id);
+        assert_eq!(
+            c.top_rank,
+            Some(1),
+            "{}: top contributor should be the injected rank",
+            c.config_id
+        );
+        assert!(
+            c.max_step_skew >= 1.5 * base.max_step_skew,
+            "{}: skew {} not >= 1.5x clean {}",
+            c.config_id,
+            c.max_step_skew,
+            base.max_step_skew
+        );
+        // The slowdown must also surface on the critical path: the struck
+        // run's path runs through rank 1's inflated steps.
+        assert!(c.critical_path_seconds > base.critical_path_seconds);
+    }
+    // Sanity on the fixture: with quiet faults off, the clean run is
+    // balanced and flags nobody.
+    assert!(clean_report.flagged_ranks.is_empty());
+}
+
+#[test]
+fn oracle_stays_exact_under_both_benchmark_shapes() {
+    // The 5% criterion above is deliberately loose; on quiet traces the
+    // simulated span itself must match the oracle almost exactly, for a
+    // second benchmark shape too (different plan mix: imdb has attention /
+    // embedding kernels and a different validation split).
+    for benchmark in [Benchmark::cifar10(), Benchmark::imdb()] {
+        let mut system = SystemConfig::deep();
+        system.noise = NoiseProfile::quiet();
+        let job = TrainingJob {
+            system,
+            benchmark,
+            strategy: ParallelStrategy::DataParallel,
+            scaling: ScalingMode::Weak,
+            sync: SyncMode::Bsp,
+            ranks: 4,
+        };
+        let mut spec = ExperimentSpec::case_study(vec![4]);
+        spec.system = job.system.clone();
+        spec.benchmark = job.benchmark.clone();
+        spec.repetitions = 1;
+        let profiles = spec.run();
+        let truth = activity_estimate(&job, &spec.profiler);
+        let analysis = analyze_config(&profiles.profiles[0]);
+        let rel = (analysis.critical_path_seconds - truth.critical_path_seconds).abs()
+            / truth.critical_path_seconds;
+        assert!(
+            rel < 1e-9,
+            "{}: relative critical-path error {rel}",
+            profiles.profiles[0].config.id()
+        );
+    }
+}

@@ -173,9 +173,87 @@ fn cli_tail_prometheus_mode_renders_exposition_text() {
     let path = tmp("prom_stream.jsonl");
     std::fs::write(&path, write_stream(&sample_snapshot())).unwrap();
     let out = extradeep::cli::run(&argv(&format!("tail {path} --prometheus"))).unwrap();
-    assert!(out.contains("extradeep_model_search_hypotheses_total 40"), "{out}");
+    assert!(
+        out.contains("extradeep_model_search_hypotheses_total 40"),
+        "{out}"
+    );
     assert!(out.contains("_bucket"), "{out}");
     assert!(out.contains("le=\"+Inf\""), "{out}");
+}
+
+#[test]
+fn tail_prometheus_matches_in_process_exposition() {
+    // Satellite check: the exposition re-exported from a *streamed* file
+    // must be byte-identical to what `prometheus_text` produces on the
+    // in-process snapshot — same counters, same histogram bucket counts.
+    let snap = sample_snapshot();
+    let direct = extradeep::obs::prometheus_text(&snap);
+    let streamed =
+        extradeep::obs::prometheus_text(&parse_stream(&write_stream(&snap)).to_snapshot());
+    assert_eq!(streamed, direct);
+    // Belt and braces: the properties named in the check, explicitly.
+    for needle in [
+        "extradeep_model_search_hypotheses_total 40",
+        "extradeep_sim_steps_total 7",
+        "extradeep_model_fit_ns_count 3",
+    ] {
+        assert!(direct.contains(needle), "{needle} missing:\n{direct}");
+    }
+    let buckets = |text: &str| {
+        text.lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let direct_buckets = buckets(&direct);
+    assert!(!direct_buckets.is_empty());
+    assert_eq!(buckets(&streamed), direct_buckets);
+}
+
+#[test]
+fn cli_tail_follow_reads_a_file_written_concurrently() {
+    let _l = LOCK.lock().unwrap();
+    let path = tmp("follow_stream.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let text = write_stream(&sample_snapshot());
+    let writer = {
+        let path = path.clone();
+        std::thread::spawn(move || {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&path).unwrap();
+            for line in text.lines() {
+                writeln!(f, "{line}").unwrap();
+                f.flush().unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        })
+    };
+    let out = extradeep::cli::run(&argv(&format!(
+        "tail {path} --follow --poll-ms 5 --idle-timeout-ms 300"
+    )))
+    .unwrap();
+    writer.join().unwrap();
+    assert!(out.contains("Telemetry stream"), "{out}");
+    assert!(out.contains("core.pipeline"), "{out}");
+    assert!(out.contains("1 snapshots"), "{out}");
+
+    // Follow + prometheus compose: the re-export equals the direct one.
+    let prom = extradeep::cli::run(&argv(&format!(
+        "tail {path} --follow --idle-timeout-ms 50 --prometheus"
+    )))
+    .unwrap();
+    assert_eq!(prom, extradeep::obs::prometheus_text(&sample_snapshot()));
+}
+
+#[test]
+fn cli_tail_rejects_malformed_follow_flags() {
+    let _l = LOCK.lock().unwrap();
+    let path = tmp("follow_bad_flags.jsonl");
+    std::fs::write(&path, "").unwrap();
+    assert!(matches!(
+        extradeep::cli::run(&argv(&format!("tail {path} --follow --poll-ms fast"))),
+        Err(extradeep::cli::CliError::Usage(_))
+    ));
 }
 
 #[test]

@@ -422,6 +422,20 @@ impl SearchEngine {
         }
     }
 
+    /// Fits a PMNF growth model to one derived metric series: `points` are
+    /// `(scale, replicate values)` pairs, e.g. the per-repetition step-skew
+    /// values at each rank count. This is the workload observatory's entry
+    /// point — a thin wrapper over [`SearchEngine::model`] so callers asking
+    /// "does this metric grow with scale?" don't assemble [`ExperimentData`]
+    /// by hand.
+    pub fn model_series(
+        &self,
+        parameter: &str,
+        points: &[(f64, Vec<f64>)],
+    ) -> Result<Model, ModelingError> {
+        self.model(&ExperimentData::univariate_with_reps(parameter, points))
+    }
+
     /// Models a batch of datasets, sharding *across models*: one rayon
     /// work-stealing pool over the whole kernel list instead of within-one-
     /// model parallelism. Each search runs sequentially on the batched
@@ -518,6 +532,19 @@ mod tests {
         let model = engine.model(&data).unwrap();
         assert_eq!(model.big_o(), "O(p)");
         assert!((model.predict_at(64.0) - 131.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn model_series_fits_replicated_metric_points() {
+        // A metric that grows linearly with scale, three replicates each.
+        let points: Vec<(f64, Vec<f64>)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&x| (x, vec![1.0 + 0.5 * x; 3]))
+            .collect();
+        let engine = SearchEngine::new(ModelerOptions::default());
+        let model = engine.model_series("ranks", &points).unwrap();
+        assert_eq!(model.big_o(), "O(ranks)");
+        assert!((model.predict_at(64.0) - 33.0).abs() < 1e-6);
     }
 
     #[test]

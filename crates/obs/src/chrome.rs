@@ -268,7 +268,10 @@ mod tests {
             },
         ];
         let json = chrome_trace_json_with_counters(&Snapshot::default(), &series);
-        let c_lines: Vec<&str> = json.lines().filter(|l| l.contains("\"ph\":\"C\"")).collect();
+        let c_lines: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"C\""))
+            .collect();
         assert_eq!(c_lines.len(), 3);
         // Sorted by (name, t_ns): agg first, then model.hyp at 3µs, 9µs.
         assert!(c_lines[0].contains("agg.events"));

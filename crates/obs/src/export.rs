@@ -323,7 +323,10 @@ pub fn prometheus_text(snap: &Snapshot) -> String {
         for (name, (count, total_ns)) in &agg {
             let label = label_escape(name);
             let _ = writeln!(out, "extradeep_span_count{{span=\"{label}\"}} {count}");
-            let _ = writeln!(out, "extradeep_span_total_ns{{span=\"{label}\"}} {total_ns}");
+            let _ = writeln!(
+                out,
+                "extradeep_span_total_ns{{span=\"{label}\"}} {total_ns}"
+            );
         }
     }
     out
@@ -444,7 +447,9 @@ mod tests {
         );
         // Spot-check structure of the snapshot record.
         let snap_line: serde_json::Value = serde_json::from_str(
-            text.lines().find(|l| l.contains("\"type\":\"snapshot\"")).unwrap(),
+            text.lines()
+                .find(|l| l.contains("\"type\":\"snapshot\""))
+                .unwrap(),
         )
         .unwrap();
         assert_eq!(snap_line["counters"]["model.search.hypotheses"], 42);

@@ -196,9 +196,7 @@ fn run<W: io::Write>(
     shared: Arc<Shared>,
 ) -> SamplerReport {
     let mut report = SamplerReport::default();
-    let mut watchdog = cfg
-        .span_budget
-        .map(|b| Watchdog::new(b.as_nanos() as u64));
+    let mut watchdog = cfg.span_budget.map(|b| Watchdog::new(b.as_nanos() as u64));
     let stalls_counter = registry::counter("obs.watchdog.stalls");
     let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut last_dropped = 0u64;
@@ -304,6 +302,32 @@ fn run<W: io::Write>(
         report.ticks += 1;
 
         if stopping {
+            // Backpressure post-mortem: if the journal ring overflowed at
+            // any point, the stream silently lost span/log events. Say so
+            // loudly — once, at the end — both on the log and in the stream
+            // itself, as a stall-style record a follower will render.
+            let total_dropped = registry::journal_dropped();
+            if total_dropped > 0 {
+                crate::warn!(
+                    "telemetry: journal dropped {total_dropped} event(s); raise the journal \
+                     capacity or shorten --telemetry-interval-ms"
+                );
+                // One more drain so the warn! above reaches the stream too.
+                for ev in registry::journal_drain(usize::MAX) {
+                    io_err(writer.write_event(&ev), &mut report.io_errors);
+                }
+                io_err(
+                    writer.write_stall(&crate::watchdog::Stall {
+                        name: "obs.journal.backpressure",
+                        tid: 0,
+                        t_ns: registry::now_ns(),
+                        active_ns: total_dropped,
+                        budget_ns: 0,
+                    }),
+                    &mut report.io_errors,
+                );
+                report.stalls += 1;
+            }
             break;
         }
     }
@@ -420,11 +444,58 @@ mod tests {
         let report = handle.stop();
         crate::registry::reset();
 
-        assert!(report.stalls >= 1, "watchdog should flag the stall: {report:?}");
+        assert!(
+            report.stalls >= 1,
+            "watchdog should flag the stall: {report:?}"
+        );
         let text = sink.text();
         assert!(
             text.contains("\"type\":\"stall\"") && text.contains("test.stalled.phase"),
             "{text}"
+        );
+    }
+
+    #[test]
+    fn journal_backpressure_is_surfaced_at_stop() {
+        let _l = TEST_LOCK.lock();
+        crate::registry::reset();
+        let sink = SharedBuf::default();
+        let handle = start(
+            sink.clone(),
+            SamplerConfig {
+                // Long interval + tiny ring: the burst below lands entirely
+                // between ticks and must overflow the journal.
+                interval: Duration::from_millis(500),
+                journal_capacity: 64,
+                ..SamplerConfig::default()
+            },
+        )
+        .unwrap();
+        crate::registry::set_enabled(true);
+        for i in 0..500 {
+            let _g = span(if i % 2 == 0 {
+                "test.burst.a"
+            } else {
+                "test.burst.b"
+            });
+        }
+        crate::registry::set_enabled(false);
+        let report = handle.stop();
+        crate::registry::reset();
+
+        assert!(
+            report.journal_dropped > 0,
+            "ring should overflow: {report:?}"
+        );
+        assert!(
+            report.stalls >= 1,
+            "backpressure should count as a stall: {report:?}"
+        );
+        let text = sink.text();
+        assert!(text.contains("obs.journal.backpressure"), "{text}");
+        assert!(
+            text.contains("journal dropped") && text.contains("\"level\":\"warn\""),
+            "warn should reach the stream: {text}"
         );
     }
 }

@@ -252,7 +252,12 @@ mod tests {
             .collect();
         assert_eq!(
             kinds,
-            vec!["B:test.jouter", "B:test.jinner", "E:test.jinner", "E:test.jouter"]
+            vec![
+                "B:test.jouter",
+                "B:test.jinner",
+                "E:test.jinner",
+                "E:test.jouter"
+            ]
         );
         // End events carry a duration consistent with their timestamps.
         for ev in &events {

@@ -30,12 +30,7 @@ fn exact_quantile(samples: &[u64], q: f64) -> u64 {
 fn samples() -> impl Strategy<Value = Vec<u64>> {
     // Spread across many buckets: zeros, small, mid, and huge values.
     prop::collection::vec(
-        prop_oneof![
-            Just(0u64),
-            1u64..16,
-            16u64..65_536,
-            65_536u64..=1 << 40,
-        ],
+        prop_oneof![Just(0u64), 1u64..16, 16u64..65_536, 65_536u64..=1 << 40,],
         0..64,
     )
 }

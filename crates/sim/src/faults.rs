@@ -49,6 +49,10 @@ pub struct FaultPlan {
     pub clock_skew_max_ns: u64,
     /// Probability that a rank is a straggler (all durations inflated).
     pub straggler_prob: f64,
+    /// Make exactly this rank a straggler in every profile, deterministically
+    /// and without consuming any random draws — the knob the observatory's
+    /// attribution tests and the CI smoke job use to know the answer upfront.
+    pub straggler_rank: Option<u32>,
     /// Duration inflation factor for straggler ranks.
     pub straggler_factor: f64,
     /// Per-event probability that a duration is zeroed (a unit bug or a
@@ -71,6 +75,7 @@ impl Default for FaultPlan {
             duplicate_step_mark_prob: 0.0,
             clock_skew_max_ns: 0,
             straggler_prob: 0.0,
+            straggler_rank: None,
             straggler_factor: 3.0,
             zero_duration_prob: 0.0,
             shuffle_steps_prob: 0.0,
@@ -122,6 +127,26 @@ impl FaultSummary {
     }
 }
 
+/// Which profiles/ranks specific faults landed on — the attribution record
+/// [`FaultPlan::apply_detailed`] returns alongside the counts, so callers
+/// (the observatory's CI smoke test, chiefly) can compare the *injected*
+/// straggler against the one the analysis flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// `(profile index, rank id)` of every straggler that was inflated.
+    pub stragglers: Vec<(usize, u32)>,
+}
+
+impl FaultLog {
+    /// Rank ids that straggled in any profile, deduplicated and sorted.
+    pub fn straggler_ranks(&self) -> Vec<u32> {
+        let mut ranks: Vec<u32> = self.stragglers.iter().map(|&(_, r)| r).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+}
+
 impl fmt::Display for FaultSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -162,7 +187,8 @@ impl FaultPlan {
     ///
     /// Recognized keys: `seed`, `drop-rank`, `truncate`, `drop-epoch-marks`,
     /// `drop-step-mark`, `dup-step-mark`, `clock-skew-ns`, `straggler`,
-    /// `straggler-factor`, `zero-dur`, `shuffle-steps`, `corrupt-json`.
+    /// `straggler-rank`, `straggler-factor`, `zero-dur`, `shuffle-steps`,
+    /// `corrupt-json`.
     pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
         let mut plan = FaultPlan::default();
         for part in spec.split(',') {
@@ -191,6 +217,11 @@ impl FaultPlan {
                         .map_err(|_| FaultSpecError(format!("invalid clock-skew-ns '{value}'")))?;
                 }
                 "straggler" => plan.straggler_prob = parse_prob(key, value)?,
+                "straggler-rank" => {
+                    plan.straggler_rank = Some(value.parse().map_err(|_| {
+                        FaultSpecError(format!("invalid straggler-rank '{value}'"))
+                    })?);
+                }
                 "straggler-factor" => {
                     let v: f64 = value.parse().map_err(|_| {
                         FaultSpecError(format!("invalid straggler-factor '{value}'"))
@@ -224,6 +255,7 @@ impl FaultPlan {
             && self.duplicate_step_mark_prob == 0.0
             && self.clock_skew_max_ns == 0
             && self.straggler_prob == 0.0
+            && self.straggler_rank.is_none()
             && self.zero_duration_prob == 0.0
             && self.shuffle_steps_prob == 0.0
             && self.corrupt_json_bytes == 0
@@ -257,6 +289,7 @@ impl FaultPlan {
                 (rng.next_f64() * 1e7) as u64
             },
             straggler_prob: pick(&mut rng, 0.2),
+            straggler_rank: None,
             // Fuzzed stragglers start at 2× so they clear the repair
             // module's cross-rank detection ratio with margin; milder
             // slowdowns blend into noise and are a different regime.
@@ -278,8 +311,15 @@ impl FaultPlan {
     /// interesting regime is partial loss). Determinism: streams are keyed
     /// by `(profile index, rank id)`, not collection order.
     pub fn apply(&self, experiment: &mut ExperimentProfiles) -> FaultSummary {
+        self.apply_detailed(experiment).0
+    }
+
+    /// Like [`FaultPlan::apply`], but also returns a [`FaultLog`] recording
+    /// where attribution-relevant faults (stragglers) landed.
+    pub fn apply_detailed(&self, experiment: &mut ExperimentProfiles) -> (FaultSummary, FaultLog) {
         let _span = extradeep_obs::span("sim.inject_faults");
         let mut summary = FaultSummary::default();
+        let mut log = FaultLog::default();
         for (pi, profile) in experiment.profiles.iter_mut().enumerate() {
             // Rank drops first, against the original rank list. The last
             // remaining rank is never dropped: total loss of a configuration
@@ -298,15 +338,23 @@ impl FaultPlan {
             }
             for rank in &mut keep {
                 let mut rng = Rng::stream(self.seed, &[pi as u64, rank.rank as u64, 0xFA]);
-                self.fault_rank(rank, &mut rng, &mut summary);
+                if self.fault_rank(rank, &mut rng, &mut summary) {
+                    log.stragglers.push((pi, rank.rank));
+                }
             }
             profile.ranks = keep;
         }
         extradeep_obs::counter("faults.injected").add(summary.total());
-        summary
+        (summary, log)
     }
 
-    fn fault_rank(&self, rank: &mut RankProfile, rng: &mut Rng, summary: &mut FaultSummary) {
+    /// Returns whether this rank became a straggler.
+    fn fault_rank(
+        &self,
+        rank: &mut RankProfile,
+        rng: &mut Rng,
+        summary: &mut FaultSummary,
+    ) -> bool {
         // Truncation: keep a prefix of events and of marks, as a profiler
         // killed mid-run would.
         if self.truncate_rank_prob > 0.0 && rng.next_f64() < self.truncate_rank_prob {
@@ -366,7 +414,11 @@ impl FaultPlan {
             }
         }
 
-        if self.straggler_prob > 0.0 && rng.next_f64() < self.straggler_prob {
+        // The targeted rank straggles without consuming a draw, so adding
+        // `straggler-rank` to a spec never reshuffles the other faults.
+        let straggled = self.straggler_rank == Some(rank.rank)
+            || (self.straggler_prob > 0.0 && rng.next_f64() < self.straggler_prob);
+        if straggled {
             let f = self.straggler_factor.max(1.0);
             for e in &mut rank.events {
                 e.duration_ns = ((e.duration_ns as f64) * f) as u64;
@@ -388,6 +440,7 @@ impl FaultPlan {
                 }
             }
         }
+        straggled
     }
 
     /// Corrupts up to `corrupt_json_bytes` bytes of a serialized profile
@@ -554,6 +607,63 @@ mod tests {
             Err(_) => {}
             Ok(parsed) => assert_ne!(parsed, exp, "corruption must not be lossless"),
         }
+    }
+
+    #[test]
+    fn targeted_straggler_hits_exactly_the_named_rank() {
+        let plan = FaultPlan {
+            straggler_rank: Some(1),
+            straggler_factor: 3.0,
+            ..FaultPlan::default()
+        };
+        let mut exp = experiment();
+        let before = exp.clone();
+        let (summary, log) = plan.apply_detailed(&mut exp);
+        assert_eq!(summary.stragglers as usize, exp.profiles.len());
+        assert_eq!(log.straggler_ranks(), vec![1]);
+        assert_eq!(log.stragglers.len(), exp.profiles.len());
+        for (pa, pb) in exp.profiles.iter().zip(&before.profiles) {
+            for (ra, rb) in pa.ranks.iter().zip(&pb.ranks) {
+                for (ea, eb) in ra.events.iter().zip(&rb.events) {
+                    if ra.rank == 1 {
+                        assert_eq!(ea.duration_ns, eb.duration_ns * 3);
+                    } else {
+                        assert_eq!(ea.duration_ns, eb.duration_ns);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_straggler_does_not_reshuffle_other_faults() {
+        // Adding straggler-rank must not consume random draws, so the rest
+        // of the plan's effects stay byte-identical.
+        let base = FaultPlan::parse("seed=5,drop-step-mark=0.2,zero-dur=0.1").unwrap();
+        let targeted = FaultPlan {
+            straggler_rank: Some(0),
+            ..base.clone()
+        };
+        let mut a = experiment();
+        let mut b = experiment();
+        base.apply(&mut a);
+        targeted.apply(&mut b);
+        for (pa, pb) in a.profiles.iter().zip(&b.profiles) {
+            for (ra, rb) in pa.ranks.iter().zip(&pb.ranks) {
+                assert_eq!(ra.step_marks.len(), rb.step_marks.len());
+                if ra.rank != 0 {
+                    assert_eq!(ra, rb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_rank_parses_and_blocks_noop() {
+        let plan = FaultPlan::parse("straggler-rank=2,straggler-factor=2.0").unwrap();
+        assert_eq!(plan.straggler_rank, Some(2));
+        assert!(!plan.is_noop());
+        assert!(FaultPlan::parse("straggler-rank=x").is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod gpu;
 pub mod kernels;
 pub mod network;
 pub mod noise;
+pub mod oracle;
 pub mod profiler;
 pub mod runner;
 pub mod strategy;
@@ -39,9 +40,10 @@ pub mod workload;
 pub use dataset::{DatasetSpec, ScalingMode};
 pub use dnn::{Architecture, Layer, Shape};
 pub use engine::{JobPlans, PlannedKernel, StepPlan, TrainingJob};
-pub use faults::{FaultPlan, FaultSpecError, FaultSummary};
+pub use faults::{FaultLog, FaultPlan, FaultSpecError, FaultSummary};
 pub use network::{collective_cost, Collective, CollectiveCost};
 pub use noise::{NoiseProfile, Rng};
+pub use oracle::{activity_estimate, ActivityEstimate};
 pub use profiler::{profile_job, ProfilerOptions, SamplingStrategy, PROFILING_OVERHEAD_FRACTION};
 pub use runner::ExperimentSpec;
 pub use strategy::{ParallelStrategy, SyncMode};

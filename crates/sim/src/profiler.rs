@@ -69,7 +69,7 @@ impl Default for ProfilerOptions {
 /// Warm-up inflation of the first training steps of epoch 0: frameworks
 /// autotune and allocate during the first steps (paper: "the first epoch acts
 /// as a warm-up round ... one will encounter high variations").
-fn warmup_factor(epoch: u32, step: u32) -> f64 {
+pub(crate) fn warmup_factor(epoch: u32, step: u32) -> f64 {
     match (epoch, step) {
         (0, 0) => 2.6,
         (0, 1) => 1.35,

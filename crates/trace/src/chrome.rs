@@ -6,6 +6,7 @@
 
 use crate::json::TraceIoError;
 use crate::profile::ConfigProfile;
+use crate::timeline::TimelineAnnotations;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -77,6 +78,53 @@ pub fn to_chrome_trace(profile: &ConfigProfile) -> Result<String, TraceIoError> 
     Ok(serde_json::to_string(&events)?)
 }
 
+/// Serializes a profile like [`to_chrome_trace`], overlaid with the
+/// observatory's annotations: instant events ("i") marking straggler step
+/// windows and flow arrows ("s"/"f") chaining the cross-rank critical path
+/// from segment to segment.
+///
+/// Instants land on the mark track (`tid` 0) of the straggler's rank; flow
+/// endpoints bind to the kernel track (`tid` 1) of the segment's pacing
+/// rank. Both render natively in Perfetto / `chrome://tracing`.
+pub fn to_chrome_trace_annotated(
+    profile: &ConfigProfile,
+    annotations: &TimelineAnnotations,
+) -> Result<String, TraceIoError> {
+    // Splice the overlay into the serialized array directly: the base can
+    // hold millions of events, the overlay a handful, so round-tripping the
+    // whole trace through a JSON parse just to append would dominate.
+    let mut out = to_chrome_trace(profile)?;
+    out.pop();
+    let mut sep = if out.ends_with('[') { "" } else { "," };
+    for note in &annotations.instants {
+        out.push_str(&format!(
+            "{sep}{{\"name\":\"{}\",\"cat\":\"observatory\",\"ph\":\"i\",\"s\":\"p\",\
+             \"ts\":{},\"pid\":{},\"tid\":0}}",
+            escape(&note.name),
+            note.t_ns as f64 / 1e3,
+            note.rank,
+        ));
+        sep = ",";
+    }
+    for point in &annotations.flows {
+        out.push_str(&format!(
+            "{sep}{{\"name\":\"critical-path\",\"cat\":\"observatory\",\"id\":{},\
+             \"ph\":\"{}\",\"bp\":\"e\",\"ts\":{},\"pid\":{},\"tid\":1}}",
+            point.id,
+            if point.begin { "s" } else { "f" },
+            point.t_ns as f64 / 1e3,
+            point.rank,
+        ));
+        sep = ",";
+    }
+    out.push(']');
+    Ok(out)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +175,41 @@ mod tests {
             .unwrap();
         assert_eq!(kernel["dur"].as_f64().unwrap(), 2.0);
         assert_eq!(kernel["tid"].as_u64().unwrap(), 1);
+    }
+
+    #[test]
+    fn annotated_export_adds_instants_and_flows() {
+        let p = profile();
+        let mut ann = TimelineAnnotations::default();
+        ann.instants.push(crate::timeline::InstantNote {
+            rank: 0,
+            t_ns: 500,
+            name: "straggler r0 e0s0 (2.00x)".to_string(),
+        });
+        ann.flows.push(crate::timeline::FlowPoint {
+            id: 0,
+            rank: 0,
+            t_ns: 100,
+            begin: true,
+        });
+        ann.flows.push(crate::timeline::FlowPoint {
+            id: 0,
+            rank: 0,
+            t_ns: 1500,
+            begin: false,
+        });
+        let json = to_chrome_trace_annotated(&p, &ann).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // 3 base events + 1 instant + 2 flow endpoints.
+        assert_eq!(arr.len(), 6);
+        let instant = arr.iter().find(|e| e["ph"] == "i").unwrap();
+        assert_eq!(instant["cat"], "observatory");
+        assert_eq!(instant["ts"].as_f64().unwrap(), 0.5);
+        assert!(arr.iter().any(|e| e["ph"] == "s"));
+        let finish = arr.iter().find(|e| e["ph"] == "f").unwrap();
+        assert_eq!(finish["bp"], "e");
+        assert_eq!(finish["id"], 0);
     }
 
     #[test]

@@ -35,12 +35,13 @@ pub mod marks;
 pub mod profile;
 pub mod repair;
 pub mod summary;
+pub mod timeline;
 pub mod units;
 pub mod validate;
 
 pub use builder::TraceBuilder;
 pub use calltree::{call_tree, render_call_tree, CallNode};
-pub use chrome::to_chrome_trace;
+pub use chrome::{to_chrome_trace, to_chrome_trace_annotated};
 pub use config::{MeasurementConfig, TrainingMeta};
 pub use domain::{ApiDomain, KernelCategory};
 pub use event::{Event, MetricKind};
@@ -52,4 +53,9 @@ pub use repair::{
     RepairReport,
 };
 pub use summary::{kernel_summary, render_summary, KernelSummary};
+pub use timeline::{
+    analyze_config, analyze_rank, annotations, ActivityClass, CriticalSegment, FlowPoint,
+    InstantNote, KernelImbalance, RankActivity, RankExcess, SegmentKind, StepStat,
+    TimelineAnalysis, TimelineAnnotations, SKEW_NOTE_THRESHOLD,
+};
 pub use validate::{validate_config, validate_rank, TraceIssue};
