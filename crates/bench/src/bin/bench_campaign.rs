@@ -1,0 +1,122 @@
+//! Measures the campaign runner (`extradeep campaign`) on a small matrix
+//! and records the result in `BENCH_campaign.json`: cell throughput, the
+//! cost of a full resume replay (everything served from the manifest), and
+//! the overhead of the crash-safety machinery (fsync'd journal + checkpoint
+//! writes + scheduling) over the same cells' raw pipeline compute.
+//!
+//! Run with `cargo run --release -p extradeep-bench --bin bench_campaign`.
+//! `--quick` trims the batch count for CI; an optional positional argument
+//! overrides the output path. The perf-history ratchet ingests the
+//! `*_per_sec`/`*_ms`/`*_s`/`*_percent` metrics under the `campaign`
+//! prefix.
+
+use extradeep::modelset::{build_model_set, ModelSetOptions};
+use extradeep::{run_campaign, CampaignSpec, RunOptions};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_trace::MetricKind;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The measured matrix: one benchmark at `seeds` seeds over the case-study
+/// scales, sequential execution so campaign wall time is comparable to the
+/// raw sequential compute baseline.
+fn bench_spec(seeds: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::default();
+    spec.name = "bench".to_string();
+    spec.grid.seeds = (1..=seeds).collect();
+    spec.grid.max_recorded_ranks = 1;
+    spec.execution.parallelism = 1;
+    spec
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("extradeep-bench-campaign")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Best-of-batches wall time of `f`, in seconds.
+fn best_of<T>(batches: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_campaign.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let batches = if quick { 2 } else { 5 };
+    let seeds = if quick { 2 } else { 4 };
+
+    let spec = bench_spec(seeds);
+    let cells = spec.expand().expect("bench spec expands");
+
+    // Baseline: the same cells' pipelines run back to back with no journal,
+    // no checkpoints, no worker threads — pure compute.
+    let compute_s = best_of(batches, || {
+        for cell in &cells {
+            let espec = cell.experiment_spec().expect("cell builds");
+            let agg = aggregate_experiment(&espec.run(), &AggregationOptions::default());
+            let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+                .expect("cells model");
+            black_box(models.kernels.len());
+        }
+    });
+
+    // Campaign wall time, fresh directory every run (no resume shortcuts).
+    let campaign_s = best_of(batches, || {
+        let dir = fresh_dir("fresh");
+        let report = run_campaign(&spec, &dir, &RunOptions::default()).expect("campaign runs");
+        assert!(report.is_complete(), "bench matrix must complete");
+        report.cells.len()
+    });
+
+    // Resume replay: every cell already done, so the invocation is pure
+    // manifest replay + checkpoint validation + roll-up.
+    let replay_dir = fresh_dir("replay");
+    run_campaign(&spec, &replay_dir, &RunOptions::default()).expect("seed run");
+    let resume_s = best_of(batches, || {
+        let report = run_campaign(&spec, &replay_dir, &RunOptions::default()).expect("resume runs");
+        assert_eq!(report.resumed_done, cells.len());
+        report.resumed_done
+    });
+
+    let overhead_percent = if compute_s > 0.0 {
+        100.0 * (campaign_s - compute_s).max(0.0) / compute_s
+    } else {
+        0.0
+    };
+
+    let body = serde_json::json!({
+        "benchmark": "campaign runner on the case-study matrix",
+        "pipeline": format!(
+            "{} cells (simulate 5 scales -> aggregate -> model -> analyze), sequential",
+            cells.len()
+        ),
+        "quick": quick,
+        "cells": cells.len(),
+        "cells_per_sec": cells.len() as f64 / campaign_s,
+        "campaign_wall_s": campaign_s,
+        "compute_wall_s": compute_s,
+        "manifest_overhead_percent": overhead_percent,
+        "resume_replay_ms": resume_s * 1e3,
+    });
+    let pretty = serde_json::to_string_pretty(&body).expect("serialize report");
+    std::fs::write(&out_path, format!("{pretty}\n")).expect("write BENCH_campaign.json");
+    println!("{pretty}");
+    println!("wrote {out_path}");
+}

@@ -11,9 +11,11 @@
 //!
 //! Flags: `--check` compares the render against the existing file and exits
 //! non-zero on mismatch; `--in <path>` / `--out <path>` override the default
-//! `BENCH_model.json` / `BENCH_TABLES.md` locations.
+//! `BENCH_model.json` / `BENCH_TABLES.md` locations; `--campaign <path>`
+//! overrides the default `BENCH_campaign.json` (a missing campaign snapshot
+//! just skips that section, so pre-campaign checkouts still render).
 
-use extradeep_bench::tables::render_model_tables;
+use extradeep_bench::tables::{render_campaign_section, render_model_tables};
 use std::process::ExitCode;
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
@@ -28,6 +30,8 @@ fn main() -> ExitCode {
     let check = args.iter().any(|a| a == "--check");
     let in_path = value_after(&args, "--in").unwrap_or_else(|| "BENCH_model.json".to_string());
     let out_path = value_after(&args, "--out").unwrap_or_else(|| "BENCH_TABLES.md".to_string());
+    let campaign_path =
+        value_after(&args, "--campaign").unwrap_or_else(|| "BENCH_campaign.json".to_string());
 
     let raw = match std::fs::read_to_string(&in_path) {
         Ok(r) => r,
@@ -43,7 +47,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let rendered = render_model_tables(&report);
+    let mut rendered = render_model_tables(&report);
+    if let Ok(raw) = std::fs::read_to_string(&campaign_path) {
+        match serde_json::from_str::<serde_json::Value>(&raw) {
+            Ok(campaign) => rendered.push_str(&render_campaign_section(&campaign)),
+            Err(e) => {
+                eprintln!("bench_tables: {campaign_path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if check {
         match std::fs::read_to_string(&out_path) {

@@ -315,6 +315,7 @@ mod tests {
                     || name.ends_with("_ns")
                     || name.ends_with("_ms")
                     || name.ends_with("_s")
+                    || name.ends_with("_percent")
                 {
                     Direction::LowerIsBetter
                 } else {

@@ -111,6 +111,48 @@ pub fn render_model_tables(report: &Value) -> String {
     out
 }
 
+/// Renders the campaign-runner section from a `BENCH_campaign.json` value:
+/// throughput and the cost of the crash-safety machinery (fsync'd manifest,
+/// checkpoints, worker scheduling) over the same cells' raw pipeline
+/// compute. Appended to `BENCH_TABLES.md` after the model tables.
+pub fn render_campaign_section(report: &Value) -> String {
+    let f = |key: &str| report.get(key).and_then(Value::as_f64);
+    let mut out = String::new();
+    out.push_str("## Campaign runner\n\n");
+    out.push_str(
+        "Crash-safe campaign runner vs the same cells' raw sequential\n\
+         pipeline compute, rendered from the committed `BENCH_campaign.json`\n\
+         (`cargo run --release -p extradeep-bench --bin bench_campaign`).\n\n",
+    );
+    if report.get("quick").and_then(Value::as_bool) == Some(true) {
+        out.push_str("Timings from a `--quick` run (CI smoke mode).\n\n");
+    }
+    out.push_str("| metric | value |\n|---|---:|\n");
+    if let Some(v) = f("cells") {
+        let _ = writeln!(out, "| cells in the measured matrix | {v:.0} |");
+    }
+    if let Some(v) = f("cells_per_sec") {
+        let _ = writeln!(out, "| cells / second | {v:.2} |");
+    }
+    if let Some(v) = f("campaign_wall_s") {
+        let _ = writeln!(
+            out,
+            "| campaign wall (journal + checkpoints) [s] | {v:.3} |"
+        );
+    }
+    if let Some(v) = f("compute_wall_s") {
+        let _ = writeln!(out, "| raw pipeline compute wall [s] | {v:.3} |");
+    }
+    if let Some(v) = f("manifest_overhead_percent") {
+        let _ = writeln!(out, "| crash-safety overhead | {v:.1}% |");
+    }
+    if let Some(v) = f("resume_replay_ms") {
+        let _ = writeln!(out, "| full resume replay [ms] | {v:.3} |");
+    }
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,19 +211,47 @@ mod tests {
     fn committed_tables_are_in_sync_with_committed_results() {
         // Same gate as `bench_tables --check`, but reachable from plain
         // `cargo test`: the committed BENCH_TABLES.md must be exactly what
-        // the renderer produces from the committed BENCH_model.json.
+        // the renderer produces from the committed BENCH_model.json plus
+        // the campaign section from BENCH_campaign.json (when present).
         let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
         let raw = std::fs::read_to_string(format!("{root}/BENCH_model.json"))
             .expect("read committed BENCH_model.json");
         let report: Value = serde_json::from_str(&raw).expect("parse BENCH_model.json");
+        let mut rendered = render_model_tables(&report);
+        if let Ok(raw) = std::fs::read_to_string(format!("{root}/BENCH_campaign.json")) {
+            let campaign: Value = serde_json::from_str(&raw).expect("parse BENCH_campaign.json");
+            rendered.push_str(&render_campaign_section(&campaign));
+        }
         let committed = std::fs::read_to_string(format!("{root}/BENCH_TABLES.md"))
             .expect("read committed BENCH_TABLES.md");
         assert_eq!(
-            render_model_tables(&report),
-            committed,
+            rendered, committed,
             "BENCH_TABLES.md is stale — regenerate with \
              `cargo run --release -p extradeep-bench --bin bench_tables`"
         );
+    }
+
+    #[test]
+    fn campaign_section_renders_every_metric_row() {
+        let v = serde_json::json!({
+            "quick": false,
+            "cells": 4,
+            "cells_per_sec": 3.61,
+            "campaign_wall_s": 1.1072,
+            "compute_wall_s": 1.0951,
+            "manifest_overhead_percent": 1.105,
+            "resume_replay_ms": 2.8414,
+        });
+        let md = render_campaign_section(&v);
+        assert_eq!(md, render_campaign_section(&v), "render must be pure");
+        assert!(md.contains("## Campaign runner"));
+        assert!(md.contains("| cells in the measured matrix | 4 |"));
+        assert!(md.contains("| cells / second | 3.61 |"));
+        assert!(md.contains("| campaign wall (journal + checkpoints) [s] | 1.107 |"));
+        assert!(md.contains("| raw pipeline compute wall [s] | 1.095 |"));
+        assert!(md.contains("| crash-safety overhead | 1.1% |"));
+        assert!(md.contains("| full resume replay [ms] | 2.841 |"));
+        assert!(!md.contains("--quick"), "full runs carry no quick banner");
     }
 
     #[test]

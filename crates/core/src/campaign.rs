@@ -1,0 +1,1632 @@
+//! Crash-safe campaign runner: fleet-scale modeling sweeps that survive
+//! anything short of disk loss.
+//!
+//! The paper's Fig. 1 workflow models one experiment at a time; answering
+//! capacity-planning questions over a fleet means running a declarative grid
+//! of benchmarks × systems × strategies × scales × seeds — hundreds of
+//! *cells*, each a full simulate → aggregate → model → analyze pipeline. At
+//! that scale two failure modes dominate:
+//!
+//! 1. **The process dies** (OOM kill, preemption, power). A sweep that
+//!    restarts from zero at cell 412 of 600 is unusable, so every cell's
+//!    lifecycle (pending → running → done/failed/quarantined) is journaled
+//!    to an append-only, fsync'd, line-delimited **manifest** with a
+//!    per-record FNV-1a checksum. A killed process resumes by replaying the
+//!    manifest: completed cells are skipped (their metrics come straight
+//!    from the journal), a torn trailing record — the half-written line of
+//!    the very write the crash interrupted — is truncated rather than fatal,
+//!    mirroring the truncation-tolerant parsing discipline of [`crate::tail`].
+//! 2. **One cell is poisoned** (panics, hangs, or fails transiently). Each
+//!    attempt runs in its own worker thread under `catch_unwind` with a
+//!    wall-clock deadline (the scheduler-side analogue of the obs watchdog);
+//!    transient failures retry with capped exponential backoff and a
+//!    deterministic seed-derived jitter, and a cell that exhausts its
+//!    attempts — or fails permanently — is **quarantined**: the matrix keeps
+//!    going and the roll-up report attributes the loss explicitly.
+//!
+//! Progress is observable through the `campaign.cells_done`,
+//! `campaign.cells_retried`, `campaign.cells_timed_out`, and
+//! `campaign.cells_quarantined` counters, and the `--strict` CLI gate turns
+//! a non-empty quarantine table into a failing exit for CI.
+
+use crate::analysis::CostModel;
+use crate::modelset::{build_model_set, ModelSetOptions};
+use crate::persist::{load_models, save_models, PersistError};
+use crate::questions;
+use crate::report::{fmt, pct, Table};
+use extradeep_agg::{aggregate_experiment, AggregationOptions};
+use extradeep_sim::{
+    Benchmark, ExperimentSpec, FaultPlan, ParallelStrategy, ScalingMode, SyncMode, SystemConfig,
+};
+use extradeep_trace::MetricKind;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+/// Manifest journal format version (bumped on incompatible record changes).
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File name of the manifest journal inside the campaign directory.
+pub const MANIFEST_FILE: &str = "manifest.jsonl";
+
+// ---------------------------------------------------------------------------
+// Campaign specification
+// ---------------------------------------------------------------------------
+
+/// A declarative campaign: the grid to expand, how to execute it, and what
+/// to report. Parsed from the JSON file given to `extradeep campaign`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(default, deny_unknown_fields)]
+pub struct CampaignSpec {
+    /// Human-readable campaign name (also the default artifact prefix).
+    pub name: String,
+    pub grid: GridSpec,
+    pub execution: ExecutionSpec,
+    pub analysis: AnalysisSpec,
+    /// Per-cell fault injection for chaos coverage: cell id (or `"*"` for
+    /// every cell) → a [`FaultPlan`] spec string such as
+    /// `"seed=7,drop-rank=0.25"`. A cell-specific entry overrides `"*"`.
+    pub faults: BTreeMap<String, String>,
+    /// Scheduler-level sabotage for robustness drills: cell id (or `"*"`)
+    /// → one of `panic`, `hang=<ms>`, `hang-once=<ms>`, `fail=<n>`.
+    /// Unlike `faults` (which corrupt the *measurement*), sabotage attacks
+    /// the *executor*: panics, stragglers, and transient attempt failures.
+    pub sabotage: BTreeMap<String, String>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_string(),
+            grid: GridSpec::default(),
+            execution: ExecutionSpec::default(),
+            analysis: AnalysisSpec::default(),
+            faults: BTreeMap::new(),
+            sabotage: BTreeMap::new(),
+        }
+    }
+}
+
+/// The cartesian grid a campaign expands into cells.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(default, deny_unknown_fields)]
+pub struct GridSpec {
+    /// Benchmark short names (see [`Benchmark::NAMES`]).
+    pub benchmarks: Vec<String>,
+    /// System short names: `deep`, `jureca`.
+    pub systems: Vec<String>,
+    /// Strategy short names: `data`, `tensor`, `pipeline`.
+    pub strategies: Vec<String>,
+    /// Scaling modes: `weak`, `strong`.
+    pub scaling: Vec<String>,
+    /// Sync modes: `bsp`, `asp`.
+    pub sync: Vec<String>,
+    /// Modeling-scale rank lists; each list is one grid axis value.
+    pub ranks: Vec<Vec<u32>>,
+    /// Profiler base seeds; each seed is a separate cell.
+    pub seeds: Vec<u64>,
+    /// Measurement repetitions per configuration.
+    pub repetitions: u32,
+    /// Record the traces of at most this many ranks per cell.
+    pub max_recorded_ranks: u32,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            benchmarks: vec!["cifar10".to_string()],
+            systems: vec!["deep".to_string()],
+            strategies: vec!["data".to_string()],
+            scaling: vec!["weak".to_string()],
+            sync: vec!["bsp".to_string()],
+            ranks: vec![vec![2, 4, 6, 8, 10]],
+            seeds: vec![0xED05],
+            repetitions: 1,
+            max_recorded_ranks: 2,
+        }
+    }
+}
+
+/// Executor policy: concurrency, retry budget, deadline, and backoff.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(default, deny_unknown_fields)]
+pub struct ExecutionSpec {
+    /// Concurrent cells (bounded rayon pool; clamped to [1, 64]).
+    pub parallelism: usize,
+    /// Total attempts per cell across all process lives (≥ 1).
+    pub max_attempts: u32,
+    /// Wall-clock deadline per attempt, in milliseconds.
+    pub timeout_ms: u64,
+    /// First retry delay; doubles per attempt up to `backoff_cap_ms`.
+    pub backoff_base_ms: u64,
+    pub backoff_cap_ms: u64,
+    /// Fail the run (exit 1) when any cell ends up quarantined.
+    pub strict: bool,
+}
+
+impl Default for ExecutionSpec {
+    fn default() -> Self {
+        ExecutionSpec {
+            parallelism: 2,
+            max_attempts: 3,
+            timeout_ms: 120_000,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            strict: false,
+        }
+    }
+}
+
+/// Analysis knobs applied to every surviving cell's model set.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(default, deny_unknown_fields)]
+pub struct AnalysisSpec {
+    /// Rank count the roll-up report probes predictions at.
+    pub probe_ranks: f64,
+    /// CPU cores per MPI rank (ϱ in the cost model, Eq. 14).
+    pub cores_per_rank: u32,
+    /// Optional €/core-hour price for absolute cost columns.
+    pub price_per_core_hour: Option<f64>,
+}
+
+impl Default for AnalysisSpec {
+    fn default() -> Self {
+        AnalysisSpec {
+            probe_ranks: 64.0,
+            cores_per_rank: 8,
+            price_per_core_hour: None,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Parses a spec from JSON, rejecting unknown fields (a typo'd knob
+    /// silently ignored is how a 600-cell sweep runs with the wrong
+    /// timeout).
+    pub fn from_json(json: &str) -> Result<CampaignSpec, CampaignError> {
+        serde_json::from_str(json).map_err(|e| CampaignError::Spec(format!("invalid spec: {e}")))
+    }
+
+    /// Stable FNV-1a-64 digest of the spec, stored in the manifest header
+    /// so a resume against a *different* spec is a typed error instead of a
+    /// silently inconsistent matrix.
+    pub fn digest(&self) -> String {
+        let canonical = serde_json::to_string(self).unwrap_or_default();
+        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+    }
+
+    /// Expands the grid into cells, in deterministic declaration order.
+    /// Unknown names and malformed fault/sabotage entries are typed errors
+    /// here — before anything executes.
+    pub fn expand(&self) -> Result<Vec<CellSpec>, CampaignError> {
+        let bad = |what: &str, name: &str| {
+            CampaignError::Spec(format!("unknown {what} '{name}' in campaign grid"))
+        };
+        let mut cells = Vec::new();
+        for bench in &self.grid.benchmarks {
+            Benchmark::from_name(bench).ok_or_else(|| bad("benchmark", bench))?;
+            for system in &self.grid.systems {
+                SystemConfig::from_name(system).ok_or_else(|| bad("system", system))?;
+                for strategy in &self.grid.strategies {
+                    ParallelStrategy::from_name(strategy)
+                        .ok_or_else(|| bad("strategy", strategy))?;
+                    for scaling in &self.grid.scaling {
+                        ScalingMode::from_name(scaling).ok_or_else(|| bad("scaling", scaling))?;
+                        for sync in &self.grid.sync {
+                            SyncMode::from_name(sync).ok_or_else(|| bad("sync", sync))?;
+                            for ranks in &self.grid.ranks {
+                                for &seed in &self.grid.seeds {
+                                    cells.push(self.cell(
+                                        bench, system, strategy, scaling, sync, ranks, seed,
+                                    )?);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut ids = BTreeSet::new();
+        for cell in &cells {
+            if !ids.insert(cell.id.clone()) {
+                return Err(CampaignError::Spec(format!(
+                    "duplicate cell id '{}' (repeated grid axis value?)",
+                    cell.id
+                )));
+            }
+        }
+        Ok(cells)
+    }
+
+    fn cell(
+        &self,
+        bench: &str,
+        system: &str,
+        strategy: &str,
+        scaling: &str,
+        sync: &str,
+        ranks: &[u32],
+        seed: u64,
+    ) -> Result<CellSpec, CampaignError> {
+        let ranks_label = ranks
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        let id = format!("{bench}-{system}-{strategy}-{scaling}-{sync}-r{ranks_label}-s{seed}");
+        let lookup =
+            |map: &BTreeMap<String, String>| map.get(&id).or_else(|| map.get("*")).cloned();
+        let faults = lookup(&self.faults);
+        if let Some(spec) = &faults {
+            FaultPlan::parse(spec).map_err(|e| CampaignError::Spec(format!("cell '{id}': {e}")))?;
+        }
+        let sabotage = lookup(&self.sabotage);
+        if let Some(spec) = &sabotage {
+            Sabotage::parse(spec).map_err(|e| CampaignError::Spec(format!("cell '{id}': {e}")))?;
+        }
+        Ok(CellSpec {
+            id,
+            benchmark: bench.to_string(),
+            system: system.to_string(),
+            strategy: strategy.to_string(),
+            scaling: scaling.to_string(),
+            sync: sync.to_string(),
+            ranks: ranks.to_vec(),
+            seed,
+            repetitions: self.grid.repetitions.max(1),
+            max_recorded_ranks: self.grid.max_recorded_ranks.max(1),
+            faults,
+            sabotage,
+        })
+    }
+}
+
+/// One fully-resolved cell of the campaign matrix.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CellSpec {
+    /// Deterministic, filesystem-safe identity; also the checkpoint stem.
+    pub id: String,
+    pub benchmark: String,
+    pub system: String,
+    pub strategy: String,
+    pub scaling: String,
+    pub sync: String,
+    pub ranks: Vec<u32>,
+    pub seed: u64,
+    pub repetitions: u32,
+    pub max_recorded_ranks: u32,
+    pub faults: Option<String>,
+    pub sabotage: Option<String>,
+}
+
+impl CellSpec {
+    /// Builds the experiment this cell measures. Names were validated at
+    /// expansion time; a mismatch here means the manifest and binary
+    /// disagree, which is a permanent (non-retryable) cell error.
+    pub fn experiment_spec(&self) -> Result<ExperimentSpec, String> {
+        let mut spec = ExperimentSpec::case_study(self.ranks.clone());
+        spec.benchmark = Benchmark::from_name(&self.benchmark)
+            .ok_or_else(|| format!("unknown benchmark '{}'", self.benchmark))?;
+        spec.system = SystemConfig::from_name(&self.system)
+            .ok_or_else(|| format!("unknown system '{}'", self.system))?;
+        spec.strategy = ParallelStrategy::from_name(&self.strategy)
+            .ok_or_else(|| format!("unknown strategy '{}'", self.strategy))?;
+        spec.scaling = ScalingMode::from_name(&self.scaling)
+            .ok_or_else(|| format!("unknown scaling '{}'", self.scaling))?;
+        spec.sync = SyncMode::from_name(&self.sync)
+            .ok_or_else(|| format!("unknown sync mode '{}'", self.sync))?;
+        spec.repetitions = self.repetitions;
+        spec.profiler.seed = self.seed;
+        spec.profiler.max_recorded_ranks = self.max_recorded_ranks;
+        Ok(spec)
+    }
+
+    /// Checkpoint path of this cell's fitted models, relative to the
+    /// campaign directory.
+    pub fn checkpoint_rel(&self) -> String {
+        format!("cells/{}.models.json", self.id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sabotage (executor-level chaos)
+// ---------------------------------------------------------------------------
+
+/// Scheduler-level chaos injected *around* a cell's pipeline: where
+/// [`FaultPlan`] corrupts measurements, sabotage attacks the executor
+/// itself — exactly the failure modes the retry/timeout/quarantine machinery
+/// exists for, so CI can drill them deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sabotage {
+    /// Panic on every attempt (a permanently poisoned cell).
+    Panic,
+    /// Sleep this long on every attempt (a hopeless straggler).
+    Hang { ms: u64 },
+    /// Sleep only on the first attempt (a straggler that recovers on retry).
+    HangOnce { ms: u64 },
+    /// Fail transiently on the first `attempts` attempts, then succeed.
+    Fail { attempts: u32 },
+}
+
+impl Sabotage {
+    fn parse(spec: &str) -> Result<Sabotage, String> {
+        let (verb, arg) = match spec.split_once('=') {
+            Some((v, a)) => (v, Some(a)),
+            None => (spec, None),
+        };
+        let num = |what: &str| -> Result<u64, String> {
+            arg.ok_or_else(|| format!("sabotage '{verb}' needs =<{what}>"))?
+                .parse::<u64>()
+                .map_err(|_| format!("sabotage '{verb}' has a non-numeric {what}"))
+        };
+        match verb {
+            "panic" => Ok(Sabotage::Panic),
+            "hang" => Ok(Sabotage::Hang { ms: num("ms")? }),
+            "hang-once" => Ok(Sabotage::HangOnce { ms: num("ms")? }),
+            "fail" => Ok(Sabotage::Fail {
+                attempts: num("n")? as u32,
+            }),
+            other => Err(format!("unknown sabotage verb '{other}'")),
+        }
+    }
+
+    /// Applied inside the attempt worker, before any real work.
+    fn apply(self, attempt: u32) -> Result<(), CellError> {
+        match self {
+            Sabotage::Panic => panic!("sabotage: injected panic"),
+            Sabotage::Hang { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            Sabotage::HangOnce { ms } if attempt == 1 => {
+                std::thread::sleep(Duration::from_millis(ms))
+            }
+            Sabotage::HangOnce { .. } => {}
+            Sabotage::Fail { attempts } if attempt <= attempts => {
+                return Err(CellError::Transient(format!(
+                    "injected transient failure (attempt {attempt}/{attempts})"
+                )));
+            }
+            Sabotage::Fail { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Campaign-level failure: the run itself could not proceed (cell failures
+/// are *not* errors — they quarantine).
+#[derive(Debug)]
+pub enum CampaignError {
+    Io(std::io::Error),
+    /// The spec is malformed (parse error, unknown name, empty grid).
+    Spec(String),
+    /// The manifest in the campaign directory belongs to a different spec.
+    ManifestMismatch {
+        expected: String,
+        found: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign I/O error: {e}"),
+            CampaignError::Spec(msg) => write!(f, "campaign spec error: {msg}"),
+            CampaignError::ManifestMismatch { expected, found } => write!(
+                f,
+                "campaign manifest belongs to a different spec \
+                 (digest {found}, expected {expected}); use a fresh --dir \
+                 or restore the original spec"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Why a single attempt of a cell failed.
+#[derive(Debug, Clone)]
+pub enum CellError {
+    /// The worker panicked (caught via `catch_unwind`).
+    Panicked(String),
+    /// The attempt exceeded its wall-clock deadline.
+    Timeout { ms: u64 },
+    /// Injected transient failure (sabotage `fail=<n>`).
+    Transient(String),
+    /// The pipeline failed structurally (too little data to model, bad
+    /// fault spec at run time) — permanent, retrying cannot help.
+    Modeling(String),
+    /// Checkpoint or manifest I/O failed for this cell.
+    Io(String),
+}
+
+impl CellError {
+    /// Transient errors are retried with backoff; permanent ones quarantine
+    /// immediately.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, CellError::Modeling(_))
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            CellError::Timeout { ms } => write!(f, "timed out after {ms} ms"),
+            CellError::Transient(msg) => write!(f, "transient: {msg}"),
+            CellError::Modeling(msg) => write!(f, "modeling failed: {msg}"),
+            CellError::Io(msg) => write!(f, "I/O failed: {msg}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest journal
+// ---------------------------------------------------------------------------
+
+/// One journaled lifecycle event. Serialized as a single JSON line prefixed
+/// with its FNV-1a-32 checksum: `crc json\n`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum ManifestRecord {
+    /// Header: first record of a fresh manifest.
+    Campaign {
+        name: String,
+        digest: String,
+        cells: u64,
+        version: u32,
+    },
+    /// An attempt began (a `start` without a terminal event means the
+    /// process died mid-cell — the cell is pending again on resume).
+    Start { cell: String, attempt: u32 },
+    /// The cell completed; `checkpoint` is the models file relative to the
+    /// campaign directory, written and flushed *before* this record.
+    Done {
+        cell: String,
+        attempt: u32,
+        metrics: CellMetrics,
+        checkpoint: String,
+    },
+    /// An attempt failed; `transient` records whether it was retryable.
+    Failed {
+        cell: String,
+        attempt: u32,
+        error: String,
+        transient: bool,
+    },
+    /// Terminal failure: retries exhausted or the error was permanent.
+    Quarantined {
+        cell: String,
+        attempts: u32,
+        error: String,
+    },
+}
+
+impl ManifestRecord {
+    /// Encodes the record as a checksummed journal line.
+    fn encode(&self) -> Result<String, CampaignError> {
+        let body = serde_json::to_string(self)
+            .map_err(|e| CampaignError::Spec(format!("unencodable manifest record: {e}")))?;
+        Ok(format!("{:08x} {body}\n", fnv1a32(body.as_bytes())))
+    }
+
+    /// Decodes one journal line (without the trailing newline). `None`
+    /// means the line is torn or corrupt — replay stops there.
+    fn decode(line: &str) -> Option<ManifestRecord> {
+        let (crc_hex, body) = line.split_at_checked(8)?;
+        let body = body.strip_prefix(' ')?;
+        let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+        if crc != fnv1a32(body.as_bytes()) {
+            return None;
+        }
+        serde_json::from_str(body).ok()
+    }
+}
+
+/// Append-only, fsync-per-record journal writer. No buffering: a record
+/// either reaches the disk before the next state transition or the crash
+/// leaves (at most) one torn trailing line for replay to truncate.
+struct ManifestWriter {
+    file: std::fs::File,
+}
+
+impl ManifestWriter {
+    fn open(path: &Path) -> std::io::Result<ManifestWriter> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(ManifestWriter { file })
+    }
+
+    fn append(&mut self, record: &ManifestRecord) -> Result<(), CampaignError> {
+        let line = record.encode()?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Result of replaying a manifest file.
+#[derive(Debug, Default)]
+pub struct ManifestReplay {
+    pub records: Vec<ManifestRecord>,
+    /// Byte length of the valid record prefix.
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (a torn or corrupt tail to truncate).
+    pub torn_bytes: u64,
+}
+
+/// Replays a manifest journal, stopping at the first torn or corrupt line.
+/// A missing file is an empty (fresh) manifest, exactly like
+/// [`crate::tail::follow_stream`] treats a not-yet-created telemetry file.
+pub fn replay_manifest(path: &Path) -> Result<ManifestReplay, CampaignError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ManifestReplay::default()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut replay = ManifestReplay::default();
+    let mut offset = 0usize;
+    while offset < text.len() {
+        let Some(nl) = text[offset..].find('\n') else {
+            break; // unterminated tail: the crash interrupted this write
+        };
+        let line = &text[offset..offset + nl];
+        match ManifestRecord::decode(line) {
+            Some(rec) => {
+                replay.records.push(rec);
+                offset += nl + 1;
+            }
+            None => break, // checksum or parse failure: stop at last good record
+        }
+    }
+    replay.valid_bytes = offset as u64;
+    replay.torn_bytes = (text.len() - offset) as u64;
+    Ok(replay)
+}
+
+/// Per-cell state folded out of a manifest replay (last event wins).
+#[derive(Debug, Default)]
+struct ResumeState {
+    header: Option<(String, String)>,
+    /// Attempts already journaled per cell (start records).
+    attempts: BTreeMap<String, u32>,
+    done: BTreeMap<String, (u32, CellMetrics, String)>,
+    quarantined: BTreeMap<String, (u32, String)>,
+    failed_attempts: u64,
+}
+
+impl ResumeState {
+    fn fold(records: &[ManifestRecord]) -> ResumeState {
+        let mut state = ResumeState::default();
+        for rec in records {
+            match rec {
+                ManifestRecord::Campaign { name, digest, .. } => {
+                    state.header = Some((name.clone(), digest.clone()));
+                }
+                ManifestRecord::Start { cell, attempt } => {
+                    let seen = state.attempts.entry(cell.clone()).or_insert(0);
+                    *seen = (*seen).max(*attempt);
+                }
+                ManifestRecord::Done {
+                    cell,
+                    attempt,
+                    metrics,
+                    checkpoint,
+                } => {
+                    state.done.insert(
+                        cell.clone(),
+                        (*attempt, metrics.clone(), checkpoint.clone()),
+                    );
+                    state.quarantined.remove(cell);
+                }
+                ManifestRecord::Failed { .. } => state.failed_attempts += 1,
+                ManifestRecord::Quarantined {
+                    cell,
+                    attempts,
+                    error,
+                } => {
+                    state
+                        .quarantined
+                        .insert(cell.clone(), (*attempts, error.clone()));
+                }
+            }
+        }
+        state
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell execution
+// ---------------------------------------------------------------------------
+
+/// The roll-up metrics of one completed cell — a deterministic projection
+/// of its fitted model set, stored in the manifest so resumes never refit.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CellMetrics {
+    /// Human-readable `T_epoch(x1)` formula.
+    pub epoch_formula: String,
+    pub epoch_seconds_at_probe: f64,
+    pub communication_share_percent: f64,
+    pub core_hours_at_probe: f64,
+    pub kernels_modeled: u64,
+    pub kernels_failed: u64,
+    /// Mean percentage error of the epoch model vs. the simulator's
+    /// analytic oracle over the modeling scales.
+    pub mpe_vs_oracle_percent: f64,
+}
+
+/// Runs one cell's full pipeline: sabotage gate → simulate → (faults +
+/// repair) → aggregate → model → analyze. Pure compute: all journal and
+/// checkpoint writes happen on the scheduler side, so an abandoned
+/// (timed-out) worker can never corrupt campaign state.
+fn execute_cell(
+    cell: &CellSpec,
+    attempt: u32,
+    analysis: &AnalysisSpec,
+) -> Result<(CellMetrics, crate::modelset::ModelSet), CellError> {
+    if let Some(spec) = &cell.sabotage {
+        let sabotage = Sabotage::parse(spec).map_err(CellError::Modeling)?;
+        sabotage.apply(attempt)?;
+    }
+    let espec = cell.experiment_spec().map_err(CellError::Modeling)?;
+    let mut profiles = espec.run();
+    if let Some(fault_spec) = &cell.faults {
+        let plan = FaultPlan::parse(fault_spec).map_err(|e| CellError::Modeling(e.to_string()))?;
+        let summary = plan.apply(&mut profiles);
+        if summary.total() > 0 {
+            extradeep_obs::warn!("campaign: cell {}: fault injection: {summary}", cell.id);
+        }
+        // Repair what the faults broke, exactly like the pipeline command:
+        // the campaign degrades gracefully on corrupted measurements.
+        let repair = extradeep_trace::repair_experiment(&mut profiles);
+        if !repair.is_clean() {
+            extradeep_obs::warn!(
+                "campaign: cell {}: {} repair(s) after fault injection",
+                cell.id,
+                repair.counts.total_repairs()
+            );
+        }
+    }
+    let agg = aggregate_experiment(&profiles, &AggregationOptions::default());
+    let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
+        .map_err(|e| CellError::Modeling(e.to_string()))?;
+
+    let probe = analysis.probe_ranks;
+    let mut cost = CostModel::new(analysis.cores_per_rank);
+    if let Some(price) = analysis.price_per_core_hour {
+        cost = cost.with_price(price);
+    }
+    let q3 = questions::q3_bottlenecks(&models, probe);
+    let metrics = CellMetrics {
+        epoch_formula: models.app.epoch.formatted(),
+        epoch_seconds_at_probe: questions::q1_epoch_seconds(&models, probe),
+        communication_share_percent: q3.communication_share_percent,
+        core_hours_at_probe: questions::q4_epoch_core_hours(&models, &cost, probe),
+        kernels_modeled: models.kernels.len() as u64,
+        kernels_failed: models.failed.len() as u64,
+        mpe_vs_oracle_percent: crate::chaos::mpe_vs_oracle(&espec, &models),
+    };
+    Ok((metrics, models))
+}
+
+/// Extracts a printable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one attempt in a dedicated worker thread under `catch_unwind`,
+/// bounded by the wall-clock deadline. On timeout the worker is *abandoned*
+/// (std threads cannot be killed): it keeps computing into a dropped
+/// channel and its result is discarded — safe because workers are pure
+/// (see [`execute_cell`]) — while the scheduler moves on to the retry.
+fn run_attempt(
+    cell: &CellSpec,
+    attempt: u32,
+    analysis: &AnalysisSpec,
+    timeout_ms: u64,
+) -> Result<(CellMetrics, crate::modelset::ModelSet), CellError> {
+    let (tx, rx) = mpsc::channel();
+    let worker_cell = cell.clone();
+    let worker_analysis = analysis.clone();
+    std::thread::Builder::new()
+        .name(format!("campaign-{}", cell.id))
+        .spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                execute_cell(&worker_cell, attempt, &worker_analysis)
+            }));
+            let _ = tx.send(outcome);
+        })
+        .map_err(|e| CellError::Io(format!("cannot spawn cell worker: {e}")))?;
+    match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
+        Ok(Ok(result)) => result,
+        Ok(Err(payload)) => Err(CellError::Panicked(panic_message(payload))),
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(CellError::Timeout { ms: timeout_ms }),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err(CellError::Io("cell worker vanished".to_string()))
+        }
+    }
+}
+
+/// Retry delay before `attempt + 1`: capped exponential backoff plus a
+/// deterministic jitter derived from (cell id, attempt, seed) — replayable
+/// like everything else, no ambient entropy.
+fn backoff_delay(exec: &ExecutionSpec, cell_id: &str, attempt: u32, seed: u64) -> Duration {
+    let base = exec.backoff_base_ms.max(1);
+    let cap = exec.backoff_cap_ms.max(base);
+    let exp = base.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16));
+    let delay = exp.min(cap);
+    let jitter = fnv1a64(format!("{cell_id}:{attempt}:{seed}").as_bytes()) % (delay / 2 + 1);
+    Duration::from_millis(delay + jitter)
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+/// Per-invocation options that are not part of the (digested) spec.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Overrides `execution.parallelism` without changing the spec digest.
+    pub parallelism: Option<usize>,
+    /// Crash drill: `std::process::exit(3)` immediately after the Nth cell
+    /// completion record reaches the disk — a deterministic stand-in for
+    /// SIGKILL used by the kill-and-resume tests and the CI smoke job.
+    pub crash_after_done: Option<u64>,
+}
+
+enum Outcome {
+    Done {
+        id: String,
+        attempts: u32,
+        metrics: CellMetrics,
+    },
+    Quarantined {
+        id: String,
+        attempts: u32,
+        error: String,
+    },
+}
+
+struct Shared<'a> {
+    writer: Mutex<ManifestWriter>,
+    outcomes: Mutex<Vec<Outcome>>,
+    exec: &'a ExecutionSpec,
+    analysis: &'a AnalysisSpec,
+    dir: &'a Path,
+    /// Remaining `done` records before the injected crash (-1 = disabled).
+    crash_budget: AtomicI64,
+    failed_attempts: AtomicU64,
+    /// First manifest I/O error (aborts the run at the next cell boundary).
+    io_error: Mutex<Option<CampaignError>>,
+}
+
+impl Shared<'_> {
+    fn append(&self, record: &ManifestRecord) -> bool {
+        let mut writer = match self.writer.lock() {
+            Ok(w) => w,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match writer.append(record) {
+            Ok(()) => true,
+            Err(e) => {
+                let mut slot = match self.io_error.lock() {
+                    Ok(s) => s,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                slot.get_or_insert(e);
+                false
+            }
+        }
+    }
+
+    fn push(&self, outcome: Outcome) {
+        let mut outcomes = match self.outcomes.lock() {
+            Ok(o) => o,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        outcomes.push(outcome);
+    }
+
+    /// The crash drill: fires after the Nth durable completion.
+    fn maybe_crash(&self) {
+        if self.crash_budget.load(Ordering::Relaxed) < 0 {
+            return;
+        }
+        if self.crash_budget.fetch_sub(1, Ordering::SeqCst) == 1 {
+            extradeep_obs::warn!("campaign: injected crash (--crash-after reached)");
+            std::process::exit(3);
+        }
+    }
+}
+
+/// Schedules one cell: attempt → classify → retry/quarantine, journaling
+/// every transition before acting on it.
+fn run_cell(cell: &CellSpec, prior_attempts: u32, shared: &Shared<'_>) {
+    let max_attempts = shared.exec.max_attempts.max(1);
+    let mut attempt = prior_attempts;
+    loop {
+        attempt += 1;
+        if !shared.append(&ManifestRecord::Start {
+            cell: cell.id.clone(),
+            attempt,
+        }) {
+            return; // manifest is gone; the run aborts with the I/O error
+        }
+        let result = run_attempt(cell, attempt, shared.analysis, shared.exec.timeout_ms);
+        let err = match result {
+            Ok((metrics, models)) => {
+                let checkpoint = cell.checkpoint_rel();
+                // Checkpoint first, then the durable `done` record: a crash
+                // between the two re-runs the cell, never trusts a missing
+                // or half-written checkpoint.
+                match save_models(&models, shared.dir.join(&checkpoint)) {
+                    Ok(()) => {
+                        if !shared.append(&ManifestRecord::Done {
+                            cell: cell.id.clone(),
+                            attempt,
+                            metrics: metrics.clone(),
+                            checkpoint,
+                        }) {
+                            return;
+                        }
+                        extradeep_obs::counter("campaign.cells_done").add(1);
+                        extradeep_obs::info!("campaign: cell {} done (attempt {attempt})", cell.id);
+                        shared.push(Outcome::Done {
+                            id: cell.id.clone(),
+                            attempts: attempt,
+                            metrics,
+                        });
+                        shared.maybe_crash();
+                        return;
+                    }
+                    Err(e) => CellError::Io(format!("checkpoint write failed: {e}")),
+                }
+            }
+            Err(e) => e,
+        };
+
+        shared.failed_attempts.fetch_add(1, Ordering::Relaxed);
+        if matches!(err, CellError::Timeout { .. }) {
+            extradeep_obs::counter("campaign.cells_timed_out").add(1);
+        }
+        if !shared.append(&ManifestRecord::Failed {
+            cell: cell.id.clone(),
+            attempt,
+            error: err.to_string(),
+            transient: err.is_transient(),
+        }) {
+            return;
+        }
+        if !err.is_transient() || attempt >= max_attempts {
+            extradeep_obs::warn!(
+                "campaign: cell {} quarantined after {attempt} attempt(s): {err}",
+                cell.id
+            );
+            if !shared.append(&ManifestRecord::Quarantined {
+                cell: cell.id.clone(),
+                attempts: attempt,
+                error: err.to_string(),
+            }) {
+                return;
+            }
+            extradeep_obs::counter("campaign.cells_quarantined").add(1);
+            shared.push(Outcome::Quarantined {
+                id: cell.id.clone(),
+                attempts: attempt,
+                error: err.to_string(),
+            });
+            return;
+        }
+        extradeep_obs::counter("campaign.cells_retried").add(1);
+        let delay = backoff_delay(shared.exec, &cell.id, attempt, cell.seed);
+        extradeep_obs::warn!(
+            "campaign: cell {} attempt {attempt} failed ({err}); retrying in {} ms",
+            cell.id,
+            delay.as_millis()
+        );
+        std::thread::sleep(delay);
+    }
+}
+
+/// Runs (or resumes) a campaign in `dir`. The directory owns the manifest
+/// journal and the per-cell checkpoint files; pointing a second invocation
+/// at the same directory with the same spec continues where the first died.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    dir: &Path,
+    opts: &RunOptions,
+) -> Result<CampaignReport, CampaignError> {
+    let _span = extradeep_obs::span("core.campaign");
+    let started = std::time::Instant::now();
+    let cells = spec.expand()?;
+    if cells.is_empty() {
+        return Err(CampaignError::Spec(
+            "campaign expands to zero cells".to_string(),
+        ));
+    }
+    std::fs::create_dir_all(dir.join("cells"))?;
+    let manifest_path = dir.join(MANIFEST_FILE);
+
+    // Replay whatever a previous life left behind; truncate the torn tail.
+    let replay = replay_manifest(&manifest_path)?;
+    if replay.torn_bytes > 0 {
+        extradeep_obs::warn!(
+            "campaign: manifest has a torn tail ({} byte(s)); truncating to last good record",
+            replay.torn_bytes
+        );
+        extradeep_obs::counter("campaign.torn_bytes_recovered").add(replay.torn_bytes);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&manifest_path)?;
+        file.set_len(replay.valid_bytes)?;
+        file.sync_data()?;
+    }
+
+    let digest = spec.digest();
+    let mut state = ResumeState::fold(&replay.records);
+    if let Some((_, found)) = &state.header {
+        if *found != digest {
+            return Err(CampaignError::ManifestMismatch {
+                expected: digest,
+                found: found.clone(),
+            });
+        }
+    }
+
+    // Validate resumed checkpoints: a cell whose models file was torn
+    // mid-write (CorruptCheckpoint) — or lost entirely — is pending again.
+    let mut corrupt_checkpoints = 0usize;
+    let invalid: Vec<String> = state
+        .done
+        .iter()
+        .filter_map(
+            |(id, (_, _, checkpoint))| match load_models(dir.join(checkpoint)) {
+                Ok(_) => None,
+                Err(e) => {
+                    let detail = match &e {
+                        PersistError::CorruptCheckpoint { path, offset } => {
+                            format!("torn checkpoint {path} (valid to byte {offset})")
+                        }
+                        other => other.to_string(),
+                    };
+                    extradeep_obs::warn!(
+                        "campaign: cell {id}: checkpoint invalid ({detail}); re-running"
+                    );
+                    Some(id.clone())
+                }
+            },
+        )
+        .collect();
+    for id in &invalid {
+        state.done.remove(id);
+        corrupt_checkpoints += 1;
+        extradeep_obs::counter("campaign.corrupt_checkpoints").add(1);
+    }
+    let resumed_done = state.done.len();
+
+    let mut writer = ManifestWriter::open(&manifest_path)?;
+    if state.header.is_none() {
+        writer.append(&ManifestRecord::Campaign {
+            name: spec.name.clone(),
+            digest: digest.clone(),
+            cells: cells.len() as u64,
+            version: MANIFEST_VERSION,
+        })?;
+    }
+
+    let pending: Vec<&CellSpec> = cells
+        .iter()
+        .filter(|c| !state.done.contains_key(&c.id) && !state.quarantined.contains_key(&c.id))
+        .collect();
+    extradeep_obs::info!(
+        "campaign '{}': {} cell(s), {} resumed done, {} quarantined, {} pending",
+        spec.name,
+        cells.len(),
+        resumed_done,
+        state.quarantined.len(),
+        pending.len()
+    );
+
+    let shared = Shared {
+        writer: Mutex::new(writer),
+        outcomes: Mutex::new(Vec::new()),
+        exec: &spec.execution,
+        analysis: &spec.analysis,
+        dir,
+        crash_budget: AtomicI64::new(match opts.crash_after_done {
+            Some(n) => n as i64,
+            None => -1,
+        }),
+        failed_attempts: AtomicU64::new(0),
+        io_error: Mutex::new(None),
+    };
+
+    if !pending.is_empty() {
+        let parallelism = opts
+            .parallelism
+            .unwrap_or(spec.execution.parallelism)
+            .clamp(1, 64)
+            .min(pending.len());
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(parallelism)
+            .thread_name(|i| format!("campaign-pool-{i}"))
+            .build()
+            .map_err(|e| CampaignError::Spec(format!("cannot build scheduler pool: {e}")))?;
+        pool.install(|| {
+            use rayon::prelude::*;
+            pending.par_iter().for_each(|cell| {
+                let prior = state.attempts.get(&cell.id).copied().unwrap_or(0);
+                run_cell(cell, prior, &shared);
+            });
+        });
+    }
+
+    let io_error = match shared.io_error.lock() {
+        Ok(mut slot) => slot.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    };
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+
+    // Roll-up: resumed results (from the journal) + this life's outcomes.
+    let mut done: BTreeMap<String, CellReport> = state
+        .done
+        .into_iter()
+        .map(|(id, (attempt, metrics, _))| {
+            let attempts = state.attempts.get(&id).copied().unwrap_or(attempt);
+            (
+                id.clone(),
+                CellReport {
+                    id,
+                    attempts,
+                    metrics,
+                },
+            )
+        })
+        .collect();
+    let mut quarantined: BTreeMap<String, QuarantineEntry> = state
+        .quarantined
+        .into_iter()
+        .map(|(id, (attempts, error))| {
+            (
+                id.clone(),
+                QuarantineEntry {
+                    id,
+                    attempts,
+                    error,
+                },
+            )
+        })
+        .collect();
+    let outcomes = match shared.outcomes.into_inner() {
+        Ok(o) => o,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let executed = outcomes.len();
+    for outcome in outcomes {
+        match outcome {
+            Outcome::Done {
+                id,
+                attempts,
+                metrics,
+            } => {
+                done.insert(
+                    id.clone(),
+                    CellReport {
+                        id,
+                        attempts,
+                        metrics,
+                    },
+                );
+            }
+            Outcome::Quarantined {
+                id,
+                attempts,
+                error,
+            } => {
+                quarantined.insert(
+                    id.clone(),
+                    QuarantineEntry {
+                        id,
+                        attempts,
+                        error,
+                    },
+                );
+            }
+        }
+    }
+
+    Ok(CampaignReport {
+        name: spec.name.clone(),
+        digest,
+        probe_ranks: spec.analysis.probe_ranks,
+        total_cells: cells.len(),
+        resumed_done,
+        executed,
+        failed_attempts: state.failed_attempts + shared.failed_attempts.load(Ordering::Relaxed),
+        torn_bytes_recovered: replay.torn_bytes,
+        corrupt_checkpoints,
+        wall_ms: started.elapsed().as_millis() as u64,
+        cells: done.into_values().collect(),
+        quarantined: quarantined.into_values().collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Roll-up report
+// ---------------------------------------------------------------------------
+
+/// One surviving cell in the roll-up.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CellReport {
+    pub id: String,
+    pub attempts: u32,
+    pub metrics: CellMetrics,
+}
+
+/// One quarantined cell: the explicit attribution the matrix owes the
+/// operator for every cell it gave up on.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct QuarantineEntry {
+    pub id: String,
+    pub attempts: u32,
+    pub error: String,
+}
+
+/// The campaign roll-up: every surviving cell's metrics plus the
+/// quarantine table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    pub name: String,
+    pub digest: String,
+    pub probe_ranks: f64,
+    pub total_cells: usize,
+    /// Cells whose results were replayed from the manifest (earlier life).
+    pub resumed_done: usize,
+    /// Cells actually executed by this invocation.
+    pub executed: usize,
+    pub failed_attempts: u64,
+    pub torn_bytes_recovered: u64,
+    pub corrupt_checkpoints: usize,
+    pub wall_ms: u64,
+    pub cells: Vec<CellReport>,
+    pub quarantined: Vec<QuarantineEntry>,
+}
+
+impl CampaignReport {
+    /// True when every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty() && self.cells.len() == self.total_cells
+    }
+
+    /// Deterministic projection of the campaign *results* — cell metrics
+    /// and quarantined ids, excluding attempt counts and wall time — so an
+    /// interrupted-and-resumed run can be proven equal to an uninterrupted
+    /// one byte-for-byte.
+    pub fn fingerprint(&self) -> String {
+        let metrics: BTreeMap<&str, &CellMetrics> = self
+            .cells
+            .iter()
+            .map(|c| (c.id.as_str(), &c.metrics))
+            .collect();
+        let mut quarantined: Vec<&str> = self.quarantined.iter().map(|q| q.id.as_str()).collect();
+        quarantined.sort_unstable();
+        serde_json::to_string(&(metrics, quarantined)).unwrap_or_default()
+    }
+
+    /// Plain-text roll-up with the cells table and the quarantine table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Campaign '{}' ==\n{} cell(s): {} done ({} resumed), {} quarantined, \
+             {} failed attempt(s), {:.1} s wall\n",
+            self.name,
+            self.total_cells,
+            self.cells.len(),
+            self.resumed_done,
+            self.quarantined.len(),
+            self.failed_attempts,
+            self.wall_ms as f64 / 1000.0
+        ));
+        if self.torn_bytes_recovered > 0 {
+            out.push_str(&format!(
+                "Recovered a torn manifest tail ({} byte(s) truncated).\n",
+                self.torn_bytes_recovered
+            ));
+        }
+        if self.corrupt_checkpoints > 0 {
+            out.push_str(&format!(
+                "{} corrupt checkpoint(s) detected and re-run.\n",
+                self.corrupt_checkpoints
+            ));
+        }
+        if !self.cells.is_empty() {
+            out.push_str(&format!(
+                "\nSurviving cells (probe {} ranks):\n",
+                self.probe_ranks
+            ));
+            let mut t = Table::new(&["cell", "att", "epoch [s]", "comm", "core-h", "mpe"]);
+            for c in &self.cells {
+                t.add_row(vec![
+                    c.id.clone(),
+                    c.attempts.to_string(),
+                    fmt(c.metrics.epoch_seconds_at_probe, 2),
+                    pct(c.metrics.communication_share_percent),
+                    fmt(c.metrics.core_hours_at_probe, 2),
+                    pct(c.metrics.mpe_vs_oracle_percent),
+                ]);
+            }
+            out.push_str(&t.render());
+            if let Some(best) = self.cells.iter().min_by(|a, b| {
+                a.metrics
+                    .core_hours_at_probe
+                    .total_cmp(&b.metrics.core_hours_at_probe)
+            }) {
+                out.push_str(&format!(
+                    "Cheapest at probe: {} ({} core-hours/epoch)\n",
+                    best.id,
+                    fmt(best.metrics.core_hours_at_probe, 2)
+                ));
+            }
+        }
+        if !self.quarantined.is_empty() {
+            out.push_str("\nQuarantined cells:\n");
+            let mut t = Table::new(&["cell", "attempts", "last error"]);
+            for q in &self.quarantined {
+                t.add_row(vec![q.id.clone(), q.attempts.to_string(), q.error.clone()]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// Markdown roll-up for CI artifacts.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# Campaign '{}'\n\n", self.name));
+        out.push_str(&format!(
+            "{} cell(s): **{} done** ({} resumed), **{} quarantined**, \
+             {} failed attempt(s), {:.1} s wall.\n\n",
+            self.total_cells,
+            self.cells.len(),
+            self.resumed_done,
+            self.quarantined.len(),
+            self.failed_attempts,
+            self.wall_ms as f64 / 1000.0
+        ));
+        if !self.cells.is_empty() {
+            out.push_str(&format!(
+                "## Surviving cells (probe {} ranks)\n\n\
+                 | Cell | Attempts | Epoch [s] | Comm share | Core-h | MPE vs oracle |\n\
+                 |---|---|---|---|---|---|\n",
+                self.probe_ranks
+            ));
+            for c in &self.cells {
+                out.push_str(&format!(
+                    "| `{}` | {} | {:.2} | {:.1}% | {:.2} | {:.2}% |\n",
+                    c.id,
+                    c.attempts,
+                    c.metrics.epoch_seconds_at_probe,
+                    c.metrics.communication_share_percent,
+                    c.metrics.core_hours_at_probe,
+                    c.metrics.mpe_vs_oracle_percent
+                ));
+            }
+            out.push('\n');
+        }
+        if !self.quarantined.is_empty() {
+            out.push_str(
+                "## Quarantined cells\n\n| Cell | Attempts | Last error |\n|---|---|---|\n",
+            );
+            for q in &self.quarantined {
+                out.push_str(&format!("| `{}` | {} | {} |\n", q.id, q.attempts, q.error));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hashes
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 32-bit: the per-line manifest checksum. Not cryptographic — it
+/// detects torn writes and bit rot, which is all a local journal needs.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// FNV-1a 64-bit: spec digests and deterministic backoff jitter.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Resolves the default campaign directory for a spec file:
+/// `<spec-stem>.campaign` next to the spec.
+pub fn default_campaign_dir(spec_path: &Path) -> PathBuf {
+    let stem = spec_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "campaign".to_string());
+    spec_path.with_file_name(format!("{stem}.campaign"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec {
+            name: "unit".to_string(),
+            ..CampaignSpec::default()
+        };
+        spec.grid.ranks = vec![vec![2, 4, 6]];
+        spec.grid.max_recorded_ranks = 1;
+        spec.execution.parallelism = 1;
+        spec.execution.timeout_ms = 60_000;
+        spec.execution.backoff_base_ms = 1;
+        spec.execution.backoff_cap_ms = 4;
+        spec
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("extradeep-campaign-unit")
+            .join(format!("{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn spec_parses_with_defaults_and_rejects_unknown_fields() {
+        let spec = CampaignSpec::from_json(r#"{"name": "x"}"#).unwrap();
+        assert_eq!(spec.name, "x");
+        assert_eq!(spec.grid.benchmarks, vec!["cifar10"]);
+        assert_eq!(spec.execution.max_attempts, 3);
+
+        let err = CampaignSpec::from_json(r#"{"name": "x", "timout_ms": 5}"#);
+        assert!(matches!(err, Err(CampaignError::Spec(_))));
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_ids_are_stable() {
+        let mut spec = tiny_spec();
+        spec.grid.systems = vec!["deep".to_string(), "jureca".to_string()];
+        spec.grid.seeds = vec![1, 2];
+        let a = spec.expand().unwrap();
+        let b = spec.expand().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].id, "cifar10-deep-data-weak-bsp-r2.4.6-s1");
+        assert_eq!(a[3].id, "cifar10-jureca-data-weak-bsp-r2.4.6-s2");
+    }
+
+    #[test]
+    fn expansion_rejects_unknown_names_and_bad_sabotage() {
+        let mut spec = tiny_spec();
+        spec.grid.strategies = vec!["magic".to_string()];
+        assert!(matches!(spec.expand(), Err(CampaignError::Spec(_))));
+
+        let mut spec = tiny_spec();
+        spec.sabotage.insert("*".to_string(), "explode".to_string());
+        assert!(matches!(spec.expand(), Err(CampaignError::Spec(_))));
+    }
+
+    #[test]
+    fn digest_tracks_spec_content() {
+        let a = tiny_spec();
+        let mut b = tiny_spec();
+        assert_eq!(a.digest(), b.digest());
+        b.execution.timeout_ms += 1;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn sabotage_grammar_round_trips() {
+        assert_eq!(Sabotage::parse("panic").unwrap(), Sabotage::Panic);
+        assert_eq!(
+            Sabotage::parse("hang=250").unwrap(),
+            Sabotage::Hang { ms: 250 }
+        );
+        assert_eq!(
+            Sabotage::parse("hang-once=10").unwrap(),
+            Sabotage::HangOnce { ms: 10 }
+        );
+        assert_eq!(
+            Sabotage::parse("fail=2").unwrap(),
+            Sabotage::Fail { attempts: 2 }
+        );
+        assert!(Sabotage::parse("hang").is_err());
+        assert!(Sabotage::parse("fail=lots").is_err());
+        assert!(Sabotage::parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn manifest_records_round_trip_through_the_journal() {
+        let records = vec![
+            ManifestRecord::Campaign {
+                name: "x".to_string(),
+                digest: "abc".to_string(),
+                cells: 3,
+                version: MANIFEST_VERSION,
+            },
+            ManifestRecord::Start {
+                cell: "c1".to_string(),
+                attempt: 1,
+            },
+            ManifestRecord::Failed {
+                cell: "c1".to_string(),
+                attempt: 1,
+                error: "timed out after 5 ms".to_string(),
+                transient: true,
+            },
+            ManifestRecord::Quarantined {
+                cell: "c1".to_string(),
+                attempts: 3,
+                error: "panicked: boom".to_string(),
+            },
+        ];
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(MANIFEST_FILE);
+        let mut writer = ManifestWriter::open(&path).unwrap();
+        for rec in &records {
+            writer.append(rec).unwrap();
+        }
+        let replay = replay_manifest(&path).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(replay.valid_bytes, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail_and_reports_byte_offsets() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(MANIFEST_FILE);
+        let rec = ManifestRecord::Start {
+            cell: "c1".to_string(),
+            attempt: 1,
+        };
+        let good = rec.encode().unwrap();
+        // A valid record followed by the torn prefix of a second write.
+        let torn = &good[..good.len() / 2];
+        std::fs::write(&path, format!("{good}{torn}")).unwrap();
+        let replay = replay_manifest(&path).unwrap();
+        assert_eq!(replay.records, vec![rec]);
+        assert_eq!(replay.valid_bytes, good.len() as u64);
+        assert_eq!(replay.torn_bytes, torn.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_rejects_checksum_mismatch_mid_file() {
+        let dir = tmp_dir("crc");
+        let path = dir.join(MANIFEST_FILE);
+        let a = ManifestRecord::Start {
+            cell: "a".to_string(),
+            attempt: 1,
+        };
+        let b = ManifestRecord::Start {
+            cell: "b".to_string(),
+            attempt: 1,
+        };
+        let mut text = a.encode().unwrap();
+        // Flip one payload byte of the second record: its CRC no longer
+        // matches, so replay must stop after the first record.
+        let corrupted = b.encode().unwrap().replace("\"b\"", "\"c\"");
+        text.push_str(&corrupted);
+        std::fs::write(&path, &text).unwrap();
+        let replay = replay_manifest(&path).unwrap();
+        assert_eq!(replay.records, vec![a]);
+        assert!(replay.torn_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_of_missing_manifest_is_empty_not_fatal() {
+        let replay = replay_manifest(Path::new("/nonexistent/extradeep/manifest.jsonl")).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.valid_bytes, 0);
+    }
+
+    #[test]
+    fn resume_state_treats_start_without_terminal_event_as_pending() {
+        let records = vec![
+            ManifestRecord::Start {
+                cell: "c1".to_string(),
+                attempt: 1,
+            },
+            ManifestRecord::Start {
+                cell: "c1".to_string(),
+                attempt: 2,
+            },
+        ];
+        let state = ResumeState::fold(&records);
+        assert!(state.done.is_empty());
+        assert!(state.quarantined.is_empty());
+        assert_eq!(state.attempts.get("c1"), Some(&2));
+    }
+
+    #[test]
+    fn backoff_is_capped_deterministic_and_grows() {
+        let exec = ExecutionSpec {
+            backoff_base_ms: 10,
+            backoff_cap_ms: 100,
+            ..ExecutionSpec::default()
+        };
+        let d1 = backoff_delay(&exec, "cell", 1, 7);
+        let d2 = backoff_delay(&exec, "cell", 2, 7);
+        assert_eq!(d1, backoff_delay(&exec, "cell", 1, 7));
+        // Delay at attempt n is in [base·2^(n-1), 1.5·base·2^(n-1)] up to
+        // the cap (+50% jitter).
+        assert!(d1.as_millis() >= 10 && d1.as_millis() <= 15, "{d1:?}");
+        assert!(d2.as_millis() >= 20 && d2.as_millis() <= 30, "{d2:?}");
+        let d9 = backoff_delay(&exec, "cell", 9, 7);
+        assert!(d9.as_millis() <= 150, "cap exceeded: {d9:?}");
+        // Jitter differs across cells (no thundering herd).
+        assert_ne!(
+            backoff_delay(&exec, "cell-a", 4, 7),
+            backoff_delay(&exec, "cell-b", 4, 7)
+        );
+    }
+
+    #[test]
+    fn fnv_hashes_are_stable() {
+        // Reference vectors for the FNV-1a constants; a silent change here
+        // would orphan every existing manifest.
+        assert_eq!(fnv1a32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn default_campaign_dir_derives_from_spec_stem() {
+        assert_eq!(
+            default_campaign_dir(Path::new("/tmp/sweep.json")),
+            PathBuf::from("/tmp/sweep.campaign")
+        );
+    }
+
+    #[test]
+    fn transient_classification_matches_retry_policy() {
+        assert!(CellError::Timeout { ms: 5 }.is_transient());
+        assert!(CellError::Panicked("x".to_string()).is_transient());
+        assert!(CellError::Transient("x".to_string()).is_transient());
+        assert!(CellError::Io("x".to_string()).is_transient());
+        assert!(!CellError::Modeling("x".to_string()).is_transient());
+    }
+}

@@ -81,6 +81,9 @@ USAGE:
                      [--chrome <trace.json>]
   extradeep tail     <telemetry.jsonl> [--prometheus] [--follow]
                      [--poll-ms N] [--idle-timeout-ms N]
+  extradeep campaign <spec.json> [--dir <dir>] [--parallelism N] [--strict]
+                     [--json <rollup.json>] [--markdown <rollup.md>]
+                     [--crash-after N]
 
 GLOBAL FLAGS (any command):
   --profile-self <out.json>   record the pipeline's own spans/counters and
@@ -97,6 +100,17 @@ GLOBAL FLAGS (any command):
   --span-budget-ms N          watchdog: warn when a span stays open past N ms
   -q, --quiet                 errors only (also suppresses the stdout report)
   --verbose                   debug-level logging on stderr
+
+CAMPAIGN (batch sweeps with checkpoint/resume):
+  The spec is a JSON grid (benchmarks × systems × strategies × scaling ×
+  sync × rank lists × seeds) plus execution policy (parallelism, retries,
+  timeout, backoff) — see EXPERIMENTS.md. Every cell's lifecycle is
+  journaled to <dir>/manifest.jsonl (fsync'd, checksummed); re-running the
+  same command resumes after a crash, skipping completed cells. Cells that
+  exhaust retries are quarantined and attributed in the roll-up report;
+  --strict turns a non-empty quarantine into exit 1. --crash-after N kills
+  the process (exit 3) after N cell completions — a deterministic SIGKILL
+  stand-in for crash drills.
 
 FAULT INJECTION (pipeline/inspect --inject-faults):
   comma-separated key=value spec, e.g.
@@ -147,22 +161,11 @@ impl Args {
 }
 
 fn parse_benchmark(name: &str) -> Result<Benchmark, CliError> {
-    match name {
-        "cifar10" => Ok(Benchmark::cifar10()),
-        "cifar100" => Ok(Benchmark::cifar100()),
-        "imagenet" => Ok(Benchmark::imagenet()),
-        "imdb" => Ok(Benchmark::imdb()),
-        "speech_commands" => Ok(Benchmark::speech_commands()),
-        other => Err(CliError::Usage(format!("unknown benchmark '{other}'"))),
-    }
+    Benchmark::from_name(name).ok_or_else(|| CliError::Usage(format!("unknown benchmark '{name}'")))
 }
 
 fn parse_system(name: &str) -> Result<SystemConfig, CliError> {
-    match name {
-        "deep" => Ok(SystemConfig::deep()),
-        "jureca" => Ok(SystemConfig::jureca()),
-        other => Err(CliError::Usage(format!("unknown system '{other}'"))),
-    }
+    SystemConfig::from_name(name).ok_or_else(|| CliError::Usage(format!("unknown system '{name}'")))
 }
 
 fn parse_metric(name: &str) -> Result<MetricKind, CliError> {
@@ -207,22 +210,12 @@ fn spec_from_args(args: &Args) -> Result<ExperimentSpec, CliError> {
             .map_err(|_| CliError::Usage(format!("invalid --reps '{n}'")))?;
     }
     if let Some(s) = args.value("--strategy") {
-        spec.strategy = match s {
-            "data" => ParallelStrategy::DataParallel,
-            "tensor" => ParallelStrategy::TensorParallel { group: 4 },
-            "pipeline" => ParallelStrategy::PipelineParallel {
-                stages: 4,
-                microbatches: 8,
-            },
-            other => return Err(CliError::Usage(format!("unknown strategy '{other}'"))),
-        };
+        spec.strategy = ParallelStrategy::from_name(s)
+            .ok_or_else(|| CliError::Usage(format!("unknown strategy '{s}'")))?;
     }
     if let Some(s) = args.value("--scaling") {
-        spec.scaling = match s {
-            "weak" => ScalingMode::Weak,
-            "strong" => ScalingMode::Strong,
-            other => return Err(CliError::Usage(format!("unknown scaling '{other}'"))),
-        };
+        spec.scaling = ScalingMode::from_name(s)
+            .ok_or_else(|| CliError::Usage(format!("unknown scaling '{s}'")))?;
     }
     if args.flag("--asp") {
         spec.sync = SyncMode::Asp;
@@ -865,6 +858,64 @@ fn cmd_inspect(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `campaign`: expand a declarative sweep spec into cells and execute them
+/// with checkpoint/resume, retry/timeout/backoff, and quarantine — see
+/// [`crate::campaign`]. Re-running the same command against the same
+/// directory resumes an interrupted sweep.
+fn cmd_campaign(args: &Args) -> Result<String, CliError> {
+    let spec_path = args
+        .items
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("campaign needs a spec file".to_string()))?;
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| CliError::Usage(format!("cannot read spec '{spec_path}': {e}")))?;
+    let spec = crate::campaign::CampaignSpec::from_json(&spec_text)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let dir = match args.value("--dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => crate::campaign::default_campaign_dir(std::path::Path::new(spec_path)),
+    };
+    let mut opts = crate::campaign::RunOptions::default();
+    if let Some(p) = args.value("--parallelism") {
+        opts.parallelism = Some(
+            p.parse()
+                .map_err(|_| CliError::Usage(format!("invalid --parallelism '{p}'")))?,
+        );
+    }
+    if let Some(n) = args.value("--crash-after") {
+        opts.crash_after_done = Some(
+            n.parse()
+                .map_err(|_| CliError::Usage(format!("invalid --crash-after '{n}'")))?,
+        );
+    }
+
+    let report = crate::campaign::run_campaign(&spec, &dir, &opts).map_err(|e| match e {
+        crate::campaign::CampaignError::Io(io) => CliError::Io(io),
+        crate::campaign::CampaignError::Spec(msg) => CliError::Usage(msg),
+        mismatch @ crate::campaign::CampaignError::ManifestMismatch { .. } => {
+            CliError::Trace(mismatch.to_string())
+        }
+    })?;
+
+    let mut out = report.render();
+    if let Some(path) = args.value("--json") {
+        let body =
+            serde_json::to_string_pretty(&report).map_err(|e| CliError::Trace(e.to_string()))?;
+        std::fs::write(path, body)?;
+        out.push_str(&format!("\nJSON roll-up -> {path}\n"));
+    }
+    if let Some(path) = args.value("--markdown") {
+        std::fs::write(path, report.render_markdown())?;
+        out.push_str(&format!("Markdown roll-up -> {path}\n"));
+    }
+    if (args.flag("--strict") || spec.execution.strict) && !report.is_complete() {
+        return Err(CliError::QualityGate(out));
+    }
+    Ok(out)
+}
+
 fn cmd_tail(args: &Args) -> Result<String, CliError> {
     let path = args
         .items
@@ -1001,6 +1052,7 @@ fn command_span(command: &str) -> &'static str {
         "doctor" => "core.doctor",
         "inspect" => "core.inspect",
         "tail" => "core.tail",
+        "campaign" => "core.campaign_cmd",
         _ => "core.command",
     }
 }
@@ -1020,6 +1072,7 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "doctor" => cmd_doctor(args),
         "inspect" => cmd_inspect(args),
         "tail" => cmd_tail(args),
+        "campaign" => cmd_campaign(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -1376,6 +1429,92 @@ mod tests {
         assert!(rendered.contains("# Workload observatory"));
         assert!(rendered.contains("r1"));
         std::fs::remove_file(md).ok();
+    }
+
+    #[test]
+    fn campaign_runs_resumes_and_writes_artifacts() {
+        let dir =
+            std::env::temp_dir().join(format!("extradeep-cli-campaign-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("sweep.json");
+        std::fs::write(
+            &spec,
+            r#"{
+                "name": "cli-smoke",
+                "grid": {"ranks": [[2, 4, 6]], "max_recorded_ranks": 1},
+                "execution": {"parallelism": 1, "timeout_ms": 120000}
+            }"#,
+        )
+        .unwrap();
+        let json = dir.join("rollup.json");
+        let md = dir.join("rollup.md");
+        let out = run(&argv(&format!(
+            "campaign {} --json {} --markdown {}",
+            spec.display(),
+            json.display(),
+            md.display()
+        )))
+        .unwrap();
+        assert!(out.contains("== Campaign 'cli-smoke' =="), "{out}");
+        assert!(out.contains("1 done"), "{out}");
+        assert!(dir.join("sweep.campaign").join("manifest.jsonl").exists());
+
+        let body = std::fs::read_to_string(&json).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed["total_cells"], 1);
+        assert_eq!(parsed["quarantined"].as_array().unwrap().len(), 0);
+        let rendered = std::fs::read_to_string(&md).unwrap();
+        assert!(rendered.starts_with("# Campaign 'cli-smoke'"));
+
+        // Second invocation resumes: nothing re-executes.
+        let out = run(&argv(&format!("campaign {}", spec.display()))).unwrap();
+        assert!(out.contains("1 resumed"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_strict_gate_trips_on_quarantine() {
+        let dir = std::env::temp_dir().join(format!("extradeep-cli-campq-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("poisoned.json");
+        std::fs::write(
+            &spec,
+            r#"{
+                "name": "poisoned",
+                "grid": {"ranks": [[2, 4, 6]], "max_recorded_ranks": 1},
+                "execution": {"parallelism": 1, "max_attempts": 2,
+                              "backoff_base_ms": 1, "backoff_cap_ms": 2},
+                "sabotage": {"*": "panic"}
+            }"#,
+        )
+        .unwrap();
+        match run(&argv(&format!("campaign {} --strict", spec.display()))) {
+            Err(CliError::QualityGate(report)) => {
+                assert!(report.contains("Quarantined cells"), "{report}");
+                assert!(report.contains("panicked"), "{report}");
+            }
+            other => panic!("expected QualityGate, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_bad_spec_and_missing_file() {
+        assert!(matches!(
+            run(&argv("campaign /nonexistent/spec.json")),
+            Err(CliError::Usage(_))
+        ));
+        let dir = std::env::temp_dir().join("extradeep-cli-campaign-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("bad.json");
+        std::fs::write(&spec, r#"{"name": "x", "grid": {"systems": ["cray"]}}"#).unwrap();
+        assert!(matches!(
+            run(&argv(&format!("campaign {}", spec.display()))),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&spec).ok();
     }
 
     #[test]

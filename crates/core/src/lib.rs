@@ -32,6 +32,7 @@
 //! ```
 
 pub mod analysis;
+pub mod campaign;
 pub mod chaos;
 pub mod cli;
 pub mod doctor;
@@ -53,6 +54,11 @@ pub use extradeep_obs as obs;
 pub use analysis::{
     efficiency_model, efficiency_series, find_cost_effective, rank_by_growth, speedup_model,
     speedup_series, top_bottlenecks, Candidate, Constraints, CostModel, RankedKernel, SearchResult,
+};
+pub use campaign::{
+    default_campaign_dir, replay_manifest, run_campaign, CampaignError, CampaignReport,
+    CampaignSpec, CellMetrics, CellReport, CellSpec, ManifestRecord, ManifestReplay,
+    QuarantineEntry, RunOptions,
 };
 pub use chaos::{
     clean_baseline, mpe_bound, run_chaos_case, ChaosBaseline, ChaosCaseResult, ChaosReport,

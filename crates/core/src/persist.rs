@@ -29,7 +29,17 @@ struct PersistedModelSet {
 pub enum PersistError {
     Io(std::io::Error),
     Format(serde_json::Error),
-    UnsupportedVersion { found: u32 },
+    UnsupportedVersion {
+        found: u32,
+    },
+    /// The file ends mid-record: a write was interrupted (crash, full disk)
+    /// and left a torn tail. `offset` is the byte length that survived.
+    /// Callers that own a source of truth (e.g. the campaign manifest)
+    /// should treat the checkpoint as absent and regenerate it.
+    CorruptCheckpoint {
+        path: String,
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -40,6 +50,11 @@ impl std::fmt::Display for PersistError {
             PersistError::UnsupportedVersion { found } => {
                 write!(f, "unsupported model format version {found}")
             }
+            PersistError::CorruptCheckpoint { path, offset } => write!(
+                f,
+                "corrupt checkpoint {path}: file ends mid-record at byte {offset} \
+                 (torn write); regenerate the checkpoint"
+            ),
         }
     }
 }
@@ -97,8 +112,23 @@ pub fn save_models(set: &ModelSet, path: impl AsRef<Path>) -> Result<(), Persist
 }
 
 /// Reads a model set from a file.
+///
+/// A file truncated mid-write (the process died between `write` and
+/// `fsync`) parses as an unexpected end of input; that case is reported as
+/// the typed [`PersistError::CorruptCheckpoint`] — with the path and the
+/// surviving byte count — instead of a generic format error, so recovery
+/// paths (campaign resume) can distinguish "torn tail, regenerate" from
+/// "wrong file format, abort".
 pub fn load_models(path: impl AsRef<Path>) -> Result<ModelSet, PersistError> {
-    models_from_json(&std::fs::read_to_string(path)?)
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    models_from_json(&text).map_err(|e| match e {
+        PersistError::Format(f) if f.is_eof() => PersistError::CorruptCheckpoint {
+            path: path.display().to_string(),
+            offset: text.len() as u64,
+        },
+        other => other,
+    })
 }
 
 #[cfg(test)]
@@ -152,6 +182,39 @@ mod tests {
         save_models(&set, &path).unwrap();
         let back = load_models(&path).unwrap();
         assert_eq!(set.kernels.len(), back.kernels.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_a_typed_corrupt_checkpoint_error() {
+        let set = model_set();
+        let dir = std::env::temp_dir().join("extradeep-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.models.json");
+        let full = models_to_json(&set).unwrap();
+        // Simulate a crash mid-write: only the first half reached the disk.
+        let torn_len = full.len() / 2;
+        std::fs::write(&path, &full[..torn_len]).unwrap();
+        match load_models(&path) {
+            Err(PersistError::CorruptCheckpoint { path: p, offset }) => {
+                assert!(p.ends_with("torn.models.json"), "path: {p}");
+                assert_eq!(offset, torn_len as u64);
+            }
+            other => panic!("expected CorruptCheckpoint, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_checkpoint_is_also_corrupt_not_a_format_error() {
+        let dir = std::env::temp_dir().join("extradeep-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.models.json");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            load_models(&path),
+            Err(PersistError::CorruptCheckpoint { offset: 0, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -552,7 +552,17 @@ pub fn follow_stream(
             stream = TelemetryStream::default();
         }
         if len > offset {
-            let mut file = std::fs::File::open(path)?;
+            let mut file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                // Deleted or rotated between the stat and the open: the next
+                // poll re-stats and restarts the stream from the new file
+                // (or times out if nothing reappears) — not a follower death.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    std::thread::sleep(std::time::Duration::from_millis(opts.poll_ms.max(1)));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             file.seek(SeekFrom::Start(offset))?;
             let mut buf = Vec::new();
             file.read_to_end(&mut buf)?;
@@ -1050,6 +1060,36 @@ mod tests {
         assert_eq!(live.meta.as_ref().unwrap().pid, 9);
         assert_eq!(live.lines, 2);
         assert_eq!(live.counter_deltas["x"], 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn follow_picks_up_a_late_created_file() {
+        // Follower starts before the run does: the file does not exist yet
+        // and appears only after a few polls. The follower must neither die
+        // nor give up before its idle timeout, then stream the file whole.
+        let path = std::env::temp_dir().join(format!(
+            "extradeep-tail-late-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let writer = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+                std::fs::write(&path, demo_stream()).unwrap();
+            })
+        };
+        let opts = FollowOptions {
+            poll_ms: 5,
+            idle_timeout_ms: 300,
+        };
+        let live = follow_stream(&path, &opts, |_| {}).unwrap();
+        writer.join().unwrap();
+        let whole = parse_stream(&demo_stream());
+        assert_eq!(live.lines, whole.lines);
+        assert_eq!(live.spans.len(), whole.spans.len());
         let _ = std::fs::remove_file(&path);
     }
 

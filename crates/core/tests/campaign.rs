@@ -1,0 +1,314 @@
+//! Kill-and-resume integration suite for the campaign runner: drives the
+//! real `extradeep campaign` binary through crash drills, quarantine, and
+//! checkpoint corruption, asserting the crash-safety contract end to end —
+//! completed cells are never re-executed, the manifest's valid prefix
+//! replays byte-identically, and an interrupted-and-resumed sweep produces
+//! exactly the roll-up of an uninterrupted one.
+
+use extradeep::{replay_manifest, CampaignReport, ManifestRecord};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_extradeep");
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("extradeep-campaign-it")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A fast four-cell matrix: one benchmark at four seeds, five cheap scales,
+/// a single recorded rank, sequential execution so the crash drill cuts at
+/// a deterministic cell boundary.
+fn spec_json(extra: &str) -> String {
+    format!(
+        r#"{{
+  "name": "it",
+  "grid": {{
+    "ranks": [[2, 4, 6, 8, 10]],
+    "seeds": [1, 2, 3, 4],
+    "max_recorded_ranks": 1
+  }},
+  "execution": {{
+    "parallelism": 1,
+    "backoff_base_ms": 1,
+    "backoff_cap_ms": 4
+  }}{extra}
+}}"#
+    )
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(BIN).args(args).output().unwrap();
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn rollup(path: &Path) -> CampaignReport {
+    let text = std::fs::read_to_string(path).unwrap();
+    serde_json::from_str(&text).unwrap()
+}
+
+fn done_counts(manifest: &Path) -> std::collections::BTreeMap<String, u32> {
+    let mut counts = std::collections::BTreeMap::new();
+    for rec in replay_manifest(manifest).unwrap().records {
+        if let ManifestRecord::Done { cell, .. } = rec {
+            *counts.entry(cell).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn kill_and_resume_skips_completed_cells_and_matches_the_uninterrupted_run() {
+    let dir = tmp("kill-resume");
+    let spec = dir.join("sweep.json");
+    std::fs::write(&spec, spec_json("")).unwrap();
+
+    // Reference: the same matrix run uninterrupted in a separate directory.
+    let ref_dir = dir.join("reference");
+    let ref_json = dir.join("reference.json");
+    let (code, out, err) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        ref_dir.to_str().unwrap(),
+        "--json",
+        ref_json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "reference run failed:\n{out}\n{err}");
+    let reference = rollup(&ref_json);
+    assert_eq!(reference.cells.len(), 4);
+    assert!(reference.quarantined.is_empty());
+
+    // Crash drill: exit(3) right after the second durable `done` record.
+    let run_dir = dir.join("run");
+    let (code, _, _) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+        "--crash-after",
+        "2",
+    ]);
+    assert_eq!(code, 3, "crash drill must exit with the injected code");
+    let manifest = run_dir.join("manifest.jsonl");
+    let before = std::fs::read(&manifest).unwrap();
+    let counts = done_counts(&manifest);
+    assert_eq!(counts.len(), 2, "expected exactly 2 done cells: {counts:?}");
+
+    // Resume: the two finished cells replay from the journal, the other two
+    // execute, and the manifest grows strictly append-only.
+    let resumed_json = dir.join("resumed.json");
+    let (code, out, err) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+        "--json",
+        resumed_json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "resume failed:\n{out}\n{err}");
+    assert!(out.contains("2 resumed"), "{out}");
+
+    let after = std::fs::read(&manifest).unwrap();
+    assert!(
+        after.starts_with(&before),
+        "resume must append, never rewrite, the surviving prefix"
+    );
+    let counts = done_counts(&manifest);
+    assert_eq!(counts.len(), 4);
+    assert!(
+        counts.values().all(|&n| n == 1),
+        "a completed cell was re-executed: {counts:?}"
+    );
+
+    let resumed = rollup(&resumed_json);
+    assert_eq!(resumed.resumed_done, 2);
+    assert_eq!(resumed.executed, 2);
+    assert_eq!(
+        resumed.fingerprint(),
+        reference.fingerprint(),
+        "interrupted+resumed results differ from the uninterrupted run"
+    );
+
+    // A third invocation is a no-op replay: everything resumed, nothing run.
+    let (code, out, _) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("4 resumed"), "{out}");
+}
+
+#[test]
+fn poisoned_cell_is_quarantined_and_attributed_without_failing_the_matrix() {
+    let dir = tmp("poison");
+    let spec = dir.join("sweep.json");
+    let poisoned = "cifar10-deep-data-weak-bsp-r2.4.6.8.10-s3";
+    std::fs::write(
+        &spec,
+        spec_json(&format!(
+            r#",
+  "sabotage": {{ "{poisoned}": "panic" }}"#
+        )),
+    )
+    .unwrap();
+
+    let run_dir = dir.join("run");
+    let json = dir.join("rollup.json");
+    let (code, out, err) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    // Without --strict a quarantined cell is a survivable, attributed loss.
+    assert_eq!(code, 0, "{out}\n{err}");
+    let report = rollup(&json);
+    assert_eq!(report.cells.len(), 3);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].id, poisoned);
+    // Bounded retries: the default budget of 3 attempts, all journaled.
+    assert_eq!(report.quarantined[0].attempts, 3);
+    assert!(report.quarantined[0].error.contains("panicked"));
+    assert!(out.contains("Quarantined cells"), "{out}");
+    assert!(out.contains(poisoned), "{out}");
+
+    // --strict turns the same (already-journaled) state into exit 1.
+    let (code, out, _) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+        "--strict",
+    ]);
+    assert_eq!(code, 1, "{out}");
+
+    // Quarantine is terminal across resumes: no new attempts were burned.
+    let replay = replay_manifest(&run_dir.join("manifest.jsonl")).unwrap();
+    let starts = replay
+        .records
+        .iter()
+        .filter(|r| matches!(r, ManifestRecord::Start { cell, .. } if cell == poisoned))
+        .count();
+    assert_eq!(starts, 3, "quarantined cell must not be retried on resume");
+}
+
+#[test]
+fn corrupt_checkpoint_reruns_only_that_cell_on_resume() {
+    let dir = tmp("corrupt");
+    let spec = dir.join("sweep.json");
+    std::fs::write(&spec, spec_json("")).unwrap();
+
+    let run_dir = dir.join("run");
+    let (code, out, err) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}\n{err}");
+
+    // Tear one checkpoint in half, as if the process died mid-write after
+    // the `done` record had already been journaled by an earlier version.
+    let victim = run_dir.join("cells/cifar10-deep-data-weak-bsp-r2.4.6.8.10-s2.models.json");
+    let body = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &body[..body.len() / 2]).unwrap();
+
+    let json = dir.join("rollup.json");
+    let (code, out, err) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}\n{err}");
+    let report = rollup(&json);
+    assert_eq!(report.corrupt_checkpoints, 1);
+    assert_eq!(report.cells.len(), 4, "all cells must end done again");
+    assert_eq!(report.executed, 1, "only the torn cell re-executes");
+    assert!(out.contains("1 corrupt checkpoint(s)"), "{out}");
+
+    // The regenerated checkpoint parses again.
+    assert!(extradeep::load_models(&victim).is_ok());
+}
+
+#[test]
+fn resume_against_a_different_spec_is_a_typed_mismatch_error() {
+    let dir = tmp("mismatch");
+    let spec = dir.join("sweep.json");
+    std::fs::write(&spec, spec_json("")).unwrap();
+    let run_dir = dir.join("run");
+    let (code, _, _) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+
+    // Same directory, different grid: the digest differs.
+    std::fs::write(
+        &spec,
+        spec_json("").replacen("\"seeds\": [1, 2, 3, 4]", "\"seeds\": [1, 2, 3]", 1),
+    )
+    .unwrap();
+    let (code, _, err) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 2, "digest mismatch must be a hard error: {err}");
+    assert!(err.contains("different spec"), "{err}");
+}
+
+#[test]
+fn hang_once_straggler_times_out_once_then_recovers() {
+    let dir = tmp("straggler");
+    let spec = dir.join("sweep.json");
+    std::fs::write(
+        &spec,
+        r#"{
+  "name": "straggler",
+  "grid": { "ranks": [[2, 4, 6, 8, 10]], "seeds": [1], "max_recorded_ranks": 1 },
+  "execution": {
+    "parallelism": 1,
+    "timeout_ms": 1000,
+    "backoff_base_ms": 1,
+    "backoff_cap_ms": 4
+  },
+  "sabotage": { "*": "hang-once=30000" }
+}"#,
+    )
+    .unwrap();
+    let run_dir = dir.join("run");
+    let json = dir.join("rollup.json");
+    let (code, out, err) = run(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--dir",
+        run_dir.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}\n{err}");
+    let report = rollup(&json);
+    assert_eq!(report.cells.len(), 1);
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.cells[0].attempts, 2, "timeout then recovery");
+    assert_eq!(report.failed_attempts, 1);
+}

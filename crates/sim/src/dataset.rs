@@ -22,6 +22,15 @@ impl ScalingMode {
             ScalingMode::Strong => "strong",
         }
     }
+
+    /// Resolves a short scaling-mode name (`weak`, `strong`).
+    pub fn from_name(name: &str) -> Option<ScalingMode> {
+        match name {
+            "weak" => Some(ScalingMode::Weak),
+            "strong" => Some(ScalingMode::Strong),
+            _ => None,
+        }
+    }
 }
 
 /// Static description of a dataset.

@@ -74,6 +74,50 @@ impl ParallelStrategy {
         let m = self.model_parallel_degree();
         ranks >= m && ranks.is_multiple_of(m)
     }
+
+    /// Short machine-friendly name (`data`, `tensor`, `pipeline`) — the
+    /// inverse of [`ParallelStrategy::from_name`], used in CLI flags, cell
+    /// ids, and campaign specs.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ParallelStrategy::DataParallel => "data",
+            ParallelStrategy::TensorParallel { .. } => "tensor",
+            ParallelStrategy::PipelineParallel { .. } => "pipeline",
+        }
+    }
+
+    /// Resolves a short strategy name to the paper's evaluation
+    /// configuration for it (`M = 4` for the hybrids).
+    pub fn from_name(name: &str) -> Option<ParallelStrategy> {
+        match name {
+            "data" => Some(ParallelStrategy::DataParallel),
+            "tensor" => Some(ParallelStrategy::TensorParallel { group: 4 }),
+            "pipeline" => Some(ParallelStrategy::PipelineParallel {
+                stages: 4,
+                microbatches: 8,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl SyncMode {
+    /// Short machine-friendly name (`bsp`, `asp`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SyncMode::Bsp => "bsp",
+            SyncMode::Asp => "asp",
+        }
+    }
+
+    /// Resolves a short sync-mode name.
+    pub fn from_name(name: &str) -> Option<SyncMode> {
+        match name {
+            "bsp" => Some(SyncMode::Bsp),
+            "asp" => Some(SyncMode::Asp),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,15 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
+    /// Resolves a short system name (`deep`, `jureca`) to its Table 1 preset.
+    pub fn from_name(name: &str) -> Option<SystemConfig> {
+        match name {
+            "deep" => Some(SystemConfig::deep()),
+            "jureca" => Some(SystemConfig::jureca()),
+            _ => None,
+        }
+    }
+
     /// The DEEP Extreme Scale Booster: 75 nodes, 1x Xeon Silver 4215
     /// (8 cores / 16 threads), 48 GB DDR4, InfiniBand EDR (100 Gbit/s),
     /// 1x V100 per node, without NCCL support.

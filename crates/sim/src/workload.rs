@@ -18,6 +18,24 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
+    /// The short names accepted by [`Benchmark::from_name`], in paper order.
+    pub const NAMES: &'static [&'static str] =
+        &["cifar10", "cifar100", "imagenet", "imdb", "speech_commands"];
+
+    /// Resolves a short benchmark name (see [`Benchmark::NAMES`]) to its
+    /// paper configuration — the shared parser behind the CLI and the
+    /// campaign spec.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        match name {
+            "cifar10" => Some(Benchmark::cifar10()),
+            "cifar100" => Some(Benchmark::cifar100()),
+            "imagenet" => Some(Benchmark::imagenet()),
+            "imdb" => Some(Benchmark::imdb()),
+            "speech_commands" => Some(Benchmark::speech_commands()),
+            _ => None,
+        }
+    }
+
     /// ResNet-50 on CIFAR-10 with B = 256 — the paper's case study.
     pub fn cifar10() -> Self {
         Benchmark {
