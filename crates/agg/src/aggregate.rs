@@ -90,6 +90,7 @@ fn aggregate_rank(
         for &ei in &attribution.per_step[si] {
             let e = &rank.events[ei];
             let id = KernelId {
+                // analyze:allow(hot-path-alloc) KernelId must own its name; one short string per event
                 name: e.name.to_string(),
                 domain: e.domain,
             };
@@ -113,6 +114,7 @@ fn aggregate_rank(
     for &ei in &attribution.outside {
         let e = &rank.events[ei];
         let id = KernelId {
+            // analyze:allow(hot-path-alloc) KernelId must own its name; one short string per event
             name: e.name.to_string(),
             domain: e.domain,
         };
@@ -183,13 +185,15 @@ pub fn aggregate_repetition(
     ids.dedup();
 
     let mut out = BTreeMap::new();
+    let mut vals: Vec<f64> = Vec::with_capacity(per_rank.len());
     for id in ids {
         let mut combined = KernelRepAggregate::default();
-        let collect = |f: &dyn Fn(&KernelRepAggregate) -> f64| -> f64 {
+        let mut collect = |f: &dyn Fn(&KernelRepAggregate) -> f64| -> f64 {
             // The median over ranks *that executed the kernel*: a kernel
             // seen on a single rank only is usually irrelevant (the paper's
             // observation), but the median still handles it gracefully.
-            let vals: Vec<f64> = per_rank.iter().filter_map(|m| m.get(&id)).map(f).collect();
+            vals.clear();
+            vals.extend(per_rank.iter().filter_map(|m| m.get(&id)).map(f));
             median(&vals)
         };
         combined.time = PhaseValues {

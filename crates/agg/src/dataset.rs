@@ -86,8 +86,9 @@ pub fn aggregate_experiment(
         let per_rep: Vec<BTreeMap<KernelId, KernelRepAggregate>> = reps
             .iter()
             .map(|p| aggregate_repetition(p, options))
-            .collect();
+            .collect(); // analyze:allow(hot-path-alloc) one map per repetition, bounded by rep count
 
+        // analyze:allow(hot-path-alloc) per-config id list, bounded by kernel count
         let mut ids: Vec<KernelId> = per_rep.iter().flat_map(|m| m.keys().cloned()).collect();
         ids.sort();
         ids.dedup();
@@ -98,10 +99,10 @@ pub fn aggregate_experiment(
                 let reps: Vec<KernelRepAggregate> = per_rep
                     .iter()
                     .map(|m| m.get(&id).copied().unwrap_or_default())
-                    .collect();
+                    .collect(); // analyze:allow(hot-path-alloc) output rows own their rep vectors
                 (id.clone(), KernelConfigAggregate { id, reps })
             })
-            .collect();
+            .collect(); // analyze:allow(hot-path-alloc) final per-config kernel map, built once
 
         configs.push(AggregatedConfig {
             config: config.clone(),

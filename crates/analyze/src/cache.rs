@@ -1,0 +1,399 @@
+//! Incremental analysis cache: a JSON sidecar (by default under `target/`)
+//! keyed by file content hash.
+//!
+//! Per file it stores the *pre-suppression* per-file findings, the allow
+//! directives, and the extracted facts that feed the global phases
+//! (`hot-path-alloc` reachability, the `lock-order` graph). On a warm run
+//! only changed files are re-lexed; the global phases always recompute from
+//! the union of facts, so cached and cold results are identical by
+//! construction. A header fingerprint (engine version + lint list) fully
+//! invalidates the cache when the analyzer itself changes.
+
+use crate::json::Json;
+use crate::lints::{lint_by_name, AllocSite, HotPathFacts, Violation};
+use crate::locks::{LockEdge, LockFacts};
+use crate::source::Allow;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Bump when the record layout or lint semantics change in a way the
+/// fingerprint's lint list does not capture.
+const ENGINE_VERSION: &str = "v2.0";
+
+/// Everything the engine knows about one file, reconstructible without
+/// re-lexing it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FileRecord {
+    /// FNV-1a 64 of the file bytes.
+    pub hash: u64,
+    /// Per-file findings, pre-suppression.
+    pub findings: Vec<Violation>,
+    /// `(attached_code_line, allow)` pairs.
+    pub allows: Vec<(usize, Allow)>,
+    pub hot: HotPathFacts,
+    pub locks: LockFacts,
+}
+
+/// The whole sidecar.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    pub files: BTreeMap<String, FileRecord>,
+}
+
+/// FNV-1a 64-bit content hash — stable, dependency-free, fast enough to be
+/// invisible next to lexing.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The invalidation fingerprint: engine version plus the ordered lint list.
+pub fn fingerprint() -> String {
+    let names: Vec<&str> = crate::lints::all_lints().iter().map(|l| l.name).collect();
+    format!("{ENGINE_VERSION}|{}", names.join(","))
+}
+
+impl Cache {
+    /// Loads a sidecar. Any problem — missing file, parse error, fingerprint
+    /// mismatch, unknown lint name — yields an empty cache: correctness
+    /// never depends on the sidecar being readable.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        parse_cache(&text).unwrap_or_default()
+    }
+
+    /// Writes the sidecar, creating parent directories as needed.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+
+    fn render(&self) -> String {
+        let files = Json::Obj(
+            self.files
+                .iter()
+                .map(|(path, r)| (path.clone(), record_json(r)))
+                .collect(),
+        );
+        Json::Obj(BTreeMap::from([
+            ("version".to_string(), Json::Num(1.0)),
+            ("fingerprint".to_string(), Json::Str(fingerprint())),
+            ("files".to_string(), files),
+        ]))
+        .render_pretty()
+    }
+}
+
+fn record_json(r: &FileRecord) -> Json {
+    let findings = Json::Arr(
+        r.findings
+            .iter()
+            .map(|v| {
+                Json::Obj(BTreeMap::from([
+                    ("lint".to_string(), Json::Str(v.lint.to_string())),
+                    ("line".to_string(), Json::Num(v.line as f64)),
+                    ("message".to_string(), Json::Str(v.message.clone())),
+                    ("snippet".to_string(), Json::Str(v.snippet.clone())),
+                ]))
+            })
+            .collect(),
+    );
+    let allows = Json::Arr(
+        r.allows
+            .iter()
+            .map(|(attached, a)| {
+                Json::Obj(BTreeMap::from([
+                    ("attached".to_string(), Json::Num(*attached as f64)),
+                    ("lint".to_string(), Json::Str(a.lint.clone())),
+                    ("line".to_string(), Json::Num(a.line as f64)),
+                    (
+                        "justification".to_string(),
+                        Json::Str(a.justification.clone()),
+                    ),
+                ]))
+            })
+            .collect(),
+    );
+    let hot = Json::Obj(BTreeMap::from([
+        (
+            "fns".to_string(),
+            Json::Arr(r.hot.fns.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+        (
+            "calls".to_string(),
+            Json::Arr(
+                r.hot
+                    .calls
+                    .iter()
+                    .map(|(a, b)| Json::Arr(vec![Json::Str(a.clone()), Json::Str(b.clone())]))
+                    .collect(),
+            ),
+        ),
+        (
+            "allocs".to_string(),
+            Json::Arr(
+                r.hot
+                    .allocs
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(BTreeMap::from([
+                            ("fn".to_string(), Json::Str(s.fn_name.clone())),
+                            ("line".to_string(), Json::Num(s.line as f64)),
+                            ("what".to_string(), Json::Str(s.what.clone())),
+                            ("snippet".to_string(), Json::Str(s.snippet.clone())),
+                        ]))
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
+    let locks = Json::Obj(BTreeMap::from([
+        (
+            "declared".to_string(),
+            Json::Arr(
+                r.locks
+                    .declared
+                    .iter()
+                    .map(|d| Json::Str(d.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "edges".to_string(),
+            Json::Arr(
+                r.locks
+                    .edges
+                    .iter()
+                    .map(|e| {
+                        Json::Obj(BTreeMap::from([
+                            ("first".to_string(), Json::Str(e.first.clone())),
+                            ("second".to_string(), Json::Str(e.second.clone())),
+                            ("first_line".to_string(), Json::Num(e.first_line as f64)),
+                            ("second_line".to_string(), Json::Num(e.second_line as f64)),
+                            ("fn".to_string(), Json::Str(e.fn_name.clone())),
+                            ("snippet".to_string(), Json::Str(e.snippet.clone())),
+                        ]))
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
+    Json::Obj(BTreeMap::from([
+        ("hash".to_string(), Json::Str(format!("{:016x}", r.hash))),
+        ("findings".to_string(), findings),
+        ("allows".to_string(), allows),
+        ("hot".to_string(), hot),
+        ("locks".to_string(), locks),
+    ]))
+}
+
+fn parse_cache(text: &str) -> Option<Cache> {
+    let doc = Json::parse(text).ok()?;
+    let obj = doc.as_obj()?;
+    if obj.get("version").and_then(Json::as_num) != Some(1.0) {
+        return None;
+    }
+    if obj.get("fingerprint").and_then(Json::as_str) != Some(fingerprint().as_str()) {
+        return None;
+    }
+    let mut cache = Cache::default();
+    for (path, rec) in obj.get("files")?.as_obj()? {
+        cache.files.insert(path.clone(), parse_record(rec)?);
+    }
+    Some(cache)
+}
+
+fn arr(j: Option<&Json>) -> Option<&Vec<Json>> {
+    match j {
+        Some(Json::Arr(v)) => Some(v),
+        _ => None,
+    }
+}
+
+fn num(j: Option<&Json>) -> Option<usize> {
+    let n = j.and_then(Json::as_num)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return None;
+    }
+    Some(n as usize)
+}
+
+fn string(j: Option<&Json>) -> Option<String> {
+    j.and_then(Json::as_str).map(str::to_string)
+}
+
+fn parse_record(rec: &Json) -> Option<FileRecord> {
+    let o = rec.as_obj()?;
+    let hash = u64::from_str_radix(o.get("hash").and_then(Json::as_str)?, 16).ok()?;
+    let mut r = FileRecord {
+        hash,
+        ..FileRecord::default()
+    };
+    for f in arr(o.get("findings"))? {
+        let fo = f.as_obj()?;
+        // An unknown lint name means the catalog moved under us — treat the
+        // whole sidecar as stale.
+        let lint = lint_by_name(&string(fo.get("lint"))?)?;
+        r.findings.push(Violation {
+            lint: lint.name,
+            path: String::new(), // re-stamped by the caller from the map key
+            line: num(fo.get("line"))?,
+            message: string(fo.get("message"))?,
+            snippet: string(fo.get("snippet"))?,
+        });
+    }
+    for a in arr(o.get("allows"))? {
+        let ao = a.as_obj()?;
+        r.allows.push((
+            num(ao.get("attached"))?,
+            Allow {
+                lint: string(ao.get("lint"))?,
+                justification: string(ao.get("justification"))?,
+                line: num(ao.get("line"))?,
+            },
+        ));
+    }
+    let hot = o.get("hot")?.as_obj()?;
+    for f in arr(hot.get("fns"))? {
+        r.hot.fns.push(f.as_str()?.to_string());
+    }
+    for c in arr(hot.get("calls"))? {
+        let pair = match c {
+            Json::Arr(p) if p.len() == 2 => p,
+            _ => return None,
+        };
+        r.hot
+            .calls
+            .push((pair[0].as_str()?.to_string(), pair[1].as_str()?.to_string()));
+    }
+    for s in arr(hot.get("allocs"))? {
+        let so = s.as_obj()?;
+        r.hot.allocs.push(AllocSite {
+            fn_name: string(so.get("fn"))?,
+            line: num(so.get("line"))?,
+            what: string(so.get("what"))?,
+            snippet: string(so.get("snippet"))?,
+        });
+    }
+    let locks = o.get("locks")?.as_obj()?;
+    for d in arr(locks.get("declared"))? {
+        r.locks.declared.push(d.as_str()?.to_string());
+    }
+    for e in arr(locks.get("edges"))? {
+        let eo = e.as_obj()?;
+        r.locks.edges.push(LockEdge {
+            first: string(eo.get("first"))?,
+            second: string(eo.get("second"))?,
+            first_line: num(eo.get("first_line"))?,
+            second_line: num(eo.get("second_line"))?,
+            fn_name: string(eo.get("fn"))?,
+            snippet: string(eo.get("snippet"))?,
+        });
+    }
+    Some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints;
+
+    fn sample_record() -> FileRecord {
+        FileRecord {
+            hash: fnv1a(b"fn main() {}"),
+            findings: vec![Violation {
+                lint: lints::PANIC_ON_DATA_PATH,
+                path: String::new(),
+                line: 3,
+                message: "msg".to_string(),
+                snippet: "x.unwrap()".to_string(),
+            }],
+            allows: vec![(
+                4,
+                Allow {
+                    lint: "unseeded-rng".to_string(),
+                    justification: "why".to_string(),
+                    line: 4,
+                },
+            )],
+            hot: HotPathFacts {
+                fns: vec!["f".to_string()],
+                calls: vec![("f".to_string(), "g".to_string())],
+                allocs: vec![AllocSite {
+                    fn_name: "f".to_string(),
+                    line: 9,
+                    what: "vec![".to_string(),
+                    snippet: "let v = vec![];".to_string(),
+                }],
+            },
+            locks: LockFacts {
+                declared: vec!["threads".to_string()],
+                edges: vec![LockEdge {
+                    first: "threads".to_string(),
+                    second: "archived".to_string(),
+                    first_line: 1,
+                    second_line: 2,
+                    fn_name: "take".to_string(),
+                    snippet: "threads.lock()".to_string(),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let mut cache = Cache::default();
+        cache
+            .files
+            .insert("crates/x/src/a.rs".to_string(), sample_record());
+        let parsed = parse_cache(&cache.render()).expect("parses");
+        assert_eq!(parsed.files.len(), 1);
+        assert_eq!(parsed.files["crates/x/src/a.rs"], sample_record());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_empties_the_cache() {
+        let mut cache = Cache::default();
+        cache.files.insert("a.rs".to_string(), sample_record());
+        let doctored = cache.render().replace(&fingerprint(), "v0.0|other");
+        assert!(parse_cache(&doctored).is_none());
+    }
+
+    #[test]
+    fn unknown_lint_invalidates() {
+        let mut rec = sample_record();
+        rec.findings[0].snippet = "x".to_string();
+        let mut cache = Cache::default();
+        cache.files.insert("a.rs".to_string(), rec);
+        // Only the finding's lint field — the fingerprint stays valid, so
+        // this exercises the per-record unknown-lint path specifically.
+        let doctored = cache.render().replace(
+            "\"lint\": \"panic-on-data-path\"",
+            "\"lint\": \"future-lint\"",
+        );
+        assert!(parse_cache(&doctored).is_none());
+    }
+
+    #[test]
+    fn garbage_and_missing_files_load_empty() {
+        assert!(Cache::load(Path::new("/nonexistent/cache.json"))
+            .files
+            .is_empty());
+        assert!(parse_cache("not json").is_none());
+        assert!(parse_cache("{}").is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

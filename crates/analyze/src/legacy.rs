@@ -1,0 +1,221 @@
+//! The v1 line-state-machine scrubber, frozen as an equivalence oracle.
+//!
+//! The token engine in [`crate::source`] replaced this code, but the five
+//! original lints must keep producing byte-identical violation sets. A
+//! golden test (`tests/golden.rs`) runs both engines over the real
+//! workspace and diffs the results; keeping the old scrubber here makes
+//! that comparison honest instead of self-referential.
+
+use crate::source::{assemble, SourceFile};
+use crate::tree::FileTree;
+
+#[derive(Clone, Copy, PartialEq)]
+enum ScrubState {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Scrubs one physical line given the entry state; returns the scrubbed text,
+/// the exit state, and the text of any `//` line comment on the line.
+fn scrub_line(line: &str, mut state: ScrubState) -> (String, ScrubState, Option<String>) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut comment: Option<String> = None;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            ScrubState::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = ScrubState::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth > 1 {
+                        ScrubState::BlockComment(depth - 1)
+                    } else {
+                        ScrubState::Code
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            ScrubState::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = ScrubState::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            ScrubState::RawStr(hashes) => {
+                if c == '"' {
+                    let closes = (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        state = ScrubState::Code;
+                        out.push(' ');
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            ScrubState::Code => {
+                if c == '/' && next == Some('/') {
+                    // Line comment: capture its text for allow parsing.
+                    // Doc comments (`///`, `//!`) are prose, not directives —
+                    // they may *mention* the allow marker without meaning it.
+                    let is_doc = matches!(chars.get(i + 2), Some('/' | '!'));
+                    if !is_doc {
+                        comment = Some(chars[i + 2..].iter().collect());
+                    }
+                    break;
+                }
+                if c == '/' && next == Some('*') {
+                    state = ScrubState::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = ScrubState::Str;
+                    out.push(' ');
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte string starts: r", r#", br", b".
+                let prev_is_ident =
+                    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                if !prev_is_ident && (c == 'r' || c == 'b') {
+                    if let Some((raw_form, hashes, consumed)) = raw_string_open(&chars[i..]) {
+                        // `b"..."` is an ordinary (escaped) string; `r`-forms
+                        // are raw and close only on `"` + matching hashes.
+                        state = if raw_form {
+                            ScrubState::RawStr(hashes)
+                        } else {
+                            ScrubState::Str
+                        };
+                        out.push(' ');
+                        i += consumed;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        out.push(' ');
+                        i = j + 1;
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                        out.push(' ');
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime: keep the tick so code shape survives.
+                    out.push(c);
+                    i += 1;
+                    continue;
+                }
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, state, comment)
+}
+
+/// Detects `r"`, `r#"`, `br"`, `b"` etc. at the start of `chars`. Returns
+/// `(is_raw_form, hash_count, chars_consumed_through_opening_quote)`.
+fn raw_string_open(chars: &[char]) -> Option<(bool, u32, usize)> {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    let rawish = chars.get(i) == Some(&'r');
+    if rawish {
+        i += 1;
+    }
+    if i == 0 {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while chars.get(i + hashes as usize) == Some(&'#') {
+        hashes += 1;
+    }
+    let q = i + hashes as usize;
+    if chars.get(q) == Some(&'"') && (rawish || hashes == 0) {
+        Some((rawish, hashes, q + 1))
+    } else {
+        None
+    }
+}
+
+/// Parses a file with the legacy scrubber. The result carries no tokens and
+/// an empty tree, so only the line-based (v1) lints are meaningful on it.
+pub fn from_source_legacy(path: &str, source: &str) -> SourceFile {
+    let mut state = ScrubState::Code;
+    let mut scrubbed: Vec<String> = Vec::new();
+    let mut comments: Vec<Option<String>> = Vec::new();
+    for raw in source.lines() {
+        let (line_scrubbed, next_state, comment) = scrub_line(raw, state);
+        state = next_state;
+        scrubbed.push(line_scrubbed);
+        comments.push(comment);
+    }
+    assemble(
+        path,
+        source,
+        scrubbed,
+        comments,
+        Vec::new(),
+        FileTree::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_engine_still_scrubs() {
+        let f = from_source_legacy(
+            "crates/x/src/lib.rs",
+            "let s = \"a.unwrap()\"; // comment\nlet t = x.unwrap();\n",
+        );
+        assert!(!f.lines[0].scrubbed.contains("unwrap"));
+        assert!(f.lines[1].scrubbed.contains(".unwrap()"));
+        assert!(f.tokens.is_empty());
+    }
+
+    #[test]
+    fn both_engines_agree_on_a_tricky_file() {
+        let src = "let s = r#\"has .unwrap() and // analyze:allow(x) inside\"#;\n\
+                   /* block /* nested */ still */ fn f() { g.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { HashMap::new(); }\n}\n";
+        let legacy = from_source_legacy("crates/model/src/a.rs", src);
+        let modern = SourceFile::from_source("crates/model/src/a.rs", src);
+        for (l, m) in legacy.lines.iter().zip(modern.lines.iter()) {
+            assert_eq!(l.in_test_code, m.in_test_code, "line {}", l.number);
+            assert_eq!(l.allows, m.allows, "line {}", l.number);
+            // Scrubbed text may differ in whitespace, never in code atoms.
+            let squash = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+            assert_eq!(
+                squash(&l.scrubbed),
+                squash(&m.scrubbed),
+                "line {}",
+                l.number
+            );
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! A hand-rolled Rust tokenizer.
+//!
+//! The analyzer's first generation scrubbed *lines* with a cross-line state
+//! machine; this module replaces that with a real token stream so the
+//! second-generation lints (lock-order, hot-path-alloc, …) can reason about
+//! structure instead of text. The lexer covers the full surface the
+//! workspace actually uses:
+//!
+//! * raw / byte / C strings with arbitrary hash counts (`r"…"`, `r##"…"##`,
+//!   `br#"…"#`, `b"…"`, `c"…"`, `cr#"…"#`), spanning lines;
+//! * char literals vs lifetimes (`'x'`, `'\n'`, `b'x'` vs `'a`, `'static`,
+//!   `'_`);
+//! * nested block comments and the doc-comment forms (`///`, `//!`,
+//!   `/** */`, `/*! */`);
+//! * int and float literals with radix prefixes, `_` separators, exponents
+//!   and type suffixes — disambiguating `1.0` from `1..2` and `x.0`;
+//! * raw identifiers (`r#match`).
+//!
+//! Tokens carry byte spans into the original source plus the 1-based line
+//! they start on, so downstream passes can always recover exact text and
+//! report positions. The lexer never fails: malformed input (unterminated
+//! strings or comments) produces a token that runs to end of input, which is
+//! exactly how a human reader would recover.
+
+/// Token classification. Keywords are `Ident`s — the tree layer decides
+/// which identifiers are structural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// `'a`, `'static`, `'_` — a tick not closed as a char literal.
+    Lifetime,
+    /// Integer literal, any radix, with optional suffix.
+    Int,
+    /// Float literal, including exponent forms and trailing-dot floats.
+    Float,
+    /// Cooked string or byte/C string: `"…"`, `b"…"`, `c"…"`.
+    Str,
+    /// Raw string of any prefix: `r"…"`, `r#"…"#`, `br##"…"##`, `cr"…"`.
+    RawStr,
+    /// Char or byte-char literal: `'x'`, `'\u{1F600}'`, `b'\n'`.
+    Char,
+    /// `//` comment that is not a doc comment.
+    LineComment,
+    /// `///`, `//!`, `/** */`, `/*! */` — prose, not directives.
+    DocComment,
+    /// `/* … */` (nests).
+    BlockComment,
+    /// One punctuation character (`::` is two tokens).
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and starting line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::DocComment | TokenKind::BlockComment
+        )
+    }
+
+    /// True for string/char literal kinds whose content must never reach a
+    /// lint pattern.
+    pub fn is_literal_text(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Str | TokenKind::RawStr | TokenKind::Char
+        )
+    }
+}
+
+/// Lexes a whole file. Whitespace is skipped (spans between consecutive
+/// tokens are whitespace by construction); everything else becomes a token.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len() / 6),
+    };
+    lx.run();
+    lx.out
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances `n` bytes, counting newlines.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment(start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment(start, line);
+                }
+                b'"' => {
+                    self.bump();
+                    self.cooked_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.tick(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                c if is_ident_start(c) => self.ident_or_prefixed(start, line),
+                _ => {
+                    // Punctuation — and any non-ASCII byte sequence that is
+                    // not an identifier (multi-byte chars in code position are
+                    // pathological; treat each as punct without splitting a
+                    // UTF-8 sequence).
+                    let width = utf8_width(c);
+                    self.bump_n(width);
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+    }
+
+    /// `//…` to end of line; `///` and `//!` classify as doc.
+    fn line_comment(&mut self, start: usize, line: usize) {
+        let is_doc = matches!(self.peek(2), Some(b'/' | b'!'));
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let kind = if is_doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::LineComment
+        };
+        self.push(kind, start, line);
+    }
+
+    /// `/* … */` with nesting; `/**` (non-empty) and `/*!` classify as doc.
+    fn block_comment(&mut self, start: usize, line: usize) {
+        let is_doc = match self.peek(2) {
+            Some(b'!') => true,
+            // `/**/` is an empty plain comment, `/**…*/` is doc.
+            Some(b'*') => self.peek(3) != Some(b'/'),
+            _ => false,
+        };
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: token runs to EOF
+            }
+        }
+        let kind = if is_doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::BlockComment
+        };
+        self.push(kind, start, line);
+    }
+
+    /// Body of a cooked (escaped) string, starting after the opening quote.
+    fn cooked_string(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Raw string body after the opening `r`/`br`/`cr`: `#…#"…"#…#`.
+    /// Caller verified the shape; `hashes` were counted but not consumed.
+    fn raw_string(&mut self, hashes: usize) {
+        self.bump_n(hashes + 1); // hashes + opening quote
+        while let Some(c) = self.peek(0) {
+            if c == b'"' {
+                let closes = (0..hashes).all(|k| self.peek(1 + k) == Some(b'#'));
+                if closes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// `'` — either a char literal or a lifetime.
+    fn tick(&mut self, start: usize, line: usize) {
+        self.bump(); // the tick
+        match self.peek(0) {
+            // Escaped char literal: `'\n'`, `'\u{…}'`, `'\''`.
+            Some(b'\\') => {
+                self.bump_n(2);
+                while let Some(c) = self.peek(0) {
+                    if c == b'\'' {
+                        self.bump();
+                        break;
+                    }
+                    if c == b'\n' {
+                        break; // unterminated on this line; recover
+                    }
+                    self.bump();
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            Some(c) => {
+                let w = utf8_width(c);
+                if self.peek(w) == Some(b'\'') {
+                    // `'x'` — a one-char literal (possibly multi-byte).
+                    self.bump_n(w + 1);
+                    self.push(TokenKind::Char, start, line);
+                } else if is_ident_start(c) {
+                    // Lifetime: consume the identifier.
+                    self.bump();
+                    while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, start, line);
+                } else {
+                    // A lone tick before punctuation — emit it as punct.
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+            None => self.push(TokenKind::Punct, start, line),
+        }
+    }
+
+    /// Identifier — or a string-prefix identifier (`r`, `b`, `c`, `br`,
+    /// `cr`) that turns out to open a string, or a raw identifier `r#name`,
+    /// or a byte-char `b'x'`.
+    fn ident_or_prefixed(&mut self, start: usize, line: usize) {
+        // String prefix? Check before consuming the identifier.
+        if let Some((raw, hashes, prefix_len)) = self.string_prefix() {
+            self.bump_n(prefix_len);
+            if raw {
+                self.raw_string(hashes);
+                self.push(TokenKind::RawStr, start, line);
+            } else {
+                self.bump(); // opening quote
+                self.cooked_string();
+                self.push(TokenKind::Str, start, line);
+            }
+            return;
+        }
+        // Raw identifier `r#name`?
+        if self.peek(0) == Some(b'r')
+            && self.peek(1) == Some(b'#')
+            && matches!(self.peek(2), Some(c) if is_ident_start(c))
+        {
+            self.bump_n(2);
+        }
+        // Byte char `b'x'` / `b'\n'`?
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'\'') {
+            self.bump(); // the b; tick() handles the rest
+            self.tick(start, line);
+            // tick() pushed a token spanning from `start`; reclassify the
+            // lifetime case: `b'a` cannot be a lifetime, but if it lexed as
+            // one, keep it — invalid Rust anyway.
+            return;
+        }
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        // Multi-byte identifier chars (non-ASCII XID): accept alphabetic.
+        while let Some(c) = self.peek(0) {
+            if c < 0x80 {
+                break;
+            }
+            let w = utf8_width(c);
+            let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+            if ch.is_alphanumeric() {
+                self.bump_n(w);
+                // Continue mixing ASCII ident chars after non-ASCII ones.
+                while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// Detects `r"`, `r#"`, `b"`, `br##"`, `c"`, `cr#"` at the cursor.
+    /// Returns `(is_raw, hash_count, bytes_before_first_hash_or_quote)`.
+    /// For non-raw forms the prefix length excludes the quote itself.
+    fn string_prefix(&self) -> Option<(bool, usize, usize)> {
+        let mut i = 0;
+        if matches!(self.peek(i), Some(b'b' | b'c')) {
+            i += 1;
+        }
+        let raw = self.peek(i) == Some(b'r');
+        if raw {
+            i += 1;
+        }
+        if i == 0 {
+            return None;
+        }
+        if raw {
+            let mut hashes = 0;
+            while self.peek(i + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(i + hashes) == Some(b'"') {
+                // prefix_len runs through the last prefix letter; raw_string
+                // consumes hashes + quote.
+                return Some((true, hashes, i));
+            }
+            None
+        } else if self.peek(i) == Some(b'"') {
+            Some((false, 0, i))
+        } else {
+            None
+        }
+    }
+
+    /// Number starting at a digit: int or float, any radix, suffixes.
+    fn number(&mut self, start: usize, line: usize) {
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        if radix_prefixed {
+            self.bump_n(2);
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            self.push(TokenKind::Int, start, line);
+            return;
+        }
+        // A digit run right after a single `.` is a tuple index (`x.0.1`),
+        // never a float — but `0..0.5`'s `0.5` follows *two* dots and is one.
+        let bytes = self.src.as_bytes();
+        let tuple_index =
+            start >= 1 && bytes[start - 1] == b'.' && (start < 2 || bytes[start - 2] != b'.');
+        if tuple_index {
+            self.digits();
+            self.push(TokenKind::Int, start, line);
+            return;
+        }
+        let mut float = false;
+        self.digits();
+        // Fractional part: `1.5`, `1.` — but not `1..2` (range) and not
+        // `1.max(2)` (method call on an integer literal).
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(b'0'..=b'9') => {
+                    float = true;
+                    self.bump();
+                    self.digits();
+                }
+                Some(b'.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    self.bump(); // trailing-dot float `1.`
+                }
+            }
+        }
+        // Exponent: `1e9`, `2.5E-3`, `1e+4`. A bare `e` not followed by a
+        // (signed) digit is a suffix, not an exponent (`9e` is invalid Rust;
+        // don't loop on it).
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exp = match sign {
+                Some(b'0'..=b'9') => true,
+                Some(b'+' | b'-') => matches!(digit, Some(b'0'..=b'9')),
+                _ => false,
+            };
+            if exp {
+                float = true;
+                self.bump(); // e
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                self.digits();
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`): consume ident chars.
+        if matches!(self.peek(0), Some(c) if is_ident_start(c)) {
+            let suffix_start = self.pos;
+            while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                self.bump();
+            }
+            if self.src[suffix_start..self.pos].starts_with('f') {
+                float = true; // 1f64
+            }
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, start, line);
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Width in bytes of the UTF-8 sequence starting with `c`.
+fn utf8_width(c: u8) -> usize {
+    match c {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = 42 + 0xFF_u8;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Int, "42"),
+                (TokenKind::Punct, "+"),
+                (TokenKind::Int, "0xFF_u8"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_range_vs_method() {
+        assert_eq!(
+            kinds("1.5 1. 1..2 1.max(2) x.0.1"),
+            vec![
+                (TokenKind::Float, "1.5"),
+                (TokenKind::Float, "1."),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Int, "2"),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "max"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Int, "2"),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Int, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Int, "1"),
+            ]
+        );
+    }
+
+    #[test]
+    fn exponent_floats_including_conversion_constants() {
+        assert_eq!(
+            kinds("1e9 1e-9 2.5E+3 1f64"),
+            vec![
+                (TokenKind::Float, "1e9"),
+                (TokenKind::Float, "1e-9"),
+                (TokenKind::Float, "2.5E+3"),
+                (TokenKind::Float, "1f64"),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(
+            kinds(r"'x' '\n' 'a 'static '_ b'q' '\u{1F600}'"),
+            vec![
+                (TokenKind::Char, "'x'"),
+                (TokenKind::Char, r"'\n'"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Lifetime, "'_"),
+                (TokenKind::Char, "b'q'"),
+                (TokenKind::Char, r"'\u{1F600}'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        assert_eq!(kinds("'é'"), vec![(TokenKind::Char, "'é'")]);
+    }
+
+    #[test]
+    fn string_forms() {
+        assert_eq!(
+            kinds(r####""a\"b" r"raw" r##"has "# inside"## b"bytes" br#"x"# c"c-str""####),
+            vec![
+                (TokenKind::Str, r#""a\"b""#),
+                (TokenKind::RawStr, r#"r"raw""#),
+                (TokenKind::RawStr, r###"r##"has "# inside"##"###),
+                (TokenKind::Str, r#"b"bytes""#),
+                (TokenKind::RawStr, r##"br#"x"#"##),
+                (TokenKind::Str, r#"c"c-str""#),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_spans_lines_and_counts_them() {
+        let src = "r#\"one\ntwo\"# x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::RawStr);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text(src), "x");
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn raw_identifier_and_prefix_lookalikes() {
+        assert_eq!(
+            kinds("r#match br b rx(1)"),
+            vec![
+                (TokenKind::Ident, "r#match"),
+                (TokenKind::Ident, "br"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Ident, "rx"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_forms_classify() {
+        let src = "// plain\n/// doc\n//! inner\n/* block */ /* a /* nested */ b */ /** docblock */ /*! inner */ /**/";
+        let toks = lex(src);
+        let kinds: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::LineComment,
+                TokenKind::DocComment,
+                TokenKind::DocComment,
+                TokenKind::BlockComment,
+                TokenKind::BlockComment,
+                TokenKind::DocComment,
+                TokenKind::DocComment,
+                TokenKind::BlockComment,
+            ]
+        );
+        // The nested comment consumed its full extent.
+        assert_eq!(toks[4].text(src), "/* a /* nested */ b */");
+    }
+
+    #[test]
+    fn unterminated_tokens_run_to_eof() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?}");
+            assert_eq!(toks[0].end, src.len(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_every_token() {
+        let src = "a\nb\n\nc /* x\ny */ d";
+        let toks = lex(src);
+        let lines: Vec<(String, usize)> = toks
+            .iter()
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 2),
+                ("c".to_string(), 4),
+                ("/* x\ny */".to_string(), 4),
+                ("d".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_marker_inside_raw_string_is_literal_text() {
+        let src = "let s = r#\"// analyze:allow(panic-on-data-path)\"#;";
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| !t.is_comment()));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::RawStr).count(),
+            1
+        );
+    }
+}

@@ -1,27 +1,40 @@
 //! `extradeep-analyze`: project-invariant static analysis for the Extra-Deep
 //! workspace.
 //!
-//! The engine parses every Rust file in the workspace (a hand-rolled lexical
-//! model — see [`source`] — rather than a full AST, so it runs with zero
-//! dependencies in offline builds), applies the lint catalog in [`lints`],
-//! honours inline `// analyze:allow(<lint>) <justification>` suppressions,
-//! and compares the surviving findings against the committed ratchet
-//! baseline ([`baseline`]): frozen debt passes, anything new fails CI.
+//! The engine lexes every Rust file with a hand-rolled tokenizer
+//! ([`lexer`]), builds a brace-matched item/block tree ([`tree`]), applies
+//! the lint catalog in [`lints`] plus the cross-file phases (`hot-path-alloc`
+//! reachability, the [`locks`] lock-order graph), honours inline
+//! `// analyze:allow(<lint>) <justification>` suppressions, and compares the
+//! surviving findings against the committed ratchet baseline ([`baseline`]):
+//! frozen debt passes, anything new fails CI.
+//!
+//! Warm runs reuse the per-file facts from the incremental [`cache`] sidecar
+//! and only re-lex changed files; findings can be exported as SARIF 2.1.0
+//! ([`sarif`]) for code-scanning upload. The previous line-state-machine
+//! scrubber survives in [`legacy`] as an equivalence oracle for the five
+//! original lints.
 //!
 //! Violation and file counts are surfaced through the `extradeep-obs`
 //! counter layer so the self-profiling pipeline can track lint debt like any
 //! other metric.
 
 pub mod baseline;
+pub mod cache;
 pub mod json;
+pub mod legacy;
+pub mod lexer;
 pub mod lints;
+pub mod locks;
+pub mod sarif;
 pub mod source;
+pub mod tree;
 
 use baseline::{Baseline, Comparison};
 use json::Json;
 use lints::Violation;
 use source::SourceFile;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// One suppressed finding with the directive that silenced it.
@@ -48,6 +61,9 @@ pub struct AnalysisResult {
     pub suppressed: Vec<Suppressed>,
     pub unused_allows: Vec<UnusedAllow>,
     pub files_scanned: usize,
+    /// How many of `files_scanned` were satisfied from the incremental
+    /// cache (content hash unchanged) without re-lexing.
+    pub files_from_cache: usize,
 }
 
 impl AnalysisResult {
@@ -66,6 +82,7 @@ impl AnalysisResult {
     /// Publishes scan statistics through the obs counter layer.
     pub fn publish_counters(&self) {
         extradeep_obs::counter("analyze.files_scanned").add(self.files_scanned as u64);
+        extradeep_obs::counter("analyze.files_from_cache").add(self.files_from_cache as u64);
         extradeep_obs::counter("analyze.violations").add(self.violations.len() as u64);
         extradeep_obs::counter("analyze.suppressed").add(self.suppressed.len() as u64);
         extradeep_obs::counter("analyze.unused_allows").add(self.unused_allows.len() as u64);
@@ -79,6 +96,10 @@ impl AnalysisResult {
                 }
                 lints::UNSEEDED_RNG => "analyze.violations.unseeded_rng",
                 lints::RAW_DURATION_ARITH => "analyze.violations.raw_duration_arith",
+                lints::HOT_PATH_ALLOC => "analyze.violations.hot_path_alloc",
+                lints::SWALLOWED_RESULT => "analyze.violations.swallowed_result",
+                lints::BLOCKING_IN_WORKER => "analyze.violations.blocking_in_worker",
+                lints::LOCK_ORDER => "analyze.violations.lock_order",
                 _ => "analyze.violations.other",
             };
             extradeep_obs::counter(name).incr();
@@ -86,22 +107,61 @@ impl AnalysisResult {
     }
 }
 
-/// Analyzes one already-parsed file, applying suppressions.
-pub fn analyze_file(file: &SourceFile, result: &mut AnalysisResult) {
+/// Builds the cacheable record for one parsed file: pre-suppression per-file
+/// findings plus the facts the global phases consume.
+pub fn file_record(file: &SourceFile, hash: u64) -> cache::FileRecord {
     let _span = extradeep_obs::span("analyze.file");
-    result.files_scanned += 1;
-    let findings = lints::check_file(file);
-    // An allow is "used" once it silences at least one finding.
-    let mut used: Vec<(usize, &str)> = Vec::new();
+    cache::FileRecord {
+        hash,
+        findings: lints::check_file(file),
+        allows: file
+            .lines
+            .iter()
+            .flat_map(|l| l.allows.iter().map(|a| (l.number, a.clone())))
+            .collect(),
+        hot: lints::hot_path_facts(file),
+        locks: locks::lock_facts(file),
+    }
+}
+
+/// Runs the global phases over the per-file records, applies suppressions,
+/// and appends everything to `result`. Cached and freshly-built records are
+/// indistinguishable here — the global phases always recompute from the
+/// union of facts, so warm results match cold results by construction.
+fn finalize(records: &BTreeMap<String, cache::FileRecord>, result: &mut AnalysisResult) {
+    let hot: BTreeMap<String, lints::HotPathFacts> = records
+        .iter()
+        .map(|(p, r)| (p.clone(), r.hot.clone()))
+        .collect();
+    let lock_facts: BTreeMap<String, locks::LockFacts> = records
+        .iter()
+        .map(|(p, r)| (p.clone(), r.locks.clone()))
+        .collect();
+    let mut findings: Vec<Violation> = Vec::new();
+    for (path, record) in records {
+        for v in &record.findings {
+            let mut v = v.clone();
+            // Cached findings carry an empty path; re-stamp from the key.
+            v.path = path.clone();
+            findings.push(v);
+        }
+    }
+    findings.extend(lints::hot_path_violations(&hot));
+    findings.extend(locks::lock_order_violations(&lock_facts));
+    findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    // An allow is "used" once it silences at least one finding; track by the
+    // directive's own line so standalone and trailing forms both count.
+    let mut used: BTreeSet<(&str, usize, &str)> = BTreeSet::new();
     for v in findings {
-        let line = &file.lines[v
-            .line
-            .checked_sub(1)
-            .unwrap_or_default()
-            .min(file.lines.len().saturating_sub(1))];
-        match line.allows.iter().find(|a| a.lint == v.lint) {
+        let allow = records.get(&v.path).and_then(|r| {
+            r.allows
+                .iter()
+                .find(|(attached, a)| *attached == v.line && a.lint == v.lint)
+                .map(|(_, a)| a)
+        });
+        match allow {
             Some(allow) => {
-                used.push((allow.line, v.lint));
+                used.insert((v.path_key(records), allow.line, v.lint));
                 result.suppressed.push(Suppressed {
                     justification: allow.justification.clone(),
                     violation: v,
@@ -113,35 +173,16 @@ pub fn analyze_file(file: &SourceFile, result: &mut AnalysisResult) {
     // Every allow lives on exactly one line (standalone directives are moved,
     // not copied, onto the code line they cover), so a plain sweep finds the
     // unused ones without double counting.
-    for line in &file.lines {
-        for allow in &line.allows {
-            if !used
-                .iter()
-                .any(|(l, n)| *l == allow.line && *n == allow.lint)
-            {
+    for (path, record) in records {
+        for (_, allow) in &record.allows {
+            if !used.contains(&(path.as_str(), allow.line, allow.lint.as_str())) {
                 result.unused_allows.push(UnusedAllow {
-                    path: file.path.clone(),
+                    path: path.clone(),
                     line: allow.line,
                     lint: allow.lint.clone(),
                 });
             }
         }
-    }
-}
-
-/// Walks the workspace and analyzes every `.rs` file. Paths are reported
-/// relative to `root` with `/` separators; the walk order is sorted so the
-/// report is deterministic.
-pub fn analyze_tree(root: &Path) -> std::io::Result<AnalysisResult> {
-    let _span = extradeep_obs::span("analyze.tree");
-    let mut files = Vec::new();
-    collect_rust_files(root, root, &mut files)?;
-    files.sort();
-    let mut result = AnalysisResult::default();
-    for rel in &files {
-        let source_text = std::fs::read_to_string(root.join(rel))?;
-        let file = SourceFile::from_source(&rel.replace('\\', "/"), &source_text);
-        analyze_file(&file, &mut result);
     }
     result
         .violations
@@ -149,6 +190,85 @@ pub fn analyze_tree(root: &Path) -> std::io::Result<AnalysisResult> {
     result
         .unused_allows
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+}
+
+impl Violation {
+    /// The records-map key equal to this violation's path — borrowed from
+    /// the map so `used` entries outlive the violation itself.
+    fn path_key<'a>(&self, records: &'a BTreeMap<String, cache::FileRecord>) -> &'a str {
+        records
+            .get_key_value(&self.path)
+            .map(|(k, _)| k.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Analyzes a batch of already-parsed files together, so the cross-file
+/// lints see every file's facts at once.
+pub fn analyze_files(files: &[SourceFile]) -> AnalysisResult {
+    let mut records = BTreeMap::new();
+    for file in files {
+        let hash = cache::fnv1a(file.src.as_bytes());
+        records.insert(file.path.clone(), file_record(file, hash));
+    }
+    let mut result = AnalysisResult {
+        files_scanned: files.len(),
+        ..AnalysisResult::default()
+    };
+    finalize(&records, &mut result);
+    result
+}
+
+/// Analyzes one already-parsed file, applying suppressions. The cross-file
+/// lints run over this file's facts alone — use [`analyze_files`] or
+/// [`analyze_tree`] to resolve calls and lock edges across files.
+pub fn analyze_file(file: &SourceFile, result: &mut AnalysisResult) {
+    result.files_scanned += 1;
+    let hash = cache::fnv1a(file.src.as_bytes());
+    let records = BTreeMap::from([(file.path.clone(), file_record(file, hash))]);
+    finalize(&records, result);
+}
+
+/// Walks the workspace and analyzes every `.rs` file. Paths are reported
+/// relative to `root` with `/` separators; the walk order is sorted so the
+/// report is deterministic. Equivalent to [`analyze_tree_cached`] with no
+/// sidecar.
+pub fn analyze_tree(root: &Path) -> std::io::Result<AnalysisResult> {
+    analyze_tree_cached(root, None)
+}
+
+/// Walks the workspace with an incremental cache sidecar: files whose
+/// content hash matches the sidecar skip lexing entirely and replay their
+/// recorded findings and facts. The sidecar is rewritten after the run.
+pub fn analyze_tree_cached(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> std::io::Result<AnalysisResult> {
+    let _span = extradeep_obs::span("analyze.tree");
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let old = cache_path.map(cache::Cache::load).unwrap_or_default();
+    let mut records: BTreeMap<String, cache::FileRecord> = BTreeMap::new();
+    let mut result = AnalysisResult::default();
+    for rel in &files {
+        let source_text = std::fs::read_to_string(root.join(rel))?;
+        let hash = cache::fnv1a(source_text.as_bytes());
+        let record = match old.files.get(rel) {
+            Some(cached) if cached.hash == hash => {
+                result.files_from_cache += 1;
+                cached.clone()
+            }
+            _ => file_record(&SourceFile::from_source(rel, &source_text), hash),
+        };
+        records.insert(rel.clone(), record);
+    }
+    result.files_scanned = files.len();
+    finalize(&records, &mut result);
+    if let Some(path) = cache_path {
+        // Best-effort: an unwritable sidecar slows the next run, nothing else.
+        let _ = cache::Cache { files: records }.save(path);
+    }
     Ok(result)
 }
 
@@ -174,6 +294,17 @@ fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io
         }
     }
     Ok(())
+}
+
+/// Exit code the ratchet dictates: regressions fail (1); a clean run or one
+/// that only *pays down* debt passes (0). Usage and I/O errors are the
+/// binary's own 2 and never come from here.
+pub fn ratchet_exit_code(comparison: &Comparison) -> i32 {
+    if comparison.regressions.is_empty() {
+        0
+    } else {
+        1
+    }
 }
 
 /// Renders the human-readable report.
@@ -208,8 +339,9 @@ pub fn render_human(result: &AnalysisResult, comparison: &Comparison, verbose: b
         ));
     }
     out.push_str(&format!(
-        "\n{} file(s) scanned, {} violation(s) ({} suppressed), {} unused allow(s)\n",
+        "\n{} file(s) scanned ({} from cache), {} violation(s) ({} suppressed), {} unused allow(s)\n",
         result.files_scanned,
+        result.files_from_cache,
         result.violations.len(),
         result.suppressed.len(),
         result.unused_allows.len()
@@ -227,13 +359,18 @@ pub fn render_human(result: &AnalysisResult, comparison: &Comparison, verbose: b
         }
     }
     if !comparison.improvements.is_empty() {
-        out.push_str("\nImprovements vs baseline (re-ratchet with --update-baseline):\n");
+        out.push_str("\nDebt paid — counts now below the ratchet baseline:\n");
+        out.push_str(&format!(
+            "  {:<28} {:<44} {:>8} {:>8}\n",
+            "lint", "path", "baseline", "now"
+        ));
         for d in &comparison.improvements {
             out.push_str(&format!(
-                "  {} in {}: {} (baseline {})\n",
-                d.lint, d.path, d.current, d.baseline
+                "  {:<28} {:<44} {:>8} {:>8}\n",
+                d.lint, d.path, d.baseline, d.current
             ));
         }
+        out.push_str("  run with --update-baseline to lock the new floor in\n");
     }
     out
 }
@@ -275,6 +412,10 @@ pub fn render_json(result: &AnalysisResult, comparison: &Comparison) -> String {
             Json::Num(result.files_scanned as f64),
         ),
         (
+            "files_from_cache".to_string(),
+            Json::Num(result.files_from_cache as f64),
+        ),
+        (
             "violations".to_string(),
             Json::Arr(result.violations.iter().map(violation_json).collect()),
         ),
@@ -292,6 +433,39 @@ pub fn render_json(result: &AnalysisResult, comparison: &Comparison) -> String {
             "ok".to_string(),
             Json::Bool(comparison.regressions.is_empty()),
         ),
+    ]))
+    .render_pretty()
+}
+
+/// Renders the lint catalog as machine-readable metadata (`--list-lints
+/// --json`). The CLI help text is generated from the same registry, so the
+/// two can never drift.
+pub fn render_lints_json() -> String {
+    let lints = Json::Arr(
+        lints::all_lints()
+            .iter()
+            .map(|l| {
+                Json::Obj(BTreeMap::from([
+                    ("name".to_string(), Json::Str(l.name.to_string())),
+                    ("summary".to_string(), Json::Str(l.summary.to_string())),
+                    (
+                        "severity".to_string(),
+                        Json::Str(
+                            match l.severity {
+                                lints::Severity::Error => "error",
+                                lints::Severity::Warning => "warning",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("autofixable".to_string(), Json::Bool(l.autofixable)),
+                ]))
+            })
+            .collect(),
+    );
+    Json::Obj(BTreeMap::from([
+        ("schema_version".to_string(), Json::Num(1.0)),
+        ("lints".to_string(), lints),
     ]))
     .render_pretty()
 }
@@ -333,6 +507,7 @@ pub fn compare_to_baseline(result: &AnalysisResult, baseline: Option<&Baseline>)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use baseline::Delta;
 
     fn analyze_snippet(path: &str, src: &str) -> AnalysisResult {
         let file = SourceFile::from_source(path, src);
@@ -389,5 +564,101 @@ mod tests {
         let obj = doc.as_obj().unwrap();
         assert_eq!(obj.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(obj.get("files_scanned").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn cross_file_lock_inversion_surfaces_through_analyze_files() {
+        let a = SourceFile::from_source(
+            "crates/obs/src/a.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             fn f(s: &S) { let g = s.a.lock(); s.b.lock(); }\n",
+        );
+        let b = SourceFile::from_source(
+            "crates/obs/src/b.rs",
+            "fn g(s: &S) { let h = s.b.lock(); s.a.lock(); }\n",
+        );
+        let r = analyze_files(&[a, b]);
+        let cycles: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.lint == lints::LOCK_ORDER)
+            .collect();
+        assert_eq!(cycles.len(), 2, "one violation per edge of the cycle");
+        assert!(
+            cycles[0].message.contains("a -> b -> a") || cycles[0].message.contains("b -> a -> b")
+        );
+    }
+
+    #[test]
+    fn global_phase_findings_respect_allows() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   fn f(s: &S) { let g = s.a.lock(); s.b.lock(); }\n\
+                   // analyze:allow(lock-order) init order pinned by ctor\n\
+                   fn g(s: &S) { let h = s.b.lock(); s.a.lock(); }\n";
+        let file = SourceFile::from_source("crates/obs/src/a.rs", src);
+        let r = analyze_files(std::slice::from_ref(&file));
+        let active = r
+            .violations
+            .iter()
+            .filter(|v| v.lint == lints::LOCK_ORDER)
+            .count();
+        let quiet = r
+            .suppressed
+            .iter()
+            .filter(|s| s.violation.lint == lints::LOCK_ORDER)
+            .count();
+        assert_eq!(quiet, 1, "the allowed edge is suppressed");
+        assert_eq!(active, 1, "the other edge of the cycle still reports");
+    }
+
+    #[test]
+    fn ratchet_exit_codes_are_pinned() {
+        let worse = Comparison {
+            regressions: vec![Delta {
+                lint: "panic-on-data-path".to_string(),
+                path: "crates/model/src/a.rs".to_string(),
+                baseline: 0,
+                current: 1,
+            }],
+            improvements: Vec::new(),
+        };
+        let better = Comparison {
+            regressions: Vec::new(),
+            improvements: vec![Delta {
+                lint: "panic-on-data-path".to_string(),
+                path: "crates/model/src/a.rs".to_string(),
+                baseline: 2,
+                current: 0,
+            }],
+        };
+        let equal = Comparison {
+            regressions: Vec::new(),
+            improvements: Vec::new(),
+        };
+        assert_eq!(ratchet_exit_code(&worse), 1);
+        assert_eq!(ratchet_exit_code(&better), 0);
+        assert_eq!(ratchet_exit_code(&equal), 0);
+        let report = render_human(&AnalysisResult::default(), &better, false);
+        assert!(report.contains("Debt paid"));
+        assert!(report.contains("--update-baseline"));
+    }
+
+    #[test]
+    fn lints_json_lists_the_whole_registry() {
+        let doc = Json::parse(&render_lints_json()).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj.get("schema_version").and_then(Json::as_num), Some(1.0));
+        let Some(Json::Arr(items)) = obj.get("lints") else {
+            panic!("lints array missing")
+        };
+        assert_eq!(items.len(), lints::all_lints().len());
+        for item in items {
+            let o = item.as_obj().unwrap();
+            assert!(o.get("name").and_then(Json::as_str).is_some());
+            assert!(o.get("summary").and_then(Json::as_str).is_some());
+            let sev = o.get("severity").and_then(Json::as_str).unwrap();
+            assert!(sev == "error" || sev == "warning");
+            assert!(matches!(o.get("autofixable"), Some(Json::Bool(_))));
+        }
     }
 }

@@ -17,14 +17,50 @@
 //! * `raw-duration-arith` — ad-hoc `* 1e9` / `* 1e-9` conversions between
 //!   `u64` nanoseconds and `f64` seconds drift apart one call site at a
 //!   time; conversions go through `trace::units`.
+//!
+//! The second generation (token-tree backed, PR 10) guards the concurrency
+//! and hot-path invariants the serve/streaming work depends on:
+//!
+//! * `hot-path-alloc` — per-iteration allocations in loop bodies of
+//!   functions reachable from the annotated hot-path roots
+//!   ([`HOT_PATH_ROOTS`]); a malloc per event is a throughput cliff at
+//!   campaign scale.
+//! * `swallowed-result` — `let _ = …` / trailing `.ok();` discarding a
+//!   `Result` on non-test data paths hides I/O and channel failures.
+//! * `blocking-in-worker` — file/stdio/sleep calls written directly inside
+//!   rayon parallel closures or `thread::spawn` bodies stall an entire
+//!   worker pool.
+//! * `lock-order` — inconsistent Mutex/RwLock acquisition order across
+//!   call sites is a latent deadlock; see [`crate::locks`].
 
 use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default severity a finding is reported at (drives the SARIF `level`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
 
 /// Static metadata of one lint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lint {
     pub name: &'static str,
     pub summary: &'static str,
+    pub severity: Severity,
+    /// Whether the fix is mechanical enough for a future `--fix` pass
+    /// (swap to a named helper/type) rather than a design change.
+    pub autofixable: bool,
 }
 
 /// One finding, before suppression/baseline filtering.
@@ -43,6 +79,10 @@ pub const NAN_UNSAFE_ORDERING: &str = "nan-unsafe-ordering";
 pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
 pub const UNSEEDED_RNG: &str = "unseeded-rng";
 pub const RAW_DURATION_ARITH: &str = "raw-duration-arith";
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+pub const SWALLOWED_RESULT: &str = "swallowed-result";
+pub const BLOCKING_IN_WORKER: &str = "blocking-in-worker";
+pub const LOCK_ORDER: &str = "lock-order";
 
 /// The registry, in reporting order.
 pub fn all_lints() -> &'static [Lint] {
@@ -50,35 +90,106 @@ pub fn all_lints() -> &'static [Lint] {
         Lint {
             name: PANIC_ON_DATA_PATH,
             summary: "unwrap/expect/panic! in non-test code of the trace/agg/model data path",
+            severity: Severity::Error,
+            autofixable: false,
         },
         Lint {
             name: NAN_UNSAFE_ORDERING,
             summary: "partial_cmp with unwrap/unwrap_or on floats; use f64::total_cmp",
+            severity: Severity::Error,
+            autofixable: false,
         },
         Lint {
             name: NONDETERMINISTIC_ITERATION,
             summary: "HashMap/HashSet in non-test code; use BTreeMap/BTreeSet or sort",
+            severity: Severity::Error,
+            autofixable: true,
         },
         Lint {
             name: UNSEEDED_RNG,
             summary: "RNG from ambient entropy; use the seeded streams in sim::noise",
+            severity: Severity::Error,
+            autofixable: false,
         },
         Lint {
             name: RAW_DURATION_ARITH,
             summary: "inline ns<->s conversion arithmetic; use trace::units helpers",
+            severity: Severity::Warning,
+            autofixable: true,
+        },
+        Lint {
+            name: HOT_PATH_ALLOC,
+            summary: "allocation in a loop body of a function reachable from a hot-path root",
+            severity: Severity::Warning,
+            autofixable: false,
+        },
+        Lint {
+            name: SWALLOWED_RESULT,
+            summary: "`let _ =` / `.ok();` discarding a Result on a non-test data path",
+            severity: Severity::Warning,
+            autofixable: false,
+        },
+        Lint {
+            name: BLOCKING_IN_WORKER,
+            summary:
+                "file/stdio/sleep call written directly inside a rayon closure or spawned thread",
+            severity: Severity::Warning,
+            autofixable: false,
+        },
+        Lint {
+            name: LOCK_ORDER,
+            summary: "Mutex/RwLock pairs acquired in conflicting orders across call sites",
+            severity: Severity::Error,
+            autofixable: false,
         },
     ]
+}
+
+/// Looks a lint up by name (cache entries round-trip through strings).
+pub fn lint_by_name(name: &str) -> Option<&'static Lint> {
+    all_lints().iter().find(|l| l.name == name)
 }
 
 /// Crates whose non-test code is a data path: they consume measurement data
 /// (possibly corrupted) and must fail with typed errors instead of panicking.
 const DATA_PATH_PREFIXES: &[&str] = &["crates/trace/src/", "crates/agg/src/", "crates/model/src/"];
 
+/// Crates whose non-test code must not silently discard `Result`s.
+const RESULT_PATH_PREFIXES: &[&str] = &[
+    "crates/trace/src/",
+    "crates/agg/src/",
+    "crates/model/src/",
+    "crates/obs/src/",
+    "crates/core/src/",
+];
+
 /// The one file allowed to spell out ns<->s conversion constants.
 const UNITS_FILE_SUFFIX: &str = "trace/src/units.rs";
 
-/// Runs every lint over one parsed file.
+/// Annotated hot-path roots: the entry points whose transitive callees make
+/// up the per-event/per-kernel hot loops. Extend this list when a new
+/// batch-scale entry point lands.
+pub const HOT_PATH_ROOTS: &[&str] = &[
+    "aggregate_experiment", // agg: per-rep/per-kernel aggregation
+    "model_batch",          // model: cross-model sharded batch search
+    "search_shapes",        // model: batched hypothesis-search kernel
+    "analyze_rank",         // trace: per-rank timeline accounting
+];
+
+/// Runs every per-file lint over one parsed file. The cross-file lints
+/// (`hot-path-alloc`, `lock-order`) run as a global phase over
+/// [`hot_path_facts`] / [`crate::locks::lock_facts`].
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = check_file_v1(file);
+    swallowed_result(file, &mut out);
+    blocking_in_worker(file, &mut out);
+    out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    out
+}
+
+/// Runs exactly the five v1 (line-based) lints — the contract the golden
+/// old-vs-new engine test pins across scrubber implementations.
+pub fn check_file_v1(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
     panic_on_data_path(file, &mut out);
     nan_unsafe_ordering(file, &mut out);
@@ -332,6 +443,336 @@ fn mentions_duration(text: &str) -> bool {
         || text.contains("nanos")
 }
 
+/// `swallowed-result`: `let _ = expr;` (except the infallible
+/// `write!`/`writeln!`-into-String idiom) and statement-position `.ok();`
+/// on the crates where a dropped `Result` hides an I/O or channel failure.
+fn swallowed_result(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !RESULT_PATH_PREFIXES
+        .iter()
+        .any(|p| file.path.starts_with(p))
+    {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        let text = &line.scrubbed;
+        if let Some(pos) = text.find("let _") {
+            let rest = &text[pos + "let _".len()..];
+            // `let _x = …` is a named discard — different idiom, skip.
+            let named = rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            let assigns = rest.trim_start().starts_with('=');
+            let fmt_into_string = text.contains("write!") || text.contains("writeln!");
+            if !named && assigns && !fmt_into_string {
+                push(
+                    out,
+                    SWALLOWED_RESULT,
+                    file,
+                    i,
+                    "`let _ =` discards the value — if it is a Result, the failure vanishes; \
+                     handle/propagate it or justify with an allow"
+                        .to_string(),
+                );
+                continue;
+            }
+        }
+        // Statement-position `.ok();`: the Result dies on this line. Lines
+        // that bind or return the Option (`let`, `=`, `return`) keep it.
+        if text.contains(".ok();")
+            && !text.contains("let ")
+            && !text.contains("return")
+            && !text.contains('=')
+        {
+            push(
+                out,
+                SWALLOWED_RESULT,
+                file,
+                i,
+                "trailing `.ok();` swallows the error case; handle/propagate it \
+                 or justify with an allow"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Methods/paths whose trailing statement is a worker region: everything
+/// lexically inside the statement runs on a pool worker or spawned thread.
+const WORKER_ENTRIES: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_iter_mut",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_windows",
+    "par_bridge",
+    "par_extend",
+    "spawn",
+    "scope",
+];
+
+/// `blocking-in-worker`: blocking calls written directly inside a rayon
+/// parallel closure or a spawned-thread body. Regions are statement-scoped
+/// (the closure text itself), so helpers *called from* a worker are not
+/// flagged — the lint targets the direct "quick closure does file I/O"
+/// mistake, not whole-program effect analysis.
+fn blocking_in_worker(file: &SourceFile, out: &mut Vec<Violation>) {
+    use crate::lexer::TokenKind;
+    use crate::tree::statement_end;
+    let toks = &file.tokens;
+    let src = &file.src;
+    if toks.is_empty() {
+        return;
+    }
+    let mut regions: Vec<(usize, usize, usize)> = Vec::new(); // (start, end, entry_line)
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.token_in_test_code(i) {
+            continue;
+        }
+        let name = t.text(src);
+        if !WORKER_ENTRIES.contains(&name) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text(src));
+        let qualified = match name {
+            // Methods: `data.par_iter()`, `pool.spawn(…)`, `builder.spawn(…)`.
+            "spawn" => matches!(prev, Some("." | ":")),
+            // `rayon::scope` / `thread::scope` only — bare `scope` is a
+            // common variable name.
+            "scope" => matches!(prev, Some(":")),
+            _ => matches!(prev, Some(".")),
+        };
+        let calls = toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Punct && n.text(src) == "(");
+        if qualified && calls {
+            let end = statement_end(src, toks, &file.tree.depth, i);
+            regions.push((i, end, t.line));
+        }
+    }
+    if regions.is_empty() {
+        return;
+    }
+    const CALLS: &[(&str, &str, &str)] = &[
+        // (ident, required neighbour, display)
+        ("sleep", "(", "thread::sleep"),
+        ("read_to_string", "(", "read_to_string"),
+        ("OpenOptions", "", "OpenOptions"),
+        ("File", ":", "File::open/create"),
+        ("fs", ":", "std::fs"),
+        ("stdin", "(", "stdin()"),
+        ("stdout", "(", "stdout()"),
+        ("stderr", "(", "stderr()"),
+        ("println", "!", "println!"),
+        ("eprintln", "!", "eprintln!"),
+        ("print", "!", "print!"),
+        ("eprint", "!", "eprint!"),
+    ];
+    let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.token_in_test_code(j) {
+            continue;
+        }
+        let Some(&(_, _, entry_line)) = regions.iter().find(|&&(s, e, _)| j > s && j <= e) else {
+            continue;
+        };
+        let name = t.text(src);
+        for &(ident, neighbour, display) in CALLS {
+            if name != ident {
+                continue;
+            }
+            let next_ok = neighbour.is_empty()
+                || toks
+                    .get(j + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Punct && n.text(src) == neighbour);
+            if next_ok && seen.insert((t.line, display)) {
+                let line_idx = t.line.saturating_sub(1);
+                push(
+                    out,
+                    BLOCKING_IN_WORKER,
+                    file,
+                    line_idx,
+                    format!(
+                        "`{display}` blocks inside the worker region starting at line \
+                         {entry_line}; move I/O out of the parallel closure or justify \
+                         with an allow"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// One allocation site inside a loop body, attributed to its function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    pub fn_name: String,
+    /// 1-based.
+    pub line: usize,
+    /// Display form of the allocating construct (e.g. `vec![`).
+    pub what: String,
+    pub snippet: String,
+}
+
+/// Per-file inputs to the global `hot-path-alloc` phase. Serialized into
+/// the incremental cache, so keep this flat and stringly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotPathFacts {
+    /// Functions defined with bodies in this file.
+    pub fns: Vec<String>,
+    /// `(caller_fn, callee_ident)` call pairs, name-resolved later.
+    pub calls: Vec<(String, String)>,
+    /// Allocation sites in loop bodies.
+    pub allocs: Vec<AllocSite>,
+}
+
+/// Extracts hot-path facts from one file. Only the hot-path crates
+/// (trace/agg/model) contribute — the lint scopes where per-event work
+/// lives, not the CLI glue.
+pub fn hot_path_facts(file: &SourceFile) -> HotPathFacts {
+    use crate::lexer::TokenKind;
+    if !DATA_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+        return HotPathFacts::default();
+    }
+    let toks = &file.tokens;
+    let src = &file.src;
+    let mut facts = HotPathFacts::default();
+    for f in &file.tree.functions {
+        if f.body.is_some() && !file.lines[f.line.saturating_sub(1)].in_test_code {
+            facts.fns.push(f.name.clone());
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.token_in_test_code(i) {
+            continue;
+        }
+        let name = t.text(src);
+        let prev = i.checked_sub(1).map(|p| toks[p].text(src));
+        let next = toks.get(i + 1).map(|n| n.text(src));
+        // Call pairs: `ident(` not preceded by `fn` (that's a definition).
+        if next == Some("(") && prev != Some("fn") {
+            if let Some(caller) = file.tree.function_at(i) {
+                facts.calls.push((caller.name.clone(), name.to_string()));
+            }
+        }
+        // Allocation sites, only inside loop bodies.
+        if !file.tree.in_loop_body(i) {
+            continue;
+        }
+        let what: Option<String> = match name {
+            "vec" | "format" if next == Some("!") => Some(format!("{name}![")),
+            "to_vec" | "to_string" | "to_owned" | "collect" if prev == Some(".") => {
+                Some(format!(".{name}()"))
+            }
+            "new" | "with_capacity" if prev == Some(":") => {
+                // `Vec::new` / `String::new` / `Vec::with_capacity`.
+                let owner = i
+                    .checked_sub(3)
+                    .map(|p| toks[p].text(src))
+                    .filter(|o| *o == "Vec" || *o == "String");
+                owner.map(|o| format!("{o}::{name}"))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            // Error construction is cold by definition: `return Err(format!(…))`
+            // inside a loop allocates only on the failure path. Scan back to
+            // the statement boundary for an `Err`/`panic`/assert marker.
+            let mut j = i;
+            let mut error_path = false;
+            while j > 0 {
+                j -= 1;
+                match toks[j].text(src) {
+                    ";" | "{" | "}" => break,
+                    "Err" | "panic" | "assert" | "unreachable" => {
+                        error_path = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if error_path {
+                continue;
+            }
+            if let Some(f) = file.tree.function_at(i) {
+                facts.allocs.push(AllocSite {
+                    fn_name: f.name.clone(),
+                    line: t.line,
+                    what,
+                    snippet: snippet(file, t.line.saturating_sub(1)),
+                });
+            }
+        }
+    }
+    facts.calls.sort();
+    facts.calls.dedup();
+    facts
+}
+
+/// Global `hot-path-alloc` phase: name-based reachability from
+/// [`HOT_PATH_ROOTS`] over the union of per-file call pairs, then one
+/// violation per loop-body allocation site in a reachable function.
+pub fn hot_path_violations(facts: &BTreeMap<String, HotPathFacts>) -> Vec<Violation> {
+    let defined: BTreeSet<&str> = facts
+        .values()
+        .flat_map(|f| f.fns.iter().map(String::as_str))
+        .collect();
+    let mut callees: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in facts.values() {
+        for (caller, callee) in &f.calls {
+            if defined.contains(callee.as_str()) {
+                callees
+                    .entry(caller.as_str())
+                    .or_default()
+                    .insert(callee.as_str());
+            }
+        }
+    }
+    // BFS, remembering which root first reached each function.
+    let mut reached: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: Vec<(&str, &str)> = Vec::new();
+    for root in HOT_PATH_ROOTS {
+        if defined.contains(root) && !reached.contains_key(root) {
+            reached.insert(root, root);
+            queue.push((root, root));
+        }
+    }
+    while let Some((f, root)) = queue.pop() {
+        if let Some(next) = callees.get(f) {
+            for callee in next {
+                if !reached.contains_key(callee) {
+                    reached.insert(callee, root);
+                    queue.push((callee, root));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (path, f) in facts {
+        for site in &f.allocs {
+            if let Some(root) = reached.get(site.fn_name.as_str()) {
+                out.push(Violation {
+                    lint: HOT_PATH_ALLOC,
+                    path: path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "`{}` allocates every iteration inside `{}` (hot path via `{root}`); \
+                         hoist the buffer out of the loop or reuse a scratch allocation",
+                        site.what, site.fn_name
+                    ),
+                    snippet: site.snippet.clone(),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +875,96 @@ mod tests {
                 "{lint}"
             );
         }
+    }
+
+    #[test]
+    fn swallowed_result_flags_let_underscore_and_trailing_ok() {
+        let src = "fn f() { let _ = tx.send(x); }\n";
+        assert_eq!(hits("crates/core/src/a.rs", src, SWALLOWED_RESULT).len(), 1);
+        let ok = "fn f() { file.sync_all().ok(); }\n";
+        assert_eq!(hits("crates/obs/src/a.rs", ok, SWALLOWED_RESULT).len(), 1);
+        // Out-of-scope crates and test code stay clean.
+        assert!(hits("crates/sim/src/a.rs", src, SWALLOWED_RESULT).is_empty());
+        assert!(hits("crates/core/tests/a.rs", src, SWALLOWED_RESULT).is_empty());
+    }
+
+    #[test]
+    fn swallowed_result_permits_fmt_idiom_and_named_discards() {
+        let fmt = "fn f() { let _ = writeln!(out, \"x\"); }\n";
+        assert!(hits("crates/model/src/a.rs", fmt, SWALLOWED_RESULT).is_empty());
+        let named = "fn f() { let _guard = m.lock(); }\n";
+        assert!(hits("crates/core/src/a.rs", named, SWALLOWED_RESULT).is_empty());
+        let bound = "fn f() { let v = x.parse::<u64>().ok(); }\n";
+        assert!(hits("crates/core/src/a.rs", bound, SWALLOWED_RESULT).is_empty());
+    }
+
+    #[test]
+    fn blocking_in_worker_flags_io_inside_rayon_closures() {
+        let src = "fn f() { items.par_iter().for_each(|x| { std::fs::write(p, x).ok(); }); }\n";
+        let v = hits("crates/core/src/a.rs", src, BLOCKING_IN_WORKER);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("std::fs"));
+        // Same body outside a worker region is fine.
+        let plain = "fn f() { std::fs::write(p, x).ok(); }\n";
+        assert!(hits("crates/core/src/a.rs", plain, BLOCKING_IN_WORKER).is_empty());
+    }
+
+    #[test]
+    fn blocking_in_worker_flags_sleep_in_spawned_thread() {
+        let src =
+            "fn f() { std::thread::spawn(move || { thread::sleep(d); println!(\"tick\"); }); }\n";
+        let v = hits("crates/obs/src/a.rs", src, BLOCKING_IN_WORKER);
+        assert_eq!(v.len(), 2);
+        // Calling a helper from the worker is not flagged — statement scope.
+        let helper = "fn f() { std::thread::spawn(run_loop); }\n";
+        assert!(hits("crates/obs/src/a.rs", helper, BLOCKING_IN_WORKER).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_reaches_through_the_call_graph() {
+        let src = "pub fn aggregate_experiment(xs: &[u8]) {\n\
+                       for x in xs { helper(x); }\n\
+                   }\n\
+                   fn helper(x: &u8) {\n\
+                       for _ in 0..3 { let v = vec![x]; drop(v); }\n\
+                   }\n\
+                   fn unrelated() {\n\
+                       for _ in 0..3 { let s = format!(\"x\"); drop(s); }\n\
+                   }\n";
+        let file = SourceFile::from_source("crates/agg/src/a.rs", src);
+        let mut facts = BTreeMap::new();
+        facts.insert(file.path.clone(), hot_path_facts(&file));
+        let v = hot_path_violations(&facts);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("aggregate_experiment"));
+    }
+
+    #[test]
+    fn hot_path_alloc_ignores_out_of_scope_crates_and_non_loops() {
+        let src = "pub fn model_batch() { let v: Vec<u8> = xs.iter().collect(); }\n";
+        let file = SourceFile::from_source("crates/model/src/a.rs", src);
+        let mut facts = BTreeMap::new();
+        facts.insert(file.path.clone(), hot_path_facts(&file));
+        assert!(hot_path_violations(&facts).is_empty());
+        // Same loop alloc in a non-hot-path crate contributes no facts.
+        let loopy = "pub fn aggregate_experiment() { for _ in 0..2 { let v = vec![1]; } }\n";
+        let other = SourceFile::from_source("crates/sim/src/a.rs", loopy);
+        assert_eq!(hot_path_facts(&other), HotPathFacts::default());
+    }
+
+    #[test]
+    fn registry_has_unique_names_and_severities() {
+        let names: BTreeSet<&str> = all_lints().iter().map(|l| l.name).collect();
+        assert_eq!(names.len(), all_lints().len());
+        assert_eq!(
+            lint_by_name(LOCK_ORDER).map(|l| l.severity),
+            Some(Severity::Error)
+        );
+        assert_eq!(
+            lint_by_name(HOT_PATH_ALLOC).map(|l| l.severity),
+            Some(Severity::Warning)
+        );
+        assert!(lint_by_name("no-such-lint").is_none());
     }
 }

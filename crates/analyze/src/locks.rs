@@ -1,0 +1,503 @@
+//! `lock-order`: cross-file Mutex/RwLock acquisition-order analysis.
+//!
+//! Per file, the extractor finds *declared locks* (`name: Mutex<…>`,
+//! `static NAME: RwLock<…>`, `let m = Mutex::new(…)` — std and parking_lot
+//! spell these the same way) and *acquisitions* (`.lock()` / `.read()` /
+//! `.write()` with empty argument lists; `io::Read::read(buf)` never
+//! matches because it takes arguments). A lock's identity is the last
+//! segment of the receiver path, so `REGISTRY.threads.lock()` and
+//! `self.threads.lock()` unify on `threads`.
+//!
+//! Each acquisition gets a *hold range*: a `let`-bound guard lives to the
+//! end of its enclosing block (or an explicit `drop(guard)`), a temporary
+//! guard to the end of its statement — which, for block-headed statements
+//! like `for buf in X.lock().iter() { … }`, extends through the loop body.
+//! Acquiring lock B inside lock A's hold range yields the edge `A → B`.
+//!
+//! Globally, edges whose endpoints are both *declared* locks somewhere in
+//! the workspace form a directed graph; a cycle means two call sites can
+//! deadlock. The diagnostic prints the full conflicting chain:
+//! `a.rs:40 takes `threads` then `archived`; b.rs:77 takes `archived`
+//! then `threads``.
+
+use crate::lexer::TokenKind;
+use crate::lints::{Violation, LOCK_ORDER};
+use crate::source::SourceFile;
+use crate::tree::{enclosing_block_close, statement_end};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One ordered pair of acquisitions: `first` is held when `second` is taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    pub first: String,
+    pub second: String,
+    /// 1-based line of the `first` acquisition.
+    pub first_line: usize,
+    /// 1-based line of the `second` acquisition.
+    pub second_line: usize,
+    /// Enclosing function of the first acquisition (empty at item scope).
+    pub fn_name: String,
+    /// Raw text of the first acquisition's line.
+    pub snippet: String,
+}
+
+/// Per-file inputs to the global `lock-order` phase; serialized into the
+/// incremental cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockFacts {
+    /// Lock names declared in this file.
+    pub declared: Vec<String>,
+    /// Nested-acquisition edges observed in this file.
+    pub edges: Vec<LockEdge>,
+}
+
+/// Receivers that look like locks but are stream handles.
+const NOT_LOCKS: &[&str] = &["stdin", "stdout", "stderr", "io"];
+
+/// Extracts declared locks and acquisition edges from one file.
+pub fn lock_facts(file: &SourceFile) -> LockFacts {
+    let toks = &file.tokens;
+    let src = &file.src;
+    let mut facts = LockFacts::default();
+    if toks.is_empty() {
+        return facts;
+    }
+    let text = |i: usize| toks[i].text(src);
+    let is_punct = |i: usize, p: &str| toks[i].kind == TokenKind::Punct && text(i) == p;
+
+    // --- Declared locks ---------------------------------------------------
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || file.token_in_test_code(i) {
+            continue;
+        }
+        let name = text(i);
+        if name != "Mutex" && name != "RwLock" {
+            continue;
+        }
+        // `field: Mutex<…>` / `static NAME: Mutex<…>`.
+        if i >= 2 && is_punct(i - 1, ":") && toks[i - 2].kind == TokenKind::Ident {
+            facts.declared.push(text(i - 2).to_string());
+            continue;
+        }
+        // `… name = [Arc::new(] Mutex::new(…)` — walk back to the `=` of
+        // this statement, then take the identifier before it.
+        let ctor = i + 3 < toks.len()
+            && is_punct(i + 1, ":")
+            && is_punct(i + 2, ":")
+            && toks[i + 3].kind == TokenKind::Ident
+            && text(i + 3) == "new";
+        if ctor {
+            let mut k = i;
+            while k > 0 {
+                k -= 1;
+                if is_punct(k, ";") || is_punct(k, "{") || is_punct(k, "}") {
+                    break;
+                }
+                if is_punct(k, "=") && k >= 1 && toks[k - 1].kind == TokenKind::Ident {
+                    facts.declared.push(text(k - 1).to_string());
+                    break;
+                }
+            }
+        }
+    }
+    facts.declared.sort();
+    facts.declared.dedup();
+
+    // --- Acquisitions with hold ranges ------------------------------------
+    struct Acq {
+        name: String,
+        tok: usize,
+        line: usize,
+        hold_end: usize,
+    }
+    let mut acqs: Vec<Acq> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || file.token_in_test_code(i) {
+            continue;
+        }
+        let m = text(i);
+        if m != "lock" && m != "read" && m != "write" {
+            continue;
+        }
+        // `.lock()` with an EMPTY argument list — `read(buf)` is I/O.
+        if i < 2 || !is_punct(i - 1, ".") || i + 2 >= toks.len() {
+            continue;
+        }
+        if !is_punct(i + 1, "(") || !is_punct(i + 2, ")") {
+            continue;
+        }
+        // Receiver = last path segment before the dot (skipping a call's
+        // balanced parens, so `journal().read()` resolves to `journal`).
+        let mut r = i - 2;
+        if is_punct(r, ")") {
+            let mut depth = 0i64;
+            loop {
+                if is_punct(r, ")") {
+                    depth += 1;
+                } else if is_punct(r, "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if r == 0 {
+                    break;
+                }
+                r -= 1;
+            }
+            if r == 0 {
+                continue;
+            }
+            r -= 1;
+        }
+        if toks[r].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = text(r).to_string();
+        if NOT_LOCKS.contains(&name.as_str()) || name == "self" {
+            continue;
+        }
+        // Hold range: let-bound guards live to block end (or drop());
+        // temporaries to statement end.
+        let mut bound: Option<&str> = None;
+        let mut k = i;
+        while k > 0 {
+            k -= 1;
+            if is_punct(k, ";") || is_punct(k, "{") || is_punct(k, "}") {
+                break;
+            }
+            if toks[k].kind == TokenKind::Ident && text(k) == "let" {
+                if k + 1 < toks.len() {
+                    bound = Some(text(k + 1));
+                }
+                break;
+            }
+        }
+        let hold_end = match bound {
+            Some("_") => statement_end(src, toks, &file.tree.depth, i),
+            Some(guard) => {
+                let mut end = enclosing_block_close(src, toks, &file.tree.depth, i);
+                // An explicit `drop(guard)` releases early.
+                let mut d = i;
+                while d + 3 < toks.len() && d + 3 <= end {
+                    if toks[d].kind == TokenKind::Ident
+                        && text(d) == "drop"
+                        && is_punct(d + 1, "(")
+                        && toks[d + 2].kind == TokenKind::Ident
+                        && text(d + 2) == guard
+                        && is_punct(d + 3, ")")
+                    {
+                        end = d;
+                        break;
+                    }
+                    d += 1;
+                }
+                end
+            }
+            None => statement_end(src, toks, &file.tree.depth, i),
+        };
+        acqs.push(Acq {
+            name,
+            tok: i,
+            line: toks[i].line,
+            hold_end,
+        });
+    }
+
+    // --- Edges -------------------------------------------------------------
+    for a in &acqs {
+        for b in &acqs {
+            if b.tok > a.tok && b.tok <= a.hold_end && b.name != a.name {
+                let fn_name = file
+                    .tree
+                    .function_at(a.tok)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_default();
+                let snippet = file
+                    .lines
+                    .get(a.line.saturating_sub(1))
+                    .map(|l| l.raw.trim().to_string())
+                    .unwrap_or_default();
+                facts.edges.push(LockEdge {
+                    first: a.name.clone(),
+                    second: b.name.clone(),
+                    first_line: a.line,
+                    second_line: b.line,
+                    fn_name,
+                    snippet,
+                });
+            }
+        }
+    }
+    facts.edges.sort_by(|x, y| {
+        (&x.first, &x.second, x.first_line, x.second_line).cmp(&(
+            &y.first,
+            &y.second,
+            y.first_line,
+            y.second_line,
+        ))
+    });
+    facts.edges.dedup();
+    facts
+}
+
+/// One edge site in the global graph.
+#[derive(Debug, Clone)]
+struct Site {
+    path: String,
+    edge: LockEdge,
+}
+
+/// Global `lock-order` phase: union the declared-lock set, keep edges whose
+/// endpoints are both declared locks, and report every cycle with its full
+/// conflicting chain — one violation per cycle edge so the ratchet tracks
+/// each offending file.
+pub fn lock_order_violations(facts: &BTreeMap<String, LockFacts>) -> Vec<Violation> {
+    let declared: BTreeSet<&str> = facts
+        .values()
+        .flat_map(|f| f.declared.iter().map(String::as_str))
+        .collect();
+    // First (lexicographically smallest) site per directed pair.
+    let mut sites: BTreeMap<(String, String), Site> = BTreeMap::new();
+    let mut graph: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (path, f) in facts {
+        for e in &f.edges {
+            if !declared.contains(e.first.as_str()) || !declared.contains(e.second.as_str()) {
+                continue;
+            }
+            graph
+                .entry(e.first.clone())
+                .or_default()
+                .insert(e.second.clone());
+            sites
+                .entry((e.first.clone(), e.second.clone()))
+                .or_insert_with(|| Site {
+                    path: path.clone(),
+                    edge: e.clone(),
+                });
+        }
+    }
+    let cycles = find_cycles(&graph);
+    let mut out = Vec::new();
+    for cycle in cycles {
+        // Chain description covering every edge of the cycle.
+        let ring: Vec<&str> = cycle
+            .iter()
+            .map(String::as_str)
+            .chain(std::iter::once(cycle[0].as_str()))
+            .collect();
+        let mut chain = String::new();
+        for w in ring.windows(2) {
+            let site = &sites[&(w[0].to_string(), w[1].to_string())];
+            if !chain.is_empty() {
+                chain.push_str("; ");
+            }
+            let ctx = if site.edge.fn_name.is_empty() {
+                String::new()
+            } else {
+                format!(" (in `{}`)", site.edge.fn_name)
+            };
+            chain.push_str(&format!(
+                "{}:{} takes `{}` then `{}`{ctx}",
+                site.path, site.edge.first_line, w[0], w[1]
+            ));
+        }
+        let order = ring.join(" -> ");
+        for w in ring.windows(2) {
+            let site = &sites[&(w[0].to_string(), w[1].to_string())];
+            out.push(Violation {
+                lint: LOCK_ORDER,
+                path: site.path.clone(),
+                line: site.edge.first_line,
+                message: format!("lock-order cycle `{order}`: {chain}"),
+                snippet: site.edge.snippet.clone(),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out.dedup();
+    out
+}
+
+/// Finds directed cycles via DFS back edges, deduplicated by rotation so
+/// each distinct ring is reported once, starting from its smallest node.
+fn find_cycles(graph: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    fn dfs(
+        u: &str,
+        graph: &BTreeMap<String, BTreeSet<String>>,
+        color: &mut BTreeMap<String, Color>,
+        stack: &mut Vec<String>,
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        color.insert(u.to_string(), Color::Gray);
+        stack.push(u.to_string());
+        if let Some(next) = graph.get(u) {
+            for v in next {
+                match color.get(v.as_str()).copied().unwrap_or(Color::White) {
+                    Color::Gray => {
+                        if let Some(pos) = stack.iter().position(|x| x == v) {
+                            cycles.push(stack[pos..].to_vec());
+                        }
+                    }
+                    Color::White => dfs(v, graph, color, stack, cycles),
+                    Color::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(u.to_string(), Color::Black);
+    }
+    let mut color: BTreeMap<String, Color> = BTreeMap::new();
+    let mut stack = Vec::new();
+    let mut cycles = Vec::new();
+    for node in graph.keys() {
+        if color.get(node.as_str()).copied().unwrap_or(Color::White) == Color::White {
+            dfs(node, graph, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    // Normalize each cycle to start at its smallest node, then dedupe.
+    let mut normalized: Vec<Vec<String>> = cycles
+        .into_iter()
+        .map(|c| {
+            let min = c
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| n.as_str())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut r = c[min..].to_vec();
+            r.extend_from_slice(&c[..min]);
+            r
+        })
+        .collect();
+    normalized.sort();
+    normalized.dedup();
+    normalized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts_of(path: &str, src: &str) -> (String, LockFacts) {
+        let file = SourceFile::from_source(path, src);
+        (path.to_string(), lock_facts(&file))
+    }
+
+    fn violations(files: &[(&str, &str)]) -> Vec<Violation> {
+        let mut map = BTreeMap::new();
+        for (path, src) in files {
+            let (p, f) = facts_of(path, src);
+            map.insert(p, f);
+        }
+        lock_order_violations(&map)
+    }
+
+    #[test]
+    fn declarations_cover_fields_statics_and_ctors() {
+        let src = "struct S { threads: Mutex<Vec<u8>>, journal: RwLock<u8> }\n\
+                   static ARCHIVE: Mutex<u8> = Mutex::new(0);\n\
+                   fn f() { let gate = std::sync::Mutex::new(0); }\n";
+        let (_, f) = facts_of("crates/x/src/a.rs", src);
+        assert_eq!(f.declared, vec!["ARCHIVE", "gate", "journal", "threads"]);
+    }
+
+    #[test]
+    fn nested_acquisition_produces_an_edge_sequential_does_not() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn nested(s: &S) { let g = s.a.lock(); s.b.lock(); }\n\
+                   fn sequential(s: &S) { { let g = s.a.lock(); } s.b.lock(); }\n";
+        let (_, f) = facts_of("crates/x/src/a.rs", src);
+        assert_eq!(f.edges.len(), 1, "{:?}", f.edges);
+        assert_eq!(f.edges[0].first, "a");
+        assert_eq!(f.edges[0].second, "b");
+        assert_eq!(f.edges[0].fn_name, "nested");
+    }
+
+    #[test]
+    fn temporary_guard_in_for_head_holds_through_the_body() {
+        let src = "struct S { a: Mutex<Vec<u8>>, b: Mutex<u8> }\n\
+                   fn f(s: &S) {\n\
+                       for x in s.a.lock().iter() {\n\
+                           s.b.lock();\n\
+                       }\n\
+                       s.b.lock();\n\
+                   }\n";
+        let (_, f) = facts_of("crates/x/src/a.rs", src);
+        // Only the in-body acquisition nests; the one after the loop doesn't.
+        assert_eq!(f.edges.len(), 1, "{:?}", f.edges);
+        assert_eq!((f.edges[0].first_line, f.edges[0].second_line), (3, 4));
+    }
+
+    #[test]
+    fn drop_releases_a_let_bound_guard_early() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn f(s: &S) { let g = s.a.lock(); drop(g); s.b.lock(); }\n";
+        let (_, f) = facts_of("crates/x/src/a.rs", src);
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+    }
+
+    #[test]
+    fn read_with_arguments_is_not_an_acquisition() {
+        let src = "struct S { buf: Mutex<u8> }\n\
+                   fn f(r: &mut impl std::io::Read, buf: &mut [u8]) { r.read(buf); }\n\
+                   fn g() { std::io::stdout().lock(); }\n";
+        let (_, f) = facts_of("crates/x/src/a.rs", src);
+        assert!(f.edges.is_empty());
+        // stdout is excluded even though `.lock()` has empty parens.
+    }
+
+    #[test]
+    fn two_file_inversion_is_a_cycle_with_full_chain() {
+        let a = "struct S { registry: Mutex<u8>, journal: RwLock<u8> }\n\
+                 fn take(s: &S) { let g = s.registry.lock(); s.journal.read(); }\n";
+        let b = "fn flush(s: &super::S) { let g = s.journal.write(); s.registry.lock(); }\n";
+        let v = violations(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        let msg = &v[0].message;
+        assert!(msg.contains("journal -> registry -> journal"), "{msg}");
+        assert!(
+            msg.contains("crates/x/src/a.rs:2 takes `registry` then `journal`"),
+            "{msg}"
+        );
+        assert!(
+            msg.contains("crates/x/src/b.rs:1 takes `journal` then `registry`"),
+            "{msg}"
+        );
+        assert!(msg.contains("(in `take`)"), "{msg}");
+    }
+
+    #[test]
+    fn consistent_order_across_files_is_clean() {
+        let a = "struct S { x: Mutex<u8>, y: Mutex<u8> }\n\
+                 fn f(s: &S) { let g = s.x.lock(); s.y.lock(); }\n";
+        let b = "fn h(s: &super::S) { let g = s.x.lock(); s.y.lock(); }\n";
+        assert!(violations(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]).is_empty());
+    }
+
+    #[test]
+    fn undeclared_receivers_never_form_edges() {
+        // `conn.read()` / `file.write()` style calls on things that are not
+        // declared locks anywhere stay out of the graph.
+        let a = "fn f(conn: &C, file: &F) { let g = conn.read(); file.write(); }\n\
+                 fn h(conn: &C, file: &F) { let g = file.write(); conn.read(); }\n";
+        assert!(violations(&[("crates/x/src/a.rs", a)]).is_empty());
+    }
+
+    #[test]
+    fn three_node_cycle_reports_every_edge() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8>, c: Mutex<u8> }\n\
+                   fn f1(s: &S) { let g = s.a.lock(); s.b.lock(); }\n\
+                   fn f2(s: &S) { let g = s.b.lock(); s.c.lock(); }\n\
+                   fn f3(s: &S) { let g = s.c.lock(); s.a.lock(); }\n";
+        let v = violations(&[("crates/x/src/a.rs", src)]);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.message.contains("a -> b -> c -> a")));
+    }
+}

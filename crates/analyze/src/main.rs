@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! extradeep-analyze [--root DIR] [--baseline FILE] [--update-baseline]
-//!                   [--json] [--bench-json FILE] [--list-lints]
+//!                   [--json] [--bench-json FILE] [--sarif FILE]
+//!                   [--list-lints [--json]] [--no-cache] [--cache FILE]
 //!                   [--verbose] [--quiet]
 //! ```
 //!
-//! Exit codes: 0 — clean (no violations beyond the ratchet baseline);
-//! 1 — new violations; 2 — usage or I/O error.
+//! Exit codes: 0 — clean (no violations beyond the ratchet baseline, paid-down
+//! debt included); 1 — new violations; 2 — usage or I/O error.
 
 use extradeep_analyze::baseline::Baseline;
 use extradeep_analyze::{
-    analyze_tree, compare_to_baseline, lints, render_bench_json, render_human, render_json,
+    analyze_tree_cached, compare_to_baseline, lints, ratchet_exit_code, render_bench_json,
+    render_human, render_json, render_lints_json, sarif,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -22,7 +24,10 @@ struct Options {
     update_baseline: bool,
     json: bool,
     bench_json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     list_lints: bool,
+    cache: Option<PathBuf>,
+    no_cache: bool,
     verbose: bool,
     quiet: bool,
 }
@@ -34,7 +39,10 @@ fn parse_args() -> Result<Options, String> {
         update_baseline: false,
         json: false,
         bench_json: None,
+        sarif: None,
         list_lints: false,
+        cache: None,
+        no_cache: false,
         verbose: false,
         quiet: false,
     };
@@ -58,11 +66,18 @@ fn parse_args() -> Result<Options, String> {
                     args.next().ok_or("--bench-json requires a file")?,
                 ))
             }
+            "--sarif" => {
+                opts.sarif = Some(PathBuf::from(args.next().ok_or("--sarif requires a file")?))
+            }
             "--list-lints" => opts.list_lints = true,
+            "--cache" => {
+                opts.cache = Some(PathBuf::from(args.next().ok_or("--cache requires a file")?))
+            }
+            "--no-cache" => opts.no_cache = true,
             "--verbose" => opts.verbose = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
-                println!("{HELP}");
+                println!("{}", help_text());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}` (see --help)")),
@@ -71,7 +86,11 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-const HELP: &str = "extradeep-analyze: project-invariant static analysis
+/// Help text, with the lint catalog generated from the registry so the CLI
+/// and `--list-lints --json` can never disagree about what exists.
+fn help_text() -> String {
+    let mut out = String::from(
+        "extradeep-analyze: project-invariant static analysis
 
 USAGE: extradeep-analyze [OPTIONS]
 
@@ -80,10 +99,29 @@ OPTIONS:
     --baseline FILE     ratchet baseline (default: ROOT/analyze-baseline.json)
     --update-baseline   rewrite the baseline to current violation counts
     --json              emit the machine-readable report on stdout
+                        (with --list-lints: the lint catalog as JSON)
     --bench-json FILE   write perf-history style lint-count metrics
+    --sarif FILE        write the findings as SARIF 2.1.0
     --list-lints        print the lint catalog and exit
+    --cache FILE        incremental cache sidecar
+                        (default: ROOT/target/analyze-cache.json)
+    --no-cache          re-lex every file; neither read nor write the sidecar
     --verbose           also print suppressed findings
-    --quiet             suppress the human report (exit code only)";
+    --quiet             suppress the human report (exit code only)
+
+LINTS:
+",
+    );
+    for lint in lints::all_lints() {
+        let sev = match lint.severity {
+            lints::Severity::Error => "error",
+            lints::Severity::Warning => "warn ",
+        };
+        out.push_str(&format!("    {:<28} [{sev}] {}\n", lint.name, lint.summary));
+    }
+    out.push_str("\nSuppress a finding with `// analyze:allow(<lint>) <justification>`.");
+    out
+}
 
 /// Finds the workspace root: the nearest ancestor of `start` containing a
 /// `Cargo.toml` with a `[workspace]` table.
@@ -104,8 +142,12 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 fn run() -> Result<ExitCode, String> {
     let opts = parse_args()?;
     if opts.list_lints {
-        for lint in lints::all_lints() {
-            println!("{:28} {}", lint.name, lint.summary);
+        if opts.json {
+            print!("{}", render_lints_json());
+        } else {
+            for lint in lints::all_lints() {
+                println!("{:28} {}", lint.name, lint.summary);
+            }
         }
         return Ok(ExitCode::SUCCESS);
     }
@@ -120,8 +162,17 @@ fn run() -> Result<ExitCode, String> {
     let baseline_path = opts
         .baseline
         .unwrap_or_else(|| root.join("analyze-baseline.json"));
+    let cache_path = if opts.no_cache {
+        None
+    } else {
+        Some(
+            opts.cache
+                .unwrap_or_else(|| root.join("target/analyze-cache.json")),
+        )
+    };
 
-    let result = analyze_tree(&root).map_err(|e| format!("scan failed: {e}"))?;
+    let result = analyze_tree_cached(&root, cache_path.as_deref())
+        .map_err(|e| format!("scan failed: {e}"))?;
     result.publish_counters();
 
     let baseline = match std::fs::read_to_string(&baseline_path) {
@@ -156,17 +207,17 @@ fn run() -> Result<ExitCode, String> {
         std::fs::write(path, render_bench_json(&result))
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
+    if let Some(path) = &opts.sarif {
+        std::fs::write(path, sarif::render_sarif(&result))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
     if opts.json {
         print!("{}", render_json(&result, &comparison));
     } else if !opts.quiet {
         print!("{}", render_human(&result, &comparison, opts.verbose));
     }
 
-    if comparison.regressions.is_empty() {
-        Ok(ExitCode::SUCCESS)
-    } else {
-        Ok(ExitCode::from(1))
-    }
+    Ok(ExitCode::from(ratchet_exit_code(&comparison) as u8))
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,201 @@
+//! SARIF 2.1.0 export, so CI can publish findings through the GitHub
+//! code-scanning path and reviewers see them as inline annotations.
+//!
+//! One run, one driver (`extradeep-analyze`), one rule per lint (metadata
+//! straight from the registry in [`crate::lints`]), one result per active
+//! violation. Suppressed findings are *not* exported — an `analyze:allow`
+//! with a justification is a reviewed decision, not an open finding.
+
+use crate::json::Json;
+use crate::lints::{all_lints, Severity};
+use crate::AnalysisResult;
+use std::collections::BTreeMap;
+
+const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// Renders the full SARIF document for one analysis run.
+pub fn render_sarif(result: &AnalysisResult) -> String {
+    let rules = Json::Arr(
+        all_lints()
+            .iter()
+            .map(|l| {
+                Json::Obj(BTreeMap::from([
+                    ("id".to_string(), Json::Str(l.name.to_string())),
+                    (
+                        "shortDescription".to_string(),
+                        Json::Obj(BTreeMap::from([(
+                            "text".to_string(),
+                            Json::Str(l.summary.to_string()),
+                        )])),
+                    ),
+                    (
+                        "defaultConfiguration".to_string(),
+                        Json::Obj(BTreeMap::from([(
+                            "level".to_string(),
+                            Json::Str(level(l.severity).to_string()),
+                        )])),
+                    ),
+                    (
+                        "properties".to_string(),
+                        Json::Obj(BTreeMap::from([(
+                            "autofixable".to_string(),
+                            Json::Bool(l.autofixable),
+                        )])),
+                    ),
+                ]))
+            })
+            .collect(),
+    );
+    let results = Json::Arr(
+        result
+            .violations
+            .iter()
+            .map(|v| {
+                let sev = crate::lints::lint_by_name(v.lint)
+                    .map(|l| l.severity)
+                    .unwrap_or(Severity::Warning);
+                Json::Obj(BTreeMap::from([
+                    ("ruleId".to_string(), Json::Str(v.lint.to_string())),
+                    ("level".to_string(), Json::Str(level(sev).to_string())),
+                    (
+                        "message".to_string(),
+                        Json::Obj(BTreeMap::from([(
+                            "text".to_string(),
+                            Json::Str(v.message.clone()),
+                        )])),
+                    ),
+                    (
+                        "locations".to_string(),
+                        Json::Arr(vec![Json::Obj(BTreeMap::from([(
+                            "physicalLocation".to_string(),
+                            Json::Obj(BTreeMap::from([
+                                (
+                                    "artifactLocation".to_string(),
+                                    Json::Obj(BTreeMap::from([(
+                                        "uri".to_string(),
+                                        Json::Str(v.path.clone()),
+                                    )])),
+                                ),
+                                (
+                                    "region".to_string(),
+                                    Json::Obj(BTreeMap::from([(
+                                        "startLine".to_string(),
+                                        Json::Num(v.line as f64),
+                                    )])),
+                                ),
+                            ])),
+                        )]))]),
+                    ),
+                ]))
+            })
+            .collect(),
+    );
+    let driver = Json::Obj(BTreeMap::from([
+        (
+            "name".to_string(),
+            Json::Str("extradeep-analyze".to_string()),
+        ),
+        (
+            "informationUri".to_string(),
+            Json::Str("https://github.com/extra-deep/extradeep".to_string()),
+        ),
+        ("rules".to_string(), rules),
+    ]));
+    let run = Json::Obj(BTreeMap::from([
+        (
+            "tool".to_string(),
+            Json::Obj(BTreeMap::from([("driver".to_string(), driver)])),
+        ),
+        ("results".to_string(), results),
+    ]));
+    Json::Obj(BTreeMap::from([
+        ("$schema".to_string(), Json::Str(SARIF_SCHEMA.to_string())),
+        ("version".to_string(), Json::Str(SARIF_VERSION.to_string())),
+        ("runs".to_string(), Json::Arr(vec![run])),
+    ]))
+    .render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{Violation, LOCK_ORDER, RAW_DURATION_ARITH};
+
+    fn result_with(violations: Vec<Violation>) -> AnalysisResult {
+        AnalysisResult {
+            violations,
+            ..AnalysisResult::default()
+        }
+    }
+
+    #[test]
+    fn document_shape_is_sarif_2_1_0() {
+        let doc = Json::parse(&render_sarif(&result_with(Vec::new()))).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(
+            obj.get("version").and_then(Json::as_str),
+            Some(SARIF_VERSION)
+        );
+        let Some(Json::Arr(runs)) = obj.get("runs") else {
+            panic!("runs missing")
+        };
+        assert_eq!(runs.len(), 1);
+        let run = runs[0].as_obj().unwrap();
+        let driver = run["tool"].as_obj().unwrap()["driver"].as_obj().unwrap();
+        assert_eq!(
+            driver.get("name").and_then(Json::as_str),
+            Some("extradeep-analyze")
+        );
+        let Some(Json::Arr(rules)) = driver.get("rules") else {
+            panic!("rules missing")
+        };
+        assert_eq!(rules.len(), all_lints().len());
+    }
+
+    #[test]
+    fn violations_become_results_with_levels_and_locations() {
+        let v = vec![
+            Violation {
+                lint: LOCK_ORDER,
+                path: "crates/obs/src/registry.rs".to_string(),
+                line: 40,
+                message: "cycle".to_string(),
+                snippet: String::new(),
+            },
+            Violation {
+                lint: RAW_DURATION_ARITH,
+                path: "crates/sim/src/x.rs".to_string(),
+                line: 7,
+                message: "raw".to_string(),
+                snippet: String::new(),
+            },
+        ];
+        let doc = Json::parse(&render_sarif(&result_with(v))).unwrap();
+        let text = doc.render_pretty();
+        let runs = match doc.as_obj().unwrap().get("runs") {
+            Some(Json::Arr(r)) => r,
+            _ => panic!("runs"),
+        };
+        let results = match runs[0].as_obj().unwrap().get("results") {
+            Some(Json::Arr(r)) => r,
+            _ => panic!("results"),
+        };
+        assert_eq!(results.len(), 2);
+        let first = results[0].as_obj().unwrap();
+        assert_eq!(first.get("ruleId").and_then(Json::as_str), Some(LOCK_ORDER));
+        assert_eq!(first.get("level").and_then(Json::as_str), Some("error"));
+        let second = results[1].as_obj().unwrap();
+        assert_eq!(second.get("level").and_then(Json::as_str), Some("warning"));
+        assert!(text.contains("crates/obs/src/registry.rs"));
+        assert!(text.contains("startLine"));
+    }
+}

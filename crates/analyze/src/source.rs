@@ -1,10 +1,16 @@
-//! Source-file model: comment/string scrubbing, test-region detection, and
-//! inline `// analyze:allow(<lint>) <justification>` suppression directives.
+//! Source-file model: token-backed comment/string scrubbing, test-region
+//! detection, and inline `// analyze:allow(<lint>) <justification>`
+//! suppression directives.
 //!
-//! The engine works on *scrubbed* text — string and char literals blanked,
-//! comments removed — so lint patterns can never match inside a literal or a
-//! doc comment. Scrubbing is a small cross-line state machine (Rust string
-//! literals, raw strings, and block comments all span lines).
+//! The engine lexes every file with the real Rust tokenizer in [`crate::lexer`]
+//! and reconstructs *scrubbed* per-line text from the token stream — string
+//! and char literals collapse to a single space, comments vanish — so lint
+//! patterns can never match inside a literal or a doc comment. The previous
+//! line-state-machine scrubber survives as [`crate::legacy`] and a golden
+//! test pins the two engines to identical violation sets.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::tree::FileTree;
 
 /// One inline suppression directive.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,166 +40,20 @@ pub struct Line {
 pub struct SourceFile {
     /// Workspace-relative path with `/` separators.
     pub path: String,
+    /// The raw source the tokens index into.
+    pub src: String,
     pub lines: Vec<Line>,
+    /// The full token stream (empty when built by the legacy engine).
+    pub tokens: Vec<Token>,
+    /// Brace-matched structure over `tokens`.
+    pub tree: FileTree,
 }
 
 /// Marker that introduces a suppression inside a line comment.
 pub const ALLOW_MARKER: &str = "analyze:allow(";
 
-#[derive(Clone, Copy, PartialEq)]
-enum ScrubState {
-    Code,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-}
-
-/// Scrubs one physical line given the entry state; returns the scrubbed text,
-/// the exit state, and the text of any `//` line comment on the line.
-fn scrub_line(line: &str, mut state: ScrubState) -> (String, ScrubState, Option<String>) {
-    let chars: Vec<char> = line.chars().collect();
-    let mut out = String::with_capacity(line.len());
-    let mut comment: Option<String> = None;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match state {
-            ScrubState::BlockComment(depth) => {
-                if c == '/' && next == Some('*') {
-                    state = ScrubState::BlockComment(depth + 1);
-                    i += 2;
-                } else if c == '*' && next == Some('/') {
-                    state = if depth > 1 {
-                        ScrubState::BlockComment(depth - 1)
-                    } else {
-                        ScrubState::Code
-                    };
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            ScrubState::Str => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '"' {
-                    state = ScrubState::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            ScrubState::RawStr(hashes) => {
-                if c == '"' {
-                    let closes = (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
-                    if closes {
-                        state = ScrubState::Code;
-                        out.push(' ');
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                }
-                i += 1;
-            }
-            ScrubState::Code => {
-                if c == '/' && next == Some('/') {
-                    // Line comment: capture its text for allow parsing.
-                    // Doc comments (`///`, `//!`) are prose, not directives —
-                    // they may *mention* the allow marker without meaning it.
-                    let is_doc = matches!(chars.get(i + 2), Some('/' | '!'));
-                    if !is_doc {
-                        comment = Some(chars[i + 2..].iter().collect());
-                    }
-                    break;
-                }
-                if c == '/' && next == Some('*') {
-                    state = ScrubState::BlockComment(1);
-                    i += 2;
-                    continue;
-                }
-                if c == '"' {
-                    state = ScrubState::Str;
-                    out.push(' ');
-                    i += 1;
-                    continue;
-                }
-                // Raw / byte string starts: r", r#", br", b".
-                let prev_is_ident =
-                    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
-                if !prev_is_ident && (c == 'r' || c == 'b') {
-                    if let Some((raw_form, hashes, consumed)) = raw_string_open(&chars[i..]) {
-                        // `b"..."` is an ordinary (escaped) string; `r`-forms
-                        // are raw and close only on `"` + matching hashes.
-                        state = if raw_form {
-                            ScrubState::RawStr(hashes)
-                        } else {
-                            ScrubState::Str
-                        };
-                        out.push(' ');
-                        i += consumed;
-                        continue;
-                    }
-                }
-                if c == '\'' {
-                    // Char literal vs lifetime.
-                    if next == Some('\\') {
-                        // Escaped char literal: skip to closing quote.
-                        let mut j = i + 2;
-                        while j < chars.len() && chars[j] != '\'' {
-                            j += 1;
-                        }
-                        out.push(' ');
-                        i = j + 1;
-                        continue;
-                    }
-                    if chars.get(i + 2) == Some(&'\'') && next.is_some() {
-                        out.push(' ');
-                        i += 3;
-                        continue;
-                    }
-                    // Lifetime: keep the tick so code shape survives.
-                    out.push(c);
-                    i += 1;
-                    continue;
-                }
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    (out, state, comment)
-}
-
-/// Detects `r"`, `r#"`, `br"`, `b"` etc. at the start of `chars`. Returns
-/// `(is_raw_form, hash_count, chars_consumed_through_opening_quote)`.
-fn raw_string_open(chars: &[char]) -> Option<(bool, u32, usize)> {
-    let mut i = 0;
-    if chars.get(i) == Some(&'b') {
-        i += 1;
-    }
-    let rawish = chars.get(i) == Some(&'r');
-    if rawish {
-        i += 1;
-    }
-    if i == 0 {
-        return None;
-    }
-    let mut hashes = 0u32;
-    while chars.get(i + hashes as usize) == Some(&'#') {
-        hashes += 1;
-    }
-    let q = i + hashes as usize;
-    if chars.get(q) == Some(&'"') && (rawish || hashes == 0) {
-        Some((rawish, hashes, q + 1))
-    } else {
-        None
-    }
-}
-
 /// Parses `analyze:allow(name[, name...])[:] justification` from a comment.
-fn parse_allows(comment: &str, line: usize) -> Vec<Allow> {
+pub(crate) fn parse_allows(comment: &str, line: usize) -> Vec<Allow> {
     let Some(start) = comment.find(ALLOW_MARKER) else {
         return Vec::new();
     };
@@ -223,49 +83,50 @@ impl SourceFile {
     /// workspace-relative; test-only paths (`tests/`, `benches/`,
     /// `examples/`) mark every line as test code.
     pub fn from_source(path: &str, source: &str) -> SourceFile {
-        let test_file = is_test_path(path);
-        let mut state = ScrubState::Code;
-        let mut lines: Vec<Line> = Vec::new();
-        let mut pending_allows: Vec<Allow> = Vec::new();
-        for (idx, raw) in source.lines().enumerate() {
-            let (scrubbed, next_state, comment) = scrub_line(raw, state);
-            state = next_state;
-            let mut allows = comment
-                .as_deref()
-                .map(|c| parse_allows(c, idx + 1))
-                .unwrap_or_default();
-            let code_is_blank = scrubbed.trim().is_empty();
-            if code_is_blank && !allows.is_empty() {
-                // Standalone directive comment: applies to the next code line.
-                pending_allows.append(&mut allows);
-                lines.push(Line {
-                    number: idx + 1,
-                    raw: raw.to_string(),
-                    scrubbed,
-                    in_test_code: test_file,
-                    allows: Vec::new(),
-                });
-                continue;
+        let tokens = lex(source);
+        let n_lines = source.lines().count();
+        let mut scrubbed: Vec<String> = vec![String::new(); n_lines];
+        let mut comments: Vec<Option<String>> = vec![None; n_lines];
+        // Walk tokens in order, copying inter-token whitespace and code
+        // tokens verbatim; literals collapse to one space on their start
+        // line and comments are dropped (line comments keep their text
+        // aside for allow parsing — doc comments are prose, not directives).
+        let mut cur = 0usize;
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            for &b in source.as_bytes()[prev_end..t.start].iter() {
+                if b == b'\n' {
+                    cur += 1;
+                } else if b != b'\r' {
+                    if let Some(buf) = scrubbed.get_mut(cur) {
+                        buf.push(b as char);
+                    }
+                }
             }
-            if !code_is_blank && !pending_allows.is_empty() {
-                allows.extend(pending_allows.drain(..));
+            let text = t.text(source);
+            match t.kind {
+                TokenKind::LineComment => {
+                    if let Some(slot) = comments.get_mut(cur) {
+                        *slot = Some(text[2..].to_string());
+                    }
+                }
+                TokenKind::DocComment | TokenKind::BlockComment => {}
+                TokenKind::Str | TokenKind::RawStr | TokenKind::Char => {
+                    if let Some(buf) = scrubbed.get_mut(cur) {
+                        buf.push(' ');
+                    }
+                }
+                _ => {
+                    if let Some(buf) = scrubbed.get_mut(cur) {
+                        buf.push_str(text);
+                    }
+                }
             }
-            lines.push(Line {
-                number: idx + 1,
-                raw: raw.to_string(),
-                scrubbed,
-                in_test_code: test_file,
-                allows,
-            });
+            cur += text.bytes().filter(|&b| b == b'\n').count();
+            prev_end = t.end;
         }
-        let mut file = SourceFile {
-            path: path.to_string(),
-            lines,
-        };
-        if !test_file {
-            mark_test_regions(&mut file);
-        }
-        file
+        let tree = FileTree::build(source, &tokens);
+        assemble(path, source, scrubbed, comments, tokens, tree)
     }
 
     /// Flattened scrubbed text with `\n` separators, plus the flat offset at
@@ -288,9 +149,75 @@ impl SourceFile {
             Err(i) => i.saturating_sub(1),
         }
     }
+
+    /// True when the token at `idx` sits on a test-code line.
+    pub fn token_in_test_code(&self, idx: usize) -> bool {
+        self.tokens
+            .get(idx)
+            .and_then(|t| self.lines.get(t.line.saturating_sub(1)))
+            .is_some_and(|l| l.in_test_code)
+    }
 }
 
-fn is_test_path(path: &str) -> bool {
+/// Builds the final [`SourceFile`] from per-line scrubbed text and captured
+/// line-comment text. Shared between the token engine and the legacy
+/// scrubber so allow attachment and test-region marking cannot drift.
+pub(crate) fn assemble(
+    path: &str,
+    source: &str,
+    scrubbed: Vec<String>,
+    comments: Vec<Option<String>>,
+    tokens: Vec<Token>,
+    tree: FileTree,
+) -> SourceFile {
+    let test_file = is_test_path(path);
+    let mut lines: Vec<Line> = Vec::new();
+    let mut pending_allows: Vec<Allow> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let scrubbed = scrubbed.get(idx).cloned().unwrap_or_default();
+        let comment = comments.get(idx).cloned().flatten();
+        let mut allows = comment
+            .as_deref()
+            .map(|c| parse_allows(c, idx + 1))
+            .unwrap_or_default();
+        let code_is_blank = scrubbed.trim().is_empty();
+        if code_is_blank && !allows.is_empty() {
+            // Standalone directive comment: applies to the next code line.
+            pending_allows.append(&mut allows);
+            lines.push(Line {
+                number: idx + 1,
+                raw: raw.to_string(),
+                scrubbed,
+                in_test_code: test_file,
+                allows: Vec::new(),
+            });
+            continue;
+        }
+        if !code_is_blank && !pending_allows.is_empty() {
+            allows.extend(pending_allows.drain(..));
+        }
+        lines.push(Line {
+            number: idx + 1,
+            raw: raw.to_string(),
+            scrubbed,
+            in_test_code: test_file,
+            allows,
+        });
+    }
+    let mut file = SourceFile {
+        path: path.to_string(),
+        src: source.to_string(),
+        lines,
+        tokens,
+        tree,
+    };
+    if !test_file {
+        mark_test_regions(&mut file);
+    }
+    file
+}
+
+pub(crate) fn is_test_path(path: &str) -> bool {
     path.split('/').any(|seg| {
         seg == "tests" || seg == "benches" || seg == "examples" || seg == "proptest-regressions"
     })
@@ -298,7 +225,7 @@ fn is_test_path(path: &str) -> bool {
 
 /// Marks lines inside `#[cfg(test)]` / `#[test]` items as test code by brace
 /// matching from the attribute to the item's closing brace.
-fn mark_test_regions(file: &mut SourceFile) {
+pub(crate) fn mark_test_regions(file: &mut SourceFile) {
     let n = file.lines.len();
     let mut i = 0;
     while i < n {
@@ -436,6 +363,13 @@ mod tests {
                    //! And so does analyze:allow(unseeded-rng) here.\nfn f() {}\n";
         let f = SourceFile::from_source("crates/x/src/lib.rs", src);
         assert!(f.lines.iter().all(|l| l.allows.is_empty()));
+    }
+
+    #[test]
+    fn allow_marker_inside_raw_string_is_not_a_directive() {
+        let src = "let doc = r#\"// analyze:allow(panic-on-data-path) not real\"#;\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        assert!(f.lines[0].allows.is_empty());
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! A lightweight brace-matched item/block tree over the token stream.
+//!
+//! This is deliberately not an AST: the second-generation lints need to know
+//! *which function a token is in*, *whether it sits in a loop body*, and
+//! *where the current statement ends* — all of which fall out of brace
+//! matching plus a handful of keyword scans. Anything more (expression
+//! grammar, types) would be cost without customers.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `{ … }` block, by token index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Token index of the `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (or the last token when unclosed).
+    pub close: usize,
+}
+
+/// One `fn` item with a named header and (usually) a body block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Body block, `None` for trait-method declarations (`fn f();`).
+    pub body: Option<Block>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// One loop (`for`/`while`/`loop`) body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopItem {
+    /// Token index of the loop keyword.
+    pub keyword: usize,
+    pub body: Block,
+}
+
+/// The per-file structural index.
+#[derive(Debug, Clone, Default)]
+pub struct FileTree {
+    /// Brace depth of each token (depth of the block it sits in; the `{`
+    /// and `}` tokens themselves carry the *outer* depth).
+    pub depth: Vec<u32>,
+    pub functions: Vec<FnItem>,
+    pub loops: Vec<LoopItem>,
+}
+
+impl FileTree {
+    /// Builds the tree for a lexed file. `src` is the file the tokens were
+    /// lexed from (token text is resolved through it).
+    pub fn build(src: &str, tokens: &[Token]) -> FileTree {
+        let depth = depths(tokens, src);
+        let functions = find_functions(src, tokens, &depth);
+        let loops = find_loops(src, tokens, &depth);
+        FileTree {
+            depth,
+            functions,
+            loops,
+        }
+    }
+
+    /// The innermost function whose body contains token `idx`.
+    pub fn function_at(&self, idx: usize) -> Option<&FnItem> {
+        let mut best: Option<&FnItem> = None;
+        for f in &self.functions {
+            if let Some(b) = f.body {
+                if b.open < idx && idx < b.close {
+                    // Innermost = latest-opening body that still contains idx.
+                    if best.and_then(|f| f.body).is_none_or(|bb| b.open > bb.open) {
+                        best = Some(f);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// True when token `idx` is inside at least one loop body.
+    pub fn in_loop_body(&self, idx: usize) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.body.open < idx && idx < l.body.close)
+    }
+}
+
+/// Brace depth per token. String/char/comment tokens never affect depth —
+/// the lexer already folded their content away.
+fn depths(tokens: &[Token], src: &str) -> Vec<u32> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut depth = 0u32;
+    for t in tokens {
+        if t.kind == TokenKind::Punct {
+            match t.text(src) {
+                "{" => {
+                    out.push(depth);
+                    depth += 1;
+                    continue;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    out.push(depth);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(depth);
+    }
+    out
+}
+
+/// Finds the `}` matching the `{` at token `open`. Returns the last token
+/// index when the file ends unclosed.
+pub fn matching_close(src: &str, tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text(src) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn find_functions(src: &str, tokens: &[Token], depth: &[u32]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text(src) == "fn" {
+            // The name is the next identifier (skipping nothing: `fn name`).
+            let name_idx = i + 1;
+            if let Some(name_tok) = tokens.get(name_idx) {
+                if name_tok.kind == TokenKind::Ident {
+                    // Scan for the body `{` — or a `;` first (no body).
+                    // Signatures contain no braces at this depth (closures in
+                    // const-generic defaults are out of scope).
+                    let d = depth[i];
+                    let mut body = None;
+                    let mut j = name_idx + 1;
+                    while let Some(t) = tokens.get(j) {
+                        if t.kind == TokenKind::Punct && depth[j] <= d {
+                            match t.text(src) {
+                                "{" if depth[j] == d => {
+                                    body = Some(Block {
+                                        open: j,
+                                        close: matching_close(src, tokens, j),
+                                    });
+                                    break;
+                                }
+                                ";" if depth[j] == d => break,
+                                "}" if depth[j] < d => break,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    out.push(FnItem {
+                        name: name_tok.text(src).to_string(),
+                        fn_tok: i,
+                        body,
+                        line: tokens[i].line,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn find_loops(src: &str, tokens: &[Token], depth: &[u32]) -> Vec<LoopItem> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let kw = t.text(src);
+        if !matches!(kw, "for" | "while" | "loop") {
+            continue;
+        }
+        // `impl Trait for Type { … }` — that `for` heads an impl body, not a
+        // loop: reject when an `impl` appears since the last `{`/`}`/`;` at
+        // any depth (impl headers are short and brace-free).
+        if kw == "for" {
+            let mut k = i;
+            let mut is_impl = false;
+            while k > 0 {
+                k -= 1;
+                let p = &tokens[k];
+                if p.kind == TokenKind::Punct && matches!(p.text(src), "{" | "}" | ";") {
+                    break;
+                }
+                if p.kind == TokenKind::Ident && p.text(src) == "impl" {
+                    is_impl = true;
+                    break;
+                }
+            }
+            if is_impl {
+                continue;
+            }
+            // HRTB `for<'a>` is not a loop either.
+            if tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Punct && n.text(src) == "<")
+            {
+                continue;
+            }
+        }
+        // Body = first `{` at the keyword's depth (struct literals are not
+        // legal in loop-head expression position, so this is unambiguous).
+        let d = depth[i];
+        let mut j = i + 1;
+        let mut found = None;
+        while let Some(t) = tokens.get(j) {
+            if t.kind == TokenKind::Punct && depth[j] <= d {
+                match t.text(src) {
+                    "{" if depth[j] == d => {
+                        found = Some(Block {
+                            open: j,
+                            close: matching_close(src, tokens, j),
+                        });
+                        break;
+                    }
+                    ";" if depth[j] == d => break,
+                    "}" if depth[j] < d => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if let Some(body) = found {
+            out.push(LoopItem { keyword: i, body });
+        }
+    }
+    out
+}
+
+/// Token index just past the end of the statement containing token `idx`:
+/// the next `;` at the statement's depth, or — when the statement heads a
+/// block (`for … { … }`, `if … { … }`) — the block's closing `}`. Returns
+/// the enclosing block close when neither appears (tail expressions).
+pub fn statement_end(src: &str, tokens: &[Token], depth: &[u32], idx: usize) -> usize {
+    let d = depth[idx];
+    let mut j = idx;
+    while let Some(t) = tokens.get(j) {
+        if t.kind == TokenKind::Punct {
+            match t.text(src) {
+                ";" if depth[j] == d => return j,
+                "{" if depth[j] == d => return matching_close(src, tokens, j),
+                "}" if depth[j] < d => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Token index of the `}` closing the innermost block containing `idx`.
+pub fn enclosing_block_close(src: &str, tokens: &[Token], depth: &[u32], idx: usize) -> usize {
+    let d = depth[idx];
+    if d == 0 {
+        return tokens.len().saturating_sub(1);
+    }
+    let mut j = idx;
+    while let Some(t) = tokens.get(j) {
+        if t.kind == TokenKind::Punct && t.text(src) == "}" && depth[j] == d - 1 {
+            return j;
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Vec<Token>, FileTree) {
+        let toks = lex(src);
+        let t = FileTree::build(src, &toks);
+        (toks, t)
+    }
+
+    #[test]
+    fn functions_with_and_without_bodies() {
+        let src = "trait T { fn decl(&self); }\nimpl T for X { fn body(&self) { work(); } }\nfn free() {}\n";
+        let (_toks, t) = tree(src);
+        let names: Vec<(&str, bool)> = t
+            .functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.body.is_some()))
+            .collect();
+        assert_eq!(names, vec![("decl", false), ("body", true), ("free", true)]);
+    }
+
+    #[test]
+    fn nested_function_attribution() {
+        let src = "fn outer() { helper(); fn inner() { leaf(); } tail(); }\n";
+        let (toks, t) = tree(src);
+        let leaf_idx = toks.iter().position(|tok| tok.text(src) == "leaf").unwrap();
+        assert_eq!(t.function_at(leaf_idx).unwrap().name, "inner");
+        let tail_idx = toks.iter().position(|tok| tok.text(src) == "tail").unwrap();
+        assert_eq!(t.function_at(tail_idx).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn loops_detected_impl_for_is_not() {
+        let src = "impl Iterator for X { fn go(&mut self) { for i in 0..3 { body(); } while x { w(); } loop { l(); } } }\nfn hrtb<F: for<'a> Fn(&'a u8)>(f: F) {}\n";
+        let (toks, t) = tree(src);
+        assert_eq!(t.loops.len(), 3);
+        let body_idx = toks.iter().position(|tok| tok.text(src) == "body").unwrap();
+        assert!(t.in_loop_body(body_idx));
+        let go_idx = toks.iter().position(|tok| tok.text(src) == "go").unwrap();
+        assert!(!t.in_loop_body(go_idx));
+    }
+
+    #[test]
+    fn statement_end_expression_and_block_headed() {
+        let src = "fn f() { a.lock(); for x in y.lock().iter() { use_it(x); } b(); }\n";
+        let (toks, t) = tree(src);
+        let first_lock = toks.iter().position(|tok| tok.text(src) == "lock").unwrap();
+        let end = statement_end(src, &toks, &t.depth, first_lock);
+        assert_eq!(toks[end].text(src), ";");
+        // The for-head lock's statement extends through the loop body.
+        let second_lock = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, tok)| tok.text(src) == "lock")
+            .nth(1)
+            .map(|(i, _)| i)
+            .unwrap();
+        let end = statement_end(src, &toks, &t.depth, second_lock);
+        assert_eq!(toks[end].text(src), "}");
+        let use_idx = toks
+            .iter()
+            .position(|tok| tok.text(src) == "use_it")
+            .unwrap();
+        assert!(end > use_idx, "loop body is inside the for statement");
+    }
+
+    #[test]
+    fn enclosing_block_close_finds_the_right_brace() {
+        let src = "fn f() { { inner(); } outer(); }\n";
+        let (toks, t) = tree(src);
+        let inner_idx = toks
+            .iter()
+            .position(|tok| tok.text(src) == "inner")
+            .unwrap();
+        let close = enclosing_block_close(src, &toks, &t.depth, inner_idx);
+        let outer_idx = toks
+            .iter()
+            .position(|tok| tok.text(src) == "outer")
+            .unwrap();
+        assert!(close < outer_idx);
+    }
+}

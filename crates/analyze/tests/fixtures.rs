@@ -4,7 +4,7 @@
 //! round-trip through actual baseline files.
 
 use extradeep_analyze::baseline::Baseline;
-use extradeep_analyze::{analyze_tree, compare_to_baseline};
+use extradeep_analyze::{analyze_tree, analyze_tree_cached, compare_to_baseline};
 use std::path::PathBuf;
 
 /// A throwaway workspace-shaped tree under the system temp dir.
@@ -71,6 +71,24 @@ const CASES: &[(&str, &str, &str, &str)] = &[
         "crates/sim/src/fix.rs",
         "fn f(total_ns: u64) -> f64 { total_ns as f64 * 1e-9 }\n",
         "fn f(total_ns: u64) -> f64 { total_ns as f64 * 1e-9 } // analyze:allow(raw-duration-arith) perf-critical inner loop\n",
+    ),
+    (
+        "hot-path-alloc",
+        "crates/model/src/fix.rs",
+        "fn search_shapes(n: usize) { for i in 0..n { let v = vec![i]; use_it(&v); } }\n",
+        "fn search_shapes(n: usize) { for i in 0..n { let v = vec![i]; use_it(&v); } } // analyze:allow(hot-path-alloc) scratch is reused by the callee\n",
+    ),
+    (
+        "swallowed-result",
+        "crates/obs/src/fix.rs",
+        "fn f() { let _ = std::fs::remove_file(\"x\"); }\n",
+        "fn f() { let _ = std::fs::remove_file(\"x\"); } // analyze:allow(swallowed-result) best-effort cleanup\n",
+    ),
+    (
+        "blocking-in-worker",
+        "crates/core/src/fix.rs",
+        "fn f(v: &[u64]) { v.par_iter().for_each(|ms| std::thread::sleep(Duration::from_millis(*ms))); }\n",
+        "fn f(v: &[u64]) { v.par_iter().for_each(|ms| std::thread::sleep(Duration::from_millis(*ms))); } // analyze:allow(blocking-in-worker) throttle test shim\n",
     ),
 ];
 
@@ -154,6 +172,121 @@ fn ratchet_round_trips_through_baseline_files() {
     assert!(cmp.regressions.is_empty());
     assert_eq!(cmp.improvements.len(), 1);
     assert_eq!(cmp.improvements[0].current, 0);
+}
+
+#[test]
+fn lock_order_three_node_cycle_reports_the_full_chain_per_edge() {
+    let fix = Fixture::new("lock-cycle");
+    fix.write(
+        "crates/obs/src/state.rs",
+        "pub struct S { pub a: Mutex<u32>, pub b: Mutex<u32>, pub c: Mutex<u32> }\n",
+    );
+    fix.write(
+        "crates/obs/src/ab.rs",
+        "fn ab(s: &S) { let g = s.a.lock(); s.b.lock(); }\n",
+    );
+    fix.write(
+        "crates/obs/src/bc.rs",
+        "fn bc(s: &S) { let g = s.b.lock(); s.c.lock(); }\n",
+    );
+    fix.write(
+        "crates/obs/src/ca.rs",
+        "fn ca(s: &S) { let g = s.c.lock(); s.a.lock(); }\n",
+    );
+    let result = fix.analyze();
+    let hits: Vec<_> = result
+        .violations
+        .iter()
+        .filter(|v| v.lint == "lock-order")
+        .collect();
+    assert_eq!(
+        hits.len(),
+        3,
+        "one violation per edge of the cycle: {hits:?}"
+    );
+    for h in &hits {
+        assert!(
+            h.message.contains("a -> b -> c -> a"),
+            "diagnostic must print the whole conflicting chain: {}",
+            h.message
+        );
+        assert!(
+            h.message.contains("ab.rs")
+                && h.message.contains("bc.rs")
+                && h.message.contains("ca.rs"),
+            "chain must name every acquisition site: {}",
+            h.message
+        );
+    }
+}
+
+#[test]
+fn lock_order_consistent_ordering_is_clean() {
+    let fix = Fixture::new("lock-clean");
+    fix.write(
+        "crates/obs/src/state.rs",
+        "pub struct S { pub a: Mutex<u32>, pub b: Mutex<u32>, pub c: Mutex<u32> }\n",
+    );
+    // Every function takes the locks in the same global order: a, b, c.
+    fix.write(
+        "crates/obs/src/ab.rs",
+        "fn ab(s: &S) { let g = s.a.lock(); s.b.lock(); }\n",
+    );
+    fix.write(
+        "crates/obs/src/ac.rs",
+        "fn ac(s: &S) { let g = s.a.lock(); s.c.lock(); }\n",
+    );
+    fix.write(
+        "crates/obs/src/bc.rs",
+        "fn bc(s: &S) { let g = s.b.lock(); s.c.lock(); }\n",
+    );
+    let result = fix.analyze();
+    assert!(
+        result.violations.iter().all(|v| v.lint != "lock-order"),
+        "a consistent acquisition order must not be flagged: {:?}",
+        result.violations
+    );
+}
+
+#[test]
+fn warm_cache_run_skips_unchanged_files_and_matches_cold_results() {
+    let fix = Fixture::new("cache");
+    fix.write(
+        "crates/model/src/one.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    fix.write(
+        "crates/model/src/two.rs",
+        "fn g(x: Option<u32>) -> u32 { x.unwrap() } // analyze:allow(panic-on-data-path) startup only\n",
+    );
+    fix.write("crates/core/src/three.rs", "fn ok() {}\n");
+    let cache = fix.root.join("analyze-cache.json");
+
+    let cold = analyze_tree_cached(&fix.root, Some(&cache)).unwrap();
+    assert_eq!(cold.files_from_cache, 0);
+    assert_eq!(cold.files_scanned, 3);
+    assert!(cache.is_file(), "sidecar written after the run");
+
+    let warm = analyze_tree_cached(&fix.root, Some(&cache)).unwrap();
+    assert_eq!(
+        warm.files_from_cache, warm.files_scanned,
+        "unchanged tree must be fully cache-served"
+    );
+    assert_eq!(cold.violations, warm.violations);
+    assert_eq!(cold.suppressed.len(), warm.suppressed.len());
+    assert_eq!(cold.unused_allows, warm.unused_allows);
+
+    // Touch one file: only it re-lexes, and its new finding appears.
+    fix.write(
+        "crates/core/src/three.rs",
+        "fn ok() { let _ = std::fs::remove_file(\"x\"); }\n",
+    );
+    let third = analyze_tree_cached(&fix.root, Some(&cache)).unwrap();
+    assert_eq!(third.files_from_cache, third.files_scanned - 1);
+    assert!(third
+        .violations
+        .iter()
+        .any(|v| v.lint == "swallowed-result" && v.path == "crates/core/src/three.rs"));
 }
 
 #[test]

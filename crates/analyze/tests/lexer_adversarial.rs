@@ -1,0 +1,222 @@
+//! Adversarial inputs for the tokenizer: constructs specifically shaped to
+//! fool a line- or regex-based scanner. Each case runs end-to-end through
+//! the analyzer where it matters (suppression, test-code classification),
+//! plus a lexing concatenation property under proptest.
+
+use extradeep_analyze::lexer::{lex, TokenKind};
+use extradeep_analyze::{analyze_tree, AnalysisResult};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A throwaway workspace-shaped tree under the system temp dir.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!(
+            "extradeep-analyze-adversarial-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        Fixture { root }
+    }
+
+    fn analyze(&self, rel: &str, source: &str) -> AnalysisResult {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, source).unwrap();
+        analyze_tree(&self.root).unwrap()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+#[test]
+fn allow_directive_inside_a_raw_string_is_not_a_directive() {
+    // The raw string *contains* the directive text; the violation on the
+    // next line must still fire, and no unused-allow may be reported.
+    let fix = Fixture::new("raw-string-allow");
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               let _doc = r#\"suppress with // analyze:allow(panic-on-data-path) like this\"#;\n\
+               x.unwrap()\n\
+               }\n";
+    let result = fix.analyze("crates/model/src/fix.rs", src);
+    assert_eq!(
+        result
+            .violations
+            .iter()
+            .filter(|v| v.lint == "panic-on-data-path")
+            .count(),
+        1,
+        "string content must never suppress: {:?}",
+        result.violations
+    );
+    assert!(result.suppressed.is_empty());
+    assert!(result.unused_allows.is_empty());
+}
+
+#[test]
+fn doc_comment_mentioning_the_marker_is_not_a_directive() {
+    let fix = Fixture::new("doc-allow");
+    let src = "/// Suppress via `// analyze:allow(panic-on-data-path)` on the line.\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let result = fix.analyze("crates/model/src/fix.rs", src);
+    assert_eq!(result.violations.len(), 1, "{:?}", result.violations);
+    assert!(result.unused_allows.is_empty());
+}
+
+#[test]
+fn block_comment_spanning_cfg_test_does_not_flip_test_classification() {
+    // The `#[cfg(test)] mod tests {` text lives entirely inside a nested
+    // block comment; the function after it is production code.
+    let fix = Fixture::new("comment-cfg-test");
+    let src = "/* commented out scaffolding:\n\
+               #[cfg(test)]\n\
+               mod tests { /* inner */ fn t() {} }\n\
+               still comment */\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let result = fix.analyze("crates/model/src/fix.rs", src);
+    assert_eq!(
+        result.violations.len(),
+        1,
+        "code after the comment is production code: {:?}",
+        result.violations
+    );
+    assert_eq!(result.violations[0].line, 5);
+}
+
+#[test]
+fn real_cfg_test_after_a_block_comment_still_counts() {
+    // Control for the case above: the same attribute *outside* a comment.
+    let fix = Fixture::new("real-cfg-test");
+    let src = "/* prose */\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               fn t(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               }\n";
+    let result = fix.analyze("crates/model/src/fix.rs", src);
+    assert!(result.violations.is_empty(), "{:?}", result.violations);
+}
+
+#[test]
+fn lifetimes_and_chars_disambiguate() {
+    let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'a'; let n = '\\n'; let u = '\\u{1F600}'; x }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    assert_eq!(chars, vec!["'a'", "'\\n'", "'\\u{1F600}'"]);
+}
+
+#[test]
+fn raw_string_hash_counts_nest_correctly() {
+    // `"#` inside an `r##"…"##` does not terminate it.
+    let src = "let a = r##\"contains \"# and // comment\"##; let b = 1;";
+    let toks = lex(src);
+    let raw: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::RawStr)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(raw, vec!["r##\"contains \"# and // comment\"##"]);
+    assert!(toks.iter().all(|t| t.kind != TokenKind::LineComment));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text(src) == "b"));
+}
+
+/// Self-delimiting source atoms: joined with newlines, each lexes to the
+/// same token sequence regardless of its neighbors.
+const ATOMS: &[&str] = &[
+    "fn f() { let x = 1; }",
+    "// line comment with analyze:allow(panic-on-data-path) text",
+    "/* block /* nested */ comment */",
+    "let s = \"str with \\\" escape and // slashes\";",
+    "let r = r#\"raw with \" quote and /* opener \"#;",
+    "let c = 'x';",
+    "let nl = '\\n';",
+    "fn g<'a>(x: &'a str) -> &'a str { x }",
+    "let f = 1.25e-3;",
+    "let t = x.0.1;",
+    "let rng = 0..10;",
+    "let half = 0..0.5;",
+    "/// doc comment with 'tick and \" quote",
+    "//! inner doc",
+    "let b = b\"bytes\";",
+    "#[cfg(test)]",
+    "let big = 1_000_000u64;",
+    "let hex = 0xFF_u8;",
+    "match q { _ => {} }",
+    "let raw_id = r#match;",
+];
+
+fn join(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| ATOMS[i % ATOMS.len()])
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// (kind, text) pairs — spans and line numbers shift under concatenation,
+/// the token stream itself must not.
+fn shapes(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .iter()
+        .map(|t| (t.kind, t.text(src).to_string()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// lex(a ++ "\n" ++ b) == lex(a) ++ lex(b): no atom's lexing depends on
+    /// what precedes or follows it across a line boundary.
+    #[test]
+    fn lexing_distributes_over_concatenation(
+        a in prop::collection::vec(0usize..1000, 0..8),
+        b in prop::collection::vec(0usize..1000, 0..8),
+    ) {
+        let left = join(&a);
+        let right = join(&b);
+        let whole = format!("{left}\n{right}");
+        let mut expected = shapes(&left);
+        expected.extend(shapes(&right));
+        prop_assert_eq!(shapes(&whole), expected);
+    }
+
+    /// Lexing loses no bytes: concatenating token texts and the whitespace
+    /// gaps between them reproduces the input exactly.
+    #[test]
+    fn token_spans_tile_the_input(indices in prop::collection::vec(0usize..1000, 0..10)) {
+        let src = join(&indices);
+        let toks = lex(&src);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= pos, "overlapping tokens at byte {}", t.start);
+            prop_assert!(
+                src[pos..t.start].chars().all(char::is_whitespace),
+                "non-whitespace skipped: {:?}",
+                &src[pos..t.start]
+            );
+            prop_assert!(t.end > t.start);
+            pos = t.end;
+        }
+        prop_assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+}

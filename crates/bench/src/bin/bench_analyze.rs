@@ -1,0 +1,98 @@
+//! Measures the static analyzer (`extradeep-analyze`) over the real
+//! workspace and records the result in `BENCH_analyze.json`: cold-scan
+//! throughput (lex + tree + all lints on every file) and the wall time of a
+//! warm incremental-cache run, which must serve at least 90% of files from
+//! the content-hash cache.
+//!
+//! Run with `cargo run --release -p extradeep-bench --bin bench_analyze`.
+//! `--quick` trims the batch count for CI; an optional positional argument
+//! overrides the output path. The perf-history ratchet ingests
+//! `analyze.files_per_sec` and `analyze.warm_cache_ms`.
+
+use extradeep_analyze::{analyze_tree, analyze_tree_cached};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The workspace root: the nearest ancestor of the current directory that
+/// holds `analyze-baseline.json`, falling back to the compile-time layout.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("current dir");
+    if let Some(root) = cwd
+        .ancestors()
+        .find(|d| d.join("analyze-baseline.json").is_file())
+    {
+        return root.to_path_buf();
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Best-of-batches wall time of `f`, in seconds.
+fn best_of<T>(batches: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_analyze.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let batches = if quick { 3 } else { 10 };
+    let root = workspace_root();
+
+    // Cold: every file lexed, tree-built and linted from scratch.
+    let probe = analyze_tree(&root).expect("workspace scans");
+    let files = probe.files_scanned;
+    assert!(files > 50, "walk found the workspace sources");
+    let cold_s = best_of(batches, || {
+        let result = analyze_tree(&root).expect("workspace scans");
+        assert_eq!(result.files_from_cache, 0);
+        result.violations.len()
+    });
+
+    // Warm: a primed content-hash cache must serve >= 90% of files (here:
+    // all of them — the tree does not change between runs).
+    let cache_dir =
+        std::env::temp_dir().join(format!("extradeep-bench-analyze-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    std::fs::create_dir_all(&cache_dir).expect("cache dir");
+    let cache = cache_dir.join("analyze-cache.json");
+    analyze_tree_cached(&root, Some(&cache)).expect("prime the cache");
+    let warm_s = best_of(batches, || {
+        let result = analyze_tree_cached(&root, Some(&cache)).expect("warm scan");
+        assert!(
+            result.files_from_cache * 10 >= result.files_scanned * 9,
+            "warm run re-lexed too much: {} of {} from cache",
+            result.files_from_cache,
+            result.files_scanned
+        );
+        result.files_from_cache
+    });
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let body = serde_json::json!({
+        "benchmark": "static analyzer over the full workspace",
+        "pipeline": "walk -> lex -> item tree -> 9 lints -> cross-file phases",
+        "quick": quick,
+        "files": files,
+        "files_per_sec": files as f64 / cold_s,
+        "cold_scan_ms": cold_s * 1e3,
+        "warm_cache_ms": warm_s * 1e3,
+    });
+    let pretty = serde_json::to_string_pretty(&body).expect("serialize report");
+    std::fs::write(&out_path, format!("{pretty}\n")).expect("write BENCH_analyze.json");
+    println!("{pretty}");
+    println!("wrote {out_path}");
+}

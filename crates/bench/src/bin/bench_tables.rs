@@ -11,11 +11,14 @@
 //!
 //! Flags: `--check` compares the render against the existing file and exits
 //! non-zero on mismatch; `--in <path>` / `--out <path>` override the default
-//! `BENCH_model.json` / `BENCH_TABLES.md` locations; `--campaign <path>`
-//! overrides the default `BENCH_campaign.json` (a missing campaign snapshot
-//! just skips that section, so pre-campaign checkouts still render).
+//! `BENCH_model.json` / `BENCH_TABLES.md` locations; `--campaign <path>` /
+//! `--analyze <path>` override the default `BENCH_campaign.json` /
+//! `BENCH_analyze.json` (a missing snapshot just skips its section, so
+//! older checkouts still render).
 
-use extradeep_bench::tables::{render_campaign_section, render_model_tables};
+use extradeep_bench::tables::{
+    render_analyze_section, render_campaign_section, render_model_tables,
+};
 use std::process::ExitCode;
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
@@ -32,6 +35,8 @@ fn main() -> ExitCode {
     let out_path = value_after(&args, "--out").unwrap_or_else(|| "BENCH_TABLES.md".to_string());
     let campaign_path =
         value_after(&args, "--campaign").unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let analyze_path =
+        value_after(&args, "--analyze").unwrap_or_else(|| "BENCH_analyze.json".to_string());
 
     let raw = match std::fs::read_to_string(&in_path) {
         Ok(r) => r,
@@ -53,6 +58,15 @@ fn main() -> ExitCode {
             Ok(campaign) => rendered.push_str(&render_campaign_section(&campaign)),
             Err(e) => {
                 eprintln!("bench_tables: {campaign_path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Ok(raw) = std::fs::read_to_string(&analyze_path) {
+        match serde_json::from_str::<serde_json::Value>(&raw) {
+            Ok(analyze) => rendered.push_str(&render_analyze_section(&analyze)),
+            Err(e) => {
+                eprintln!("bench_tables: {analyze_path} is not valid JSON: {e}");
                 return ExitCode::FAILURE;
             }
         }

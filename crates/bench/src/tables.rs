@@ -153,6 +153,38 @@ pub fn render_campaign_section(report: &Value) -> String {
     out
 }
 
+/// Renders the static-analyzer section from a `BENCH_analyze.json` value:
+/// cold-scan throughput over the whole workspace and the wall time of a
+/// warm incremental-cache run. Appended after the campaign section.
+pub fn render_analyze_section(report: &Value) -> String {
+    let f = |key: &str| report.get(key).and_then(Value::as_f64);
+    let mut out = String::new();
+    out.push_str("## Static analyzer\n\n");
+    out.push_str(
+        "Token-aware analyzer over the full workspace: cold scan vs a warm\n\
+         incremental-cache run, rendered from the committed `BENCH_analyze.json`\n\
+         (`cargo run --release -p extradeep-bench --bin bench_analyze`).\n\n",
+    );
+    if report.get("quick").and_then(Value::as_bool) == Some(true) {
+        out.push_str("Timings from a `--quick` run (CI smoke mode).\n\n");
+    }
+    out.push_str("| metric | value |\n|---|---:|\n");
+    if let Some(v) = f("files") {
+        let _ = writeln!(out, "| files scanned | {v:.0} |");
+    }
+    if let Some(v) = f("files_per_sec") {
+        let _ = writeln!(out, "| files / second (cold) | {v:.0} |");
+    }
+    if let Some(v) = f("cold_scan_ms") {
+        let _ = writeln!(out, "| cold scan [ms] | {v:.3} |");
+    }
+    if let Some(v) = f("warm_cache_ms") {
+        let _ = writeln!(out, "| warm cache run [ms] | {v:.3} |");
+    }
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +254,10 @@ mod tests {
             let campaign: Value = serde_json::from_str(&raw).expect("parse BENCH_campaign.json");
             rendered.push_str(&render_campaign_section(&campaign));
         }
+        if let Ok(raw) = std::fs::read_to_string(format!("{root}/BENCH_analyze.json")) {
+            let analyze: Value = serde_json::from_str(&raw).expect("parse BENCH_analyze.json");
+            rendered.push_str(&render_analyze_section(&analyze));
+        }
         let committed = std::fs::read_to_string(format!("{root}/BENCH_TABLES.md"))
             .expect("read committed BENCH_TABLES.md");
         assert_eq!(
@@ -251,6 +287,25 @@ mod tests {
         assert!(md.contains("| raw pipeline compute wall [s] | 1.095 |"));
         assert!(md.contains("| crash-safety overhead | 1.1% |"));
         assert!(md.contains("| full resume replay [ms] | 2.841 |"));
+        assert!(!md.contains("--quick"), "full runs carry no quick banner");
+    }
+
+    #[test]
+    fn analyze_section_renders_every_metric_row() {
+        let v = serde_json::json!({
+            "quick": false,
+            "files": 185,
+            "files_per_sec": 2644.0,
+            "cold_scan_ms": 69.965,
+            "warm_cache_ms": 7.927,
+        });
+        let md = render_analyze_section(&v);
+        assert_eq!(md, render_analyze_section(&v), "render must be pure");
+        assert!(md.contains("## Static analyzer"));
+        assert!(md.contains("| files scanned | 185 |"));
+        assert!(md.contains("| files / second (cold) | 2644 |"));
+        assert!(md.contains("| cold scan [ms] | 69.965 |"));
+        assert!(md.contains("| warm cache run [ms] | 7.927 |"));
         assert!(!md.contains("--quick"), "full runs carry no quick banner");
     }
 

@@ -754,6 +754,7 @@ fn run_attempt(
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 execute_cell(&worker_cell, attempt, &worker_analysis)
             }));
+            // analyze:allow(swallowed-result) receiver gone only after timeout; the cell is already quarantined
             let _ = tx.send(outcome);
         })
         .map_err(|e| CellError::Io(format!("cannot spawn cell worker: {e}")))?;

@@ -437,7 +437,7 @@ fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
     let models = build_model_set(&agg, MetricKind::Time, &ModelSetOptions::default())
         .map_err(|e| CliError::Modeling(e.to_string()))?;
     if keep.is_none() {
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path).ok(); // analyze:allow(swallowed-result) best-effort scratch-file cleanup
     }
 
     let mut out = String::new();

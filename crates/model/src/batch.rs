@@ -121,6 +121,7 @@ impl ColumnStore {
                     }
                     obs_counters::basis_misses().incr();
                     let term = SimpleTerm::new(param, ts.exponent, ts.log_exponent);
+                    // analyze:allow(hot-path-alloc) memoized: one column per distinct factor, cache-miss path only
                     let col: Vec<f64> = points.iter().map(|(c, _)| term.evaluate(c)).collect();
                     let mut probes = [1.0f64; 3];
                     for (slot, p) in probes.iter_mut().zip(&probe_points) {
@@ -143,11 +144,13 @@ impl ColumnStore {
         let mut shape_terms: Vec<Vec<usize>> = Vec::with_capacity(shapes.len());
         let mut reads = 0u64;
         for shape in shapes {
+            // analyze:allow(hot-path-alloc) per-shape term-id list is the output being built
             let mut ids = Vec::with_capacity(shape.terms.len());
             for factors in &shape.terms {
                 let id = match term_index.get(factors) {
                     Some(&id) => id,
                     None => {
+                        // analyze:allow(hot-path-alloc) memoized: one column per distinct term
                         let mut col = vec![1.0; n];
                         let mut probes = [1.0f64; 3];
                         for &(param, ts) in factors {

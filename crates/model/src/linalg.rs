@@ -307,8 +307,9 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
 pub fn invert(a: &Matrix) -> Option<Matrix> {
     let n = a.rows;
     let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
     for col in 0..n {
-        let mut e = vec![0.0; n];
+        e.fill(0.0);
         e[col] = 1.0;
         let x = solve(a, &e)?;
         for row in 0..n {

@@ -91,6 +91,7 @@ fn combine_shapes(per_param: &[(usize, Vec<TermShape>)]) -> Vec<HypothesisShape>
     for (p, pool) in per_param {
         for &s in pool {
             out.push(HypothesisShape {
+                // analyze:allow(hot-path-alloc) shape enumeration owns its terms; bounded by hypothesis count
                 terms: vec![vec![(*p, s)]],
             });
         }
@@ -102,6 +103,7 @@ fn combine_shapes(per_param: &[(usize, Vec<TermShape>)]) -> Vec<HypothesisShape>
     // Cross product of one shape per parameter.
     let mut picks: Vec<Vec<(usize, TermShape)>> = vec![Vec::new()];
     for (p, pool) in per_param {
+        // analyze:allow(hot-path-alloc) cross-product frontier; bounded by shape-pool sizes
         let mut next = Vec::with_capacity(picks.len() * pool.len());
         for prefix in &picks {
             for &s in pool {
@@ -116,15 +118,17 @@ fn combine_shapes(per_param: &[(usize, Vec<TermShape>)]) -> Vec<HypothesisShape>
     for combo in &picks {
         // Additive: c0 + Σ_l c_l · term_l(x_l)
         out.push(HypothesisShape {
+            // analyze:allow(hot-path-alloc) shape enumeration owns its terms; bounded by hypothesis count
             terms: combo.iter().map(|&(p, s)| vec![(p, s)]).collect(),
         });
         // Multiplicative: c0 + c1 · Π_l term_l(x_l)
         out.push(HypothesisShape {
+            // analyze:allow(hot-path-alloc) shape enumeration owns its terms; bounded by hypothesis count
             terms: vec![combo.clone()],
         });
         // Additive + multiplicative interaction.
         let mut terms: Vec<Vec<(usize, TermShape)>> =
-            combo.iter().map(|&(p, s)| vec![(p, s)]).collect();
+            combo.iter().map(|&(p, s)| vec![(p, s)]).collect(); // analyze:allow(hot-path-alloc) shape enumeration owns its terms
         terms.push(combo.clone());
         out.push(HypothesisShape { terms });
     }

@@ -141,6 +141,7 @@ impl SearchSpace {
         if self.max_terms >= 2 {
             for a in 0..singles.len() {
                 for b in (a + 1)..singles.len() {
+                    // analyze:allow(hot-path-alloc) pair enumeration owns its terms; bounded by shape count
                     out.push(vec![singles[a], singles[b]]);
                 }
             }

@@ -318,7 +318,7 @@ pub fn drain() -> Snapshot {
 
 /// Clears all recorded data without returning it.
 pub fn reset() {
-    let _ = drain();
+    drain();
 }
 
 #[cfg(test)]

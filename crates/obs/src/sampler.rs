@@ -333,7 +333,7 @@ fn run<W: io::Write>(
     }
     report.journal_dropped = registry::journal_dropped();
     report.records_written = writer.records_written();
-    let _ = writer.flush();
+    io_err(writer.flush(), &mut report.io_errors);
     report
 }
 
