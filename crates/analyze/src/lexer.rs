@@ -112,12 +112,16 @@ impl<'s> Lexer<'s> {
         self.bytes.get(self.pos + ahead).copied()
     }
 
-    /// Advances one byte, counting newlines.
+    /// Advances one byte, counting newlines. Saturates at end of input so
+    /// multi-byte bumps (escape sequences, comment closers) near EOF can
+    /// never push a token span past `src.len()`.
     fn bump(&mut self) {
-        if self.bytes.get(self.pos) == Some(&b'\n') {
-            self.line += 1;
+        if self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
         }
-        self.pos += 1;
     }
 
     /// Advances `n` bytes, counting newlines.
@@ -273,6 +277,12 @@ impl<'s> Lexer<'s> {
                     // `'x'` — a one-char literal (possibly multi-byte).
                     self.bump_n(w + 1);
                     self.push(TokenKind::Char, start, line);
+                } else if c >= 0x80 {
+                    // `'` then a non-ASCII char that isn't a closed literal:
+                    // emit the tick alone as punct — bumping into the char
+                    // would split its UTF-8 sequence. The main loop lexes
+                    // the char itself next.
+                    self.push(TokenKind::Punct, start, line);
                 } else if is_ident_start(c) {
                     // Lifetime: consume the identifier.
                     self.bump();
@@ -325,7 +335,7 @@ impl<'s> Lexer<'s> {
         while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
             self.bump();
         }
-        // Multi-byte identifier chars (non-ASCII XID): accept alphabetic.
+        // Multi-byte identifier chars (non-ASCII XID): accept alphanumeric.
         while let Some(c) = self.peek(0) {
             if c < 0x80 {
                 break;
@@ -341,6 +351,17 @@ impl<'s> Lexer<'s> {
             } else {
                 break;
             }
+        }
+        if self.pos == start {
+            // The leading char was non-ASCII but not alphanumeric (a pasted
+            // NBSP, em-dash, curly quote, … in code position). Nothing above
+            // consumed it; fall through to the punct path so the lexer
+            // always makes progress instead of emitting a zero-width token
+            // and looping forever.
+            let width = utf8_width(self.peek(0).unwrap_or(0)).max(1);
+            self.bump_n(width);
+            self.push(TokenKind::Punct, start, line);
+            return;
         }
         self.push(TokenKind::Ident, start, line);
     }
@@ -631,11 +652,52 @@ mod tests {
 
     #[test]
     fn unterminated_tokens_run_to_eof() {
-        for src in ["\"never closed", "/* never closed", "r#\"never closed"] {
+        // The trailing-backslash forms end mid-escape: the two-byte bump
+        // must saturate at EOF, not run the span past `src.len()`.
+        for src in [
+            "\"never closed",
+            "/* never closed",
+            "r#\"never closed",
+            "\"abc\\",
+            "b\"abc\\",
+            "'\\",
+        ] {
             let toks = lex(src);
             assert_eq!(toks.len(), 1, "{src:?}");
             assert_eq!(toks[0].end, src.len(), "{src:?}");
+            toks[0].text(src); // must not panic
         }
+    }
+
+    #[test]
+    fn non_ascii_punctuation_in_code_position_terminates() {
+        // Pasted NBSP / em-dash / curly quotes between tokens must lex as
+        // punct, not hang the lexer on a zero-width identifier.
+        for src in [
+            "let x\u{00A0}= 1;",
+            "let y — = 2;",
+            "let z = \u{2018}a\u{2019};",
+            "'\u{00A0}x",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            let total: usize = toks.iter().map(|t| t.end - t.start).sum();
+            assert!(total > 0, "{src:?}");
+            for t in &toks {
+                assert!(t.end > t.start, "zero-width token in {src:?}: {t:?}");
+                t.text(src); // spans must be valid char boundaries
+            }
+        }
+        let src = "a\u{00A0}b";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().map(|t| (t.kind, t.text(src))).collect::<Vec<_>>(),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "\u{00A0}"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
     }
 
     #[test]

@@ -167,8 +167,14 @@ pub fn lock_facts(file: &SourceFile) -> LockFacts {
                 break;
             }
             if toks[k].kind == TokenKind::Ident && text(k) == "let" {
-                if k + 1 < toks.len() {
-                    bound = Some(text(k + 1));
+                // `let [mut] name = …` — skip `mut` so the drop() scan below
+                // matches the real binding, not the keyword.
+                let mut n = k + 1;
+                if n < toks.len() && toks[n].kind == TokenKind::Ident && text(n) == "mut" {
+                    n += 1;
+                }
+                if n < toks.len() {
+                    bound = Some(text(n));
                 }
                 break;
             }
@@ -319,46 +325,30 @@ pub fn lock_order_violations(facts: &BTreeMap<String, LockFacts>) -> Vec<Violati
     out
 }
 
-/// Finds directed cycles via DFS back edges, deduplicated by rotation so
-/// each distinct ring is reported once, starting from its smallest node.
+/// Finds directed cycles by closing each edge: for every edge `u -> v`, a
+/// shortest path `v ⇝ u` (BFS) plus the edge is an elementary cycle. DFS
+/// back-edge detection misses cycles whose closing edge points at an
+/// already-finished node (e.g. `a -> b -> c -> a` plus the chord `a -> c`
+/// hides the `a -> c -> a` ring), leaving conflicting lock pairs unflagged
+/// until the first cycle is fixed; closing every edge guarantees each edge
+/// on *any* cycle appears in some reported ring. Cost is `E` BFS runs over
+/// the declared-lock graph, which is tiny. Rings are normalized to start
+/// at their smallest node and deduplicated.
 fn find_cycles(graph: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Color {
-        White,
-        Gray,
-        Black,
-    }
-    fn dfs(
-        u: &str,
-        graph: &BTreeMap<String, BTreeSet<String>>,
-        color: &mut BTreeMap<String, Color>,
-        stack: &mut Vec<String>,
-        cycles: &mut Vec<Vec<String>>,
-    ) {
-        color.insert(u.to_string(), Color::Gray);
-        stack.push(u.to_string());
-        if let Some(next) = graph.get(u) {
-            for v in next {
-                match color.get(v.as_str()).copied().unwrap_or(Color::White) {
-                    Color::Gray => {
-                        if let Some(pos) = stack.iter().position(|x| x == v) {
-                            cycles.push(stack[pos..].to_vec());
-                        }
-                    }
-                    Color::White => dfs(v, graph, color, stack, cycles),
-                    Color::Black => {}
-                }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    for (u, nexts) in graph {
+        for v in nexts {
+            if v == u {
+                continue;
             }
-        }
-        stack.pop();
-        color.insert(u.to_string(), Color::Black);
-    }
-    let mut color: BTreeMap<String, Color> = BTreeMap::new();
-    let mut stack = Vec::new();
-    let mut cycles = Vec::new();
-    for node in graph.keys() {
-        if color.get(node.as_str()).copied().unwrap_or(Color::White) == Color::White {
-            dfs(node, graph, &mut color, &mut stack, &mut cycles);
+            if let Some(path) = shortest_path(graph, v, u) {
+                // path = [v, …, u]; the ring lists each node once, with the
+                // closing `u -> v` edge implied by wrap-around.
+                let mut ring = Vec::with_capacity(path.len());
+                ring.push(u.clone());
+                ring.extend(path[..path.len() - 1].iter().cloned());
+                cycles.push(ring);
+            }
         }
     }
     // Normalize each cycle to start at its smallest node, then dedupe.
@@ -379,6 +369,41 @@ fn find_cycles(graph: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
     normalized.sort();
     normalized.dedup();
     normalized
+}
+
+/// BFS shortest path `from ⇝ to` along graph edges, inclusive of both
+/// endpoints. Returns `None` when `to` is unreachable.
+fn shortest_path(
+    graph: &BTreeMap<String, BTreeSet<String>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    use std::collections::VecDeque;
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    prev.insert(from, from);
+    queue.push_back(from);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![n.to_string()];
+            let mut cur = n;
+            while cur != from {
+                cur = prev[cur];
+                path.push(cur.to_string());
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(next) = graph.get(n) {
+            for m in next {
+                if !prev.contains_key(m.as_str()) {
+                    prev.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -444,6 +469,25 @@ mod tests {
     }
 
     #[test]
+    fn drop_releases_a_mut_guard_early() {
+        // The binding is the token after `mut`, not `mut` itself — the
+        // drop() scan must match `g`, or this would fabricate an a -> b edge.
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn f(s: &S) { let mut g = s.a.lock(); drop(g); s.b.lock(); }\n";
+        let (_, f) = facts_of("crates/x/src/a.rs", src);
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+    }
+
+    #[test]
+    fn let_underscore_guard_releases_at_statement_end() {
+        // `let _ = x.lock();` drops the guard immediately; no edge to b.
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn f(s: &S) { let _ = s.a.lock(); s.b.lock(); }\n";
+        let (_, f) = facts_of("crates/x/src/a.rs", src);
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+    }
+
+    #[test]
     fn read_with_arguments_is_not_an_acquisition() {
         let src = "struct S { buf: Mutex<u8> }\n\
                    fn f(r: &mut impl std::io::Read, buf: &mut [u8]) { r.read(buf); }\n\
@@ -488,6 +532,27 @@ mod tests {
         let a = "fn f(conn: &C, file: &F) { let g = conn.read(); file.write(); }\n\
                  fn h(conn: &C, file: &F) { let g = file.write(); conn.read(); }\n";
         assert!(violations(&[("crates/x/src/a.rs", a)]).is_empty());
+    }
+
+    #[test]
+    fn chord_cycle_inside_one_scc_is_also_reported() {
+        // a -> b -> c -> a plus the chord a -> c: the 2-ring a -> c -> a is
+        // invisible to DFS back-edge detection (c is finished when a -> c is
+        // walked) but must still be reported alongside the 3-ring.
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8>, c: Mutex<u8> }\n\
+                   fn f1(s: &S) { let g = s.a.lock(); s.b.lock(); }\n\
+                   fn f2(s: &S) { let g = s.b.lock(); s.c.lock(); }\n\
+                   fn f3(s: &S) { let g = s.c.lock(); s.a.lock(); }\n\
+                   fn f4(s: &S) { let g = s.a.lock(); s.c.lock(); }\n";
+        let v = violations(&[("crates/x/src/a.rs", src)]);
+        assert!(
+            v.iter().any(|x| x.message.contains("a -> b -> c -> a")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|x| x.message.contains("`a -> c -> a`")),
+            "{v:?}"
+        );
     }
 
     #[test]
